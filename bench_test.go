@@ -1,0 +1,568 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus the ablations called out in DESIGN.md. Custom metrics
+// (reported via b.ReportMetric) carry the experiment's headline numbers
+// into the benchmark output so `go test -bench=.` doubles as a results
+// log.
+package idlereduce_test
+
+import (
+	"math"
+	"testing"
+
+	"idlereduce/internal/adaptive"
+	"idlereduce/internal/analysis"
+	"idlereduce/internal/costmodel"
+	"idlereduce/internal/drivecycle"
+	"idlereduce/internal/experiments"
+	"idlereduce/internal/fleet"
+	"idlereduce/internal/multislope"
+	"idlereduce/internal/simulator"
+	"idlereduce/internal/skirental"
+	"idlereduce/internal/stats"
+)
+
+// benchOpts keeps benchmark iterations affordable while exercising the
+// full pipeline; the CLI runs publication scale.
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 20140601, FleetVehicles: 40, GridN: 40, SweepPoints: 16}
+}
+
+func benchFleet(b *testing.B) *fleet.Fleet {
+	b.Helper()
+	f, err := benchOpts().BuildFleet()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkFig1StrategyRegions regenerates Figure 1 (strategy regions and
+// worst-case CR surface).
+func BenchmarkFig1StrategyRegions(b *testing.B) {
+	var maxCR float64
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig1(benchOpts(), 28)
+		maxCR = res.MaxCR
+	}
+	b.ReportMetric(maxCR, "maxCR")
+}
+
+// BenchmarkFig2Projections regenerates the Figure 2 projection slices.
+func BenchmarkFig2Projections(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		results, _ := experiments.Fig2(benchOpts(), 28)
+		// Largest improvement of the proposed policy over the best
+		// classical baseline (DET/TOI/N-Rand) across the slices — the
+		// value Figure 2c-d highlights.
+		gain = 0
+		for _, r := range results {
+			for _, p := range r.Points {
+				best := math.Min(p.Baselines["DET"], math.Min(p.Baselines["TOI"], p.Baselines["N-Rand"]))
+				if d := best - p.Proposed; d > gain {
+					gain = d
+				}
+			}
+		}
+	}
+	b.ReportMetric(gain, "maxCRgain")
+}
+
+// BenchmarkFig3StopDistributions regenerates Figure 3 (stop-length
+// distributions + KS test).
+func BenchmarkFig3StopDistributions(b *testing.B) {
+	f := benchFleet(b)
+	b.ResetTimer()
+	var d float64
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.Fig3(benchOpts(), f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d = results[0].KS.D
+	}
+	b.ReportMetric(d, "ksD")
+}
+
+// BenchmarkFig4IndividualVehicles regenerates Figure 4 for both vehicle
+// classes and reports the proposed-best fraction.
+func BenchmarkFig4IndividualVehicles(b *testing.B) {
+	f := benchFleet(b)
+	b.ResetTimer()
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.Fig4(benchOpts(), f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev := results[0].Eval
+		frac = float64(ev.ProposedBestTotal) / float64(len(ev.Vehicles))
+	}
+	b.ReportMetric(frac*100, "%bestB28")
+}
+
+// BenchmarkFig5TrafficSweep regenerates Figure 5 (B = 28).
+func BenchmarkFig5TrafficSweep(b *testing.B) {
+	benchSweep(b, experiments.Fig5)
+}
+
+// BenchmarkFig6TrafficSweep regenerates Figure 6 (B = 47).
+func BenchmarkFig6TrafficSweep(b *testing.B) {
+	benchSweep(b, experiments.Fig6)
+}
+
+func benchSweep(b *testing.B, fig func(experiments.Options) (*experiments.SweepResult, string, error)) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, _, err := fig(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, p := range res.Points {
+			if p.Proposed > worst {
+				worst = p.Proposed
+			}
+		}
+	}
+	b.ReportMetric(worst, "proposedWorstCR")
+}
+
+// BenchmarkTable1StopsPerDay regenerates Table 1.
+func BenchmarkTable1StopsPerDay(b *testing.B) {
+	f := benchFleet(b)
+	b.ResetTimer()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Table1(benchOpts(), f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = rows[1].Mean // Chicago
+	}
+	b.ReportMetric(mean, "chicagoStopsPerDay")
+}
+
+// BenchmarkAppendixCBreakEven regenerates the Appendix C derivation.
+func BenchmarkAppendixCBreakEven(b *testing.B) {
+	var ssv float64
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.AppendixC(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ssv = res.SSV.TotalSec()
+	}
+	b.ReportMetric(ssv, "ssvBreakEvenSec")
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// BenchmarkAblationBDetOff quantifies what the b-DET vertex buys: the
+// mean worst-case CR over the feasible statistics grid with the full
+// four-vertex selector versus a selector restricted to {N-Rand, DET, TOI}.
+func BenchmarkAblationBDetOff(b *testing.B) {
+	const B = 28.0
+	var full, restricted float64
+	for i := 0; i < b.N; i++ {
+		var fSum, rSum stats4
+		for mu := 0.0; mu <= 1.0; mu += 0.02 {
+			for q := 0.0; q <= 1.0; q += 0.02 {
+				s := skirental.Stats{MuBMinus: mu * B, QBPlus: q}
+				if s.Validate(B) != nil {
+					continue
+				}
+				off := s.OfflineCost(B)
+				if off == 0 {
+					continue
+				}
+				vc := skirental.ComputeVertexCosts(B, s)
+				_, fullCost := vc.Select()
+				restrictedCost := math.Min(vc.NRand, math.Min(vc.TOI, vc.DET))
+				fSum.add(fullCost / off)
+				rSum.add(restrictedCost / off)
+			}
+		}
+		full, restricted = fSum.mean(), rSum.mean()
+	}
+	b.ReportMetric(full, "meanCR_full")
+	b.ReportMetric(restricted, "meanCR_noBDet")
+	b.ReportMetric(restricted-full, "bDetGain")
+}
+
+type stats4 struct {
+	sum float64
+	n   int
+}
+
+func (s *stats4) add(v float64) { s.sum += v; s.n++ }
+func (s *stats4) mean() float64 { return s.sum / float64(s.n) }
+
+// BenchmarkAblationEstimatedStats measures the robustness of the
+// proposed selector to plug-in estimation: statistics estimated from the
+// first half of each vehicle's week versus exact trace statistics,
+// evaluated on the second half.
+func BenchmarkAblationEstimatedStats(b *testing.B) {
+	f := benchFleet(b)
+	const B = 28.0
+	b.ResetTimer()
+	var exactCR, estCR float64
+	for i := 0; i < b.N; i++ {
+		var exact, est stats4
+		for _, v := range f.Vehicles {
+			if len(v.Stops) < 8 {
+				continue
+			}
+			half := len(v.Stops) / 2
+			train, test := v.Stops[:half], v.Stops[half:]
+			pEst, err := skirental.NewConstrainedFromStops(B, train)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pExact, err := skirental.NewConstrainedFromStops(B, test)
+			if err != nil {
+				b.Fatal(err)
+			}
+			est.add(skirental.TraceCR(pEst, test))
+			exact.add(skirental.TraceCR(pExact, test))
+		}
+		exactCR, estCR = exact.mean(), est.mean()
+	}
+	b.ReportMetric(exactCR, "meanCR_exactStats")
+	b.ReportMetric(estCR, "meanCR_trainedStats")
+	b.ReportMetric(estCR-exactCR, "estimationPenalty")
+}
+
+// BenchmarkAblationLPvsClosedForm compares the simplex solution of the
+// paper's LP (eq. 32-33) against the closed-form vertex enumeration, both
+// in agreement (asserted) and in speed (the two sub-benchmarks).
+func BenchmarkAblationLPvsClosedForm(b *testing.B) {
+	const B = 28.0
+	grid := func(fn func(skirental.Stats)) {
+		for mu := 0.0; mu <= 1.0; mu += 0.1 {
+			for q := 0.0; q <= 1.0; q += 0.1 {
+				s := skirental.Stats{MuBMinus: mu * B, QBPlus: q}
+				if s.Validate(B) != nil {
+					continue
+				}
+				fn(s)
+			}
+		}
+	}
+	b.Run("closed-form", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			grid(func(s skirental.Stats) {
+				skirental.ComputeVertexCosts(B, s).Select()
+			})
+		}
+	})
+	b.Run("simplex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			grid(func(s skirental.Stats) {
+				if _, _, err := skirental.SelectVertexLP(B, s); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	})
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+// BenchmarkPolicyThreshold measures threshold sampling for each policy
+// family.
+func BenchmarkPolicyThreshold(b *testing.B) {
+	rng := stats.NewRNG(1)
+	for _, p := range []skirental.Policy{
+		skirental.NewDET(28),
+		skirental.NewNRand(28),
+		skirental.NewMOMRand(28, 10),
+	} {
+		b.Run(p.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Threshold(rng)
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorRun measures end-to-end simulated stops per second.
+func BenchmarkSimulatorRun(b *testing.B) {
+	costs := costmodel.CostRatio{IdlingCentsPerSec: 0.0258, RestartCents: 0.0258 * 28}
+	rng := stats.NewRNG(2)
+	stopsSeq := make([]float64, 1000)
+	for i := range stopsSeq {
+		stopsSeq[i] = 1 + rng.Float64()*200
+	}
+	p := skirental.NewNRand(28)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simRun(costs, p, stopsSeq, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(stopsSeq)), "stops/op")
+}
+
+func simRun(costs costmodel.CostRatio, p skirental.Policy, stopsSeq []float64, seed uint64) (float64, error) {
+	rng := stats.NewRNG(seed)
+	on, _ := skirental.TraceCost(p, stopsSeq, rng)
+	return on, nil
+}
+
+// BenchmarkWorstCaseSearch measures the adversarial search that verifies
+// the closed forms.
+func BenchmarkWorstCaseSearch(b *testing.B) {
+	s := skirental.Stats{MuBMinus: 3, QBPlus: 0.2}
+	p := skirental.NewMOMRand(28, 10)
+	var cr float64
+	for i := 0; i < b.N; i++ {
+		cr = analysis.WorstCaseSearch(p, s, 128).CR
+	}
+	b.ReportMetric(cr, "worstCR")
+}
+
+// --- Extension benchmarks (related-work algorithms and substrates) ---
+
+// BenchmarkMultislopePolicies measures the three-state multislope
+// bundles and reports their realized trace CRs on a mixed commute.
+func BenchmarkMultislopePolicies(b *testing.B) {
+	prob, err := multislope.AutomotiveThreeState(28)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(4)
+	stopsSeq := make([]float64, 2000)
+	for i := range stopsSeq {
+		switch r := rng.Float64(); {
+		case r < 0.6:
+			stopsSeq[i] = 2 + rng.Float64()*8
+		case r < 0.9:
+			stopsSeq[i] = 15 + rng.Float64()*45
+		default:
+			stopsSeq[i] = 120 + rng.Float64()*600
+		}
+	}
+	var crDet, crCons float64
+	for i := 0; i < b.N; i++ {
+		det := multislope.NewDeterministic(prob)
+		cons, err := multislope.NewConstrained(prob, stopsSeq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		crDet = det.TraceCR(stopsSeq)
+		crCons = cons.TraceCR(stopsSeq)
+	}
+	b.ReportMetric(crDet, "msDetCR")
+	b.ReportMetric(crCons, "msProposedCR")
+	b.ReportMetric(crDet-crCons, "msGain")
+}
+
+// BenchmarkAdaptivePolicy measures the streaming estimator + reselect
+// loop and reports the learning cost versus the clairvoyant static
+// policy on the same trace.
+func BenchmarkAdaptivePolicy(b *testing.B) {
+	rng := stats.NewRNG(5)
+	stopsSeq := make([]float64, 3000)
+	for i := range stopsSeq {
+		if rng.Float64() < 0.9 {
+			stopsSeq[i] = 2 + rng.Float64()*10
+		} else {
+			stopsSeq[i] = 100 + rng.Float64()*400
+		}
+	}
+	staticPol, err := skirental.NewConstrainedFromStops(28, stopsSeq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	staticCR := skirental.TraceCR(staticPol, stopsSeq)
+	var adaptCR float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := adaptive.New(adaptive.Config{B: 28})
+		if err != nil {
+			b.Fatal(err)
+		}
+		on, off, err := p.RunMean(stopsSeq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adaptCR = on / off
+	}
+	b.ReportMetric(adaptCR, "adaptiveCR")
+	b.ReportMetric(adaptCR-staticCR, "learningCost")
+}
+
+// BenchmarkDriveCycleWeek measures the mechanistic workload generator.
+func BenchmarkDriveCycleWeek(b *testing.B) {
+	plan := drivecycle.UrbanCommute()
+	rng := stats.NewRNG(6)
+	var n int
+	for i := 0; i < b.N; i++ {
+		week, err := plan.Week(rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(week)
+	}
+	b.ReportMetric(float64(n), "stops/week")
+}
+
+// BenchmarkMinimaxLP measures the unrestricted minimax LP and reports the
+// improvement it finds over the paper's optimum in the b-DET region.
+func BenchmarkMinimaxLP(b *testing.B) {
+	s := skirental.Stats{MuBMinus: 0.02 * 28, QBPlus: 0.3}
+	var lpCR, paperCR float64
+	for i := 0; i < b.N; i++ {
+		res, err := analysis.MinimaxLP(28, s, 96)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lpCR = res.CR
+		_, cost := skirental.ComputeVertexCosts(28, s).Select()
+		paperCR = cost / s.OfflineCost(28)
+	}
+	b.ReportMetric(lpCR, "lpOptCR")
+	b.ReportMetric(paperCR-lpCR, "improvementOverPaper")
+}
+
+// BenchmarkRobustSelector measures confidence-rectangle selection and
+// reports the bound premium it pays over the point-estimate selector on
+// a one-day sample.
+func BenchmarkRobustSelector(b *testing.B) {
+	rng := stats.NewRNG(7)
+	stopsSeq := make([]float64, 12)
+	for i := range stopsSeq {
+		if rng.Float64() < 0.9 {
+			stopsSeq[i] = 2 + rng.Float64()*10
+		} else {
+			stopsSeq[i] = 150 + rng.Float64()*300
+		}
+	}
+	var plainBound, robustBound float64
+	for i := 0; i < b.N; i++ {
+		p, err := skirental.NewConstrainedFromStops(28, stopsSeq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := skirental.NewRobustConstrainedFromStops(28, stopsSeq, 0.95)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plainBound, robustBound = p.WorstCaseCR(), r.WorstCaseCR()
+	}
+	b.ReportMetric(plainBound, "plainBound")
+	b.ReportMetric(robustBound, "robustBound")
+}
+
+// BenchmarkDriftDetection measures the CUSUM-resetting adaptive policy
+// across a regime change and reports how many post-change stops the
+// switch took.
+func BenchmarkDriftDetection(b *testing.B) {
+	rng := stats.NewRNG(8)
+	var stopsSeq []float64
+	for i := 0; i < 1500; i++ {
+		stopsSeq = append(stopsSeq, 2+rng.Float64()*8)
+	}
+	for i := 0; i < 1500; i++ {
+		stopsSeq = append(stopsSeq, 300+rng.Float64()*400)
+	}
+	var switchAfter float64
+	for i := 0; i < b.N; i++ {
+		dp, err := adaptive.NewWithDriftDetection(adaptive.Config{B: 28}, adaptive.DriftConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runRNG := stats.NewRNG(9)
+		switchAfter = float64(len(stopsSeq))
+		for j, y := range stopsSeq {
+			dp.Threshold(runRNG)
+			if err := dp.Observe(y); err != nil {
+				b.Fatal(err)
+			}
+			if j >= 1500 && dp.Choice() == skirental.ChoiceTOI {
+				switchAfter = float64(j - 1500)
+				break
+			}
+		}
+	}
+	b.ReportMetric(switchAfter, "stopsToSwitch")
+}
+
+// BenchmarkMultiStateSimulator measures the three-state trajectory runner.
+func BenchmarkMultiStateSimulator(b *testing.B) {
+	prob, err := multislope.AutomotiveThreeState(28)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := multislope.NewRandomized(prob)
+	rng := stats.NewRNG(10)
+	stopsSeq := make([]float64, 1000)
+	for i := range stopsSeq {
+		stopsSeq[i] = 1 + rng.Float64()*200
+	}
+	var cr float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := simulator.RunMultiState(simulator.MultiStateConfig{Policy: pol, CentsPerCostUnit: 1}, stopsSeq, stats.NewRNG(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cr = res.CR()
+	}
+	b.ReportMetric(cr, "msRandCR")
+}
+
+// BenchmarkFleetSavingsExperiment regenerates the savings study.
+func BenchmarkFleetSavingsExperiment(b *testing.B) {
+	f := benchFleet(b)
+	b.ResetTimer()
+	var perVehicleUSD float64
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.FleetSavings(benchOpts(), f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Policies {
+			if p.Policy == "Proposed" {
+				perVehicleUSD = p.PerVehicle.USD
+			}
+		}
+	}
+	b.ReportMetric(perVehicleUSD, "$perVehicleYr")
+}
+
+// BenchmarkMultislopeExperiment regenerates the fuel-cut extension study
+// and reports the cost reduction over the two-state setting.
+func BenchmarkMultislopeExperiment(b *testing.B) {
+	f := benchFleet(b)
+	b.ResetTimer()
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Multislope(benchOpts(), f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = 1 - res.MeanCostUnits["3-state Proposed"]/res.MeanCostUnits["2-state Proposed"]
+	}
+	b.ReportMetric(reduction*100, "%costReduction")
+}
+
+// BenchmarkImprovementMap measures the full-grid LP-OPT study and reports
+// the peak improvement over the paper's selector.
+func BenchmarkImprovementMap(b *testing.B) {
+	var maxGain float64
+	for i := 0; i < b.N; i++ {
+		cells, err := analysis.ImprovementMap(28, 8, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxGain = 0
+		for _, c := range cells {
+			if c.Gain > maxGain {
+				maxGain = c.Gain
+			}
+		}
+	}
+	b.ReportMetric(maxGain, "maxCRgain")
+}

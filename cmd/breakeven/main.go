@@ -1,0 +1,75 @@
+// Command breakeven computes the Appendix C break-even interval for a
+// custom vehicle.
+//
+// Usage:
+//
+//	breakeven [-displacement L] [-idle-rate CC_PER_SEC] [-fuel USD_PER_GAL]
+//	          [-sss] [-starter-usd N] [-starter-labor-usd N] [-starter-starts N]
+//	          [-battery-usd N] [-battery-years N] [-stops-per-day N]
+//	          [-nox-usd-kg N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"idlereduce/internal/costmodel"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "breakeven:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("breakeven", flag.ContinueOnError)
+	displacement := fs.Float64("displacement", 2.5, "engine displacement (L), used when -idle-rate is 0")
+	idleRate := fs.Float64("idle-rate", 0.279, "measured idling fuel rate (cc/s); 0 derives from displacement")
+	fuel := fs.Float64("fuel", 3.5, "fuel price (USD/gallon)")
+	sss := fs.Bool("sss", false, "vehicle has a stop-start system (strengthened starter)")
+	starterUSD := fs.Float64("starter-usd", 55, "starter replacement cost (USD)")
+	starterLabor := fs.Float64("starter-labor-usd", 115, "starter replacement labor (USD)")
+	starterStarts := fs.Float64("starter-starts", 34000, "starter lifetime (starts)")
+	batteryUSD := fs.Float64("battery-usd", 230, "battery replacement cost (USD)")
+	batteryYears := fs.Float64("battery-years", 4, "battery warranty (years)")
+	stopsPerDay := fs.Float64("stops-per-day", costmodel.DefaultStopsPerDay, "stops per day for battery amortization")
+	nox := fs.Float64("nox-usd-kg", 4.3, "NOx tax (USD/kg); 0 disables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	v := costmodel.Vehicle{
+		DisplacementL:         *displacement,
+		IdleRateCCPerSec:      *idleRate,
+		FuelPriceUSDPerGallon: *fuel,
+		HasSSS:                *sss,
+		StarterReplacementUSD: *starterUSD,
+		StarterLaborUSD:       *starterLabor,
+		StarterLifetimeStarts: *starterStarts,
+		BatteryCostUSD:        *batteryUSD,
+		BatteryWarrantyYears:  *batteryYears,
+		StopsPerDay:           *stopsPerDay,
+		NOxTaxUSDPerKg:        *nox,
+	}
+	bd, err := v.BreakEven()
+	if err != nil {
+		return err
+	}
+	costs, err := v.Costs()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "idling cost:   %.4f cents/s (%.3f cc/s at $%.2f/gal)\n",
+		v.IdlingCostCentsPerSec(), v.EffectiveIdleRateCCPerSec(), *fuel)
+	fmt.Fprintf(w, "restart cost:  %.4f cents\n", costs.RestartCents)
+	fmt.Fprintf(w, "breakdown:     %s\n", bd)
+	fmt.Fprintf(w, "\nRule of thumb: turn the engine off whenever the stop will exceed %.0f seconds.\n", bd.TotalSec())
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultsConventional(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"idling cost", "restart cost", "breakdown", "48 seconds"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunSSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-sss"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "starter 0.00s") {
+		t.Errorf("SSV should zero starter wear:\n%s", buf.String())
+	}
+}
+
+func TestRunDerivedIdleRate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-idle-rate", "0", "-displacement", "2.0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Eq. 45 for 2.0 L: 1.2476 L/h = 0.3466 cc/s.
+	if !strings.Contains(buf.String(), "0.347 cc/s") {
+		t.Errorf("derived rate missing:\n%s", buf.String())
+	}
+}
+
+func TestRunInvalidVehicle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fuel", "0"}, &buf); err == nil {
+		t.Error("want error for zero fuel price")
+	}
+}
+
+func TestRunExtraArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"positional"}, &buf); err == nil {
+		t.Error("want error for positional args")
+	}
+}

@@ -1,0 +1,92 @@
+// Command fleetgen generates the synthetic NREL-substitute fleet and
+// writes it to stdout or a file.
+//
+// Usage:
+//
+//	fleetgen [-seed N] [-vehicles N] [-format csv|json] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"idlereduce/internal/experiments"
+	"idlereduce/internal/fleet"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fleetgen", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 0, "generator seed (0 = default)")
+	vehicles := fs.Int("vehicles", 0, "vehicles per area (0 = paper counts 217/312/653)")
+	format := fs.String("format", "csv", "output format: csv or json")
+	outPath := fs.String("o", "", "output file (default stdout)")
+	configPath := fs.String("config", "", "JSON file of custom area configs (default: the three paper areas)")
+	template := fs.Bool("template", false, "print the default area configs as an editable JSON template and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	if *template {
+		return fleet.WriteAreaConfigs(stdout, fleet.DefaultAreas())
+	}
+
+	var f *fleet.Fleet
+	if *configPath != "" {
+		cf, err := os.Open(*configPath)
+		if err != nil {
+			return err
+		}
+		areas, err := fleet.ReadAreaConfigs(cf)
+		cf.Close()
+		if err != nil {
+			return err
+		}
+		if *vehicles > 0 {
+			for i := range areas {
+				areas[i].Vehicles = *vehicles
+			}
+		}
+		opts := experiments.Options{Seed: *seed}
+		f, err = fleet.GenerateFleet(opts.ResolvedSeed(), areas...)
+		if err != nil {
+			return err
+		}
+	} else {
+		opts := experiments.Options{Seed: *seed, FleetVehicles: *vehicles}
+		var err error
+		f, err = opts.BuildFleet()
+		if err != nil {
+			return err
+		}
+	}
+
+	w := stdout
+	if *outPath != "" {
+		file, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	switch *format {
+	case "csv":
+		return f.WriteCSV(w)
+	case "json":
+		return f.WriteJSON(w)
+	default:
+		return fmt.Errorf("unknown format %q (want csv or json)", *format)
+	}
+}

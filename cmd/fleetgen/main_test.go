@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"idlereduce/internal/fleet"
+)
+
+func TestRunCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-vehicles", "3", "-seed", "9"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fleet.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Vehicles) != 9 { // 3 per area x 3 areas
+		t.Errorf("vehicles %d", len(f.Vehicles))
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-vehicles", "2", "-format", "json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fleet.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Vehicles) != 6 {
+		t.Errorf("vehicles %d", len(f.Vehicles))
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-format", "xml"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestRunExtraArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"positional"}, &buf); err == nil {
+		t.Error("want error for positional args")
+	}
+}
+
+func TestRunOutputFile(t *testing.T) {
+	path := t.TempDir() + "/fleet.csv"
+	var buf bytes.Buffer
+	if err := run([]string{"-vehicles", "1", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("stdout written despite -o")
+	}
+}
+
+func TestRunTemplateAndConfig(t *testing.T) {
+	// Get the template, shrink it, and feed it back as a custom config.
+	var tmpl bytes.Buffer
+	if err := run([]string{"-template"}, &tmpl); err != nil {
+		t.Fatal(err)
+	}
+	areas, err := fleet.ReadAreaConfigs(&tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(areas) != 3 {
+		t.Fatalf("template areas %d", len(areas))
+	}
+	areas = areas[:1]
+	areas[0].Name = "Testville"
+	areas[0].Vehicles = 4
+	dir := t.TempDir()
+	cfgPath := dir + "/areas.json"
+	f, err := os.Create(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.WriteAreaConfigs(f, areas); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-config", cfgPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fleet.ReadCSV(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Vehicles) != 4 || got.Vehicles[0].Area != "Testville" {
+		t.Errorf("custom fleet wrong: %d vehicles, area %q", len(got.Vehicles), got.Vehicles[0].Area)
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-config", "/does/not/exist.json"}, &out); err == nil {
+		t.Error("want error for missing config")
+	}
+	dir := t.TempDir()
+	bad := dir + "/bad.json"
+	if err := os.WriteFile(bad, []byte(`[{"Name":"x"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", bad}, &out); err == nil {
+		t.Error("want validation error for bad config")
+	}
+}

@@ -1,0 +1,286 @@
+// Command idlectl is the deployment-facing controller tool: tune a policy
+// from an observed stop trace, persist it as JSON, inspect it, and replay
+// it over traces.
+//
+// Usage:
+//
+//	idlectl tune  -b 28 [-robust] [-conf 0.95] [-stops trace.txt] [-o policy.json]
+//	idlectl show  -policy policy.json
+//	idlectl replay -policy policy.json [-stops trace.txt] [-seed N]
+//	idlectl synth -plan urban|suburb|downtown [-days N] [-seed N]
+//
+// Stop traces are plain text: one stop length in seconds per line; blank
+// lines and lines starting with '#' are ignored. With no -stops the trace
+// is read from stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"idlereduce/internal/drivecycle"
+	"idlereduce/internal/skirental"
+	"idlereduce/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "idlectl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: idlectl <tune|show|replay> [flags]")
+	}
+	switch args[0] {
+	case "tune":
+		return tune(args[1:], stdin, stdout)
+	case "show":
+		return show(args[1:], stdout)
+	case "replay":
+		return replay(args[1:], stdin, stdout)
+	case "synth":
+		return synth(args[1:], stdout)
+	default:
+		return fmt.Errorf("unknown command %q (want tune, show, replay or synth)", args[0])
+	}
+}
+
+// readStops parses a stop trace: one float per line.
+func readStops(path string, stdin io.Reader) ([]float64, error) {
+	var r io.Reader = stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var stops []float64
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(txt, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %q is not a stop length", line, txt)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("line %d: negative stop length %v", line, v)
+		}
+		stops = append(stops, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(stops) == 0 {
+		return nil, fmt.Errorf("no stops in input")
+	}
+	return stops, nil
+}
+
+func loadPolicy(path string) (skirental.Policy, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-policy required")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return skirental.UnmarshalPolicy(data)
+}
+
+func tune(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tune", flag.ContinueOnError)
+	b := fs.Float64("b", 28, "break-even interval (s)")
+	robust := fs.Bool("robust", false, "guard a 95% confidence rectangle instead of the point estimate")
+	conf := fs.Float64("conf", 0.95, "confidence level for -robust")
+	stopsPath := fs.String("stops", "", "stop trace file (default stdin)")
+	outPath := fs.String("o", "", "write the policy spec here (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stops, err := readStops(*stopsPath, stdin)
+	if err != nil {
+		return err
+	}
+
+	var pol skirental.Policy
+	var note string
+	if *robust {
+		rp, err := skirental.NewRobustConstrainedFromStops(*b, stops, *conf)
+		if err != nil {
+			return err
+		}
+		iv := rp.Interval()
+		note = fmt.Sprintf("# robust selection %s over mu in [%.2f, %.2f], q in [%.3f, %.3f]; CR <= %.4f\n",
+			rp.Choice(), iv.MuLo, iv.MuHi, iv.QLo, iv.QHi, rp.WorstCaseCR())
+		// Persist the concrete selected vertex (the wrapper is stateful).
+		pol, err = vertexPolicy(*b, rp.Choice(), stops)
+		if err != nil {
+			return err
+		}
+	} else {
+		cp, err := skirental.NewConstrainedFromStops(*b, stops)
+		if err != nil {
+			return err
+		}
+		s := cp.Stats()
+		note = fmt.Sprintf("# proposed selection %s at mu_B- = %.2f, q_B+ = %.3f; worst-case CR <= %.4f\n",
+			cp.Choice(), s.MuBMinus, s.QBPlus, cp.WorstCaseCR())
+		pol = cp
+	}
+	data, err := skirental.MarshalPolicy(pol)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, note)
+	if *outPath == "" {
+		fmt.Fprintf(stdout, "%s\n", data)
+		return nil
+	}
+	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", *outPath)
+	return nil
+}
+
+// vertexPolicy materializes the robust wrapper's selected vertex as a
+// serializable policy.
+func vertexPolicy(b float64, c skirental.Choice, stops []float64) (skirental.Policy, error) {
+	switch c {
+	case skirental.ChoiceTOI:
+		return skirental.NewTOI(b), nil
+	case skirental.ChoiceDET:
+		return skirental.NewDET(b), nil
+	case skirental.ChoiceNRand:
+		return skirental.NewNRand(b), nil
+	case skirental.ChoiceBDet:
+		s, err := skirental.EstimateStats(stops, b)
+		if err != nil {
+			return nil, err
+		}
+		vc := skirental.ComputeVertexCosts(b, s)
+		return skirental.NewBDet(b, vc.BDetThreshold), nil
+	default:
+		return nil, fmt.Errorf("unknown choice %v", c)
+	}
+}
+
+func show(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("show", flag.ContinueOnError)
+	policyPath := fs.String("policy", "", "policy spec JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pol, err := loadPolicy(*policyPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "policy: %s (B = %.1f s)\n", pol.Name(), pol.B())
+	if c, ok := pol.(*skirental.Constrained); ok {
+		s := c.Stats()
+		fmt.Fprintf(stdout, "selected vertex: %s (mu_B- = %.2f, q_B+ = %.3f)\n", c.Choice(), s.MuBMinus, s.QBPlus)
+		fmt.Fprintf(stdout, "worst-case CR:   %.4f\n", c.WorstCaseCR())
+	}
+	fmt.Fprintf(stdout, "expected cost for sample stops:\n")
+	for _, y := range []float64{5, 15, 30, 60, 300} {
+		fmt.Fprintf(stdout, "  stop %5.0f s -> %7.2f idle-s equivalents\n", y, pol.MeanCostForStop(y))
+	}
+	return nil
+}
+
+func replay(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	policyPath := fs.String("policy", "", "policy spec JSON")
+	stopsPath := fs.String("stops", "", "stop trace file (default stdin)")
+	seed := fs.Uint64("seed", 1, "RNG seed for randomized policies")
+	verbose := fs.Bool("v", false, "print per-stop decisions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pol, err := loadPolicy(*policyPath)
+	if err != nil {
+		return err
+	}
+	stops, err := readStops(*stopsPath, stdin)
+	if err != nil {
+		return err
+	}
+	rng := stats.NewRNG(*seed)
+	var online, offline float64
+	restarts := 0
+	for i, y := range stops {
+		x := pol.Threshold(rng)
+		on := skirental.OnlineCost(x, y, pol.B())
+		off := skirental.OfflineCost(y, pol.B())
+		online += on
+		offline += off
+		shutoff := y >= x
+		if shutoff {
+			restarts++
+		}
+		if *verbose {
+			action := "drove off while idling"
+			if shutoff {
+				action = fmt.Sprintf("engine off at %.1f s", x)
+			}
+			fmt.Fprintf(stdout, "stop %3d: %7.1f s  %-24s cost %7.2f\n", i+1, y, action, on)
+		}
+	}
+	fmt.Fprintf(stdout, "stops %d, restarts %d\n", len(stops), restarts)
+	fmt.Fprintf(stdout, "online cost %.1f, offline %.1f, CR %.4f\n", online, offline, online/offline)
+	return nil
+}
+
+// synth generates a stop trace from a mechanistic drive-cycle preset,
+// one stop per line — handy for demos and for exercising tune/replay
+// without real data.
+func synth(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("synth", flag.ContinueOnError)
+	plan := fs.String("plan", "urban", "drive-cycle preset: urban, suburb or downtown")
+	days := fs.Int("days", 7, "number of days to generate")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var dp drivecycle.DayPlan
+	switch *plan {
+	case "urban":
+		dp = drivecycle.UrbanCommute()
+	case "suburb":
+		dp = drivecycle.SuburbanCommute()
+	case "downtown":
+		dp = drivecycle.DowntownGridlock()
+	default:
+		return fmt.Errorf("unknown plan %q (want urban, suburb or downtown)", *plan)
+	}
+	if *days < 1 {
+		return fmt.Errorf("days must be positive")
+	}
+	rng := stats.NewRNG(*seed)
+	fmt.Fprintf(stdout, "# %s plan, %d days, seed %d\n", *plan, *days, *seed)
+	for d := 0; d < *days; d++ {
+		stopsSeq, err := dp.Day(rng)
+		if err != nil {
+			return err
+		}
+		for _, y := range stopsSeq {
+			fmt.Fprintf(stdout, "%.2f\n", y)
+		}
+	}
+	return nil
+}

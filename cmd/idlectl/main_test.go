@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTrace(t *testing.T, lines string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sampleTrace = `# commute
+8
+12
+35
+6
+90
+15
+240
+11
+`
+
+func TestTuneShowReplayPipeline(t *testing.T) {
+	trace := writeTrace(t, sampleTrace)
+	policyPath := filepath.Join(t.TempDir(), "policy.json")
+
+	var out bytes.Buffer
+	if err := run([]string{"tune", "-b", "28", "-stops", trace, "-o", policyPath}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "proposed selection") {
+		t.Errorf("tune output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"show", "-policy", policyPath}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"policy: Proposed", "worst-case CR", "stop    30 s"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("show missing %q:\n%s", frag, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"replay", "-policy", policyPath, "-stops", trace, "-v"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"stops 8", "CR"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("replay missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestTuneRobust(t *testing.T) {
+	trace := writeTrace(t, sampleTrace)
+	var out bytes.Buffer
+	if err := run([]string{"tune", "-b", "28", "-robust", "-stops", trace}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "robust selection") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), `"kind"`) {
+		t.Errorf("spec JSON missing:\n%s", out.String())
+	}
+}
+
+func TestTuneFromStdin(t *testing.T) {
+	var out bytes.Buffer
+	stdin := strings.NewReader("5\n10\n200\n")
+	if err := run([]string{"tune", "-b", "28"}, stdin, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"kind"`) {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestReadStopsErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":  "abc\n",
+		"negative": "-5\n",
+		"empty":    "# only a comment\n",
+	}
+	for name, content := range cases {
+		trace := writeTrace(t, content)
+		var out bytes.Buffer
+		if err := run([]string{"tune", "-stops", trace}, nil, &out); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestRunCommandErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, nil, &out); err == nil {
+		t.Error("want usage error")
+	}
+	if err := run([]string{"bogus"}, nil, &out); err == nil {
+		t.Error("want unknown-command error")
+	}
+	if err := run([]string{"show"}, nil, &out); err == nil {
+		t.Error("show without -policy should fail")
+	}
+	if err := run([]string{"replay", "-policy", "/does/not/exist"}, nil, &out); err == nil {
+		t.Error("replay with missing policy should fail")
+	}
+}
+
+func TestShowRejectsBrokenPolicyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"show", "-policy", path}, nil, &out); err == nil {
+		t.Error("want decode error")
+	}
+}
+
+func TestReplayDeterministicPolicyExactCosts(t *testing.T) {
+	// A DET policy spec replayed over a known trace: verify the summary
+	// numbers exactly (online 10+56+5 = 71, offline 43).
+	policyPath := filepath.Join(t.TempDir(), "det.json")
+	if err := os.WriteFile(policyPath, []byte(`{"kind":"det","b":28}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace := writeTrace(t, "10\n30\n5\n")
+	var out bytes.Buffer
+	if err := run([]string{"replay", "-policy", policyPath, "-stops", trace}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "online cost 71.0, offline 43.0") {
+		t.Errorf("costs wrong:\n%s", out.String())
+	}
+}
+
+func TestSynthGeneratesParseableTrace(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"synth", "-plan", "suburb", "-days", "2", "-seed", "5"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	// The synthesized trace must feed straight back into tune.
+	var tuned bytes.Buffer
+	if err := run([]string{"tune", "-b", "28"}, strings.NewReader(out.String()), &tuned); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tuned.String(), `"kind"`) {
+		t.Errorf("tune on synth output failed:\n%s", tuned.String())
+	}
+}
+
+func TestSynthErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"synth", "-plan", "moon"}, nil, &out); err == nil {
+		t.Error("want unknown-plan error")
+	}
+	if err := run([]string{"synth", "-days", "0"}, nil, &out); err == nil {
+		t.Error("want days error")
+	}
+}

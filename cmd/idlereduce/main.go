@@ -1,0 +1,195 @@
+// Command idlereduce regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	idlereduce [flags] <experiment>
+//
+// Experiments: fig1, fig2, fig3, fig4, fig5, fig6, table1, breakeven,
+// ablations, drivecycle, bsweep, savings, multislope, verify, all.
+//
+// Flags:
+//
+//	-seed N       generator seed (default 20140601)
+//	-vehicles N   vehicles per area (0 = the paper's 217/312/653)
+//	-grid N       Figure 1 grid resolution (default 60)
+//	-points N     Figures 5-6 sweep points (default 30)
+//	-b SECONDS    break-even interval for fig1/fig2/drivecycle/verify (default 28)
+//	-outdir DIR   write each report to DIR/<experiment>.txt instead of stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"idlereduce/internal/experiments"
+	"idlereduce/internal/fleet"
+)
+
+// experimentNames lists the experiments `all` runs, in order.
+var experimentNames = []string{
+	"breakeven", "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+	"ablations", "drivecycle", "bsweep", "savings", "multislope", "verify",
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "idlereduce:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("idlereduce", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 0, "generator seed (0 = default)")
+	vehicles := fs.Int("vehicles", 0, "vehicles per area (0 = paper counts)")
+	grid := fs.Int("grid", 0, "figure 1 grid resolution")
+	points := fs.Int("points", 0, "figures 5-6 sweep points")
+	b := fs.Float64("b", 28, "break-even interval (s) for fig1/fig2/drivecycle/verify")
+	outdir := fs.String("outdir", "", "write reports to this directory instead of stdout")
+	trace := fs.String("trace", "", "run fleet experiments on this CSV trace (fleetgen format) instead of synthetic data")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: idlereduce [flags] <fig1|fig2|fig3|fig4|fig5|fig6|table1|breakeven|ablations|drivecycle|bsweep|savings|multislope|verify|all>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("exactly one experiment required")
+	}
+	opts := experiments.Options{
+		Seed:          *seed,
+		FleetVehicles: *vehicles,
+		GridN:         *grid,
+		SweepPoints:   *points,
+	}
+	name := strings.ToLower(fs.Arg(0))
+	return dispatch(name, opts, *b, *outdir, *trace)
+}
+
+// dispatch runs one experiment (or all) and emits its report to stdout or
+// outdir.
+func dispatch(name string, opts experiments.Options, b float64, outdir, trace string) error {
+	var fl *fleet.Fleet
+	ensureFleet := func() error {
+		if fl != nil {
+			return nil
+		}
+		if trace != "" {
+			// External data: every fleet experiment runs on the user's
+			// own traces.
+			file, err := os.Open(trace)
+			if err != nil {
+				return err
+			}
+			defer file.Close()
+			f, err := fleet.ReadCSV(file)
+			if err != nil {
+				return err
+			}
+			fl = f
+			return nil
+		}
+		f, err := opts.BuildFleet()
+		if err != nil {
+			return err
+		}
+		fl = f
+		return nil
+	}
+
+	names := []string{name}
+	if name == "all" {
+		names = experimentNames
+	}
+	for _, n := range names {
+		out, err := report(n, opts, b, ensureFleet, &fl)
+		if err != nil {
+			return fmt.Errorf("%s: %w", n, err)
+		}
+		if err := emit(n, out, outdir); err != nil {
+			return err
+		}
+		if name == "all" && outdir == "" {
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+// report produces one experiment's text.
+func report(name string, opts experiments.Options, b float64, ensureFleet func() error, fl **fleet.Fleet) (string, error) {
+	needFleet := map[string]bool{"fig3": true, "fig4": true, "table1": true, "ablations": true, "savings": true, "multislope": true}
+	if needFleet[name] {
+		if err := ensureFleet(); err != nil {
+			return "", err
+		}
+	}
+	switch name {
+	case "fig1":
+		_, out := experiments.Fig1(opts, b)
+		return out, nil
+	case "fig2":
+		_, out := experiments.Fig2(opts, b)
+		return out, nil
+	case "fig3":
+		_, out, err := experiments.Fig3(opts, *fl)
+		return out, err
+	case "fig4":
+		_, out, err := experiments.Fig4(opts, *fl)
+		return out, err
+	case "fig5":
+		_, out, err := experiments.Fig5(opts)
+		return out, err
+	case "fig6":
+		_, out, err := experiments.Fig6(opts)
+		return out, err
+	case "table1":
+		_, out, err := experiments.Table1(opts, *fl)
+		return out, err
+	case "bsweep":
+		_, out, err := experiments.BSweep(opts)
+		return out, err
+	case "drivecycle":
+		_, out, err := experiments.DriveCycle(opts, b)
+		return out, err
+	case "verify":
+		_, out, err := experiments.Verify(opts, b)
+		return out, err
+	case "ablations":
+		_, out, err := experiments.Ablations(opts, *fl)
+		return out, err
+	case "multislope":
+		_, out, err := experiments.Multislope(opts, *fl)
+		return out, err
+	case "savings":
+		_, out, err := experiments.FleetSavings(opts, *fl)
+		return out, err
+	case "breakeven":
+		_, out, err := experiments.AppendixC(opts)
+		return out, err
+	default:
+		return "", fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+// emit prints the report or writes it under outdir.
+func emit(name, out, outdir string) error {
+	if outdir == "" {
+		fmt.Print(out)
+		return nil
+	}
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(outdir, name+".txt")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresExperiment(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("want error without an experiment")
+	}
+	if err := run([]string{"fig1", "fig2"}); err == nil {
+		t.Error("want error with two experiments")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := run([]string{"fig99"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus", "fig1"}); err == nil {
+		t.Error("want flag parse error")
+	}
+}
+
+func TestDispatchFastExperiments(t *testing.T) {
+	// Run the cheap experiments end to end (stdout goes to the test log).
+	opts := smallCLI()
+	for _, name := range []string{"fig1", "fig2", "breakeven"} {
+		if err := dispatch(name, opts, 28, "", ""); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDispatchFleetExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet experiments in -short mode")
+	}
+	opts := smallCLI()
+	for _, name := range []string{"fig3", "fig4", "table1", "fig5", "fig6", "bsweep", "drivecycle", "verify", "savings", "multislope"} {
+		if err := dispatch(name, opts, 28, "", ""); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDispatchOutdir(t *testing.T) {
+	dir := t.TempDir()
+	if err := dispatch("breakeven", smallCLI(), 28, dir, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/breakeven.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Appendix C") {
+		t.Errorf("report content wrong:\n%s", data)
+	}
+}
+
+func TestDispatchExternalTrace(t *testing.T) {
+	// Generate a tiny fleet, save as CSV, and run fig4 on the file.
+	f, err := smallCLI().BuildFleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/trace.csv"
+	out, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteCSV(out); err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+	if err := dispatch("fig4", smallCLI(), 28, "", path); err != nil {
+		t.Fatalf("fig4 on external trace: %v", err)
+	}
+	if err := dispatch("fig4", smallCLI(), 28, "", "/missing.csv"); err == nil {
+		t.Error("want error for missing trace")
+	}
+}
+
+func TestExperimentNameCaseInsensitive(t *testing.T) {
+	if err := run([]string{"-grid", "8", "FIG1"}); err != nil {
+		t.Errorf("uppercase name rejected: %v", err)
+	}
+}

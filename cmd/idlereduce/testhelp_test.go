@@ -1,0 +1,8 @@
+package main
+
+import "idlereduce/internal/experiments"
+
+// smallCLI returns options sized for unit tests.
+func smallCLI() experiments.Options {
+	return experiments.Options{Seed: 5, FleetVehicles: 10, GridN: 10, SweepPoints: 6}
+}

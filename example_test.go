@@ -1,0 +1,64 @@
+package idlereduce_test
+
+import (
+	"fmt"
+
+	"idlereduce"
+)
+
+// ExamplePolicyFromStops shows the end-to-end flow: derive the break-even
+// interval from the vehicle cost model, estimate traffic statistics from
+// observed stops, and obtain the optimal online strategy.
+func ExamplePolicyFromStops() {
+	// A week of observed stop lengths (seconds): mostly short queue
+	// stops with a few long waits.
+	stops := []float64{8, 12, 5, 35, 9, 6, 240, 11, 7, 90, 10, 4, 600, 13, 9}
+
+	costs, _ := idlereduce.FordFusion2011(3.50, true).Costs()
+	policy, err := idlereduce.PolicyFromStops(costs.B(), stops)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("B = %.1f s\n", costs.B())
+	fmt.Printf("CR on the observed week: %.3f\n", idlereduce.EvaluateCR(policy, stops))
+	// Output:
+	// B = 28.9 s
+	// CR on the observed week: 1.552
+}
+
+// ExamplePolicyFromStats builds the policy from known statistics instead
+// of raw data.
+func ExamplePolicyFromStats() {
+	s := idlereduce.Stats{MuBMinus: 5, QBPlus: 0.1}
+	policy, err := idlereduce.PolicyFromStats(idlereduce.BreakEvenSSV, s)
+	if err != nil {
+		panic(err)
+	}
+	// Against adversarial traffic with these statistics, no online
+	// strategy can guarantee a better expected competitive ratio.
+	fmt.Printf("policy: %s\n", policy.Name())
+	// Output:
+	// policy: Proposed
+}
+
+// ExampleEvaluateCR compares two baselines on the same commute.
+func ExampleEvaluateCR() {
+	stops := []float64{10, 20, 300, 15, 8}
+	b := idlereduce.BreakEvenSSV
+	fmt.Printf("TOI: %.3f\n", idlereduce.EvaluateCR(idlereduce.TOI(b), stops))
+	fmt.Printf("DET: %.3f\n", idlereduce.EvaluateCR(idlereduce.DET(b), stops))
+	// Output:
+	// TOI: 1.728
+	// DET: 1.346
+}
+
+// ExampleOptimalPolicyLP contrasts the paper's selector with the
+// numerically optimal policy in the region where they differ.
+func ExampleOptimalPolicyLP() {
+	s := idlereduce.Stats{MuBMinus: 0.02 * 28, QBPlus: 0.3}
+	paper, _ := idlereduce.PolicyFromStats(28, s)
+	lpopt, _ := idlereduce.OptimalPolicyLP(28, s, 64)
+	fmt.Printf("paper plays %s; LP-OPT is a %s\n", paper.Name(), lpopt.Name())
+	// Output:
+	// paper plays Proposed; LP-OPT is a LP-OPT
+}

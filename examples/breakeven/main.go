@@ -1,0 +1,58 @@
+// Breakeven: walk through the Appendix C cost model for two vehicle
+// configurations and show how the break-even interval changes the optimal
+// online strategy for the same traffic.
+//
+// Run with: go run ./examples/breakeven
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idlereduce/internal/costmodel"
+	"idlereduce/internal/skirental"
+)
+
+func main() {
+	// The same commute for both vehicles.
+	stops := []float64{10, 25, 40, 8, 120, 15, 30, 55, 6, 300, 18, 35}
+
+	for _, cfg := range []struct {
+		label string
+		sss   bool
+	}{
+		{"stop-start vehicle (SSV)", true},
+		{"conventional vehicle", false},
+	} {
+		v := costmodel.NewFordFusion2011(3.50, cfg.sss)
+		bd, err := v.BreakEven()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", cfg.label)
+		fmt.Printf("  %s\n", bd)
+
+		b := bd.TotalSec()
+		policy, err := skirental.NewConstrainedFromStops(b, stops)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := policy.Stats()
+		fmt.Printf("  traffic statistics at this B: mu_B- = %.1f s, q_B+ = %.2f\n", s.MuBMinus, s.QBPlus)
+		fmt.Printf("  optimal strategy: %s, guaranteed CR <= %.3f\n", policy.Choice(), policy.WorstCaseCR())
+		fmt.Printf("  realized CR on the commute: %.3f\n\n", skirental.TraceCR(policy, stops))
+	}
+
+	// Sensitivity: how the conventional vehicle's B moves with fuel price.
+	fmt.Println("fuel price sensitivity (conventional vehicle):")
+	for _, price := range []float64{2.5, 3.5, 4.5, 5.5} {
+		v := costmodel.NewFordFusion2011(price, false)
+		bd, err := v.BreakEven()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  $%.2f/gal -> B = %.1f s\n", price, bd.TotalSec())
+	}
+	fmt.Println("\nHigher fuel prices shrink B: wear costs amortize against costlier idling,")
+	fmt.Println("so shutting off pays for itself sooner.")
+}

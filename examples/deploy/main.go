@@ -1,0 +1,97 @@
+// Deploy: the full controller lifecycle. Tune a policy on observed
+// traffic, persist it as JSON (what a stop-start ECU would flash), reload
+// it at the next ignition, and keep a CUSUM drift detector running so a
+// regime change re-triggers tuning.
+//
+// Run with: go run ./examples/deploy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"idlereduce/internal/adaptive"
+	"idlereduce/internal/drivecycle"
+	"idlereduce/internal/skirental"
+)
+
+func main() {
+	const b = 28.0
+	rng := rand.New(rand.NewPCG(31, 7))
+
+	// Week 1: observe suburban traffic and tune.
+	suburb := drivecycle.SuburbanCommute()
+	week1, err := suburb.Week(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuned, err := skirental.NewConstrainedFromStops(b, week1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := skirental.MarshalPolicy(tuned)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuned on %d stops -> %s\n", len(week1), blob)
+
+	// Ignition: reload the policy from its serialized form.
+	reloaded, err := skirental.UnmarshalPolicy(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reloaded policy %s (B = %.0f s), CR on week 1: %.3f\n\n",
+		reloaded.Name(), reloaded.B(), skirental.TraceCR(reloaded, week1))
+
+	// Weeks 2-3: the driver changes jobs — downtown gridlock. The drift
+	// detector notices and the controller re-tunes.
+	monitor, err := adaptive.NewWithDriftDetection(
+		adaptive.Config{B: b}, adaptive.DriftConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, y := range week1 {
+		if err := monitor.Observe(y); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	downtown := drivecycle.DowntownGridlock()
+	var newRegime []float64
+	drifted := false
+	for day := 1; day <= 14 && !drifted; day++ {
+		stops, err := downtown.Day(rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, y := range stops {
+			before := monitor.Drifts
+			if err := monitor.Observe(y); err != nil {
+				log.Fatal(err)
+			}
+			newRegime = append(newRegime, y)
+			if monitor.Drifts > before {
+				fmt.Printf("drift detected on downtown day %d, stop %d — re-tuning\n", day, i+1)
+				drifted = true
+				break
+			}
+		}
+	}
+	if !drifted {
+		log.Fatal("drift never detected")
+	}
+
+	// Re-tune on post-drift data only and persist the replacement.
+	retuned, err := skirental.NewConstrainedFromStops(b, newRegime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob2, err := skirental.MarshalPolicy(retuned)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-tuned on %d downtown stops -> %s\n", len(newRegime), blob2)
+	fmt.Printf("old policy played %s; new policy plays %s\n",
+		tuned.Choice(), retuned.Choice())
+}

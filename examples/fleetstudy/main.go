@@ -1,0 +1,68 @@
+// Fleetstudy: a Figure 4-style evaluation on a synthetic fleet. For each
+// vehicle the six strategies are scored by expected competitive ratio
+// over the vehicle's week of stops, then aggregated per area.
+//
+// Run with: go run ./examples/fleetstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idlereduce/internal/analysis"
+	"idlereduce/internal/fleet"
+)
+
+func main() {
+	// A scaled-down fleet (40 vehicles per area instead of the paper's
+	// 217/312/653) keeps this example fast; bump Vehicles for the full
+	// experiment.
+	areas := fleet.DefaultAreas()
+	for i := range areas {
+		areas[i].Vehicles = 40
+	}
+	f, err := fleet.GenerateFleet(42, areas...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Generated %d vehicles, %d stops total\n\n", len(f.Vehicles), len(f.AllStops("")))
+
+	for _, b := range []float64{28, 47} {
+		ev, err := analysis.EvaluateFleet(b, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- B = %.0f s ---\n", b)
+		fmt.Printf("%-12s", "mean CR:")
+		for _, p := range analysis.PolicyNames {
+			fmt.Printf(" %s", p)
+		}
+		fmt.Println()
+		for _, a := range ev.Areas {
+			fmt.Printf("%-12s", a.Area)
+			for _, p := range analysis.PolicyNames {
+				fmt.Printf(" %*.3f", len(p), a.MeanCR[p])
+			}
+			fmt.Println()
+		}
+		fmt.Printf("Proposed policy best in %d/%d vehicles (%.1f%%)\n\n",
+			ev.ProposedBestTotal, len(ev.Vehicles),
+			100*float64(ev.ProposedBestTotal)/float64(len(ev.Vehicles)))
+	}
+
+	// Drill into one vehicle: which strategy the proposed policy picked
+	// and how everyone scored.
+	v := f.Vehicles[0]
+	vcr, err := analysis.EvaluateVehicle(28, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Vehicle %s (%d stops): proposed plays %s\n", v.ID, len(v.Stops), vcr.Choice)
+	for _, p := range analysis.PolicyNames {
+		marker := " "
+		if p == vcr.Best {
+			marker = "*"
+		}
+		fmt.Printf("  %s %-9s CR %.3f\n", marker, p, vcr.CR[p])
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: build the proposed idling policy from observed stops and
+// compare it with the classic strategies on a simulated drive cycle.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"idlereduce/internal/costmodel"
+	"idlereduce/internal/simulator"
+	"idlereduce/internal/skirental"
+)
+
+func main() {
+	// 1. Derive the break-even interval B for a stop-start vehicle from
+	//    the Appendix C cost model: fuel, battery wear, emissions.
+	vehicle := costmodel.NewFordFusion2011(3.50, true /* has stop-start system */)
+	costs, err := vehicle.Costs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := costs.B()
+	fmt.Printf("Break-even interval B = %.1f s (idling %.4f cents/s, restart %.3f cents)\n\n",
+		b, costs.IdlingCentsPerSec, costs.RestartCents)
+
+	// 2. A commute's stop lengths in seconds: queues, signals, one long
+	//    pickup wait.
+	stops := []float64{8, 12, 35, 6, 90, 15, 4, 22, 180, 9, 45, 7, 11, 600, 13}
+
+	// 3. Build the proposed policy: it estimates (mu_B-, q_B+) from the
+	//    stops and plays the optimal vertex strategy.
+	proposed, err := skirental.NewConstrainedFromStops(b, stops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := proposed.Stats()
+	fmt.Printf("Estimated statistics: mu_B- = %.1f s, q_B+ = %.2f\n", s.MuBMinus, s.QBPlus)
+	fmt.Printf("Selected strategy: %s (worst-case CR %.3f)\n\n", proposed.Choice(), proposed.WorstCaseCR())
+
+	// 4. Simulate every policy on the same drive cycle and compare.
+	policies := []skirental.Policy{
+		proposed,
+		skirental.NewTOI(b),
+		skirental.NewNEV(b),
+		skirental.NewDET(b),
+		skirental.NewNRand(b),
+	}
+	fmt.Printf("%-10s %12s %12s %8s %9s\n", "policy", "cost (cents)", "idle (s)", "restarts", "CR")
+	for _, p := range policies {
+		rng := rand.New(rand.NewPCG(1, 2))
+		res, err := simulator.Run(simulator.Config{Costs: costs, Policy: p}, stops, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.3f %12.0f %8d %9.3f\n",
+			p.Name(), res.OnlineCents, res.IdleSec, res.Restarts, res.CR())
+	}
+	fmt.Println("\nCR = policy cost / clairvoyant cost; lower is better, 1.0 is optimal.")
+}

@@ -1,0 +1,3 @@
+module idlereduce
+
+go 1.22

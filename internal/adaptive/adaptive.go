@@ -1,0 +1,190 @@
+// Package adaptive provides an online-learning wrapper around the
+// paper's constrained policy: instead of assuming (mu_B-, q_B+) are
+// known a priori, the policy estimates them from the stops it has seen
+// and re-runs the vertex selection after every observation.
+//
+// This operationalizes how a production stop-start controller would
+// deploy the paper's algorithm — the statistics are a per-vehicle,
+// per-route property that drifts with traffic. An exponential
+// forgetting factor trades steady-state accuracy against adaptation
+// speed under regime changes (commute vs. weekend, summer vs. winter).
+// During a cold-start warmup the policy plays N-Rand, whose e/(e-1)
+// guarantee needs no statistics at all.
+package adaptive
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"idlereduce/internal/skirental"
+)
+
+// Config parameterizes the adaptive policy.
+type Config struct {
+	// B is the break-even interval in seconds.
+	B float64
+	// Warmup is the number of observed stops before the estimates are
+	// trusted; N-Rand is played until then. Default 10.
+	Warmup int
+	// Forgetting is the exponential decay applied to past observations
+	// per new stop, in (0, 1]; 1 (default) keeps the plain running
+	// average, smaller values adapt faster to drift.
+	Forgetting float64
+}
+
+// ErrConfig reports an invalid configuration.
+var ErrConfig = errors.New("adaptive: invalid config")
+
+func (c *Config) fill() error {
+	if c.B <= 0 || math.IsNaN(c.B) {
+		return fmt.Errorf("%w: B = %v", ErrConfig, c.B)
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 10
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("%w: warmup %d", ErrConfig, c.Warmup)
+	}
+	if c.Forgetting == 0 {
+		c.Forgetting = 1
+	}
+	if c.Forgetting <= 0 || c.Forgetting > 1 {
+		return fmt.Errorf("%w: forgetting %v", ErrConfig, c.Forgetting)
+	}
+	return nil
+}
+
+// Policy is the adaptive constrained policy. It satisfies
+// skirental.Policy; call Observe with each completed stop's length to
+// update the estimates.
+type Policy struct {
+	cfg Config
+
+	// Exponentially-weighted sufficient statistics.
+	wSum  float64 // total weight
+	muSum float64 // weighted sum of y·1{y <= B}
+	qSum  float64 // weighted count of 1{y > B}
+	seen  int
+
+	warm    *skirental.NRand
+	current skirental.Policy // nil until warm
+}
+
+// New builds an adaptive policy.
+func New(cfg Config) (*Policy, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Policy{cfg: cfg, warm: skirental.NewNRand(cfg.B)}, nil
+}
+
+// Name implements skirental.Policy.
+func (p *Policy) Name() string { return "Adaptive" }
+
+// B implements skirental.Policy.
+func (p *Policy) B() float64 { return p.cfg.B }
+
+// Seen returns the number of observed stops.
+func (p *Policy) Seen() int { return p.seen }
+
+// Warm reports whether the warmup phase is over.
+func (p *Policy) Warm() bool { return p.seen >= p.cfg.Warmup }
+
+// Stats returns the current estimates (zero before any observation).
+func (p *Policy) Stats() skirental.Stats {
+	if p.wSum == 0 {
+		return skirental.Stats{}
+	}
+	return skirental.Stats{
+		MuBMinus: p.muSum / p.wSum,
+		QBPlus:   p.qSum / p.wSum,
+	}
+}
+
+// Choice returns the currently selected vertex; N-Rand during warmup.
+func (p *Policy) Choice() skirental.Choice {
+	if c, ok := p.current.(*skirental.Constrained); ok {
+		return c.Choice()
+	}
+	return skirental.ChoiceNRand
+}
+
+// active returns the policy to play for the next stop.
+func (p *Policy) active() skirental.Policy {
+	if p.Warm() && p.current != nil {
+		return p.current
+	}
+	return p.warm
+}
+
+// Threshold implements skirental.Policy.
+func (p *Policy) Threshold(rng *rand.Rand) float64 {
+	return p.active().Threshold(rng)
+}
+
+// MeanCostForStop implements skirental.Policy (expectation under the
+// currently active strategy).
+func (p *Policy) MeanCostForStop(y float64) float64 {
+	return p.active().MeanCostForStop(y)
+}
+
+// Observe records a completed stop of length y and re-selects the vertex.
+// Invalid lengths are rejected.
+func (p *Policy) Observe(y float64) error {
+	if y < 0 || math.IsNaN(y) || math.IsInf(y, 0) {
+		return fmt.Errorf("%w: stop length %v", ErrConfig, y)
+	}
+	lam := p.cfg.Forgetting
+	p.wSum = lam*p.wSum + 1
+	p.muSum *= lam
+	p.qSum *= lam
+	if y > p.cfg.B {
+		p.qSum++
+	} else {
+		p.muSum += y
+	}
+	p.seen++
+	if !p.Warm() {
+		return nil
+	}
+	s := p.Stats()
+	cons, err := skirental.NewConstrained(p.cfg.B, s)
+	if err != nil {
+		// Estimates are always feasible by construction; an error here
+		// is a bug worth surfacing.
+		return fmt.Errorf("adaptive: reselect: %w", err)
+	}
+	p.current = cons
+	return nil
+}
+
+// Run plays the adaptive policy over a stop sequence, observing each
+// stop after paying for it (the decision for stop i uses only stops
+// < i). It returns the accumulated online and offline costs in
+// break-even-normalized units.
+func (p *Policy) Run(stops []float64, rng *rand.Rand) (online, offline float64, err error) {
+	for _, y := range stops {
+		x := p.Threshold(rng)
+		online += skirental.OnlineCost(x, y, p.cfg.B)
+		offline += skirental.OfflineCost(y, p.cfg.B)
+		if err := p.Observe(y); err != nil {
+			return online, offline, err
+		}
+	}
+	return online, offline, nil
+}
+
+// RunMean is Run with analytic per-stop expectations instead of sampled
+// thresholds (no Monte Carlo noise); useful for evaluation.
+func (p *Policy) RunMean(stops []float64) (online, offline float64, err error) {
+	for _, y := range stops {
+		online += p.MeanCostForStop(y)
+		offline += skirental.OfflineCost(y, p.cfg.B)
+		if err := p.Observe(y); err != nil {
+			return online, offline, err
+		}
+	}
+	return online, offline, nil
+}

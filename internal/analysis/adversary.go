@@ -1,0 +1,118 @@
+// Package analysis computes the paper's analytical artifacts: worst-case
+// competitive ratios over the constrained distribution family Q
+// (adversarial search that validates the closed forms), the strategy
+// regions and CR surface of Figure 1, the projection curves of Figure 2,
+// the traffic sweeps of Figures 5-6, and the per-vehicle fleet evaluation
+// of Figure 4.
+package analysis
+
+import (
+	"math"
+
+	"idlereduce/internal/dist"
+	"idlereduce/internal/skirental"
+)
+
+// AdversaryResult is the outcome of a worst-case search.
+type AdversaryResult struct {
+	// CR is the largest expected competitive ratio found.
+	CR float64
+	// Distribution is the maximizing stop-length distribution (nil when
+	// the CR is unbounded).
+	Distribution *dist.Mixture
+}
+
+// WorstCaseSearch maximizes J(P, q)/E[offline] over the family
+// Q(mu_B-, q_B+) for a concrete policy.
+//
+// Because J is linear in q and Q is defined by two linear constraints, an
+// extreme-point maximizer needs at most two support points in (0, B] plus
+// one above B. The search enumerates two-point short-stop configurations
+// {a, c} on a grid (the weights are then determined by the constraints)
+// and places the long mass where the policy's tail cost is worst. An
+// unbounded tail (NEV) yields CR = +Inf.
+//
+// gridN controls the short-stop grid resolution (default 256).
+func WorstCaseSearch(p skirental.Policy, s skirental.Stats, gridN int) AdversaryResult {
+	b := p.B()
+	if err := s.Validate(b); err != nil {
+		return AdversaryResult{CR: math.NaN()}
+	}
+	if gridN < 2 {
+		gridN = 256
+	}
+	mu, q := s.MuBMinus, s.QBPlus
+	off := s.OfflineCost(b)
+	if off == 0 {
+		return AdversaryResult{CR: 1}
+	}
+
+	// Tail cost: policies with threshold support in [0, B] have constant
+	// cost above B; NEV-like policies grow without bound.
+	longAt := 2 * b
+	longCost := p.MeanCostForStop(longAt)
+	if far := p.MeanCostForStop(1000 * b); far > longCost*(1+1e-9)+1e-9 {
+		if q > 0 {
+			return AdversaryResult{CR: math.Inf(1)}
+		}
+		// No long mass: the tail never materializes.
+	}
+
+	shortMass := 1 - q
+	best := math.Inf(-1)
+	var bestA, bestC, bestW float64
+
+	consider := func(a, c, w float64) {
+		v := w*p.MeanCostForStop(a) + (shortMass-w)*p.MeanCostForStop(c) + q*longCost
+		if v > best {
+			best, bestA, bestC, bestW = v, a, c, w
+		}
+	}
+
+	// Short support is treated as [0, B): an atom exactly at B is a
+	// measure-zero boundary case where the >=-restart convention of
+	// eq. 3 disagrees with the closed forms derived for continuous
+	// distributions (a DET stop of exactly B would pay 2B while still
+	// counting as "short"). The supremum over Q is approached from below.
+	cMax := b * (1 - 1e-9)
+	if shortMass <= 1e-15 {
+		// All mass is long.
+		best = q * longCost
+		bestA, bestC, bestW = 0, 0, 0
+	} else {
+		target := math.Min(mu/shortMass, cMax) // required mean of the short part
+		// Single-point configuration (a == c == target).
+		consider(target, target, shortMass)
+		// Two-point configurations a < target < c.
+		for i := 0; i <= gridN; i++ {
+			a := float64(i) / float64(gridN) * target
+			for j := 0; j <= gridN; j++ {
+				c := target + float64(j)/float64(gridN)*(cMax-target)
+				if c <= a {
+					continue
+				}
+				w := shortMass * (c - target) / (c - a)
+				if w < -1e-12 || w > shortMass+1e-12 {
+					continue
+				}
+				consider(a, c, math.Max(0, math.Min(w, shortMass)))
+			}
+		}
+	}
+
+	comps := make([]dist.Component, 0, 3)
+	if bestW > 1e-15 {
+		comps = append(comps, dist.Component{W: bestW, D: dist.PointMass{At: bestA}})
+	}
+	if rem := shortMass - bestW; rem > 1e-15 {
+		comps = append(comps, dist.Component{W: rem, D: dist.PointMass{At: bestC}})
+	}
+	if q > 1e-15 {
+		comps = append(comps, dist.Component{W: q, D: dist.PointMass{At: longAt}})
+	}
+	var adv *dist.Mixture
+	if len(comps) > 0 {
+		adv = dist.NewMixture(comps...)
+	}
+	return AdversaryResult{CR: best / off, Distribution: adv}
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"idlereduce/internal/skirental"
+)
+
+const testB = 28.0
+
+func TestWorstCaseSearchMatchesClosedForms(t *testing.T) {
+	// The adversarial search must reproduce the closed-form worst-case
+	// CRs of the vertex strategies (the cross-check of Section 4).
+	statsList := []skirental.Stats{
+		{MuBMinus: 2, QBPlus: 0.1},
+		{MuBMinus: 5, QBPlus: 0.3},
+		{MuBMinus: 0.5, QBPlus: 0.7},
+		{MuBMinus: 14, QBPlus: 0.2},
+	}
+	for _, s := range statsList {
+		for _, tc := range []struct {
+			p    skirental.Policy
+			name string
+		}{
+			{skirental.NewTOI(testB), "TOI"},
+			{skirental.NewDET(testB), "DET"},
+			{skirental.NewNRand(testB), "N-Rand"},
+		} {
+			want := skirental.BaselineWorstCaseCR(tc.name, testB, s)
+			got := WorstCaseSearch(tc.p, s, 200)
+			if math.Abs(got.CR-want) > 0.01*want {
+				t.Errorf("%s at %+v: search %v closed form %v", tc.name, s, got.CR, want)
+			}
+		}
+	}
+}
+
+func TestWorstCaseSearchBDet(t *testing.T) {
+	// For b-DET with the optimal threshold the search must recover
+	// (sqrt(mu)+sqrt(qB))²/(mu+qB).
+	s := skirental.Stats{MuBMinus: 0.05 * testB, QBPlus: 0.3}
+	vc := skirental.ComputeVertexCosts(testB, s)
+	p := skirental.NewBDet(testB, vc.BDetThreshold)
+	got := WorstCaseSearch(p, s, 400)
+	want := vc.BDet / s.OfflineCost(testB)
+	if math.Abs(got.CR-want) > 0.01*want {
+		t.Errorf("search %v closed form %v", got.CR, want)
+	}
+	if got.Distribution == nil {
+		t.Fatal("no adversary returned")
+	}
+	// The adversary must respect the statistics it was built for.
+	as := skirental.StatsOf(got.Distribution, testB)
+	if math.Abs(as.MuBMinus-s.MuBMinus) > 0.02*testB || math.Abs(as.QBPlus-s.QBPlus) > 1e-9 {
+		t.Errorf("adversary stats %+v, want %+v", as, s)
+	}
+}
+
+func TestWorstCaseSearchNEVUnbounded(t *testing.T) {
+	s := skirental.Stats{MuBMinus: 5, QBPlus: 0.2}
+	got := WorstCaseSearch(skirental.NewNEV(testB), s, 64)
+	if !math.IsInf(got.CR, 1) {
+		t.Errorf("NEV should be unbounded, got %v", got.CR)
+	}
+	// Without long stops NEV is offline-optimal.
+	s0 := skirental.Stats{MuBMinus: 5, QBPlus: 0}
+	got0 := WorstCaseSearch(skirental.NewNEV(testB), s0, 64)
+	if math.Abs(got0.CR-1) > 1e-6 {
+		t.Errorf("NEV with q=0: CR %v want 1", got0.CR)
+	}
+}
+
+func TestWorstCaseSearchMOMRand(t *testing.T) {
+	// Reshaped MOM-Rand: convex per-stop cost, worst case
+	// 1 + 1/(2(e-2)) when short mass can sit at B.
+	s := skirental.Stats{MuBMinus: 3, QBPlus: 0.1}
+	p := skirental.NewMOMRand(testB, 10)
+	got := WorstCaseSearch(p, s, 300)
+	want := 1 + 1/(2*(math.E-2))
+	if math.Abs(got.CR-want) > 0.01 {
+		t.Errorf("search %v want %v", got.CR, want)
+	}
+}
+
+func TestWorstCaseSearchProposedMatchesBound(t *testing.T) {
+	// The proposed policy's realized worst case must not exceed its
+	// guaranteed bound (and should be tight).
+	for _, s := range []skirental.Stats{
+		{MuBMinus: 2, QBPlus: 0.05},
+		{MuBMinus: 0.02 * testB, QBPlus: 0.3},
+		{MuBMinus: 1, QBPlus: 0.8},
+	} {
+		p, err := skirental.NewConstrained(testB, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := WorstCaseSearch(p, s, 300)
+		bound := p.WorstCaseCR()
+		if got.CR > bound*(1+1e-6) {
+			t.Errorf("stats %+v: search %v exceeds bound %v", s, got.CR, bound)
+		}
+		if got.CR < bound*0.98 {
+			t.Errorf("stats %+v: bound not tight: search %v vs bound %v", s, got.CR, bound)
+		}
+	}
+}
+
+func TestWorstCaseSearchDegenerateInputs(t *testing.T) {
+	if got := WorstCaseSearch(skirental.NewDET(testB), skirental.Stats{}, 32); got.CR != 1 {
+		t.Errorf("zero stats CR %v", got.CR)
+	}
+	bad := skirental.Stats{MuBMinus: -1}
+	if got := WorstCaseSearch(skirental.NewDET(testB), bad, 32); !math.IsNaN(got.CR) {
+		t.Errorf("invalid stats should give NaN, got %v", got.CR)
+	}
+	// All mass long.
+	allLong := skirental.Stats{MuBMinus: 0, QBPlus: 1}
+	got := WorstCaseSearch(skirental.NewTOI(testB), allLong, 32)
+	if math.Abs(got.CR-1) > 1e-9 {
+		t.Errorf("TOI with q=1: CR %v want 1", got.CR)
+	}
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"fmt"
+
+	"idlereduce/internal/dist"
+	"idlereduce/internal/skirental"
+)
+
+// BreakEvenPoint is one break-even value of a B-sensitivity sweep.
+type BreakEvenPoint struct {
+	// B is the break-even interval in seconds.
+	B float64
+	// Stats are the traffic statistics measured at this B.
+	Stats skirental.Stats
+	// Proposed is the proposed policy's worst-case CR at this B and the
+	// vertex it selects.
+	Proposed float64
+	Choice   skirental.Choice
+	// Baselines maps strategy name to its worst-case CR.
+	Baselines map[string]float64
+}
+
+// BreakEvenSweep studies the sensitivity of the guarantees to the
+// break-even interval itself: Appendix C's starter and battery bands
+// make B uncertain by tens of seconds (19-155 s for the starter alone),
+// so a deployment must know how the strategy and its CR move with B.
+// The traffic distribution is held fixed while B varies.
+func BreakEvenSweep(traffic dist.Distribution, bs []float64) ([]BreakEvenPoint, error) {
+	pts := make([]BreakEvenPoint, 0, len(bs))
+	for _, b := range bs {
+		if b <= 0 {
+			return nil, fmt.Errorf("analysis: break-even %v must be positive", b)
+		}
+		s := skirental.StatsOf(traffic, b)
+		if err := s.Validate(b); err != nil {
+			// Clamp quadrature overshoot exactly as TrafficSweep does.
+			if s.MuBMinus > b*(1-s.QBPlus) {
+				s.MuBMinus = b * (1 - s.QBPlus)
+			}
+			if err := s.Validate(b); err != nil {
+				return nil, err
+			}
+		}
+		cr, err := skirental.WorstCaseCRForStats(b, s)
+		if err != nil {
+			return nil, err
+		}
+		choice, _ := skirental.ComputeVertexCosts(b, s).Select()
+		pt := BreakEvenPoint{
+			B:         b,
+			Stats:     s,
+			Proposed:  cr,
+			Choice:    choice,
+			Baselines: map[string]float64{},
+		}
+		for _, name := range []string{"N-Rand", "TOI", "DET", "b-DET", "MOM-Rand"} {
+			pt.Baselines[name] = skirental.BaselineWorstCaseCR(name, b, s)
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}

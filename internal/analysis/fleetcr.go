@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"idlereduce/internal/fleet"
+	"idlereduce/internal/skirental"
+	"idlereduce/internal/stats"
+)
+
+// PolicyNames is the strategy lineup of the Figure 4 comparison, in the
+// paper's order.
+var PolicyNames = []string{"TOI", "NEV", "DET", "N-Rand", "MOM-Rand", "Proposed"}
+
+// VehicleCR holds one vehicle's expected competitive ratio under each
+// strategy.
+type VehicleCR struct {
+	ID   string
+	Area string
+	// CR maps policy name to the vehicle's expected CR (analytic
+	// per-stop expectations over the vehicle's own week of stops).
+	CR map[string]float64
+	// Best is the name of the policy with the smallest CR.
+	Best string
+	// Choice is the vertex the proposed policy selected for this vehicle.
+	Choice skirental.Choice
+}
+
+// EvaluateVehicle computes the CR of every lineup policy on one vehicle's
+// stops. The proposed policy estimates (mu_B-, q_B+) from the vehicle's
+// own stops — the same information MOM-Rand gets (the full mean).
+func EvaluateVehicle(b float64, v *fleet.Vehicle) (VehicleCR, error) {
+	if len(v.Stops) == 0 {
+		return VehicleCR{}, fmt.Errorf("analysis: vehicle %s has no stops", v.ID)
+	}
+	mean := stats.Mean(v.Stops)
+	prop, err := skirental.NewConstrainedFromStops(b, v.Stops)
+	if err != nil {
+		return VehicleCR{}, fmt.Errorf("analysis: vehicle %s: %w", v.ID, err)
+	}
+	policies := map[string]skirental.Policy{
+		"TOI":      skirental.NewTOI(b),
+		"NEV":      skirental.NewNEV(b),
+		"DET":      skirental.NewDET(b),
+		"N-Rand":   skirental.NewNRand(b),
+		"MOM-Rand": skirental.NewMOMRand(b, mean),
+		"Proposed": prop,
+	}
+	out := VehicleCR{ID: v.ID, Area: v.Area, CR: make(map[string]float64, len(policies)), Choice: prop.Choice()}
+	best := math.Inf(1)
+	for _, name := range PolicyNames {
+		cr := skirental.TraceCR(policies[name], v.Stops)
+		out.CR[name] = cr
+		if cr < best {
+			best, out.Best = cr, name
+		}
+	}
+	return out, nil
+}
+
+// AreaSummary aggregates Figure 4 for one area.
+type AreaSummary struct {
+	Area     string
+	Vehicles int
+	// WorstCR and MeanCR map policy name to the maximum and mean CR over
+	// the area's vehicles — the two bar groups of Figure 4.
+	WorstCR map[string]float64
+	MeanCR  map[string]float64
+	// ProposedBest counts vehicles where the proposed policy attains the
+	// (possibly tied) best CR.
+	ProposedBest int
+}
+
+// FleetEvaluation is the full Figure 4 dataset.
+type FleetEvaluation struct {
+	B        float64
+	Vehicles []VehicleCR
+	Areas    []AreaSummary
+	// ProposedBestTotal counts fleet-wide vehicles where the proposed
+	// policy is (tied-)best — the paper's "1169 of 1182" headline.
+	ProposedBestTotal int
+}
+
+// EvaluateFleet runs the Figure 4 experiment for break-even b.
+func EvaluateFleet(b float64, f *fleet.Fleet) (*FleetEvaluation, error) {
+	ev := &FleetEvaluation{B: b}
+	perArea := map[string][]VehicleCR{}
+	for _, v := range f.Vehicles {
+		vcr, err := EvaluateVehicle(b, v)
+		if err != nil {
+			return nil, err
+		}
+		ev.Vehicles = append(ev.Vehicles, vcr)
+		perArea[v.Area] = append(perArea[v.Area], vcr)
+		if proposedIsBest(vcr) {
+			ev.ProposedBestTotal++
+		}
+	}
+	for _, area := range f.Areas() {
+		vs := perArea[area]
+		sum := AreaSummary{
+			Area:     area,
+			Vehicles: len(vs),
+			WorstCR:  map[string]float64{},
+			MeanCR:   map[string]float64{},
+		}
+		for _, name := range PolicyNames {
+			worst := 0.0
+			var crs []float64
+			for _, v := range vs {
+				cr := v.CR[name]
+				crs = append(crs, cr)
+				if cr > worst {
+					worst = cr
+				}
+			}
+			sum.WorstCR[name] = worst
+			sum.MeanCR[name] = stats.Mean(crs)
+		}
+		for _, v := range vs {
+			if proposedIsBest(v) {
+				sum.ProposedBest++
+			}
+		}
+		ev.Areas = append(ev.Areas, sum)
+	}
+	return ev, nil
+}
+
+// proposedIsBest reports whether the proposed policy's CR is within a
+// hair of the vehicle's best CR (ties count as best, as in the paper's
+// counting: the proposed policy playing DET ties DET exactly).
+func proposedIsBest(v VehicleCR) bool {
+	return v.CR["Proposed"] <= v.CR[v.Best]*(1+1e-12)
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"idlereduce/internal/fleet"
+)
+
+func smallFleet(t *testing.T, perArea int) *fleet.Fleet {
+	t.Helper()
+	areas := fleet.DefaultAreas()
+	for i := range areas {
+		areas[i].Vehicles = perArea
+	}
+	f, err := fleet.GenerateFleet(2024, areas...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestEvaluateVehicleBasics(t *testing.T) {
+	f := smallFleet(t, 2)
+	v := f.Vehicles[0]
+	vcr, err := EvaluateVehicle(28, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vcr.ID != v.ID || vcr.Area != v.Area {
+		t.Errorf("identity %+v", vcr)
+	}
+	if len(vcr.CR) != len(PolicyNames) {
+		t.Fatalf("CR entries %d", len(vcr.CR))
+	}
+	for name, cr := range vcr.CR {
+		if cr < 1-1e-9 {
+			t.Errorf("%s: CR %v below 1", name, cr)
+		}
+		if name != "NEV" && cr > 3 {
+			t.Errorf("%s: implausible CR %v", name, cr)
+		}
+	}
+	if vcr.CR[vcr.Best] > vcr.CR["TOI"] || vcr.CR[vcr.Best] > vcr.CR["Proposed"] {
+		t.Error("Best is not minimal")
+	}
+}
+
+func TestEvaluateVehicleEmptyStops(t *testing.T) {
+	v := &fleet.Vehicle{ID: "empty", Area: "X"}
+	if _, err := EvaluateVehicle(28, v); err == nil {
+		t.Error("want error for empty vehicle")
+	}
+}
+
+func TestEvaluateFleetHeadlineClaims(t *testing.T) {
+	// Scaled-down Figure 4: the proposed policy must be (tied-)best for
+	// the large majority of vehicles at B=28 and lead every area's mean.
+	f := smallFleet(t, 40)
+	ev, err := EvaluateFleet(28, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(ev.Vehicles)
+	if total != 120 {
+		t.Fatalf("vehicles %d", total)
+	}
+	frac := float64(ev.ProposedBestTotal) / float64(total)
+	if frac < 0.90 {
+		t.Errorf("proposed best in only %.0f%% of vehicles (paper: 1169/1182 ≈ 99%%)", frac*100)
+	}
+	if len(ev.Areas) != 3 {
+		t.Fatalf("areas %d", len(ev.Areas))
+	}
+	for _, a := range ev.Areas {
+		// Mean CR of the proposed policy must be the lowest of the lineup.
+		for _, name := range PolicyNames {
+			if name == "Proposed" {
+				continue
+			}
+			if a.MeanCR["Proposed"] > a.MeanCR[name]+1e-9 {
+				t.Errorf("%s: proposed mean CR %v worse than %s %v", a.Area, a.MeanCR["Proposed"], name, a.MeanCR[name])
+			}
+		}
+		if a.WorstCR["Proposed"] > math.E/(math.E-1)+1e-6 {
+			t.Errorf("%s: proposed worst CR %v exceeds e/(e-1)", a.Area, a.WorstCR["Proposed"])
+		}
+		if a.Vehicles != 40 {
+			t.Errorf("%s: %d vehicles", a.Area, a.Vehicles)
+		}
+	}
+}
+
+func TestEvaluateFleetB47StillRobust(t *testing.T) {
+	f := smallFleet(t, 25)
+	ev, err := EvaluateFleet(47, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(ev.ProposedBestTotal) / float64(len(ev.Vehicles))
+	// Paper: 977/1182 ≈ 83% at B=47; allow a generous band.
+	if frac < 0.6 {
+		t.Errorf("proposed best in only %.0f%% of vehicles at B=47", frac*100)
+	}
+	for _, a := range ev.Areas {
+		if a.MeanCR["Proposed"] > a.MeanCR["N-Rand"]+1e-9 {
+			t.Errorf("%s: proposed mean %v worse than N-Rand %v", a.Area, a.MeanCR["Proposed"], a.MeanCR["N-Rand"])
+		}
+	}
+}
+
+func TestEvaluateFleetMeanCRBand(t *testing.T) {
+	// The synthetic calibration should keep proposed mean CRs in the
+	// paper's ballpark (1.10-1.35 at B=28) — loose sanity band.
+	f := smallFleet(t, 30)
+	ev, err := EvaluateFleet(28, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range ev.Areas {
+		m := a.MeanCR["Proposed"]
+		if m < 1.0 || m > 1.55 {
+			t.Errorf("%s: proposed mean CR %v outside plausible band", a.Area, m)
+		}
+	}
+}

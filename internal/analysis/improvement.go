@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"math"
+
+	"idlereduce/internal/skirental"
+)
+
+// ImprovementCell is one grid point of the LP-OPT improvement map: how
+// much the unrestricted minimax optimum undercuts the paper's four-vertex
+// selector.
+type ImprovementCell struct {
+	// MuFrac is mu_B-/B; Q is q_B+.
+	MuFrac, Q float64
+	// PaperCR and LPCR are the two worst-case guarantees.
+	PaperCR, LPCR float64
+	// Gain is PaperCR - LPCR (>= 0 up to discretization noise).
+	Gain float64
+	// Choice is the vertex the paper's selector plays here.
+	Choice skirental.Choice
+}
+
+// ImprovementMap sweeps the feasible statistics grid and measures where
+// (and by how much) the unrestricted LP policy improves on the paper's
+// closed form. nGrid controls the statistics grid; lpGrid the LP's
+// threshold discretization. The expected structure: zero gain in the DET
+// and TOI regions (the paper is tight there), positive gain peaking
+// inside the b-DET and N-Rand regions.
+func ImprovementMap(b float64, nGrid, lpGrid int) ([]ImprovementCell, error) {
+	if nGrid < 2 {
+		nGrid = 12
+	}
+	if lpGrid < 8 {
+		lpGrid = 48
+	}
+	// The b-DET pocket lives at very small mu_B-/B (Fig. 2c-d works at
+	// 0.02 and 0.05), so the mu axis gets extra resolution near zero on
+	// top of the uniform grid.
+	muFracs := []float64{0.01, 0.02, 0.05}
+	for i := 0; i <= nGrid; i++ {
+		muFracs = append(muFracs, float64(i)/float64(nGrid))
+	}
+	var cells []ImprovementCell
+	for _, muFrac := range muFracs {
+		for j := 0; j <= nGrid; j++ {
+			q := float64(j) / float64(nGrid)
+			s := skirental.Stats{MuBMinus: muFrac * b, QBPlus: q}
+			if s.Validate(b) != nil {
+				continue
+			}
+			off := s.OfflineCost(b)
+			if off == 0 {
+				continue
+			}
+			choice, cost := skirental.ComputeVertexCosts(b, s).Select()
+			res, err := MinimaxLP(b, s, lpGrid)
+			if err != nil {
+				return nil, err
+			}
+			cell := ImprovementCell{
+				MuFrac:  muFrac,
+				Q:       q,
+				PaperCR: cost / off,
+				LPCR:    res.CR,
+				Choice:  choice,
+			}
+			cell.Gain = math.Max(0, cell.PaperCR-cell.LPCR)
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// ImprovementSummary aggregates an improvement map by selected vertex.
+type ImprovementSummary struct {
+	Choice   skirental.Choice
+	Cells    int
+	MeanGain float64
+	MaxGain  float64
+}
+
+// SummarizeImprovement groups the map's cells by the paper's selected
+// vertex.
+func SummarizeImprovement(cells []ImprovementCell) []ImprovementSummary {
+	order := []skirental.Choice{
+		skirental.ChoiceDET, skirental.ChoiceTOI,
+		skirental.ChoiceBDet, skirental.ChoiceNRand,
+	}
+	agg := map[skirental.Choice]*ImprovementSummary{}
+	for _, ch := range order {
+		agg[ch] = &ImprovementSummary{Choice: ch}
+	}
+	for _, c := range cells {
+		s := agg[c.Choice]
+		if s == nil {
+			continue
+		}
+		s.Cells++
+		s.MeanGain += c.Gain
+		if c.Gain > s.MaxGain {
+			s.MaxGain = c.Gain
+		}
+	}
+	out := make([]ImprovementSummary, 0, len(order))
+	for _, ch := range order {
+		s := agg[ch]
+		if s.Cells > 0 {
+			s.MeanGain /= float64(s.Cells)
+		}
+		out = append(out, *s)
+	}
+	return out
+}

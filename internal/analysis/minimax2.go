@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"idlereduce/internal/lp"
+	"idlereduce/internal/skirental"
+)
+
+// MinimaxLPSecondMoment solves the constrained ski-rental game with an
+// additional second-moment statistic: the adversary must also satisfy
+//
+//	∫_0^B y² q(y) dy <= m2
+//
+// (the partial second moment of short stops). The paper's Appendix B
+// argues that moment information does not change the optimal strategy;
+// this function tests the sharper question numerically: given
+// (mu_B-, q_B+) AND m2, is the optimal worst-case CR lower than with
+// (mu_B-, q_B+) alone?
+//
+// The answer is yes whenever m2 is strictly below its feasible maximum:
+// the second moment caps how much short mass the adversary can place at
+// large y (near the policy's thresholds), so the game value drops. The
+// construction mirrors MinimaxLP with a third dual variable lambda3 >= 0
+// for the new <= constraint (the adversary always benefits from more
+// second moment for the same mean, since the per-stop cost is convex
+// below each threshold's jump; relaxing to <= is therefore exact).
+func MinimaxLPSecondMoment(b float64, s skirental.Stats, m2 float64, nGrid int) (*MinimaxResult, error) {
+	if err := s.Validate(b); err != nil {
+		return nil, err
+	}
+	if m2 < 0 {
+		return nil, fmt.Errorf("analysis: negative second moment %v", m2)
+	}
+	// Feasibility: with mass 1-q and partial mean mu on [0, B], the
+	// second moment lies in [mu²/(1-q), mu·B] (Cauchy-Schwarz lower
+	// bound; upper bound from y <= B).
+	mu, q := s.MuBMinus, s.QBPlus
+	if 1-q > 1e-12 && m2 < mu*mu/(1-q)-1e-9 {
+		return nil, fmt.Errorf("analysis: second moment %v below the Cauchy-Schwarz floor %v", m2, mu*mu/(1-q))
+	}
+	if nGrid < 4 {
+		nGrid = 64
+	}
+
+	xs := gridWithCritical(b, mu, q, nGrid, true)
+	ys := gridWithCritical(b, mu, q, nGrid, false)
+
+	n := len(xs)
+	nv := n + 3 // P_1..P_n, lambda1, lambda2, lambda3
+	cost := make([]float64, nv)
+	for i, x := range xs {
+		cost[i] = q * (x + b)
+	}
+	cost[n] = 1 - q
+	cost[n+1] = mu
+	cost[n+2] = m2
+
+	var aub [][]float64
+	var bub []float64
+	for _, y := range ys {
+		row := make([]float64, nv)
+		for i, x := range xs {
+			row[i] = skirental.OnlineCost(x, y, b)
+		}
+		row[n] = -1
+		row[n+1] = -y
+		row[n+2] = -y * y
+		aub = append(aub, row)
+		bub = append(bub, 0)
+	}
+	aeq := make([]float64, nv)
+	for i := 0; i < n; i++ {
+		aeq[i] = 1
+	}
+
+	prob := &lp.Problem{
+		C:   cost,
+		AEq: [][]float64{aeq},
+		BEq: []float64{1},
+		AUb: aub,
+		BUb: bub,
+	}
+	sol, st, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: second-moment minimax LP: %w", err)
+	}
+	if st != lp.Optimal {
+		return nil, fmt.Errorf("analysis: second-moment minimax LP status %v", st)
+	}
+
+	res := &MinimaxResult{
+		Value:   sol.Objective,
+		Lambda1: sol.X[n],
+		Lambda2: sol.X[n+1],
+	}
+	off := s.OfflineCost(b)
+	if off > 0 {
+		res.CR = res.Value / off
+	} else {
+		res.CR = 1
+	}
+	for i, w := range sol.X[:n] {
+		if w > 1e-9 {
+			res.Thresholds = append(res.Thresholds, xs[i])
+			res.Weights = append(res.Weights, w)
+		}
+	}
+	return res, nil
+}
+
+// SecondMomentRange returns the feasible range [lo, hi] of the partial
+// second moment for statistics s at break-even b: the Cauchy-Schwarz
+// floor mu²/(1-q) (all short mass at one point) and the ceiling mu·B
+// (short mass split between 0 and B).
+func SecondMomentRange(b float64, s skirental.Stats) (lo, hi float64) {
+	if 1-s.QBPlus <= 1e-12 {
+		return 0, 0
+	}
+	lo = s.MuBMinus * s.MuBMinus / (1 - s.QBPlus)
+	hi = s.MuBMinus * b
+	return lo, math.Max(lo, hi)
+}

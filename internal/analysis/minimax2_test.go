@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"idlereduce/internal/skirental"
+)
+
+func TestSecondMomentRange(t *testing.T) {
+	s := skirental.Stats{MuBMinus: 4, QBPlus: 0.2}
+	lo, hi := SecondMomentRange(testB, s)
+	if math.Abs(lo-16/0.8) > 1e-12 {
+		t.Errorf("lo %v want %v", lo, 16/0.8)
+	}
+	if math.Abs(hi-4*testB) > 1e-12 {
+		t.Errorf("hi %v want %v", hi, 4*testB)
+	}
+	// All mass long: degenerate range.
+	lo, hi = SecondMomentRange(testB, skirental.Stats{MuBMinus: 0, QBPlus: 1})
+	if lo != 0 || hi != 0 {
+		t.Errorf("degenerate range (%v, %v)", lo, hi)
+	}
+}
+
+func TestSecondMomentLPAtCeilingMatchesTwoMomentGame(t *testing.T) {
+	// With m2 at its feasible ceiling the extra constraint never binds,
+	// so the value must equal the plain (mu, q) minimax LP.
+	s := skirental.Stats{MuBMinus: 0.02 * testB, QBPlus: 0.3}
+	_, hi := SecondMomentRange(testB, s)
+	plain, err := MinimaxLP(testB, s, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withM2, err := MinimaxLPSecondMoment(testB, s, hi*1.0001, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Value-withM2.Value) > 0.01*plain.Value {
+		t.Errorf("slack m2 changed the value: %v vs %v", withM2.Value, plain.Value)
+	}
+}
+
+func TestSecondMomentInformationStrictlyHelps(t *testing.T) {
+	// REPRODUCTION CHECK of Appendix B's spirit: the paper argues moment
+	// information does not change the optimal strategy. For the
+	// *unconstrained-family* game the second moment DOES help: pinning
+	// m2 near its Cauchy-Schwarz floor (short stops concentrated at one
+	// length) lowers the game value strictly below the two-statistic
+	// optimum.
+	s := skirental.Stats{MuBMinus: 0.02 * testB, QBPlus: 0.3}
+	lo, _ := SecondMomentRange(testB, s)
+	plain, err := MinimaxLP(testB, s, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := MinimaxLPSecondMoment(testB, s, lo*1.05, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Value >= plain.Value*0.98 {
+		t.Errorf("tight m2 should strictly help: %v vs plain %v", pinned.Value, plain.Value)
+	}
+	if pinned.CR < 1-1e-9 {
+		t.Errorf("CR %v below 1", pinned.CR)
+	}
+}
+
+func TestSecondMomentLPValidation(t *testing.T) {
+	s := skirental.Stats{MuBMinus: 4, QBPlus: 0.2}
+	if _, err := MinimaxLPSecondMoment(testB, s, -1, 32); err == nil {
+		t.Error("want error for negative m2")
+	}
+	lo, _ := SecondMomentRange(testB, s)
+	if _, err := MinimaxLPSecondMoment(testB, s, lo*0.5, 32); err == nil {
+		t.Error("want error below the Cauchy-Schwarz floor")
+	}
+	if _, err := MinimaxLPSecondMoment(testB, skirental.Stats{MuBMinus: -1}, 10, 32); err == nil {
+		t.Error("want error for invalid stats")
+	}
+}
+
+func TestSecondMomentMonotoneInM2(t *testing.T) {
+	// The game value is nondecreasing in m2 (a looser constraint can
+	// only help the adversary).
+	s := skirental.Stats{MuBMinus: 3, QBPlus: 0.25}
+	lo, hi := SecondMomentRange(testB, s)
+	prev := -1.0
+	for _, frac := range []float64{0.05, 0.3, 0.7, 1.0} {
+		m2 := lo + (hi-lo)*frac + lo*0.01
+		res, err := MinimaxLPSecondMoment(testB, s, m2, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value < prev-1e-6 {
+			t.Errorf("value decreased at m2=%v: %v < %v", m2, res.Value, prev)
+		}
+		prev = res.Value
+	}
+}
+
+func TestImprovementMapStructure(t *testing.T) {
+	cells, err := ImprovementMap(testB, 10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) < 30 {
+		t.Fatalf("cells %d", len(cells))
+	}
+	sums := SummarizeImprovement(cells)
+	byChoice := map[skirental.Choice]ImprovementSummary{}
+	for _, s := range sums {
+		byChoice[s.Choice] = s
+	}
+	// The paper is tight in the deterministic regions...
+	for _, ch := range []skirental.Choice{skirental.ChoiceDET, skirental.ChoiceTOI} {
+		if s := byChoice[ch]; s.MaxGain > 0.02 {
+			t.Errorf("%v region: unexpected gain %v", ch, s.MaxGain)
+		}
+	}
+	// ...and beatable in the randomized regions.
+	for _, ch := range []skirental.Choice{skirental.ChoiceBDet, skirental.ChoiceNRand} {
+		s := byChoice[ch]
+		if s.Cells == 0 {
+			t.Errorf("%v region empty on the grid", ch)
+			continue
+		}
+		if s.MaxGain < 0.03 {
+			t.Errorf("%v region: gain %v too small for the documented finding", ch, s.MaxGain)
+		}
+	}
+}
+
+func TestImprovementMapDefaults(t *testing.T) {
+	cells, err := ImprovementMap(testB, 0, 0) // clamped
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Gain < 0 {
+			t.Errorf("negative gain at (%v, %v)", c.MuFrac, c.Q)
+		}
+		if c.LPCR < 1-1e-9 {
+			t.Errorf("LP CR %v below 1", c.LPCR)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"idlereduce/internal/skirental"
+)
+
+func TestMinimaxLPMatchesClosedFormInDeterministicRegions(t *testing.T) {
+	// In the DET and TOI regions the paper's guarantee is genuinely
+	// tight: the unrestricted LP cannot beat the closed form.
+	cases := []struct {
+		name string
+		s    skirental.Stats
+	}{
+		{"DET region", skirental.Stats{MuBMinus: 2, QBPlus: 0.01}},
+		{"TOI region", skirental.Stats{MuBMinus: 0.5, QBPlus: 0.95}},
+	}
+	for _, tc := range cases {
+		res, err := MinimaxLP(testB, tc.s, 96)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		_, want := skirental.ComputeVertexCosts(testB, tc.s).Select()
+		if math.Abs(res.Value-want) > 0.015*want {
+			t.Errorf("%s: LP value %v, closed form %v", tc.name, res.Value, want)
+		}
+	}
+}
+
+func TestMinimaxLPBeatsVertexFamilyInRandomizedRegions(t *testing.T) {
+	// REPRODUCTION FINDING: where the paper's selector picks b-DET or
+	// N-Rand, the unrestricted LP finds strictly better policies. The
+	// improvement must be real — the returned policy's worst case over
+	// the true (continuum) adversary, computed by the independent
+	// adversarial search, must also undercut the closed form.
+	cases := []struct {
+		name string
+		s    skirental.Stats
+	}{
+		{"b-DET region", skirental.Stats{MuBMinus: 0.02 * testB, QBPlus: 0.3}},
+		{"N-Rand region", skirental.Stats{MuBMinus: 2.8, QBPlus: 0.5}},
+	}
+	for _, tc := range cases {
+		res, err := MinimaxLP(testB, tc.s, 96)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		_, closed := skirental.ComputeVertexCosts(testB, tc.s).Select()
+		if res.Value >= closed*0.99 {
+			t.Errorf("%s: expected a strict improvement, LP %v vs closed %v", tc.name, res.Value, closed)
+		}
+		// Independent verification against the continuum adversary.
+		pol, err := res.Policy(testB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv := WorstCaseSearch(pol, tc.s, 400)
+		trueWorst := adv.CR * tc.s.OfflineCost(testB)
+		if trueWorst >= closed*0.995 {
+			t.Errorf("%s: continuum worst case %v does not confirm the improvement over %v", tc.name, trueWorst, closed)
+		}
+		// And the LP value cannot be better than its own policy's true
+		// worst case by more than discretization noise.
+		if trueWorst < res.Value*(1-1e-6) {
+			t.Errorf("%s: continuum worst %v below LP value %v", tc.name, trueWorst, res.Value)
+		}
+		if trueWorst > res.Value*1.03 {
+			t.Errorf("%s: continuum worst %v far above LP value %v (grid too coarse?)", tc.name, trueWorst, res.Value)
+		}
+	}
+}
+
+func TestMinimaxLPNeverAboveClosedForm(t *testing.T) {
+	// The LP optimizes over a superset of the paper's strategy family
+	// (restricted to grid thresholds), so up to discretization it can
+	// never exceed the closed form; and it can never beat the offline
+	// cost.
+	for _, s := range []skirental.Stats{
+		{MuBMinus: 1, QBPlus: 0.1},
+		{MuBMinus: 5, QBPlus: 0.4},
+		{MuBMinus: 12, QBPlus: 0.15},
+		{MuBMinus: 8, QBPlus: 0.25},
+	} {
+		res, err := MinimaxLP(testB, s, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, closed := skirental.ComputeVertexCosts(testB, s).Select()
+		if res.Value > closed*(1+0.01) {
+			t.Errorf("stats %+v: LP %v above closed form %v", s, res.Value, closed)
+		}
+		if off := s.OfflineCost(testB); res.Value < off*(1-1e-9) {
+			t.Errorf("stats %+v: LP %v below offline cost %v", s, res.Value, off)
+		}
+	}
+}
+
+func TestMinimaxLPPolicyStructure(t *testing.T) {
+	// In the DET region the optimal P should concentrate near x = B; in
+	// the TOI region near x = 0.
+	det, err := MinimaxLP(testB, skirental.Stats{MuBMinus: 2, QBPlus: 0.01}, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := massNear(det, testB, 0.05*testB); w < 0.9 {
+		t.Errorf("DET region: mass near B only %v (thresholds %v)", w, det.Thresholds)
+	}
+	toi, err := MinimaxLP(testB, skirental.Stats{MuBMinus: 0.5, QBPlus: 0.95}, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := massNear(toi, 0, 0.05*testB); w < 0.9 {
+		t.Errorf("TOI region: mass near 0 only %v (thresholds %v)", w, toi.Thresholds)
+	}
+}
+
+func massNear(r *MinimaxResult, x0, tol float64) float64 {
+	w := 0.0
+	for i, x := range r.Thresholds {
+		if math.Abs(x-x0) <= tol {
+			w += r.Weights[i]
+		}
+	}
+	return w
+}
+
+func TestMinimaxLPWeightsSumToOne(t *testing.T) {
+	res, err := MinimaxLP(testB, skirental.Stats{MuBMinus: 6, QBPlus: 0.3}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, w := range res.Weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("weights sum to %v", sum)
+	}
+	if res.Lambda1 < -1e-9 || res.Lambda2 < -1e-9 {
+		t.Errorf("negative multipliers %v %v", res.Lambda1, res.Lambda2)
+	}
+	if _, err := res.Policy(testB); err != nil {
+		t.Errorf("policy materialization failed: %v", err)
+	}
+}
+
+func TestMinimaxLPLagrangeMultipliersEq31(t *testing.T) {
+	// In the pure-DET region the tight dual is lambda1 + lambda2·y = y
+	// (C(DET, y) = y for y <= B), i.e. multipliers ≈ (0, 1).
+	res, err := MinimaxLP(testB, skirental.Stats{MuBMinus: 2, QBPlus: 0.01}, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lambda1 > 0.5 || math.Abs(res.Lambda2-1) > 0.1 {
+		t.Errorf("DET region multipliers (%v, %v), want ≈(0, 1)", res.Lambda1, res.Lambda2)
+	}
+}
+
+func TestMinimaxLPBadStats(t *testing.T) {
+	if _, err := MinimaxLP(testB, skirental.Stats{MuBMinus: -1}, 32); err == nil {
+		t.Error("want error for invalid stats")
+	}
+}
+
+func TestNewLPOptFromStops(t *testing.T) {
+	stops := []float64{5, 8, 3, 12, 7, 150, 4, 200, 6, 9}
+	pol, err := NewLPOptFromStops(testB, stops, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Name() != "LP-OPT" {
+		t.Errorf("name %q", pol.Name())
+	}
+	// LP-OPT's trace CR must not exceed the proposed policy's by more
+	// than discretization noise on the same stops.
+	prop, err := skirental.NewConstrainedFromStops(testB, stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crLP := skirental.TraceCR(pol, stops)
+	crP := skirental.TraceCR(prop, stops)
+	if crLP > crP*1.05 {
+		t.Errorf("LP-OPT trace CR %v far above proposed %v", crLP, crP)
+	}
+	if _, err := NewLPOptFromStops(testB, nil, 48); err == nil {
+		t.Error("want error for empty stops")
+	}
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"idlereduce/internal/skirental"
+)
+
+// RegionCell is one grid point of the Figure 1 strategy map.
+type RegionCell struct {
+	// MuFrac is mu_B- / B in [0, 1].
+	MuFrac float64
+	// Q is q_B+ in [0, 1].
+	Q float64
+	// Feasible reports whether (MuFrac, Q) is a valid statistics pair
+	// (mu_B- <= B(1-q_B+)).
+	Feasible bool
+	// Choice is the proposed algorithm's selected strategy.
+	Choice skirental.Choice
+	// CR is the proposed algorithm's worst-case expected CR (Fig. 1b).
+	CR float64
+}
+
+// StrategyRegions evaluates the proposed algorithm over an
+// (nMu+1)×(nQ+1) grid of normalized statistics, reproducing Figure 1.
+func StrategyRegions(b float64, nMu, nQ int) []RegionCell {
+	if nMu < 1 {
+		nMu = 1
+	}
+	if nQ < 1 {
+		nQ = 1
+	}
+	cells := make([]RegionCell, 0, (nMu+1)*(nQ+1))
+	for i := 0; i <= nMu; i++ {
+		muFrac := float64(i) / float64(nMu)
+		for j := 0; j <= nQ; j++ {
+			q := float64(j) / float64(nQ)
+			cell := RegionCell{MuFrac: muFrac, Q: q}
+			s := skirental.Stats{MuBMinus: muFrac * b, QBPlus: q}
+			if s.Validate(b) == nil {
+				cell.Feasible = true
+				vc := skirental.ComputeVertexCosts(b, s)
+				choice, cost := vc.Select()
+				cell.Choice = choice
+				if off := s.OfflineCost(b); off > 0 {
+					cell.CR = cost / off
+				} else {
+					cell.CR = 1
+				}
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells
+}
+
+// ProjectionPoint is one abscissa of a Figure 2 projection: the worst-case
+// CR of each strategy at fixed mu_B- as q_B+ varies.
+type ProjectionPoint struct {
+	// Q is q_B+.
+	Q float64
+	// Proposed is the proposed algorithm's worst-case CR.
+	Proposed float64
+	// Baselines maps strategy name (N-Rand, TOI, DET, b-DET, MOM-Rand)
+	// to its worst-case CR at this point.
+	Baselines map[string]float64
+}
+
+// ProjectionCurves computes a Figure 2 slice: worst-case CRs along
+// q_B+ in (0, qMax] with mu_B- fixed at muFrac·B. Infeasible points are
+// skipped.
+func ProjectionCurves(b, muFrac, qMax float64, n int) []ProjectionPoint {
+	if n < 2 {
+		n = 2
+	}
+	if qMax <= 0 || qMax > 1 {
+		qMax = 1
+	}
+	mu := muFrac * b
+	pts := make([]ProjectionPoint, 0, n)
+	for i := 1; i <= n; i++ {
+		q := qMax * float64(i) / float64(n)
+		s := skirental.Stats{MuBMinus: mu, QBPlus: q}
+		if s.Validate(b) != nil {
+			continue
+		}
+		cr, err := skirental.WorstCaseCRForStats(b, s)
+		if err != nil {
+			continue
+		}
+		pt := ProjectionPoint{Q: q, Proposed: cr, Baselines: map[string]float64{}}
+		for _, name := range []string{"N-Rand", "TOI", "DET", "b-DET", "MOM-Rand"} {
+			pt.Baselines[name] = skirental.BaselineWorstCaseCR(name, b, s)
+		}
+		pts = append(pts, pt)
+	}
+	return pts
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"idlereduce/internal/dist"
+	"idlereduce/internal/skirental"
+)
+
+func TestStrategyRegionsShape(t *testing.T) {
+	cells := StrategyRegions(testB, 20, 20)
+	if len(cells) != 21*21 {
+		t.Fatalf("cells %d", len(cells))
+	}
+	seen := map[skirental.Choice]int{}
+	for _, c := range cells {
+		if !c.Feasible {
+			// Infeasible cells must be exactly those with mu > B(1-q).
+			if c.MuFrac <= (1-c.Q)+1e-12 {
+				t.Errorf("cell (%v, %v) wrongly infeasible", c.MuFrac, c.Q)
+			}
+			continue
+		}
+		if c.CR < 1-1e-12 || c.CR > math.E/(math.E-1)+1e-12 {
+			t.Errorf("cell (%v, %v): CR %v outside [1, e/(e-1)]", c.MuFrac, c.Q, c.CR)
+		}
+		seen[c.Choice]++
+	}
+	// All four strategies must appear somewhere on the map (Fig. 1a).
+	for _, ch := range []skirental.Choice{skirental.ChoiceNRand, skirental.ChoiceTOI, skirental.ChoiceDET, skirental.ChoiceBDet} {
+		if seen[ch] == 0 {
+			t.Errorf("strategy %v never selected on the grid", ch)
+		}
+	}
+}
+
+func TestStrategyRegionsCorners(t *testing.T) {
+	cells := StrategyRegions(testB, 10, 10)
+	at := func(muFrac, q float64) RegionCell {
+		for _, c := range cells {
+			if math.Abs(c.MuFrac-muFrac) < 1e-9 && math.Abs(c.Q-q) < 1e-9 {
+				return c
+			}
+		}
+		t.Fatalf("cell (%v, %v) not found", muFrac, q)
+		return RegionCell{}
+	}
+	// q=1 (all long): TOI is offline-optimal, CR=1.
+	c := at(0, 1)
+	if c.Choice != skirental.ChoiceTOI || math.Abs(c.CR-1) > 1e-9 {
+		t.Errorf("corner (0,1): %+v", c)
+	}
+	// q=0, mu>0: DET is offline-optimal, CR=1.
+	c = at(0.5, 0)
+	if c.Choice != skirental.ChoiceDET || math.Abs(c.CR-1) > 1e-9 {
+		t.Errorf("corner (0.5,0): %+v", c)
+	}
+}
+
+func TestStrategyRegionsMinimumGrid(t *testing.T) {
+	cells := StrategyRegions(testB, 0, 0) // clamped to 1x1
+	if len(cells) != 4 {
+		t.Errorf("cells %d want 4", len(cells))
+	}
+}
+
+func TestProjectionCurvesEnvelope(t *testing.T) {
+	// Figure 2: the proposed curve is the pointwise minimum of the vertex
+	// baselines.
+	for _, muFrac := range []float64{0.02, 0.05, 0.3} {
+		pts := ProjectionCurves(testB, muFrac, 1, 50)
+		if len(pts) == 0 {
+			t.Fatalf("muFrac %v: no points", muFrac)
+		}
+		for _, pt := range pts {
+			min := math.Inf(1)
+			for _, name := range []string{"N-Rand", "TOI", "DET", "b-DET"} {
+				if v := pt.Baselines[name]; v < min {
+					min = v
+				}
+			}
+			if math.Abs(pt.Proposed-min) > 1e-9 {
+				t.Errorf("muFrac %v q %v: proposed %v, envelope %v", muFrac, pt.Q, pt.Proposed, min)
+			}
+		}
+	}
+}
+
+func TestProjectionCurvesBDetImprovement(t *testing.T) {
+	// Figure 2c-d: at mu = 0.02B there must be a q range where b-DET
+	// strictly beats DET, TOI and N-Rand.
+	pts := ProjectionCurves(testB, 0.02, 1, 200)
+	found := false
+	for _, pt := range pts {
+		b := pt.Baselines
+		if b["b-DET"] < b["DET"]-1e-9 && b["b-DET"] < b["TOI"]-1e-9 && b["b-DET"] < b["N-Rand"]-1e-9 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no q where b-DET strictly improves on all others at mu=0.02B")
+	}
+}
+
+func TestProjectionCurvesDefaults(t *testing.T) {
+	pts := ProjectionCurves(testB, 0.1, -1, 0) // qMax and n clamped
+	if len(pts) == 0 {
+		t.Error("no points with clamped args")
+	}
+}
+
+func TestTrafficSweepLowerEnvelope(t *testing.T) {
+	// Figures 5-6: the proposed worst-case CR is the lower envelope over
+	// every traffic condition.
+	shape := dist.NewMixture(
+		dist.Component{W: 0.85, D: dist.NewLogNormalMeanCV(40, 0.95)},
+		dist.Component{W: 0.15, D: dist.Pareto{Xm: 90, Alpha: 1.6}},
+	)
+	base := dist.NewTruncated(shape, 1800)
+	means := SweepMeans(5, 300, 15)
+	for _, b := range []float64{28, 47} {
+		pts, err := TrafficSweep(b, base, means)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != len(means) {
+			t.Fatalf("B=%v: %d points", b, len(pts))
+		}
+		for _, pt := range pts {
+			for name, cr := range pt.Baselines {
+				if name == "NEV" {
+					continue
+				}
+				if pt.Proposed > cr+1e-9 {
+					t.Errorf("B=%v mean=%v: proposed %v > %s %v", b, pt.MeanStopSec, pt.Proposed, name, cr)
+				}
+			}
+			if pt.Proposed < 1-1e-9 || pt.Proposed > math.E/(math.E-1)+1e-9 {
+				t.Errorf("B=%v mean=%v: proposed CR %v out of range", b, pt.MeanStopSec, pt.Proposed)
+			}
+		}
+	}
+}
+
+func TestTrafficSweepCrossoverShape(t *testing.T) {
+	// DET must win at short means, TOI at long means (the Fig. 5 story).
+	shape := dist.NewTruncated(dist.NewLogNormalMeanCV(40, 1.0), 1800)
+	pts, err := TrafficSweep(28, shape, SweepMeans(2, 600, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if first.Baselines["DET"] > first.Baselines["TOI"] {
+		t.Errorf("short stops: DET %v should beat TOI %v", first.Baselines["DET"], first.Baselines["TOI"])
+	}
+	if last.Baselines["TOI"] > last.Baselines["DET"] {
+		t.Errorf("long stops: TOI %v should beat DET %v", last.Baselines["TOI"], last.Baselines["DET"])
+	}
+	// N-Rand is flat at e/(e-1).
+	for _, pt := range pts {
+		if math.Abs(pt.Baselines["N-Rand"]-math.E/(math.E-1)) > 1e-9 {
+			t.Errorf("N-Rand not flat: %v", pt.Baselines["N-Rand"])
+		}
+	}
+}
+
+func TestTrafficSweepErrors(t *testing.T) {
+	shape := dist.NewExponentialMean(30)
+	if _, err := TrafficSweep(0, shape, []float64{10}); err == nil {
+		t.Error("want error for B=0")
+	}
+	if _, err := TrafficSweep(28, shape, []float64{-5}); err == nil {
+		t.Error("want error for negative mean")
+	}
+}
+
+func TestSweepMeansLogSpacing(t *testing.T) {
+	ms := SweepMeans(1, 100, 5)
+	if len(ms) != 5 || ms[0] != 1 || ms[4] != 100 {
+		t.Fatalf("means %v", ms)
+	}
+	// Log-spaced: constant ratio.
+	r := ms[1] / ms[0]
+	for i := 2; i < len(ms); i++ {
+		if math.Abs(ms[i]/ms[i-1]-r) > 1e-9 {
+			t.Errorf("ratio drift at %d", i)
+		}
+	}
+	if got := SweepMeans(5, 1, 3); len(got) != 1 {
+		t.Error("degenerate input should collapse")
+	}
+}
+
+func TestBreakEvenSweepUnit(t *testing.T) {
+	traffic := dist.NewTruncated(dist.NewLogNormalMeanCV(40, 1.1), 1800)
+	pts, err := BreakEvenSweep(traffic, []float64{10, 28, 47, 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Proposed < 1-1e-9 || p.Proposed > math.E/(math.E-1)+1e-9 {
+			t.Errorf("B=%v: CR %v", p.B, p.Proposed)
+		}
+		if p.Stats.Validate(p.B) != nil {
+			t.Errorf("B=%v: invalid stats %+v", p.B, p.Stats)
+		}
+	}
+	if _, err := BreakEvenSweep(traffic, []float64{-5}); err == nil {
+		t.Error("want error for negative B")
+	}
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"idlereduce/internal/dist"
+	"idlereduce/internal/skirental"
+)
+
+// SweepPoint is one traffic condition of the Figures 5-6 sweep.
+type SweepPoint struct {
+	// MeanStopSec is the scaled mean stop length for this condition.
+	MeanStopSec float64
+	// Stats are the constrained statistics of the scaled distribution.
+	Stats skirental.Stats
+	// Proposed is the proposed algorithm's worst-case CR; Choice is the
+	// vertex it plays.
+	Proposed float64
+	Choice   skirental.Choice
+	// Baselines maps strategy name to worst-case CR under the same
+	// statistics.
+	Baselines map[string]float64
+}
+
+// TrafficSweep reproduces Figures 5 and 6: the base stop-length shape
+// (the paper scales Chicago's) is rescaled to each target mean, the
+// constrained statistics are measured, and every strategy's worst-case CR
+// under those statistics is reported.
+func TrafficSweep(b float64, shape dist.Distribution, means []float64) ([]SweepPoint, error) {
+	if b <= 0 {
+		return nil, fmt.Errorf("analysis: break-even %v must be positive", b)
+	}
+	pts := make([]SweepPoint, 0, len(means))
+	for _, m := range means {
+		if m <= 0 {
+			return nil, fmt.Errorf("analysis: mean stop %v must be positive", m)
+		}
+		scaled := dist.NewScaledToMean(shape, m)
+		s := skirental.StatsOf(scaled, b)
+		if err := s.Validate(b); err != nil {
+			// Numerical clamp: tiny quadrature overshoots of the
+			// feasibility boundary are projected back.
+			if s.MuBMinus > b*(1-s.QBPlus) {
+				s.MuBMinus = b * (1 - s.QBPlus)
+			}
+			if err := s.Validate(b); err != nil {
+				return nil, err
+			}
+		}
+		cr, err := skirental.WorstCaseCRForStats(b, s)
+		if err != nil {
+			return nil, err
+		}
+		choice, _ := skirental.ComputeVertexCosts(b, s).Select()
+		pt := SweepPoint{
+			MeanStopSec: m,
+			Stats:       s,
+			Proposed:    cr,
+			Choice:      choice,
+			Baselines:   map[string]float64{},
+		}
+		for _, name := range []string{"N-Rand", "TOI", "DET", "b-DET", "MOM-Rand", "NEV"} {
+			pt.Baselines[name] = skirental.BaselineWorstCaseCR(name, b, s)
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// SweepMeans returns a log-spaced grid of mean stop lengths from lo to hi
+// seconds, the x axis of Figures 5-6.
+func SweepMeans(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= lo {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	out[n-1] = hi
+	return out
+}

@@ -1,0 +1,76 @@
+package costmodel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Savings quantifies what a stop-start policy saves relative to never
+// turning the engine off, annualized — the paper's motivation cites more
+// than 6 billion gallons and $20 billion of idling waste per year in the
+// US alone.
+type Savings struct {
+	// IdleSecondsSaved is the annual reduction in engine-on idling time.
+	IdleSecondsSaved float64
+	// FuelLiters is the annual net fuel saving (idling fuel avoided
+	// minus restart fuel spent).
+	FuelLiters float64
+	// USD is the annual net monetary saving including wear components.
+	USD float64
+	// Restarts is the annual number of engine restarts the policy adds.
+	Restarts float64
+}
+
+// String renders the summary.
+func (s Savings) String() string {
+	return fmt.Sprintf("%.0f h less idling, %.1f L fuel, $%.2f net (with %.0f extra restarts) per year",
+		s.IdleSecondsSaved/3600, s.FuelLiters, s.USD, s.Restarts)
+}
+
+// ErrBadUsage reports invalid annualization inputs.
+var ErrBadUsage = errors.New("costmodel: invalid usage profile")
+
+// AnnualSavings scales one observed driving period to a year and prices
+// the difference between a policy's idling profile and never-turn-off.
+//
+//	idleSecObserved:    engine-on idling the policy left in place
+//	restartsObserved:   restarts the policy performed
+//	totalStopSecObserved: total stopped time (what NEV would idle)
+//	periodDays:         length of the observed window
+func (v Vehicle) AnnualSavings(idleSecObserved, totalStopSecObserved float64, restartsObserved int, periodDays float64) (Savings, error) {
+	if periodDays <= 0 {
+		return Savings{}, fmt.Errorf("%w: period %v days", ErrBadUsage, periodDays)
+	}
+	if idleSecObserved < 0 || totalStopSecObserved < idleSecObserved || restartsObserved < 0 {
+		return Savings{}, fmt.Errorf("%w: idle %v of %v stopped, %d restarts",
+			ErrBadUsage, idleSecObserved, totalStopSecObserved, restartsObserved)
+	}
+	idling := v.IdlingCostCentsPerSec()
+	if idling <= 0 {
+		return Savings{}, fmt.Errorf("%w: vehicle has no idling cost", ErrBadUsage)
+	}
+	bd, err := v.BreakEven()
+	if err != nil {
+		return Savings{}, err
+	}
+	scale := 365 / periodDays
+
+	idleSaved := (totalStopSecObserved - idleSecObserved) * scale
+	restarts := float64(restartsObserved) * scale
+
+	// Fuel: avoided idling minus the 10-seconds-equivalent per restart.
+	rate := v.EffectiveIdleRateCCPerSec()
+	fuelCC := idleSaved*rate - restarts*FuelOnlyBreakEven*rate
+
+	// Money: idling cost avoided minus the full restart cost (fuel +
+	// wear + emissions), all in the vehicle's own break-even units.
+	restartCents := bd.TotalSec() * idling
+	netCents := idleSaved*idling - restarts*restartCents
+
+	return Savings{
+		IdleSecondsSaved: idleSaved,
+		FuelLiters:       fuelCC / 1000,
+		USD:              netCents / 100,
+		Restarts:         restarts,
+	}, nil
+}

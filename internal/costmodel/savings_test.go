@@ -1,0 +1,93 @@
+package costmodel
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAnnualSavingsBasic(t *testing.T) {
+	v := NewFordFusion2011(3.5, true)
+	// One week: 7000 s stopped, policy idled 1000 s and restarted 50
+	// times.
+	s, err := v.AnnualSavings(1000, 7000, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := 365.0 / 7
+	wantIdle := 6000 * scale
+	if math.Abs(s.IdleSecondsSaved-wantIdle) > 1e-6 {
+		t.Errorf("idle saved %v want %v", s.IdleSecondsSaved, wantIdle)
+	}
+	if math.Abs(s.Restarts-50*scale) > 1e-6 {
+		t.Errorf("restarts %v", s.Restarts)
+	}
+	// Fuel: (idleSaved - restarts·10s)·0.279 cc/s.
+	wantFuel := (wantIdle - 50*scale*10) * 0.279 / 1000
+	if math.Abs(s.FuelLiters-wantFuel) > 1e-6 {
+		t.Errorf("fuel %v want %v", s.FuelLiters, wantFuel)
+	}
+	if s.USD <= 0 {
+		t.Errorf("net saving %v should be positive for this profile", s.USD)
+	}
+}
+
+func TestAnnualSavingsNetOfWear(t *testing.T) {
+	// A pathological policy that restarts constantly on tiny stops must
+	// show a NEGATIVE monetary saving on a conventional vehicle (wear
+	// dominates) — the drivers' objection Appendix C quantifies.
+	v := NewFordFusion2011(3.5, false)
+	s, err := v.AnnualSavings(0, 3000, 1000, 7) // 3 s average stops, all restarted
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.USD >= 0 {
+		t.Errorf("restart-happy policy should lose money on a conventional vehicle, got $%v", s.USD)
+	}
+}
+
+func TestAnnualSavingsErrors(t *testing.T) {
+	v := NewFordFusion2011(3.5, true)
+	cases := []struct {
+		idle, total float64
+		restarts    int
+		days        float64
+	}{
+		{0, 100, 0, 0},   // zero period
+		{-1, 100, 0, 7},  // negative idle
+		{200, 100, 0, 7}, // idle exceeds stopped time
+		{0, 100, -1, 7},  // negative restarts
+	}
+	for i, c := range cases {
+		if _, err := v.AnnualSavings(c.idle, c.total, c.restarts, c.days); !errors.Is(err, ErrBadUsage) {
+			t.Errorf("case %d: want ErrBadUsage, got %v", i, err)
+		}
+	}
+	var bad Vehicle
+	if _, err := bad.AnnualSavings(0, 100, 0, 7); err == nil {
+		t.Error("want error for zero-cost vehicle")
+	}
+}
+
+func TestSavingsString(t *testing.T) {
+	s := Savings{IdleSecondsSaved: 7200, FuelLiters: 12.5, USD: 30, Restarts: 500}
+	out := s.String()
+	for _, frag := range []string{"2 h", "12.5 L", "$30.00", "500 extra restarts"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("String missing %q: %s", frag, out)
+		}
+	}
+}
+
+func TestAnnualSavingsZeroRestartPolicyIsNEV(t *testing.T) {
+	// NEV leaves everything idling: zero savings across the board.
+	v := NewFordFusion2011(3.5, true)
+	s, err := v.AnnualSavings(5000, 5000, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IdleSecondsSaved != 0 || s.FuelLiters != 0 || s.USD != 0 || s.Restarts != 0 {
+		t.Errorf("NEV profile should save nothing: %+v", s)
+	}
+}

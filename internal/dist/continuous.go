@@ -1,0 +1,315 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Exponential is the exponential distribution with the given Rate
+// (lambda); mean 1/lambda. It is the stop-length model assumed by the
+// average-case analysis the paper argues against (Fujiwara & Iwama), kept
+// here as a baseline and as the null hypothesis of the KS test in Fig. 3.
+type Exponential struct {
+	Rate float64
+}
+
+// NewExponentialMean returns an exponential distribution with the given
+// mean.
+func NewExponentialMean(mean float64) Exponential {
+	if mean <= 0 {
+		panic("dist: exponential mean must be positive")
+	}
+	return Exponential{Rate: 1 / mean}
+}
+
+// PDF implements Distribution.
+func (e Exponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return e.Rate * math.Exp(-e.Rate*x)
+}
+
+// CDF implements Distribution.
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-e.Rate*x)
+}
+
+// Quantile implements Distribution.
+func (e Exponential) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log(1-p) / e.Rate
+}
+
+// Mean implements Distribution.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Sample implements Distribution.
+func (e Exponential) Sample(rng *rand.Rand) float64 {
+	return e.Quantile(rng.Float64())
+}
+
+// partialMean: ∫_0^b y·λe^{-λy} dy = 1/λ (1 - e^{-λb}(1+λb)).
+func (e Exponential) partialMean(b float64) float64 {
+	lb := e.Rate * b
+	return (1 - math.Exp(-lb)*(1+lb)) / e.Rate
+}
+
+// Uniform is the continuous uniform distribution on [Lo, Hi].
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// PDF implements Distribution.
+func (u Uniform) PDF(x float64) float64 {
+	if x < u.Lo || x > u.Hi {
+		return 0
+	}
+	return 1 / (u.Hi - u.Lo)
+}
+
+// CDF implements Distribution.
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.Lo:
+		return 0
+	case x >= u.Hi:
+		return 1
+	default:
+		return (x - u.Lo) / (u.Hi - u.Lo)
+	}
+}
+
+// Quantile implements Distribution.
+func (u Uniform) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return u.Lo
+	case p >= 1:
+		return u.Hi
+	default:
+		return u.Lo + p*(u.Hi-u.Lo)
+	}
+}
+
+// Mean implements Distribution.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Sample implements Distribution.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return u.Lo + rng.Float64()*(u.Hi-u.Lo)
+}
+
+// LogNormal is the lognormal distribution: log Y ~ N(Mu, Sigma²). It forms
+// the body of the synthetic NREL stop-length model — short urban stops
+// cluster around 20-40 s with strong right skew.
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// NewLogNormalMeanCV builds a lognormal with the given mean and
+// coefficient of variation (std/mean).
+func NewLogNormalMeanCV(mean, cv float64) LogNormal {
+	if mean <= 0 || cv <= 0 {
+		panic("dist: lognormal mean and cv must be positive")
+	}
+	s2 := math.Log(1 + cv*cv)
+	return LogNormal{
+		Mu:    math.Log(mean) - s2/2,
+		Sigma: math.Sqrt(s2),
+	}
+}
+
+// PDF implements Distribution.
+func (l LogNormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return math.Exp(-z*z/2) / (x * l.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF implements Distribution.
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return stdNormalCDF((math.Log(x) - l.Mu) / l.Sigma)
+}
+
+// Quantile implements Distribution.
+func (l LogNormal) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return math.Exp(l.Mu + l.Sigma*stdNormalQuantile(p))
+}
+
+// Mean implements Distribution.
+func (l LogNormal) Mean() float64 {
+	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
+}
+
+// Sample implements Distribution.
+func (l LogNormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// Weibull is the Weibull distribution with shape K and scale Lambda.
+// Shape < 1 gives the heavy-ish tails seen in urban stop data.
+type Weibull struct {
+	K, Lambda float64
+}
+
+// PDF implements Distribution.
+func (w Weibull) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		if w.K == 1 {
+			return 1 / w.Lambda
+		}
+		if w.K < 1 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	z := x / w.Lambda
+	return w.K / w.Lambda * math.Pow(z, w.K-1) * math.Exp(-math.Pow(z, w.K))
+}
+
+// CDF implements Distribution.
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow(x/w.Lambda, w.K))
+}
+
+// Quantile implements Distribution.
+func (w Weibull) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return w.Lambda * math.Pow(-math.Log(1-p), 1/w.K)
+}
+
+// Mean implements Distribution.
+func (w Weibull) Mean() float64 {
+	return w.Lambda * math.Gamma(1+1/w.K)
+}
+
+// Sample implements Distribution.
+func (w Weibull) Sample(rng *rand.Rand) float64 {
+	return w.Quantile(rng.Float64())
+}
+
+// Pareto is the Pareto (power-law) distribution with scale Xm and shape
+// Alpha: P(Y > x) = (Xm/x)^Alpha for x >= Xm. It supplies the heavy tail
+// that makes the observed stop distributions fail the exponential KS test
+// in Section 5.
+type Pareto struct {
+	Xm, Alpha float64
+}
+
+// PDF implements Distribution.
+func (p Pareto) PDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return p.Alpha * math.Pow(p.Xm, p.Alpha) / math.Pow(x, p.Alpha+1)
+}
+
+// CDF implements Distribution.
+func (p Pareto) CDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return 1 - math.Pow(p.Xm/x, p.Alpha)
+}
+
+// Quantile implements Distribution.
+func (p Pareto) Quantile(q float64) float64 {
+	if q <= 0 {
+		return p.Xm
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	return p.Xm / math.Pow(1-q, 1/p.Alpha)
+}
+
+// Mean implements Distribution. It is +inf for Alpha <= 1.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// Sample implements Distribution.
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	return p.Quantile(rng.Float64())
+}
+
+// stdNormalCDF is Phi(z) via the complementary error function.
+func stdNormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// stdNormalQuantile is the Acklam/Wichura-style rational approximation of
+// Phi^{-1}(p), refined with one Newton step; absolute error < 1e-12 on
+// (1e-300, 1-1e-16).
+func stdNormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Peter Acklam's coefficients.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow = 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Newton refinement: x -= (Phi(x)-p)/phi(x).
+	e := stdNormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	return x - u/(1+x*u/2)
+}

@@ -1,0 +1,254 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"idlereduce/internal/numeric"
+)
+
+func newRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// checkDistributionBasics verifies the invariants every Distribution must
+// satisfy: PDF >= 0, CDF monotone in [0,1], Quantile inverts CDF, sample
+// mean approaches Mean.
+func checkDistributionBasics(t *testing.T, name string, d Distribution, xs []float64) {
+	t.Helper()
+	prev := -1.0
+	for _, x := range xs {
+		if p := d.PDF(x); p < 0 || math.IsNaN(p) {
+			t.Errorf("%s: PDF(%v) = %v", name, x, p)
+		}
+		c := d.CDF(x)
+		if c < -1e-12 || c > 1+1e-12 || math.IsNaN(c) {
+			t.Errorf("%s: CDF(%v) = %v out of [0,1]", name, x, c)
+		}
+		if c < prev-1e-12 {
+			t.Errorf("%s: CDF not monotone at %v: %v < %v", name, x, c, prev)
+		}
+		prev = c
+	}
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+		q := d.Quantile(p)
+		c := d.CDF(q)
+		if math.Abs(c-p) > 1e-6 {
+			t.Errorf("%s: CDF(Quantile(%v)) = %v", name, p, c)
+		}
+	}
+	if m := d.Mean(); !math.IsInf(m, 0) {
+		rng := newRNG(7)
+		var sum numeric.KahanSum
+		const n = 200_000
+		for i := 0; i < n; i++ {
+			sum.Add(d.Sample(rng))
+		}
+		got := sum.Sum() / n
+		if math.Abs(got-m) > 0.03*(1+math.Abs(m)) {
+			t.Errorf("%s: sample mean %v, analytic %v", name, got, m)
+		}
+	}
+}
+
+func TestExponentialBasics(t *testing.T) {
+	d := NewExponentialMean(30)
+	checkDistributionBasics(t, "exp", d, numeric.Linspace(0, 300, 100))
+	if d.Mean() != 30 {
+		t.Errorf("mean %v", d.Mean())
+	}
+}
+
+func TestExponentialPartialMean(t *testing.T) {
+	// partialMean must match the quadrature definition of mu_B-.
+	d := NewExponentialMean(25)
+	for _, b := range []float64{5, 28, 47, 200} {
+		closed := MuBMinus(d, b)
+		quad := numeric.Integrate(func(y float64) float64 { return y * d.PDF(y) }, 0, b)
+		if math.Abs(closed-quad) > 1e-8 {
+			t.Errorf("B=%v: closed %v vs quadrature %v", b, closed, quad)
+		}
+	}
+}
+
+func TestExponentialMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for non-positive mean")
+		}
+	}()
+	NewExponentialMean(0)
+}
+
+func TestUniformBasics(t *testing.T) {
+	d := Uniform{Lo: 10, Hi: 50}
+	checkDistributionBasics(t, "uniform", d, numeric.Linspace(0, 60, 100))
+	if d.Mean() != 30 {
+		t.Errorf("mean %v", d.Mean())
+	}
+	if d.CDF(5) != 0 || d.CDF(55) != 1 {
+		t.Error("support bounds wrong")
+	}
+	if d.Quantile(0) != 10 || d.Quantile(1) != 50 {
+		t.Error("quantile bounds wrong")
+	}
+}
+
+func TestLogNormalBasics(t *testing.T) {
+	d := NewLogNormalMeanCV(40, 1.2)
+	checkDistributionBasics(t, "lognormal", d, numeric.Linspace(0, 400, 200))
+	if math.Abs(d.Mean()-40) > 1e-9 {
+		t.Errorf("constructed mean %v, want 40", d.Mean())
+	}
+}
+
+func TestLogNormalPDFIntegratesToCDF(t *testing.T) {
+	d := LogNormal{Mu: 3, Sigma: 0.8}
+	for _, x := range []float64{5, 20, 60} {
+		integ := numeric.Integrate(d.PDF, 1e-12, x)
+		if math.Abs(integ-d.CDF(x)) > 1e-6 {
+			t.Errorf("∫pdf to %v = %v, CDF = %v", x, integ, d.CDF(x))
+		}
+	}
+}
+
+func TestWeibullBasics(t *testing.T) {
+	d := Weibull{K: 0.9, Lambda: 35}
+	checkDistributionBasics(t, "weibull", d, numeric.Linspace(0.01, 350, 200))
+}
+
+func TestWeibullShape1IsExponential(t *testing.T) {
+	w := Weibull{K: 1, Lambda: 20}
+	e := NewExponentialMean(20)
+	for _, x := range []float64{0, 1, 10, 50, 100} {
+		if math.Abs(w.CDF(x)-e.CDF(x)) > 1e-12 {
+			t.Errorf("CDF mismatch at %v: %v vs %v", x, w.CDF(x), e.CDF(x))
+		}
+	}
+	if math.Abs(w.Mean()-20) > 1e-9 {
+		t.Errorf("mean %v", w.Mean())
+	}
+}
+
+func TestParetoBasics(t *testing.T) {
+	d := Pareto{Xm: 10, Alpha: 2.5}
+	checkDistributionBasics(t, "pareto", d, numeric.Linspace(0, 500, 200))
+	want := 2.5 * 10 / 1.5
+	if math.Abs(d.Mean()-want) > 1e-9 {
+		t.Errorf("mean %v want %v", d.Mean(), want)
+	}
+}
+
+func TestParetoInfiniteMean(t *testing.T) {
+	d := Pareto{Xm: 1, Alpha: 0.9}
+	if !math.IsInf(d.Mean(), 1) {
+		t.Errorf("alpha<=1 should have infinite mean, got %v", d.Mean())
+	}
+}
+
+func TestStdNormalQuantileRoundTrip(t *testing.T) {
+	prop := func(u uint32) bool {
+		p := (float64(u) + 1) / (float64(math.MaxUint32) + 2)
+		z := stdNormalQuantile(p)
+		return math.Abs(stdNormalCDF(z)-p) < 1e-10
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStdNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, z float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.8413447460685429, 1},
+	}
+	for _, c := range cases {
+		if got := stdNormalQuantile(c.p); math.Abs(got-c.z) > 1e-9 {
+			t.Errorf("quantile(%v) = %v want %v", c.p, got, c.z)
+		}
+	}
+}
+
+func TestQBPlusClamped(t *testing.T) {
+	d := NewExponentialMean(10)
+	if q := QBPlus(d, -1); q != 1 {
+		t.Errorf("negative B should give q=1, got %v", q)
+	}
+	if q := QBPlus(d, 1e6); q < 0 || q > 1e-10 {
+		t.Errorf("huge B should give q≈0, got %v", q)
+	}
+}
+
+func TestMuBMinusZeroCutoff(t *testing.T) {
+	if v := MuBMinus(NewExponentialMean(10), 0); v != 0 {
+		t.Errorf("mu_B- with B=0 should be 0, got %v", v)
+	}
+}
+
+func TestMuBMinusPlusTailIdentity(t *testing.T) {
+	// mu_B- + E[Y·1{Y>B}] = E[Y]; check via quadrature for lognormal.
+	d := NewLogNormalMeanCV(30, 1.0)
+	const b = 28.0
+	mu := MuBMinus(d, b)
+	tail := numeric.Integrate(func(y float64) float64 { return y * d.PDF(y) }, b, 5000)
+	if math.Abs(mu+tail-d.Mean()) > 1e-3 {
+		t.Errorf("mu_B-=%v + tail=%v != mean=%v", mu, tail, d.Mean())
+	}
+}
+
+func TestQuantileBoundaryValues(t *testing.T) {
+	// Every family must handle p <= 0 and p >= 1 without NaN.
+	families := []struct {
+		name string
+		d    Distribution
+		atHi float64 // expected Quantile(1): +Inf for unbounded support
+	}{
+		{"exp", NewExponentialMean(10), math.Inf(1)},
+		{"lognormal", NewLogNormalMeanCV(20, 1), math.Inf(1)},
+		{"weibull", Weibull{K: 1.2, Lambda: 15}, math.Inf(1)},
+		{"pareto", Pareto{Xm: 3, Alpha: 2}, math.Inf(1)},
+	}
+	for _, f := range families {
+		if q := f.d.Quantile(0); q != 0 && q != 3 { // pareto's lower bound is Xm
+			t.Errorf("%s: Quantile(0) = %v", f.name, q)
+		}
+		if q := f.d.Quantile(-0.5); math.IsNaN(q) {
+			t.Errorf("%s: Quantile(-0.5) NaN", f.name)
+		}
+		if q := f.d.Quantile(1); q != f.atHi {
+			t.Errorf("%s: Quantile(1) = %v want %v", f.name, q, f.atHi)
+		}
+		if q := f.d.Quantile(1.5); q != f.atHi {
+			t.Errorf("%s: Quantile(1.5) = %v want %v", f.name, q, f.atHi)
+		}
+	}
+}
+
+func TestWeibullPDFBoundary(t *testing.T) {
+	// Shape-dependent behaviour at x = 0.
+	if got := (Weibull{K: 1, Lambda: 4}).PDF(0); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("K=1 at 0: %v want 1/lambda", got)
+	}
+	if got := (Weibull{K: 0.7, Lambda: 4}).PDF(0); !math.IsInf(got, 1) {
+		t.Errorf("K<1 at 0: %v want +Inf", got)
+	}
+	if got := (Weibull{K: 2, Lambda: 4}).PDF(0); got != 0 {
+		t.Errorf("K>1 at 0: %v want 0", got)
+	}
+	if got := (Weibull{K: 2, Lambda: 4}).PDF(-1); got != 0 {
+		t.Errorf("negative x: %v want 0", got)
+	}
+}
+
+func TestExponentialPDFNegative(t *testing.T) {
+	if got := NewExponentialMean(5).PDF(-1); got != 0 {
+		t.Errorf("PDF(-1) = %v", got)
+	}
+	if got := NewExponentialMean(5).CDF(-1); got != 0 {
+		t.Errorf("CDF(-1) = %v", got)
+	}
+}

@@ -1,0 +1,173 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// PointMass is the degenerate distribution concentrated at At. The
+// adversarial stop-length distributions in the paper's proofs (Section 4,
+// Appendix A) are finite combinations of point masses; together with
+// Mixture this package can represent all of them.
+type PointMass struct {
+	At float64
+}
+
+// PDF implements Distribution. The density of an atom is reported as 0;
+// the probability lives in the CDF jump.
+func (p PointMass) PDF(x float64) float64 { return 0 }
+
+// CDF implements Distribution.
+func (p PointMass) CDF(x float64) float64 {
+	if x >= p.At {
+		return 1
+	}
+	return 0
+}
+
+// Quantile implements Distribution.
+func (p PointMass) Quantile(q float64) float64 { return p.At }
+
+// Mean implements Distribution.
+func (p PointMass) Mean() float64 { return p.At }
+
+// Sample implements Distribution.
+func (p PointMass) Sample(rng *rand.Rand) float64 { return p.At }
+
+// partialMean counts the atom when it lies in (0, b].
+func (p PointMass) partialMean(b float64) float64 {
+	if p.At > 0 && p.At <= b {
+		return p.At
+	}
+	return 0
+}
+
+// Component pairs a distribution with a mixture weight.
+type Component struct {
+	W float64
+	D Distribution
+}
+
+// Mixture is a finite mixture of component distributions. Weights are
+// normalized at construction.
+type Mixture struct {
+	comps []Component
+	cum   []float64
+}
+
+// NewMixture builds a mixture from components with positive weights.
+// It panics when no component has positive weight — that is a programming
+// error, not a data condition.
+func NewMixture(comps ...Component) *Mixture {
+	total := 0.0
+	kept := make([]Component, 0, len(comps))
+	for _, c := range comps {
+		if c.W < 0 {
+			panic("dist: negative mixture weight")
+		}
+		if c.W == 0 {
+			continue
+		}
+		if c.D == nil {
+			panic("dist: nil mixture component")
+		}
+		kept = append(kept, c)
+		total += c.W
+	}
+	if total <= 0 {
+		panic("dist: mixture needs at least one positive weight")
+	}
+	cum := make([]float64, len(kept))
+	run := 0.0
+	for i := range kept {
+		kept[i].W /= total
+		run += kept[i].W
+		cum[i] = run
+	}
+	cum[len(cum)-1] = 1
+	return &Mixture{comps: kept, cum: cum}
+}
+
+// Components returns a copy of the normalized components.
+func (m *Mixture) Components() []Component {
+	return append([]Component(nil), m.comps...)
+}
+
+// PDF implements Distribution.
+func (m *Mixture) PDF(x float64) float64 {
+	v := 0.0
+	for _, c := range m.comps {
+		v += c.W * c.D.PDF(x)
+	}
+	return v
+}
+
+// CDF implements Distribution.
+func (m *Mixture) CDF(x float64) float64 {
+	v := 0.0
+	for _, c := range m.comps {
+		v += c.W * c.D.CDF(x)
+	}
+	return v
+}
+
+// Quantile implements Distribution. Mixtures invert the CDF numerically.
+func (m *Mixture) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		// The quantile of the heaviest tail; report the max of the
+		// component suprema, which for our use is +inf or a finite atom.
+		v := 0.0
+		for _, c := range m.comps {
+			v = math.Max(v, c.D.Quantile(1))
+		}
+		return v
+	}
+	// Atoms make the CDF discontinuous; bisection on CDF(x) - p still
+	// converges to the correct generalized inverse.
+	return quantileByBisection(m.CDF, p)
+}
+
+// Mean implements Distribution.
+func (m *Mixture) Mean() float64 {
+	v := 0.0
+	for _, c := range m.comps {
+		v += c.W * c.D.Mean()
+	}
+	return v
+}
+
+// Sample implements Distribution.
+func (m *Mixture) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(m.cum, u)
+	if i >= len(m.comps) {
+		i = len(m.comps) - 1
+	}
+	return m.comps[i].D.Sample(rng)
+}
+
+// partialMean sums the components' partial means, so mixtures of atoms and
+// continuous parts — the paper's adversarial distributions — get exact
+// mu_B- values.
+func (m *Mixture) partialMean(b float64) float64 {
+	v := 0.0
+	for _, c := range m.comps {
+		v += c.W * MuBMinus(c.D, b)
+	}
+	return v
+}
+
+// TwoPoint returns the adversarial two-point distribution used throughout
+// Section 4: a stop of length short with probability 1-q and a stop of
+// length long with probability q. It is the worst case for b-DET-style
+// deterministic policies.
+func TwoPoint(short, long, q float64) *Mixture {
+	return NewMixture(
+		Component{W: 1 - q, D: PointMass{At: short}},
+		Component{W: q, D: PointMass{At: long}},
+	)
+}

@@ -1,0 +1,155 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPointMassBasics(t *testing.T) {
+	p := PointMass{At: 30}
+	if p.CDF(29.999) != 0 || p.CDF(30) != 1 {
+		t.Error("CDF step wrong")
+	}
+	if p.Mean() != 30 || p.Quantile(0.5) != 30 {
+		t.Error("mean/quantile wrong")
+	}
+	rng := newRNG(1)
+	if p.Sample(rng) != 30 {
+		t.Error("sample wrong")
+	}
+}
+
+func TestPointMassPartialMean(t *testing.T) {
+	// Atom at B counts as a short stop (closed interval convention).
+	p := PointMass{At: 28}
+	if got := MuBMinus(p, 28); got != 28 {
+		t.Errorf("atom at B: mu = %v, want 28", got)
+	}
+	if got := MuBMinus(p, 27); got != 0 {
+		t.Errorf("atom above B: mu = %v, want 0", got)
+	}
+	if got := MuBMinus(PointMass{At: 0}, 28); got != 0 {
+		t.Errorf("atom at 0: mu = %v, want 0", got)
+	}
+}
+
+func TestMixtureNormalization(t *testing.T) {
+	m := NewMixture(
+		Component{W: 2, D: PointMass{At: 10}},
+		Component{W: 6, D: PointMass{At: 50}},
+	)
+	comps := m.Components()
+	if math.Abs(comps[0].W-0.25) > 1e-12 || math.Abs(comps[1].W-0.75) > 1e-12 {
+		t.Errorf("weights %v %v", comps[0].W, comps[1].W)
+	}
+	if math.Abs(m.Mean()-(0.25*10+0.75*50)) > 1e-12 {
+		t.Errorf("mean %v", m.Mean())
+	}
+}
+
+func TestMixtureDropsZeroWeights(t *testing.T) {
+	m := NewMixture(
+		Component{W: 0, D: PointMass{At: 1}},
+		Component{W: 1, D: PointMass{At: 2}},
+	)
+	if len(m.Components()) != 1 {
+		t.Errorf("zero-weight component kept")
+	}
+}
+
+func TestMixturePanicsOnBadInput(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative": func() { NewMixture(Component{W: -1, D: PointMass{}}) },
+		"empty":    func() { NewMixture() },
+		"nil":      func() { NewMixture(Component{W: 1, D: nil}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTwoPointAdversary(t *testing.T) {
+	// The Section 4 adversary: short stop with prob 1-q, long with prob q.
+	const B = 28.0
+	m := TwoPoint(5, 100, 0.3)
+	if math.Abs(QBPlus(m, B)-0.3) > 1e-12 {
+		t.Errorf("q_B+ = %v, want 0.3", QBPlus(m, B))
+	}
+	if math.Abs(MuBMinus(m, B)-0.7*5) > 1e-12 {
+		t.Errorf("mu_B- = %v, want 3.5", MuBMinus(m, B))
+	}
+}
+
+func TestMixtureSampleFrequencies(t *testing.T) {
+	m := TwoPoint(1, 9, 0.25)
+	rng := newRNG(42)
+	const n = 100_000
+	long := 0
+	for i := 0; i < n; i++ {
+		if m.Sample(rng) == 9 {
+			long++
+		}
+	}
+	got := float64(long) / n
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("long fraction %v, want 0.25", got)
+	}
+}
+
+func TestMixtureQuantileWithAtoms(t *testing.T) {
+	m := TwoPoint(10, 100, 0.4)
+	// Quantile below 0.6 must land at the short atom, above at the long.
+	if q := m.Quantile(0.3); math.Abs(q-10) > 1e-6 {
+		t.Errorf("Quantile(0.3) = %v", q)
+	}
+	if q := m.Quantile(0.8); math.Abs(q-100) > 1e-4 {
+		t.Errorf("Quantile(0.8) = %v", q)
+	}
+}
+
+func TestMixtureContinuousComponents(t *testing.T) {
+	m := NewMixture(
+		Component{W: 0.7, D: NewExponentialMean(20)},
+		Component{W: 0.3, D: Pareto{Xm: 60, Alpha: 2}},
+	)
+	checkDistributionBasics(t, "exp+pareto mixture", m, []float64{0, 1, 5, 10, 30, 60, 100, 500})
+}
+
+func TestMixturePartialMeanMatchesQuadrature(t *testing.T) {
+	m := NewMixture(
+		Component{W: 0.6, D: NewExponentialMean(15)},
+		Component{W: 0.4, D: PointMass{At: 100}},
+	)
+	const B = 47.0
+	got := MuBMinus(m, B)
+	// Continuous contribution only by quadrature; the atom is above B.
+	e := NewExponentialMean(15)
+	want := 0.6 * MuBMinus(e, B)
+	if math.Abs(got-want) > 1e-8 {
+		t.Errorf("mu_B- = %v, want %v", got, want)
+	}
+}
+
+func TestPointMassPDFIsZero(t *testing.T) {
+	// Atom mass lives in the CDF jump; the density is reported as 0.
+	if got := (PointMass{At: 5}).PDF(5); got != 0 {
+		t.Errorf("PDF at atom = %v", got)
+	}
+}
+
+func TestMixtureQuantileBounds(t *testing.T) {
+	m := TwoPoint(2, 9, 0.5)
+	if q := m.Quantile(0); q != 0 {
+		t.Errorf("Quantile(0) = %v", q)
+	}
+	// Quantile(1) reports the max of component suprema: the larger atom.
+	if q := m.Quantile(1); q != 9 {
+		t.Errorf("Quantile(1) = %v want 9", q)
+	}
+}

@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"idlereduce/internal/numeric"
+)
+
+// ErrNoData is returned when an empirical distribution is built from an
+// empty sample.
+var ErrNoData = errors.New("dist: empirical distribution needs at least one observation")
+
+// Empirical is the empirical distribution of an observed sample: the
+// per-vehicle stop-length records that Section 5 evaluates policies on.
+// CDF is the right-continuous step ECDF; Sample draws uniformly from the
+// observations (a bootstrap draw).
+type Empirical struct {
+	sorted []float64
+	mean   float64
+}
+
+// NewEmpirical copies and sorts the sample. Negative observations are
+// rejected — stop lengths cannot be negative.
+func NewEmpirical(sample []float64) (*Empirical, error) {
+	if len(sample) == 0 {
+		return nil, ErrNoData
+	}
+	s := append([]float64(nil), sample...)
+	for _, v := range s {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, errors.New("dist: empirical sample must be finite and non-negative")
+		}
+	}
+	sort.Float64s(s)
+	return &Empirical{sorted: s, mean: numeric.SumSlice(s) / float64(len(s))}, nil
+}
+
+// N returns the sample size.
+func (e *Empirical) N() int { return len(e.sorted) }
+
+// Values returns a copy of the sorted observations.
+func (e *Empirical) Values() []float64 {
+	return append([]float64(nil), e.sorted...)
+}
+
+// PDF implements Distribution. An ECDF has no density; 0 is reported and
+// the mass lives in the CDF steps.
+func (e *Empirical) PDF(x float64) float64 { return 0 }
+
+// CDF implements Distribution: the fraction of observations <= x.
+func (e *Empirical) CDF(x float64) float64 {
+	// First index with value > x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile implements Distribution using the inverse-ECDF (type-1)
+// definition.
+func (e *Empirical) Quantile(p float64) float64 {
+	n := len(e.sorted)
+	if p <= 0 {
+		return e.sorted[0]
+	}
+	if p >= 1 {
+		return e.sorted[n-1]
+	}
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return e.sorted[i]
+}
+
+// Mean implements Distribution.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// Sample implements Distribution: one observation uniformly at random.
+func (e *Empirical) Sample(rng *rand.Rand) float64 {
+	return e.sorted[rng.IntN(len(e.sorted))]
+}
+
+// partialMean averages the observations in (0, b]: the plug-in estimator
+// of mu_B- used when a policy must estimate its statistics from data.
+func (e *Empirical) partialMean(b float64) float64 {
+	var sum numeric.KahanSum
+	for _, v := range e.sorted {
+		if v > b {
+			break
+		}
+		sum.Add(v)
+	}
+	return sum.Sum() / float64(len(e.sorted))
+}
+
+// Max returns the largest observation.
+func (e *Empirical) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Min returns the smallest observation.
+func (e *Empirical) Min() float64 { return e.sorted[0] }

@@ -1,0 +1,142 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpiricalBasics(t *testing.T) {
+	e, err := NewEmpirical([]float64{5, 1, 3, 3, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 5 {
+		t.Errorf("N = %d", e.N())
+	}
+	if e.Min() != 1 || e.Max() != 8 {
+		t.Errorf("min/max %v/%v", e.Min(), e.Max())
+	}
+	if math.Abs(e.Mean()-4) > 1e-12 {
+		t.Errorf("mean %v", e.Mean())
+	}
+}
+
+func TestEmpiricalCDFSteps(t *testing.T) {
+	e, _ := NewEmpirical([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.CDF(c.x); got != c.want {
+			t.Errorf("CDF(%v) = %v want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestEmpiricalQuantileType1(t *testing.T) {
+	e, _ := NewEmpirical([]float64{10, 20, 30, 40})
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {0.25, 10}, {0.26, 20}, {0.5, 20}, {0.75, 30}, {1, 40},
+	}
+	for _, c := range cases {
+		if got := e.Quantile(c.p); got != c.want {
+			t.Errorf("Quantile(%v) = %v want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestEmpiricalErrors(t *testing.T) {
+	if _, err := NewEmpirical(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("want ErrNoData, got %v", err)
+	}
+	if _, err := NewEmpirical([]float64{1, -2}); err == nil {
+		t.Error("want error on negative observation")
+	}
+	if _, err := NewEmpirical([]float64{math.NaN()}); err == nil {
+		t.Error("want error on NaN")
+	}
+	if _, err := NewEmpirical([]float64{math.Inf(1)}); err == nil {
+		t.Error("want error on Inf")
+	}
+}
+
+func TestEmpiricalDoesNotAliasInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	e, _ := NewEmpirical(in)
+	in[0] = 999
+	if e.Max() != 3 {
+		t.Errorf("aliased input: max %v", e.Max())
+	}
+}
+
+func TestEmpiricalPartialMean(t *testing.T) {
+	e, _ := NewEmpirical([]float64{10, 20, 50, 100})
+	// mu_B- at B=28: (10+20)/4 = 7.5.
+	if got := MuBMinus(e, 28); math.Abs(got-7.5) > 1e-12 {
+		t.Errorf("mu_B- = %v want 7.5", got)
+	}
+	// q_B+ at B=28: 2/4 = 0.5.
+	if got := QBPlus(e, 28); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("q_B+ = %v want 0.5", got)
+	}
+}
+
+func TestEmpiricalSampleFromData(t *testing.T) {
+	e, _ := NewEmpirical([]float64{2, 4, 6})
+	rng := newRNG(11)
+	seen := map[float64]bool{}
+	for i := 0; i < 1000; i++ {
+		v := e.Sample(rng)
+		if v != 2 && v != 4 && v != 6 {
+			t.Fatalf("sample %v not in data", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("not all observations sampled: %v", seen)
+	}
+}
+
+func TestEmpiricalQuantileCDFGalois(t *testing.T) {
+	// Property (Galois connection): CDF(Quantile(p)) >= p for all p.
+	prop := func(raw []uint16, pu uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sample := make([]float64, len(raw))
+		for i, v := range raw {
+			sample[i] = float64(v)
+		}
+		e, err := NewEmpirical(sample)
+		if err != nil {
+			return false
+		}
+		p := float64(pu) / math.MaxUint16
+		return e.CDF(e.Quantile(p)) >= p-1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmpiricalValuesSorted(t *testing.T) {
+	e, _ := NewEmpirical([]float64{9, 1, 5, 5, 0})
+	vs := e.Values()
+	if !sort.Float64sAreSorted(vs) {
+		t.Errorf("Values not sorted: %v", vs)
+	}
+	vs[0] = 42 // must not corrupt internal state
+	if e.Min() != 0 {
+		t.Error("Values aliases internal storage")
+	}
+}
+
+func TestEmpiricalPDFIsZero(t *testing.T) {
+	e, _ := NewEmpirical([]float64{1, 2})
+	if e.PDF(1) != 0 {
+		t.Error("ECDF has no density")
+	}
+}

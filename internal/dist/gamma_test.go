@@ -1,0 +1,128 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"idlereduce/internal/numeric"
+)
+
+func TestGammaBasics(t *testing.T) {
+	d := Gamma{K: 2.5, Theta: 12}
+	checkDistributionBasics(t, "gamma", d, numeric.Linspace(0.01, 300, 200))
+	if math.Abs(d.Mean()-30) > 1e-12 {
+		t.Errorf("mean %v want 30", d.Mean())
+	}
+}
+
+func TestGammaShapeOneIsExponential(t *testing.T) {
+	g := Gamma{K: 1, Theta: 20}
+	e := NewExponentialMean(20)
+	for _, x := range []float64{0.5, 5, 20, 80} {
+		if math.Abs(g.CDF(x)-e.CDF(x)) > 1e-10 {
+			t.Errorf("CDF(%v): gamma %v exp %v", x, g.CDF(x), e.CDF(x))
+		}
+		if math.Abs(g.PDF(x)-e.PDF(x)) > 1e-10 {
+			t.Errorf("PDF(%v): gamma %v exp %v", x, g.PDF(x), e.PDF(x))
+		}
+	}
+	if g.PDF(0) != e.PDF(0) {
+		t.Errorf("PDF(0): %v vs %v", g.PDF(0), e.PDF(0))
+	}
+}
+
+func TestGammaPDFBoundary(t *testing.T) {
+	if got := (Gamma{K: 0.5, Theta: 1}).PDF(0); !math.IsInf(got, 1) {
+		t.Errorf("K<1 at 0: %v", got)
+	}
+	if got := (Gamma{K: 2, Theta: 1}).PDF(0); got != 0 {
+		t.Errorf("K>1 at 0: %v", got)
+	}
+	if got := (Gamma{K: 2, Theta: 1}).PDF(-1); got != 0 {
+		t.Errorf("negative x: %v", got)
+	}
+}
+
+func TestGammaPDFIntegratesToCDF(t *testing.T) {
+	d := Gamma{K: 3, Theta: 8}
+	for _, x := range []float64{5, 24, 80} {
+		integ := numeric.Integrate(d.PDF, 1e-12, x)
+		if math.Abs(integ-d.CDF(x)) > 1e-7 {
+			t.Errorf("∫pdf to %v = %v, CDF = %v", x, integ, d.CDF(x))
+		}
+	}
+}
+
+func TestGammaSamplingMoments(t *testing.T) {
+	// Mean and variance of samples match K·Theta and K·Theta² for shapes
+	// both below and above 1 (the two sampler branches).
+	rng := newRNG(17)
+	for _, g := range []Gamma{{K: 0.6, Theta: 10}, {K: 4, Theta: 5}} {
+		const n = 300_000
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			v := g.Sample(rng)
+			if v < 0 {
+				t.Fatalf("negative sample %v", v)
+			}
+			sum += v
+			sq += v * v
+		}
+		m := sum / n
+		variance := sq/n - m*m
+		if math.Abs(m-g.Mean()) > 0.02*g.Mean() {
+			t.Errorf("K=%v: sample mean %v want %v", g.K, m, g.Mean())
+		}
+		wantVar := g.K * g.Theta * g.Theta
+		if math.Abs(variance-wantVar) > 0.05*wantVar {
+			t.Errorf("K=%v: sample variance %v want %v", g.K, variance, wantVar)
+		}
+	}
+}
+
+func TestGammaPartialMeanMatchesQuadrature(t *testing.T) {
+	d := Gamma{K: 2.2, Theta: 14}
+	for _, b := range []float64{10, 28, 47, 150} {
+		closed := MuBMinus(d, b)
+		quad := numeric.Integrate(func(y float64) float64 { return y * d.PDF(y) }, 1e-12, b)
+		if math.Abs(closed-quad) > 1e-6*(1+quad) {
+			t.Errorf("B=%v: closed %v quadrature %v", b, closed, quad)
+		}
+	}
+}
+
+func TestNewGammaMeanCV(t *testing.T) {
+	d := NewGammaMeanCV(40, 0.5)
+	if math.Abs(d.Mean()-40) > 1e-12 {
+		t.Errorf("mean %v", d.Mean())
+	}
+	// cv = sqrt(var)/mean = 1/sqrt(K).
+	if math.Abs(1/math.Sqrt(d.K)-0.5) > 1e-12 {
+		t.Errorf("cv wrong: K = %v", d.K)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for bad params")
+		}
+	}()
+	NewGammaMeanCV(0, 1)
+}
+
+func TestGammaRegularizedIdentities(t *testing.T) {
+	// P + Q = 1 across regimes.
+	for _, a := range []float64{0.3, 1, 4, 20} {
+		for _, x := range []float64{0.1, 1, 5, 40} {
+			p := numeric.LowerGammaRegularized(a, x)
+			q := numeric.UpperGammaRegularized(a, x)
+			if math.Abs(p+q-1) > 1e-12 {
+				t.Errorf("a=%v x=%v: P+Q = %v", a, x, p+q)
+			}
+		}
+	}
+	if !math.IsNaN(numeric.LowerGammaRegularized(-1, 1)) {
+		t.Error("negative shape should be NaN")
+	}
+	if numeric.LowerGammaRegularized(2, 0) != 0 || numeric.UpperGammaRegularized(2, 0) != 1 {
+		t.Error("x=0 boundary wrong")
+	}
+}

@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Scaled is a distribution Y = Factor · Base. The traffic sweeps of
+// Figures 5-6 generate "the Chicago shape scaled to a target mean" exactly
+// this way.
+type Scaled struct {
+	Base   Distribution
+	Factor float64
+}
+
+// NewScaledToMean rescales base so its mean becomes target.
+func NewScaledToMean(base Distribution, target float64) Scaled {
+	m := base.Mean()
+	if m <= 0 || math.IsInf(m, 0) {
+		panic("dist: cannot rescale a distribution without a positive finite mean")
+	}
+	return Scaled{Base: base, Factor: target / m}
+}
+
+// PDF implements Distribution.
+func (s Scaled) PDF(x float64) float64 {
+	return s.Base.PDF(x/s.Factor) / s.Factor
+}
+
+// CDF implements Distribution.
+func (s Scaled) CDF(x float64) float64 {
+	return s.Base.CDF(x / s.Factor)
+}
+
+// Quantile implements Distribution.
+func (s Scaled) Quantile(p float64) float64 {
+	return s.Factor * s.Base.Quantile(p)
+}
+
+// Mean implements Distribution.
+func (s Scaled) Mean() float64 { return s.Factor * s.Base.Mean() }
+
+// Sample implements Distribution.
+func (s Scaled) Sample(rng *rand.Rand) float64 {
+	return s.Factor * s.Base.Sample(rng)
+}
+
+// partialMean delegates with rescaled cutoff: ∫_0^b y q_s(y) dy =
+// Factor·∫_0^{b/Factor} u q(u) du.
+func (s Scaled) partialMean(b float64) float64 {
+	return s.Factor * MuBMinus(s.Base, b/s.Factor)
+}
+
+// Truncated restricts Base to [0, Hi], renormalizing; mass above Hi is
+// discarded. Used to cap synthetic stop lengths at a trace horizon.
+type Truncated struct {
+	Base Distribution
+	Hi   float64
+	mass float64 // CDF(Hi), cached
+}
+
+// NewTruncated truncates base to [0, hi].
+func NewTruncated(base Distribution, hi float64) *Truncated {
+	if hi <= 0 {
+		panic("dist: truncation bound must be positive")
+	}
+	m := base.CDF(hi)
+	if m <= 0 {
+		panic("dist: truncation removes all mass")
+	}
+	return &Truncated{Base: base, Hi: hi, mass: m}
+}
+
+// PDF implements Distribution.
+func (t *Truncated) PDF(x float64) float64 {
+	if x < 0 || x > t.Hi {
+		return 0
+	}
+	return t.Base.PDF(x) / t.mass
+}
+
+// CDF implements Distribution.
+func (t *Truncated) CDF(x float64) float64 {
+	if x >= t.Hi {
+		return 1
+	}
+	if x < 0 {
+		return 0
+	}
+	return t.Base.CDF(x) / t.mass
+}
+
+// Quantile implements Distribution.
+func (t *Truncated) Quantile(p float64) float64 {
+	if p >= 1 {
+		return t.Hi
+	}
+	if p <= 0 {
+		return 0
+	}
+	return t.Base.Quantile(p * t.mass)
+}
+
+// Mean implements Distribution.
+func (t *Truncated) Mean() float64 {
+	return MuBMinus(t.Base, t.Hi) / t.mass
+}
+
+// Sample implements Distribution. Inverse-transform keeps sampling exact
+// under truncation.
+func (t *Truncated) Sample(rng *rand.Rand) float64 {
+	return t.Quantile(rng.Float64())
+}

@@ -1,0 +1,116 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"idlereduce/internal/numeric"
+)
+
+func TestScaledToMean(t *testing.T) {
+	base := NewLogNormalMeanCV(40, 1.1)
+	for _, target := range []float64{5, 20, 40, 120} {
+		s := NewScaledToMean(base, target)
+		if math.Abs(s.Mean()-target) > 1e-9 {
+			t.Errorf("target %v: mean %v", target, s.Mean())
+		}
+		checkDistributionBasics(t, "scaled", s, numeric.Linspace(0.01, target*10, 100))
+	}
+}
+
+func TestScaledShapeInvariant(t *testing.T) {
+	// Scaling preserves the normalized shape: CDF_s(k·m_s) == CDF_b(k·m_b).
+	base := NewLogNormalMeanCV(30, 1.0)
+	s := NewScaledToMean(base, 90)
+	for _, k := range []float64{0.2, 0.5, 1, 2, 5} {
+		cb := base.CDF(k * base.Mean())
+		cs := s.CDF(k * s.Mean())
+		if math.Abs(cb-cs) > 1e-9 {
+			t.Errorf("k=%v: base %v scaled %v", k, cb, cs)
+		}
+	}
+}
+
+func TestScaledPartialMeanConsistent(t *testing.T) {
+	base := NewExponentialMean(20)
+	s := Scaled{Base: base, Factor: 3}
+	const B = 28.0
+	got := MuBMinus(s, B)
+	want := numeric.Integrate(func(y float64) float64 { return y * s.PDF(y) }, 0, B)
+	if math.Abs(got-want) > 1e-7 {
+		t.Errorf("closed %v vs quadrature %v", got, want)
+	}
+}
+
+func TestScaledToMeanPanicsOnPointMassAtZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for zero-mean base")
+		}
+	}()
+	NewScaledToMean(PointMass{At: 0}, 10)
+}
+
+func TestTruncatedBasics(t *testing.T) {
+	base := NewExponentialMean(30)
+	tr := NewTruncated(base, 120)
+	checkDistributionBasics(t, "truncated exp", tr, numeric.Linspace(0, 120, 100))
+	if tr.CDF(120) != 1 {
+		t.Error("CDF at bound must be 1")
+	}
+	if tr.CDF(121) != 1 {
+		t.Error("CDF above bound must be 1")
+	}
+	if tr.Mean() >= base.Mean() {
+		t.Errorf("truncation must lower the mean: %v vs %v", tr.Mean(), base.Mean())
+	}
+}
+
+func TestTruncatedQuantileWithinBound(t *testing.T) {
+	tr := NewTruncated(NewExponentialMean(50), 60)
+	for _, p := range []float64{0, 0.1, 0.5, 0.9, 0.999, 1} {
+		q := tr.Quantile(p)
+		if q < 0 || q > 60 {
+			t.Errorf("Quantile(%v) = %v outside [0, 60]", p, q)
+		}
+	}
+}
+
+func TestTruncatedSampleRespectsBound(t *testing.T) {
+	tr := NewTruncated(Pareto{Xm: 5, Alpha: 1.1}, 100)
+	rng := newRNG(3)
+	for i := 0; i < 10_000; i++ {
+		if v := tr.Sample(rng); v > 100 || v < 0 {
+			t.Fatalf("sample %v outside bound", v)
+		}
+	}
+}
+
+func TestTruncatedPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic for non-positive bound")
+			}
+		}()
+		NewTruncated(NewExponentialMean(1), 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic when all mass removed")
+			}
+		}()
+		NewTruncated(PointMass{At: 50}, 10)
+	}()
+}
+
+func TestScaledPDFOutsideSupport(t *testing.T) {
+	s := Scaled{Base: Uniform{Lo: 0, Hi: 10}, Factor: 2}
+	if got := s.PDF(25); got != 0 {
+		t.Errorf("PDF outside scaled support = %v", got)
+	}
+	if got := s.PDF(10); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("PDF(10) = %v want 0.05", got)
+	}
+}

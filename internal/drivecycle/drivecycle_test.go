@@ -1,0 +1,338 @@
+package drivecycle
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"idlereduce/internal/dist"
+	"idlereduce/internal/skirental"
+	"idlereduce/internal/stats"
+)
+
+func testRNG() *rand.Rand { return rand.New(rand.NewPCG(21, 42)) }
+
+func TestSignalValidate(t *testing.T) {
+	good := Signal{CycleSec: 60, RedFrac: 0.5, DischargeSecPerVeh: 2, ArrivalsPerSec: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Signal{
+		{CycleSec: 0, RedFrac: 0.5},
+		{CycleSec: 60, RedFrac: 0},
+		{CycleSec: 60, RedFrac: 1},
+		{CycleSec: 60, RedFrac: 0.5, DischargeSecPerVeh: -1},
+		{CycleSec: 60, RedFrac: 0.5, ArrivalsPerSec: -1},
+	}
+	for i, s := range bads {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad signal %d accepted", i)
+		}
+	}
+}
+
+func TestSignalStopProbability(t *testing.T) {
+	// With uniform arrival phase, P(stop) = RedFrac.
+	s := Signal{CycleSec: 80, RedFrac: 0.4, DischargeSecPerVeh: 2, ArrivalsPerSec: 0.05}
+	rng := testRNG()
+	const n = 100_000
+	stopped := 0
+	for i := 0; i < n; i++ {
+		if s.StopAt(rng) > 0 {
+			stopped++
+		}
+	}
+	got := float64(stopped) / n
+	if math.Abs(got-0.4) > 0.01 {
+		t.Errorf("stop probability %v, want 0.4", got)
+	}
+}
+
+func TestSignalStopBounded(t *testing.T) {
+	// A stop can never exceed the red phase plus the worst-case queue
+	// discharge accumulated during it (statistically bounded; check a
+	// generous cap).
+	s := Signal{CycleSec: 90, RedFrac: 0.5, DischargeSecPerVeh: 2, ArrivalsPerSec: 0.1}
+	rng := testRNG()
+	red := s.RedFrac * s.CycleSec
+	for i := 0; i < 50_000; i++ {
+		y := s.StopAt(rng)
+		if y < 0 {
+			t.Fatalf("negative stop %v", y)
+		}
+		// 45 s red, mean queue <= 4.5 cars => discharge usually < 30 s;
+		// allow 10x the mean for Poisson tails.
+		if y > red+10*s.ArrivalsPerSec*red*s.DischargeSecPerVeh+20 {
+			t.Fatalf("implausible signal stop %v", y)
+		}
+	}
+}
+
+func TestRouteValidate(t *testing.T) {
+	bads := []Route{
+		{Signals: []Signal{{CycleSec: -1, RedFrac: 0.5}}},
+		{StopSigns: -1},
+		{StopSigns: 2, StopSignMeanSec: 0},
+		{CongestionStopsMean: -1},
+		{CongestionStopsMean: 1, CongestionMeanSec: 0},
+	}
+	for i, r := range bads {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad route %d accepted", i)
+		}
+	}
+}
+
+func TestDayPlanValidate(t *testing.T) {
+	good := UrbanCommute()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(*DayPlan)) DayPlan {
+		d := UrbanCommute()
+		f(&d)
+		return d
+	}
+	bads := []DayPlan{
+		mut(func(d *DayPlan) { d.TripsPerDay = 0 }),
+		mut(func(d *DayPlan) { d.ErrandsPerDay = -1 }),
+		mut(func(d *DayPlan) { d.ErrandMeanSec = 0 }),
+		mut(func(d *DayPlan) { d.ErrandCV = 0 }),
+		mut(func(d *DayPlan) { d.MaxStopSec = 0 }),
+	}
+	for i, d := range bads {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestDayProducesBoundedStops(t *testing.T) {
+	d := UrbanCommute()
+	rng := testRNG()
+	stops, err := d.Day(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stops) == 0 {
+		t.Fatal("no stops generated")
+	}
+	for _, y := range stops {
+		if y < 1 || y > d.MaxStopSec {
+			t.Errorf("stop %v outside [1, %v]", y, d.MaxStopSec)
+		}
+	}
+}
+
+func TestWeekAggregates(t *testing.T) {
+	d := UrbanCommute()
+	rng := testRNG()
+	week, err := d.Week(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day, err := d.Day(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(week) < 4*len(day) {
+		t.Errorf("week has %d stops vs day %d: too few", len(week), len(day))
+	}
+}
+
+func TestUrbanCommuteHeavyTailedRejectsExponential(t *testing.T) {
+	// The mechanistic generator must reproduce the Figure 3 property.
+	d := UrbanCommute()
+	rng := testRNG()
+	var all []float64
+	for v := 0; v < 40; v++ {
+		week, err := d.Week(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, week...)
+	}
+	null := dist.NewExponentialMean(stats.Mean(all))
+	res, err := stats.KSOneSample(all, null.CDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rejects(0.01) {
+		t.Errorf("exponential not rejected: D=%v p=%v", res.D, res.P)
+	}
+}
+
+func TestUrbanCommuteProposedPolicyWins(t *testing.T) {
+	// End-to-end: on mechanistic traffic the proposed policy must not
+	// lose to the classic baselines, mirroring the Figure 4 claim.
+	d := UrbanCommute()
+	rng := testRNG()
+	week, err := d.Week(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 9; v++ { // thicker sample
+		more, err := d.Week(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		week = append(week, more...)
+	}
+	const B = 28.0
+	prop, err := skirental.NewConstrainedFromStops(B, week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crP := skirental.TraceCR(prop, week)
+	for _, base := range []skirental.Policy{
+		skirental.NewTOI(B), skirental.NewDET(B), skirental.NewNRand(B),
+	} {
+		if crB := skirental.TraceCR(base, week); crP > crB+1e-9 {
+			t.Errorf("proposed %v loses to %s %v", crP, base.Name(), crB)
+		}
+	}
+	// The long errand stops must also sink NEV.
+	if crN := skirental.TraceCR(skirental.NewNEV(B), week); crN < crP {
+		t.Errorf("NEV %v should lose to proposed %v on errand-heavy traffic", crN, crP)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := testRNG()
+	for _, mean := range []float64{0.5, 3, 12, 80} {
+		const n = 60_000
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			v := float64(poisson(rng, mean))
+			sum += v
+			sq += v * v
+		}
+		m := sum / n
+		variance := sq/n - m*m
+		if math.Abs(m-mean) > 0.05*mean+0.05 {
+			t.Errorf("mean %v: sample mean %v", mean, m)
+		}
+		if math.Abs(variance-mean) > 0.12*mean+0.1 {
+			t.Errorf("mean %v: sample variance %v (Poisson: var = mean)", mean, variance)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("non-positive mean should give 0")
+	}
+}
+
+func TestExpAndLognormalSamplers(t *testing.T) {
+	rng := testRNG()
+	const n = 200_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += expSample(rng, 25)
+	}
+	if math.Abs(sum/n-25) > 0.5 {
+		t.Errorf("exp mean %v", sum/n)
+	}
+	sum = 0
+	for i := 0; i < n; i++ {
+		sum += lognormalSample(rng, 100, 0.8)
+	}
+	if math.Abs(sum/n-100) > 2.5 {
+		t.Errorf("lognormal mean %v", sum/n)
+	}
+	if expSample(rng, 0) != 0 {
+		t.Error("zero-mean exp should be 0")
+	}
+}
+
+func TestPresetOrdering(t *testing.T) {
+	// Mean stop length and stop counts must order suburb < urban <
+	// downtown; all presets validate.
+	rng := testRNG()
+	means := map[string]float64{}
+	for _, tc := range []struct {
+		name string
+		plan DayPlan
+	}{
+		{"suburb", SuburbanCommute()},
+		{"urban", UrbanCommute()},
+		{"downtown", DowntownGridlock()},
+	} {
+		if err := tc.plan.Validate(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var all []float64
+		for i := 0; i < 30; i++ {
+			week, err := tc.plan.Week(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, week...)
+		}
+		means[tc.name] = stats.Mean(all)
+	}
+	if !(means["suburb"] < means["urban"] && means["urban"] < means["downtown"]) {
+		t.Errorf("mean stop ordering wrong: %v", means)
+	}
+}
+
+func TestPresetsSelectDifferentVertices(t *testing.T) {
+	// The suburb should land in DET territory and downtown in TOI (or at
+	// least a different, heavier choice), mirroring the adaptive example.
+	rng := testRNG()
+	choiceOf := func(plan DayPlan) skirental.Choice {
+		var all []float64
+		for i := 0; i < 20; i++ {
+			week, err := plan.Week(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, week...)
+		}
+		p, err := skirental.NewConstrainedFromStops(28, all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Choice()
+	}
+	suburb := choiceOf(SuburbanCommute())
+	downtown := choiceOf(DowntownGridlock())
+	if suburb != skirental.ChoiceDET {
+		t.Errorf("suburb selects %v, want DET", suburb)
+	}
+	if downtown == skirental.ChoiceDET {
+		t.Errorf("downtown should not select DET, got %v", downtown)
+	}
+}
+
+func TestTrafficStateCorrelatesStops(t *testing.T) {
+	// With the per-trip traffic state on, consecutive stops must show
+	// serial correlation (Ljung-Box rejects); with it off they must not.
+	rng := testRNG()
+	trace := func(cv float64) []float64 {
+		plan := UrbanCommute()
+		plan.TrafficStateCV = cv
+		plan.ErrandsPerDay = 0 // errands are rare spikes that mask the test
+		var all []float64
+		for len(all) < 3000 {
+			week, err := plan.Week(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, week...)
+		}
+		return all
+	}
+	on, err := stats.LjungBox(trace(0.6), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !on.Rejects(0.01) {
+		t.Errorf("traffic state on: no serial correlation detected (p=%v)", on.P)
+	}
+	off, err := stats.LjungBox(trace(0), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Rejects(0.001) {
+		t.Errorf("traffic state off: unexpected correlation (p=%v)", off.P)
+	}
+}

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"idlereduce/internal/adaptive"
+	"idlereduce/internal/analysis"
+	"idlereduce/internal/fleet"
+	"idlereduce/internal/skirental"
+	"idlereduce/internal/textplot"
+)
+
+// AblationResult holds the design-choice studies of DESIGN.md §4.
+type AblationResult struct {
+	// BDetFullMeanCR / BDetOffMeanCR: mean worst-case CR over the
+	// feasible statistics grid with and without the b-DET vertex.
+	BDetFullMeanCR float64
+	BDetOffMeanCR  float64
+	// BDetMaxGain is the largest pointwise CR improvement b-DET provides.
+	BDetMaxGain float64
+
+	// EstExactMeanCR / EstTrainedMeanCR: fleet mean CR with exact
+	// test-half statistics vs statistics estimated from the train half.
+	EstExactMeanCR   float64
+	EstTrainedMeanCR float64
+
+	// AvgMatchedCR / AvgMismatchedCR / ProposedMismatchedCR: the
+	// average-case baseline (Fujiwara-Iwama, tuned to the area
+	// distribution) evaluated on vehicles of its own area vs the
+	// proposed policy, demonstrating the fragility argument of Sec. 2.2.
+	AvgMeanCR      float64
+	ProposedMeanCR float64
+	// AvgMismatchMeanCR / ProposedMismatchMeanCR: AVG tuned to
+	// California's distribution but deployed on Chicago vehicles.
+	AvgMismatchMeanCR      float64
+	ProposedMismatchMeanCR float64
+	// PlainSmallSampleMeanCR / RobustSmallSampleMeanCR: selection from a
+	// single day of stops, evaluated on the remaining week — the plain
+	// point-estimate selector vs the confidence-rectangle robust variant.
+	PlainSmallSampleMeanCR  float64
+	RobustSmallSampleMeanCR float64
+	// LPOptMeanCR / ProposedLPSampleMeanCR: the numerically optimal
+	// LP-OPT policy vs the paper's selector on the same vehicle
+	// subsample.
+	LPOptMeanCR            float64
+	ProposedLPSampleMeanCR float64
+	// AdaptiveMeanCR / StaticMeanCR: online-estimated statistics vs
+	// clairvoyant trace statistics.
+	AdaptiveMeanCR float64
+	StaticMeanCR   float64
+}
+
+// Ablations runs the design-choice studies on a (scaled) fleet and
+// renders a report.
+func Ablations(o Options, f *fleet.Fleet) (*AblationResult, string, error) {
+	o = o.withDefaults()
+	ssv, _ := BreakEvens()
+	res := &AblationResult{}
+
+	// 1. b-DET vertex on/off over the statistics grid.
+	var full, off stats2
+	res.BDetMaxGain = 0
+	for mu := 0.0; mu <= 1.0; mu += 0.02 {
+		for q := 0.0; q <= 1.0; q += 0.02 {
+			s := skirental.Stats{MuBMinus: mu * ssv, QBPlus: q}
+			if s.Validate(ssv) != nil {
+				continue
+			}
+			offCost := s.OfflineCost(ssv)
+			if offCost == 0 {
+				continue
+			}
+			vc := skirental.ComputeVertexCosts(ssv, s)
+			_, fullCost := vc.Select()
+			restricted := math.Min(vc.NRand, math.Min(vc.TOI, vc.DET))
+			full.add(fullCost / offCost)
+			off.add(restricted / offCost)
+			if g := (restricted - fullCost) / offCost; g > res.BDetMaxGain {
+				res.BDetMaxGain = g
+			}
+		}
+	}
+	res.BDetFullMeanCR = full.mean()
+	res.BDetOffMeanCR = off.mean()
+
+	// 2. Plug-in estimation: train on the first half-week, test on the
+	// second.
+	var exact, trained stats2
+	for _, v := range f.Vehicles {
+		if len(v.Stops) < 8 {
+			continue
+		}
+		half := len(v.Stops) / 2
+		train, test := v.Stops[:half], v.Stops[half:]
+		pTrain, err := skirental.NewConstrainedFromStops(ssv, train)
+		if err != nil {
+			return nil, "", fmt.Errorf("experiments: ablation estimation: %w", err)
+		}
+		pExact, err := skirental.NewConstrainedFromStops(ssv, test)
+		if err != nil {
+			return nil, "", err
+		}
+		trained.add(skirental.TraceCR(pTrain, test))
+		exact.add(skirental.TraceCR(pExact, test))
+	}
+	res.EstExactMeanCR = exact.mean()
+	res.EstTrainedMeanCR = trained.mean()
+
+	// 3. Average-case baseline fragility: tune AVG to each area's
+	// aggregate distribution, evaluate per vehicle against the proposed
+	// policy tuned to the vehicle's own statistics.
+	var avg, prop stats2
+	for _, areaCfg := range fleet.DefaultAreas() {
+		vs := f.ByArea(areaCfg.Name)
+		if len(vs) == 0 {
+			continue
+		}
+		areaDist := areaCfg.StopLengthDistribution()
+		avgPol, err := skirental.NewAverageCase(areaDist, ssv)
+		if err != nil {
+			return nil, "", fmt.Errorf("experiments: ablation AVG: %w", err)
+		}
+		for _, v := range vs {
+			p, err := skirental.NewConstrainedFromStops(ssv, v.Stops)
+			if err != nil {
+				return nil, "", err
+			}
+			avg.add(skirental.TraceCR(avgPol, v.Stops))
+			prop.add(skirental.TraceCR(p, v.Stops))
+		}
+	}
+	res.AvgMeanCR = avg.mean()
+	res.ProposedMeanCR = prop.mean()
+
+	// 3b. The mismatch case: AVG tuned to California's light traffic,
+	// deployed on Chicago's gridlock vehicles.
+	var avgMis, propMis stats2
+	if chicago := f.ByArea("Chicago"); len(chicago) > 0 {
+		avgPol, err := skirental.NewAverageCase(fleet.California.StopLengthDistribution(), ssv)
+		if err != nil {
+			return nil, "", err
+		}
+		for _, v := range chicago {
+			p, err := skirental.NewConstrainedFromStops(ssv, v.Stops)
+			if err != nil {
+				return nil, "", err
+			}
+			avgMis.add(skirental.TraceCR(avgPol, v.Stops))
+			propMis.add(skirental.TraceCR(p, v.Stops))
+		}
+	}
+	res.AvgMismatchMeanCR = avgMis.mean()
+	res.ProposedMismatchMeanCR = propMis.mean()
+
+	// 3c. LP-OPT (the numerically optimal unrestricted policy) vs the
+	// paper's vertex selector, both built from each vehicle's own
+	// statistics. Most fleet vehicles live in the DET region where the
+	// two coincide, so the realized gain is small even though LP-OPT's
+	// worst-case guarantee is strictly better in the randomized regions.
+	var lpOpt, propForLP stats2
+	for i, v := range f.Vehicles {
+		if i%5 != 0 {
+			continue // subsample: the LP is the expensive step
+		}
+		st, err := skirental.EstimateStats(v.Stops, ssv)
+		if err != nil {
+			return nil, "", err
+		}
+		mm, err := analysis.MinimaxLP(ssv, st, 48)
+		if err != nil {
+			return nil, "", fmt.Errorf("experiments: ablation LP-OPT: %w", err)
+		}
+		pol, err := mm.Policy(ssv)
+		if err != nil {
+			return nil, "", err
+		}
+		prop2, err := skirental.NewConstrained(ssv, st)
+		if err != nil {
+			return nil, "", err
+		}
+		lpOpt.add(skirental.TraceCR(pol, v.Stops))
+		propForLP.add(skirental.TraceCR(prop2, v.Stops))
+	}
+	res.LPOptMeanCR = lpOpt.mean()
+	res.ProposedLPSampleMeanCR = propForLP.mean()
+
+	// 3d. Robust (confidence-rectangle) vs plain selection from one day
+	// of data, evaluated on the remaining week: does guarding against
+	// estimation error pay when samples are small?
+	var plainSmall, robustSmall stats2
+	for _, v := range f.Vehicles {
+		dayN := v.StopsPerDay[0]
+		if dayN < 3 || len(v.Stops)-dayN < 5 {
+			continue
+		}
+		train, test := v.Stops[:dayN], v.Stops[dayN:]
+		plainPol, err := skirental.NewConstrainedFromStops(ssv, train)
+		if err != nil {
+			return nil, "", err
+		}
+		robustPol, err := skirental.NewRobustConstrainedFromStops(ssv, train, 0.95)
+		if err != nil {
+			return nil, "", err
+		}
+		plainSmall.add(skirental.TraceCR(plainPol, test))
+		robustSmall.add(skirental.TraceCR(robustPol, test))
+	}
+	res.PlainSmallSampleMeanCR = plainSmall.mean()
+	res.RobustSmallSampleMeanCR = robustSmall.mean()
+
+	// 4. Adaptive (streaming estimates) vs static (whole-trace
+	// statistics).
+	var adap, static stats2
+	for _, v := range f.Vehicles {
+		p, err := adaptive.New(adaptive.Config{B: ssv})
+		if err != nil {
+			return nil, "", err
+		}
+		on, offC, err := p.RunMean(v.Stops)
+		if err != nil {
+			return nil, "", err
+		}
+		if offC == 0 {
+			continue
+		}
+		adap.add(on / offC)
+		sp, err := skirental.NewConstrainedFromStops(ssv, v.Stops)
+		if err != nil {
+			return nil, "", err
+		}
+		static.add(skirental.TraceCR(sp, v.Stops))
+	}
+	res.AdaptiveMeanCR = adap.mean()
+	res.StaticMeanCR = static.mean()
+
+	var sb strings.Builder
+	sb.WriteString(header("Ablations: design choices (B = 28 s)"))
+	tbl := [][]string{
+		{"ablation", "with", "without", "delta"},
+		{"b-DET vertex (grid mean worst CR)",
+			fmt.Sprintf("%.4f", res.BDetFullMeanCR),
+			fmt.Sprintf("%.4f", res.BDetOffMeanCR),
+			fmt.Sprintf("%.4f (max pointwise %.4f)", res.BDetOffMeanCR-res.BDetFullMeanCR, res.BDetMaxGain)},
+		{"exact vs trained statistics (fleet mean CR)",
+			fmt.Sprintf("%.4f", res.EstExactMeanCR),
+			fmt.Sprintf("%.4f", res.EstTrainedMeanCR),
+			fmt.Sprintf("%.4f", res.EstTrainedMeanCR-res.EstExactMeanCR)},
+		{"proposed vs area-tuned AVG (fleet mean CR)",
+			fmt.Sprintf("%.4f", res.ProposedMeanCR),
+			fmt.Sprintf("%.4f", res.AvgMeanCR),
+			fmt.Sprintf("%.4f", res.AvgMeanCR-res.ProposedMeanCR)},
+		{"... AVG tuned CA, deployed on Chicago",
+			fmt.Sprintf("%.4f", res.ProposedMismatchMeanCR),
+			fmt.Sprintf("%.4f", res.AvgMismatchMeanCR),
+			fmt.Sprintf("%.4f", res.AvgMismatchMeanCR-res.ProposedMismatchMeanCR)},
+		{"proposed vs LP-OPT (vehicle subsample mean CR)",
+			fmt.Sprintf("%.4f", res.ProposedLPSampleMeanCR),
+			fmt.Sprintf("%.4f", res.LPOptMeanCR),
+			fmt.Sprintf("%.4f", res.LPOptMeanCR-res.ProposedLPSampleMeanCR)},
+		{"plain vs robust selector (1-day sample)",
+			fmt.Sprintf("%.4f", res.PlainSmallSampleMeanCR),
+			fmt.Sprintf("%.4f", res.RobustSmallSampleMeanCR),
+			fmt.Sprintf("%.4f", res.RobustSmallSampleMeanCR-res.PlainSmallSampleMeanCR)},
+		{"static vs adaptive statistics (fleet mean CR)",
+			fmt.Sprintf("%.4f", res.StaticMeanCR),
+			fmt.Sprintf("%.4f", res.AdaptiveMeanCR),
+			fmt.Sprintf("%.4f", res.AdaptiveMeanCR-res.StaticMeanCR)},
+	}
+	sb.WriteString(textplot.Table(tbl))
+	sb.WriteString("\nReading: the b-DET vertex buys its improvement in the small-mu band (Fig. 2c-d);\n")
+	sb.WriteString("the robust selector trades average CR for a guaranteed bound — with one day of\n")
+	sb.WriteString("data its wide confidence rectangle falls back to N-Rand on vehicles where the\n")
+	sb.WriteString("point estimate (correctly, in this traffic) gambles on DET;\n")
+	sb.WriteString("plug-in and streaming estimation cost ~0.01-0.05 CR; the known-distribution AVG\n")
+	sb.WriteString("baseline edges out the proposed policy when traffic matches its design distribution\n")
+	sb.WriteString("(it uses strictly more information) but degrades under mismatch, while the proposed\n")
+	sb.WriteString("policy keeps its guarantee — the paper's case against average-case tuning.\n")
+	return res, sb.String(), nil
+}
+
+// stats2 is a small mean accumulator.
+type stats2 struct {
+	sum float64
+	n   int
+}
+
+func (s *stats2) add(v float64) { s.sum += v; s.n++ }
+func (s *stats2) mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(s.n)
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAblations(t *testing.T) {
+	f := smallFleet(t)
+	res, out, err := Ablations(smallOpts(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b-DET removal can only hurt (the full selector minimizes).
+	if res.BDetOffMeanCR < res.BDetFullMeanCR-1e-12 {
+		t.Errorf("removing b-DET improved the mean CR: %v vs %v", res.BDetOffMeanCR, res.BDetFullMeanCR)
+	}
+	if res.BDetMaxGain <= 0 {
+		t.Errorf("b-DET should help somewhere, max gain %v", res.BDetMaxGain)
+	}
+	// Estimation penalties are small and non-negative in aggregate.
+	if pen := res.EstTrainedMeanCR - res.EstExactMeanCR; pen < -0.02 || pen > 0.15 {
+		t.Errorf("implausible estimation penalty %v", pen)
+	}
+	if pen := res.AdaptiveMeanCR - res.StaticMeanCR; pen < -0.02 || pen > 0.25 {
+		t.Errorf("implausible adaptation penalty %v", pen)
+	}
+	// The mismatch case must hurt AVG more than the matched case.
+	mismatchGap := res.AvgMismatchMeanCR - res.ProposedMismatchMeanCR
+	matchedGap := res.AvgMeanCR - res.ProposedMeanCR
+	if mismatchGap <= matchedGap {
+		t.Errorf("mismatch gap %v should exceed matched gap %v", mismatchGap, matchedGap)
+	}
+	// The robust selector is more conservative than the plain one on
+	// small samples: higher average CR but a guaranteed bound.
+	if res.RobustSmallSampleMeanCR < res.PlainSmallSampleMeanCR-0.02 {
+		t.Errorf("robust %v should not beat plain %v on average", res.RobustSmallSampleMeanCR, res.PlainSmallSampleMeanCR)
+	}
+	if res.RobustSmallSampleMeanCR > math.E/(math.E-1)+0.02 {
+		t.Errorf("robust mean CR %v above the N-Rand ceiling", res.RobustSmallSampleMeanCR)
+	}
+	// LP-OPT ties the proposed policy on realized fleet CR (most
+	// vehicles are in the DET region where the two coincide).
+	if math.Abs(res.LPOptMeanCR-res.ProposedLPSampleMeanCR) > 0.02 {
+		t.Errorf("LP-OPT %v vs proposed %v: unexpected realized gap", res.LPOptMeanCR, res.ProposedLPSampleMeanCR)
+	}
+	for _, frag := range []string{"b-DET vertex", "trained statistics", "AVG", "LP-OPT", "adaptive"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+	for _, v := range []float64{res.BDetFullMeanCR, res.EstExactMeanCR, res.AvgMeanCR, res.AdaptiveMeanCR} {
+		if math.IsNaN(v) || v < 1 {
+			t.Errorf("implausible metric %v", v)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver returns both the structured results
+// (for tests and benchmarks) and a rendered text report (for the CLI),
+// so `idlereduce <experiment>` regenerates the corresponding artifact.
+//
+// Experiment index:
+//
+//	Fig1      — strategy regions and worst-case CR surface over (mu/B, q)
+//	Fig2      — projected views: worst-case CR vs q at fixed mu
+//	Fig3      — stop-length distributions of the three areas + KS test
+//	Fig4      — per-vehicle CR comparison across six strategies, B=28/47
+//	Fig5/Fig6 — worst-case CR vs mean stop length (B=28 / B=47)
+//	Table1    — stops per day statistics per area
+//	AppendixC — break-even interval derivation
+package experiments
+
+import (
+	"fmt"
+
+	"idlereduce/internal/costmodel"
+	"idlereduce/internal/fleet"
+)
+
+// Options tunes experiment sizes. The zero value is replaced by Defaults.
+type Options struct {
+	// Seed drives all synthetic data generation.
+	Seed uint64
+	// FleetVehicles overrides the per-area vehicle counts when > 0
+	// (useful to shrink runs); 0 keeps the paper's 217/312/653.
+	FleetVehicles int
+	// GridN is the resolution of Figure 1's statistics grid.
+	GridN int
+	// SweepPoints is the number of traffic conditions in Figures 5-6.
+	SweepPoints int
+}
+
+// Defaults returns the publication-scale options.
+func Defaults() Options {
+	return Options{Seed: 20140601, GridN: 60, SweepPoints: 30}
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	d := Defaults()
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.GridN == 0 {
+		o.GridN = d.GridN
+	}
+	if o.SweepPoints == 0 {
+		o.SweepPoints = d.SweepPoints
+	}
+	return o
+}
+
+// BuildFleet generates the synthetic NREL-substitute fleet for the
+// options.
+func (o Options) BuildFleet() (*fleet.Fleet, error) {
+	o = o.withDefaults()
+	areas := fleet.DefaultAreas()
+	if o.FleetVehicles > 0 {
+		for i := range areas {
+			areas[i].Vehicles = o.FleetVehicles
+		}
+	}
+	return fleet.GenerateFleet(o.Seed, areas...)
+}
+
+// BreakEvens returns the two break-even intervals of the evaluation:
+// the paper's published minimum estimates for SSV and conventional
+// vehicles.
+func BreakEvens() (ssv, conventional float64) {
+	return costmodel.PaperBreakEvenSSV, costmodel.PaperBreakEvenConventional
+}
+
+// header renders a section banner.
+func header(title string) string {
+	return fmt.Sprintf("== %s ==\n\n", title)
+}
+
+// ResolvedSeed returns the seed after defaulting (exported for tools that
+// generate fleets from custom area configs).
+func (o Options) ResolvedSeed() uint64 {
+	return o.withDefaults().Seed
+}

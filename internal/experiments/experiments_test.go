@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"idlereduce/internal/fleet"
+	"idlereduce/internal/skirental"
+)
+
+// smallOpts keeps unit-test runtimes reasonable.
+func smallOpts() Options {
+	return Options{Seed: 7, FleetVehicles: 25, GridN: 24, SweepPoints: 12}
+}
+
+func smallFleet(t *testing.T) *fleet.Fleet {
+	t.Helper()
+	f, err := smallOpts().BuildFleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	d := Defaults()
+	if o.Seed != d.Seed || o.GridN != d.GridN || o.SweepPoints != d.SweepPoints {
+		t.Errorf("defaults not applied: %+v", o)
+	}
+	// Explicit values survive.
+	o2 := Options{Seed: 1, GridN: 5, SweepPoints: 3}.withDefaults()
+	if o2.Seed != 1 || o2.GridN != 5 || o2.SweepPoints != 3 {
+		t.Errorf("explicit values clobbered: %+v", o2)
+	}
+}
+
+func TestBuildFleetScaled(t *testing.T) {
+	f := smallFleet(t)
+	if len(f.Vehicles) != 3*25 {
+		t.Errorf("vehicles %d", len(f.Vehicles))
+	}
+}
+
+func TestBreakEvens(t *testing.T) {
+	ssv, conv := BreakEvens()
+	if ssv != 28 || conv != 47 {
+		t.Errorf("break-evens %v %v", ssv, conv)
+	}
+}
+
+func TestFig1(t *testing.T) {
+	res, out := Fig1(smallOpts(), 28)
+	if res.MaxCR > math.E/(math.E-1)+1e-9 || res.MaxCR < 1.2 {
+		t.Errorf("max CR %v implausible", res.MaxCR)
+	}
+	// All four strategies must appear with nonzero share.
+	for _, ch := range []skirental.Choice{skirental.ChoiceDET, skirental.ChoiceTOI, skirental.ChoiceBDet, skirental.ChoiceNRand} {
+		if res.Share[ch] <= 0 {
+			t.Errorf("strategy %v has zero share", ch)
+		}
+	}
+	shareSum := 0.0
+	for _, s := range res.Share {
+		shareSum += s
+	}
+	if math.Abs(shareSum-1) > 1e-9 {
+		t.Errorf("shares sum to %v", shareSum)
+	}
+	for _, frag := range []string{"Figure 1a", "DET", "TOI", "b-DET", "N-Rand", "infeasible"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	results, out := Fig2(smallOpts(), 28)
+	if len(results) != 3 {
+		t.Fatalf("slices %d", len(results))
+	}
+	for _, r := range results {
+		if len(r.Points) == 0 {
+			t.Fatalf("muFrac %v: no points", r.MuFrac)
+		}
+		for _, p := range r.Points {
+			if p.Proposed > p.Baselines["N-Rand"]+1e-9 {
+				t.Errorf("proposed above N-Rand at q=%v", p.Q)
+			}
+		}
+	}
+	if !strings.Contains(out, "mu_B- = 0.02B") {
+		t.Error("missing 0.02B slice header")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	f := smallFleet(t)
+	results, out, err := Fig3(smallOpts(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("areas %d", len(results))
+	}
+	for _, r := range results {
+		if !r.KS.Rejects(0.01) {
+			t.Errorf("%s: exponential not rejected (p=%v)", r.Area, r.KS.P)
+		}
+		if r.Stops == 0 || r.Vehicles != 25 {
+			t.Errorf("%s: stops=%d vehicles=%d", r.Area, r.Stops, r.Vehicles)
+		}
+	}
+	if !strings.Contains(out, "rejected") {
+		t.Error("report missing KS verdict")
+	}
+	// The cross-area shape comparison and its substitution note.
+	for _, frag := range []string{"Cross-area shape", "California vs Atlanta", "Substitution note"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+}
+
+func TestFig4(t *testing.T) {
+	f := smallFleet(t)
+	results, out, err := Fig4(smallOpts(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("panels %d", len(results))
+	}
+	if results[0].B != 28 || results[1].B != 47 {
+		t.Errorf("Bs %v %v", results[0].B, results[1].B)
+	}
+	for _, r := range results {
+		frac := float64(r.Eval.ProposedBestTotal) / float64(len(r.Eval.Vehicles))
+		if frac < 0.6 {
+			t.Errorf("B=%v: proposed best only %.0f%%", r.B, frac*100)
+		}
+		for _, a := range r.Eval.Areas {
+			// Proposed must have the lowest worst-case CR per area.
+			for _, p := range []string{"TOI", "NEV", "DET", "N-Rand", "MOM-Rand"} {
+				if a.WorstCR["Proposed"] > a.WorstCR[p]+1e-9 {
+					t.Errorf("B=%v %s: proposed worst %v above %s %v", r.B, a.Area, a.WorstCR["Proposed"], p, a.WorstCR[p])
+				}
+			}
+		}
+	}
+	for _, frag := range []string{"B = 28 s (SSV)", "B = 47 s (no-SSS)", "Vertex selection"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+}
+
+func TestFig5AndFig6(t *testing.T) {
+	for _, fig := range []func(Options) (*SweepResult, string, error){Fig5, Fig6} {
+		res, out, err := fig(smallOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Points) != 12 {
+			t.Fatalf("points %d", len(res.Points))
+		}
+		for _, p := range res.Points {
+			if p.Proposed > p.Baselines["N-Rand"]+1e-9 {
+				t.Errorf("B=%v mean=%v: proposed above N-Rand", res.B, p.MeanStopSec)
+			}
+		}
+		// Crossover shape: DET best early, TOI best late.
+		first, last := res.Points[0], res.Points[len(res.Points)-1]
+		if first.Baselines["DET"] > first.Baselines["TOI"] {
+			t.Errorf("B=%v: DET should win at short stops", res.B)
+		}
+		if last.Baselines["TOI"] > last.Baselines["DET"] {
+			t.Errorf("B=%v: TOI should win at long stops", res.B)
+		}
+		if !strings.Contains(out, "lower envelope") {
+			t.Error("report missing narrative")
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	f := smallFleet(t)
+	rows, out, err := Table1(smallOpts(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	targets := map[string]float64{"California": 9.37, "Chicago": 12.49, "Atlanta": 10.37}
+	for _, r := range rows {
+		if math.Abs(r.Mean-targets[r.Area]) > 0.35*targets[r.Area] {
+			t.Errorf("%s: mean stops/day %v vs target %v", r.Area, r.Mean, targets[r.Area])
+		}
+		if r.PWithin < 0.85 || r.PWithin > 1 {
+			t.Errorf("%s: P within %v", r.Area, r.PWithin)
+		}
+	}
+	if !strings.Contains(out, "Table 1") {
+		t.Error("missing header")
+	}
+}
+
+func TestAppendixC(t *testing.T) {
+	res, out, err := AppendixC(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.IdlingCentsPerSec-0.0258) > 0.0002 {
+		t.Errorf("idling cost %v", res.IdlingCentsPerSec)
+	}
+	if res.SSV.TotalSec() < 28 || res.SSV.TotalSec() > 30 {
+		t.Errorf("SSV B %v", res.SSV.TotalSec())
+	}
+	if res.Conventional.TotalSec() < 47 || res.Conventional.TotalSec() > 49.5 {
+		t.Errorf("conventional B %v", res.Conventional.TotalSec())
+	}
+	for _, frag := range []string{"starter wear", "battery wear", "total B"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+}

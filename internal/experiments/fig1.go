@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"idlereduce/internal/analysis"
+	"idlereduce/internal/skirental"
+	"idlereduce/internal/textplot"
+)
+
+// Fig1Result holds the Figure 1 dataset: the strategy-region grid and the
+// worst-case CR surface.
+type Fig1Result struct {
+	B     float64
+	Cells []analysis.RegionCell
+	// MaxCR is the largest worst-case CR on the feasible grid (the peak
+	// of Figure 1b, bounded by e/(e-1)).
+	MaxCR float64
+	// Share maps each strategy to its fraction of feasible cells.
+	Share map[skirental.Choice]float64
+}
+
+// Fig1 computes the strategy-region map (Fig. 1a) and CR surface
+// (Fig. 1b) for break-even interval b.
+func Fig1(o Options, b float64) (*Fig1Result, string) {
+	o = o.withDefaults()
+	cells := analysis.StrategyRegions(b, o.GridN, o.GridN)
+	res := &Fig1Result{B: b, Cells: cells, Share: map[skirental.Choice]float64{}}
+	feasible := 0
+	for _, c := range cells {
+		if !c.Feasible {
+			continue
+		}
+		feasible++
+		res.Share[c.Choice]++
+		if c.CR > res.MaxCR {
+			res.MaxCR = c.CR
+		}
+	}
+	for k := range res.Share {
+		res.Share[k] /= float64(feasible)
+	}
+
+	// Render the region map as a heatmap; rows indexed by q (bottom 0).
+	glyph := map[skirental.Choice]rune{
+		skirental.ChoiceNRand: 'N',
+		skirental.ChoiceTOI:   'T',
+		skirental.ChoiceDET:   'D',
+		skirental.ChoiceBDet:  'b',
+	}
+	n := o.GridN + 1
+	rows := make([][]rune, n)
+	for j := 0; j < n; j++ {
+		rows[j] = []rune(strings.Repeat(".", n))
+	}
+	for _, c := range cells {
+		i := int(math.Round(c.MuFrac * float64(o.GridN)))
+		j := int(math.Round(c.Q * float64(o.GridN)))
+		if c.Feasible {
+			rows[j][i] = glyph[c.Choice]
+		}
+	}
+	hm := &textplot.Heatmap{
+		Title:  fmt.Sprintf("Figure 1a: optimal strategy over (mu_B-/B, q_B+), B = %.0f s", b),
+		XLabel: "mu_B-/B: 0 (left) to 1 (right)",
+		YLabel: "q_B+: 0 (bottom) to 1 (top)",
+		Cells:  rows,
+		Legend: []textplot.LegendEntry{
+			{Glyph: 'D', Desc: "DET (idle until B)"},
+			{Glyph: 'T', Desc: "TOI (turn off immediately)"},
+			{Glyph: 'b', Desc: "b-DET (idle until sqrt(mu B / q))"},
+			{Glyph: 'N', Desc: "N-Rand (randomized)"},
+			{Glyph: '.', Desc: "infeasible (mu > B(1-q))"},
+		},
+	}
+
+	// Figure 1b: the worst-case CR surface, rendered as a digit heatmap
+	// (0 = CR 1.0 ... 9 = CR e/(e-1)).
+	crRows := make([][]rune, n)
+	for j := 0; j < n; j++ {
+		crRows[j] = []rune(strings.Repeat(".", n))
+	}
+	crMax := math.E / (math.E - 1)
+	for _, c := range cells {
+		i := int(math.Round(c.MuFrac * float64(o.GridN)))
+		j := int(math.Round(c.Q * float64(o.GridN)))
+		if !c.Feasible {
+			continue
+		}
+		level := int(math.Round((c.CR - 1) / (crMax - 1) * 9))
+		if level < 0 {
+			level = 0
+		}
+		if level > 9 {
+			level = 9
+		}
+		crRows[j][i] = rune('0' + level)
+	}
+	crMap := &textplot.Heatmap{
+		Title:  fmt.Sprintf("Figure 1b: worst-case CR surface (0 = 1.0 ... 9 = %.3f)", crMax),
+		XLabel: "mu_B-/B: 0 (left) to 1 (right)",
+		YLabel: "q_B+: 0 (bottom) to 1 (top)",
+		Cells:  crRows,
+	}
+
+	var sb strings.Builder
+	sb.WriteString(header("Figure 1: proposed online algorithm"))
+	sb.WriteString(hm.Render())
+	sb.WriteString("\n")
+	sb.WriteString(crMap.Render())
+	sb.WriteString("\n")
+	sb.WriteString(fmt.Sprintf("Figure 1b summary: worst-case CR peaks at %.4f (bound e/(e-1) = %.4f)\n",
+		res.MaxCR, math.E/(math.E-1)))
+	rows2 := [][]string{{"strategy", "share of feasible (mu, q) grid"}}
+	for _, ch := range []skirental.Choice{skirental.ChoiceDET, skirental.ChoiceTOI, skirental.ChoiceBDet, skirental.ChoiceNRand} {
+		rows2 = append(rows2, []string{ch.String(), fmt.Sprintf("%5.1f%%", res.Share[ch]*100)})
+	}
+	sb.WriteString(textplot.Table(rows2))
+	return res, sb.String()
+}

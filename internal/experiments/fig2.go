@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"idlereduce/internal/analysis"
+	"idlereduce/internal/textplot"
+)
+
+// Fig2Result holds one projection slice of Figure 2.
+type Fig2Result struct {
+	B      float64
+	MuFrac float64
+	Points []analysis.ProjectionPoint
+}
+
+// Fig2 computes the Figure 2 projections: worst-case CR of each strategy
+// versus q_B+ at the paper's fixed mu_B- slices (0.02B and 0.05B for the
+// b-DET panels, plus a mid-range slice).
+func Fig2(o Options, b float64) ([]Fig2Result, string) {
+	o = o.withDefaults()
+	var sb strings.Builder
+	sb.WriteString(header("Figure 2: projected views of the worst-case CR"))
+	var results []Fig2Result
+	for _, muFrac := range []float64{0.02, 0.05, 0.30} {
+		pts := analysis.ProjectionCurves(b, muFrac, 1, 120)
+		results = append(results, Fig2Result{B: b, MuFrac: muFrac, Points: pts})
+
+		chart := &textplot.LineChart{
+			Title:  fmt.Sprintf("Figure 2 slice: mu_B- = %.2fB, B = %.0f s (worst-case CR vs q_B+)", muFrac, b),
+			Width:  84,
+			Height: 18,
+			YMin:   1,
+			YMax:   2,
+		}
+		add := func(name string, pick func(analysis.ProjectionPoint) float64) {
+			xs := make([]float64, 0, len(pts))
+			ys := make([]float64, 0, len(pts))
+			for _, p := range pts {
+				xs = append(xs, p.Q)
+				ys = append(ys, pick(p))
+			}
+			chart.Add(textplot.Series{Name: name, X: xs, Y: ys})
+		}
+		for _, n := range []string{"DET", "TOI", "N-Rand", "b-DET"} {
+			name := n
+			add(name, func(p analysis.ProjectionPoint) float64 { return p.Baselines[name] })
+		}
+		add("Proposed", func(p analysis.ProjectionPoint) float64 { return p.Proposed })
+		sb.WriteString(chart.Render())
+		sb.WriteString("\n")
+	}
+	return results, sb.String()
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"idlereduce/internal/analysis"
+	"idlereduce/internal/fleet"
+	"idlereduce/internal/stats"
+	"idlereduce/internal/textplot"
+)
+
+// Fig4Result holds the individual-vehicle comparison for one break-even
+// interval (one row of panels in Figure 4).
+type Fig4Result struct {
+	B    float64
+	Eval *analysis.FleetEvaluation
+}
+
+// Fig4 reproduces Figure 4: per-vehicle CRs of the six strategies on
+// every vehicle, summarized as worst-case and average CR per area, for
+// both vehicle classes (B = 28 s SSV on the top row, B = 47 s conventional
+// on the bottom row).
+func Fig4(o Options, f *fleet.Fleet) ([]Fig4Result, string, error) {
+	var results []Fig4Result
+	var sb strings.Builder
+	sb.WriteString(header("Figure 4: individual vehicle test"))
+
+	ssv, conv := BreakEvens()
+	for _, b := range []float64{ssv, conv} {
+		ev, err := analysis.EvaluateFleet(b, f)
+		if err != nil {
+			return nil, "", fmt.Errorf("experiments: fig4 B=%v: %w", b, err)
+		}
+		results = append(results, Fig4Result{B: b, Eval: ev})
+
+		kind := "SSV"
+		if b == conv {
+			kind = "no-SSS"
+		}
+		sb.WriteString(fmt.Sprintf("--- B = %.0f s (%s) ---\n\n", b, kind))
+		for _, metric := range []string{"worst", "mean"} {
+			rows := [][]string{append([]string{metric + " CR"}, analysis.PolicyNames...)}
+			for _, a := range ev.Areas {
+				row := []string{a.Area}
+				for _, p := range analysis.PolicyNames {
+					v := a.WorstCR[p]
+					if metric == "mean" {
+						v = a.MeanCR[p]
+					}
+					row = append(row, fmt.Sprintf("%.3f", v))
+				}
+				rows = append(rows, row)
+			}
+			sb.WriteString(textplot.Table(rows))
+			sb.WriteString("\n")
+		}
+		// Per-vehicle CR histogram for the proposed policy — the shape
+		// Figure 4's per-vehicle curves convey.
+		var crs []float64
+		for _, v := range ev.Vehicles {
+			crs = append(crs, v.CR["Proposed"])
+		}
+		hist, err := stats.NewHistogram(crs, 1.0, 1.6, 12)
+		if err != nil {
+			return nil, "", err
+		}
+		bars := &textplot.BarChart{
+			Title: fmt.Sprintf("Proposed per-vehicle CR distribution (B = %.0f s)", b),
+			Width: 46,
+		}
+		for i := range hist.Counts {
+			bars.Add(fmt.Sprintf("%.2f-%.2f", 1.0+float64(i)*0.05, 1.0+float64(i+1)*0.05), float64(hist.Counts[i]))
+		}
+		sb.WriteString(bars.Render())
+		sb.WriteString("\n")
+		sb.WriteString(fmt.Sprintf("Proposed policy attains the best CR in %d of %d vehicles (%.1f%%).\n",
+			ev.ProposedBestTotal, len(ev.Vehicles),
+			100*float64(ev.ProposedBestTotal)/float64(len(ev.Vehicles))))
+		counts := map[string]int{}
+		for _, v := range ev.Vehicles {
+			counts[v.Choice.String()]++
+		}
+		sb.WriteString(fmt.Sprintf("Vertex selection: %v\n\n", formatCounts(counts)))
+	}
+	sb.WriteString("Paper reference: best in 1169/1182 vehicles at B=28 and 977/1182 at B=47;\n")
+	sb.WriteString("mean CR 1.11/1.32/1.10 (B=28) and 1.35/1.42/1.35 (B=47) for CA/Chicago/Atlanta.\n")
+	return results, sb.String(), nil
+}
+
+// formatCounts renders a deterministic "name:count" list.
+func formatCounts(m map[string]int) string {
+	order := []string{"DET", "TOI", "b-DET", "N-Rand"}
+	parts := make([]string, 0, len(order))
+	for _, k := range order {
+		if m[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", k, m[k]))
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"idlereduce/internal/costmodel"
+	"idlereduce/internal/fleet"
+	"idlereduce/internal/simulator"
+	"idlereduce/internal/skirental"
+	"idlereduce/internal/stats"
+	"idlereduce/internal/textplot"
+)
+
+// SavingsPolicy aggregates one policy's annualized savings over the fleet.
+type SavingsPolicy struct {
+	Policy string
+	// PerVehicle is the mean annual saving per vehicle.
+	PerVehicle costmodel.Savings
+	// FleetUSD extrapolates the monetary saving to the whole fleet.
+	FleetUSD float64
+}
+
+// SavingsResult is the fleet-wide annualized savings study.
+type SavingsResult struct {
+	Vehicles int
+	Policies []SavingsPolicy
+}
+
+// FleetSavings simulates each policy over every vehicle's week and
+// annualizes the fuel, money and idling saved relative to never turning
+// the engine off — the paper's motivating numbers (6B gallons, $20B/year
+// in the US) reduced to this fleet.
+func FleetSavings(o Options, f *fleet.Fleet) (*SavingsResult, string, error) {
+	o = o.withDefaults()
+	vehicle := costmodel.NewFordFusion2011(3.5, true)
+	costs, err := vehicle.Costs()
+	if err != nil {
+		return nil, "", err
+	}
+	b := costs.B()
+
+	res := &SavingsResult{Vehicles: len(f.Vehicles)}
+	for _, polName := range []string{"Proposed", "TOI", "DET"} {
+		var totals costmodel.Savings
+		for _, v := range f.Vehicles {
+			var pol skirental.Policy
+			switch polName {
+			case "Proposed":
+				p, err := skirental.NewConstrainedFromStops(b, v.Stops)
+				if err != nil {
+					return nil, "", err
+				}
+				pol = p
+			case "TOI":
+				pol = skirental.NewTOI(b)
+			case "DET":
+				pol = skirental.NewDET(b)
+			}
+			run, err := simulator.Run(simulator.Config{Costs: costs, Policy: pol}, v.Stops, stats.NewRNG(o.Seed^uint64(len(v.Stops))))
+			if err != nil {
+				return nil, "", fmt.Errorf("experiments: savings %s/%s: %w", polName, v.ID, err)
+			}
+			totalStop := 0.0
+			for _, y := range v.Stops {
+				totalStop += y
+			}
+			s, err := vehicle.AnnualSavings(run.IdleSec, totalStop, run.Restarts, 7)
+			if err != nil {
+				return nil, "", err
+			}
+			totals.IdleSecondsSaved += s.IdleSecondsSaved
+			totals.FuelLiters += s.FuelLiters
+			totals.USD += s.USD
+			totals.Restarts += s.Restarts
+		}
+		n := float64(len(f.Vehicles))
+		per := costmodel.Savings{
+			IdleSecondsSaved: totals.IdleSecondsSaved / n,
+			FuelLiters:       totals.FuelLiters / n,
+			USD:              totals.USD / n,
+			Restarts:         totals.Restarts / n,
+		}
+		res.Policies = append(res.Policies, SavingsPolicy{
+			Policy:     polName,
+			PerVehicle: per,
+			FleetUSD:   totals.USD,
+		})
+	}
+
+	var sb strings.Builder
+	sb.WriteString(header("Annualized savings vs never turning off (SSV cost model)"))
+	sb.WriteString(fmt.Sprintf("Fleet: %d vehicles, one observed week each, extrapolated to a year.\n\n", res.Vehicles))
+	rows := [][]string{{"policy", "idle saved (h/veh/yr)", "fuel (L/veh/yr)", "net $/veh/yr", "restarts/veh/yr", "fleet $/yr"}}
+	for _, p := range res.Policies {
+		rows = append(rows, []string{
+			p.Policy,
+			fmt.Sprintf("%.1f", p.PerVehicle.IdleSecondsSaved/3600),
+			fmt.Sprintf("%.1f", p.PerVehicle.FuelLiters),
+			fmt.Sprintf("%.2f", p.PerVehicle.USD),
+			fmt.Sprintf("%.0f", p.PerVehicle.Restarts),
+			fmt.Sprintf("%.0f", p.FleetUSD),
+		})
+	}
+	sb.WriteString(textplot.Table(rows))
+	sb.WriteString("\nTOI saves the most idling but pays for it in restarts; the proposed policy\n")
+	sb.WriteString("keeps nearly all of the saving while restarting far less — the tradeoff the\n")
+	sb.WriteString("break-even analysis of Appendix C is for. (The paper's US-wide motivation:\n")
+	sb.WriteString(">6 billion gallons and $20B of idling waste per year.)\n")
+	return res, sb.String(), nil
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestVerifySuite(t *testing.T) {
+	res, out, err := Verify(smallOpts(), 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ODEMaxErr > 1e-10 {
+		t.Errorf("ODE error %v", res.ODEMaxErr)
+	}
+	if !res.VertexLPAgree {
+		t.Error("vertex LP disagreed with enumeration")
+	}
+	if res.AdversaryMaxRelErr > 0.01 {
+		t.Errorf("adversarial search error %v", res.AdversaryMaxRelErr)
+	}
+	if len(res.Minimax) != 4 {
+		t.Fatalf("minimax checks %d", len(res.Minimax))
+	}
+	byRegion := map[string]MinimaxCheck{}
+	for _, c := range res.Minimax {
+		byRegion[c.Region] = c
+	}
+	// Tight in deterministic regions, strictly improvable in the
+	// randomized ones — the reproduction finding.
+	for _, r := range []string{"DET", "TOI"} {
+		if byRegion[r].Improves {
+			t.Errorf("%s region should be tight", r)
+		}
+	}
+	for _, r := range []string{"b-DET", "N-Rand"} {
+		if !byRegion[r].Improves {
+			t.Errorf("%s region should show a strict improvement", r)
+		}
+	}
+	for _, frag := range []string{"Verification suite", "improves?", "Finding"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+}
+
+func TestDriveCycleExperiment(t *testing.T) {
+	res, out, err := DriveCycle(smallOpts(), 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drivers != 25 || res.Stops == 0 {
+		t.Errorf("drivers %d stops %d", res.Drivers, res.Stops)
+	}
+	if !res.KS.Rejects(0.01) {
+		t.Errorf("mechanistic traffic should reject the exponential fit (p=%v)", res.KS.P)
+	}
+	if !res.LjungBox.Rejects(0.01) {
+		t.Errorf("per-trip traffic state should show serial correlation (p=%v)", res.LjungBox.P)
+	}
+	frac := float64(res.ProposedBest) / float64(res.Drivers)
+	if frac < 0.7 {
+		t.Errorf("proposed best only %.0f%% on mechanistic traffic", frac*100)
+	}
+	// Proposed has the lowest mean CR of the lineup.
+	for name, cr := range res.MeanCR {
+		if name == "Proposed" {
+			continue
+		}
+		if res.MeanCR["Proposed"] > cr+1e-9 {
+			t.Errorf("proposed mean %v above %s %v", res.MeanCR["Proposed"], name, cr)
+		}
+	}
+	if !strings.Contains(out, "drive-cycle study") {
+		t.Error("missing header")
+	}
+}
+
+func TestBSweepExperiment(t *testing.T) {
+	res, out, err := BSweep(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 29 {
+		t.Fatalf("points %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Proposed < 1-1e-9 || p.Proposed > math.E/(math.E-1)+1e-9 {
+			t.Errorf("B=%v: proposed CR %v out of range", p.B, p.Proposed)
+		}
+		for name, cr := range p.Baselines {
+			if name == "b-DET" {
+				continue // +Inf when inapplicable
+			}
+			if p.Proposed > cr+1e-9 {
+				t.Errorf("B=%v: proposed above %s", p.B, name)
+			}
+		}
+	}
+	// q_B+ decreases as B grows (fewer stops exceed a longer break-even).
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Stats.QBPlus > res.Points[i-1].Stats.QBPlus+1e-9 {
+			t.Errorf("q_B+ increased from B=%v to B=%v", res.Points[i-1].B, res.Points[i].B)
+		}
+	}
+	if !strings.Contains(out, "Break-even sensitivity") {
+		t.Error("missing header")
+	}
+}
+
+func TestFleetSavingsExperiment(t *testing.T) {
+	f := smallFleet(t)
+	res, out, err := FleetSavings(smallOpts(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vehicles != 75 || len(res.Policies) != 3 {
+		t.Fatalf("vehicles %d policies %d", res.Vehicles, len(res.Policies))
+	}
+	byName := map[string]SavingsPolicy{}
+	for _, p := range res.Policies {
+		byName[p.Policy] = p
+	}
+	// TOI saves the most idle time but restarts the most; the proposed
+	// policy nets at least as many dollars as DET and TOI (it optimizes
+	// the tradeoff).
+	if byName["TOI"].PerVehicle.IdleSecondsSaved < byName["Proposed"].PerVehicle.IdleSecondsSaved {
+		t.Error("TOI should save the most idling time")
+	}
+	if byName["TOI"].PerVehicle.Restarts < byName["Proposed"].PerVehicle.Restarts {
+		t.Error("TOI should restart the most")
+	}
+	for _, p := range res.Policies {
+		if p.PerVehicle.USD <= 0 {
+			t.Errorf("%s: negative annual saving %v on an SSV", p.Policy, p.PerVehicle.USD)
+		}
+	}
+	if !strings.Contains(out, "Annualized savings") {
+		t.Error("missing header")
+	}
+}
+
+func TestMultislopeExperiment(t *testing.T) {
+	f := smallFleet(t)
+	res, out, err := Multislope(smallOpts(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vehicles != 75 || len(res.MeanCR) != 5 {
+		t.Fatalf("vehicles %d bundles %d", res.Vehicles, len(res.MeanCR))
+	}
+	// The extra state can only lower realized cost for the proposed
+	// bundle (its segments include the classic split as a special case).
+	if res.MeanCostUnits["3-state Proposed"] > res.MeanCostUnits["2-state Proposed"]+1e-9 {
+		t.Errorf("three-state cost %v above two-state %v",
+			res.MeanCostUnits["3-state Proposed"], res.MeanCostUnits["2-state Proposed"])
+	}
+	if res.FuelCutShare <= 0 || res.FuelCutShare >= 1 {
+		t.Errorf("fuel-cut share %v", res.FuelCutShare)
+	}
+	if !strings.Contains(out, "Multislope extension") {
+		t.Error("missing header")
+	}
+}

@@ -1,0 +1,256 @@
+package fleet
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"idlereduce/internal/dist"
+	"idlereduce/internal/stats"
+)
+
+func testRNG() *rand.Rand { return rand.New(rand.NewPCG(1, 2)) }
+
+// smallArea shrinks a config for fast unit tests.
+func smallArea(base AreaConfig, n int) AreaConfig {
+	base.Vehicles = n
+	return base
+}
+
+func TestAreaConfigValidate(t *testing.T) {
+	good := Chicago
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bads := []func(*AreaConfig){
+		func(c *AreaConfig) { c.Name = "" },
+		func(c *AreaConfig) { c.Vehicles = 0 },
+		func(c *AreaConfig) { c.StopsPerDayMean = 0 },
+		func(c *AreaConfig) { c.StopsPerDayStd = -1 },
+		func(c *AreaConfig) { c.ShortStopMeanSec = 0 },
+		func(c *AreaConfig) { c.LongStopMeanSec = c.ShortStopMeanSec },
+		func(c *AreaConfig) { c.LongStopFrac = 1 },
+		func(c *AreaConfig) { c.LongStopFrac = -0.1 },
+		func(c *AreaConfig) { c.VehicleSpreadCV = -1 },
+		func(c *AreaConfig) { c.LongFracSpreadCV = -1 },
+		func(c *AreaConfig) { c.MaxStopSec = 10 },
+	}
+	for i, mut := range bads {
+		c := Chicago
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d: want error", i)
+		}
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	cfg := smallArea(Chicago, 25)
+	vs, err := cfg.Generate(testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 25 {
+		t.Fatalf("got %d vehicles", len(vs))
+	}
+	for _, v := range vs {
+		if v.Area != "Chicago" {
+			t.Errorf("area %q", v.Area)
+		}
+		if !strings.HasPrefix(v.ID, "chicago-") {
+			t.Errorf("id %q", v.ID)
+		}
+		total := 0
+		for _, n := range v.StopsPerDay {
+			if n < 1 {
+				t.Errorf("%s: day with %d stops", v.ID, n)
+			}
+			total += n
+		}
+		if total != len(v.Stops) {
+			t.Errorf("%s: StopsPerDay sums to %d, len(Stops)=%d", v.ID, total, len(v.Stops))
+		}
+		for _, y := range v.Stops {
+			if y < 1 || y > cfg.MaxStopSec {
+				t.Errorf("%s: stop %v outside [1, %v]", v.ID, y, cfg.MaxStopSec)
+			}
+		}
+		if v.TotalStops() != total {
+			t.Errorf("TotalStops %d", v.TotalStops())
+		}
+		if math.Abs(v.MeanStopsPerDay()-float64(total)/7) > 1e-12 {
+			t.Errorf("MeanStopsPerDay %v", v.MeanStopsPerDay())
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	c := Chicago
+	c.Vehicles = -1
+	if _, err := c.Generate(testRNG()); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestStopsPerDayMatchesTable1Moments(t *testing.T) {
+	// With many vehicles the per-vehicle-day stop counts should land
+	// near the Table 1 mean/std for the area.
+	for _, cfg := range DefaultAreas() {
+		c := smallArea(cfg, 400)
+		vs, err := c.Generate(testRNG())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var days []float64
+		for _, v := range vs {
+			for _, n := range v.StopsPerDay {
+				days = append(days, float64(n))
+			}
+		}
+		m := stats.Mean(days)
+		sd := stats.Std(days)
+		if math.Abs(m-c.StopsPerDayMean) > 0.12*c.StopsPerDayMean {
+			t.Errorf("%s: mean stops/day %v, target %v", c.Name, m, c.StopsPerDayMean)
+		}
+		if math.Abs(sd-c.StopsPerDayStd) > 0.25*c.StopsPerDayStd {
+			t.Errorf("%s: std stops/day %v, target %v", c.Name, sd, c.StopsPerDayStd)
+		}
+	}
+}
+
+func TestStopLengthsHeavyTailedRejectExponential(t *testing.T) {
+	// The Figure 3 property: KS test rejects the exponential fit.
+	cfg := smallArea(Chicago, 120)
+	vs, err := cfg.Generate(testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []float64
+	for _, v := range vs {
+		all = append(all, v.Stops...)
+	}
+	null := dist.NewExponentialMean(stats.Mean(all))
+	res, err := stats.KSOneSample(all, null.CDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rejects(0.01) {
+		t.Errorf("exponential not rejected: D=%v p=%v", res.D, res.P)
+	}
+}
+
+func TestAreaMeanStopOrdering(t *testing.T) {
+	// Chicago must have distinctly longer stops than the other areas.
+	means := map[string]float64{}
+	for _, cfg := range DefaultAreas() {
+		c := smallArea(cfg, 150)
+		vs, err := c.Generate(testRNG())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []float64
+		for _, v := range vs {
+			all = append(all, v.Stops...)
+		}
+		means[c.Name] = stats.Mean(all)
+	}
+	if !(means["Chicago"] > means["California"] && means["Chicago"] > means["Atlanta"]) {
+		t.Errorf("mean ordering wrong: %v", means)
+	}
+}
+
+func TestGenerateFleetDeterministic(t *testing.T) {
+	small := []AreaConfig{smallArea(California, 5), smallArea(Chicago, 5)}
+	f1, err := GenerateFleet(99, small...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := GenerateFleet(99, small...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.Vehicles) != len(f2.Vehicles) {
+		t.Fatal("vehicle count differs")
+	}
+	for i := range f1.Vehicles {
+		a, b := f1.Vehicles[i], f2.Vehicles[i]
+		if a.ID != b.ID || len(a.Stops) != len(b.Stops) {
+			t.Fatalf("vehicle %d differs", i)
+		}
+		for j := range a.Stops {
+			if a.Stops[j] != b.Stops[j] {
+				t.Fatalf("vehicle %d stop %d differs", i, j)
+			}
+		}
+	}
+	f3, _ := GenerateFleet(100, small...)
+	if f3.Vehicles[0].Stops[0] == f1.Vehicles[0].Stops[0] {
+		t.Error("different seeds should give different fleets")
+	}
+}
+
+func TestGenerateFleetDefaultsToPaperCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fleet in -short mode")
+	}
+	f, err := GenerateFleet(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Vehicles); got != 217+312+653 {
+		t.Errorf("fleet size %d, want 1182", got)
+	}
+	if got := len(f.ByArea("Chicago")); got != 312 {
+		t.Errorf("Chicago %d", got)
+	}
+	areas := f.Areas()
+	if len(areas) != 3 || areas[0] != "California" || areas[1] != "Chicago" || areas[2] != "Atlanta" {
+		t.Errorf("areas %v", areas)
+	}
+}
+
+func TestFleetAccessors(t *testing.T) {
+	f, err := GenerateFleet(3, smallArea(California, 4), smallArea(Atlanta, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(f.AllStops("")); n == 0 {
+		t.Error("AllStops empty")
+	}
+	ca := f.AllStops("California")
+	at := f.AllStops("Atlanta")
+	if len(ca)+len(at) != len(f.AllStops("")) {
+		t.Error("area partition broken")
+	}
+	spd := f.StopsPerVehicleDay("California")
+	if len(spd) != 4 {
+		t.Errorf("stops/day entries %d", len(spd))
+	}
+}
+
+func TestStopLengthDistributionMean(t *testing.T) {
+	// The area-level distribution's mean should match the two-component
+	// mixture formula within truncation losses.
+	for _, cfg := range DefaultAreas() {
+		d := cfg.StopLengthDistribution()
+		m := d.Mean()
+		want := (1-cfg.LongStopFrac)*cfg.ShortStopMeanSec + cfg.LongStopFrac*cfg.LongStopMeanSec
+		if math.Abs(m-want) > 0.12*want {
+			t.Errorf("%s: distribution mean %v, mixture formula %v", cfg.Name, m, want)
+		}
+	}
+}
+
+func TestStopLengthQBPlusNearLongFrac(t *testing.T) {
+	// With long stops far above B = 28, q_B+ of the area distribution
+	// should track LongStopFrac plus the short component's small
+	// spill-over.
+	for _, cfg := range DefaultAreas() {
+		d := cfg.StopLengthDistribution()
+		q := 1 - d.CDF(28)
+		if q < cfg.LongStopFrac*0.8 || q > cfg.LongStopFrac+0.12 {
+			t.Errorf("%s: q_B+ %v vs LongStopFrac %v", cfg.Name, q, cfg.LongStopFrac)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary bytes to the trace parser: it must never
+// panic, and anything it accepts must survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	fl, err := GenerateFleet(1, smallArea(California, 2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := fl.WriteCSV(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("vehicle_id,area,day,stop_index,stop_seconds\n")
+	f.Add("vehicle_id,area,day,stop_index,stop_seconds\nv1,X,0,0,12.5\n")
+	f.Add("garbage")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		got, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted fleet failed to serialize: %v", err)
+		}
+		again, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !fleetsEqual(got, again) {
+			t.Fatal("round trip not idempotent")
+		}
+	})
+}

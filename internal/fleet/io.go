@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the column layout of the CSV trace format: one row per
+// stop.
+var csvHeader = []string{"vehicle_id", "area", "day", "stop_index", "stop_seconds"}
+
+// WriteCSV serializes the fleet as one row per stop.
+func (f *Fleet) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("fleet: write header: %w", err)
+	}
+	for _, v := range f.Vehicles {
+		idx := 0
+		for day := 0; day < 7; day++ {
+			for s := 0; s < v.StopsPerDay[day]; s++ {
+				rec := []string{
+					v.ID,
+					v.Area,
+					strconv.Itoa(day),
+					strconv.Itoa(s),
+					strconv.FormatFloat(v.Stops[idx], 'g', -1, 64),
+				}
+				if err := cw.Write(rec); err != nil {
+					return fmt.Errorf("fleet: write row: %w", err)
+				}
+				idx++
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ErrBadTrace is returned when a CSV trace is malformed.
+var ErrBadTrace = errors.New("fleet: malformed trace")
+
+// ReadCSV parses a fleet from the CSV trace format. Vehicles appear in
+// first-seen order; rows of one vehicle must be contiguous and day-ordered
+// (as WriteCSV produces).
+func ReadCSV(r io.Reader) (*Fleet, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrBadTrace, err)
+	}
+	for i, want := range csvHeader {
+		if head[i] != want {
+			return nil, fmt.Errorf("%w: header column %d is %q, want %q", ErrBadTrace, i, head[i], want)
+		}
+	}
+	f := &Fleet{}
+	var cur *Vehicle
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		day, err := strconv.Atoi(rec[2])
+		if err != nil || day < 0 || day > 6 {
+			return nil, fmt.Errorf("%w: day %q", ErrBadTrace, rec[2])
+		}
+		secs, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil || secs < 0 {
+			return nil, fmt.Errorf("%w: stop_seconds %q", ErrBadTrace, rec[4])
+		}
+		if cur == nil || cur.ID != rec[0] {
+			cur = &Vehicle{ID: rec[0], Area: rec[1]}
+			f.Vehicles = append(f.Vehicles, cur)
+		}
+		cur.Stops = append(cur.Stops, secs)
+		cur.StopsPerDay[day]++
+	}
+	return f, nil
+}
+
+// WriteJSON serializes the fleet as indented JSON.
+func (f *Fleet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadJSON parses a fleet from JSON.
+func ReadJSON(r io.Reader) (*Fleet, error) {
+	var f Fleet
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("fleet: decode json: %w", err)
+	}
+	return &f, nil
+}
+
+// ReadAreaConfigs parses a JSON array of AreaConfig, letting users define
+// their own areas for fleetgen instead of the built-in three. Every
+// config is validated.
+func ReadAreaConfigs(r io.Reader) ([]AreaConfig, error) {
+	var areas []AreaConfig
+	if err := json.NewDecoder(r).Decode(&areas); err != nil {
+		return nil, fmt.Errorf("fleet: decode area configs: %w", err)
+	}
+	if len(areas) == 0 {
+		return nil, errors.New("fleet: no area configs")
+	}
+	for i, a := range areas {
+		if err := a.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: area %d: %w", i, err)
+		}
+	}
+	return areas, nil
+}
+
+// WriteAreaConfigs serializes area configs as indented JSON (the template
+// users edit).
+func WriteAreaConfigs(w io.Writer, areas []AreaConfig) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(areas)
+}

@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func tinyFleet(t *testing.T) *Fleet {
+	t.Helper()
+	f, err := GenerateFleet(42, smallArea(California, 3), smallArea(Chicago, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func fleetsEqual(a, b *Fleet) bool {
+	if len(a.Vehicles) != len(b.Vehicles) {
+		return false
+	}
+	for i := range a.Vehicles {
+		va, vb := a.Vehicles[i], b.Vehicles[i]
+		if va.ID != vb.ID || va.Area != vb.Area || len(va.Stops) != len(vb.Stops) {
+			return false
+		}
+		if va.StopsPerDay != vb.StopsPerDay {
+			return false
+		}
+		for j := range va.Stops {
+			if va.Stops[j] != vb.Stops[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	f := tinyFleet(t)
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fleetsEqual(f, got) {
+		t.Error("CSV round trip lost data")
+	}
+}
+
+func TestCSVHeaderValidation(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("foo,bar,baz,qux,quux\n"))
+	if !errors.Is(err, ErrBadTrace) {
+		t.Errorf("want ErrBadTrace, got %v", err)
+	}
+	_, err = ReadCSV(strings.NewReader(""))
+	if !errors.Is(err, ErrBadTrace) {
+		t.Errorf("empty input: want ErrBadTrace, got %v", err)
+	}
+}
+
+func TestCSVBadRows(t *testing.T) {
+	head := "vehicle_id,area,day,stop_index,stop_seconds\n"
+	cases := map[string]string{
+		"bad day":      head + "v1,CA,nine,0,10\n",
+		"day range":    head + "v1,CA,7,0,10\n",
+		"bad seconds":  head + "v1,CA,0,0,abc\n",
+		"neg seconds":  head + "v1,CA,0,0,-5\n",
+		"wrong fields": head + "v1,CA,0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("%s: want ErrBadTrace, got %v", name, err)
+		}
+	}
+}
+
+func TestCSVPreservesPrecision(t *testing.T) {
+	f := &Fleet{Vehicles: []*Vehicle{{
+		ID: "v1", Area: "X",
+		Stops:       []float64{1.2345678901234567, 99.000000001},
+		StopsPerDay: [7]int{2, 0, 0, 0, 0, 0, 0},
+	}}}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range f.Vehicles[0].Stops {
+		if got.Vehicles[0].Stops[i] != want {
+			t.Errorf("stop %d: %v != %v", i, got.Vehicles[0].Stops[i], want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	f := tinyFleet(t)
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fleetsEqual(f, got) {
+		t.Error("JSON round trip lost data")
+	}
+	if got.Seed != f.Seed {
+		t.Errorf("seed %d != %d", got.Seed, f.Seed)
+	}
+}
+
+func TestJSONBadInput(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestAreaConfigsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAreaConfigs(&buf, DefaultAreas()); err != nil {
+		t.Fatal(err)
+	}
+	areas, err := ReadAreaConfigs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(areas) != 3 || areas[1].Name != "Chicago" {
+		t.Errorf("round trip lost data: %+v", areas)
+	}
+}
+
+func TestReadAreaConfigsErrors(t *testing.T) {
+	if _, err := ReadAreaConfigs(strings.NewReader("{not an array")); err == nil {
+		t.Error("want decode error")
+	}
+	if _, err := ReadAreaConfigs(strings.NewReader("[]")); err == nil {
+		t.Error("want empty error")
+	}
+	if _, err := ReadAreaConfigs(strings.NewReader(`[{"Name":"x","Vehicles":1}]`)); err == nil {
+		t.Error("want validation error")
+	}
+}

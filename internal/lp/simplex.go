@@ -1,0 +1,384 @@
+// Package lp implements a dense two-phase primal simplex solver for small
+// linear programs in general form:
+//
+//	minimize    cᵀx
+//	subject to  A_eq x  = b_eq
+//	            A_ub x <= b_ub
+//	            x >= 0
+//
+// The paper reduces its minimax problem (eq. 16) to the LP of eqs. 32-33
+// over the point masses (alpha, beta, gamma); this package solves that LP
+// directly so the vertex-enumeration shortcut used by the closed-form
+// policy selector can be verified independently.
+//
+// The implementation uses Bland's pivoting rule, which guarantees
+// termination (no cycling) at the cost of speed — irrelevant at the sizes
+// involved (a handful of variables and constraints).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status describes the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraint set is empty.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("lp.Status(%d)", int(s))
+	}
+}
+
+// ErrDimension is returned when problem matrices have inconsistent shapes.
+var ErrDimension = errors.New("lp: inconsistent problem dimensions")
+
+// Problem is an LP in general form. Nil slices denote absent blocks.
+// All variables are implicitly non-negative.
+type Problem struct {
+	// C is the cost vector of length n.
+	C []float64
+	// AEq and BEq define equality constraints AEq·x = BEq.
+	AEq [][]float64
+	BEq []float64
+	// AUb and BUb define inequality constraints AUb·x <= BUb.
+	AUb [][]float64
+	BUb []float64
+}
+
+// Solution is the result of a successful solve.
+type Solution struct {
+	// X is the optimal point, length n.
+	X []float64
+	// Objective is cᵀX.
+	Objective float64
+	// DualUb holds the dual multipliers of the inequality constraints
+	// (non-positive for a minimization with <= rows); DualEq those of
+	// the equalities (free sign). Strong duality gives
+	// Objective = BUbᵀDualUb + BEqᵀDualEq.
+	DualUb []float64
+	DualEq []float64
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex on p. It returns the solution and Optimal,
+// or a nil solution and Infeasible/Unbounded. An error is returned only
+// for malformed input.
+func (p *Problem) Solve() (*Solution, Status, error) {
+	n := len(p.C)
+	if n == 0 {
+		return nil, Optimal, errors.New("lp: empty cost vector")
+	}
+	if len(p.AEq) != len(p.BEq) || len(p.AUb) != len(p.BUb) {
+		return nil, Infeasible, ErrDimension
+	}
+	for _, row := range p.AEq {
+		if len(row) != n {
+			return nil, Infeasible, ErrDimension
+		}
+	}
+	for _, row := range p.AUb {
+		if len(row) != n {
+			return nil, Infeasible, ErrDimension
+		}
+	}
+
+	mEq, mUb := len(p.AEq), len(p.AUb)
+	m := mEq + mUb
+	if m == 0 {
+		// No constraints: optimum is 0 if c >= 0, else unbounded below.
+		x := make([]float64, n)
+		for _, cj := range p.C {
+			if cj < -eps {
+				return nil, Unbounded, nil
+			}
+		}
+		return &Solution{X: x, Objective: 0}, Optimal, nil
+	}
+
+	// Build the standard-form tableau: n structural vars, mUb slacks,
+	// m artificials. Rows are normalized so b >= 0.
+	total := n + mUb + m
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	negated := make([]bool, m)
+	for i := 0; i < mEq; i++ {
+		row := make([]float64, total)
+		copy(row, p.AEq[i])
+		bi := p.BEq[i]
+		if bi < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			bi = -bi
+			negated[i] = true
+		}
+		a[i], b[i] = row, bi
+	}
+	for i := 0; i < mUb; i++ {
+		row := make([]float64, total)
+		copy(row, p.AUb[i])
+		bi := p.BUb[i]
+		sign := 1.0
+		if bi < 0 {
+			for j := 0; j < n; j++ {
+				row[j] = -row[j]
+			}
+			bi = -bi
+			sign = -1
+			negated[mEq+i] = true
+		}
+		row[n+i] = sign // slack (becomes surplus after negation)
+		a[mEq+i], b[mEq+i] = row, bi
+	}
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		a[i][n+mUb+i] = 1 // artificial
+		basis[i] = n + mUb + i
+	}
+
+	t := &tableau{a: a, b: b, basis: basis, nStruct: n}
+
+	// Phase 1: minimize the sum of artificials.
+	phase1 := make([]float64, total)
+	for j := n + mUb; j < total; j++ {
+		phase1[j] = 1
+	}
+	st := t.iterate(phase1)
+	if st == Unbounded {
+		// Cannot happen with a bounded-below phase-1 objective.
+		return nil, Infeasible, errors.New("lp: internal error, phase 1 unbounded")
+	}
+	if t.objective(phase1) > 1e-7 {
+		return nil, Infeasible, nil
+	}
+	// Drive any artificials remaining in the basis out (or detect
+	// redundant rows and leave them pinned at zero).
+	t.purgeArtificials()
+
+	// Phase 2: original objective over structural + slack columns only.
+	phase2 := make([]float64, total)
+	copy(phase2, p.C)
+	t.forbidArtificials()
+	st = t.iterate(phase2)
+	if st == Unbounded {
+		return nil, Unbounded, nil
+	}
+	x := make([]float64, n)
+	for i, bi := range t.basis {
+		if bi < n {
+			x[bi] = t.b[i]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.C[j] * x[j]
+	}
+
+	// Recover dual multipliers from the final reduced costs: for a slack
+	// or artificial column with unit coefficient on row i,
+	// rc = -y_i in the transformed system; a negated row flips the sign
+	// back to the original orientation.
+	rc := t.reducedCosts(phase2)
+	dualEq := make([]float64, mEq)
+	for i := 0; i < mEq; i++ {
+		y := -rc[n+mUb+i] // artificial column of row i
+		if negated[i] {
+			y = -y
+		}
+		dualEq[i] = y
+	}
+	// For UB rows no flip is needed: negating the row also negates the
+	// slack coefficient, so the two sign changes cancel in the reduced
+	// cost.
+	dualUb := make([]float64, mUb)
+	for i := 0; i < mUb; i++ {
+		dualUb[i] = -rc[n+i] // slack column of row mEq+i
+	}
+	return &Solution{X: x, Objective: obj, DualUb: dualUb, DualEq: dualEq}, Optimal, nil
+}
+
+// tableau holds the simplex working state: constraint rows a·x = b with the
+// identified basis columns.
+type tableau struct {
+	a       [][]float64
+	b       []float64
+	basis   []int
+	nStruct int
+	banned  []bool // columns excluded from entering (artificials in phase 2)
+}
+
+func (t *tableau) cols() int { return len(t.a[0]) }
+
+// objective returns cᵀx at the current basic solution.
+func (t *tableau) objective(c []float64) float64 {
+	v := 0.0
+	for i, bi := range t.basis {
+		v += c[bi] * t.b[i]
+	}
+	return v
+}
+
+// reducedCosts computes c_j - c_Bᵀ B⁻¹ A_j for all columns given that the
+// tableau rows are already expressed in the current basis.
+func (t *tableau) reducedCosts(c []float64) []float64 {
+	m, n := len(t.a), t.cols()
+	rc := make([]float64, n)
+	copy(rc, c)
+	for i := 0; i < m; i++ {
+		cb := c[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := 0; j < n; j++ {
+			rc[j] -= cb * row[j]
+		}
+	}
+	return rc
+}
+
+// iterate runs primal simplex until optimality or unboundedness. It uses
+// Dantzig pricing (most negative reduced cost) for speed and numerical
+// quality, switching to Bland's rule after a stall to guarantee
+// termination on degenerate problems. The ratio test breaks ties toward
+// the largest pivot element, which keeps the tableau well conditioned
+// when constraint rows mix very different magnitudes.
+func (t *tableau) iterate(c []float64) Status {
+	const maxIter = 20000
+	const stallLimit = 200
+	stall := 0
+	prevObj := math.Inf(1)
+	for iter := 0; iter < maxIter; iter++ {
+		rc := t.reducedCosts(c)
+		bland := stall >= stallLimit
+		enter := -1
+		best := -eps
+		for j := 0; j < t.cols(); j++ {
+			if t.banned != nil && t.banned[j] {
+				continue
+			}
+			if rc[j] < best {
+				enter = j
+				if bland {
+					break // Bland: first improving index
+				}
+				best = rc[j] // Dantzig: most negative
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		leave := t.ratioTest(enter)
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+		if obj := t.objective(c); obj < prevObj-1e-12*(1+math.Abs(prevObj)) {
+			prevObj = obj
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+	return Optimal // iteration cap; Bland's rule should prevent this
+}
+
+// ratioTest returns the leaving row for the entering column, preferring
+// the numerically largest pivot among (near-)minimal ratios, or -1 when
+// the column is unbounded.
+func (t *tableau) ratioTest(enter int) int {
+	leave := -1
+	best := math.Inf(1)
+	bestPivot := 0.0
+	for i := range t.a {
+		piv := t.a[i][enter]
+		if piv <= eps {
+			continue
+		}
+		ratio := t.b[i] / piv
+		switch {
+		case ratio < best-eps*(1+math.Abs(best)):
+			best, leave, bestPivot = ratio, i, piv
+		case ratio < best+eps*(1+math.Abs(best)) && piv > bestPivot:
+			// Tie: prefer the larger pivot element for stability.
+			best, leave, bestPivot = ratio, i, piv
+		}
+	}
+	return leave
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	pr := t.a[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := range pr {
+		pr[j] *= inv
+	}
+	t.b[row] *= inv
+	pr[col] = 1 // exact
+	for i := range t.a {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0 // exact
+		t.b[i] -= f * t.b[row]
+	}
+	t.basis[row] = col
+}
+
+// purgeArtificials pivots basic artificial variables out of the basis where
+// a nonzero structural/slack entry exists in their row; rows with no such
+// entry are redundant and harmless (b must be ~0 after phase 1).
+func (t *tableau) purgeArtificials() {
+	nArtStart := t.cols() - len(t.a)
+	for i := range t.basis {
+		if t.basis[i] < nArtStart {
+			continue
+		}
+		for j := 0; j < nArtStart; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}
+
+// forbidArtificials marks all artificial columns as non-entering for
+// phase 2.
+func (t *tableau) forbidArtificials() {
+	nArtStart := t.cols() - len(t.a)
+	t.banned = make([]bool, t.cols())
+	for j := nArtStart; j < t.cols(); j++ {
+		t.banned[j] = true
+	}
+}

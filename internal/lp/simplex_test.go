@@ -1,0 +1,339 @@
+package lp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func newTestRNG() *rand.Rand { return rand.New(rand.NewPCG(404, 808)) }
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, st, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve error: %v", err)
+	}
+	if st != Optimal {
+		t.Fatalf("status %v, want optimal", st)
+	}
+	return sol
+}
+
+func TestSolveBasicInequality(t *testing.T) {
+	// min -x - y s.t. x + y <= 4, x <= 2  ->  x=2, y=2, obj=-4.
+	p := &Problem{
+		C:   []float64{-1, -1},
+		AUb: [][]float64{{1, 1}, {1, 0}},
+		BUb: []float64{4, 2},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective+4) > 1e-8 {
+		t.Errorf("objective %v, want -4", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-8 || math.Abs(sol.X[1]-2) > 1e-8 {
+		t.Errorf("x = %v, want [2 2]", sol.X)
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// min x + 2y s.t. x + y = 3  ->  x=3, y=0, obj=3.
+	p := &Problem{
+		C:   []float64{1, 2},
+		AEq: [][]float64{{1, 1}},
+		BEq: []float64{3},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-3) > 1e-8 {
+		t.Errorf("objective %v, want 3", sol.Objective)
+	}
+}
+
+func TestSolveMixedConstraints(t *testing.T) {
+	// min -2x - 3y s.t. x + y = 4, x <= 3, y <= 3 -> x=1, y=3, obj=-11.
+	p := &Problem{
+		C:   []float64{-2, -3},
+		AEq: [][]float64{{1, 1}},
+		BEq: []float64{4},
+		AUb: [][]float64{{1, 0}, {0, 1}},
+		BUb: []float64{3, 3},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective+11) > 1e-8 {
+		t.Errorf("objective %v, want -11", sol.Objective)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x = 5 with x <= 2 is infeasible.
+	p := &Problem{
+		C:   []float64{1},
+		AEq: [][]float64{{1}},
+		BEq: []float64{5},
+		AUb: [][]float64{{1}},
+		BUb: []float64{2},
+	}
+	_, st, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Infeasible {
+		t.Errorf("status %v, want infeasible", st)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// min -x with x >= 0 free to grow: only constraint y <= 1.
+	p := &Problem{
+		C:   []float64{-1, 0},
+		AUb: [][]float64{{0, 1}},
+		BUb: []float64{1},
+	}
+	_, st, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unbounded {
+		t.Errorf("status %v, want unbounded", st)
+	}
+}
+
+func TestSolveUnconstrained(t *testing.T) {
+	p := &Problem{C: []float64{1, 2}}
+	sol, st, err := p.Solve()
+	if err != nil || st != Optimal {
+		t.Fatalf("%v %v", st, err)
+	}
+	if sol.Objective != 0 {
+		t.Errorf("objective %v, want 0", sol.Objective)
+	}
+	p2 := &Problem{C: []float64{-1}}
+	_, st, _ = p2.Solve()
+	if st != Unbounded {
+		t.Errorf("negative cost with no constraints should be unbounded, got %v", st)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// -x <= -2 means x >= 2; min x -> 2.
+	p := &Problem{
+		C:   []float64{1},
+		AUb: [][]float64{{-1}},
+		BUb: []float64{-2},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-2) > 1e-8 {
+		t.Errorf("objective %v, want 2", sol.Objective)
+	}
+}
+
+func TestSolveDegenerateRedundantRows(t *testing.T) {
+	// Duplicate equality rows exercise the artificial purge path.
+	p := &Problem{
+		C:   []float64{1, 1},
+		AEq: [][]float64{{1, 1}, {1, 1}, {2, 2}},
+		BEq: []float64{2, 2, 4},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-2) > 1e-8 {
+		t.Errorf("objective %v, want 2", sol.Objective)
+	}
+}
+
+func TestSolveDimensionMismatch(t *testing.T) {
+	p := &Problem{
+		C:   []float64{1, 2},
+		AEq: [][]float64{{1}},
+		BEq: []float64{1},
+	}
+	if _, _, err := p.Solve(); err == nil {
+		t.Error("want dimension error")
+	}
+	p2 := &Problem{C: nil}
+	if _, _, err := p2.Solve(); err == nil {
+		t.Error("want empty-cost error")
+	}
+}
+
+func TestSolvePaperVertexLP(t *testing.T) {
+	// The paper's LP (eq. 32-33): min Ka*a + Kb*b + Kc*g subject to
+	// a+b+g <= 1, all >= 0. The optimum sits at a vertex: all mass on the
+	// most negative coefficient, or the origin when all are positive.
+	cases := []struct {
+		k    [3]float64
+		want [3]float64
+	}{
+		{[3]float64{-5, -1, -2}, [3]float64{1, 0, 0}},
+		{[3]float64{3, -7, 1}, [3]float64{0, 1, 0}},
+		{[3]float64{0.5, 0.2, 0.1}, [3]float64{0, 0, 0}},
+		{[3]float64{1, 1, -0.001}, [3]float64{0, 0, 1}},
+	}
+	for _, tc := range cases {
+		p := &Problem{
+			C:   tc.k[:],
+			AUb: [][]float64{{1, 1, 1}},
+			BUb: []float64{1},
+		}
+		sol := solveOK(t, p)
+		for j := 0; j < 3; j++ {
+			if math.Abs(sol.X[j]-tc.want[j]) > 1e-8 {
+				t.Errorf("K=%v: x=%v, want %v", tc.k, sol.X, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestSolveFeasibilityProperty(t *testing.T) {
+	// Property: for random bounded problems min cᵀx, 0 <= x_j <= u_j, the
+	// solution must satisfy every bound and beat the origin when some
+	// cost is negative.
+	prop := func(c1, c2 int8, u1, u2 uint8) bool {
+		u := []float64{float64(u1%10) + 1, float64(u2%10) + 1}
+		c := []float64{float64(c1) / 16, float64(c2) / 16}
+		p := &Problem{
+			C:   c,
+			AUb: [][]float64{{1, 0}, {0, 1}},
+			BUb: u,
+		}
+		sol, st, err := p.Solve()
+		if err != nil || st != Optimal {
+			return false
+		}
+		for j := 0; j < 2; j++ {
+			if sol.X[j] < -1e-9 || sol.X[j] > u[j]+1e-9 {
+				return false
+			}
+		}
+		// Closed form: x_j = u_j if c_j < 0 else 0.
+		want := 0.0
+		for j := 0; j < 2; j++ {
+			if c[j] < 0 {
+				want += c[j] * u[j]
+			}
+		}
+		return math.Abs(sol.Objective-want) < 1e-7
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("status strings wrong")
+	}
+	if Status(42).String() == "" {
+		t.Error("unknown status should still print")
+	}
+}
+
+func TestDualsKnownProblem(t *testing.T) {
+	// min -x - y s.t. x + y <= 4, x <= 2: optimum (2, 2), obj -4.
+	// Duals: lambda = (-1, 0)? Binding rows: both. y1 from c_B... solve:
+	// A^T lambda = c at the optimal basis: lambda1 = -1 (row x+y<=4),
+	// lambda2 = 0? Check: lambda1 + lambda2 = -1 (x column),
+	// lambda1 = -1 (y column) -> lambda = (-1, 0).
+	p := &Problem{
+		C:   []float64{-1, -1},
+		AUb: [][]float64{{1, 1}, {1, 0}},
+		BUb: []float64{4, 2},
+	}
+	sol := solveOK(t, p)
+	if len(sol.DualUb) != 2 {
+		t.Fatalf("duals %v", sol.DualUb)
+	}
+	if math.Abs(sol.DualUb[0]+1) > 1e-8 || math.Abs(sol.DualUb[1]) > 1e-8 {
+		t.Errorf("duals %v, want [-1 0]", sol.DualUb)
+	}
+	// Strong duality: obj = b^T lambda.
+	if math.Abs(sol.Objective-(4*sol.DualUb[0]+2*sol.DualUb[1])) > 1e-8 {
+		t.Errorf("duality gap: %v vs %v", sol.Objective, 4*sol.DualUb[0]+2*sol.DualUb[1])
+	}
+}
+
+func TestDualsEqualityConstraint(t *testing.T) {
+	// min x + 2y s.t. x + y = 3: optimum (3, 0), obj 3, dual nu = 1
+	// (shadow price of the equality: relaxing b by 1 raises obj by 1).
+	p := &Problem{
+		C:   []float64{1, 2},
+		AEq: [][]float64{{1, 1}},
+		BEq: []float64{3},
+	}
+	sol := solveOK(t, p)
+	if len(sol.DualEq) != 1 || math.Abs(sol.DualEq[0]-1) > 1e-8 {
+		t.Errorf("dual %v, want [1]", sol.DualEq)
+	}
+}
+
+func TestStrongDualityRandomProblems(t *testing.T) {
+	// Random bounded-feasible LPs: verify strong duality, dual sign and
+	// dual feasibility.
+	rng := newTestRNG()
+	for trial := 0; trial < 150; trial++ {
+		n := 3 + rng.IntN(12)
+		m := 2 + rng.IntN(12)
+		p := &Problem{C: make([]float64, n)}
+		for j := range p.C {
+			p.C[j] = rng.Float64()*4 - 2
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64() * 2
+			}
+			p.AUb = append(p.AUb, row)
+			p.BUb = append(p.BUb, 1+rng.Float64()*5)
+		}
+		// Box the variables so the problem is bounded.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.AUb = append(p.AUb, row)
+			p.BUb = append(p.BUb, 3)
+		}
+		sol, st, err := p.Solve()
+		if err != nil || st != Optimal {
+			t.Fatalf("trial %d: %v %v", trial, st, err)
+		}
+		dualObj := 0.0
+		for i, l := range sol.DualUb {
+			if l > 1e-7 {
+				t.Fatalf("trial %d: positive UB dual %v", trial, l)
+			}
+			dualObj += p.BUb[i] * l
+		}
+		if math.Abs(dualObj-sol.Objective) > 1e-6*(1+math.Abs(sol.Objective)) {
+			t.Fatalf("trial %d: duality gap %v vs %v", trial, dualObj, sol.Objective)
+		}
+		// Dual feasibility: A^T lambda <= c.
+		for j := 0; j < n; j++ {
+			v := 0.0
+			for i := range p.AUb {
+				v += p.AUb[i][j] * sol.DualUb[i]
+			}
+			if v > p.C[j]+1e-6 {
+				t.Fatalf("trial %d: dual infeasible at column %d: %v > %v", trial, j, v, p.C[j])
+			}
+		}
+	}
+}
+
+func TestDualsWithNegativeRHS(t *testing.T) {
+	// -x <= -2 (x >= 2); min x -> x = 2, obj 2. Shadow price of b=-2:
+	// raising b (loosening toward 0) lowers the optimum: d(obj)/db = -1
+	// ... in the <= orientation obj = -b so dual = -1 (non-positive).
+	p := &Problem{
+		C:   []float64{1},
+		AUb: [][]float64{{-1}},
+		BUb: []float64{-2},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.DualUb[0]+1) > 1e-8 {
+		t.Errorf("dual %v, want -1", sol.DualUb[0])
+	}
+	if math.Abs(sol.Objective-(-2)*sol.DualUb[0]) > 1e-8 {
+		t.Errorf("duality gap")
+	}
+}

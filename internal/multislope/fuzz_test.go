@@ -1,0 +1,34 @@
+package multislope
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzNewProblem: arbitrary slope triples must never panic; accepted
+// problems must have strictly increasing breakpoints and an offline cost
+// that satisfies the segment decomposition.
+func FuzzNewProblem(f *testing.F) {
+	f.Add(0.0, 1.0, 4.0, 0.45, 28.0, 0.0)
+	f.Add(0.0, 1.0, 28.0, 0.0, 28.0, 0.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, b1, r1, b2, r2, b3, r3 float64) {
+		p, err := NewProblem([]Slope{{b1, r1}, {b2, r2}, {b3, r3}})
+		if err != nil {
+			return
+		}
+		bps := p.Breakpoints()
+		for i := 1; i < len(bps); i++ {
+			if !(bps[i] > bps[i-1]) {
+				t.Fatalf("breakpoints not increasing: %v", bps)
+			}
+		}
+		for _, y := range []float64{0, 1, 10, 100, 1e6} {
+			direct := p.OfflineCost(y)
+			seg := p.offlineBySegments(y)
+			if math.Abs(direct-seg) > 1e-6*(1+math.Abs(direct)) {
+				t.Fatalf("decomposition broken at y=%v: %v vs %v (slopes %v)", y, direct, seg, p.Slopes())
+			}
+		}
+	})
+}

@@ -1,0 +1,276 @@
+package multislope
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"idlereduce/internal/numeric"
+	"idlereduce/internal/skirental"
+)
+
+func threeState(t *testing.T) *Problem {
+	t.Helper()
+	p, err := AutomotiveThreeState(28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewProblemValidation(t *testing.T) {
+	cases := map[string][]Slope{
+		"too few":       {{0, 1}},
+		"nonzero start": {{1, 1}, {5, 0}},
+		"negative buy":  {{0, 1}, {-2, 0}},
+		"negative rate": {{0, 1}, {3, -1}},
+		"nan":           {{0, 1}, {math.NaN(), 0}},
+		"all dominated": {{0, 1}, {5, 1}, {9, 1.5}},
+	}
+	for name, ss := range cases {
+		if _, err := NewProblem(ss); !errors.Is(err, ErrBadProblem) {
+			t.Errorf("%s: want ErrBadProblem, got %v", name, err)
+		}
+	}
+}
+
+func TestNewProblemRemovesDominated(t *testing.T) {
+	// The middle slope {10, 0.9} saves almost no rate for a big buy; it
+	// lies above the chord between its neighbours and must be dropped.
+	p, err := NewProblem([]Slope{{0, 1}, {10, 0.9}, {28, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Slopes()) != 2 {
+		t.Errorf("kept %d slopes, want 2: %+v", len(p.Slopes()), p.Slopes())
+	}
+	// And the surviving instance is the classic ski rental with B = 28.
+	bps := p.Breakpoints()
+	if len(bps) != 1 || math.Abs(bps[0]-28) > 1e-12 {
+		t.Errorf("breakpoints %v", bps)
+	}
+}
+
+func TestNewProblemSortsInput(t *testing.T) {
+	p, err := NewProblem([]Slope{{28, 0}, {0, 1}, {4, 0.45}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Slopes()) != 3 {
+		t.Fatalf("slopes %v", p.Slopes())
+	}
+	bps := p.Breakpoints()
+	if !(bps[0] < bps[1]) {
+		t.Errorf("breakpoints not increasing: %v", bps)
+	}
+}
+
+func TestOfflineDecompositionIdentity(t *testing.T) {
+	// OPT(y) = Rate_k·y + Σ min(Δr·y, Δb) must hold exactly on concave
+	// instances — the foundation of the whole package.
+	p := threeState(t)
+	prop := func(u uint16) bool {
+		y := float64(u) / 100
+		return math.Abs(p.OfflineCost(y)-p.offlineBySegments(y)) < 1e-9*(1+y)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOfflineCostEnvelope(t *testing.T) {
+	p := threeState(t)
+	// Short stop: idling is optimal (cost = y).
+	if got := p.OfflineCost(3); got != 3 {
+		t.Errorf("OfflineCost(3) = %v", got)
+	}
+	// Mid stop: fuel-cut state wins (4 + 0.45y).
+	if got := p.OfflineCost(20); math.Abs(got-(4+0.45*20)) > 1e-12 {
+		t.Errorf("OfflineCost(20) = %v", got)
+	}
+	// Long stop: shutdown (flat 28).
+	if got := p.OfflineCost(1000); got != 28 {
+		t.Errorf("OfflineCost(1000) = %v", got)
+	}
+}
+
+func TestDeterministicTwoCompetitive(t *testing.T) {
+	p := threeState(t)
+	det := NewDeterministic(p)
+	worst := det.WorstCaseCR()
+	if worst > 2+1e-9 {
+		t.Errorf("MS-DET worst CR %v > 2", worst)
+	}
+	// And the bound is tight: at a breakpoint the ratio hits 2 exactly
+	// in the single-segment reduction; for multi-segment it approaches 2
+	// at the first breakpoint.
+	if worst < 1.8 {
+		t.Errorf("MS-DET worst CR %v suspiciously small", worst)
+	}
+}
+
+func TestRandomizedPointwiseRatio(t *testing.T) {
+	// Segment-wise N-Rand: expected cost <= e/(e-1)·OPT for every y,
+	// with equality wherever all active segments are strictly inside
+	// their windows.
+	p := threeState(t)
+	r := NewRandomized(p)
+	bound := math.E / (math.E - 1)
+	for _, y := range []float64{0.5, 3, 7.3, 15, 40, 53, 100, 5000} {
+		cr := r.CR(y)
+		if cr > bound+1e-9 {
+			t.Errorf("y=%v: CR %v exceeds e/(e-1)", y, cr)
+		}
+		if cr < 1-1e-9 {
+			t.Errorf("y=%v: CR %v below 1", y, cr)
+		}
+	}
+	if w := r.WorstCaseCR(); math.Abs(w-bound) > 1e-6 {
+		t.Errorf("worst CR %v, want e/(e-1)", w)
+	}
+}
+
+func TestRandomizedMonteCarloMatchesMean(t *testing.T) {
+	p := threeState(t)
+	r := NewRandomized(p)
+	rng := rand.New(rand.NewPCG(5, 6))
+	for _, y := range []float64{6.0, 30.0, 80.0} {
+		var sum numeric.KahanSum
+		const N = 200_000
+		for i := 0; i < N; i++ {
+			sum.Add(r.CostForStop(r.Thresholds(rng), y))
+		}
+		mc := sum.Sum() / N
+		an := r.MeanCostForStop(y)
+		if math.Abs(mc-an) > 0.01*an {
+			t.Errorf("y=%v: MC %v analytic %v", y, mc, an)
+		}
+	}
+}
+
+func TestDeterministicCostForStopTrajectory(t *testing.T) {
+	// Hand-check MS-DET on the three-state instance (beta1 = 4/0.55 ≈
+	// 7.27, beta2 = 24/0.45 ≈ 53.3).
+	p := threeState(t)
+	det := NewDeterministic(p)
+	rng := rand.New(rand.NewPCG(1, 1))
+	xs := det.Thresholds(rng)
+	// Stop shorter than beta1: pure idling.
+	if got := det.CostForStop(xs, 5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("y=5: %v want 5", got)
+	}
+	// Stop between breakpoints: idled to beta1, paid buy 4, then reduced
+	// rate. Segment view: seg1 pays db1 + ... total = 0.45y + min-part.
+	y := 20.0
+	want := 0.45*y + (0.55*xs[0] + 4) // seg1 bought, seg2 still renting at 0.45 share? seg2: dr2*y = 0.45*20 = 9 < db2=24
+	if got := det.CostForStop(xs, y); math.Abs(got-want) > 1e-9 {
+		t.Errorf("y=20: %v want %v", got, want)
+	}
+	// Very long stop: both segments bought; total = 0.55*x1+4 + 0.45*x2+24.
+	wantLong := (0.55*xs[0] + 4) + (0.45*xs[1] + 24)
+	if got := det.CostForStop(xs, 1e6); math.Abs(got-wantLong) > 1e-9 {
+		t.Errorf("long: %v want %v", got, wantLong)
+	}
+}
+
+func TestConstrainedBeatsDetAndRandOnTraces(t *testing.T) {
+	// On a trace whose stops are mostly short, the constrained bundle
+	// should never lose to MS-DET or MS-Rand.
+	p := threeState(t)
+	rng := rand.New(rand.NewPCG(9, 9))
+	stops := make([]float64, 5000)
+	for i := range stops {
+		// 85% short (2-10 s), 15% long (80-400 s).
+		if rng.Float64() < 0.85 {
+			stops[i] = 2 + rng.Float64()*8
+		} else {
+			stops[i] = 80 + rng.Float64()*320
+		}
+	}
+	cons, err := NewConstrained(p, stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crC := cons.TraceCR(stops)
+	crD := NewDeterministic(p).TraceCR(stops)
+	crR := NewRandomized(p).TraceCR(stops)
+	if crC > crD+1e-9 || crC > crR+1e-9 {
+		t.Errorf("MS-Proposed %v vs MS-DET %v, MS-Rand %v", crC, crD, crR)
+	}
+	if cons.Name() != "MS-Proposed" || len(cons.SegmentPolicies()) != 2 {
+		t.Error("bundle malformed")
+	}
+}
+
+func TestConstrainedEmptyStops(t *testing.T) {
+	p := threeState(t)
+	if _, err := NewConstrained(p, nil); err == nil {
+		t.Error("want error for empty stops")
+	}
+}
+
+func TestTraceCRZeroTrace(t *testing.T) {
+	p := threeState(t)
+	if got := NewDeterministic(p).TraceCR(nil); got != 1 {
+		t.Errorf("empty trace CR %v", got)
+	}
+}
+
+func TestAutomotiveThreeStateValidation(t *testing.T) {
+	if _, err := AutomotiveThreeState(5); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("want ErrBadProblem for tiny B, got %v", err)
+	}
+	p, err := AutomotiveThreeState(47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bps := p.Breakpoints()
+	if len(bps) != 2 || !(bps[0] < bps[1]) {
+		t.Errorf("breakpoints %v", bps)
+	}
+}
+
+func TestMultislopeReducesToClassic(t *testing.T) {
+	// A two-slope instance IS the classic problem; MS-DET must behave
+	// exactly like DET and the randomized bundle like N-Rand.
+	p, err := NewProblem([]Slope{{0, 1}, {28, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewDeterministic(p)
+	cd := skirental.NewDET(28)
+	for _, y := range []float64{5, 28, 29, 300} {
+		if math.Abs(det.MeanCostForStop(y)-cd.MeanCostForStop(y)) > 1e-12 {
+			t.Errorf("y=%v: MS %v classic %v", y, det.MeanCostForStop(y), cd.MeanCostForStop(y))
+		}
+	}
+	r := NewRandomized(p)
+	nr := skirental.NewNRand(28)
+	for _, y := range []float64{5, 28, 300} {
+		if math.Abs(r.MeanCostForStop(y)-nr.MeanCostForStop(y)) > 1e-12 {
+			t.Errorf("rand y=%v: MS %v classic %v", y, r.MeanCostForStop(y), nr.MeanCostForStop(y))
+		}
+	}
+}
+
+func TestWorstCaseCRMultislopeBelowClassicDET(t *testing.T) {
+	// Adding a useful middle state strictly helps the deterministic
+	// strategy relative to classic 2-competitive DET? It stays 2 in the
+	// worst case (each segment can be caught), but realized CR on
+	// intermediate stops improves. Check a mid-length stop.
+	p := threeState(t)
+	msDet := NewDeterministic(p)
+	classic, err := NewProblem([]Slope{{0, 1}, {28, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cDet := NewDeterministic(classic)
+	y := 40.0 // middle state shines here
+	msCost := msDet.MeanCostForStop(y)
+	cCost := cDet.MeanCostForStop(y)
+	if msCost >= cCost {
+		t.Errorf("three-state DET cost %v should beat two-state %v at y=%v", msCost, cCost, y)
+	}
+}

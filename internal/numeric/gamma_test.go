@@ -1,0 +1,61 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegularizedGammaKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^{-x}.
+	for _, x := range []float64{0.2, 1, 3, 10} {
+		want := 1 - math.Exp(-x)
+		if got := LowerGammaRegularized(1, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(1, %v) = %v want %v", x, got, want)
+		}
+	}
+	// Q(0.5, x) = erfc(sqrt(x)).
+	for _, x := range []float64{0.3, 2, 7} {
+		want := math.Erfc(math.Sqrt(x))
+		if got := UpperGammaRegularized(0.5, x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("Q(0.5, %v) = %v want %v", x, got, want)
+		}
+	}
+}
+
+func TestRegularizedGammaComplement(t *testing.T) {
+	for _, a := range []float64{0.2, 1, 3.7, 15} {
+		for _, x := range []float64{0.01, 0.5, a, 3 * a, 50} {
+			p := LowerGammaRegularized(a, x)
+			q := UpperGammaRegularized(a, x)
+			if math.Abs(p+q-1) > 1e-12 {
+				t.Errorf("a=%v x=%v: P+Q=%v", a, x, p+q)
+			}
+			if p < 0 || p > 1 {
+				t.Errorf("P(%v, %v) = %v out of range", a, x, p)
+			}
+		}
+	}
+}
+
+func TestRegularizedGammaBoundaries(t *testing.T) {
+	if LowerGammaRegularized(2, 0) != 0 || UpperGammaRegularized(2, 0) != 1 {
+		t.Error("x=0 boundary wrong")
+	}
+	if !math.IsNaN(LowerGammaRegularized(0, 1)) || !math.IsNaN(UpperGammaRegularized(-1, 1)) {
+		t.Error("invalid shape should be NaN")
+	}
+	if !math.IsNaN(LowerGammaRegularized(1, -1)) {
+		t.Error("negative x should be NaN")
+	}
+}
+
+func TestRegularizedGammaMonotoneInX(t *testing.T) {
+	prev := -1.0
+	for _, x := range Linspace(0, 30, 200) {
+		p := LowerGammaRegularized(2.5, x)
+		if p < prev-1e-12 {
+			t.Fatalf("P not monotone at x=%v", x)
+		}
+		prev = p
+	}
+}

@@ -1,0 +1,76 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrUnsorted is returned when interpolation knots are not strictly
+// increasing.
+var ErrUnsorted = errors.New("numeric: interpolation knots must be strictly increasing")
+
+// Interp is a piecewise-linear interpolant over strictly increasing knots.
+type Interp struct {
+	xs []float64
+	ys []float64
+}
+
+// NewInterp builds a linear interpolant through the points (xs[i], ys[i]).
+// The xs must be strictly increasing and len(xs) == len(ys) >= 2.
+func NewInterp(xs, ys []float64) (*Interp, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return nil, errors.New("numeric: need at least two matching knots")
+	}
+	for i := 1; i < len(xs); i++ {
+		if !(xs[i] > xs[i-1]) {
+			return nil, ErrUnsorted
+		}
+	}
+	in := &Interp{xs: append([]float64(nil), xs...), ys: append([]float64(nil), ys...)}
+	return in, nil
+}
+
+// At evaluates the interpolant at x, extrapolating with the boundary
+// segments outside the knot range.
+func (in *Interp) At(x float64) float64 {
+	n := len(in.xs)
+	if x <= in.xs[0] {
+		return in.segment(0, x)
+	}
+	if x >= in.xs[n-1] {
+		return in.segment(n-2, x)
+	}
+	// sort.Search finds the first knot strictly greater than x.
+	i := sort.Search(n, func(i int) bool { return in.xs[i] > x }) - 1
+	return in.segment(i, x)
+}
+
+func (in *Interp) segment(i int, x float64) float64 {
+	x0, x1 := in.xs[i], in.xs[i+1]
+	y0, y1 := in.ys[i], in.ys[i+1]
+	t := (x - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
+}
+
+// Min returns the smallest knot ordinate.
+func (in *Interp) Min() float64 {
+	m := math.Inf(1)
+	for _, y := range in.ys {
+		if y < m {
+			m = y
+		}
+	}
+	return m
+}
+
+// Max returns the largest knot ordinate.
+func (in *Interp) Max() float64 {
+	m := math.Inf(-1)
+	for _, y := range in.ys {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}

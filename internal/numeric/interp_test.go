@@ -1,0 +1,74 @@
+package numeric
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestInterpExactAtKnots(t *testing.T) {
+	in, err := NewInterp([]float64{0, 1, 2, 4}, []float64{1, 3, 2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range []float64{0, 1, 2, 4} {
+		want := []float64{1, 3, 2, 8}[i]
+		if got := in.At(x); !almostEqual(got, want, 1e-12) {
+			t.Errorf("At(%v) = %v want %v", x, got, want)
+		}
+	}
+}
+
+func TestInterpMidpoints(t *testing.T) {
+	in, _ := NewInterp([]float64{0, 2}, []float64{0, 4})
+	if got := in.At(1); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("midpoint %v want 2", got)
+	}
+}
+
+func TestInterpExtrapolation(t *testing.T) {
+	in, _ := NewInterp([]float64{0, 1}, []float64{0, 1})
+	if got := in.At(2); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("right extrapolation %v want 2", got)
+	}
+	if got := in.At(-1); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("left extrapolation %v want -1", got)
+	}
+}
+
+func TestInterpRejectsUnsorted(t *testing.T) {
+	if _, err := NewInterp([]float64{0, 0}, []float64{1, 2}); !errors.Is(err, ErrUnsorted) {
+		t.Errorf("want ErrUnsorted, got %v", err)
+	}
+	if _, err := NewInterp([]float64{1, 0}, []float64{1, 2}); !errors.Is(err, ErrUnsorted) {
+		t.Errorf("want ErrUnsorted for decreasing, got %v", err)
+	}
+}
+
+func TestInterpRejectsShortInput(t *testing.T) {
+	if _, err := NewInterp([]float64{1}, []float64{1}); err == nil {
+		t.Error("want error for single knot")
+	}
+	if _, err := NewInterp([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+}
+
+func TestInterpMinMax(t *testing.T) {
+	in, _ := NewInterp([]float64{0, 1, 2}, []float64{5, -3, 4})
+	if in.Min() != -3 {
+		t.Errorf("Min = %v", in.Min())
+	}
+	if in.Max() != 5 {
+		t.Errorf("Max = %v", in.Max())
+	}
+}
+
+func TestInterpCopiesInput(t *testing.T) {
+	xs := []float64{0, 1}
+	ys := []float64{0, 1}
+	in, _ := NewInterp(xs, ys)
+	xs[0], ys[0] = 99, 99 // mutating the caller's slices must not matter
+	if got := in.At(0); got != 0 {
+		t.Errorf("interpolant aliased caller data: At(0) = %v", got)
+	}
+}

@@ -1,0 +1,69 @@
+package numeric
+
+// KahanSum accumulates floating-point values with Kahan–Babuška
+// (Neumaier) compensation, keeping the rounding error of long cost
+// accumulations bounded independently of the number of terms.
+// The zero value is ready to use.
+type KahanSum struct {
+	sum float64
+	c   float64
+}
+
+// Add accumulates v.
+func (k *KahanSum) Add(v float64) {
+	t := k.sum + v
+	if abs(k.sum) >= abs(v) {
+		k.c += (k.sum - t) + v
+	} else {
+		k.c += (v - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Sum returns the compensated total.
+func (k *KahanSum) Sum() float64 { return k.sum + k.c }
+
+// Reset clears the accumulator.
+func (k *KahanSum) Reset() { k.sum, k.c = 0, 0 }
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// SumSlice returns the compensated sum of xs.
+func SumSlice(xs []float64) float64 {
+	var k KahanSum
+	for _, x := range xs {
+		k.Add(x)
+	}
+	return k.Sum()
+}
+
+// Linspace returns n points uniformly spaced on [a, b] inclusive.
+// n < 2 yields []float64{a}.
+func Linspace(a, b float64, n int) []float64 {
+	if n < 2 {
+		return []float64{a}
+	}
+	xs := make([]float64, n)
+	step := (b - a) / float64(n-1)
+	for i := range xs {
+		xs[i] = a + float64(i)*step
+	}
+	xs[n-1] = b
+	return xs
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

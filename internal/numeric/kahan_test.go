@@ -1,0 +1,105 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKahanSumCancellation(t *testing.T) {
+	// Classic Neumaier test: 1 + 1e100 + 1 - 1e100 = 2, naive sum gives 0.
+	var k KahanSum
+	for _, v := range []float64{1, 1e100, 1, -1e100} {
+		k.Add(v)
+	}
+	if got := k.Sum(); got != 2 {
+		t.Errorf("got %v want 2", got)
+	}
+}
+
+func TestKahanSumManySmall(t *testing.T) {
+	var k KahanSum
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		k.Add(0.1)
+	}
+	if !almostEqual(k.Sum(), n*0.1, 1e-6) {
+		t.Errorf("got %.10f want %v", k.Sum(), n*0.1)
+	}
+}
+
+func TestKahanReset(t *testing.T) {
+	var k KahanSum
+	k.Add(42)
+	k.Reset()
+	if k.Sum() != 0 {
+		t.Errorf("after reset: %v", k.Sum())
+	}
+}
+
+func TestSumSliceMatchesLoop(t *testing.T) {
+	prop := func(xs []float64) bool {
+		for _, x := range xs {
+			// Skip inputs whose intermediate sums can overflow; the
+			// compensation identity only holds in the finite range.
+			if math.IsNaN(x) || math.Abs(x) > 1e300/float64(len(xs)+1) {
+				return true
+			}
+		}
+		var naive float64
+		for _, x := range xs {
+			naive += x
+		}
+		got := SumSlice(xs)
+		scale := 1.0
+		for _, x := range xs {
+			scale += math.Abs(x)
+		}
+		return math.Abs(got-naive) <= 1e-9*scale
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(xs) != len(want) {
+		t.Fatalf("len %d", len(xs))
+	}
+	for i := range xs {
+		if !almostEqual(xs[i], want[i], 1e-12) {
+			t.Errorf("xs[%d] = %v want %v", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestLinspaceDegenerate(t *testing.T) {
+	xs := Linspace(3, 9, 1)
+	if len(xs) != 1 || xs[0] != 3 {
+		t.Errorf("got %v", xs)
+	}
+}
+
+func TestLinspaceEndpointExact(t *testing.T) {
+	// The last point must be exactly b even when the step is inexact.
+	xs := Linspace(0, 0.3, 7)
+	if xs[len(xs)-1] != 0.3 {
+		t.Errorf("endpoint %v != 0.3", xs[len(xs)-1])
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{-1, 0, 1, 0},
+		{0.5, 0, 1, 0.5},
+		{2, 0, 1, 1},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package numeric
+
+import "math"
+
+// invPhi is 1/phi, the golden-section reduction factor.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// GoldenMin minimizes a unimodal function f on [a, b] by golden-section
+// search, returning the abscissa of the minimum to absolute tolerance tol.
+// On multimodal functions it returns a local minimum inside the interval.
+func GoldenMin(f Func, a, b, tol float64) (float64, error) {
+	if !(a < b) || math.IsNaN(a) || math.IsNaN(b) {
+		return 0, ErrBadInterval
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < 400 && b-a > tol; i++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return a + (b-a)/2, nil
+}
+
+// GridMin evaluates f at n+1 uniformly spaced points on [a, b] and returns
+// the abscissa of the smallest value. It is the robust (non-unimodal)
+// companion to GoldenMin, used to seed searches on adversarial objectives.
+func GridMin(f Func, a, b float64, n int) (xBest, fBest float64) {
+	if n < 1 {
+		n = 1
+	}
+	xBest, fBest = a, f(a)
+	for i := 1; i <= n; i++ {
+		x := a + (b-a)*float64(i)/float64(n)
+		if v := f(x); v < fBest {
+			xBest, fBest = x, v
+		}
+	}
+	return xBest, fBest
+}
+
+// GridMax is GridMin for maximization.
+func GridMax(f Func, a, b float64, n int) (xBest, fBest float64) {
+	xBest, neg := GridMin(func(x float64) float64 { return -f(x) }, a, b, n)
+	return xBest, -neg
+}
+
+// GoldenMax maximizes a unimodal function on [a, b]; see GoldenMin.
+func GoldenMax(f Func, a, b, tol float64) (float64, error) {
+	return GoldenMin(func(x float64) float64 { return -f(x) }, a, b, tol)
+}

@@ -1,0 +1,51 @@
+package numeric
+
+// ODEFunc is the right-hand side of a scalar first-order ODE
+// dy/dx = f(x, y).
+type ODEFunc func(x, y float64) float64
+
+// RK4 integrates dy/dx = f(x, y) from (x0, y0) to x1 with n fixed
+// fourth-order Runge-Kutta steps and returns y(x1).
+//
+// The library uses it to verify the paper's ODE for the continuous part of
+// the optimal strategy density, dp/dx = p/B (eq. 29), against the analytic
+// solution p(x) = C0·exp(x/B) (eq. 30).
+func RK4(f ODEFunc, x0, y0, x1 float64, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	h := (x1 - x0) / float64(n)
+	x, y := x0, y0
+	for i := 0; i < n; i++ {
+		k1 := f(x, y)
+		k2 := f(x+h/2, y+h/2*k1)
+		k3 := f(x+h/2, y+h/2*k2)
+		k4 := f(x+h, y+h*k3)
+		y += h / 6 * (k1 + 2*k2 + 2*k3 + k4)
+		x = x0 + float64(i+1)*h
+	}
+	return y
+}
+
+// RK4Path integrates like RK4 but returns the whole trajectory: n+1 pairs
+// (x_i, y_i) including the initial condition.
+func RK4Path(f ODEFunc, x0, y0, x1 float64, n int) (xs, ys []float64) {
+	if n < 1 {
+		n = 1
+	}
+	xs = make([]float64, n+1)
+	ys = make([]float64, n+1)
+	h := (x1 - x0) / float64(n)
+	x, y := x0, y0
+	xs[0], ys[0] = x, y
+	for i := 0; i < n; i++ {
+		k1 := f(x, y)
+		k2 := f(x+h/2, y+h/2*k1)
+		k3 := f(x+h/2, y+h/2*k2)
+		k4 := f(x+h, y+h*k3)
+		y += h / 6 * (k1 + 2*k2 + 2*k3 + k4)
+		x = x0 + float64(i+1)*h
+		xs[i+1], ys[i+1] = x, y
+	}
+	return xs, ys
+}

@@ -1,0 +1,64 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRK4PaperODE(t *testing.T) {
+	// Paper eq. 29: dp/dx = p/B with analytic solution C0*exp(x/B)
+	// (eq. 30). Check RK4 reproduces it for the SSV break-even B = 28.
+	const B = 28.0
+	c0 := 1 / (B * (math.E - 1))
+	rhs := func(x, p float64) float64 { return p / B }
+	got := RK4(rhs, 0, c0, B, 2000)
+	want := c0 * math.E
+	if !almostEqual(got, want, 1e-10) {
+		t.Errorf("p(B) = %.14f, want %.14f", got, want)
+	}
+}
+
+func TestRK4LinearODE(t *testing.T) {
+	// dy/dx = 2x, y(0)=1 -> y = x^2 + 1.
+	got := RK4(func(x, y float64) float64 { return 2 * x }, 0, 1, 3, 100)
+	if !almostEqual(got, 10, 1e-10) {
+		t.Errorf("got %v want 10", got)
+	}
+}
+
+func TestRK4PathEndpoints(t *testing.T) {
+	xs, ys := RK4Path(func(x, y float64) float64 { return y }, 0, 1, 1, 64)
+	if len(xs) != 65 || len(ys) != 65 {
+		t.Fatalf("lengths %d %d", len(xs), len(ys))
+	}
+	if xs[0] != 0 || ys[0] != 1 {
+		t.Errorf("initial condition corrupted: (%v, %v)", xs[0], ys[0])
+	}
+	if !almostEqual(xs[64], 1, 1e-12) || !almostEqual(ys[64], math.E, 1e-8) {
+		t.Errorf("end: (%v, %v), want (1, e)", xs[64], ys[64])
+	}
+}
+
+func TestRK4ZeroSteps(t *testing.T) {
+	// n < 1 is clamped to a single step; the result should still be a
+	// first-step RK4 estimate, finite and close for smooth f.
+	got := RK4(func(x, y float64) float64 { return 0 }, 0, 5, 10, 0)
+	if got != 5 {
+		t.Errorf("constant solution perturbed: %v", got)
+	}
+}
+
+func TestRK4ConvergenceOrder(t *testing.T) {
+	// Halving the step size should shrink the error by ~2^4.
+	exact := math.Exp(1.0)
+	f := func(x, y float64) float64 { return y }
+	e1 := math.Abs(RK4(f, 0, 1, 1, 8) - exact)
+	e2 := math.Abs(RK4(f, 0, 1, 1, 16) - exact)
+	if e2 == 0 {
+		return // better than expected
+	}
+	ratio := e1 / e2
+	if ratio < 10 || ratio > 25 {
+		t.Errorf("convergence ratio %v, want ≈16 (4th order)", ratio)
+	}
+}

@@ -1,0 +1,116 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestIntegrateSimpsonPolynomial(t *testing.T) {
+	// Simpson is exact on cubics; adaptivity must not spoil that.
+	f := func(x float64) float64 { return 3*x*x*x - 2*x*x + x - 5 }
+	got, err := IntegrateSimpson(f, -1, 2, 1e-12)
+	if err != nil {
+		t.Fatalf("IntegrateSimpson: %v", err)
+	}
+	// Antiderivative: 3/4 x^4 - 2/3 x^3 + 1/2 x^2 - 5x.
+	F := func(x float64) float64 { return 0.75*math.Pow(x, 4) - 2.0/3.0*math.Pow(x, 3) + 0.5*x*x - 5*x }
+	want := F(2) - F(-1)
+	if !almostEqual(got, want, 1e-9) {
+		t.Errorf("got %.12f want %.12f", got, want)
+	}
+}
+
+func TestIntegrateSimpsonExponential(t *testing.T) {
+	// The paper's density p(x) = e^{x/B}/(B(e-1)) must integrate to 1 on [0, B].
+	for _, b := range []float64{1, 10, 28, 47, 300} {
+		f := func(x float64) float64 { return math.Exp(x/b) / (b * (math.E - 1)) }
+		got, err := IntegrateSimpson(f, 0, b, 1e-12)
+		if err != nil {
+			t.Fatalf("B=%v: %v", b, err)
+		}
+		if !almostEqual(got, 1, 1e-9) {
+			t.Errorf("B=%v: integral of N-Rand density = %.12f, want 1", b, got)
+		}
+	}
+}
+
+func TestIntegrateSimpsonReversedInterval(t *testing.T) {
+	f := func(x float64) float64 { return x * x }
+	fwd, _ := IntegrateSimpson(f, 0, 3, 1e-12)
+	rev, _ := IntegrateSimpson(f, 3, 0, 1e-12)
+	if !almostEqual(fwd, -rev, 1e-9) {
+		t.Errorf("reversed interval: %v vs %v", fwd, rev)
+	}
+	if !almostEqual(fwd, 9, 1e-9) {
+		t.Errorf("fwd = %v, want 9", fwd)
+	}
+}
+
+func TestIntegrateSimpsonEmptyInterval(t *testing.T) {
+	got, err := IntegrateSimpson(func(x float64) float64 { return 1 / x }, 2, 2, 1e-12)
+	if err != nil || got != 0 {
+		t.Errorf("empty interval: got %v, %v", got, err)
+	}
+}
+
+func TestIntegrateSimpsonBadInterval(t *testing.T) {
+	_, err := IntegrateSimpson(func(x float64) float64 { return x }, math.NaN(), 1, 1e-12)
+	if !errors.Is(err, ErrBadInterval) {
+		t.Errorf("want ErrBadInterval, got %v", err)
+	}
+	_, err = IntegrateSimpson(func(x float64) float64 { return x }, 0, math.Inf(1), 1e-12)
+	if !errors.Is(err, ErrBadInterval) {
+		t.Errorf("want ErrBadInterval for infinite endpoint, got %v", err)
+	}
+}
+
+func TestIntegrateNMatchesAdaptive(t *testing.T) {
+	f := func(x float64) float64 { return math.Sin(x) + x }
+	a, b := 0.0, math.Pi
+	ad, _ := IntegrateSimpson(f, a, b, 1e-12)
+	fx := IntegrateN(f, a, b, 2048)
+	if !almostEqual(ad, fx, 1e-8) {
+		t.Errorf("adaptive %v vs fixed %v", ad, fx)
+	}
+}
+
+func TestIntegrateNOddPanelsRoundedUp(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	got := IntegrateN(f, 0, 1, 3) // rounded up to 4 panels; exact for linear
+	if !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("got %v want 0.5", got)
+	}
+}
+
+func TestIntegrateLinearityProperty(t *testing.T) {
+	// Property: integral of (a*f + c) over [0,1] == a*∫f + c.
+	base := func(x float64) float64 { return math.Exp(-x) }
+	baseI, _ := IntegrateSimpson(base, 0, 1, 1e-12)
+	prop := func(a8, c8 int8) bool {
+		a, c := float64(a8), float64(c8)
+		f := func(x float64) float64 { return a*base(x) + c }
+		got, err := IntegrateSimpson(f, 0, 1, 1e-11)
+		if err != nil {
+			return false
+		}
+		return almostEqual(got, a*baseI+c, 1e-7*(1+math.Abs(a)+math.Abs(c)))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntegratePanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Integrate should panic on NaN endpoint")
+		}
+	}()
+	Integrate(func(x float64) float64 { return x }, math.NaN(), 1)
+}

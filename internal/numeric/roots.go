@@ -1,0 +1,121 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned by the bracketing root finders when f(a) and
+// f(b) do not have opposite signs.
+var ErrNoBracket = errors.New("numeric: root is not bracketed")
+
+// ErrNoConverge is returned when an iterative method exhausts its iteration
+// budget without meeting the requested tolerance.
+var ErrNoConverge = errors.New("numeric: iteration did not converge")
+
+// Bisect finds a root of f in [a, b] by bisection to absolute tolerance
+// tol on x. f(a) and f(b) must have opposite signs (or one endpoint must
+// already be a root).
+func Bisect(f Func, a, b, tol float64) (float64, error) {
+	if !(a < b) || math.IsNaN(a) || math.IsNaN(b) {
+		return 0, ErrBadInterval
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if fa*fb > 0 {
+		return 0, ErrNoBracket
+	}
+	for i := 0; i < 200; i++ {
+		m := a + (b-a)/2
+		fm := f(m)
+		if fm == 0 || (b-a)/2 < tol {
+			return m, nil
+		}
+		if fa*fm < 0 {
+			b = m
+		} else {
+			a, fa = m, fm
+		}
+	}
+	return a + (b-a)/2, ErrNoConverge
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
+// interpolation with bisection fallback). It converges superlinearly on
+// smooth functions and never leaves the bracket.
+func Brent(f Func, a, b, tol float64) (float64, error) {
+	if !(a < b) || math.IsNaN(a) || math.IsNaN(b) {
+		return 0, ErrBadInterval
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if fa*fb > 0 {
+		return 0, ErrNoBracket
+	}
+	// Ensure |f(b)| <= |f(a)|: b is the best estimate so far.
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	d := b - a
+	mflag := true
+	for i := 0; i < 200; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant step.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = a + (b-a)/2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d, c, fc = c, b, fb
+		if fa*fs < 0 {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, ErrNoConverge
+}

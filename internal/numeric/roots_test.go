@@ -1,0 +1,156 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectSimpleRoot(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	got, err := Bisect(f, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, math.Sqrt2, 1e-10) {
+		t.Errorf("got %v want %v", got, math.Sqrt2)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if got, err := Bisect(f, 0, 1, 1e-12); err != nil || got != 0 {
+		t.Errorf("left endpoint root: %v, %v", got, err)
+	}
+	if got, err := Bisect(f, -1, 0, 1e-12); err != nil || got != 0 {
+		t.Errorf("right endpoint root: %v, %v", got, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 1e-12); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("want ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBisectBadInterval(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if _, err := Bisect(f, 2, 1, 1e-12); !errors.Is(err, ErrBadInterval) {
+		t.Errorf("want ErrBadInterval, got %v", err)
+	}
+}
+
+func TestBrentTranscendental(t *testing.T) {
+	// Root of cos(x) - x near 0.739085.
+	f := func(x float64) float64 { return math.Cos(x) - x }
+	got, err := Brent(f, 0, 1, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.7390851332151607, 1e-9) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestBrentMatchesBisect(t *testing.T) {
+	fns := []struct {
+		name string
+		f    Func
+		a, b float64
+	}{
+		{"cubic", func(x float64) float64 { return x*x*x - x - 2 }, 1, 2},
+		{"exp", func(x float64) float64 { return math.Exp(x) - 5 }, 0, 3},
+		{"log", func(x float64) float64 { return math.Log(x) - 1 }, 1, 5},
+	}
+	for _, tc := range fns {
+		rb, err1 := Bisect(tc.f, tc.a, tc.b, 1e-12)
+		rr, err2 := Brent(tc.f, tc.a, tc.b, 1e-12)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v %v", tc.name, err1, err2)
+		}
+		if !almostEqual(rb, rr, 1e-9) {
+			t.Errorf("%s: bisect %v brent %v", tc.name, rb, rr)
+		}
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return 1 + x*x }, -3, 3, 1e-12); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("want ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBrentPropertyLinear(t *testing.T) {
+	// For f(x) = x - r with r in (0,1), both methods must locate r.
+	prop := func(u uint16) bool {
+		r := (float64(u) + 1) / (float64(math.MaxUint16) + 2)
+		f := func(x float64) float64 { return x - r }
+		got, err := Brent(f, 0, 1, 1e-13)
+		return err == nil && almostEqual(got, r, 1e-10)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGoldenMinQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 1.7) * (x - 1.7) }
+	got, err := GoldenMin(f, -5, 5, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 1.7, 1e-7) {
+		t.Errorf("got %v want 1.7", got)
+	}
+}
+
+func TestGoldenMinBDETObjective(t *testing.T) {
+	// The b-DET cost (b+B)(mu/b + q) is minimized at b* = sqrt(mu*B/q)
+	// (paper eq. 34-35). Verify the numeric minimizer agrees.
+	const B, mu, q = 28.0, 5.0, 0.3
+	f := func(b float64) float64 { return (b + B) * (mu/b + q) }
+	got, err := GoldenMin(f, 1e-6, B, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(mu * B / q)
+	if !almostEqual(got, want, 1e-5) {
+		t.Errorf("b* = %v, want %v", got, want)
+	}
+	// And the minimum value is (sqrt(mu)+sqrt(qB))^2 (eq. 35).
+	wantVal := math.Pow(math.Sqrt(mu)+math.Sqrt(q*B), 2)
+	if !almostEqual(f(got), wantVal, 1e-6) {
+		t.Errorf("min value %v, want %v", f(got), wantVal)
+	}
+}
+
+func TestGoldenMaxMirror(t *testing.T) {
+	f := func(x float64) float64 { return -(x - 2) * (x - 2) }
+	got, err := GoldenMax(f, 0, 5, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 2, 1e-7) {
+		t.Errorf("got %v want 2", got)
+	}
+}
+
+func TestGridMinFindsGlobalAmongBumps(t *testing.T) {
+	// Two local minima; grid search must find the deeper one at x≈4.
+	f := func(x float64) float64 {
+		return math.Min((x-1)*(x-1)+0.5, (x-4)*(x-4))
+	}
+	x, v := GridMin(f, 0, 5, 1000)
+	if !almostEqual(x, 4, 0.01) || v > 0.001 {
+		t.Errorf("x=%v v=%v", x, v)
+	}
+}
+
+func TestGridMaxEndpoint(t *testing.T) {
+	x, v := GridMax(func(x float64) float64 { return x }, 0, 7, 10)
+	if x != 7 || v != 7 {
+		t.Errorf("got (%v, %v), want (7, 7)", x, v)
+	}
+}

@@ -1,0 +1,88 @@
+package simulator
+
+import (
+	"fmt"
+
+	"idlereduce/internal/costmodel"
+)
+
+// Emissions itemizes the exhaust emissions of a simulated drive cycle
+// using the Argonne per-second idling and per-restart masses cited in
+// Appendix C.2.3. All masses in milligrams.
+type Emissions struct {
+	THCmg float64
+	NOxMg float64
+	COmg  float64
+}
+
+// Add accumulates another emission total.
+func (e *Emissions) Add(o Emissions) {
+	e.THCmg += o.THCmg
+	e.NOxMg += o.NOxMg
+	e.COmg += o.COmg
+}
+
+// String renders the masses.
+func (e Emissions) String() string {
+	return fmt.Sprintf("THC %.1f mg, NOx %.2f mg, CO %.1f mg", e.THCmg, e.NOxMg, e.COmg)
+}
+
+// EmissionsOf computes the drive cycle's exhaust emissions from its
+// idling time and restart count:
+//
+//	idling: 0.266 mg/s THC, 0.0097 mg/s NOx, 0.108 mg/s CO
+//	restart: 44 mg THC, 6 mg NOx, 1253 mg CO
+//
+// The tension Appendix C discusses is visible here: restarts emit far
+// more CO per event than idling per second, so TOI trades fuel for CO
+// unless stops are long.
+func (r *Result) EmissionsOf() Emissions {
+	return Emissions{
+		THCmg: r.IdleSec*costmodel.IdlingTHCMgPerSec + float64(r.Restarts)*costmodel.RestartTHCMg,
+		NOxMg: r.IdleSec*costmodel.IdlingNOxMgPerSec + float64(r.Restarts)*costmodel.RestartNOxMg,
+		COmg:  r.IdleSec*costmodel.IdlingCOMgPerSec + float64(r.Restarts)*costmodel.RestartCOMg,
+	}
+}
+
+// NEVEmissions returns the emissions the same stops would have produced
+// with the engine idling throughout (the never-turn-off reference), for
+// net-impact comparisons.
+func (r *Result) NEVEmissions() Emissions {
+	idle := 0.0
+	for _, s := range r.Stops {
+		idle += s.Length
+	}
+	return Emissions{
+		THCmg: idle * costmodel.IdlingTHCMgPerSec,
+		NOxMg: idle * costmodel.IdlingNOxMgPerSec,
+		COmg:  idle * costmodel.IdlingCOMgPerSec,
+	}
+}
+
+// Wear itemizes the mechanical wear costs of a simulated drive cycle in
+// cents, using the Appendix C amortization model.
+type Wear struct {
+	StarterCents float64
+	BatteryCents float64
+}
+
+// TotalCents is the summed wear.
+func (w Wear) TotalCents() float64 { return w.StarterCents + w.BatteryCents }
+
+// WearOf prices the run's restarts against a vehicle's starter and
+// battery amortization.
+func (r *Result) WearOf(v costmodel.Vehicle) (Wear, error) {
+	starter, err := v.StarterCentsPerStart()
+	if err != nil {
+		return Wear{}, err
+	}
+	battery, err := v.BatteryCentsPerStart()
+	if err != nil {
+		return Wear{}, err
+	}
+	n := float64(r.Restarts)
+	return Wear{
+		StarterCents: n * starter,
+		BatteryCents: n * battery,
+	}, nil
+}

@@ -1,0 +1,126 @@
+package simulator
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"idlereduce/internal/costmodel"
+	"idlereduce/internal/skirental"
+)
+
+func TestEmissionsOfKnownCycle(t *testing.T) {
+	// DET on {10, 30}: idles 10+28 = 38 s, restarts once.
+	res, err := Run(Config{Costs: testCosts, Policy: skirental.NewDET(28)}, []float64{10, 30}, simRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.EmissionsOf()
+	wantTHC := 38*costmodel.IdlingTHCMgPerSec + costmodel.RestartTHCMg
+	wantNOx := 38*costmodel.IdlingNOxMgPerSec + costmodel.RestartNOxMg
+	wantCO := 38*costmodel.IdlingCOMgPerSec + costmodel.RestartCOMg
+	if math.Abs(e.THCmg-wantTHC) > 1e-9 || math.Abs(e.NOxMg-wantNOx) > 1e-9 || math.Abs(e.COmg-wantCO) > 1e-9 {
+		t.Errorf("emissions %+v, want {%v %v %v}", e, wantTHC, wantNOx, wantCO)
+	}
+}
+
+func TestNEVEmissionsReference(t *testing.T) {
+	res, err := Run(Config{Costs: testCosts, Policy: skirental.NewTOI(28)}, []float64{100, 200}, simRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := res.NEVEmissions()
+	if math.Abs(ref.NOxMg-300*costmodel.IdlingNOxMgPerSec) > 1e-9 {
+		t.Errorf("NEV NOx %v", ref.NOxMg)
+	}
+}
+
+func TestCOTensionOnShortStops(t *testing.T) {
+	// Appendix C's anti-idling objection: on short stops TOI emits far
+	// more CO than idling through (1253 mg/restart vs 0.108 mg/s).
+	stops := []float64{15, 20, 12}
+	toi, err := Run(Config{Costs: testCosts, Policy: skirental.NewTOI(28)}, stops, simRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := toi.EmissionsOf().COmg
+	coNEV := toi.NEVEmissions().COmg
+	if co < 100*coNEV {
+		t.Errorf("TOI CO %v should dwarf idling-through CO %v on short stops", co, coNEV)
+	}
+	// But THC and fuel flip on long stops: idling 600 s emits more THC
+	// than one restart.
+	long, err := Run(Config{Costs: testCosts, Policy: skirental.NewTOI(28)}, []float64{600}, simRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.EmissionsOf().THCmg > long.NEVEmissions().THCmg {
+		t.Errorf("restart THC %v should beat 600 s idling THC %v", long.EmissionsOf().THCmg, long.NEVEmissions().THCmg)
+	}
+}
+
+func TestEmissionsAddAndString(t *testing.T) {
+	a := Emissions{THCmg: 1, NOxMg: 2, COmg: 3}
+	a.Add(Emissions{THCmg: 10, NOxMg: 20, COmg: 30})
+	if a.THCmg != 11 || a.NOxMg != 22 || a.COmg != 33 {
+		t.Errorf("%+v", a)
+	}
+	s := a.String()
+	for _, frag := range []string{"THC", "NOx", "CO"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String missing %q: %s", frag, s)
+		}
+	}
+}
+
+func TestWearOfConventionalVehicle(t *testing.T) {
+	v := costmodel.NewFordFusion2011(3.5, false)
+	res, err := Run(Config{Costs: testCosts, Policy: skirental.NewTOI(28)}, []float64{50, 60, 70}, simRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := res.WearOf(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 restarts: starter (55+115)*100/34000 and battery 230*100/(4*365*32.43) each.
+	wantStarter := 3 * (55.0 + 115.0) * 100 / 34000
+	if math.Abs(w.StarterCents-wantStarter) > 1e-9 {
+		t.Errorf("starter %v want %v", w.StarterCents, wantStarter)
+	}
+	if w.BatteryCents <= 0 || w.TotalCents() != w.StarterCents+w.BatteryCents {
+		t.Errorf("wear %+v", w)
+	}
+}
+
+func TestWearOfSSVHasNoStarterWear(t *testing.T) {
+	v := costmodel.NewFordFusion2011(3.5, true)
+	res, err := Run(Config{Costs: testCosts, Policy: skirental.NewTOI(28)}, []float64{50}, simRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := res.WearOf(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.StarterCents != 0 {
+		t.Errorf("SSV starter wear %v", w.StarterCents)
+	}
+}
+
+func TestWearOfBadVehicle(t *testing.T) {
+	res, err := Run(Config{Costs: testCosts, Policy: skirental.NewTOI(28)}, []float64{50}, simRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := costmodel.NewFordFusion2011(3.5, false)
+	bad.StarterLifetimeStarts = 0
+	if _, err := res.WearOf(bad); err == nil {
+		t.Error("want error for zero starter lifetime")
+	}
+	bad2 := costmodel.NewFordFusion2011(3.5, true)
+	bad2.BatteryWarrantyYears = 0
+	if _, err := res.WearOf(bad2); err == nil {
+		t.Error("want error for zero warranty")
+	}
+}

@@ -1,0 +1,143 @@
+// Package simulator provides an event-driven vehicle simulator that
+// executes idling policies on concrete drive cycles and accounts costs in
+// real monetary units.
+//
+// The skirental package reasons in break-even-normalized units (idling
+// costs 1 per second, a restart costs B). The simulator closes the loop
+// back to the physical model of Section 2 and Appendix C: an engine state
+// machine (Driving / Idling / EngineOff) driven by a stop sequence, a
+// policy that decides when to shut the engine off, and a cost meter in
+// cents using a costmodel.CostRatio. Dividing the metered costs by the
+// idling rate recovers exactly the abstract ski-rental costs, which the
+// tests assert.
+package simulator
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State is the engine state.
+type State int
+
+// Engine states.
+const (
+	// Driving: the vehicle is moving, engine on.
+	Driving State = iota
+	// Idling: the vehicle is stopped with the engine running.
+	Idling
+	// EngineOff: the vehicle is stopped with the engine shut off.
+	EngineOff
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Driving:
+		return "driving"
+	case Idling:
+		return "idling"
+	case EngineOff:
+		return "engine-off"
+	default:
+		return fmt.Sprintf("simulator.State(%d)", int(s))
+	}
+}
+
+// EventKind labels a state transition in the event log.
+type EventKind int
+
+// Event kinds.
+const (
+	// EvStop: the vehicle came to a stop (engine begins idling).
+	EvStop EventKind = iota
+	// EvEngineOff: the policy shut the engine off.
+	EvEngineOff
+	// EvRestart: the driver moved off and the engine restarted.
+	EvRestart
+	// EvDriveOn: the driver moved off with the engine still idling.
+	EvDriveOn
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvStop:
+		return "stop"
+	case EvEngineOff:
+		return "engine-off"
+	case EvRestart:
+		return "restart"
+	case EvDriveOn:
+		return "drive-on"
+	default:
+		return fmt.Sprintf("simulator.EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry of the simulation event log.
+type Event struct {
+	// T is the simulation clock in seconds.
+	T float64
+	// Kind is the transition.
+	Kind EventKind
+	// Stop is the index of the stop this event belongs to.
+	Stop int
+}
+
+// ErrBadTransition reports a state-machine violation; it indicates a bug
+// in the caller or the engine itself and is surfaced rather than panicked
+// so fuzzing can exercise it.
+var ErrBadTransition = errors.New("simulator: invalid engine transition")
+
+// engine is the state machine with invariant checking.
+type engine struct {
+	state  State
+	clock  float64
+	events []*Event
+	record bool
+	stop   int
+}
+
+func (e *engine) logEvent(k EventKind) {
+	if e.record {
+		e.events = append(e.events, &Event{T: e.clock, Kind: k, Stop: e.stop})
+	}
+}
+
+// beginStop transitions Driving -> Idling.
+func (e *engine) beginStop() error {
+	if e.state != Driving {
+		return fmt.Errorf("%w: beginStop from %v", ErrBadTransition, e.state)
+	}
+	e.state = Idling
+	e.logEvent(EvStop)
+	return nil
+}
+
+// shutOff transitions Idling -> EngineOff.
+func (e *engine) shutOff() error {
+	if e.state != Idling {
+		return fmt.Errorf("%w: shutOff from %v", ErrBadTransition, e.state)
+	}
+	e.state = EngineOff
+	e.logEvent(EvEngineOff)
+	return nil
+}
+
+// driveOn leaves the stop: Idling -> Driving (no restart) or
+// EngineOff -> Driving (restart).
+func (e *engine) driveOn() (restarted bool, err error) {
+	switch e.state {
+	case Idling:
+		e.state = Driving
+		e.logEvent(EvDriveOn)
+		return false, nil
+	case EngineOff:
+		e.state = Driving
+		e.logEvent(EvRestart)
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: driveOn from %v", ErrBadTransition, e.state)
+	}
+}

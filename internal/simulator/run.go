@@ -1,0 +1,190 @@
+package simulator
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"idlereduce/internal/costmodel"
+	"idlereduce/internal/numeric"
+	"idlereduce/internal/skirental"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Costs supplies the idling rate (cents/s) and restart cost (cents).
+	// Its ratio B must match the policy's break-even interval.
+	Costs costmodel.CostRatio
+	// Policy decides when the engine is shut off at each stop.
+	Policy skirental.Policy
+	// DriveGapSec is the driving time inserted between stops on the
+	// event timeline (cost-neutral; purely for realistic logs). Zero
+	// uses a 60 s default.
+	DriveGapSec float64
+	// RecordEvents enables the per-transition event log.
+	RecordEvents bool
+}
+
+// ErrConfig reports an invalid configuration.
+var ErrConfig = errors.New("simulator: invalid config")
+
+func (c Config) validate() error {
+	if c.Policy == nil {
+		return fmt.Errorf("%w: nil policy", ErrConfig)
+	}
+	if c.Costs.IdlingCentsPerSec <= 0 || c.Costs.RestartCents < 0 {
+		return fmt.Errorf("%w: costs %+v", ErrConfig, c.Costs)
+	}
+	b := c.Costs.B()
+	if math.Abs(b-c.Policy.B()) > 1e-6*b {
+		return fmt.Errorf("%w: cost ratio B=%v does not match policy B=%v", ErrConfig, b, c.Policy.B())
+	}
+	if c.DriveGapSec < 0 {
+		return fmt.Errorf("%w: negative drive gap", ErrConfig)
+	}
+	return nil
+}
+
+// StopOutcome records one simulated stop.
+type StopOutcome struct {
+	// Length is the stop length in seconds.
+	Length float64
+	// Threshold is the policy's drawn idling threshold.
+	Threshold float64
+	// EngineOff reports whether the engine was shut off (and hence
+	// restarted when driving on).
+	EngineOff bool
+	// IdleSec is the time spent idling during this stop.
+	IdleSec float64
+	// OnlineCents is the metered policy cost of the stop.
+	OnlineCents float64
+	// OfflineCents is the clairvoyant cost of the stop.
+	OfflineCents float64
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	// Stops holds the per-stop outcomes, in input order.
+	Stops []StopOutcome
+	// Events is the transition log (when Config.RecordEvents).
+	Events []*Event
+	// OnlineCents and OfflineCents are metered totals.
+	OnlineCents  float64
+	OfflineCents float64
+	// IdleSec is total idling time; Restarts counts engine restarts.
+	IdleSec  float64
+	Restarts int
+	// DurationSec is the simulated wall-clock length of the cycle.
+	DurationSec float64
+}
+
+// CR returns the realized competitive ratio of the run (1 for a
+// zero-cost cycle).
+func (r *Result) CR() float64 {
+	if r.OfflineCents == 0 {
+		return 1
+	}
+	return r.OnlineCents / r.OfflineCents
+}
+
+// FuelSavedCentsVsNEV returns the metered saving relative to never
+// turning the engine off on the same stops.
+func (r *Result) FuelSavedCentsVsNEV(c Config) float64 {
+	var nev numeric.KahanSum
+	for _, s := range r.Stops {
+		nev.Add(s.Length * c.Costs.IdlingCentsPerSec)
+	}
+	return nev.Sum() - r.OnlineCents
+}
+
+// Run simulates the policy over the stop sequence. Randomized policies
+// draw one threshold per stop from rng.
+func Run(cfg Config, stops []float64, rng *rand.Rand) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	gap := cfg.DriveGapSec
+	if gap == 0 {
+		gap = 60
+	}
+	idleRate := cfg.Costs.IdlingCentsPerSec
+	restart := cfg.Costs.RestartCents
+	b := cfg.Costs.B()
+
+	eng := &engine{state: Driving, record: cfg.RecordEvents}
+	res := &Result{Stops: make([]StopOutcome, 0, len(stops))}
+	var online, offline numeric.KahanSum
+
+	for i, y := range stops {
+		if y < 0 || math.IsNaN(y) {
+			return nil, fmt.Errorf("%w: stop %d has length %v", ErrConfig, i, y)
+		}
+		eng.clock += gap
+		eng.stop = i
+		if err := eng.beginStop(); err != nil {
+			return nil, err
+		}
+		x := cfg.Policy.Threshold(rng)
+		if x < 0 || math.IsNaN(x) {
+			return nil, fmt.Errorf("simulator: policy %q drew invalid threshold %v", cfg.Policy.Name(), x)
+		}
+
+		out := StopOutcome{Length: y, Threshold: x}
+		if y < x {
+			// Drove off before the threshold: pure idling.
+			out.IdleSec = y
+			eng.clock += y
+			if _, err := eng.driveOn(); err != nil {
+				return nil, err
+			}
+		} else {
+			// Idled until the threshold, shut off, restarted on departure.
+			out.IdleSec = x
+			out.EngineOff = true
+			eng.clock += x
+			if err := eng.shutOff(); err != nil {
+				return nil, err
+			}
+			eng.clock += y - x
+			restarted, err := eng.driveOn()
+			if err != nil {
+				return nil, err
+			}
+			if !restarted {
+				return nil, fmt.Errorf("simulator: engine reported no restart after shut-off")
+			}
+			res.Restarts++
+		}
+		out.OnlineCents = out.IdleSec * idleRate
+		if out.EngineOff {
+			out.OnlineCents += restart
+		}
+		out.OfflineCents = skirental.OfflineCost(y, b) * idleRate
+		online.Add(out.OnlineCents)
+		offline.Add(out.OfflineCents)
+		res.IdleSec += out.IdleSec
+		res.Stops = append(res.Stops, out)
+	}
+	res.OnlineCents = online.Sum()
+	res.OfflineCents = offline.Sum()
+	res.DurationSec = eng.clock
+	res.Events = eng.events
+	return res, nil
+}
+
+// CompareOnTrace runs several policies on the same stop sequence with
+// independent but identically seeded randomness and returns the results
+// keyed by policy name.
+func CompareOnTrace(costs costmodel.CostRatio, policies []skirental.Policy, stops []float64, seed uint64) (map[string]*Result, error) {
+	out := make(map[string]*Result, len(policies))
+	for _, p := range policies {
+		rng := rand.New(rand.NewPCG(seed, 0x5bf0_3635))
+		res, err := Run(Config{Costs: costs, Policy: p}, stops, rng)
+		if err != nil {
+			return nil, fmt.Errorf("policy %s: %w", p.Name(), err)
+		}
+		out[p.Name()] = res
+	}
+	return out, nil
+}

@@ -1,0 +1,256 @@
+package simulator
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"idlereduce/internal/costmodel"
+	"idlereduce/internal/skirental"
+)
+
+// testCosts: idling 0.0258 cents/s (the Appendix C value) with restart
+// chosen so B = 28 exactly.
+var testCosts = costmodel.CostRatio{
+	IdlingCentsPerSec: 0.0258,
+	RestartCents:      0.0258 * 28,
+}
+
+func simRNG() *rand.Rand { return rand.New(rand.NewPCG(11, 13)) }
+
+func TestRunDETKnownCosts(t *testing.T) {
+	stops := []float64{10, 30, 5} // short, long, short for B=28
+	res, err := Run(Config{Costs: testCosts, Policy: skirental.NewDET(28)}, stops, simRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Abstract units: online 10 + 56 + 5 = 71; offline 10 + 28 + 5 = 43.
+	rate := testCosts.IdlingCentsPerSec
+	if math.Abs(res.OnlineCents-71*rate) > 1e-9 {
+		t.Errorf("online %v want %v", res.OnlineCents, 71*rate)
+	}
+	if math.Abs(res.OfflineCents-43*rate) > 1e-9 {
+		t.Errorf("offline %v want %v", res.OfflineCents, 43*rate)
+	}
+	if res.Restarts != 1 {
+		t.Errorf("restarts %d want 1", res.Restarts)
+	}
+	if math.Abs(res.CR()-71.0/43.0) > 1e-12 {
+		t.Errorf("CR %v", res.CR())
+	}
+	if math.Abs(res.IdleSec-(10+28+5)) > 1e-9 {
+		t.Errorf("idle %v", res.IdleSec)
+	}
+}
+
+func TestRunMatchesAbstractSkiRental(t *testing.T) {
+	// Metered cents divided by the idling rate must equal the abstract
+	// online cost for every policy and stop, restart edge cases included.
+	stops := []float64{1, 27.999, 28, 28.001, 100, 3}
+	for _, p := range []skirental.Policy{
+		skirental.NewTOI(28), skirental.NewDET(28), skirental.NewBDet(28, 11),
+	} {
+		res, err := Run(Config{Costs: testCosts, Policy: p}, stops, simRNG())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, out := range res.Stops {
+			want := skirental.OnlineCost(out.Threshold, stops[i], 28)
+			got := out.OnlineCents / testCosts.IdlingCentsPerSec
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s stop %d: %v want %v", p.Name(), i, got, want)
+			}
+		}
+	}
+}
+
+func TestRunNEVNeverRestarts(t *testing.T) {
+	stops := []float64{100, 500, 3}
+	res, err := Run(Config{Costs: testCosts, Policy: skirental.NewNEV(28)}, stops, simRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 0 {
+		t.Errorf("NEV restarted %d times", res.Restarts)
+	}
+	if math.Abs(res.IdleSec-603) > 1e-9 {
+		t.Errorf("idle %v want 603", res.IdleSec)
+	}
+}
+
+func TestRunTOIAlwaysRestarts(t *testing.T) {
+	stops := []float64{5, 10, 200}
+	res, err := Run(Config{Costs: testCosts, Policy: skirental.NewTOI(28)}, stops, simRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 3 {
+		t.Errorf("TOI restarts %d want 3", res.Restarts)
+	}
+	if res.IdleSec != 0 {
+		t.Errorf("TOI idled %v s", res.IdleSec)
+	}
+}
+
+func TestRunEventLog(t *testing.T) {
+	stops := []float64{5, 40}
+	res, err := Run(Config{Costs: testCosts, Policy: skirental.NewDET(28), RecordEvents: true}, stops, simRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]EventKind, len(res.Events))
+	for i, e := range res.Events {
+		kinds[i] = e.Kind
+	}
+	want := []EventKind{EvStop, EvDriveOn, EvStop, EvEngineOff, EvRestart}
+	if len(kinds) != len(want) {
+		t.Fatalf("events %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("event %d: %v want %v", i, kinds[i], want[i])
+		}
+	}
+	// Clock sanity: strictly non-decreasing timestamps, and total
+	// duration = gaps + stop lengths.
+	prev := -1.0
+	for _, e := range res.Events {
+		if e.T < prev {
+			t.Errorf("clock went backwards at %v", e.T)
+		}
+		prev = e.T
+	}
+	if math.Abs(res.DurationSec-(60+5+60+40)) > 1e-9 {
+		t.Errorf("duration %v", res.DurationSec)
+	}
+}
+
+func TestRunNoEventsByDefault(t *testing.T) {
+	res, err := Run(Config{Costs: testCosts, Policy: skirental.NewTOI(28)}, []float64{5}, simRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != nil {
+		t.Error("events recorded without RecordEvents")
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	cases := map[string]Config{
+		"nil policy": {Costs: testCosts},
+		"zero rate":  {Costs: costmodel.CostRatio{RestartCents: 1}, Policy: skirental.NewDET(28)},
+		"mismatched B": {
+			Costs:  costmodel.CostRatio{IdlingCentsPerSec: 1, RestartCents: 50},
+			Policy: skirental.NewDET(28),
+		},
+		"negative gap": {Costs: testCosts, Policy: skirental.NewDET(28), DriveGapSec: -1},
+	}
+	for name, cfg := range cases {
+		if _, err := Run(cfg, []float64{5}, simRNG()); !errors.Is(err, ErrConfig) {
+			t.Errorf("%s: want ErrConfig, got %v", name, err)
+		}
+	}
+}
+
+func TestRunRejectsBadStops(t *testing.T) {
+	cfg := Config{Costs: testCosts, Policy: skirental.NewDET(28)}
+	if _, err := Run(cfg, []float64{-1}, simRNG()); err == nil {
+		t.Error("want error for negative stop")
+	}
+	if _, err := Run(cfg, []float64{math.NaN()}, simRNG()); err == nil {
+		t.Error("want error for NaN stop")
+	}
+}
+
+func TestRunRandomizedPolicyConverges(t *testing.T) {
+	// Mean metered CR of N-Rand over many stops approaches e/(e-1)
+	// because every stop's expected cost is e/(e-1)·offline.
+	stops := make([]float64, 40_000)
+	rng := simRNG()
+	for i := range stops {
+		stops[i] = 1 + rng.Float64()*120
+	}
+	res, err := Run(Config{Costs: testCosts, Policy: skirental.NewNRand(28)}, stops, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.E / (math.E - 1)
+	if math.Abs(res.CR()-want) > 0.02 {
+		t.Errorf("CR %v want ≈%v", res.CR(), want)
+	}
+}
+
+func TestFuelSavedVsNEV(t *testing.T) {
+	cfg := Config{Costs: testCosts, Policy: skirental.NewTOI(28)}
+	stops := []float64{100, 200}
+	res, err := Run(cfg, stops, simRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NEV cost = 300 s idle; TOI cost = 2 restarts = 56 s-equivalents.
+	want := (300 - 56) * testCosts.IdlingCentsPerSec
+	if math.Abs(res.FuelSavedCentsVsNEV(cfg)-want) > 1e-9 {
+		t.Errorf("saved %v want %v", res.FuelSavedCentsVsNEV(cfg), want)
+	}
+}
+
+func TestCompareOnTrace(t *testing.T) {
+	policies := []skirental.Policy{
+		skirental.NewTOI(28), skirental.NewDET(28), skirental.NewNRand(28),
+	}
+	stops := []float64{5, 80, 20, 300}
+	results, err := CompareOnTrace(testCosts, policies, stops, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results %d", len(results))
+	}
+	for name, r := range results {
+		if len(r.Stops) != 4 {
+			t.Errorf("%s: stops %d", name, len(r.Stops))
+		}
+		if r.CR() < 1-1e-9 {
+			t.Errorf("%s: CR %v below 1", name, r.CR())
+		}
+	}
+	// Deterministic policies must be reproducible across calls.
+	again, _ := CompareOnTrace(testCosts, policies, stops, 3)
+	if again["N-Rand"].OnlineCents != results["N-Rand"].OnlineCents {
+		t.Error("same seed should reproduce randomized results")
+	}
+}
+
+func TestEngineInvalidTransitions(t *testing.T) {
+	e := &engine{state: Driving}
+	if _, err := e.driveOn(); !errors.Is(err, ErrBadTransition) {
+		t.Error("driveOn while driving must fail")
+	}
+	if err := e.shutOff(); !errors.Is(err, ErrBadTransition) {
+		t.Error("shutOff while driving must fail")
+	}
+	if err := e.beginStop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.beginStop(); !errors.Is(err, ErrBadTransition) {
+		t.Error("double beginStop must fail")
+	}
+}
+
+func TestStateAndEventStrings(t *testing.T) {
+	if Driving.String() != "driving" || Idling.String() != "idling" || EngineOff.String() != "engine-off" {
+		t.Error("state strings")
+	}
+	if State(9).String() == "" || EventKind(9).String() == "" {
+		t.Error("unknown values must still print")
+	}
+	for _, k := range []EventKind{EvStop, EvEngineOff, EvRestart, EvDriveOn} {
+		if k.String() == "" {
+			t.Error("empty event kind string")
+		}
+	}
+}
+
+// detPolicy28 is a helper for cross-runner comparisons.
+func detPolicy28() skirental.Policy { return skirental.NewDET(28) }

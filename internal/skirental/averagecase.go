@@ -1,0 +1,117 @@
+package skirental
+
+import (
+	"fmt"
+	"math"
+
+	"idlereduce/internal/dist"
+	"idlereduce/internal/numeric"
+)
+
+// This file implements the average-case baseline of Fujiwara & Iwama
+// ("Average-case competitive analyses for ski-rental problems",
+// Algorithmica 2005), which the paper cites as related work: when the
+// stop-length distribution q(y) is fully known, the best deterministic
+// threshold minimizes the expected online cost directly. The paper
+// argues this is fragile because real stop distributions are neither
+// exponential nor uniform; the baseline lets the experiments quantify
+// that claim.
+//
+// Unlike the worst-case setting (Appendix A), restricting the threshold
+// to [0, B] is NOT without loss here: for an exponential distribution
+// with mean below B the memoryless property makes never-turning-off
+// optimal (x* = +Inf).
+
+// OptimalThreshold returns the deterministic threshold x* in [0, +Inf]
+// minimizing E_y[cost_online(x, y)] under the known distribution d, and
+// the minimum expected cost. A +Inf threshold means never turning off.
+func OptimalThreshold(d dist.Distribution, b float64) (x, cost float64, err error) {
+	if b <= 0 || math.IsNaN(b) {
+		return 0, 0, fmt.Errorf("%w: B = %v", ErrBadStats, b)
+	}
+	if e, ok := d.(dist.Exponential); ok {
+		return optimalThresholdExponential(e, b)
+	}
+	obj := func(x float64) float64 {
+		return expectedCostThreshold(d, x, b)
+	}
+	// Scan finite thresholds up to (nearly) the distribution's support
+	// end; the objective can be multimodal for mixtures.
+	hi := d.Quantile(1 - 1e-9)
+	if math.IsInf(hi, 1) || hi <= 0 {
+		hi = 1000 * b
+	}
+	const n = 600
+	xg, _ := numeric.GridMin(obj, 0, hi, n)
+	lo := math.Max(0, xg-hi/n)
+	up := math.Min(hi, xg+hi/n)
+	x, gerr := numeric.GoldenMin(obj, lo, up, 1e-9*b)
+	if gerr != nil {
+		x = xg
+	}
+	best, bestC := x, obj(x)
+	// Endpoints and the never-turn-off limit are frequent optima.
+	if c := obj(0); c < bestC {
+		best, bestC = 0, c
+	}
+	if m := d.Mean(); m < bestC {
+		best, bestC = math.Inf(1), m
+	}
+	return best, bestC, nil
+}
+
+// expectedCostThreshold evaluates E_y[cost_online(x, y)] for a fixed
+// finite threshold x under d:
+//
+//	E = ∫_0^x y q(y) dy + (x + B)·P(Y >= x)
+func expectedCostThreshold(d dist.Distribution, x, b float64) float64 {
+	if x <= 0 {
+		return b // immediate shutdown: every stop pays exactly B
+	}
+	short := dist.MuBMinus(d, x) // ∫_0^x y q(y) dy (same integral, cutoff x)
+	tail := 1 - d.CDF(x)
+	return short + (x+b)*tail
+}
+
+// optimalThresholdExponential solves the exponential case in closed form.
+// The derivative of the expected cost is e^{-λx}(1 - λB), whose sign is
+// constant: for mean > B the cost increases in x (shut down immediately,
+// cost B); for mean < B it decreases toward E[Y] (never shut down) — the
+// memoryless property makes any intermediate threshold a pure loss.
+func optimalThresholdExponential(e dist.Exponential, b float64) (x, cost float64, err error) {
+	mean := 1 / e.Rate
+	if mean >= b {
+		return 0, b, nil
+	}
+	return math.Inf(1), mean, nil
+}
+
+// AverageCase is the known-distribution deterministic baseline built from
+// OptimalThreshold.
+type AverageCase struct {
+	*Deterministic
+	dist dist.Distribution
+	cost float64
+}
+
+// NewAverageCase constructs the Fujiwara-Iwama baseline for a known
+// stop-length distribution.
+func NewAverageCase(d dist.Distribution, b float64) (*AverageCase, error) {
+	x, cost, err := OptimalThreshold(d, b)
+	if err != nil {
+		return nil, err
+	}
+	return &AverageCase{
+		Deterministic: NewFixedThreshold("AVG", b, x),
+		dist:          d,
+		cost:          cost,
+	}, nil
+}
+
+// ExpectedCost returns the minimum expected online cost under the design
+// distribution.
+func (a *AverageCase) ExpectedCost() float64 { return a.cost }
+
+// DesignDistribution returns the distribution the threshold was tuned
+// for.
+func (a *AverageCase) DesignDistribution() dist.Distribution { return a.dist }

@@ -1,0 +1,150 @@
+package skirental
+
+import (
+	"math"
+	"testing"
+
+	"idlereduce/internal/dist"
+	"idlereduce/internal/numeric"
+)
+
+func TestOptimalThresholdExponentialBangBang(t *testing.T) {
+	// Memoryless stops: mean > B => TOI (cost B); mean < B => NEV
+	// (cost = mean).
+	long := dist.NewExponentialMean(100)
+	x, cost, err := OptimalThreshold(long, testB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 0 || math.Abs(cost-testB) > 1e-12 {
+		t.Errorf("mean>B: x=%v cost=%v, want 0, B", x, cost)
+	}
+	short := dist.NewExponentialMean(10)
+	x, cost, err = OptimalThreshold(short, testB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(x, 1) || math.Abs(cost-10) > 1e-12 {
+		t.Errorf("mean<B: x=%v cost=%v, want +Inf, 10", x, cost)
+	}
+}
+
+func TestOptimalThresholdExponentialMatchesNumeric(t *testing.T) {
+	// The closed form must agree with a brute-force scan of the generic
+	// objective (up to the scan's resolution).
+	for _, mean := range []float64{5, 27, 29, 120} {
+		e := dist.NewExponentialMean(mean)
+		_, closed, err := OptimalThreshold(e, testB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj := func(x float64) float64 { return expectedCostThreshold(e, x, testB) }
+		_, scan := numeric.GridMin(obj, 0, 50*testB, 5000)
+		scan = math.Min(scan, e.Mean()) // include the x=∞ candidate
+		if math.Abs(closed-scan) > 0.01*(1+scan) {
+			t.Errorf("mean %v: closed %v scan %v", mean, closed, scan)
+		}
+	}
+}
+
+func TestOptimalThresholdUniform(t *testing.T) {
+	// Uniform on [0, 60] with B = 28: interior optima are possible;
+	// verify against a dense scan including the NEV limit.
+	u := dist.Uniform{Lo: 0, Hi: 60}
+	x, cost, err := OptimalThreshold(u, testB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := func(x float64) float64 { return expectedCostThreshold(u, x, testB) }
+	_, scanCost := numeric.GridMin(obj, 0, 60, 20000)
+	scanCost = math.Min(scanCost, u.Mean())
+	if cost > scanCost+1e-4 {
+		t.Errorf("cost %v worse than scan %v (x=%v)", cost, scanCost, x)
+	}
+	// And the returned threshold must actually achieve the returned cost.
+	achieved := u.Mean()
+	if !math.IsInf(x, 1) {
+		achieved = obj(x)
+	}
+	if math.Abs(achieved-cost) > 1e-6 {
+		t.Errorf("threshold %v achieves %v, reported %v", x, achieved, cost)
+	}
+}
+
+func TestOptimalThresholdTwoPointInterior(t *testing.T) {
+	// Stops of 5 s (70%) or 200 s (30%), B = 28. Any threshold in
+	// (5, 200) turns off exactly on long stops; best is just above 5.
+	d := dist.TwoPoint(5, 200, 0.3)
+	x, cost, err := OptimalThreshold(d, testB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x < 5 || x > 200 {
+		t.Errorf("x = %v outside the separating range", x)
+	}
+	// Cost at the ideal separator: 0.7*5 + 0.3*(x+28) with x -> 5+.
+	want := 0.7*5 + 0.3*(5+testB)
+	if math.Abs(cost-want) > 0.5 {
+		t.Errorf("cost %v, ideal separator gives ≈%v", cost, want)
+	}
+}
+
+func TestOptimalThresholdBadB(t *testing.T) {
+	if _, _, err := OptimalThreshold(dist.NewExponentialMean(10), 0); err == nil {
+		t.Error("want error for B=0")
+	}
+}
+
+func TestNewAverageCasePolicy(t *testing.T) {
+	d := dist.TwoPoint(5, 200, 0.3)
+	a, err := NewAverageCase(d, testB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "AVG" {
+		t.Errorf("name %q", a.Name())
+	}
+	if a.DesignDistribution() != dist.Distribution(d) {
+		t.Error("design distribution not retained")
+	}
+	// Its realized expected cost on the design distribution must match
+	// the reported optimum.
+	got := ExpectedCost(a, d)
+	if math.Abs(got-a.ExpectedCost()) > 1e-6*(1+got) {
+		t.Errorf("realized %v vs reported %v", got, a.ExpectedCost())
+	}
+	// And it must beat every fixed vertex policy on its own
+	// distribution (that is the point of knowing q(y) exactly).
+	for _, p := range []Policy{NewTOI(testB), NewDET(testB), NewNRand(testB)} {
+		if c := ExpectedCost(p, d); c < a.ExpectedCost()-1e-9 {
+			t.Errorf("%s cost %v beats AVG %v on the design distribution", p.Name(), c, a.ExpectedCost())
+		}
+	}
+}
+
+func TestAverageCaseFragileUnderMismatch(t *testing.T) {
+	// The paper's argument against average-case tuning: a threshold
+	// tuned for one distribution can be badly beaten by the proposed
+	// policy when the real distribution differs. Tune AVG for
+	// short-stop traffic (it chooses NEV-like behaviour), then evaluate
+	// on long-stop traffic.
+	design := dist.NewExponentialMean(8) // AVG picks x = +Inf
+	a, err := NewAverageCase(design, testB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(a.X(), 1) {
+		t.Skip("design point moved")
+	}
+	reality := dist.TwoPoint(5, 600, 0.5)
+	s := StatsOf(reality, testB)
+	prop, err := NewConstrained(testB, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgCR := ExpectedCR(a, reality)
+	propCR := ExpectedCR(prop, reality)
+	if avgCR < 2*propCR {
+		t.Errorf("expected AVG to collapse under mismatch: AVG %v vs proposed %v", avgCR, propCR)
+	}
+}

@@ -1,0 +1,251 @@
+package skirental
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Choice identifies which of the four vertex strategies the constrained
+// policy selected (Section 4.4).
+type Choice int
+
+// The four vertices of the LP polytope of eq. 33.
+const (
+	// ChoiceNRand is the vertex (alpha, beta, gamma) = (0, 0, 0).
+	ChoiceNRand Choice = iota
+	// ChoiceTOI is the vertex (1, 0, 0).
+	ChoiceTOI
+	// ChoiceDET is the vertex (0, 1, 0).
+	ChoiceDET
+	// ChoiceBDet is the vertex (0, 0, 1).
+	ChoiceBDet
+)
+
+// String implements fmt.Stringer.
+func (c Choice) String() string {
+	switch c {
+	case ChoiceNRand:
+		return "N-Rand"
+	case ChoiceTOI:
+		return "TOI"
+	case ChoiceDET:
+		return "DET"
+	case ChoiceBDet:
+		return "b-DET"
+	default:
+		return fmt.Sprintf("skirental.Choice(%d)", int(c))
+	}
+}
+
+// VertexCosts holds the worst-case expected online cost of each vertex
+// strategy over the distribution family Q(mu_B-, q_B+) (Section 4.4).
+type VertexCosts struct {
+	NRand float64 // e/(e-1)·(mu + qB)
+	TOI   float64 // B
+	DET   float64 // mu + 2qB
+	BDet  float64 // (sqrt(mu) + sqrt(qB))², +Inf when condition 36 fails
+	// BDetThreshold is the optimal b = sqrt(mu·B/q); NaN when b-DET is
+	// inapplicable.
+	BDetThreshold float64
+}
+
+// ComputeVertexCosts evaluates the four closed forms for statistics s and
+// break-even b.
+func ComputeVertexCosts(b float64, s Stats) VertexCosts {
+	mu, q := s.MuBMinus, s.QBPlus
+	vc := VertexCosts{
+		NRand:         math.E / (math.E - 1) * (mu + q*b),
+		TOI:           b,
+		DET:           mu + 2*q*b,
+		BDet:          math.Inf(1),
+		BDetThreshold: math.NaN(),
+	}
+	// b-DET needs a positive probability of long stops to amortize
+	// against, and condition (36): mu/B < (1-q)²/q, which guarantees the
+	// optimal threshold exceeds the mean short stop.
+	if q > 0 && mu/b < (1-q)*(1-q)/q {
+		bStar := math.Sqrt(mu * b / q)
+		// mu = 0 is the degenerate limit where all short mass sits at
+		// zero length; an arbitrarily small positive threshold realizes
+		// the cost qB, so clamp away from exactly zero.
+		if bStar < b*1e-9 {
+			bStar = b * 1e-9
+		}
+		vc.BDet = math.Pow(math.Sqrt(mu)+math.Sqrt(q*b), 2)
+		vc.BDetThreshold = bStar
+	}
+	return vc
+}
+
+// Select returns the vertex with the smallest worst-case cost, breaking
+// ties toward the deterministic strategies in the order DET, TOI, b-DET,
+// N-Rand (ties occur on region boundaries; any choice is optimal there).
+func (vc VertexCosts) Select() (Choice, float64) {
+	best, cost := ChoiceDET, vc.DET
+	if vc.TOI < cost {
+		best, cost = ChoiceTOI, vc.TOI
+	}
+	if vc.BDet < cost {
+		best, cost = ChoiceBDet, vc.BDet
+	}
+	if vc.NRand < cost {
+		best, cost = ChoiceNRand, vc.NRand
+	}
+	return best, cost
+}
+
+// Constrained is the paper's proposed online policy: given (mu_B-, q_B+)
+// it plays the cheapest of the four vertex strategies. Its worst-case
+// expected competitive ratio is minimal over all online policies that
+// know only those two statistics.
+type Constrained struct {
+	b      float64
+	stats  Stats
+	choice Choice
+	cost   float64
+	inner  Policy
+}
+
+// NewConstrained builds the proposed policy for break-even interval b and
+// statistics s. It returns ErrBadStats when s is infeasible for b.
+func NewConstrained(b float64, s Stats) (*Constrained, error) {
+	if err := s.Validate(b); err != nil {
+		return nil, err
+	}
+	vc := ComputeVertexCosts(b, s)
+	choice, cost := vc.Select()
+	c := &Constrained{b: b, stats: s, choice: choice, cost: cost}
+	switch choice {
+	case ChoiceNRand:
+		c.inner = NewNRand(b)
+	case ChoiceTOI:
+		c.inner = NewTOI(b)
+	case ChoiceDET:
+		c.inner = NewDET(b)
+	case ChoiceBDet:
+		c.inner = NewBDet(b, vc.BDetThreshold)
+	}
+	return c, nil
+}
+
+// NewConstrainedFromStops is a convenience constructor that estimates the
+// statistics from an observed stop sample first.
+func NewConstrainedFromStops(b float64, stops []float64) (*Constrained, error) {
+	s, err := EstimateStats(stops, b)
+	if err != nil {
+		return nil, err
+	}
+	return NewConstrained(b, s)
+}
+
+// Name implements Policy.
+func (c *Constrained) Name() string { return "Proposed" }
+
+// B implements Policy.
+func (c *Constrained) B() float64 { return c.b }
+
+// Stats returns the statistics the policy was built with.
+func (c *Constrained) Stats() Stats { return c.stats }
+
+// Choice returns the selected vertex strategy.
+func (c *Constrained) Choice() Choice { return c.choice }
+
+// Inner returns the concrete vertex policy being played.
+func (c *Constrained) Inner() Policy { return c.inner }
+
+// WorstCaseCost returns the guaranteed upper bound on the expected online
+// cost over every distribution consistent with the statistics.
+func (c *Constrained) WorstCaseCost() float64 { return c.cost }
+
+// WorstCaseCR returns the guaranteed upper bound on the expected
+// competitive ratio: WorstCaseCost / (mu_B- + q_B+·B). For the degenerate
+// no-cost corner (mu = q = 0) it returns 1.
+func (c *Constrained) WorstCaseCR() float64 {
+	off := c.stats.OfflineCost(c.b)
+	if off == 0 {
+		return 1
+	}
+	return c.cost / off
+}
+
+// Threshold implements Policy by delegating to the selected vertex.
+func (c *Constrained) Threshold(rng *rand.Rand) float64 {
+	return c.inner.Threshold(rng)
+}
+
+// MeanCostForStop implements Policy by delegating to the selected vertex.
+func (c *Constrained) MeanCostForStop(y float64) float64 {
+	return c.inner.MeanCostForStop(y)
+}
+
+// WorstCaseCRForStats evaluates the proposed algorithm's worst-case CR
+// surface (Figure 1b) without materializing a policy.
+func WorstCaseCRForStats(b float64, s Stats) (float64, error) {
+	if err := s.Validate(b); err != nil {
+		return 0, err
+	}
+	_, cost := ComputeVertexCosts(b, s).Select()
+	off := s.OfflineCost(b)
+	if off == 0 {
+		return 1, nil
+	}
+	return cost / off, nil
+}
+
+// BaselineWorstCaseCR returns the worst-case expected CR over
+// Q(mu_B-, q_B+) of the named baseline (the curves of Figures 2, 5, 6):
+//
+//	N-Rand:   e/(e-1), pointwise for every distribution
+//	TOI:      B/(mu + qB)
+//	DET:      (mu + 2qB)/(mu + qB)
+//	b-DET:    (sqrt(mu)+sqrt(qB))²/(mu + qB), +Inf when inapplicable
+//	MOM-Rand: 1 + 1/(2(e-2)) when the full mean can stay under the cutoff
+//	          (its density is fixed, so the adversary puts short mass at B),
+//	          e/(e-1) otherwise
+//	NEV:      +Inf (long stops are unbounded over Q)
+func BaselineWorstCaseCR(choice string, b float64, s Stats) float64 {
+	off := s.OfflineCost(b)
+	vc := ComputeVertexCosts(b, s)
+	if off == 0 {
+		return 1
+	}
+	switch choice {
+	case "N-Rand":
+		return math.E / (math.E - 1)
+	case "TOI":
+		return vc.TOI / off
+	case "DET":
+		return vc.DET / off
+	case "b-DET":
+		return vc.BDet / off
+	case "NEV":
+		if s.QBPlus > 0 {
+			return math.Inf(1)
+		}
+		return 1
+	case "MOM-Rand":
+		return momRandWorstCaseCR(b, s)
+	default:
+		return math.NaN()
+	}
+}
+
+// momRandWorstCaseCR computes the worst case over Q of the expected CR of
+// MOM-Rand, whose branch depends on the full mean of the adversary's
+// distribution.
+//
+// Reshaped branch (mean <= cutoff): the per-stop cost
+// C(y) = y + y²/(2B(e-2)) is convex on [0, B], so the adversary pushes
+// all short mass to {0, B} and keeps long stops just above B, giving
+// E[cost] = (mu + qB)(1 + 1/(2(e-2))) and CR = 1 + 1/(2(e-2)) ≈ 1.696.
+// The construction has full mean mu + qB, so it is feasible exactly when
+// mu + qB <= cutoff; otherwise every distribution in Q has mean above the
+// cutoff, MOM-Rand always degenerates to N-Rand, and the worst case is
+// e/(e-1).
+func momRandWorstCaseCR(b float64, s Stats) float64 {
+	if s.OfflineCost(b) <= MOMRandMeanCutoff(b) {
+		return 1 + 1/(2*(math.E-2))
+	}
+	return math.E / (math.E - 1)
+}

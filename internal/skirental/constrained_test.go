@@ -1,0 +1,266 @@
+package skirental
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeVertexCostsFormulas(t *testing.T) {
+	s := Stats{MuBMinus: 5, QBPlus: 0.3}
+	vc := ComputeVertexCosts(testB, s)
+	off := 5 + 0.3*28
+	if math.Abs(vc.NRand-math.E/(math.E-1)*off) > 1e-12 {
+		t.Errorf("N-Rand cost %v", vc.NRand)
+	}
+	if vc.TOI != testB {
+		t.Errorf("TOI cost %v", vc.TOI)
+	}
+	if math.Abs(vc.DET-(5+2*0.3*28)) > 1e-12 {
+		t.Errorf("DET cost %v", vc.DET)
+	}
+	wantBDet := math.Pow(math.Sqrt(5)+math.Sqrt(0.3*28), 2)
+	if math.Abs(vc.BDet-wantBDet) > 1e-12 {
+		t.Errorf("b-DET cost %v want %v", vc.BDet, wantBDet)
+	}
+	wantB := math.Sqrt(5 * 28 / 0.3)
+	if math.Abs(vc.BDetThreshold-wantB) > 1e-9 {
+		t.Errorf("b* = %v want %v", vc.BDetThreshold, wantB)
+	}
+}
+
+func TestBDetConditionEq36(t *testing.T) {
+	// Condition (36): mu/B < (1-q)²/q. Violated => b-DET inapplicable.
+	s := Stats{MuBMinus: 14, QBPlus: 0.5} // mu/B = 0.5, (1-q)²/q = 0.5: not <
+	vc := ComputeVertexCosts(testB, s)
+	if !math.IsInf(vc.BDet, 1) {
+		t.Errorf("b-DET should be inapplicable, cost %v", vc.BDet)
+	}
+	if !math.IsNaN(vc.BDetThreshold) {
+		t.Errorf("threshold should be NaN, got %v", vc.BDetThreshold)
+	}
+	// And no long stops means nothing to amortize: inapplicable too.
+	vc0 := ComputeVertexCosts(testB, Stats{MuBMinus: 14, QBPlus: 0})
+	if !math.IsInf(vc0.BDet, 1) {
+		t.Error("b-DET with q=0 should be inapplicable")
+	}
+}
+
+func TestBDetThresholdExceedsShortMean(t *testing.T) {
+	// Paper's lemma: the optimal b must exceed mu/(1-q); condition (36)
+	// guarantees it.
+	prop := func(mu8, qu8 uint8) bool {
+		mu := float64(mu8) / 255 * testB
+		q := float64(qu8) / 256
+		s := Stats{MuBMinus: mu, QBPlus: q}
+		if s.Validate(testB) != nil {
+			return true
+		}
+		vc := ComputeVertexCosts(testB, s)
+		if math.IsInf(vc.BDet, 1) || mu == 0 {
+			return true
+		}
+		return vc.BDetThreshold > mu/(1-q)-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectPicksMinimum(t *testing.T) {
+	prop := func(mu16, q16 uint16) bool {
+		q := float64(q16) / math.MaxUint16
+		mu := float64(mu16) / math.MaxUint16 * testB * (1 - q)
+		s := Stats{MuBMinus: mu, QBPlus: q}
+		vc := ComputeVertexCosts(testB, s)
+		_, cost := vc.Select()
+		min := math.Min(math.Min(vc.NRand, vc.TOI), math.Min(vc.DET, vc.BDet))
+		return cost == min
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstrainedKnownRegions(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Stats
+		want Choice
+	}{
+		// Short stops dominate and are short: DET mimics offline (CR→1).
+		{"good traffic", Stats{MuBMinus: 2, QBPlus: 0.01}, ChoiceDET},
+		// Long stops dominate: TOI is optimal (cost B ≈ offline).
+		{"jam", Stats{MuBMinus: 0.5, QBPlus: 0.95}, ChoiceTOI},
+		// Tiny mu with moderate q: b-DET exploits the gap (Fig. 2c-d).
+		{"b-DET pocket", Stats{MuBMinus: 0.02 * testB, QBPlus: 0.3}, ChoiceBDet},
+		// Mid mu, mid q: randomization wins.
+		{"mixed", Stats{MuBMinus: 2.8, QBPlus: 0.5}, ChoiceNRand},
+	}
+	for _, c := range cases {
+		p, err := NewConstrained(testB, c.s)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if p.Choice() != c.want {
+			t.Errorf("%s: choice %v want %v (cost %v)", c.name, p.Choice(), c.want, p.WorstCaseCost())
+		}
+		if p.Name() != "Proposed" {
+			t.Errorf("name %q", p.Name())
+		}
+		if p.Inner() == nil {
+			t.Errorf("%s: nil inner policy", c.name)
+		}
+	}
+}
+
+func TestConstrainedRejectsBadStats(t *testing.T) {
+	if _, err := NewConstrained(testB, Stats{MuBMinus: 28, QBPlus: 0.5}); !errors.Is(err, ErrBadStats) {
+		t.Errorf("want ErrBadStats, got %v", err)
+	}
+	if _, err := NewConstrained(-1, Stats{}); !errors.Is(err, ErrBadStats) {
+		t.Errorf("want ErrBadStats for bad B, got %v", err)
+	}
+}
+
+func TestConstrainedWorstCaseCRNeverExceedsNRand(t *testing.T) {
+	// The proposed policy can never be worse than e/(e-1): N-Rand is one
+	// of its vertices.
+	ratio := math.E/(math.E-1) + 1e-12
+	prop := func(mu16, q16 uint16) bool {
+		q := float64(q16) / math.MaxUint16
+		mu := float64(mu16) / math.MaxUint16 * testB * (1 - q)
+		cr, err := WorstCaseCRForStats(testB, Stats{MuBMinus: mu, QBPlus: q})
+		return err == nil && cr <= ratio && cr >= 1-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstrainedBeatsEveryBaselinePointwise(t *testing.T) {
+	// Figure 2's claim: the proposed worst-case CR is the lower envelope
+	// of the four vertex strategies at every (mu, q).
+	for _, mu := range []float64{0, 0.02 * testB, 0.05 * testB, 0.2 * testB, 0.5 * testB, 0.9 * testB} {
+		for _, q := range []float64{0, 0.05, 0.2, 0.5, 0.8, 1} {
+			s := Stats{MuBMinus: mu, QBPlus: q}
+			if s.Validate(testB) != nil {
+				continue
+			}
+			cr, err := WorstCaseCRForStats(testB, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, base := range []string{"N-Rand", "TOI", "DET", "b-DET"} {
+				bcr := BaselineWorstCaseCR(base, testB, s)
+				if cr > bcr+1e-9 {
+					t.Errorf("mu=%v q=%v: proposed %v > %s %v", mu, q, cr, base, bcr)
+				}
+			}
+		}
+	}
+}
+
+func TestConstrainedDegenerateCorner(t *testing.T) {
+	p, err := NewConstrained(testB, Stats{MuBMinus: 0, QBPlus: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr := p.WorstCaseCR(); cr != 1 {
+		t.Errorf("degenerate corner CR = %v, want 1", cr)
+	}
+}
+
+func TestConstrainedFromStops(t *testing.T) {
+	// Mostly-long stops => TOI territory.
+	stops := []float64{100, 200, 300, 5, 150, 90, 60, 120}
+	p, err := NewConstrainedFromStops(testB, stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Choice() != ChoiceTOI {
+		t.Errorf("choice %v, want TOI for long-stop traffic", p.Choice())
+	}
+	if _, err := NewConstrainedFromStops(testB, nil); err == nil {
+		t.Error("want error for empty stops")
+	}
+}
+
+func TestConstrainedDelegation(t *testing.T) {
+	s := Stats{MuBMinus: 2, QBPlus: 0.01}
+	p, _ := NewConstrained(testB, s)
+	rng := newRNG(3)
+	// DET chosen: threshold must be exactly B, costs must match DET.
+	if x := p.Threshold(rng); x != testB {
+		t.Errorf("threshold %v want B", x)
+	}
+	det := NewDET(testB)
+	for _, y := range []float64{5.0, 100.0} {
+		if p.MeanCostForStop(y) != det.MeanCostForStop(y) {
+			t.Error("delegated cost mismatch")
+		}
+	}
+	if p.Stats() != s {
+		t.Errorf("Stats() = %+v", p.Stats())
+	}
+	if p.B() != testB {
+		t.Errorf("B() = %v", p.B())
+	}
+}
+
+func TestWorstCaseCostIsTightForChosenVertex(t *testing.T) {
+	// For the DET choice the bound mu + 2qB is met exactly by any
+	// distribution with those statistics; verify against a two-point one.
+	s := Stats{MuBMinus: 2, QBPlus: 0.01}
+	p, _ := NewConstrained(testB, s)
+	if p.Choice() != ChoiceDET {
+		t.Skip("region moved")
+	}
+	want := s.MuBMinus + 2*s.QBPlus*testB
+	if math.Abs(p.WorstCaseCost()-want) > 1e-12 {
+		t.Errorf("cost %v want %v", p.WorstCaseCost(), want)
+	}
+}
+
+func TestChoiceString(t *testing.T) {
+	want := map[Choice]string{
+		ChoiceNRand: "N-Rand", ChoiceTOI: "TOI", ChoiceDET: "DET", ChoiceBDet: "b-DET",
+	}
+	for c, w := range want {
+		if c.String() != w {
+			t.Errorf("%d: %q", c, c.String())
+		}
+	}
+	if Choice(99).String() == "" {
+		t.Error("unknown choice should still print")
+	}
+}
+
+func TestBaselineWorstCaseCRNEVAndUnknown(t *testing.T) {
+	s := Stats{MuBMinus: 5, QBPlus: 0.3}
+	if !math.IsInf(BaselineWorstCaseCR("NEV", testB, s), 1) {
+		t.Error("NEV with long stops must be unbounded")
+	}
+	if got := BaselineWorstCaseCR("NEV", testB, Stats{MuBMinus: 5, QBPlus: 0}); got != 1 {
+		t.Errorf("NEV with no long stops is offline-optimal, got %v", got)
+	}
+	if !math.IsNaN(BaselineWorstCaseCR("bogus", testB, s)) {
+		t.Error("unknown baseline should be NaN")
+	}
+}
+
+func TestMOMRandWorstCaseBranches(t *testing.T) {
+	// Small offline cost => reshaped branch worst case 1 + 1/(2(e-2)).
+	sSmall := Stats{MuBMinus: 2, QBPlus: 0.05}
+	want := 1 + 1/(2*(math.E-2))
+	if got := BaselineWorstCaseCR("MOM-Rand", testB, sSmall); math.Abs(got-want) > 1e-12 {
+		t.Errorf("reshaped branch: %v want %v", got, want)
+	}
+	// Large offline cost => N-Rand branch.
+	sBig := Stats{MuBMinus: 0, QBPlus: 0.9}
+	wantN := math.E / (math.E - 1)
+	if got := BaselineWorstCaseCR("MOM-Rand", testB, sBig); math.Abs(got-wantN) > 1e-12 {
+		t.Errorf("N-Rand branch: %v want %v", got, wantN)
+	}
+}

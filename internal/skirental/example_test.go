@@ -1,0 +1,75 @@
+package skirental_test
+
+import (
+	"fmt"
+
+	"idlereduce/internal/dist"
+	"idlereduce/internal/skirental"
+)
+
+// ExampleNewConstrained shows the paper's vertex selection for a traffic
+// profile with short queue stops and a 30% chance of a long stop.
+func ExampleNewConstrained() {
+	p, err := skirental.NewConstrained(28, skirental.Stats{MuBMinus: 0.56, QBPlus: 0.3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("plays %s, worst-case CR %.4f\n", p.Choice(), p.WorstCaseCR())
+	// Output:
+	// plays b-DET, worst-case CR 1.4841
+}
+
+// ExampleEstimateStats computes the constrained statistics from observed
+// stop lengths.
+func ExampleEstimateStats() {
+	stops := []float64{10, 20, 30, 100} // two short, two long for B = 28
+	s, err := skirental.EstimateStats(stops, 28)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mu_B- = %.1f, q_B+ = %.2f\n", s.MuBMinus, s.QBPlus)
+	// Output:
+	// mu_B- = 7.5, q_B+ = 0.50
+}
+
+// ExampleComputeVertexCosts evaluates all four closed forms at once.
+func ExampleComputeVertexCosts() {
+	vc := skirental.ComputeVertexCosts(28, skirental.Stats{MuBMinus: 2, QBPlus: 0.01})
+	choice, cost := vc.Select()
+	fmt.Printf("%s wins at expected cost %.3f\n", choice, cost)
+	// Output:
+	// DET wins at expected cost 2.560
+}
+
+// ExampleOnlineCost demonstrates the ski-rental cost function (eq. 3).
+func ExampleOnlineCost() {
+	// Threshold 28 s: a 10 s stop just idles; a 60 s stop idles 28 s and
+	// pays the restart.
+	fmt.Println(skirental.OnlineCost(28, 10, 28))
+	fmt.Println(skirental.OnlineCost(28, 60, 28))
+	// Output:
+	// 10
+	// 56
+}
+
+// ExampleMarshalPolicy persists and restores a tuned policy.
+func ExampleMarshalPolicy() {
+	p, _ := skirental.NewConstrained(28, skirental.Stats{MuBMinus: 2, QBPlus: 0.01})
+	data, _ := skirental.MarshalPolicy(p)
+	fmt.Printf("%s\n", data)
+	restored, _ := skirental.UnmarshalPolicy(data)
+	fmt.Println(restored.Name())
+	// Output:
+	// {"kind":"constrained","b":28,"stats":{"MuBMinus":2,"QBPlus":0.01}}
+	// Proposed
+}
+
+// ExampleOptimalThreshold solves the average-case (known-distribution)
+// baseline in the memoryless case.
+func ExampleOptimalThreshold() {
+	// Exponential stops with mean 100 s > B: restart immediately.
+	x, cost, _ := skirental.OptimalThreshold(dist.NewExponentialMean(100), 28)
+	fmt.Printf("x* = %.0f, expected cost %.0f\n", x, cost)
+	// Output:
+	// x* = 0, expected cost 28
+}

@@ -1,0 +1,242 @@
+package skirental
+
+import (
+	"math"
+	"testing"
+
+	"idlereduce/internal/dist"
+)
+
+func TestExpectedCostPointMass(t *testing.T) {
+	d := dist.PointMass{At: 10}
+	if got := ExpectedCost(NewDET(testB), d); got != 10 {
+		t.Errorf("DET on atom(10): %v", got)
+	}
+	if got := ExpectedCost(NewTOI(testB), d); got != 28 {
+		t.Errorf("TOI on atom(10): %v", got)
+	}
+}
+
+func TestExpectedCostMatchesEq14ForDET(t *testing.T) {
+	// eq. 14: E[cost_DET] = mu_B- + 2 q_B+ B for any distribution.
+	dists := []dist.Distribution{
+		dist.TwoPoint(5, 100, 0.3),
+		dist.NewExponentialMean(30),
+		dist.NewLogNormalMeanCV(25, 1.2),
+	}
+	det := NewDET(testB)
+	for _, d := range dists {
+		s := StatsOf(d, testB)
+		want := s.MuBMinus + 2*s.QBPlus*testB
+		got := ExpectedCost(det, d)
+		if math.Abs(got-want) > 1e-4*(1+want) {
+			t.Errorf("%T: DET cost %v, eq.14 gives %v", d, got, want)
+		}
+	}
+}
+
+func TestExpectedCostNRandClosedForm(t *testing.T) {
+	// E[cost_N-Rand] = e/(e-1)(mu + qB) for any distribution.
+	d := dist.NewLogNormalMeanCV(30, 1.0)
+	s := StatsOf(d, testB)
+	want := math.E / (math.E - 1) * s.OfflineCost(testB)
+	got := ExpectedCost(NewNRand(testB), d)
+	if math.Abs(got-want) > 1e-4*(1+want) {
+		t.Errorf("N-Rand cost %v, closed form %v", got, want)
+	}
+}
+
+func TestExpectedCostTOIIsB(t *testing.T) {
+	for _, d := range []dist.Distribution{
+		dist.NewExponentialMean(10),
+		dist.TwoPoint(3, 200, 0.5),
+	} {
+		got := ExpectedCost(NewTOI(testB), d)
+		if math.Abs(got-testB) > 1e-6 {
+			t.Errorf("%T: TOI cost %v want B", d, got)
+		}
+	}
+}
+
+func TestExpectedCostNEV(t *testing.T) {
+	// NEV pays the full mean.
+	d := dist.NewLogNormalMeanCV(50, 0.8)
+	got := ExpectedCost(NewNEV(testB), d)
+	if math.Abs(got-50) > 0.05 {
+		t.Errorf("NEV cost %v want ≈50", got)
+	}
+}
+
+func TestExpectedCostEmpirical(t *testing.T) {
+	e, err := dist.NewEmpirical([]float64{10, 20, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewDET(testB)
+	want := (10.0 + 20.0 + 56.0) / 3
+	if got := ExpectedCost(det, e); math.Abs(got-want) > 1e-12 {
+		t.Errorf("empirical DET cost %v want %v", got, want)
+	}
+}
+
+func TestExpectedCRBDetOnItsWorstCase(t *testing.T) {
+	// The two-point adversary {0, b} with long mass q realizes the b-DET
+	// bound (sqrt(mu)+sqrt(qB))²/(mu+qB) exactly.
+	mu, q := 0.05*testB, 0.3
+	bStar := math.Sqrt(mu * testB / q)
+	adversary := dist.NewMixture(
+		dist.Component{W: 1 - q - mu/bStar, D: dist.PointMass{At: 0}},
+		dist.Component{W: mu / bStar, D: dist.PointMass{At: bStar}},
+		dist.Component{W: q, D: dist.PointMass{At: testB * 3}},
+	)
+	p := NewBDet(testB, bStar)
+	got := ExpectedCR(p, adversary)
+	want := math.Pow(math.Sqrt(mu)+math.Sqrt(q*testB), 2) / (mu + q*testB)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("CR %v want %v", got, want)
+	}
+}
+
+func TestExpectedCRZeroCostDistribution(t *testing.T) {
+	if got := ExpectedCR(NewDET(testB), dist.PointMass{At: 0}); got != 1 {
+		t.Errorf("CR on zero-length stops = %v, want 1", got)
+	}
+}
+
+func TestTraceCostDeterministic(t *testing.T) {
+	stops := []float64{10, 30, 5}
+	rng := newRNG(4)
+	on, off := TraceCost(NewDET(testB), stops, rng)
+	// DET: 10 + (28+28) + 5 = 71; offline: 10 + 28 + 5 = 43.
+	if on != 71 || off != 43 {
+		t.Errorf("on=%v off=%v", on, off)
+	}
+}
+
+func TestTraceMeanCostMatchesTraceCostForDeterministic(t *testing.T) {
+	stops := []float64{3, 28, 29, 150, 7}
+	rng := newRNG(5)
+	on1, off1 := TraceCost(NewTOI(testB), stops, rng)
+	on2, off2 := TraceMeanCost(NewTOI(testB), stops)
+	if on1 != on2 || off1 != off2 {
+		t.Errorf("(%v,%v) vs (%v,%v)", on1, off1, on2, off2)
+	}
+}
+
+func TestTraceCostRandomizedApproachesMean(t *testing.T) {
+	stops := make([]float64, 30_000)
+	rng := newRNG(6)
+	d := dist.NewLogNormalMeanCV(30, 1.1)
+	for i := range stops {
+		stops[i] = d.Sample(rng)
+	}
+	n := NewNRand(testB)
+	onMC, _ := TraceCost(n, stops, rng)
+	onAn, _ := TraceMeanCost(n, stops)
+	if math.Abs(onMC-onAn) > 0.01*onAn {
+		t.Errorf("MC %v analytic %v", onMC, onAn)
+	}
+}
+
+func TestTraceCREmptyTrace(t *testing.T) {
+	if got := TraceCR(NewDET(testB), nil); got != 1 {
+		t.Errorf("empty trace CR %v", got)
+	}
+}
+
+func TestTraceCRNRandIsExactRatio(t *testing.T) {
+	stops := []float64{5, 17, 28, 90, 200, 3}
+	got := TraceCR(NewNRand(testB), stops)
+	want := math.E / (math.E - 1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("N-Rand trace CR %v want %v", got, want)
+	}
+}
+
+func TestProposedNotWorseThanBaselinesOnHeavyTailTrace(t *testing.T) {
+	// End-to-end sanity: on a heavy-tailed trace the proposed policy's
+	// CR must not exceed the best baseline's by more than noise.
+	rng := newRNG(7)
+	d := dist.NewMixture(
+		dist.Component{W: 0.8, D: dist.NewLogNormalMeanCV(15, 1.0)},
+		dist.Component{W: 0.2, D: dist.Pareto{Xm: 60, Alpha: 1.7}},
+	)
+	stops := make([]float64, 20_000)
+	for i := range stops {
+		stops[i] = d.Sample(rng)
+	}
+	prop, err := NewConstrainedFromStops(testB, stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crProp := TraceCR(prop, stops)
+	for _, base := range []Policy{NewTOI(testB), NewDET(testB), NewNRand(testB)} {
+		if crBase := TraceCR(base, stops); crProp > crBase+1e-9 {
+			t.Errorf("proposed CR %v worse than %s CR %v", crProp, base.Name(), crBase)
+		}
+	}
+}
+
+func TestExpectedCRPrimeNRandConstant(t *testing.T) {
+	// N-Rand's per-stop ratio is constant e/(e-1), so CR' == CR.
+	d := dist.NewLogNormalMeanCV(30, 1.0)
+	got := ExpectedCRPrime(NewNRand(testB), d)
+	want := math.E / (math.E - 1)
+	if math.Abs(got-want) > 1e-3 {
+		t.Errorf("CR' %v want %v", got, want)
+	}
+}
+
+func TestExpectedCRPrimeMOMRandClosedForm(t *testing.T) {
+	// For the reshaped MOM-Rand branch, CR' = 1 + E[min(y,B)]/(2B(e-2))
+	// and the Khanafer bound CR' <= 1 + mu/(2B(e-2)) follows.
+	d := dist.NewLogNormalMeanCV(15, 0.8) // mean below the cutoff
+	m := NewMOMRand(testB, 15)
+	if m.UsesNRand() {
+		t.Fatal("expected reshaped branch")
+	}
+	got := ExpectedCRPrime(m, d)
+	// E[min(y, B)] is the offline cost mu_B- + q_B+·B (eq. 13).
+	s := StatsOf(d, testB)
+	want := 1 + s.OfflineCost(testB)/(2*testB*(math.E-2))
+	if math.Abs(got-want) > 2e-3*(1+want) {
+		t.Errorf("CR' %v, closed form %v", got, want)
+	}
+	bound := 1 + 15/(2*testB*(math.E-2))
+	if got > bound+1e-3 {
+		t.Errorf("CR' %v exceeds the Khanafer bound %v", got, bound)
+	}
+}
+
+func TestExpectedCRPrimeTOIExplodesNearZero(t *testing.T) {
+	// Mass near zero makes TOI's CR' huge while its CR stays modest —
+	// the paper's argument for metric (5).
+	d := dist.NewMixture(
+		dist.Component{W: 0.5, D: dist.PointMass{At: 0.001}},
+		dist.Component{W: 0.5, D: dist.PointMass{At: 100}},
+	)
+	toi := NewTOI(testB)
+	crPrime := ExpectedCRPrime(toi, d)
+	cr := ExpectedCR(toi, d)
+	if crPrime < 1000 {
+		t.Errorf("CR' %v should explode on near-zero stops", crPrime)
+	}
+	if cr > 3 {
+		t.Errorf("CR %v should stay modest", cr)
+	}
+}
+
+func TestExpectedCRPrimeEmpiricalAndAtom(t *testing.T) {
+	e, err := dist.NewEmpirical([]float64{14, 56})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewDET(testB)
+	// Ratios: 14/14 = 1 and 56/28 = 2 -> mean 1.5.
+	if got := ExpectedCRPrime(det, e); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("empirical CR' %v want 1.5", got)
+	}
+	if got := ExpectedCRPrime(det, dist.PointMass{At: 0}); got != 1 {
+		t.Errorf("zero atom CR' %v want 1", got)
+	}
+}

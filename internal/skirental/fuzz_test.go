@@ -1,0 +1,53 @@
+package skirental
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEstimateStats: estimates from arbitrary float samples must either
+// error or produce statistics that validate and build a working policy.
+func FuzzEstimateStats(f *testing.F) {
+	f.Add(10.0, 50.0, 200.0)
+	f.Add(0.0, 0.0, 0.0)
+	f.Add(-1.0, 5.0, 5.0)
+	f.Add(math.MaxFloat64, 1.0, 2.0)
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		stops := []float64{a, b, c}
+		s, err := EstimateStats(stops, testB)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(testB); verr != nil {
+			t.Fatalf("estimated stats %+v invalid: %v", s, verr)
+		}
+		p, err := NewConstrained(testB, s)
+		if err != nil {
+			t.Fatalf("valid stats rejected: %v", err)
+		}
+		if cr := p.WorstCaseCR(); cr < 1-1e-9 || cr > math.E/(math.E-1)+1e-9 {
+			t.Fatalf("worst CR %v out of range", cr)
+		}
+	})
+}
+
+// FuzzOnlineCostInvariant: cost_online >= cost_offline for every finite
+// non-negative pair, and cost functions never return NaN on valid input.
+func FuzzOnlineCostInvariant(f *testing.F) {
+	f.Add(0.0, 0.0)
+	f.Add(28.0, 28.0)
+	f.Add(1e300, 5.0)
+	f.Fuzz(func(t *testing.T, x, y float64) {
+		if math.IsNaN(x) || math.IsNaN(y) || x < 0 || y < 0 {
+			return
+		}
+		on := OnlineCost(x, y, testB)
+		off := OfflineCost(y, testB)
+		if math.IsNaN(on) || math.IsNaN(off) {
+			t.Fatalf("NaN cost for x=%v y=%v", x, y)
+		}
+		if on < off-1e-9 {
+			t.Fatalf("online %v below offline %v (x=%v y=%v)", on, off, x, y)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package skirental
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"idlereduce/internal/dist"
+)
+
+// allPolicies builds one instance of every policy family for invariant
+// sweeps.
+func allPolicies(t *testing.T) []Policy {
+	t.Helper()
+	cons, err := NewConstrained(testB, Stats{MuBMinus: 4, QBPlus: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := NewThresholdMixture("mix", testB, []float64{0, 9, 22}, []float64{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Policy{
+		NewTOI(testB), NewNEV(testB), NewDET(testB), NewBDet(testB, 13),
+		NewFixedThreshold("x35", testB, 35),
+		NewNRand(testB), NewMOMRand(testB, 10), NewMOMRand(testB, 26),
+		cons, mix,
+	}
+}
+
+func TestMeanCostMonotoneInStopLength(t *testing.T) {
+	// Invariant: a longer stop can never have a smaller expected cost —
+	// the vehicle pays at least as much for waiting longer, for every
+	// policy family.
+	policies := allPolicies(t)
+	prop := func(a16, b16 uint16) bool {
+		y1 := float64(a16) / 100
+		y2 := float64(b16) / 100
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		for _, p := range policies {
+			if p.MeanCostForStop(y1) > p.MeanCostForStop(y2)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanCostDominatesOffline(t *testing.T) {
+	// Invariant: no online policy's expected cost beats the clairvoyant
+	// cost on any stop.
+	policies := allPolicies(t)
+	prop := func(u uint16) bool {
+		y := float64(u) / 50
+		off := OfflineCost(y, testB)
+		for _, p := range policies {
+			if p.MeanCostForStop(y) < off-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanCostBoundedByThresholdPlusB(t *testing.T) {
+	// Invariant: for policies with threshold support in [0, B], the
+	// expected cost never exceeds 2B (the DET worst case bounds the
+	// whole family since x + B <= 2B).
+	policies := []Policy{
+		NewTOI(testB), NewDET(testB), NewBDet(testB, 13),
+		NewNRand(testB), NewMOMRand(testB, 10),
+	}
+	prop := func(u uint16) bool {
+		y := float64(u) / 20
+		for _, p := range policies {
+			if p.MeanCostForStop(y) > 2*testB+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedCostLinearInMixtures(t *testing.T) {
+	// Invariant: J(P, w·q1 + (1-w)·q2) = w·J(P, q1) + (1-w)·J(P, q2),
+	// the linearity the paper's strong-duality argument rests on.
+	d1 := dist.NewExponentialMean(12)
+	d2 := dist.TwoPoint(3, 200, 0.4)
+	policies := allPolicies(t)
+	prop := func(w8 uint8) bool {
+		w := float64(w8) / 255
+		if w == 0 || w == 1 {
+			return true
+		}
+		mixed := dist.NewMixture(
+			dist.Component{W: w, D: d1},
+			dist.Component{W: 1 - w, D: d2},
+		)
+		for _, p := range policies {
+			if _, isNEV := p.(*Deterministic); isNEV && math.IsInf(p.(*Deterministic).X(), 1) {
+				continue // NEV's cost on d1's unbounded tail is quadrature-limited
+			}
+			lhs := ExpectedCost(p, mixed)
+			rhs := w*ExpectedCost(p, d1) + (1-w)*ExpectedCost(p, d2)
+			if math.Abs(lhs-rhs) > 1e-6*(1+math.Abs(rhs)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdDrawsAlwaysValid(t *testing.T) {
+	// Invariant: every drawn threshold is finite and non-negative (NEV's
+	// +Inf is the documented exception).
+	rng := newRNG(99)
+	for _, p := range allPolicies(t) {
+		for i := 0; i < 200; i++ {
+			x := p.Threshold(rng)
+			if math.IsNaN(x) || x < 0 {
+				t.Fatalf("%s: threshold %v", p.Name(), x)
+			}
+			if math.IsInf(x, 1) && p.Name() != "NEV" {
+				t.Fatalf("%s: infinite threshold", p.Name())
+			}
+		}
+	}
+}
+
+func TestWorstCaseCRScaleInvariance(t *testing.T) {
+	// Invariant: the worst-case CR depends only on (mu/B, q): scaling B
+	// and mu together changes nothing (the paper plots everything in
+	// normalized units for this reason).
+	prop := func(mu8, q8, scale8 uint8) bool {
+		q := float64(q8) / 256
+		muFrac := float64(mu8) / 255 * (1 - q)
+		scale := 0.5 + float64(scale8)/64 // 0.5 .. 4.5
+		b1, b2 := 28.0, 28.0*scale
+		cr1, err1 := WorstCaseCRForStats(b1, Stats{MuBMinus: muFrac * b1, QBPlus: q})
+		cr2, err2 := WorstCaseCRForStats(b2, Stats{MuBMinus: muFrac * b2, QBPlus: q})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(cr1-cr2) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

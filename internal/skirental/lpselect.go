@@ -1,0 +1,74 @@
+package skirental
+
+import (
+	"fmt"
+	"math"
+
+	"idlereduce/internal/lp"
+)
+
+// SelectVertexLP solves the paper's LP (eqs. 32-33) with the simplex
+// solver instead of enumerating vertices, returning the selected strategy
+// and its worst-case expected cost. It exists as an independent check of
+// ComputeVertexCosts/Select: both must agree everywhere.
+//
+// The LP is
+//
+//	min  K_a·alpha + K_b·beta + K_g·gamma
+//	s.t. alpha + beta + gamma <= 1,   alpha, beta, gamma >= 0
+//
+// where K_i = cost_i - cost_{N-Rand} (the common e/(e-1)(mu+qB) term in
+// eq. 32 is a constant offset), so the objective value plus the N-Rand
+// cost is the selected vertex's expected cost.
+func SelectVertexLP(b float64, s Stats) (Choice, float64, error) {
+	if err := s.Validate(b); err != nil {
+		return 0, 0, err
+	}
+	vc := ComputeVertexCosts(b, s)
+
+	kAlpha := vc.TOI - vc.NRand
+	kBeta := vc.DET - vc.NRand
+	kGamma := math.Inf(1)
+	if !math.IsInf(vc.BDet, 1) {
+		kGamma = vc.BDet - vc.NRand
+	}
+
+	c := []float64{kAlpha, kBeta, kGamma}
+	ub := [][]float64{{1, 1, 1}}
+	// When b-DET is inapplicable its column is removed rather than given
+	// an infinite cost the solver cannot represent.
+	if math.IsInf(kGamma, 1) {
+		c = c[:2]
+		ub = [][]float64{{1, 1}}
+	}
+	prob := &lp.Problem{C: c, AUb: ub, BUb: []float64{1}}
+	sol, st, err := prob.Solve()
+	if err != nil {
+		return 0, 0, fmt.Errorf("skirental: vertex LP: %w", err)
+	}
+	if st != lp.Optimal {
+		return 0, 0, fmt.Errorf("skirental: vertex LP status %v", st)
+	}
+
+	cost := vc.NRand + sol.Objective
+	// Map the solution point back to a vertex. Interior/edge optima can
+	// only occur on ties, where any incident vertex is optimal.
+	const tol = 1e-7
+	switch {
+	case sol.X[0] > 1-tol:
+		return ChoiceTOI, cost, nil
+	case sol.X[1] > 1-tol:
+		return ChoiceDET, cost, nil
+	case len(sol.X) > 2 && sol.X[2] > 1-tol:
+		return ChoiceBDet, cost, nil
+	case sol.X[0]+sol.X[1] < tol && (len(sol.X) < 3 || sol.X[2] < tol):
+		return ChoiceNRand, cost, nil
+	default:
+		// Degenerate optimum on a tie face: re-select by cost.
+		choice, cost2 := vc.Select()
+		if math.Abs(cost2-cost) > 1e-6*(1+math.Abs(cost)) {
+			return 0, 0, fmt.Errorf("skirental: LP cost %v disagrees with vertex cost %v", cost, cost2)
+		}
+		return choice, cost2, nil
+	}
+}

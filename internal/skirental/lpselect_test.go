@@ -1,0 +1,87 @@
+package skirental
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectVertexLPMatchesEnumeration(t *testing.T) {
+	// The LP and the closed-form enumeration must agree on cost
+	// everywhere, and on choice except at exact ties.
+	prop := func(mu16, q16 uint16) bool {
+		q := float64(q16) / math.MaxUint16
+		mu := float64(mu16) / math.MaxUint16 * testB * (1 - q)
+		s := Stats{MuBMinus: mu, QBPlus: q}
+		choiceLP, costLP, err := SelectVertexLP(testB, s)
+		if err != nil {
+			return false
+		}
+		choiceEnum, costEnum := ComputeVertexCosts(testB, s).Select()
+		if math.Abs(costLP-costEnum) > 1e-6*(1+costEnum) {
+			return false
+		}
+		if choiceLP != choiceEnum {
+			// Allowed only when the two choices tie in cost.
+			vc := ComputeVertexCosts(testB, s)
+			get := func(c Choice) float64 {
+				switch c {
+				case ChoiceNRand:
+					return vc.NRand
+				case ChoiceTOI:
+					return vc.TOI
+				case ChoiceDET:
+					return vc.DET
+				default:
+					return vc.BDet
+				}
+			}
+			return math.Abs(get(choiceLP)-get(choiceEnum)) < 1e-6*(1+costEnum)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectVertexLPKnownPoints(t *testing.T) {
+	cases := []struct {
+		s    Stats
+		want Choice
+	}{
+		{Stats{MuBMinus: 2, QBPlus: 0.01}, ChoiceDET},
+		{Stats{MuBMinus: 0.5, QBPlus: 0.95}, ChoiceTOI},
+		{Stats{MuBMinus: 0.02 * testB, QBPlus: 0.3}, ChoiceBDet},
+		{Stats{MuBMinus: 2.8, QBPlus: 0.5}, ChoiceNRand},
+	}
+	for _, c := range cases {
+		got, _, err := SelectVertexLP(testB, c.s)
+		if err != nil {
+			t.Fatalf("%+v: %v", c.s, err)
+		}
+		if got != c.want {
+			t.Errorf("%+v: LP chose %v want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestSelectVertexLPBadStats(t *testing.T) {
+	if _, _, err := SelectVertexLP(testB, Stats{MuBMinus: -1}); err == nil {
+		t.Error("want error for bad stats")
+	}
+}
+
+func TestSelectVertexLPWithBDetExcluded(t *testing.T) {
+	// q=0 removes the b-DET column; the LP must still solve and pick DET.
+	got, cost, err := SelectVertexLP(testB, Stats{MuBMinus: 10, QBPlus: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ChoiceDET {
+		t.Errorf("choice %v want DET", got)
+	}
+	if math.Abs(cost-10) > 1e-9 {
+		t.Errorf("cost %v want 10 (DET = offline when q=0)", cost)
+	}
+}

@@ -1,0 +1,136 @@
+package skirental
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// PolicySpec is the serializable description of a policy: what a
+// controller flashes to persistent storage after tuning, and reloads at
+// ignition. Stateful wrappers (adaptive, robust) are not serializable —
+// persist their underlying selection instead.
+type PolicySpec struct {
+	// Kind is one of "toi", "nev", "det", "b-det", "fixed", "n-rand",
+	// "mom-rand", "constrained", "mixture".
+	Kind string `json:"kind"`
+	// B is the break-even interval in seconds.
+	B float64 `json:"b"`
+	// X is the threshold for "b-det"/"fixed".
+	X float64 `json:"x,omitempty"`
+	// Name labels "fixed" and "mixture" policies.
+	Name string `json:"name,omitempty"`
+	// Mu is the mean stop length for "mom-rand".
+	Mu float64 `json:"mu,omitempty"`
+	// Stats parameterize "constrained".
+	Stats *Stats `json:"stats,omitempty"`
+	// Xs/Ws are the support of "mixture".
+	Xs []float64 `json:"xs,omitempty"`
+	Ws []float64 `json:"ws,omitempty"`
+}
+
+// SpecOf extracts the serializable description of a policy. It returns
+// an error for stateful policies that cannot be described by parameters
+// alone.
+func SpecOf(p Policy) (PolicySpec, error) {
+	switch pp := p.(type) {
+	case *Deterministic:
+		spec := PolicySpec{B: pp.B(), X: pp.X()}
+		switch {
+		case pp.Name() == "TOI" && pp.X() == 0:
+			spec.Kind = "toi"
+			spec.X = 0
+		case pp.Name() == "NEV" && math.IsInf(pp.X(), 1):
+			spec.Kind = "nev"
+			spec.X = 0 // +Inf is not JSON-representable; the kind carries it
+		case pp.Name() == "DET" && pp.X() == pp.B():
+			spec.Kind = "det"
+			spec.X = 0
+		case pp.Name() == "b-DET":
+			spec.Kind = "b-det"
+		default:
+			spec.Kind = "fixed"
+			spec.Name = pp.Name()
+		}
+		return spec, nil
+	case *NRand:
+		return PolicySpec{Kind: "n-rand", B: pp.B()}, nil
+	case *MOMRand:
+		return PolicySpec{Kind: "mom-rand", B: pp.B(), Mu: pp.mu}, nil
+	case *Constrained:
+		s := pp.Stats()
+		return PolicySpec{Kind: "constrained", B: pp.B(), Stats: &s}, nil
+	case *ThresholdMixture:
+		xs, ws := pp.Support()
+		return PolicySpec{Kind: "mixture", B: pp.B(), Name: pp.Name(), Xs: xs, Ws: ws}, nil
+	default:
+		return PolicySpec{}, fmt.Errorf("skirental: policy %q is not serializable", p.Name())
+	}
+}
+
+// Build reconstructs the policy from its spec.
+func (s PolicySpec) Build() (Policy, error) {
+	if s.B <= 0 || math.IsNaN(s.B) {
+		return nil, fmt.Errorf("%w: spec B = %v", ErrBadStats, s.B)
+	}
+	switch s.Kind {
+	case "toi":
+		return NewTOI(s.B), nil
+	case "nev":
+		return NewNEV(s.B), nil
+	case "det":
+		return NewDET(s.B), nil
+	case "b-det":
+		if s.X <= 0 || s.X > s.B {
+			return nil, fmt.Errorf("%w: b-det threshold %v", ErrBadStats, s.X)
+		}
+		return NewBDet(s.B, s.X), nil
+	case "fixed":
+		if s.X < 0 || math.IsNaN(s.X) {
+			return nil, fmt.Errorf("%w: fixed threshold %v", ErrBadStats, s.X)
+		}
+		name := s.Name
+		if name == "" {
+			name = "fixed"
+		}
+		return NewFixedThreshold(name, s.B, s.X), nil
+	case "n-rand":
+		return NewNRand(s.B), nil
+	case "mom-rand":
+		if s.Mu < 0 || math.IsNaN(s.Mu) {
+			return nil, fmt.Errorf("%w: mom-rand mu %v", ErrBadStats, s.Mu)
+		}
+		return NewMOMRand(s.B, s.Mu), nil
+	case "constrained":
+		if s.Stats == nil {
+			return nil, fmt.Errorf("%w: constrained spec without stats", ErrBadStats)
+		}
+		return NewConstrained(s.B, *s.Stats)
+	case "mixture":
+		name := s.Name
+		if name == "" {
+			name = "mixture"
+		}
+		return NewThresholdMixture(name, s.B, s.Xs, s.Ws)
+	default:
+		return nil, fmt.Errorf("skirental: unknown policy kind %q", s.Kind)
+	}
+}
+
+// MarshalPolicy serializes a policy to JSON.
+func MarshalPolicy(p Policy) ([]byte, error) {
+	spec, err := SpecOf(p)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(spec)
+}
+
+// UnmarshalPolicy reconstructs a policy from JSON.
+func UnmarshalPolicy(data []byte) (Policy, error) {
+	var spec PolicySpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("skirental: decode policy: %w", err)
+	}
+	return spec.Build()
+}

@@ -1,0 +1,138 @@
+package skirental
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, p Policy) Policy {
+	t.Helper()
+	data, err := MarshalPolicy(p)
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", p.Name(), err)
+	}
+	got, err := UnmarshalPolicy(data)
+	if err != nil {
+		t.Fatalf("%s: unmarshal %s: %v", p.Name(), data, err)
+	}
+	return got
+}
+
+func TestPolicyRoundTripBehaviour(t *testing.T) {
+	mix, err := NewThresholdMixture("LP-OPT", testB, []float64{0, 7, 21}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConstrained(testB, Stats{MuBMinus: 2, QBPlus: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []Policy{
+		NewTOI(testB),
+		NewNEV(testB),
+		NewDET(testB),
+		NewBDet(testB, 11),
+		NewFixedThreshold("x40", testB, 40),
+		NewNRand(testB),
+		NewMOMRand(testB, 10),
+		NewMOMRand(testB, 26), // above the cutoff: delegates to N-Rand
+		cons,
+		mix,
+	}
+	probe := []float64{0.5, 5, 11, 27.9, 28, 40, 41, 500}
+	for _, p := range policies {
+		got := roundTrip(t, p)
+		if got.Name() != p.Name() {
+			t.Errorf("%s: name became %q", p.Name(), got.Name())
+		}
+		if got.B() != p.B() {
+			t.Errorf("%s: B %v -> %v", p.Name(), p.B(), got.B())
+		}
+		for _, y := range probe {
+			a, b := p.MeanCostForStop(y), got.MeanCostForStop(y)
+			if math.Abs(a-b) > 1e-12*(1+a) {
+				t.Errorf("%s: cost at %v: %v vs %v", p.Name(), y, a, b)
+			}
+		}
+	}
+}
+
+func TestConstrainedRoundTripKeepsChoice(t *testing.T) {
+	p, err := NewConstrained(testB, Stats{MuBMinus: 0.02 * testB, QBPlus: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, p).(*Constrained)
+	if got.Choice() != p.Choice() {
+		t.Errorf("choice %v -> %v", p.Choice(), got.Choice())
+	}
+	if got.WorstCaseCR() != p.WorstCaseCR() {
+		t.Errorf("bound %v -> %v", p.WorstCaseCR(), got.WorstCaseCR())
+	}
+}
+
+func TestSpecOfRejectsStateful(t *testing.T) {
+	r, err := NewRobustConstrained(testB, StatsInterval{MuLo: 1, MuHi: 2, QLo: 0.1, QHi: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpecOf(r); err == nil {
+		t.Error("robust policy should not be serializable")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cases := []PolicySpec{
+		{Kind: "toi", B: 0},
+		{Kind: "b-det", B: 28, X: 0},
+		{Kind: "b-det", B: 28, X: 40},
+		{Kind: "fixed", B: 28, X: -1},
+		{Kind: "mom-rand", B: 28, Mu: -5},
+		{Kind: "constrained", B: 28},
+		{Kind: "constrained", B: 28, Stats: &Stats{MuBMinus: -1}},
+		{Kind: "mixture", B: 28},
+		{Kind: "hybrid", B: 28},
+	}
+	for _, spec := range cases {
+		if _, err := spec.Build(); err == nil {
+			t.Errorf("spec %+v should fail", spec)
+		}
+	}
+}
+
+func TestUnmarshalBadJSON(t *testing.T) {
+	if _, err := UnmarshalPolicy([]byte("{broken")); err == nil {
+		t.Error("want decode error")
+	}
+}
+
+func TestMarshalledFormIsReadable(t *testing.T) {
+	data, err := MarshalPolicy(NewBDet(testB, 12.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, frag := range []string{`"kind":"b-det"`, `"b":28`, `"x":12.5`} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("json missing %q: %s", frag, s)
+		}
+	}
+}
+
+func TestDefaultNamesOnBuild(t *testing.T) {
+	p, err := (PolicySpec{Kind: "fixed", B: 28, X: 5}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "fixed" {
+		t.Errorf("default name %q", p.Name())
+	}
+	m, err := (PolicySpec{Kind: "mixture", B: 28, Xs: []float64{1}, Ws: []float64{1}}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "mixture" {
+		t.Errorf("default mixture name %q", m.Name())
+	}
+}

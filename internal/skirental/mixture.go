@@ -1,0 +1,88 @@
+package skirental
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sort"
+
+	"idlereduce/internal/numeric"
+)
+
+// ThresholdMixture is a randomized policy over finitely many fixed
+// thresholds: threshold Xs[i] is drawn with probability Ws[i]. It is the
+// output format of the numerically-optimal minimax LP (analysis
+// package), which discovers policies outside the paper's four-vertex
+// family.
+type ThresholdMixture struct {
+	name string
+	b    float64
+	xs   []float64
+	ws   []float64
+	cum  []float64
+}
+
+// NewThresholdMixture builds a mixture policy. Weights must be
+// non-negative and are normalized; thresholds must be non-negative.
+func NewThresholdMixture(name string, b float64, xs, ws []float64) (*ThresholdMixture, error) {
+	if b <= 0 {
+		return nil, errors.New("skirental: mixture needs positive break-even")
+	}
+	if len(xs) == 0 || len(xs) != len(ws) {
+		return nil, errors.New("skirental: mixture needs matching non-empty thresholds and weights")
+	}
+	total := 0.0
+	for i := range xs {
+		if xs[i] < 0 || ws[i] < 0 {
+			return nil, errors.New("skirental: mixture thresholds and weights must be non-negative")
+		}
+		total += ws[i]
+	}
+	if total <= 0 {
+		return nil, errors.New("skirental: mixture needs positive total weight")
+	}
+	m := &ThresholdMixture{
+		name: name,
+		b:    b,
+		xs:   append([]float64(nil), xs...),
+		ws:   make([]float64, len(ws)),
+		cum:  make([]float64, len(ws)),
+	}
+	run := 0.0
+	for i, w := range ws {
+		m.ws[i] = w / total
+		run += m.ws[i]
+		m.cum[i] = run
+	}
+	m.cum[len(m.cum)-1] = 1
+	return m, nil
+}
+
+// Name implements Policy.
+func (m *ThresholdMixture) Name() string { return m.name }
+
+// B implements Policy.
+func (m *ThresholdMixture) B() float64 { return m.b }
+
+// Support returns copies of the thresholds and normalized weights.
+func (m *ThresholdMixture) Support() (xs, ws []float64) {
+	return append([]float64(nil), m.xs...), append([]float64(nil), m.ws...)
+}
+
+// Threshold implements Policy.
+func (m *ThresholdMixture) Threshold(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(m.cum, u)
+	if i >= len(m.xs) {
+		i = len(m.xs) - 1
+	}
+	return m.xs[i]
+}
+
+// MeanCostForStop implements Policy.
+func (m *ThresholdMixture) MeanCostForStop(y float64) float64 {
+	var sum numeric.KahanSum
+	for i, x := range m.xs {
+		sum.Add(m.ws[i] * OnlineCost(x, y, m.b))
+	}
+	return sum.Sum()
+}

@@ -1,0 +1,108 @@
+package skirental
+
+import (
+	"math"
+	"testing"
+
+	"idlereduce/internal/numeric"
+)
+
+func TestThresholdMixtureValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		b      float64
+		xs, ws []float64
+	}{
+		{"bad B", 0, []float64{1}, []float64{1}},
+		{"empty", 28, nil, nil},
+		{"mismatch", 28, []float64{1, 2}, []float64{1}},
+		{"negative x", 28, []float64{-1}, []float64{1}},
+		{"negative w", 28, []float64{1}, []float64{-1}},
+		{"zero total", 28, []float64{1}, []float64{0}},
+	}
+	for _, c := range cases {
+		if _, err := NewThresholdMixture("m", c.b, c.xs, c.ws); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestThresholdMixtureNormalizesWeights(t *testing.T) {
+	m, err := NewThresholdMixture("m", testB, []float64{0, 10}, []float64{2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ws := m.Support()
+	if math.Abs(ws[0]-0.25) > 1e-12 || math.Abs(ws[1]-0.75) > 1e-12 {
+		t.Errorf("weights %v", ws)
+	}
+	if m.Name() != "m" || m.B() != testB {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestThresholdMixtureMeanCost(t *testing.T) {
+	// 50/50 between TOI (x=0) and DET (x=B).
+	m, err := NewThresholdMixture("m", testB, []float64{0, testB}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short stop y=10: 0.5·B (restarted at 0) + 0.5·10 (waited) = 19.
+	if got := m.MeanCostForStop(10); math.Abs(got-19) > 1e-12 {
+		t.Errorf("cost %v want 19", got)
+	}
+	// Long stop: 0.5·B + 0.5·2B = 42.
+	if got := m.MeanCostForStop(100); math.Abs(got-42) > 1e-12 {
+		t.Errorf("cost %v want 42", got)
+	}
+}
+
+func TestThresholdMixtureSamplingMatchesWeights(t *testing.T) {
+	m, err := NewThresholdMixture("m", testB, []float64{1, 5, 9}, []float64{0.2, 0.3, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newRNG(12)
+	counts := map[float64]int{}
+	const N = 200_000
+	for i := 0; i < N; i++ {
+		counts[m.Threshold(rng)]++
+	}
+	for i, want := range []float64{0.2, 0.3, 0.5} {
+		x := []float64{1, 5, 9}[i]
+		got := float64(counts[x]) / N
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("x=%v: frequency %v want %v", x, got, want)
+		}
+	}
+}
+
+func TestThresholdMixtureMonteCarloAgreesWithMean(t *testing.T) {
+	m, err := NewThresholdMixture("m", testB, []float64{0, 7, 21}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newRNG(13)
+	for _, y := range []float64{3.0, 10.0, 50.0} {
+		var sum numeric.KahanSum
+		const N = 300_000
+		for i := 0; i < N; i++ {
+			sum.Add(OnlineCost(m.Threshold(rng), y, testB))
+		}
+		mc := sum.Sum() / N
+		an := m.MeanCostForStop(y)
+		if math.Abs(mc-an) > 0.01*an {
+			t.Errorf("y=%v: MC %v analytic %v", y, mc, an)
+		}
+	}
+}
+
+func TestThresholdMixtureSupportCopies(t *testing.T) {
+	m, _ := NewThresholdMixture("m", testB, []float64{1, 2}, []float64{1, 1})
+	xs, ws := m.Support()
+	xs[0], ws[0] = 99, 99
+	xs2, ws2 := m.Support()
+	if xs2[0] != 1 || math.Abs(ws2[0]-0.5) > 1e-12 {
+		t.Error("Support aliases internal state")
+	}
+}

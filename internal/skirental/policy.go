@@ -1,0 +1,246 @@
+package skirental
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Policy is an online idling strategy for a fixed break-even interval B.
+//
+// Threshold draws the idling time x for the next stop (deterministic
+// policies always return the same value; randomized policies sample their
+// density). MeanCostForStop returns E_x[cost_online(x, y)] analytically,
+// which the analysis layer integrates against stop-length distributions
+// without Monte Carlo noise.
+type Policy interface {
+	// Name returns the short policy label used by the paper
+	// (TOI, NEV, DET, b-DET, N-Rand, MOM-Rand, Proposed).
+	Name() string
+	// B returns the break-even interval the policy was built for.
+	B() float64
+	// Threshold draws the idling threshold x for one stop.
+	Threshold(rng *rand.Rand) float64
+	// MeanCostForStop returns the expected online cost over the policy's
+	// randomness for a stop of length y.
+	MeanCostForStop(y float64) float64
+}
+
+// Deterministic is a fixed-threshold policy: idle until X, then restart.
+// TOI, NEV, DET and b-DET are all instances.
+type Deterministic struct {
+	name string
+	x    float64
+	b    float64
+}
+
+// NewTOI returns the Turn-Off-Immediately policy (threshold 0): the
+// strategy production stop-start systems ship with.
+func NewTOI(b float64) *Deterministic {
+	return &Deterministic{name: "TOI", x: 0, b: b}
+}
+
+// NewNEV returns the Never-turn-off policy (threshold +Inf): the default
+// behaviour of drivers without a stop-start system.
+func NewNEV(b float64) *Deterministic {
+	return &Deterministic{name: "NEV", x: math.Inf(1), b: b}
+}
+
+// NewDET returns the classic 2-competitive deterministic policy
+// (threshold B) of Karlin et al.
+func NewDET(b float64) *Deterministic {
+	return &Deterministic{name: "DET", x: b, b: b}
+}
+
+// NewBDet returns the b-DET policy: idle until threshold x (0 < x <= B).
+// The paper's optimal choice is x = sqrt(mu_B-·B / q_B+).
+func NewBDet(b, x float64) *Deterministic {
+	return &Deterministic{name: "b-DET", x: x, b: b}
+}
+
+// NewFixedThreshold returns a deterministic policy with an arbitrary
+// threshold and label, for ablations.
+func NewFixedThreshold(name string, b, x float64) *Deterministic {
+	return &Deterministic{name: name, x: x, b: b}
+}
+
+// Name implements Policy.
+func (d *Deterministic) Name() string { return d.name }
+
+// B implements Policy.
+func (d *Deterministic) B() float64 { return d.b }
+
+// X returns the fixed threshold.
+func (d *Deterministic) X() float64 { return d.x }
+
+// Threshold implements Policy.
+func (d *Deterministic) Threshold(rng *rand.Rand) float64 { return d.x }
+
+// MeanCostForStop implements Policy.
+func (d *Deterministic) MeanCostForStop(y float64) float64 {
+	return OnlineCost(d.x, y, d.b)
+}
+
+// NRand is the randomized policy of Karlin, Manasse, McGeoch and Owicki
+// (eq. 7): density p(x) = e^{x/B} / (B(e-1)) on [0, B]. Its expected cost
+// is exactly e/(e-1)·min(y, B) for every stop length, so its competitive
+// ratio is e/(e-1) against any distribution.
+type NRand struct {
+	b float64
+}
+
+// NewNRand returns the N-Rand policy for break-even interval b.
+func NewNRand(b float64) *NRand { return &NRand{b: b} }
+
+// Name implements Policy.
+func (n *NRand) Name() string { return "N-Rand" }
+
+// B implements Policy.
+func (n *NRand) B() float64 { return n.b }
+
+// PDF returns the policy's threshold density at x.
+func (n *NRand) PDF(x float64) float64 {
+	if x < 0 || x > n.b {
+		return 0
+	}
+	return math.Exp(x/n.b) / (n.b * (math.E - 1))
+}
+
+// CDF returns the threshold distribution function
+// (e^{x/B} - 1)/(e - 1) on [0, B].
+func (n *NRand) CDF(x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= n.b:
+		return 1
+	default:
+		return (math.Exp(x/n.b) - 1) / (math.E - 1)
+	}
+}
+
+// Threshold implements Policy by closed-form inversion:
+// x = B·ln(1 + u(e-1)).
+func (n *NRand) Threshold(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	return n.b * math.Log(1+u*(math.E-1))
+}
+
+// MeanCostForStop implements Policy: E_x[cost] = e/(e-1)·min(y, B).
+//
+// Derivation for y <= B: ∫_0^y (x+B)p(x)dx + y·P(x>y)
+// = y e^{y/B}/(e-1) + y(e - e^{y/B})/(e-1) = y·e/(e-1), using the
+// antiderivative ∫(x+B)e^{x/B}dx = Bx·e^{x/B}.
+func (n *NRand) MeanCostForStop(y float64) float64 {
+	return math.E / (math.E - 1) * OfflineCost(y, n.b)
+}
+
+// MOMRandMeanCutoff is the first-moment threshold 2(e-2)/(e-1)·B below
+// which MOM-Rand uses its reshaped density; above it the policy reduces
+// to N-Rand.
+func MOMRandMeanCutoff(b float64) float64 {
+	return 2 * (math.E - 2) / (math.E - 1) * b
+}
+
+// MOMRand is the first-moment constrained randomized policy of Khanafer
+// et al. (eq. 9): density p(x) = (e^{x/B} - 1)/(B(e-2)) on [0, B] when the
+// full mean mu of the stop length satisfies mu <= 2(e-2)/(e-1)·B ≈ 0.836B,
+// otherwise identical to N-Rand.
+type MOMRand struct {
+	b     float64
+	mu    float64
+	nrand *NRand // non-nil when the mean exceeds the cutoff
+}
+
+// NewMOMRand returns the MOM-Rand policy given the (full) mean stop
+// length mu.
+func NewMOMRand(b, mu float64) *MOMRand {
+	m := &MOMRand{b: b, mu: mu}
+	if mu > MOMRandMeanCutoff(b) {
+		m.nrand = NewNRand(b)
+	}
+	return m
+}
+
+// Name implements Policy.
+func (m *MOMRand) Name() string { return "MOM-Rand" }
+
+// B implements Policy.
+func (m *MOMRand) B() float64 { return m.b }
+
+// UsesNRand reports whether the mean exceeded the cutoff and the policy
+// degenerated to N-Rand.
+func (m *MOMRand) UsesNRand() bool { return m.nrand != nil }
+
+// PDF returns the threshold density at x.
+func (m *MOMRand) PDF(x float64) float64 {
+	if m.nrand != nil {
+		return m.nrand.PDF(x)
+	}
+	if x < 0 || x > m.b {
+		return 0
+	}
+	return (math.Exp(x/m.b) - 1) / (m.b * (math.E - 2))
+}
+
+// CDF returns the threshold distribution function
+// (B(e^{x/B} - 1) - x)/(B(e-2)) on [0, B].
+func (m *MOMRand) CDF(x float64) float64 {
+	if m.nrand != nil {
+		return m.nrand.CDF(x)
+	}
+	switch {
+	case x <= 0:
+		return 0
+	case x >= m.b:
+		return 1
+	default:
+		return (m.b*(math.Exp(x/m.b)-1) - x) / (m.b * (math.E - 2))
+	}
+}
+
+// Threshold implements Policy. The reshaped CDF has no closed-form
+// inverse; a guarded Newton iteration (with bisection fallback via
+// monotonicity) inverts it.
+func (m *MOMRand) Threshold(rng *rand.Rand) float64 {
+	if m.nrand != nil {
+		return m.nrand.Threshold(rng)
+	}
+	u := rng.Float64()
+	// Newton on F(x) - u with F' = PDF, starting from the N-Rand inverse
+	// which has the same support and similar shape.
+	x := m.b * math.Log(1+u*(math.E-1))
+	lo, hi := 0.0, m.b
+	for i := 0; i < 60; i++ {
+		fx := m.CDF(x) - u
+		if math.Abs(fx) < 1e-13 {
+			break
+		}
+		if fx > 0 {
+			hi = x
+		} else {
+			lo = x
+		}
+		d := m.PDF(x)
+		if d > 1e-12 {
+			x -= fx / d
+		}
+		if x <= lo || x >= hi {
+			x = lo + (hi-lo)/2
+		}
+	}
+	return x
+}
+
+// MeanCostForStop implements Policy.
+//
+// For y <= B the closed form is y + y²/(2B(e-2)); for y > B it is
+// B(e - 3/2)/(e-2) (continuous at y = B).
+func (m *MOMRand) MeanCostForStop(y float64) float64 {
+	if m.nrand != nil {
+		return m.nrand.MeanCostForStop(y)
+	}
+	if y <= m.b {
+		return y + y*y/(2*m.b*(math.E-2))
+	}
+	return m.b * (math.E - 1.5) / (math.E - 2)
+}

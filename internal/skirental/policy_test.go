@@ -1,0 +1,254 @@
+package skirental
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"idlereduce/internal/numeric"
+)
+
+func newRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xdeadbeefcafef00d))
+}
+
+func TestDeterministicPolicies(t *testing.T) {
+	cases := []struct {
+		p        Policy
+		name     string
+		y, want  float64
+		wantName string
+	}{
+		{NewTOI(testB), "TOI short", 5, 28, "TOI"},
+		{NewTOI(testB), "TOI long", 500, 28, "TOI"},
+		{NewNEV(testB), "NEV short", 5, 5, "NEV"},
+		{NewNEV(testB), "NEV long", 500, 500, "NEV"},
+		{NewDET(testB), "DET short", 5, 5, "DET"},
+		{NewDET(testB), "DET long", 500, 56, "DET"},
+		{NewBDet(testB, 10), "b-DET below", 5, 5, "b-DET"},
+		{NewBDet(testB, 10), "b-DET above", 15, 38, "b-DET"},
+	}
+	for _, c := range cases {
+		if got := c.p.MeanCostForStop(c.y); got != c.want {
+			t.Errorf("%s: cost %v want %v", c.name, got, c.want)
+		}
+		if c.p.Name() != c.wantName {
+			t.Errorf("%s: name %q", c.name, c.p.Name())
+		}
+		if c.p.B() != testB {
+			t.Errorf("%s: B %v", c.name, c.p.B())
+		}
+	}
+}
+
+func TestDeterministicThresholdFixed(t *testing.T) {
+	p := NewBDet(testB, 13)
+	rng := newRNG(1)
+	for i := 0; i < 10; i++ {
+		if p.Threshold(rng) != 13 {
+			t.Fatal("deterministic threshold varied")
+		}
+	}
+	if p.X() != 13 {
+		t.Errorf("X() = %v", p.X())
+	}
+}
+
+func TestNRandDensityIntegratesToOne(t *testing.T) {
+	n := NewNRand(testB)
+	got := numeric.Integrate(n.PDF, 0, testB)
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("∫pdf = %v", got)
+	}
+	if n.PDF(-1) != 0 || n.PDF(testB+1) != 0 {
+		t.Error("density outside support")
+	}
+}
+
+func TestNRandCDFMatchesPDF(t *testing.T) {
+	n := NewNRand(testB)
+	for _, x := range []float64{1, 7, 14, 27} {
+		integ := numeric.Integrate(n.PDF, 0, x)
+		if math.Abs(integ-n.CDF(x)) > 1e-9 {
+			t.Errorf("CDF(%v): integral %v vs closed form %v", x, integ, n.CDF(x))
+		}
+	}
+}
+
+func TestNRandThresholdDistribution(t *testing.T) {
+	// Empirical CDF of sampled thresholds must match the analytic CDF.
+	n := NewNRand(testB)
+	rng := newRNG(5)
+	const N = 200_000
+	count14 := 0
+	for i := 0; i < N; i++ {
+		x := n.Threshold(rng)
+		if x < 0 || x > testB {
+			t.Fatalf("threshold %v outside [0, B]", x)
+		}
+		if x <= 14 {
+			count14++
+		}
+	}
+	got := float64(count14) / N
+	want := n.CDF(14)
+	if math.Abs(got-want) > 0.005 {
+		t.Errorf("P(x<=14): empirical %v analytic %v", got, want)
+	}
+}
+
+func TestNRandMeanCostMatchesMonteCarlo(t *testing.T) {
+	n := NewNRand(testB)
+	rng := newRNG(6)
+	for _, y := range []float64{3, 14, 27.5, 28, 40, 300} {
+		var sum numeric.KahanSum
+		const N = 400_000
+		for i := 0; i < N; i++ {
+			sum.Add(OnlineCost(n.Threshold(rng), y, testB))
+		}
+		mc := sum.Sum() / N
+		an := n.MeanCostForStop(y)
+		if math.Abs(mc-an) > 0.01*an {
+			t.Errorf("y=%v: MC %v analytic %v", y, mc, an)
+		}
+	}
+}
+
+func TestNRandExactCompetitiveRatio(t *testing.T) {
+	// The hallmark of N-Rand: expected cost is e/(e-1)·offline for every
+	// stop length (not just in aggregate).
+	n := NewNRand(testB)
+	ratio := math.E / (math.E - 1)
+	for _, y := range []float64{0.01, 1, 14, 28, 29, 1e5} {
+		got := n.MeanCostForStop(y) / OfflineCost(y, testB)
+		if math.Abs(got-ratio) > 1e-12 {
+			t.Errorf("y=%v: ratio %v want %v", y, got, ratio)
+		}
+	}
+}
+
+func TestMOMRandDensityIntegratesToOne(t *testing.T) {
+	m := NewMOMRand(testB, 10) // 10 < 0.836*28 = 23.4: reshaped branch
+	if m.UsesNRand() {
+		t.Fatal("should use reshaped density")
+	}
+	got := numeric.Integrate(m.PDF, 0, testB)
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("∫pdf = %v", got)
+	}
+}
+
+func TestMOMRandCutoff(t *testing.T) {
+	cut := MOMRandMeanCutoff(testB)
+	want := 2 * (math.E - 2) / (math.E - 1) * testB
+	if math.Abs(cut-want) > 1e-12 {
+		t.Errorf("cutoff %v want %v", cut, want)
+	}
+	// The paper reports the cutoff as 0.836B.
+	if math.Abs(cut/testB-0.836) > 0.001 {
+		t.Errorf("cutoff/B = %v, paper says 0.836", cut/testB)
+	}
+	if !NewMOMRand(testB, cut*1.01).UsesNRand() {
+		t.Error("above cutoff must degrade to N-Rand")
+	}
+	if NewMOMRand(testB, cut*0.99).UsesNRand() {
+		t.Error("below cutoff must use reshaped density")
+	}
+}
+
+func TestMOMRandCDFMatchesPDF(t *testing.T) {
+	m := NewMOMRand(testB, 10)
+	for _, x := range []float64{1, 7, 14, 27} {
+		integ := numeric.Integrate(m.PDF, 0, x)
+		if math.Abs(integ-m.CDF(x)) > 1e-9 {
+			t.Errorf("CDF(%v): integral %v vs closed form %v", x, integ, m.CDF(x))
+		}
+	}
+	if m.CDF(0) != 0 || m.CDF(testB) != 1 {
+		t.Error("CDF bounds wrong")
+	}
+}
+
+func TestMOMRandThresholdInversion(t *testing.T) {
+	// Sampled thresholds must reproduce the analytic CDF.
+	m := NewMOMRand(testB, 10)
+	rng := newRNG(7)
+	const N = 200_000
+	for _, probe := range []float64{7.0, 14.0, 21.0} {
+		count := 0
+		rng2 := newRNG(7) // fresh stream per probe for independence
+		_ = rng
+		for i := 0; i < N; i++ {
+			if m.Threshold(rng2) <= probe {
+				count++
+			}
+		}
+		got := float64(count) / N
+		want := m.CDF(probe)
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("P(x<=%v): empirical %v analytic %v", probe, got, want)
+		}
+	}
+}
+
+func TestMOMRandMeanCostMatchesMonteCarlo(t *testing.T) {
+	m := NewMOMRand(testB, 10)
+	rng := newRNG(8)
+	for _, y := range []float64{5, 14, 27, 28, 100} {
+		var sum numeric.KahanSum
+		const N = 400_000
+		for i := 0; i < N; i++ {
+			sum.Add(OnlineCost(m.Threshold(rng), y, testB))
+		}
+		mc := sum.Sum() / N
+		an := m.MeanCostForStop(y)
+		if math.Abs(mc-an) > 0.01*an {
+			t.Errorf("y=%v: MC %v analytic %v", y, mc, an)
+		}
+	}
+}
+
+func TestMOMRandMeanCostContinuousAtB(t *testing.T) {
+	m := NewMOMRand(testB, 10)
+	below := m.MeanCostForStop(testB)
+	above := m.MeanCostForStop(testB + 1e-9)
+	if math.Abs(below-above) > 1e-6 {
+		t.Errorf("discontinuity at B: %v vs %v", below, above)
+	}
+}
+
+func TestMOMRandDelegatesAboveCutoff(t *testing.T) {
+	m := NewMOMRand(testB, 25) // above cutoff
+	n := NewNRand(testB)
+	rngM, rngN := newRNG(9), newRNG(9)
+	for i := 0; i < 100; i++ {
+		if m.Threshold(rngM) != n.Threshold(rngN) {
+			t.Fatal("MOM-Rand above cutoff must sample exactly like N-Rand")
+		}
+	}
+	for _, y := range []float64{5, 30} {
+		if m.MeanCostForStop(y) != n.MeanCostForStop(y) {
+			t.Error("mean cost must match N-Rand above cutoff")
+		}
+	}
+	for _, x := range []float64{3.0, 20.0} {
+		if m.PDF(x) != n.PDF(x) || m.CDF(x) != n.CDF(x) {
+			t.Error("PDF/CDF must match N-Rand above cutoff")
+		}
+	}
+}
+
+func TestFixedThresholdPolicy(t *testing.T) {
+	p := NewFixedThreshold("ablation-x40", testB, 40) // threshold above B
+	if p.Name() != "ablation-x40" {
+		t.Errorf("name %q", p.Name())
+	}
+	// Stop between B and threshold: pays y (no restart yet).
+	if got := p.MeanCostForStop(35); got != 35 {
+		t.Errorf("cost %v want 35", got)
+	}
+	// Stop beyond threshold: pays 40 + B.
+	if got := p.MeanCostForStop(50); got != 68 {
+		t.Errorf("cost %v want 68", got)
+	}
+}

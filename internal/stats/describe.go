@@ -1,0 +1,124 @@
+// Package stats supplies the descriptive and inferential statistics used
+// by the evaluation section: summary statistics of stop counts and stop
+// lengths (Table 1, Figure 3), histograms and ECDFs for rendering the
+// distributions, the Kolmogorov–Smirnov test used to reject the
+// exponential stop-length hypothesis, and bootstrap confidence intervals
+// for fleet-level competitive-ratio comparisons.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"idlereduce/internal/numeric"
+)
+
+// ErrEmpty is returned by statistics requiring at least one observation.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+	Q1     float64 // 25th percentile
+	Q3     float64 // 75th percentile
+}
+
+// Describe computes a Summary of xs.
+func Describe(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mean := numeric.SumSlice(s) / float64(len(s))
+	var sq numeric.KahanSum
+	for _, x := range s {
+		d := x - mean
+		sq.Add(d * d)
+	}
+	std := 0.0
+	if len(s) > 1 {
+		std = math.Sqrt(sq.Sum() / float64(len(s)-1))
+	}
+	return Summary{
+		N:      len(s),
+		Mean:   mean,
+		Std:    std,
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Median: quantileSorted(s, 0.5),
+		Q1:     quantileSorted(s, 0.25),
+		Q3:     quantileSorted(s, 0.75),
+	}, nil
+}
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return numeric.SumSlice(xs) / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (n-1), or 0 for fewer than two
+// observations.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sq numeric.KahanSum
+	for _, x := range xs {
+		d := x - m
+		sq.Add(d * d)
+	}
+	return math.Sqrt(sq.Sum() / float64(len(xs)-1))
+}
+
+// Quantile returns the q-th linear-interpolation quantile of xs
+// (the "type 7" definition used by most statistics packages).
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q), nil
+}
+
+// quantileSorted is Quantile on an already-sorted slice.
+func quantileSorted(s []float64, q float64) float64 {
+	n := len(s)
+	if n == 1 {
+		return s[0]
+	}
+	q = numeric.Clamp(q, 0, 1)
+	h := q * float64(n-1)
+	i := int(math.Floor(h))
+	if i >= n-1 {
+		return s[n-1]
+	}
+	frac := h - float64(i)
+	return s[i] + frac*(s[i+1]-s[i])
+}
+
+// FracAtMost returns the fraction of observations <= bound: the
+// P{X <= mu+2sigma} column of Table 1.
+func FracAtMost(xs []float64, bound float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	k := 0
+	for _, x := range xs {
+		if x <= bound {
+			k++
+		}
+	}
+	return float64(k) / float64(len(xs))
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDescribeKnownSample(t *testing.T) {
+	s, err := Describe([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Errorf("mean %v", s.Mean)
+	}
+	// Sample std (n-1): sqrt(32/7).
+	if math.Abs(s.Std-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("std %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max %v/%v", s.Min, s.Max)
+	}
+	if math.Abs(s.Median-4.5) > 1e-12 {
+		t.Errorf("median %v", s.Median)
+	}
+}
+
+func TestDescribeEmpty(t *testing.T) {
+	if _, err := Describe(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestDescribeSingleton(t *testing.T) {
+	s, err := Describe([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 42 || s.Std != 0 || s.Median != 42 || s.Q1 != 42 || s.Q3 != 42 {
+		t.Errorf("%+v", s)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Mean(xs) != 3 {
+		t.Errorf("mean %v", Mean(xs))
+	}
+	if math.Abs(Std(xs)-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std %v", Std(xs))
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("mean of empty should be NaN")
+	}
+	if Std([]float64{7}) != 0 {
+		t.Error("std of singleton should be 0")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3.0, 20},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v want %v", c.q, got, c.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Error("want ErrEmpty")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	prop := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		p1 := float64(a) / 255
+		p2 := float64(b) / 255
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		q1, _ := Quantile(xs, p1)
+		q2, _ := Quantile(xs, p2)
+		return q1 <= q2+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFracAtMostTable1Style(t *testing.T) {
+	// The Table 1 statistic: P{X <= mu + 2 sigma}.
+	xs := []float64{5, 6, 7, 8, 100} // outlier drags the mean and std up
+	s, _ := Describe(xs)
+	frac := FracAtMost(xs, s.Mean+2*s.Std)
+	if frac != 1 {
+		t.Errorf("frac = %v", frac)
+	}
+	if got := FracAtMost(xs, 7); got != 0.6 {
+		t.Errorf("FracAtMost(7) = %v want 0.6", got)
+	}
+	if !math.IsNaN(FracAtMost(nil, 1)) {
+		t.Error("empty should give NaN")
+	}
+}
+
+func TestDescribeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Describe(xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-width binning of a sample over [Lo, Hi]; values
+// outside the range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int
+	Over   int
+	total  int
+}
+
+// NewHistogram bins xs into nbins uniform bins over [lo, hi].
+func NewHistogram(xs []float64, lo, hi float64, nbins int) (*Histogram, error) {
+	if nbins < 1 {
+		return nil, errors.New("stats: need at least one bin")
+	}
+	if !(lo < hi) {
+		return nil, errors.New("stats: histogram range must satisfy lo < hi")
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+	width := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		switch {
+		case math.IsNaN(x):
+			continue
+		case x < lo:
+			h.Under++
+		case x >= hi:
+			// Values exactly at the top edge fall into the last bin.
+			if x == hi {
+				h.Counts[nbins-1]++
+			} else {
+				h.Over++
+			}
+		default:
+			i := int((x - lo) / width)
+			if i >= nbins {
+				i = nbins - 1
+			}
+			h.Counts[i]++
+		}
+		h.total++
+	}
+	return h, nil
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*width
+}
+
+// Density returns the normalized density of bin i (so the histogram
+// integrates to the in-range mass).
+func (h *Histogram) Density(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return float64(h.Counts[i]) / (float64(h.total) * width)
+}
+
+// Total returns the number of observations seen, including out-of-range.
+func (h *Histogram) Total() int { return h.total }
+
+// ECDF is the empirical cumulative distribution function of a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF copies and sorts xs.
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// At returns the fraction of observations <= x.
+func (e *ECDF) At(x float64) float64 {
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Sorted exposes the sorted observations (not a copy; callers must not
+// mutate).
+func (e *ECDF) Sorted() []float64 { return e.sorted }

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	xs := []float64{0, 0.5, 1, 1.5, 2, 2.5, 3} // range [0,3), 3 bins
+	h, err := NewHistogram(xs, 0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bins: [0,1): {0, 0.5}; [1,2): {1, 1.5}; [2,3]: {2, 2.5, 3}.
+	want := []int{2, 2, 3}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d: %d want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Total() != 7 {
+		t.Errorf("total %d", h.Total())
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h, _ := NewHistogram([]float64{-1, 0.5, 10, math.NaN()}, 0, 1, 2)
+	if h.Under != 1 || h.Over != 1 {
+		t.Errorf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Total() != 3 { // NaN not counted
+		t.Errorf("total %d", h.Total())
+	}
+}
+
+func TestHistogramDensityNormalized(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i) / 1000 // uniform on [0,1)
+	}
+	h, _ := NewHistogram(xs, 0, 1, 10)
+	integral := 0.0
+	width := 0.1
+	for i := range h.Counts {
+		integral += h.Density(i) * width
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Errorf("density integrates to %v", integral)
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h, _ := NewHistogram(nil, 0, 10, 5)
+	if h.BinCenter(0) != 1 || h.BinCenter(4) != 9 {
+		t.Errorf("centers %v %v", h.BinCenter(0), h.BinCenter(4))
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil, 0, 1, 0); err == nil {
+		t.Error("want error for zero bins")
+	}
+	if _, err := NewHistogram(nil, 1, 1, 3); err == nil {
+		t.Error("want error for empty range")
+	}
+}
+
+func TestECDFBasics(t *testing.T) {
+	e, err := NewECDF([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 3 {
+		t.Errorf("N %d", e.N())
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 1.0 / 3}, {2.5, 2.0 / 3}, {3, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	if _, err := NewECDF(nil); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestBootstrapCIContainsTruth(t *testing.T) {
+	// CI for the mean of a known sample should bracket the sample mean.
+	rng := NewRNG(9)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.Float64() * 10
+	}
+	m := Mean(xs)
+	lo, hi, err := BootstrapCI(xs, Mean, 2000, 0.95, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo <= m && m <= hi) {
+		t.Errorf("CI [%v, %v] does not contain sample mean %v", lo, hi, m)
+	}
+	if hi-lo <= 0 || hi-lo > 2 {
+		t.Errorf("implausible CI width %v", hi-lo)
+	}
+}
+
+func TestBootstrapCIEmpty(t *testing.T) {
+	if _, _, err := BootstrapCI(nil, Mean, 10, 0.95, NewRNG(1)); err == nil {
+		t.Error("want error for empty sample")
+	}
+}
+
+func TestBootstrapCIDefaults(t *testing.T) {
+	rng := NewRNG(10)
+	// Invalid conf and resamples fall back to defaults without error.
+	lo, hi, err := BootstrapCI([]float64{1, 2, 3}, Mean, 0, 2.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > hi {
+		t.Errorf("lo %v > hi %v", lo, hi)
+	}
+}
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(77), NewRNG(77)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(78)
+	same := true
+	a2 := NewRNG(77)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should give different streams")
+	}
+}

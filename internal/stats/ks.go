@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSResult is the outcome of a Kolmogorov–Smirnov test.
+type KSResult struct {
+	// D is the KS statistic: the supremum distance between the compared
+	// CDFs.
+	D float64
+	// P is the asymptotic p-value of the statistic.
+	P float64
+	// N is the effective sample size used in the asymptotic formula.
+	N float64
+}
+
+// Rejects reports whether the null hypothesis is rejected at level alpha.
+func (r KSResult) Rejects(alpha float64) bool { return r.P < alpha }
+
+// KSOneSample tests the sample xs against the hypothesized continuous CDF
+// cdf. Section 5 uses this (with a fitted exponential CDF) to show the
+// observed stop-length distributions are not exponential.
+func KSOneSample(xs []float64, cdf func(float64) float64) (KSResult, error) {
+	n := len(xs)
+	if n == 0 {
+		return KSResult{}, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	d := 0.0
+	for i, x := range s {
+		fx := cdf(x)
+		// Distance above and below the step.
+		dPlus := float64(i+1)/float64(n) - fx
+		dMinus := fx - float64(i)/float64(n)
+		if dPlus > d {
+			d = dPlus
+		}
+		if dMinus > d {
+			d = dMinus
+		}
+	}
+	en := float64(n)
+	return KSResult{D: d, P: ksPValue(d, en), N: en}, nil
+}
+
+// KSTwoSample tests whether xs and ys are drawn from the same distribution.
+func KSTwoSample(xs, ys []float64) (KSResult, error) {
+	if len(xs) == 0 || len(ys) == 0 {
+		return KSResult{}, ErrEmpty
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var i, j int
+	d := 0.0
+	for i < len(a) && j < len(b) {
+		v := math.Min(a[i], b[j])
+		for i < len(a) && a[i] <= v {
+			i++
+		}
+		for j < len(b) && b[j] <= v {
+			j++
+		}
+		fa := float64(i) / float64(len(a))
+		fb := float64(j) / float64(len(b))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	en := float64(len(a)) * float64(len(b)) / float64(len(a)+len(b))
+	return KSResult{D: d, P: ksPValue(d, en), N: en}, nil
+}
+
+// ksPValue is the asymptotic Kolmogorov distribution tail with the
+// Stephens small-sample correction:
+// p = Q_KS((sqrt(n) + 0.12 + 0.11/sqrt(n)) · D).
+func ksPValue(d, en float64) float64 {
+	sq := math.Sqrt(en)
+	lambda := (sq + 0.12 + 0.11/sq) * d
+	return ksQ(lambda)
+}
+
+// ksQ is the Kolmogorov survival function
+// Q(λ) = 2 Σ_{k=1..∞} (-1)^{k-1} e^{-2k²λ²}.
+func ksQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12*math.Abs(sum)+1e-300 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"idlereduce/internal/dist"
+)
+
+func TestKSOneSampleAcceptsCorrectNull(t *testing.T) {
+	// Exponential data vs exponential null: should not reject.
+	d := dist.NewExponentialMean(30)
+	rng := NewRNG(1)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = d.Sample(rng)
+	}
+	res, err := KSOneSample(xs, d.CDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejects(0.01) {
+		t.Errorf("false rejection: D=%v p=%v", res.D, res.P)
+	}
+}
+
+func TestKSOneSampleRejectsWrongNull(t *testing.T) {
+	// Heavy-tailed data vs exponential null with the same mean: reject.
+	// This is exactly the Section 5 finding for the NREL stop lengths.
+	body := dist.NewLogNormalMeanCV(25, 1.3)
+	tail := dist.Pareto{Xm: 80, Alpha: 1.8}
+	d := dist.NewMixture(
+		dist.Component{W: 0.85, D: body},
+		dist.Component{W: 0.15, D: tail},
+	)
+	rng := NewRNG(2)
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = d.Sample(rng)
+	}
+	null := dist.NewExponentialMean(Mean(xs))
+	res, err := KSOneSample(xs, null.CDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rejects(0.01) {
+		t.Errorf("failed to reject exponential null: D=%v p=%v", res.D, res.P)
+	}
+}
+
+func TestKSOneSampleEmpty(t *testing.T) {
+	if _, err := KSOneSample(nil, func(float64) float64 { return 0 }); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestKSStatisticExactSmallSample(t *testing.T) {
+	// Single observation at the median of U[0,1]: D = 0.5.
+	res, err := KSOneSample([]float64{0.5}, func(x float64) float64 { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.D-0.5) > 1e-12 {
+		t.Errorf("D = %v want 0.5", res.D)
+	}
+}
+
+func TestKSTwoSampleSameDistribution(t *testing.T) {
+	d := dist.NewLogNormalMeanCV(40, 1.0)
+	rng := NewRNG(3)
+	xs := make([]float64, 1500)
+	ys := make([]float64, 1500)
+	for i := range xs {
+		xs[i] = d.Sample(rng)
+		ys[i] = d.Sample(rng)
+	}
+	res, err := KSTwoSample(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejects(0.01) {
+		t.Errorf("false rejection: D=%v p=%v", res.D, res.P)
+	}
+}
+
+func TestKSTwoSampleDifferentDistributions(t *testing.T) {
+	rng := NewRNG(4)
+	a := dist.NewExponentialMean(20)
+	b := dist.NewExponentialMean(60)
+	xs := make([]float64, 1000)
+	ys := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = a.Sample(rng)
+		ys[i] = b.Sample(rng)
+	}
+	res, err := KSTwoSample(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rejects(0.001) {
+		t.Errorf("failed to reject: D=%v p=%v", res.D, res.P)
+	}
+}
+
+func TestKSTwoSampleIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	res, err := KSTwoSample(xs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.D != 0 {
+		t.Errorf("identical samples: D = %v", res.D)
+	}
+	if res.P < 0.999 {
+		t.Errorf("identical samples: p = %v", res.P)
+	}
+}
+
+func TestKSTwoSampleEmpty(t *testing.T) {
+	if _, err := KSTwoSample(nil, []float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Error("want ErrEmpty")
+	}
+	if _, err := KSTwoSample([]float64{1}, nil); !errors.Is(err, ErrEmpty) {
+		t.Error("want ErrEmpty")
+	}
+}
+
+func TestKSQBoundaries(t *testing.T) {
+	if ksQ(0) != 1 {
+		t.Error("Q(0) must be 1")
+	}
+	if ksQ(-1) != 1 {
+		t.Error("Q(neg) must be 1")
+	}
+	if q := ksQ(10); q > 1e-30 {
+		t.Errorf("Q(10) = %v, want ~0", q)
+	}
+	// Known value: Q(1.0) ≈ 0.26999967.
+	if q := ksQ(1.0); math.Abs(q-0.26999967) > 1e-6 {
+		t.Errorf("Q(1) = %v", q)
+	}
+}

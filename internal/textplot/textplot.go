@@ -1,0 +1,271 @@
+// Package textplot renders the experiment outputs — line charts, region
+// heatmaps and aligned tables — as plain text, so every figure of the
+// paper can be regenerated in a terminal without plotting dependencies.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve of a line chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// LineChart renders one or more series on a shared canvas. Each series is
+// drawn with its own rune; a legend maps runes to names. Non-finite Y
+// values are skipped.
+type LineChart struct {
+	Title  string
+	Width  int
+	Height int
+	// YMin/YMax fix the vertical range; when both are zero the range is
+	// computed from the data.
+	YMin, YMax float64
+	// LogX plots x on a log10 axis.
+	LogX   bool
+	series []Series
+}
+
+// Add appends a series.
+func (c *LineChart) Add(s Series) { c.series = append(c.series, s) }
+
+// seriesRunes assigns plotting glyphs in order.
+var seriesRunes = []rune{'*', '+', 'o', 'x', '#', '@', '%', '~'}
+
+// Render draws the chart.
+func (c *LineChart) Render() string {
+	w, h := c.Width, c.Height
+	if w < 20 {
+		w = 72
+	}
+	if h < 5 {
+		h = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := c.YMin, c.YMax
+	autoY := ymin == 0 && ymax == 0
+	if autoY {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+	}
+	for _, s := range c.series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			if autoY {
+				if y < ymin {
+					ymin = y
+				}
+				if y > ymax {
+					ymax = y
+				}
+			}
+		}
+	}
+	if math.IsInf(xmin, 0) || xmin == xmax {
+		return c.Title + "\n(no finite data)\n"
+	}
+	if ymin == ymax {
+		ymax = ymin + 1
+	}
+	tx := func(x float64) float64 {
+		if c.LogX {
+			return math.Log10(x)
+		}
+		return x
+	}
+	txmin, txmax := tx(xmin), tx(xmax)
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", w))
+	}
+	for si, s := range c.series {
+		glyph := seriesRunes[si%len(seriesRunes)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(y) || math.IsInf(y, 0) || math.IsNaN(x) {
+				continue
+			}
+			col := int(math.Round((tx(x) - txmin) / (txmax - txmin) * float64(w-1)))
+			yy := math.Min(math.Max(y, ymin), ymax)
+			row := h - 1 - int(math.Round((yy-ymin)/(ymax-ymin)*float64(h-1)))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = glyph
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for r, row := range grid {
+		yv := ymax - float64(r)/float64(h-1)*(ymax-ymin)
+		fmt.Fprintf(&b, "%8.3f |%s\n", yv, string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", w))
+	xl := fmt.Sprintf("%.4g", xmin)
+	xr := fmt.Sprintf("%.4g", xmax)
+	pad := w - len(xl) - len(xr)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%8s  %s%s%s\n", "", xl, strings.Repeat(" ", pad), xr)
+	for si, s := range c.series {
+		fmt.Fprintf(&b, "    %c %s\n", seriesRunes[si%len(seriesRunes)], s.Name)
+	}
+	return b.String()
+}
+
+// Heatmap renders a labelled character grid (used for the Figure 1a
+// strategy-region map). Cell (i, j) maps to column i, row j with row 0 at
+// the bottom.
+type Heatmap struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Cells[j][i] is the glyph at column i, row j (row 0 bottom).
+	Cells [][]rune
+	// Legend maps glyphs to descriptions, rendered in insertion order.
+	Legend []LegendEntry
+}
+
+// LegendEntry pairs a glyph with its meaning.
+type LegendEntry struct {
+	Glyph rune
+	Desc  string
+}
+
+// Render draws the heatmap.
+func (m *Heatmap) Render() string {
+	var b strings.Builder
+	if m.Title != "" {
+		fmt.Fprintf(&b, "%s\n", m.Title)
+	}
+	if m.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", m.YLabel)
+	}
+	for j := len(m.Cells) - 1; j >= 0; j-- {
+		fmt.Fprintf(&b, "  |%s\n", string(m.Cells[j]))
+	}
+	if len(m.Cells) > 0 {
+		fmt.Fprintf(&b, "  +%s\n", strings.Repeat("-", len(m.Cells[0])))
+	}
+	if m.XLabel != "" {
+		fmt.Fprintf(&b, "   %s\n", m.XLabel)
+	}
+	for _, e := range m.Legend {
+		fmt.Fprintf(&b, "    %c = %s\n", e.Glyph, e.Desc)
+	}
+	return b.String()
+}
+
+// Table renders rows with aligned columns. The first row is treated as a
+// header and underlined.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	cols := 0
+	for _, r := range rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	for _, r := range rows {
+		for i, cell := range r {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(rows[0])
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(cols-1)) + "\n")
+	for _, r := range rows[1:] {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// BarChart renders horizontal bars with labels, scaled to the widest
+// value. Used for the per-vehicle CR histograms of Figure 4.
+type BarChart struct {
+	Title string
+	Width int // bar area width in cells (default 50)
+	rows  []barRow
+}
+
+type barRow struct {
+	label string
+	value float64
+}
+
+// Add appends one bar.
+func (b *BarChart) Add(label string, value float64) {
+	b.rows = append(b.rows, barRow{label: label, value: value})
+}
+
+// Render draws the chart.
+func (b *BarChart) Render() string {
+	w := b.Width
+	if w < 10 {
+		w = 50
+	}
+	max := 0.0
+	labelW := 0
+	for _, r := range b.rows {
+		if r.value > max {
+			max = r.value
+		}
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	var sb strings.Builder
+	if b.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", b.Title)
+	}
+	if max <= 0 {
+		max = 1
+	}
+	for _, r := range b.rows {
+		n := int(math.Round(r.value / max * float64(w)))
+		if r.value > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "%-*s |%s %v\n", labelW, r.label, strings.Repeat("#", n), r.value)
+	}
+	return sb.String()
+}

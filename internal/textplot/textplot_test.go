@@ -1,0 +1,152 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineChartBasics(t *testing.T) {
+	c := &LineChart{Title: "demo", Width: 40, Height: 10}
+	c.Add(Series{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}})
+	c.Add(Series{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}})
+	out := c.Render()
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "+ down") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("missing glyphs")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("too few lines: %d", len(lines))
+	}
+}
+
+func TestLineChartSkipsNonFinite(t *testing.T) {
+	c := &LineChart{Width: 30, Height: 6}
+	c.Add(Series{Name: "s", X: []float64{1, 2, 3}, Y: []float64{1, math.Inf(1), math.NaN()}})
+	out := c.Render()
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Errorf("non-finite leaked:\n%s", out)
+	}
+}
+
+func TestLineChartNoData(t *testing.T) {
+	c := &LineChart{Title: "empty"}
+	c.Add(Series{Name: "nothing", X: []float64{math.NaN()}, Y: []float64{math.NaN()}})
+	out := c.Render()
+	if !strings.Contains(out, "no finite data") {
+		t.Errorf("expected placeholder, got:\n%s", out)
+	}
+}
+
+func TestLineChartLogX(t *testing.T) {
+	c := &LineChart{Width: 40, Height: 8, LogX: true}
+	c.Add(Series{Name: "s", X: []float64{1, 10, 100}, Y: []float64{1, 2, 3}})
+	out := c.Render()
+	// On a log axis the three points are evenly spaced; the middle glyph
+	// should appear near the center column. Weak but meaningful check:
+	// every row containing a glyph has it within the canvas.
+	if !strings.Contains(out, "*") {
+		t.Error("no glyphs")
+	}
+}
+
+func TestLineChartFixedYRange(t *testing.T) {
+	c := &LineChart{Width: 30, Height: 6, YMin: 1, YMax: 2}
+	c.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{0.5, 5}}) // outside range: clamped
+	out := c.Render()
+	if !strings.Contains(out, "2.000") || !strings.Contains(out, "1.000") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	m := &Heatmap{
+		Title:  "regions",
+		XLabel: "mu/B",
+		YLabel: "q",
+		Cells: [][]rune{
+			[]rune("DD"),
+			[]rune("TN"),
+		},
+		Legend: []LegendEntry{{'D', "DET"}, {'T', "TOI"}, {'N', "N-Rand"}},
+	}
+	out := m.Render()
+	// Row 0 is bottom: "TN" must appear below... i.e. after "DD" in
+	// output order reversed. Output renders top row (j=1) first.
+	iTop := strings.Index(out, "TN")
+	iBottom := strings.Index(out, "DD")
+	if iTop == -1 || iBottom == -1 || iTop > iBottom {
+		t.Errorf("row order wrong:\n%s", out)
+	}
+	for _, frag := range []string{"regions", "mu/B", "D = DET", "N = N-Rand"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([][]string{
+		{"name", "value"},
+		{"alpha", "1"},
+		{"bb", "22.5"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines %d:\n%s", len(lines), out)
+	}
+	// Header separator present.
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("no separator:\n%s", out)
+	}
+	// Columns aligned: "value" and "22.5" start at the same offset.
+	if strings.Index(lines[0], "value") != strings.Index(lines[3], "22.5") {
+		t.Errorf("misaligned:\n%s", out)
+	}
+}
+
+func TestTableEmptyAndRagged(t *testing.T) {
+	if Table(nil) != "" {
+		t.Error("empty table should render empty")
+	}
+	out := Table([][]string{{"a", "b", "c"}, {"1"}})
+	if !strings.Contains(out, "a") || !strings.Contains(out, "1") {
+		t.Errorf("ragged rows mishandled:\n%s", out)
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	b := &BarChart{Title: "bars", Width: 20}
+	b.Add("alpha", 10)
+	b.Add("bb", 5)
+	b.Add("zero", 0)
+	out := b.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines %d:\n%s", len(lines), out)
+	}
+	// alpha's bar is full width; bb's is half.
+	if !strings.Contains(lines[1], strings.Repeat("#", 20)) {
+		t.Errorf("full bar missing:\n%s", out)
+	}
+	if !strings.Contains(lines[2], strings.Repeat("#", 10)) || strings.Contains(lines[2], strings.Repeat("#", 11)) {
+		t.Errorf("half bar wrong:\n%s", out)
+	}
+	if strings.Contains(lines[3], "#") {
+		t.Errorf("zero bar should be empty:\n%s", out)
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	b := &BarChart{}
+	b.Add("x", 0)
+	if out := b.Render(); strings.Contains(out, "#") {
+		t.Errorf("zero-only chart drew bars:\n%s", out)
+	}
+}
