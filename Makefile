@@ -1,0 +1,39 @@
+# Development entry points. The repo is pure Go with no dependencies
+# outside the standard library, so every target is a thin go-tool
+# wrapper kept here for discoverability.
+
+GO ?= go
+
+.PHONY: check build vet test race bench bench-metrics clean
+
+## check: the full pre-commit gate — vet, build, and the race-enabled
+## test suite (includes the internal/obs concurrent-writer tests).
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: every table/figure benchmark plus the ablations and the
+## observability overhead pair (SimulatorObsOff vs SimulatorObsOn).
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+## bench-metrics: run the instrumented simulator benchmark and write its
+## metrics registry snapshot to bench-metrics.json (see
+## docs/OBSERVABILITY.md).
+bench-metrics:
+	IDLEREDUCE_BENCH_METRICS=$(CURDIR)/bench-metrics.json \
+		$(GO) test -bench 'BenchmarkSimulatorObs' -run '^$$' .
+	@echo wrote bench-metrics.json
+
+clean:
+	rm -f bench-metrics.json cpu.pprof mem.pprof trace.out

@@ -6,7 +6,9 @@
 package idlereduce_test
 
 import (
+	"context"
 	"math"
+	"os"
 	"testing"
 
 	"idlereduce/internal/adaptive"
@@ -16,6 +18,7 @@ import (
 	"idlereduce/internal/experiments"
 	"idlereduce/internal/fleet"
 	"idlereduce/internal/multislope"
+	"idlereduce/internal/obs"
 	"idlereduce/internal/simulator"
 	"idlereduce/internal/skirental"
 	"idlereduce/internal/stats"
@@ -308,6 +311,61 @@ func simRun(costs costmodel.CostRatio, p skirental.Policy, stopsSeq []float64, s
 	rng := stats.NewRNG(seed)
 	on, _ := skirental.TraceCost(p, stopsSeq, rng)
 	return on, nil
+}
+
+// BenchmarkSimulatorObsOff measures the event-driven simulator with no
+// recorder in the context — the baseline the instrumentation must not
+// regress (the per-stop cost is a single nil check).
+func BenchmarkSimulatorObsOff(b *testing.B) {
+	benchSimulatorObs(b, false)
+}
+
+// BenchmarkSimulatorObsOn measures the same run with a live recorder
+// collecting per-stop histograms and transition counters. Set
+// IDLEREDUCE_BENCH_METRICS=<path> to also write the final registry
+// snapshot as JSON (the Makefile's bench-metrics target does this).
+func BenchmarkSimulatorObsOn(b *testing.B) {
+	benchSimulatorObs(b, true)
+}
+
+func benchSimulatorObs(b *testing.B, instrumented bool) {
+	rng := stats.NewRNG(2)
+	stopsSeq := make([]float64, 1000)
+	for i := range stopsSeq {
+		stopsSeq[i] = 1 + rng.Float64()*200
+	}
+	cfg := simulator.Config{
+		Costs:  costmodel.CostRatio{IdlingCentsPerSec: 0.0258, RestartCents: 0.0258 * 28},
+		Policy: skirental.NewNRand(28),
+	}
+	ctx := context.Background()
+	var rec *obs.Recorder
+	if instrumented {
+		rec = obs.NewRecorder("bench-simulator", nil, nil)
+		ctx = obs.WithRecorder(ctx, rec)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simulator.RunContext(ctx, cfg, stopsSeq, stats.NewRNG(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(stopsSeq)), "stops/op")
+	if path := os.Getenv("IDLEREDUCE_BENCH_METRICS"); path != "" && instrumented {
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rec.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", path)
+	}
 }
 
 // BenchmarkWorstCaseSearch measures the adversarial search that verifies

@@ -1,13 +1,24 @@
 // Command idlectl is the deployment-facing controller tool: tune a policy
-// from an observed stop trace, persist it as JSON, inspect it, and replay
-// it over traces.
+// from an observed stop trace, persist it as JSON, inspect it, replay it
+// over traces, and render metrics snapshots.
 //
 // Usage:
 //
+//	idlectl [-cpuprofile f] [-memprofile f] [-trace f] <command> [flags]
+//
 //	idlectl tune  -b 28 [-robust] [-conf 0.95] [-stops trace.txt] [-o policy.json]
 //	idlectl show  -policy policy.json
-//	idlectl replay -policy policy.json [-stops trace.txt] [-seed N]
+//	idlectl replay -policy policy.json [-stops trace.txt] [-seed N] [-metrics path]
 //	idlectl synth -plan urban|suburb|downtown [-days N] [-seed N]
+//	idlectl stats [-metrics snapshot.json]
+//
+// The global -cpuprofile, -memprofile and -trace flags write Go
+// pprof/execution-trace profiles covering the command's run. The replay
+// command's -metrics flag dumps an observability registry snapshot
+// ("-" = stdout): per-stop cost histograms with p50/p90/p99, engine
+// transition counters, the selected vertex strategy, and threshold-draw
+// distributions. The stats command renders such a snapshot as text
+// charts (see docs/OBSERVABILITY.md).
 //
 // Stop traces are plain text: one stop length in seconds per line; blank
 // lines and lines starting with '#' are ignored. With no -stops the trace
@@ -16,6 +27,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,9 +35,13 @@ import (
 	"strconv"
 	"strings"
 
+	"idlereduce/internal/costmodel"
 	"idlereduce/internal/drivecycle"
+	"idlereduce/internal/obs"
+	"idlereduce/internal/simulator"
 	"idlereduce/internal/skirental"
 	"idlereduce/internal/stats"
+	"idlereduce/internal/textplot"
 )
 
 func main() {
@@ -35,22 +51,46 @@ func main() {
 	}
 }
 
+const usage = "usage: idlectl [-cpuprofile f] [-memprofile f] [-trace f] <tune|show|replay|synth|stats> [flags]"
+
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
-	if len(args) < 1 {
-		return fmt.Errorf("usage: idlectl <tune|show|replay> [flags]")
+	gfs := flag.NewFlagSet("idlectl", flag.ContinueOnError)
+	var prof obs.Profiles
+	prof.AddFlags(gfs)
+	gfs.Usage = func() {
+		fmt.Fprintln(gfs.Output(), usage)
+		gfs.PrintDefaults()
 	}
-	switch args[0] {
+	if err := gfs.Parse(args); err != nil {
+		return err
+	}
+	rest := gfs.Args()
+	if len(rest) < 1 {
+		return fmt.Errorf(usage)
+	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	var cmdErr error
+	switch rest[0] {
 	case "tune":
-		return tune(args[1:], stdin, stdout)
+		cmdErr = tune(rest[1:], stdin, stdout)
 	case "show":
-		return show(args[1:], stdout)
+		cmdErr = show(rest[1:], stdout)
 	case "replay":
-		return replay(args[1:], stdin, stdout)
+		cmdErr = replay(rest[1:], stdin, stdout)
 	case "synth":
-		return synth(args[1:], stdout)
+		cmdErr = synth(rest[1:], stdout)
+	case "stats":
+		cmdErr = statsCmd(rest[1:], stdin, stdout)
 	default:
-		return fmt.Errorf("unknown command %q (want tune, show, replay or synth)", args[0])
+		cmdErr = fmt.Errorf("unknown command %q (want tune, show, replay, synth or stats)", rest[0])
 	}
+	if perr := stopProf(); perr != nil && cmdErr == nil {
+		cmdErr = perr
+	}
+	return cmdErr
 }
 
 // readStops parses a stop trace: one float per line.
@@ -203,12 +243,16 @@ func show(args []string, stdout io.Writer) error {
 	return nil
 }
 
+// replay runs a persisted policy over a trace through the event-driven
+// simulator with unit idling rate, so metered cents equal the abstract
+// idle-second costs the paper reasons in.
 func replay(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	policyPath := fs.String("policy", "", "policy spec JSON")
 	stopsPath := fs.String("stops", "", "stop trace file (default stdin)")
 	seed := fs.Uint64("seed", 1, "RNG seed for randomized policies")
 	verbose := fs.Bool("v", false, "print per-stop decisions")
+	metrics := fs.String("metrics", "", `write a metrics registry snapshot here after the replay ("-" = stdout)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -220,29 +264,121 @@ func replay(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rng := stats.NewRNG(*seed)
-	var online, offline float64
-	restarts := 0
-	for i, y := range stops {
-		x := pol.Threshold(rng)
-		on := skirental.OnlineCost(x, y, pol.B())
-		off := skirental.OfflineCost(y, pol.B())
-		online += on
-		offline += off
-		shutoff := y >= x
-		if shutoff {
-			restarts++
-		}
-		if *verbose {
+
+	ctx := context.Background()
+	var rec *obs.Recorder
+	if *metrics != "" {
+		rec = obs.NewRecorder(fmt.Sprintf("replay-seed-%d", *seed), nil, nil)
+		ctx = obs.WithRecorder(ctx, rec)
+	}
+	if sel, ok := pol.(skirental.Selector); ok {
+		skirental.RecordSelection(ctx, sel)
+	}
+	// Unit idling rate: OnlineCents/OfflineCents come out in idle-second
+	// equivalents, matching the pre-simulator replay output exactly.
+	costs := costmodel.CostRatio{IdlingCentsPerSec: 1, RestartCents: pol.B()}
+	res, err := simulator.RunContext(ctx, simulator.Config{
+		Costs:  costs,
+		Policy: skirental.Instrument(ctx, pol),
+	}, stops, stats.NewRNG(*seed))
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		for i, out := range res.Stops {
 			action := "drove off while idling"
-			if shutoff {
-				action = fmt.Sprintf("engine off at %.1f s", x)
+			if out.EngineOff {
+				action = fmt.Sprintf("engine off at %.1f s", out.Threshold)
 			}
-			fmt.Fprintf(stdout, "stop %3d: %7.1f s  %-24s cost %7.2f\n", i+1, y, action, on)
+			fmt.Fprintf(stdout, "stop %3d: %7.1f s  %-24s cost %7.2f\n", i+1, out.Length, action, out.OnlineCents)
 		}
 	}
-	fmt.Fprintf(stdout, "stops %d, restarts %d\n", len(stops), restarts)
-	fmt.Fprintf(stdout, "online cost %.1f, offline %.1f, CR %.4f\n", online, offline, online/offline)
+	// Echo the seed so the report alone reproduces a randomized replay.
+	fmt.Fprintf(stdout, "seed %d\n", *seed)
+	fmt.Fprintf(stdout, "stops %d, restarts %d\n", len(stops), res.Restarts)
+	fmt.Fprintf(stdout, "online cost %.1f, offline %.1f, CR %.4f\n",
+		res.OnlineCents, res.OfflineCents, res.OnlineCents/res.OfflineCents)
+	if rec != nil {
+		return writeSnapshot(rec.Snapshot(), *metrics, stdout)
+	}
+	return nil
+}
+
+// writeSnapshot dumps a snapshot as JSON to path ("-" = the command's
+// stdout).
+func writeSnapshot(snap obs.Snapshot, path string, stdout io.Writer) error {
+	if path == "-" {
+		return snap.WriteJSON(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// statsCmd renders a metrics snapshot (as written by replay -metrics or
+// idlereduce -metrics) as text tables and bar charts.
+func statsCmd(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	path := fs.String("metrics", "", "metrics snapshot JSON (default stdin)")
+	width := fs.Int("w", 40, "bar width for counter charts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = stdin
+	if *path != "" && *path != "-" {
+		f, err := os.Open(*path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	if r == nil {
+		return fmt.Errorf("no snapshot: pass -metrics or pipe JSON to stdin")
+	}
+	snap, err := obs.ReadSnapshot(r)
+	if err != nil {
+		return err
+	}
+	if snap.RunID != "" {
+		fmt.Fprintf(stdout, "run: %s\n\n", snap.RunID)
+	}
+	if len(snap.Counters) > 0 {
+		chart := textplot.BarChart{Title: "counters", Width: *width}
+		for _, c := range snap.Counters {
+			chart.Add(c.Name, float64(c.Value))
+		}
+		fmt.Fprintln(stdout, chart.Render())
+	}
+	if len(snap.Gauges) > 0 {
+		rows := [][]string{{"gauge", "value"}}
+		for _, g := range snap.Gauges {
+			rows = append(rows, []string{g.Name, fmt.Sprintf("%.4g", g.Value)})
+		}
+		fmt.Fprintln(stdout, textplot.Table(rows))
+	}
+	if len(snap.Histograms) > 0 {
+		rows := [][]string{{"histogram", "count", "mean", "p50", "p90", "p99", "min", "max"}}
+		for _, h := range snap.Histograms {
+			rows = append(rows, []string{
+				h.Name,
+				fmt.Sprintf("%d", h.Count),
+				fmt.Sprintf("%.4g", h.Mean),
+				fmt.Sprintf("%.4g", h.P50),
+				fmt.Sprintf("%.4g", h.P90),
+				fmt.Sprintf("%.4g", h.P99),
+				fmt.Sprintf("%.4g", h.Min),
+				fmt.Sprintf("%.4g", h.Max),
+			})
+		}
+		fmt.Fprint(stdout, textplot.Table(rows))
+	}
 	return nil
 }
 

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"idlereduce/internal/obs"
+)
+
+// TestReplayMetricsSnapshot drives the full acceptance flow: synthesize
+// a trace, tune a constrained policy on it, replay with -metrics -, and
+// check the printed registry snapshot carries the stop count, engine-off
+// count, online/offline cents histograms with quantiles, and the
+// selected vertex strategy label.
+func TestReplayMetricsSnapshot(t *testing.T) {
+	var synthOut bytes.Buffer
+	if err := run([]string{"synth", "-plan", "downtown", "-days", "3", "-seed", "9"}, nil, &synthOut); err != nil {
+		t.Fatal(err)
+	}
+	trace := writeTrace(t, synthOut.String())
+	policyPath := filepath.Join(t.TempDir(), "policy.json")
+	var out bytes.Buffer
+	if err := run([]string{"tune", "-b", "28", "-stops", trace, "-o", policyPath}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if err := run([]string{"replay", "-policy", policyPath, "-stops", trace, "-metrics", "-"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, frag := range []string{
+		"sim_stops_total",
+		"sim_engine_off_total",
+		"sim_online_cents",
+		"sim_offline_cents",
+		`"p50"`,
+		`"p99"`,
+		`skirental_selection_total{choice=`,
+		"skirental_threshold_sec",
+		"seed 1",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("replay -metrics - output missing %q", frag)
+		}
+	}
+
+	// The snapshot after the human-readable report must parse, and its
+	// counters must agree with the replay summary.
+	idx := strings.Index(text, "{")
+	if idx < 0 {
+		t.Fatal("no JSON in output")
+	}
+	snap, err := obs.ReadSnapshot(strings.NewReader(text[idx:]))
+	if err != nil {
+		t.Fatalf("snapshot does not parse: %v\n%s", err, text)
+	}
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["sim_stops_total"] == 0 {
+		t.Error("zero stops counted")
+	}
+	if counters["sim_engine_off_total"] == 0 {
+		t.Error("zero engine-off events on a downtown trace")
+	}
+	var foundOnline bool
+	for _, h := range snap.Histograms {
+		if h.Name == "sim_online_cents" {
+			foundOnline = true
+			if h.Count != uint64(counters["sim_stops_total"]) {
+				t.Errorf("online histogram count %d != stop count %d", h.Count, counters["sim_stops_total"])
+			}
+			if h.P99 < h.P50 {
+				t.Error("online cents quantiles out of order")
+			}
+		}
+	}
+	if !foundOnline {
+		t.Error("sim_online_cents histogram missing")
+	}
+}
+
+// TestReplayEchoesSeed pins the reproducibility satellite: the replay
+// report alone names the RNG seed it used.
+func TestReplayEchoesSeed(t *testing.T) {
+	policyPath := filepath.Join(t.TempDir(), "nrand.json")
+	if err := os.WriteFile(policyPath, []byte(`{"kind":"n-rand","b":28}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace := writeTrace(t, "10\n30\n5\n")
+	var out bytes.Buffer
+	if err := run([]string{"replay", "-policy", policyPath, "-stops", trace, "-seed", "7"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "seed 7\n") {
+		t.Errorf("seed not echoed:\n%s", out.String())
+	}
+	// Same seed, same randomized outcome: the report reproduces itself.
+	var again bytes.Buffer
+	if err := run([]string{"replay", "-policy", policyPath, "-stops", trace, "-seed", "7"}, nil, &again); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != again.String() {
+		t.Error("replay with echoed seed is not reproducible")
+	}
+}
+
+// TestStatsRendersSnapshot round-trips replay -metrics file into the
+// stats subcommand's text rendering.
+func TestStatsRendersSnapshot(t *testing.T) {
+	policyPath := filepath.Join(t.TempDir(), "det.json")
+	if err := os.WriteFile(policyPath, []byte(`{"kind":"det","b":28}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace := writeTrace(t, "10\n30\n5\n200\n")
+	snapPath := filepath.Join(t.TempDir(), "snap.json")
+	var out bytes.Buffer
+	if err := run([]string{"replay", "-policy", policyPath, "-stops", trace, "-metrics", snapPath}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if err := run([]string{"stats", "-metrics", snapPath}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, frag := range []string{"counters", "sim_stops_total", "histogram", "p99", "sim_online_cents", "run: replay-seed-1"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("stats rendering missing %q:\n%s", frag, text)
+		}
+	}
+
+	// And from stdin.
+	f, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	out.Reset()
+	if err := run([]string{"stats"}, f, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sim_stops_total") {
+		t.Error("stats from stdin failed")
+	}
+}
+
+func TestStatsErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"stats", "-metrics", "/does/not/exist"}, nil, &out); err == nil {
+		t.Error("want error for missing snapshot file")
+	}
+	if err := run([]string{"stats"}, strings.NewReader("{broken"), &out); err == nil {
+		t.Error("want error for broken snapshot JSON")
+	}
+}
+
+// TestProfileFlags checks the global pprof/trace hooks produce files.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	tr := filepath.Join(dir, "trace.out")
+	var out bytes.Buffer
+	args := []string{"-cpuprofile", cpu, "-memprofile", mem, "-trace", tr, "synth", "-plan", "urban", "-days", "2"}
+	if err := run(args, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{cpu, mem, tr} {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+}
+
+// TestUsageNamesEverySubcommand pins the satellite fix: the usage error
+// must name synth (and the new stats) alongside the original commands.
+func TestUsageNamesEverySubcommand(t *testing.T) {
+	err := run(nil, nil, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("want usage error")
+	}
+	for _, cmd := range []string{"tune", "show", "replay", "synth", "stats"} {
+		if !strings.Contains(err.Error(), cmd) {
+			t.Errorf("usage %q missing %q", err.Error(), cmd)
+		}
+	}
+}

@@ -15,17 +15,31 @@
 //	-points N     Figures 5-6 sweep points (default 30)
 //	-b SECONDS    break-even interval for fig1/fig2/drivecycle/verify (default 28)
 //	-outdir DIR   write each report to DIR/<experiment>.txt instead of stdout
+//
+// Observability flags (see docs/OBSERVABILITY.md):
+//
+//	-metrics PATH         write a metrics registry snapshot after the run
+//	                      ("-" = stdout); includes per-experiment wall-clock
+//	                      and allocation gauges plus fleet throughput
+//	-metrics-format FMT   snapshot format: json (default) or prom
+//	-obslog PATH          append the structured span/event log (JSON lines)
+//	-cpuprofile PATH      write a pprof CPU profile
+//	-memprofile PATH      write a pprof heap profile on exit
+//	-trace PATH           write a runtime execution trace
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"idlereduce/internal/experiments"
 	"idlereduce/internal/fleet"
+	"idlereduce/internal/obs"
 )
 
 // experimentNames lists the experiments `all` runs, in order.
@@ -49,7 +63,12 @@ func run(args []string) error {
 	points := fs.Int("points", 0, "figures 5-6 sweep points")
 	b := fs.Float64("b", 28, "break-even interval (s) for fig1/fig2/drivecycle/verify")
 	outdir := fs.String("outdir", "", "write reports to this directory instead of stdout")
-	trace := fs.String("trace", "", "run fleet experiments on this CSV trace (fleetgen format) instead of synthetic data")
+	trace := fs.String("trace-csv", "", "run fleet experiments on this CSV trace (fleetgen format) instead of synthetic data")
+	metrics := fs.String("metrics", "", `write a metrics registry snapshot here after the run ("-" = stdout)`)
+	metricsFormat := fs.String("metrics-format", "json", "metrics snapshot format: json or prom")
+	obslog := fs.String("obslog", "", "append the structured span/event log (JSON lines) to this file")
+	var prof obs.Profiles
+	prof.AddFlags(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: idlereduce [flags] <fig1|fig2|fig3|fig4|fig5|fig6|table1|breakeven|ablations|drivecycle|bsweep|savings|multislope|verify|all>")
 		fs.PrintDefaults()
@@ -61,6 +80,9 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("exactly one experiment required")
 	}
+	if *metricsFormat != "json" && *metricsFormat != "prom" {
+		return fmt.Errorf("unknown -metrics-format %q (want json or prom)", *metricsFormat)
+	}
 	opts := experiments.Options{
 		Seed:          *seed,
 		FleetVehicles: *vehicles,
@@ -68,12 +90,74 @@ func run(args []string) error {
 		SweepPoints:   *points,
 	}
 	name := strings.ToLower(fs.Arg(0))
-	return dispatch(name, opts, *b, *outdir, *trace)
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	var rec *obs.Recorder
+	var logF *os.File
+	if *metrics != "" || *obslog != "" {
+		var logw io.Writer
+		if *obslog != "" {
+			logF, err = os.OpenFile(*obslog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				stopProf()
+				return err
+			}
+			logw = logF
+		}
+		rec = obs.NewRecorder("idlereduce-"+name, nil, logw)
+		ctx = obs.WithRecorder(ctx, rec)
+	}
+
+	runErr := dispatch(ctx, name, opts, *b, *outdir, *trace)
+	if perr := stopProf(); perr != nil && runErr == nil {
+		runErr = perr
+	}
+	if logF != nil {
+		if cerr := logF.Close(); cerr != nil && runErr == nil {
+			runErr = cerr
+		}
+	}
+	if rec != nil && *metrics != "" {
+		if merr := emitMetrics(rec.Snapshot(), *metrics, *metricsFormat); merr != nil && runErr == nil {
+			runErr = merr
+		}
+	}
+	return runErr
+}
+
+// emitMetrics writes the snapshot to path ("-" = stdout) in the chosen
+// format.
+func emitMetrics(snap obs.Snapshot, path, format string) error {
+	write := snap.WriteJSON
+	if format == "prom" {
+		write = snap.WritePrometheus
+	}
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // dispatch runs one experiment (or all) and emits its report to stdout or
-// outdir.
-func dispatch(name string, opts experiments.Options, b float64, outdir, trace string) error {
+// outdir. Each experiment runs under experiments.Timed, so an attached
+// recorder collects per-experiment wall-clock and allocation gauges.
+func dispatch(ctx context.Context, name string, opts experiments.Options, b float64, outdir, trace string) error {
 	var fl *fleet.Fleet
 	ensureFleet := func() error {
 		if fl != nil {
@@ -94,7 +178,7 @@ func dispatch(name string, opts experiments.Options, b float64, outdir, trace st
 			fl = f
 			return nil
 		}
-		f, err := opts.BuildFleet()
+		f, err := opts.BuildFleetContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -107,7 +191,12 @@ func dispatch(name string, opts experiments.Options, b float64, outdir, trace st
 		names = experimentNames
 	}
 	for _, n := range names {
-		out, err := report(n, opts, b, ensureFleet, &fl)
+		var out string
+		err := experiments.Timed(ctx, n, func() error {
+			var rerr error
+			out, rerr = report(n, opts, b, ensureFleet, &fl)
+			return rerr
+		})
 		if err != nil {
 			return fmt.Errorf("%s: %w", n, err)
 		}

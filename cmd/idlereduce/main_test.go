@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -32,7 +33,7 @@ func TestDispatchFastExperiments(t *testing.T) {
 	// Run the cheap experiments end to end (stdout goes to the test log).
 	opts := smallCLI()
 	for _, name := range []string{"fig1", "fig2", "breakeven"} {
-		if err := dispatch(name, opts, 28, "", ""); err != nil {
+		if err := dispatch(context.Background(), name, opts, 28, "", ""); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
@@ -44,7 +45,7 @@ func TestDispatchFleetExperiments(t *testing.T) {
 	}
 	opts := smallCLI()
 	for _, name := range []string{"fig3", "fig4", "table1", "fig5", "fig6", "bsweep", "drivecycle", "verify", "savings", "multislope"} {
-		if err := dispatch(name, opts, 28, "", ""); err != nil {
+		if err := dispatch(context.Background(), name, opts, 28, "", ""); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
@@ -52,7 +53,7 @@ func TestDispatchFleetExperiments(t *testing.T) {
 
 func TestDispatchOutdir(t *testing.T) {
 	dir := t.TempDir()
-	if err := dispatch("breakeven", smallCLI(), 28, dir, ""); err != nil {
+	if err := dispatch(context.Background(), "breakeven", smallCLI(), 28, dir, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(dir + "/breakeven.txt")
@@ -79,10 +80,10 @@ func TestDispatchExternalTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Close()
-	if err := dispatch("fig4", smallCLI(), 28, "", path); err != nil {
+	if err := dispatch(context.Background(), "fig4", smallCLI(), 28, "", path); err != nil {
 		t.Fatalf("fig4 on external trace: %v", err)
 	}
-	if err := dispatch("fig4", smallCLI(), 28, "", "/missing.csv"); err == nil {
+	if err := dispatch(context.Background(), "fig4", smallCLI(), 28, "", "/missing.csv"); err == nil {
 		t.Error("want error for missing trace")
 	}
 }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"idlereduce/internal/obs"
+)
+
+// TestRunMetricsSnapshot runs a cheap experiment with -metrics and
+// checks the snapshot carries the per-experiment wall-clock and
+// allocation gauges.
+func TestRunMetricsSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := run([]string{"-grid", "8", "-metrics", path, "fig1"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := obs.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.RunID != "idlereduce-fig1" {
+		t.Errorf("run id %q", snap.RunID)
+	}
+	gauges := map[string]float64{}
+	for _, g := range snap.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	if _, ok := gauges[`experiment_wall_ms{name="fig1"}`]; !ok {
+		t.Errorf("wall-clock gauge missing; gauges: %v", gauges)
+	}
+	if v := gauges[`experiment_alloc_bytes{name="fig1"}`]; v <= 0 {
+		t.Errorf("alloc gauge %v", v)
+	}
+}
+
+// TestRunMetricsIncludesFleetThroughput checks a fleet-backed experiment
+// publishes the generator's counters.
+func TestRunMetricsIncludesFleetThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet experiment in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := run([]string{"-vehicles", "5", "-metrics", path, "table1"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := obs.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, c := range snap.Counters {
+		names[c.Name] = true
+	}
+	for _, g := range snap.Gauges {
+		names[g.Name] = true
+	}
+	for _, want := range []string{`fleet_stops_total{area="Chicago"}`, "fleet_gen_stops_per_sec"} {
+		if !names[want] {
+			t.Errorf("snapshot missing %q", want)
+		}
+	}
+}
+
+// TestRunMetricsPrometheusFormat checks the prom exposition path.
+func TestRunMetricsPrometheusFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	if err := run([]string{"-grid", "8", "-metrics", path, "-metrics-format", "prom", "fig1"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "# TYPE experiment_wall_ms gauge") {
+		t.Errorf("prometheus exposition missing:\n%s", data)
+	}
+	if err := run([]string{"-metrics-format", "yaml", "fig1"}); err == nil {
+		t.Error("want error for unknown metrics format")
+	}
+}
+
+// TestRunObslogWritesSpans checks the structured log hook.
+func TestRunObslogWritesSpans(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "obs.jsonl")
+	if err := run([]string{"-grid", "8", "-obslog", logPath, "fig1"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"name":"fig1"`) {
+		t.Errorf("obslog missing experiment event:\n%s", data)
+	}
+}
+
+// TestRunProfileFlags checks the pprof hooks produce non-empty files.
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	tr := filepath.Join(dir, "trace.out")
+	if err := run([]string{"-grid", "8", "-cpuprofile", cpu, "-memprofile", mem, "-trace", tr, "fig1"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{cpu, mem, tr} {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+}

@@ -13,11 +13,15 @@
 package adaptive
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand/v2"
+	"time"
 
+	"idlereduce/internal/obs"
 	"idlereduce/internal/skirental"
 )
 
@@ -70,6 +74,9 @@ type Policy struct {
 
 	warm    *skirental.NRand
 	current skirental.Policy // nil until warm
+
+	// rec is the observability sink (nil-safe no-op by default).
+	rec *obs.Recorder
 }
 
 // New builds an adaptive policy.
@@ -78,6 +85,15 @@ func New(cfg Config) (*Policy, error) {
 		return nil, err
 	}
 	return &Policy{cfg: cfg, warm: skirental.NewNRand(cfg.B)}, nil
+}
+
+// Instrument attaches the context's observability sink: every re-tune
+// is counted under adaptive_retune_total and vertex switches are
+// counted per choice and logged as timestamped events. Returns p for
+// chaining; without a recorder in ctx this is a no-op.
+func (p *Policy) Instrument(ctx context.Context) *Policy {
+	p.rec = obs.FromContext(ctx)
+	return p
 }
 
 // Name implements skirental.Policy.
@@ -150,6 +166,7 @@ func (p *Policy) Observe(y float64) error {
 		return nil
 	}
 	s := p.Stats()
+	before := p.Choice()
 	cons, err := skirental.NewConstrained(p.cfg.B, s)
 	if err != nil {
 		// Estimates are always feasible by construction; an error here
@@ -157,6 +174,20 @@ func (p *Policy) Observe(y float64) error {
 		return fmt.Errorf("adaptive: reselect: %w", err)
 	}
 	p.current = cons
+	if p.rec.On() {
+		p.rec.Add("adaptive_retune_total", 1)
+		if after := cons.Choice(); after != before {
+			p.rec.Add(obs.L("adaptive_switch_total", "to", after.String()), 1)
+			p.rec.Set("adaptive_last_switch_stop", float64(p.seen))
+			p.rec.Set("adaptive_last_switch_unix_ms", float64(time.Now().UnixMilli()))
+			p.rec.Event("adaptive.switch",
+				slog.Int("stop", p.seen),
+				slog.String("from", before.String()),
+				slog.String("to", after.String()),
+				slog.Float64("mu_b_minus", s.MuBMinus),
+				slog.Float64("q_b_plus", s.QBPlus))
+		}
+	}
 	return nil
 }
 

@@ -1,9 +1,12 @@
 package adaptive
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand/v2"
+	"time"
 
 	"idlereduce/internal/skirental"
 )
@@ -141,6 +144,15 @@ func NewWithDriftDetection(cfg Config, drift DriftConfig) (*DriftPolicy, error) 
 	return &DriftPolicy{Policy: p, det: det}, nil
 }
 
+// Instrument attaches the context's observability sink to the wrapped
+// policy (CUSUM alarms are counted under adaptive_cusum_alarm_total,
+// with the alarm time exposed as gauges and a structured event).
+// Returns dp for chaining.
+func (dp *DriftPolicy) Instrument(ctx context.Context) *DriftPolicy {
+	dp.Policy.Instrument(ctx)
+	return dp
+}
+
 // Observe records the stop, fires the detector, and resets the estimator
 // on drift.
 func (dp *DriftPolicy) Observe(y float64) error {
@@ -150,12 +162,23 @@ func (dp *DriftPolicy) Observe(y float64) error {
 	capped := math.Min(y, dp.Policy.B())
 	if dp.det.Observe(capped) {
 		dp.Drifts++
+		atStop := dp.Policy.seen
+		rec := dp.Policy.rec
 		// Restart estimation for the new regime.
 		fresh, err := New(dp.Policy.cfg)
 		if err != nil {
 			return err
 		}
 		*dp.Policy = *fresh
+		dp.Policy.rec = rec // the sink survives the regime reset
+		if rec.On() {
+			rec.Add("adaptive_cusum_alarm_total", 1)
+			rec.Set("adaptive_last_alarm_stop", float64(atStop))
+			rec.Set("adaptive_last_alarm_unix_ms", float64(time.Now().UnixMilli()))
+			rec.Event("adaptive.cusum_alarm",
+				slog.Int("stop", atStop),
+				slog.Int("alarms", dp.Drifts))
+		}
 	}
 	return nil
 }

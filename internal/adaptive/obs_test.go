@@ -1,0 +1,79 @@
+package adaptive
+
+import (
+	"context"
+	"testing"
+
+	"idlereduce/internal/obs"
+	"idlereduce/internal/stats"
+)
+
+// TestInstrumentedDriftPolicy runs the CUSUM-resetting policy across a
+// hard regime change and checks the observability trail: re-tunes are
+// counted, the vertex switch is labelled, and the alarm counter fires
+// with its position recorded.
+func TestInstrumentedDriftPolicy(t *testing.T) {
+	rec := obs.NewRecorder("drift", nil, nil)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	dp, err := NewWithDriftDetection(Config{B: 28}, DriftConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.Instrument(ctx)
+
+	rng := stats.NewRNG(8)
+	var stopsSeq []float64
+	for i := 0; i < 400; i++ {
+		stopsSeq = append(stopsSeq, 2+rng.Float64()*8) // short-stop regime
+	}
+	for i := 0; i < 400; i++ {
+		stopsSeq = append(stopsSeq, 300+rng.Float64()*400) // gridlock regime
+	}
+	if _, _, err := dp.Run(stopsSeq, stats.NewRNG(9)); err != nil {
+		t.Fatal(err)
+	}
+	if dp.Drifts == 0 {
+		t.Fatal("regime change did not trip the detector")
+	}
+	reg := rec.Registry()
+	if got := reg.Counter("adaptive_cusum_alarm_total").Value(); got != int64(dp.Drifts) {
+		t.Errorf("alarm counter %d want %d", got, dp.Drifts)
+	}
+	if got := reg.Gauge("adaptive_last_alarm_stop").Value(); got <= 400 {
+		t.Errorf("alarm position %v should be in the second regime", got)
+	}
+	if got := reg.Gauge("adaptive_last_alarm_unix_ms").Value(); got <= 0 {
+		t.Errorf("alarm timestamp %v", got)
+	}
+	if got := reg.Counter("adaptive_retune_total").Value(); got == 0 {
+		t.Error("no re-tunes counted")
+	}
+	// The long-stop regime drives the selector away from its initial
+	// vertex, so at least one switch must have been recorded.
+	snap := reg.Snapshot()
+	switches := int64(0)
+	for _, c := range snap.Counters {
+		if len(c.Name) > len("adaptive_switch_total") && c.Name[:len("adaptive_switch_total")] == "adaptive_switch_total" {
+			switches += c.Value
+		}
+	}
+	if switches == 0 {
+		t.Error("no vertex switches counted")
+	}
+}
+
+// TestUninstrumentedPolicyStillWorks pins that the recorder is optional.
+func TestUninstrumentedPolicyStillWorks(t *testing.T) {
+	p, err := New(Config{B: 28, Warmup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, y := range []float64{5, 10, 40, 3, 100} {
+		if err := p.Observe(y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Seen() != 5 {
+		t.Errorf("seen %d", p.Seen())
+	}
+}

@@ -15,10 +15,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
+	"runtime"
+	"time"
 
 	"idlereduce/internal/costmodel"
 	"idlereduce/internal/fleet"
+	"idlereduce/internal/obs"
 )
 
 // Options tunes experiment sizes. The zero value is replaced by Defaults.
@@ -57,6 +62,13 @@ func (o Options) withDefaults() Options {
 // BuildFleet generates the synthetic NREL-substitute fleet for the
 // options.
 func (o Options) BuildFleet() (*fleet.Fleet, error) {
+	return o.BuildFleetContext(context.Background())
+}
+
+// BuildFleetContext is BuildFleet with an observability sink: when ctx
+// carries an obs.Recorder the generation publishes throughput metrics
+// (see fleet.GenerateFleetContext).
+func (o Options) BuildFleetContext(ctx context.Context) (*fleet.Fleet, error) {
 	o = o.withDefaults()
 	areas := fleet.DefaultAreas()
 	if o.FleetVehicles > 0 {
@@ -64,7 +76,37 @@ func (o Options) BuildFleet() (*fleet.Fleet, error) {
 			areas[i].Vehicles = o.FleetVehicles
 		}
 	}
-	return fleet.GenerateFleet(o.Seed, areas...)
+	return fleet.GenerateFleetContext(ctx, o.Seed, areas...)
+}
+
+// Timed runs one experiment driver under the context's observability
+// sink, publishing its wall clock and allocation footprint
+// (runtime.MemStats deltas) as per-experiment gauges plus a span.
+// Without a recorder in ctx it just calls fn. The MemStats deltas are
+// meaningful for the single-threaded CLI usage they serve; concurrent
+// Timed calls would attribute each other's allocations.
+func Timed(ctx context.Context, name string, fn func() error) error {
+	rec := obs.FromContext(ctx)
+	if !rec.On() {
+		return fn()
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	err := fn()
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	rec.Set(obs.L("experiment_wall_ms", "name", name), float64(wall)/float64(time.Millisecond))
+	rec.Set(obs.L("experiment_alloc_bytes", "name", name), float64(m1.TotalAlloc-m0.TotalAlloc))
+	rec.Set(obs.L("experiment_mallocs", "name", name), float64(m1.Mallocs-m0.Mallocs))
+	rec.Set(obs.L("experiment_gc_cycles", "name", name), float64(m1.NumGC-m0.NumGC))
+	rec.Add("experiment_runs_total", 1)
+	rec.Event("experiment.done",
+		slog.String("name", name),
+		slog.Duration("wall", wall),
+		slog.Uint64("alloc_bytes", m1.TotalAlloc-m0.TotalAlloc),
+		slog.Bool("ok", err == nil))
+	return err
 }
 
 // BreakEvens returns the two break-even intervals of the evaluation:

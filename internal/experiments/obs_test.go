@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"idlereduce/internal/obs"
+)
+
+func TestTimedRecordsWallAndAllocations(t *testing.T) {
+	rec := obs.NewRecorder("exp", nil, nil)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	err := Timed(ctx, "fig1", func() error {
+		// Allocate something measurable.
+		buf := make([][]byte, 64)
+		for i := range buf {
+			buf[i] = make([]byte, 4096)
+		}
+		_ = buf
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := rec.Registry()
+	if got := reg.Gauge(obs.L("experiment_alloc_bytes", "name", "fig1")).Value(); got < 64*4096 {
+		t.Errorf("alloc bytes %v want >= %d", got, 64*4096)
+	}
+	if got := reg.Gauge(obs.L("experiment_wall_ms", "name", "fig1")).Value(); got < 0 {
+		t.Errorf("wall ms %v", got)
+	}
+	if got := reg.Counter("experiment_runs_total").Value(); got != 1 {
+		t.Errorf("runs counter %d", got)
+	}
+}
+
+func TestTimedPropagatesErrorAndNoopWithoutRecorder(t *testing.T) {
+	sentinel := errors.New("boom")
+	if err := Timed(context.Background(), "x", func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("error not propagated: %v", err)
+	}
+	rec := obs.NewRecorder("exp", nil, nil)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	if err := Timed(ctx, "y", func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("error not propagated with recorder: %v", err)
+	}
+}
+
+func TestBuildFleetContextMatchesBuildFleet(t *testing.T) {
+	opts := Options{Seed: 7, FleetVehicles: 3}
+	a, err := opts.BuildFleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder("exp", nil, nil)
+	b, err := opts.BuildFleetContext(obs.WithRecorder(context.Background(), rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Vehicles) != len(b.Vehicles) {
+		t.Fatal("fleet sizes diverge under instrumentation")
+	}
+	if rec.Registry().Counter(obs.L("fleet_vehicles_total", "area", "Chicago")).Value() != 3 {
+		t.Error("per-area vehicle counter missing")
+	}
+}

@@ -18,11 +18,15 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand/v2"
+	"time"
 
 	"idlereduce/internal/dist"
+	"idlereduce/internal/obs"
 )
 
 // Vehicle is one synthetic vehicle's week of driving.
@@ -218,10 +222,25 @@ type Fleet struct {
 // GenerateFleet generates all configured areas with a deterministic
 // PCG stream derived from seed.
 func GenerateFleet(seed uint64, areas ...AreaConfig) (*Fleet, error) {
+	return GenerateFleetContext(context.Background(), seed, areas...)
+}
+
+// GenerateFleetContext is GenerateFleet with an observability sink:
+// when ctx carries an obs.Recorder, per-area vehicle and stop counters
+// and the overall generation throughput (stops/s) are published, plus
+// a fleet.generate span. No-op without a recorder.
+func GenerateFleetContext(ctx context.Context, seed uint64, areas ...AreaConfig) (*Fleet, error) {
 	if len(areas) == 0 {
 		areas = DefaultAreas()
 	}
+	rec := obs.FromContext(ctx)
+	var t0 time.Time
+	if rec.On() {
+		defer rec.StartSpan("fleet.generate", slog.Int("areas", len(areas)))()
+		t0 = time.Now()
+	}
 	f := &Fleet{Seed: seed}
+	totalStops := 0
 	for i, a := range areas {
 		rng := rand.New(rand.NewPCG(seed, uint64(i)*0x9e3779b97f4a7c15+1))
 		vs, err := a.Generate(rng)
@@ -229,6 +248,20 @@ func GenerateFleet(seed uint64, areas ...AreaConfig) (*Fleet, error) {
 			return nil, err
 		}
 		f.Vehicles = append(f.Vehicles, vs...)
+		if rec.On() {
+			areaStops := 0
+			for _, v := range vs {
+				areaStops += len(v.Stops)
+			}
+			totalStops += areaStops
+			rec.Add(obs.L("fleet_vehicles_total", "area", a.Name), int64(len(vs)))
+			rec.Add(obs.L("fleet_stops_total", "area", a.Name), int64(areaStops))
+		}
+	}
+	if rec.On() {
+		if dt := time.Since(t0).Seconds(); dt > 0 {
+			rec.Set("fleet_gen_stops_per_sec", float64(totalStops)/dt)
+		}
 	}
 	return f, nil
 }

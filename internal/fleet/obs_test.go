@@ -1,0 +1,53 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+
+	"idlereduce/internal/obs"
+)
+
+func TestGenerateFleetContextPublishesThroughput(t *testing.T) {
+	rec := obs.NewRecorder("gen", nil, nil)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	small := California
+	small.Vehicles = 5
+	f, err := GenerateFleetContext(ctx, 1, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := rec.Registry()
+	if got := reg.Counter(obs.L("fleet_vehicles_total", "area", "California")).Value(); got != 5 {
+		t.Errorf("vehicle counter %d want 5", got)
+	}
+	wantStops := int64(len(f.AllStops("")))
+	if got := reg.Counter(obs.L("fleet_stops_total", "area", "California")).Value(); got != wantStops {
+		t.Errorf("stop counter %d want %d", got, wantStops)
+	}
+	if got := reg.Gauge("fleet_gen_stops_per_sec").Value(); got <= 0 {
+		t.Errorf("throughput gauge %v", got)
+	}
+	if reg.Histogram(obs.L("span_ms", "span", "fleet.generate")).Count() != 1 {
+		t.Error("fleet.generate span not recorded")
+	}
+
+	// Instrumentation must not perturb generation: same seed, same fleet.
+	plain, err := GenerateFleet(1, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Vehicles) != len(f.Vehicles) {
+		t.Fatal("vehicle counts diverge")
+	}
+	for i := range plain.Vehicles {
+		a, b := plain.Vehicles[i], f.Vehicles[i]
+		if a.ID != b.ID || len(a.Stops) != len(b.Stops) {
+			t.Fatalf("vehicle %d diverged", i)
+		}
+		for j := range a.Stops {
+			if a.Stops[j] != b.Stops[j] {
+				t.Fatalf("vehicle %d stop %d: %v != %v", i, j, a.Stops[j], b.Stops[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Package obs is the repo's zero-dependency observability layer: a
+// concurrency-safe metrics registry (counters, gauges, streaming
+// histograms with quantiles), a run-scoped Recorder that packages reach
+// through a context (no-op by default, so uninstrumented callers pay
+// essentially nothing), structured span/event logging built on
+// log/slog, and pprof/trace profiling hooks for the CLIs.
+//
+// The design mirrors how deployment-oriented ski-rental systems treat
+// per-decision telemetry as the interface between algorithm and
+// operator: every layer (simulator, policy selector, adaptive wrapper,
+// experiment drivers, fleet generator) publishes what it decided and
+// what it cost, and the CLIs expose the aggregate as a JSON or
+// Prometheus-style snapshot.
+//
+// Usage sketch:
+//
+//	reg := obs.NewRegistry()
+//	rec := obs.NewRecorder("replay-1", reg, nil)
+//	ctx := obs.WithRecorder(context.Background(), rec)
+//	... instrumented code calls obs.FromContext(ctx) ...
+//	reg.WriteJSON(os.Stdout)
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// L formats a metric name with label pairs in Prometheus style:
+//
+//	L("sim_stops_total", "policy", "DET") == `sim_stops_total{policy="DET"}`
+//
+// Keys and values are emitted in argument order; an odd trailing key is
+// ignored. Values containing '"' are escaped.
+func L(name string, kv ...string) string {
+	if len(kv) < 2 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

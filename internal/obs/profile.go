@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiles configures the standard Go profiling outputs a CLI can
+// offer. Empty paths disable the corresponding profile.
+type Profiles struct {
+	// CPUFile receives a pprof CPU profile.
+	CPUFile string
+	// MemFile receives a heap profile written at stop (after a GC).
+	MemFile string
+	// TraceFile receives a runtime execution trace.
+	TraceFile string
+}
+
+// AddFlags registers the conventional -cpuprofile, -memprofile and
+// -trace flags on fs.
+func (p *Profiles) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPUFile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.MemFile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&p.TraceFile, "trace", "", "write a runtime execution trace to this file")
+}
+
+// Start begins the configured profiles and returns a closer that stops
+// them and flushes the files. The closer is safe to call when nothing
+// was enabled. On error, anything already started is stopped.
+func (p Profiles) Start() (stop func() error, err error) {
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+	}
+	if p.CPUFile != "" {
+		cpuF, err = os.Create(p.CPUFile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	if p.TraceFile != "" {
+		traceF, err = os.Create(p.TraceFile)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := trace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+	}
+	memFile := p.MemFile
+	return func() error {
+		var firstErr error
+		if traceF != nil {
+			trace.Stop()
+			if err := traceF.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				runtime.GC() // materialize the live heap before writing
+				if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err := f.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		return firstErr
+	}, nil
+}

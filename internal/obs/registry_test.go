@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLFormatting(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{L("plain"), "plain"},
+		{L("m", "k", "v"), `m{k="v"}`},
+		{L("m", "a", "1", "b", "2"), `m{a="1",b="2"}`},
+		{L("m", "dangling"), "m"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter %d want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("counter not memoized")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge %v want 1.5", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	// 1..1000: quantiles should land within the bucket relative error.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	for _, c := range []struct {
+		q, want float64
+	}{{0.5, 500}, {0.9, 900}, {0.99, 990}} {
+		got := h.Quantile(c.q)
+		if rel := math.Abs(got-c.want) / c.want; rel > 0.08 {
+			t.Errorf("p%v = %v want ~%v (rel err %.3f)", c.q*100, got, c.want, rel)
+		}
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v want min 1", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("q1 = %v want max 1000", got)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	h.buckets = map[int]uint64{}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	if h.Count() != 0 {
+		t.Error("non-finite observations must be dropped")
+	}
+	// All-zero observations report 0 at every quantile.
+	for i := 0; i < 10; i++ {
+		h.Observe(0)
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("zero-only p50 = %v", got)
+	}
+	if got := h.Sum(); got != 0 {
+		t.Errorf("sum %v", got)
+	}
+}
+
+// TestRegistryConcurrentWriters hammers one registry from many
+// goroutines; run with -race (the Makefile check target does).
+func TestRegistryConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared_total").Inc()
+				r.Gauge("shared_gauge").Add(1)
+				r.Histogram("shared_hist").Observe(float64(i%100) + 1)
+				if i%100 == 0 {
+					// Exercise create paths concurrently too.
+					r.Counter(L("per_worker_total", "w", string(rune('a'+w)))).Inc()
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != workers*perWorker {
+		t.Errorf("counter %d want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("shared_gauge").Value(); got != workers*perWorker {
+		t.Errorf("gauge %v want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("shared_hist").Count(); got != workers*perWorker {
+		t.Errorf("hist count %d want %d", got, workers*perWorker)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(L("stops_total", "area", "chicago")).Add(7)
+	r.Gauge("cr").Set(1.25)
+	for i := 1; i <= 100; i++ {
+		r.Histogram("cents").Observe(float64(i))
+	}
+	s := r.Snapshot()
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Counters) != 1 || back.Counters[0].Value != 7 {
+		t.Errorf("counters %+v", back.Counters)
+	}
+	if len(back.Histograms) != 1 || back.Histograms[0].Count != 100 {
+		t.Errorf("histograms %+v", back.Histograms)
+	}
+	if back.Histograms[0].P99 < back.Histograms[0].P50 {
+		t.Error("quantiles out of order")
+	}
+}
+
+func TestSnapshotPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(L("stops_total", "area", "chicago")).Add(3)
+	r.Gauge("cr").Set(1.5)
+	r.Histogram("cents").Observe(10)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"# TYPE stops_total counter",
+		`stops_total{area="chicago"} 3`,
+		"# TYPE cr gauge",
+		"cr 1.5",
+		"# TYPE cents summary",
+		`cents{quantile="0.5"}`,
+		"cents_sum 10",
+		"cents_count 1",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("prometheus output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestPrometheusLabelMerging(t *testing.T) {
+	if got := withLabel(`h{a="b"}`, "quantile", "0.5"); got != `h{a="b",quantile="0.5"}` {
+		t.Errorf("withLabel: %q", got)
+	}
+	if got := suffixed(`h{a="b"}`, "_sum"); got != `h_sum{a="b"}` {
+		t.Errorf("suffixed: %q", got)
+	}
+	if got := baseName(`h{a="b"}`); got != "h" {
+		t.Errorf("baseName: %q", got)
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot is a point-in-time export of a registry, the unit the CLIs
+// dump (JSON) and `idlectl stats` renders. Field order is stable and
+// names are sorted, so snapshots diff cleanly across runs.
+type Snapshot struct {
+	// RunID labels the run that produced the snapshot (optional).
+	RunID string `json:"run_id,omitempty"`
+	// TakenAtUnixMs is the wall-clock capture time.
+	TakenAtUnixMs int64 `json:"taken_at_unix_ms"`
+	// Counters, Gauges and Histograms are sorted by name.
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// CounterSnapshot is one counter's value.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's value.
+type GaugeSnapshot struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramSnapshot summarizes one histogram.
+type HistogramSnapshot struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot captures every metric currently in the registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{TakenAtUnixMs: time.Now().UnixMilli()}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+
+	for k, v := range counters {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: k, Value: v.Value()})
+	}
+	for k, v := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: k, Value: v.Value()})
+	}
+	for k, v := range hists {
+		s.Histograms = append(s.Histograms, v.snapshot(k))
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadSnapshot parses a snapshot previously written with WriteJSON.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: decode snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format. Histograms are rendered as summaries (quantile-labelled
+// gauges plus _sum and _count).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", baseName(c.Name), c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %v\n", baseName(g.Name), g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		base := baseName(h.Name)
+		fmt.Fprintf(&b, "# TYPE %s summary\n", base)
+		for _, qv := range []struct {
+			q string
+			v float64
+		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+			fmt.Fprintf(&b, "%s %v\n", withLabel(h.Name, "quantile", qv.q), qv.v)
+		}
+		fmt.Fprintf(&b, "%s %v\n", suffixed(h.Name, "_sum"), h.Sum)
+		fmt.Fprintf(&b, "%s %d\n", suffixed(h.Name, "_count"), h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// baseName strips the label block from a formatted metric name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// withLabel adds one label to a possibly already-labelled name.
+func withLabel(name, key, value string) string {
+	if strings.IndexByte(name, '{') >= 0 {
+		return name[:len(name)-1] + fmt.Sprintf(",%s=%q}", key, value)
+	}
+	return fmt.Sprintf("%s{%s=%q}", name, key, value)
+}
+
+// suffixed appends a suffix to the base name, keeping any label block.
+func suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"time"
+)
+
+// Recorder is the run-scoped sink instrumented packages write to. It
+// bundles a metrics registry with an optional structured event log
+// (log/slog, JSON lines). A nil *Recorder is the no-op sink: every
+// method is nil-receiver-safe, so call sites need no guards and
+// uninstrumented runs pay only a pointer test.
+type Recorder struct {
+	reg   *Registry
+	log   *slog.Logger
+	runID string
+	start time.Time
+}
+
+// NewRecorder builds a recorder for one run. reg nil allocates a fresh
+// registry; logw nil disables structured logging (metrics only).
+func NewRecorder(runID string, reg *Registry, logw io.Writer) *Recorder {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	r := &Recorder{reg: reg, runID: runID, start: time.Now()}
+	if logw != nil {
+		r.log = slog.New(slog.NewJSONHandler(logw, nil)).With(slog.String("run", runID))
+	}
+	return r
+}
+
+// On reports whether the recorder is live. Call sites use it to skip
+// building metric names or attributes on the fast path.
+func (r *Recorder) On() bool { return r != nil }
+
+// Registry returns the underlying registry (nil for the no-op sink).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// RunID returns the run label ("" for the no-op sink).
+func (r *Recorder) RunID() string {
+	if r == nil {
+		return ""
+	}
+	return r.runID
+}
+
+// Snapshot captures the registry state stamped with the recorder's run
+// ID. A nil recorder yields an empty snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	s := r.reg.Snapshot()
+	s.RunID = r.runID
+	return s
+}
+
+// Add increments the named counter.
+func (r *Recorder) Add(name string, n int64) {
+	if r == nil {
+		return
+	}
+	r.reg.Counter(name).Add(n)
+}
+
+// Set stores the named gauge.
+func (r *Recorder) Set(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.reg.Gauge(name).Set(v)
+}
+
+// Observe records one histogram observation.
+func (r *Recorder) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.reg.Histogram(name).Observe(v)
+}
+
+// Event emits a structured log record (with wall-clock timestamp from
+// slog) and counts it under obs_events_total.
+func (r *Recorder) Event(name string, attrs ...slog.Attr) {
+	if r == nil {
+		return
+	}
+	r.reg.Counter(L("obs_events_total", "event", name)).Inc()
+	if r.log != nil {
+		r.log.LogAttrs(context.Background(), slog.LevelInfo, name, attrs...)
+	}
+}
+
+// StartSpan opens a named span and returns its closer. Closing records
+// the duration in the span_ms{span=...} histogram and, when structured
+// logging is enabled, emits one record carrying the duration and the
+// caller's attributes.
+func (r *Recorder) StartSpan(name string, attrs ...slog.Attr) func() {
+	if r == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		r.reg.Histogram(L("span_ms", "span", name)).Observe(float64(d) / float64(time.Millisecond))
+		if r.log != nil {
+			all := append([]slog.Attr{
+				slog.String("span", name),
+				slog.Duration("dur", d),
+			}, attrs...)
+			r.log.LogAttrs(context.Background(), slog.LevelInfo, "span", all...)
+		}
+	}
+}
+
+// ctxKey keys the recorder in a context.
+type ctxKey struct{}
+
+// WithRecorder returns ctx carrying r.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext extracts the recorder from ctx; nil (the no-op sink)
+// when absent, so callers can use the result unconditionally.
+func FromContext(ctx context.Context) *Recorder {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(ctxKey{}).(*Recorder)
+	return r
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNilRecorderIsSafe exercises every Recorder method on the no-op
+// sink: this is the contract that lets instrumented packages skip
+// guards entirely.
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.On() {
+		t.Error("nil recorder reports On")
+	}
+	r.Add("c", 1)
+	r.Set("g", 1)
+	r.Observe("h", 1)
+	r.Event("e")
+	r.StartSpan("s")()
+	if r.Registry() != nil {
+		t.Error("nil recorder registry")
+	}
+	if r.RunID() != "" {
+		t.Error("nil recorder run id")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Error("empty context should yield nil recorder")
+	}
+	if FromContext(nil) != nil { //nolint:staticcheck // nil ctx is part of the contract
+		t.Error("nil context should yield nil recorder")
+	}
+	rec := NewRecorder("t", nil, nil)
+	ctx := WithRecorder(context.Background(), rec)
+	if got := FromContext(ctx); got != rec {
+		t.Error("recorder did not round-trip")
+	}
+	if !rec.On() {
+		t.Error("live recorder reports Off")
+	}
+}
+
+func TestRecorderMetricsAndEvents(t *testing.T) {
+	var logBuf bytes.Buffer
+	rec := NewRecorder("run-42", nil, &logBuf)
+	rec.Add("stops_total", 3)
+	rec.Set("cr", 1.2)
+	rec.Observe("cents", 10)
+	rec.Event("alarm", slog.Int("stop", 7))
+
+	reg := rec.Registry()
+	if got := reg.Counter("stops_total").Value(); got != 3 {
+		t.Errorf("counter %d", got)
+	}
+	if got := reg.Counter(L("obs_events_total", "event", "alarm")).Value(); got != 1 {
+		t.Errorf("event counter %d", got)
+	}
+	// The structured log line is JSON with run id, message and attrs.
+	var line map[string]any
+	if err := json.Unmarshal(logBuf.Bytes(), &line); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, logBuf.String())
+	}
+	if line["run"] != "run-42" || line["msg"] != "alarm" || line["stop"] != float64(7) {
+		t.Errorf("log line %v", line)
+	}
+}
+
+func TestSpanRecordsDurationHistogram(t *testing.T) {
+	var logBuf bytes.Buffer
+	rec := NewRecorder("r", nil, &logBuf)
+	end := rec.StartSpan("simulate", slog.Int("stops", 5))
+	end()
+	h := rec.Registry().Histogram(L("span_ms", "span", "simulate"))
+	if h.Count() != 1 {
+		t.Fatalf("span histogram count %d", h.Count())
+	}
+	if !strings.Contains(logBuf.String(), `"span":"simulate"`) {
+		t.Errorf("span log missing:\n%s", logBuf.String())
+	}
+}
+
+func TestProfilesStartStop(t *testing.T) {
+	dir := t.TempDir()
+	p := Profiles{
+		CPUFile:   filepath.Join(dir, "cpu.pprof"),
+		MemFile:   filepath.Join(dir, "mem.pprof"),
+		TraceFile: filepath.Join(dir, "trace.out"),
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0.0
+	for i := 0; i < 1_000_00; i++ {
+		x += float64(i % 7)
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{p.CPUFile, p.MemFile, p.TraceFile} {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+	// Nothing enabled: Start is a no-op and stop must be callable.
+	stop2, err := Profiles{}.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilesBadPath(t *testing.T) {
+	if _, err := (Profiles{CPUFile: "/nonexistent-dir/x.pprof"}).Start(); err == nil {
+		t.Error("want error for unwritable cpu profile path")
+	}
+}

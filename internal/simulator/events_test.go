@@ -1,0 +1,94 @@
+package simulator
+
+import (
+	"math"
+	"testing"
+
+	"idlereduce/internal/skirental"
+)
+
+// TestEventLogConsistentWithOutcomes replays a run with RecordEvents
+// and checks, stop by stop, that the event log tells the same story as
+// the StopOutcome fields: an idle → engine-off → restart sequence for
+// shut-off stops (with the engine-off timestamp exactly Threshold
+// seconds into the stop), an idle → drive-on sequence otherwise, and
+// globally monotone timestamps.
+func TestEventLogConsistentWithOutcomes(t *testing.T) {
+	const gap = 45.0
+	// DET at B=28: 5 and 20 stay idling, 28 and 200 shut off (y >= x).
+	stops := []float64{5, 28, 200, 20}
+	res, err := Run(Config{
+		Costs:        testCosts,
+		Policy:       skirental.NewDET(28),
+		DriveGapSec:  gap,
+		RecordEvents: true,
+	}, stops, simRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Group events by stop index.
+	byStop := make(map[int][]*Event)
+	prevT := math.Inf(-1)
+	for _, e := range res.Events {
+		if e.T < prevT {
+			t.Fatalf("timestamps not monotone: %v after %v", e.T, prevT)
+		}
+		prevT = e.T
+		byStop[e.Stop] = append(byStop[e.Stop], e)
+	}
+
+	clock := 0.0
+	for i, out := range res.Stops {
+		clock += gap // driving gap precedes each stop
+		evs := byStop[i]
+		if len(evs) == 0 {
+			t.Fatalf("stop %d: no events", i)
+		}
+		if evs[0].Kind != EvStop {
+			t.Errorf("stop %d: first event %v want %v", i, evs[0].Kind, EvStop)
+		}
+		if math.Abs(evs[0].T-clock) > 1e-9 {
+			t.Errorf("stop %d: stop event at %v want %v", i, evs[0].T, clock)
+		}
+		if out.EngineOff {
+			// idle → off → restart: off at Threshold seconds into the
+			// stop (== IdleSec), restart when the stop ends.
+			if len(evs) != 3 || evs[1].Kind != EvEngineOff || evs[2].Kind != EvRestart {
+				t.Fatalf("stop %d: events %v want [stop engine-off restart]", i, kinds(evs))
+			}
+			if math.Abs(out.IdleSec-out.Threshold) > 1e-9 {
+				t.Errorf("stop %d: idle %v != threshold %v", i, out.IdleSec, out.Threshold)
+			}
+			if math.Abs(evs[1].T-(clock+out.Threshold)) > 1e-9 {
+				t.Errorf("stop %d: engine-off at %v want %v", i, evs[1].T, clock+out.Threshold)
+			}
+			if math.Abs(evs[2].T-(clock+out.Length)) > 1e-9 {
+				t.Errorf("stop %d: restart at %v want %v", i, evs[2].T, clock+out.Length)
+			}
+		} else {
+			// idle → drive-on: the whole stop is spent idling.
+			if len(evs) != 2 || evs[1].Kind != EvDriveOn {
+				t.Fatalf("stop %d: events %v want [stop drive-on]", i, kinds(evs))
+			}
+			if math.Abs(out.IdleSec-out.Length) > 1e-9 {
+				t.Errorf("stop %d: idle %v != length %v", i, out.IdleSec, out.Length)
+			}
+			if math.Abs(evs[1].T-(clock+out.Length)) > 1e-9 {
+				t.Errorf("stop %d: drive-on at %v want %v", i, evs[1].T, clock+out.Length)
+			}
+		}
+		clock += out.Length
+	}
+	if math.Abs(res.DurationSec-clock) > 1e-9 {
+		t.Errorf("duration %v want %v", res.DurationSec, clock)
+	}
+}
+
+func kinds(evs []*Event) []EventKind {
+	out := make([]EventKind, len(evs))
+	for i, e := range evs {
+		out[i] = e.Kind
+	}
+	return out
+}

@@ -1,13 +1,16 @@
 package simulator
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand/v2"
 
 	"idlereduce/internal/costmodel"
 	"idlereduce/internal/numeric"
+	"idlereduce/internal/obs"
 	"idlereduce/internal/skirental"
 )
 
@@ -101,8 +104,23 @@ func (r *Result) FuelSavedCentsVsNEV(c Config) float64 {
 // Run simulates the policy over the stop sequence. Randomized policies
 // draw one threshold per stop from rng.
 func Run(cfg Config, stops []float64, rng *rand.Rand) (*Result, error) {
+	return RunContext(context.Background(), cfg, stops, rng)
+}
+
+// RunContext is Run with an observability sink: when ctx carries an
+// obs.Recorder the run publishes per-stop outcomes (online/offline
+// cents, idle time and drawn thresholds as histograms), engine
+// transition counters, and a simulator.run span. Without a recorder
+// the instrumentation reduces to a nil check per stop.
+func RunContext(ctx context.Context, cfg Config, stops []float64, rng *rand.Rand) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	rec := obs.FromContext(ctx)
+	if rec.On() {
+		defer rec.StartSpan("simulator.run",
+			slog.String("policy", cfg.Policy.Name()),
+			slog.Int("stops", len(stops)))()
 	}
 	gap := cfg.DriveGapSec
 	if gap == 0 {
@@ -165,12 +183,48 @@ func Run(cfg Config, stops []float64, rng *rand.Rand) (*Result, error) {
 		offline.Add(out.OfflineCents)
 		res.IdleSec += out.IdleSec
 		res.Stops = append(res.Stops, out)
+		if rec.On() {
+			recordStop(rec, out)
+		}
 	}
 	res.OnlineCents = online.Sum()
 	res.OfflineCents = offline.Sum()
 	res.DurationSec = eng.clock
 	res.Events = eng.events
+	if rec.On() {
+		recordRun(rec, res)
+	}
 	return res, nil
+}
+
+// recordStop publishes one stop's outcome to the sink.
+func recordStop(rec *obs.Recorder, out StopOutcome) {
+	rec.Add("sim_stops_total", 1)
+	if out.EngineOff {
+		rec.Add("sim_engine_off_total", 1)
+	} else {
+		rec.Add("sim_drive_on_idling_total", 1)
+	}
+	rec.Observe("sim_stop_len_sec", out.Length)
+	rec.Observe("sim_threshold_sec", out.Threshold)
+	rec.Observe("sim_idle_sec", out.IdleSec)
+	rec.Observe("sim_online_cents", out.OnlineCents)
+	rec.Observe("sim_offline_cents", out.OfflineCents)
+}
+
+// recordRun publishes run totals and the engine transition counts. The
+// transition counts are derivable from the state machine's structure
+// (every stop is Driving -> Idling, every shut-off is followed by a
+// restart), so they stay correct whether or not the event log is on.
+func recordRun(rec *obs.Recorder, res *Result) {
+	n := int64(len(res.Stops))
+	restarts := int64(res.Restarts)
+	rec.Add(obs.L("sim_transition_total", "kind", EvStop.String()), n)
+	rec.Add(obs.L("sim_transition_total", "kind", EvEngineOff.String()), restarts)
+	rec.Add(obs.L("sim_transition_total", "kind", EvRestart.String()), restarts)
+	rec.Add(obs.L("sim_transition_total", "kind", EvDriveOn.String()), n-restarts)
+	rec.Set("sim_last_run_cr", res.CR())
+	rec.Set("sim_last_run_duration_sec", res.DurationSec)
 }
 
 // CompareOnTrace runs several policies on the same stop sequence with

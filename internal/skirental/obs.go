@@ -1,0 +1,76 @@
+package skirental
+
+import (
+	"context"
+	"log/slog"
+	"math/rand/v2"
+
+	"idlereduce/internal/obs"
+)
+
+// Selector is the common read surface of the constrained selectors
+// (point-estimate and robust): which vertex they picked and the CR
+// bound they guarantee.
+type Selector interface {
+	Policy
+	Choice() Choice
+	WorstCaseCR() float64
+}
+
+// RecordSelection publishes a selector's decision to the context's
+// observability sink: the picked vertex as a labelled counter, the
+// worst-case CR bound as a gauge, and a structured selection event.
+// No-op without a recorder in ctx.
+func RecordSelection(ctx context.Context, sel Selector) {
+	rec := obs.FromContext(ctx)
+	if !rec.On() {
+		return
+	}
+	choice := sel.Choice().String()
+	rec.Add(obs.L("skirental_selection_total", "choice", choice), 1)
+	rec.Set("skirental_worst_case_cr", sel.WorstCaseCR())
+	if c, ok := sel.(*Constrained); ok {
+		s := c.Stats()
+		rec.Set("skirental_stats_mu_b_minus_sec", s.MuBMinus)
+		rec.Set("skirental_stats_q_b_plus", s.QBPlus)
+	}
+	rec.Event("skirental.select",
+		slog.String("policy", sel.Name()),
+		slog.String("choice", choice),
+		slog.Float64("b", sel.B()),
+		slog.Float64("worst_case_cr", sel.WorstCaseCR()))
+}
+
+// Instrument wraps pol so every threshold draw is observed in the
+// skirental_threshold_sec{policy=...} histogram — the distribution a
+// randomized policy realizes, which no summary statistic shows. When
+// ctx carries no recorder the policy is returned unwrapped, so the hot
+// path keeps its devirtualized dispatch.
+func Instrument(ctx context.Context, pol Policy) Policy {
+	rec := obs.FromContext(ctx)
+	if !rec.On() {
+		return pol
+	}
+	return &instrumentedPolicy{
+		Policy: pol,
+		rec:    rec,
+		metric: obs.L("skirental_threshold_sec", "policy", pol.Name()),
+	}
+}
+
+// instrumentedPolicy delegates to the wrapped policy, observing draws.
+type instrumentedPolicy struct {
+	Policy
+	rec    *obs.Recorder
+	metric string
+}
+
+// Threshold implements Policy, recording the drawn threshold.
+func (p *instrumentedPolicy) Threshold(rng *rand.Rand) float64 {
+	x := p.Policy.Threshold(rng)
+	p.rec.Observe(p.metric, x)
+	return x
+}
+
+// Unwrap returns the uninstrumented policy.
+func (p *instrumentedPolicy) Unwrap() Policy { return p.Policy }

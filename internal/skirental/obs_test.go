@@ -1,0 +1,64 @@
+package skirental
+
+import (
+	"context"
+	"testing"
+
+	"idlereduce/internal/obs"
+	"idlereduce/internal/stats"
+)
+
+func TestRecordSelection(t *testing.T) {
+	rec := obs.NewRecorder("t", nil, nil)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	c, err := NewConstrained(28, Stats{MuBMinus: 8, QBPlus: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	RecordSelection(ctx, c)
+	reg := rec.Registry()
+	label := obs.L("skirental_selection_total", "choice", c.Choice().String())
+	if got := reg.Counter(label).Value(); got != 1 {
+		t.Errorf("%s = %d want 1", label, got)
+	}
+	if got := reg.Gauge("skirental_worst_case_cr").Value(); got != c.WorstCaseCR() {
+		t.Errorf("worst-case CR gauge %v want %v", got, c.WorstCaseCR())
+	}
+	if got := reg.Gauge("skirental_stats_q_b_plus").Value(); got != 0.2 {
+		t.Errorf("q gauge %v", got)
+	}
+	// Without a recorder: must be a no-op, not a panic.
+	RecordSelection(context.Background(), c)
+}
+
+func TestInstrumentObservesDraws(t *testing.T) {
+	rec := obs.NewRecorder("t", nil, nil)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	pol := Instrument(ctx, NewNRand(28))
+	rng := stats.NewRNG(3)
+	const draws = 500
+	for i := 0; i < draws; i++ {
+		x := pol.Threshold(rng)
+		if x < 0 || x > 28 {
+			t.Fatalf("N-Rand threshold %v out of [0, B]", x)
+		}
+	}
+	h := rec.Registry().Histogram(obs.L("skirental_threshold_sec", "policy", "N-Rand"))
+	if h.Count() != draws {
+		t.Errorf("histogram count %d want %d", h.Count(), draws)
+	}
+	if p99 := h.Quantile(0.99); p99 > 28*1.05 {
+		t.Errorf("p99 draw %v exceeds B", p99)
+	}
+	// Unwrapping recovers the original policy.
+	if u, ok := pol.(interface{ Unwrap() Policy }); !ok || u.Unwrap().Name() != "N-Rand" {
+		t.Error("instrumented policy does not unwrap")
+	}
+}
+
+func TestInstrumentWithoutRecorderReturnsOriginal(t *testing.T) {
+	p := NewDET(28)
+	if got := Instrument(context.Background(), p); got != Policy(p) {
+		t.Error("uninstrumented context must return the policy unwrapped")
+	}
+}
