@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-metrics clean
+.PHONY: check build vet test race bench bench-metrics bench-parallel clean
 
 ## check: the full pre-commit gate — vet, build, and the race-enabled
 ## test suite (includes the internal/obs concurrent-writer tests).
@@ -34,6 +34,13 @@ bench-metrics:
 	IDLEREDUCE_BENCH_METRICS=$(CURDIR)/bench-metrics.json \
 		$(GO) test -bench 'BenchmarkSimulatorObs' -run '^$$' .
 	@echo wrote bench-metrics.json
+
+## bench-parallel: the serial-vs-pooled pairs over the engine's fan-out
+## sites (fleet generation, grid fill, fleet evaluation, traffic sweep);
+## compare each <name>/serial line against <name>/pool (see
+## docs/PARALLELISM.md).
+bench-parallel:
+	$(GO) test -bench 'BenchmarkParallel' -benchmem -run '^$$' .
 
 clean:
 	rm -f bench-metrics.json cpu.pprof mem.pprof trace.out

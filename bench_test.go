@@ -159,6 +159,115 @@ func BenchmarkAppendixCBreakEven(b *testing.B) {
 	b.ReportMetric(ssv, "ssvBreakEvenSec")
 }
 
+// --- Parallel engine: serial vs pooled pairs ---
+//
+// Each pair runs the same fan-out with workers=1 and workers=GOMAXPROCS
+// through the internal/parallel engine, so `make bench-parallel` reports
+// the pool's speedup (or, on single-core machines, its overhead) on real
+// workloads. The outputs are identical by construction — only the wall
+// clock moves.
+
+// BenchmarkParallelFleetGen generates the benchmark fleet serially and
+// with the default pool.
+func BenchmarkParallelFleetGen(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"pool", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			areas := fleet.DefaultAreas()
+			for i := range areas {
+				areas[i].Vehicles = 40
+			}
+			var n int
+			for i := 0; i < b.N; i++ {
+				f, err := fleet.GenerateFleetWorkers(context.Background(), 20140601, bc.workers, areas...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = len(f.Vehicles)
+			}
+			b.ReportMetric(float64(n), "vehicles")
+		})
+	}
+}
+
+// BenchmarkParallelSurface fills the Figure 1 statistics grid serially
+// and with the default pool.
+func BenchmarkParallelSurface(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"pool", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			var feasible int
+			for i := 0; i < b.N; i++ {
+				cells, err := analysis.StrategyRegionsContext(context.Background(), 28, 120, 120, bc.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				feasible = 0
+				for _, c := range cells {
+					if c.Feasible {
+						feasible++
+					}
+				}
+			}
+			b.ReportMetric(float64(feasible), "feasibleCells")
+		})
+	}
+}
+
+// BenchmarkParallelFleetEval evaluates the Figure 4 per-vehicle CRs
+// serially and with the default pool.
+func BenchmarkParallelFleetEval(b *testing.B) {
+	f := benchFleet(b)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"pool", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				ev, err := analysis.EvaluateFleetContext(context.Background(), 28, f, bc.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				frac = float64(ev.ProposedBestTotal) / float64(len(ev.Vehicles))
+			}
+			b.ReportMetric(frac*100, "%best")
+		})
+	}
+}
+
+// BenchmarkParallelTrafficSweep runs the Figures 5-6 sweep serially and
+// with the default pool.
+func BenchmarkParallelTrafficSweep(b *testing.B) {
+	shape := fleet.Chicago.StopLengthDistribution()
+	means := analysis.SweepMeans(2, 600, 24)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"pool", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				pts, err := analysis.TrafficSweepContext(context.Background(), 28, shape, means, bc.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				worst = 0
+				for _, p := range pts {
+					if p.Proposed > worst {
+						worst = p.Proposed
+					}
+				}
+			}
+			b.ReportMetric(worst, "proposedWorstCR")
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md §4) ---
 
 // BenchmarkAblationBDetOff quantifies what the b-DET vertex buys: the

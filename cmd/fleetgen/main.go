@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	fleetgen [-seed N] [-vehicles N] [-format csv|json] [-o FILE]
+//	fleetgen [-seed N] [-vehicles N] [-workers N] [-format csv|json] [-o FILE]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 
 	"idlereduce/internal/experiments"
 	"idlereduce/internal/fleet"
+	"idlereduce/internal/parallel"
 )
 
 func main() {
@@ -27,6 +29,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("fleetgen", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 0, "generator seed (0 = default)")
 	vehicles := fs.Int("vehicles", 0, "vehicles per area (0 = paper counts 217/312/653)")
+	workers := fs.Int("workers", 0, "parallel worker pool size (0 = GOMAXPROCS); output is identical for every value")
 	format := fs.String("format", "csv", "output format: csv or json")
 	outPath := fs.String("o", "", "output file (default stdout)")
 	configPath := fs.String("config", "", "JSON file of custom area configs (default: the three paper areas)")
@@ -37,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	parallel.SetDefaultWorkers(*workers)
 
 	if *template {
 		return fleet.WriteAreaConfigs(stdout, fleet.DefaultAreas())
@@ -59,12 +63,12 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 		opts := experiments.Options{Seed: *seed}
-		f, err = fleet.GenerateFleet(opts.ResolvedSeed(), areas...)
+		f, err = fleet.GenerateFleetWorkers(context.Background(), opts.ResolvedSeed(), *workers, areas...)
 		if err != nil {
 			return err
 		}
 	} else {
-		opts := experiments.Options{Seed: *seed, FleetVehicles: *vehicles}
+		opts := experiments.Options{Seed: *seed, FleetVehicles: *vehicles, Workers: *workers}
 		var err error
 		f, err = opts.BuildFleet()
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"idlereduce/internal/fleet"
+	"idlereduce/internal/parallel"
 )
 
 func TestRunCSV(t *testing.T) {
@@ -34,6 +35,23 @@ func TestRunJSON(t *testing.T) {
 	}
 	if len(f.Vehicles) != 6 {
 		t.Errorf("vehicles %d", len(f.Vehicles))
+	}
+}
+
+func TestRunWorkersDeterministic(t *testing.T) {
+	defer parallel.SetDefaultWorkers(0)
+	var serial, wide bytes.Buffer
+	if err := run([]string{"-vehicles", "8", "-seed", "3", "-workers", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-vehicles", "8", "-seed", "3", "-workers", "8"}, &wide); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != wide.String() {
+		t.Error("fleet CSV differs between -workers 1 and -workers 8")
+	}
+	if serial.Len() == 0 {
+		t.Error("empty fleet CSV")
 	}
 }
 

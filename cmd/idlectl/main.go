@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	idlectl [-cpuprofile f] [-memprofile f] [-trace f] <command> [flags]
+//	idlectl [-cpuprofile f] [-memprofile f] [-trace f] [-workers N] <command> [flags]
 //
 //	idlectl tune  -b 28 [-robust] [-conf 0.95] [-stops trace.txt] [-o policy.json]
 //	idlectl show  -policy policy.json
@@ -38,6 +38,7 @@ import (
 	"idlereduce/internal/costmodel"
 	"idlereduce/internal/drivecycle"
 	"idlereduce/internal/obs"
+	"idlereduce/internal/parallel"
 	"idlereduce/internal/simulator"
 	"idlereduce/internal/skirental"
 	"idlereduce/internal/stats"
@@ -51,10 +52,11 @@ func main() {
 	}
 }
 
-const usage = "usage: idlectl [-cpuprofile f] [-memprofile f] [-trace f] <tune|show|replay|synth|stats> [flags]"
+const usage = "usage: idlectl [-cpuprofile f] [-memprofile f] [-trace f] [-workers N] <tune|show|replay|synth|stats> [flags]"
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	gfs := flag.NewFlagSet("idlectl", flag.ContinueOnError)
+	workers := gfs.Int("workers", 0, "parallel worker pool size for library fan-outs (0 = GOMAXPROCS)")
 	var prof obs.Profiles
 	prof.AddFlags(gfs)
 	gfs.Usage = func() {
@@ -68,6 +70,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if len(rest) < 1 {
 		return fmt.Errorf(usage)
 	}
+	parallel.SetDefaultWorkers(*workers)
 	stopProf, err := prof.Start()
 	if err != nil {
 		return err

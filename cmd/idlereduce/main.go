@@ -14,6 +14,8 @@
 //	-grid N       Figure 1 grid resolution (default 60)
 //	-points N     Figures 5-6 sweep points (default 30)
 //	-b SECONDS    break-even interval for fig1/fig2/drivecycle/verify (default 28)
+//	-workers N    parallel worker pool size (0 = GOMAXPROCS); results are
+//	              identical for every value (see docs/PARALLELISM.md)
 //	-outdir DIR   write each report to DIR/<experiment>.txt instead of stdout
 //
 // Observability flags (see docs/OBSERVABILITY.md):
@@ -40,6 +42,7 @@ import (
 	"idlereduce/internal/experiments"
 	"idlereduce/internal/fleet"
 	"idlereduce/internal/obs"
+	"idlereduce/internal/parallel"
 )
 
 // experimentNames lists the experiments `all` runs, in order.
@@ -62,6 +65,7 @@ func run(args []string) error {
 	grid := fs.Int("grid", 0, "figure 1 grid resolution")
 	points := fs.Int("points", 0, "figures 5-6 sweep points")
 	b := fs.Float64("b", 28, "break-even interval (s) for fig1/fig2/drivecycle/verify")
+	workers := fs.Int("workers", 0, "parallel worker pool size (0 = GOMAXPROCS); output is identical for every value")
 	outdir := fs.String("outdir", "", "write reports to this directory instead of stdout")
 	trace := fs.String("trace-csv", "", "run fleet experiments on this CSV trace (fleetgen format) instead of synthetic data")
 	metrics := fs.String("metrics", "", `write a metrics registry snapshot here after the run ("-" = stdout)`)
@@ -88,7 +92,9 @@ func run(args []string) error {
 		FleetVehicles: *vehicles,
 		GridN:         *grid,
 		SweepPoints:   *points,
+		Workers:       *workers,
 	}
+	parallel.SetDefaultWorkers(*workers)
 	name := strings.ToLower(fs.Arg(0))
 
 	stopProf, err := prof.Start()
@@ -194,7 +200,7 @@ func dispatch(ctx context.Context, name string, opts experiments.Options, b floa
 		var out string
 		err := experiments.Timed(ctx, n, func() error {
 			var rerr error
-			out, rerr = report(n, opts, b, ensureFleet, &fl)
+			out, rerr = report(ctx, n, opts, b, ensureFleet, &fl)
 			return rerr
 		})
 		if err != nil {
@@ -210,8 +216,10 @@ func dispatch(ctx context.Context, name string, opts experiments.Options, b floa
 	return nil
 }
 
-// report produces one experiment's text.
-func report(name string, opts experiments.Options, b float64, ensureFleet func() error, fl **fleet.Fleet) (string, error) {
+// report produces one experiment's text. The context carries the
+// observability recorder (if any) into the parallel fan-outs, so pool
+// metrics land in the snapshot.
+func report(ctx context.Context, name string, opts experiments.Options, b float64, ensureFleet func() error, fl **fleet.Fleet) (string, error) {
 	needFleet := map[string]bool{"fig3": true, "fig4": true, "table1": true, "ablations": true, "savings": true, "multislope": true}
 	if needFleet[name] {
 		if err := ensureFleet(); err != nil {
@@ -220,28 +228,28 @@ func report(name string, opts experiments.Options, b float64, ensureFleet func()
 	}
 	switch name {
 	case "fig1":
-		_, out := experiments.Fig1(opts, b)
-		return out, nil
+		_, out, err := experiments.Fig1Context(ctx, opts, b)
+		return out, err
 	case "fig2":
-		_, out := experiments.Fig2(opts, b)
-		return out, nil
+		_, out, err := experiments.Fig2Context(ctx, opts, b)
+		return out, err
 	case "fig3":
 		_, out, err := experiments.Fig3(opts, *fl)
 		return out, err
 	case "fig4":
-		_, out, err := experiments.Fig4(opts, *fl)
+		_, out, err := experiments.Fig4Context(ctx, opts, *fl)
 		return out, err
 	case "fig5":
-		_, out, err := experiments.Fig5(opts)
+		_, out, err := experiments.Fig5Context(ctx, opts)
 		return out, err
 	case "fig6":
-		_, out, err := experiments.Fig6(opts)
+		_, out, err := experiments.Fig6Context(ctx, opts)
 		return out, err
 	case "table1":
 		_, out, err := experiments.Table1(opts, *fl)
 		return out, err
 	case "bsweep":
-		_, out, err := experiments.BSweep(opts)
+		_, out, err := experiments.BSweepContext(ctx, opts)
 		return out, err
 	case "drivecycle":
 		_, out, err := experiments.DriveCycle(opts, b)

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"idlereduce/internal/parallel"
+)
+
+// TestWorkersFlagDeterministic runs the same experiments through the full
+// CLI with -workers 1 and -workers 8 and requires byte-identical report
+// files: the user-facing statement of the engine's determinism contract.
+func TestWorkersFlagDeterministic(t *testing.T) {
+	defer parallel.SetDefaultWorkers(0)
+	for _, exp := range []string{"fig1", "fig4", "bsweep"} {
+		dirSerial := t.TempDir()
+		dirWide := t.TempDir()
+		args := []string{"-seed", "5", "-vehicles", "6", "-grid", "10", "-points", "6"}
+		if err := run(append(args, "-workers", "1", "-outdir", dirSerial, exp)); err != nil {
+			t.Fatalf("%s workers=1: %v", exp, err)
+		}
+		if err := run(append(args, "-workers", "8", "-outdir", dirWide, exp)); err != nil {
+			t.Fatalf("%s workers=8: %v", exp, err)
+		}
+		a, err := os.ReadFile(filepath.Join(dirSerial, exp+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirWide, exp+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s: report differs between -workers 1 and -workers 8", exp)
+		}
+	}
+}

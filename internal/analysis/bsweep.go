@@ -1,9 +1,11 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 
 	"idlereduce/internal/dist"
+	"idlereduce/internal/parallel"
 	"idlereduce/internal/skirental"
 )
 
@@ -27,37 +29,46 @@ type BreakEvenPoint struct {
 // so a deployment must know how the strategy and its CR move with B.
 // The traffic distribution is held fixed while B varies.
 func BreakEvenSweep(traffic dist.Distribution, bs []float64) ([]BreakEvenPoint, error) {
-	pts := make([]BreakEvenPoint, 0, len(bs))
-	for _, b := range bs {
-		if b <= 0 {
-			return nil, fmt.Errorf("analysis: break-even %v must be positive", b)
-		}
-		s := skirental.StatsOf(traffic, b)
-		if err := s.Validate(b); err != nil {
-			// Clamp quadrature overshoot exactly as TrafficSweep does.
-			if s.MuBMinus > b*(1-s.QBPlus) {
-				s.MuBMinus = b * (1 - s.QBPlus)
+	return BreakEvenSweepContext(context.Background(), traffic, bs, 0)
+}
+
+// BreakEvenSweepContext is BreakEvenSweep on the parallel engine: each
+// break-even value is an independent work item (the dominant cost is the
+// per-B quadrature inside StatsOf) and results are merged in input
+// order, so the sweep is invariant to the worker count (workers <= 0
+// means the engine default).
+func BreakEvenSweepContext(ctx context.Context, traffic dist.Distribution, bs []float64, workers int) ([]BreakEvenPoint, error) {
+	return parallel.Map(ctx, "analysis.bsweep", len(bs), workers,
+		func(_ context.Context, k int) (BreakEvenPoint, error) {
+			b := bs[k]
+			if b <= 0 {
+				return BreakEvenPoint{}, fmt.Errorf("analysis: break-even %v must be positive", b)
 			}
+			s := skirental.StatsOf(traffic, b)
 			if err := s.Validate(b); err != nil {
-				return nil, err
+				// Clamp quadrature overshoot exactly as TrafficSweep does.
+				if s.MuBMinus > b*(1-s.QBPlus) {
+					s.MuBMinus = b * (1 - s.QBPlus)
+				}
+				if err := s.Validate(b); err != nil {
+					return BreakEvenPoint{}, err
+				}
 			}
-		}
-		cr, err := skirental.WorstCaseCRForStats(b, s)
-		if err != nil {
-			return nil, err
-		}
-		choice, _ := skirental.ComputeVertexCosts(b, s).Select()
-		pt := BreakEvenPoint{
-			B:         b,
-			Stats:     s,
-			Proposed:  cr,
-			Choice:    choice,
-			Baselines: map[string]float64{},
-		}
-		for _, name := range []string{"N-Rand", "TOI", "DET", "b-DET", "MOM-Rand"} {
-			pt.Baselines[name] = skirental.BaselineWorstCaseCR(name, b, s)
-		}
-		pts = append(pts, pt)
-	}
-	return pts, nil
+			cr, err := skirental.WorstCaseCRForStats(b, s)
+			if err != nil {
+				return BreakEvenPoint{}, err
+			}
+			choice, _ := skirental.ComputeVertexCosts(b, s).Select()
+			pt := BreakEvenPoint{
+				B:         b,
+				Stats:     s,
+				Proposed:  cr,
+				Choice:    choice,
+				Baselines: map[string]float64{},
+			}
+			for _, name := range []string{"N-Rand", "TOI", "DET", "b-DET", "MOM-Rand"} {
+				pt.Baselines[name] = skirental.BaselineWorstCaseCR(name, b, s)
+			}
+			return pt, nil
+		})
 }

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"idlereduce/internal/fleet"
+	"idlereduce/internal/numeric"
+)
+
+// workerCounts is the matrix the ISSUE's acceptance criteria name: the
+// serial baseline plus two genuinely concurrent pools.
+var workerCounts = []int{1, 4, 8}
+
+func TestStrategyRegionsDeterministicAcrossWorkers(t *testing.T) {
+	base, err := StrategyRegionsContext(context.Background(), 28, 25, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts[1:] {
+		got, err := StrategyRegionsContext(context.Background(), 28, 25, 25, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: strategy-region grid differs from serial fill", w)
+		}
+	}
+	// And the context-free wrapper must agree with the serial fill too.
+	if got := StrategyRegions(28, 25, 25); !reflect.DeepEqual(base, got) {
+		t.Error("StrategyRegions wrapper differs from serial fill")
+	}
+}
+
+func TestProjectionCurvesDeterministicAcrossWorkers(t *testing.T) {
+	base, err := ProjectionCurvesContext(context.Background(), 28, 0.05, 1, 80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) == 0 {
+		t.Fatal("no projection points")
+	}
+	for _, w := range workerCounts[1:] {
+		got, err := ProjectionCurvesContext(context.Background(), 28, 0.05, 1, 80, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: projection slice differs from serial fill", w)
+		}
+	}
+}
+
+func TestTrafficSweepDeterministicAcrossWorkers(t *testing.T) {
+	shape := fleet.Chicago.StopLengthDistribution()
+	means := SweepMeans(2, 600, 12)
+	base, err := TrafficSweepContext(context.Background(), 28, shape, means, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts[1:] {
+		got, err := TrafficSweepContext(context.Background(), 28, shape, means, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: traffic sweep differs from serial run", w)
+		}
+	}
+}
+
+func TestBreakEvenSweepDeterministicAcrossWorkers(t *testing.T) {
+	traffic := fleet.Chicago.StopLengthDistribution()
+	bs := numeric.Linspace(10, 150, 15)
+	base, err := BreakEvenSweepContext(context.Background(), traffic, bs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts[1:] {
+		got, err := BreakEvenSweepContext(context.Background(), traffic, bs, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: break-even sweep differs from serial run", w)
+		}
+	}
+}
+
+func TestEvaluateFleetDeterministicAcrossWorkers(t *testing.T) {
+	for _, seed := range []uint64{1, 20140601, 7} {
+		f, err := fleet.GenerateFleet(seed,
+			smallFleetArea(fleet.California, 8),
+			smallFleetArea(fleet.Chicago, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := EvaluateFleetContext(context.Background(), 28, f, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts[1:] {
+			got, err := EvaluateFleetContext(context.Background(), 28, f, w)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, w, err)
+			}
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("seed %d: workers %d fleet evaluation differs from serial run", seed, w)
+			}
+		}
+	}
+}
+
+func TestEvaluateFleetContextCancellation(t *testing.T) {
+	f, err := fleet.GenerateFleet(3, smallFleetArea(fleet.California, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EvaluateFleetContext(ctx, 28, f, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func smallFleetArea(base fleet.AreaConfig, n int) fleet.AreaConfig {
+	base.Vehicles = n
+	return base
+}

@@ -1,10 +1,12 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"idlereduce/internal/fleet"
+	"idlereduce/internal/parallel"
 	"idlereduce/internal/skirental"
 	"idlereduce/internal/stats"
 )
@@ -84,15 +86,27 @@ type FleetEvaluation struct {
 
 // EvaluateFleet runs the Figure 4 experiment for break-even b.
 func EvaluateFleet(b float64, f *fleet.Fleet) (*FleetEvaluation, error) {
+	return EvaluateFleetContext(context.Background(), b, f, 0)
+}
+
+// EvaluateFleetContext is EvaluateFleet on the parallel engine: the
+// per-vehicle evaluations (analytic, independent, RNG-free) fan out
+// over a bounded pool (workers <= 0 means the engine default) and the
+// per-area aggregation runs serially over the results in fleet order,
+// so the evaluation is identical for every worker count.
+func EvaluateFleetContext(ctx context.Context, b float64, f *fleet.Fleet, workers int) (*FleetEvaluation, error) {
 	ev := &FleetEvaluation{B: b}
+	vcrs, err := parallel.Map(ctx, "analysis.fleetcr", len(f.Vehicles), workers,
+		func(_ context.Context, i int) (VehicleCR, error) {
+			return EvaluateVehicle(b, f.Vehicles[i])
+		})
+	if err != nil {
+		return nil, err
+	}
 	perArea := map[string][]VehicleCR{}
-	for _, v := range f.Vehicles {
-		vcr, err := EvaluateVehicle(b, v)
-		if err != nil {
-			return nil, err
-		}
+	for i, vcr := range vcrs {
 		ev.Vehicles = append(ev.Vehicles, vcr)
-		perArea[v.Area] = append(perArea[v.Area], vcr)
+		perArea[f.Vehicles[i].Area] = append(perArea[f.Vehicles[i].Area], vcr)
 		if proposedIsBest(vcr) {
 			ev.ProposedBestTotal++
 		}

@@ -1,6 +1,9 @@
 package analysis
 
 import (
+	"context"
+
+	"idlereduce/internal/parallel"
 	"idlereduce/internal/skirental"
 )
 
@@ -22,16 +25,34 @@ type RegionCell struct {
 // StrategyRegions evaluates the proposed algorithm over an
 // (nMu+1)×(nQ+1) grid of normalized statistics, reproducing Figure 1.
 func StrategyRegions(b float64, nMu, nQ int) []RegionCell {
+	cells, err := StrategyRegionsContext(context.Background(), b, nMu, nQ, 0)
+	if err != nil {
+		// Unreachable with a background context: cell evaluation itself
+		// never errors, so only cancellation (or a panic, re-wrapped by
+		// the engine) can surface here.
+		panic(err)
+	}
+	return cells
+}
+
+// StrategyRegionsContext is StrategyRegions on the parallel engine: the
+// grid is filled cell-by-cell by a bounded worker pool (workers <= 0
+// means the engine default) and merged in row-major input order, so the
+// result is identical for every worker count. The only error source is
+// ctx cancellation.
+func StrategyRegionsContext(ctx context.Context, b float64, nMu, nQ, workers int) ([]RegionCell, error) {
 	if nMu < 1 {
 		nMu = 1
 	}
 	if nQ < 1 {
 		nQ = 1
 	}
-	cells := make([]RegionCell, 0, (nMu+1)*(nQ+1))
-	for i := 0; i <= nMu; i++ {
-		muFrac := float64(i) / float64(nMu)
-		for j := 0; j <= nQ; j++ {
+	cols := nQ + 1
+	n := (nMu + 1) * cols
+	return parallel.Map(ctx, "analysis.regions", n, workers,
+		func(_ context.Context, k int) (RegionCell, error) {
+			i, j := k/cols, k%cols
+			muFrac := float64(i) / float64(nMu)
 			q := float64(j) / float64(nQ)
 			cell := RegionCell{MuFrac: muFrac, Q: q}
 			s := skirental.Stats{MuBMinus: muFrac * b, QBPlus: q}
@@ -46,10 +67,8 @@ func StrategyRegions(b float64, nMu, nQ int) []RegionCell {
 					cell.CR = 1
 				}
 			}
-			cells = append(cells, cell)
-		}
-	}
-	return cells
+			return cell, nil
+		})
 }
 
 // ProjectionPoint is one abscissa of a Figure 2 projection: the worst-case
@@ -68,6 +87,18 @@ type ProjectionPoint struct {
 // q_B+ in (0, qMax] with mu_B- fixed at muFrac·B. Infeasible points are
 // skipped.
 func ProjectionCurves(b, muFrac, qMax float64, n int) []ProjectionPoint {
+	pts, err := ProjectionCurvesContext(context.Background(), b, muFrac, qMax, n, 0)
+	if err != nil {
+		panic(err) // unreachable with a background context, as above
+	}
+	return pts
+}
+
+// ProjectionCurvesContext is ProjectionCurves on the parallel engine.
+// Every abscissa is evaluated independently and the curve is assembled
+// in q order with infeasible points dropped, so the slice is invariant
+// to the worker count.
+func ProjectionCurvesContext(ctx context.Context, b, muFrac, qMax float64, n, workers int) ([]ProjectionPoint, error) {
 	if n < 2 {
 		n = 2
 	}
@@ -75,22 +106,31 @@ func ProjectionCurves(b, muFrac, qMax float64, n int) []ProjectionPoint {
 		qMax = 1
 	}
 	mu := muFrac * b
-	pts := make([]ProjectionPoint, 0, n)
-	for i := 1; i <= n; i++ {
-		q := qMax * float64(i) / float64(n)
-		s := skirental.Stats{MuBMinus: mu, QBPlus: q}
-		if s.Validate(b) != nil {
-			continue
-		}
-		cr, err := skirental.WorstCaseCRForStats(b, s)
-		if err != nil {
-			continue
-		}
-		pt := ProjectionPoint{Q: q, Proposed: cr, Baselines: map[string]float64{}}
-		for _, name := range []string{"N-Rand", "TOI", "DET", "b-DET", "MOM-Rand"} {
-			pt.Baselines[name] = skirental.BaselineWorstCaseCR(name, b, s)
-		}
-		pts = append(pts, pt)
+	raw, err := parallel.Map(ctx, "analysis.projection", n, workers,
+		func(_ context.Context, k int) (*ProjectionPoint, error) {
+			q := qMax * float64(k+1) / float64(n)
+			s := skirental.Stats{MuBMinus: mu, QBPlus: q}
+			if s.Validate(b) != nil {
+				return nil, nil
+			}
+			cr, err := skirental.WorstCaseCRForStats(b, s)
+			if err != nil {
+				return nil, nil
+			}
+			pt := &ProjectionPoint{Q: q, Proposed: cr, Baselines: map[string]float64{}}
+			for _, name := range []string{"N-Rand", "TOI", "DET", "b-DET", "MOM-Rand"} {
+				pt.Baselines[name] = skirental.BaselineWorstCaseCR(name, b, s)
+			}
+			return pt, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return pts
+	pts := make([]ProjectionPoint, 0, n)
+	for _, p := range raw {
+		if p != nil {
+			pts = append(pts, *p)
+		}
+	}
+	return pts, nil
 }

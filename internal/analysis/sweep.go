@@ -1,10 +1,12 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"idlereduce/internal/dist"
+	"idlereduce/internal/parallel"
 	"idlereduce/internal/skirental"
 )
 
@@ -28,44 +30,53 @@ type SweepPoint struct {
 // constrained statistics are measured, and every strategy's worst-case CR
 // under those statistics is reported.
 func TrafficSweep(b float64, shape dist.Distribution, means []float64) ([]SweepPoint, error) {
+	return TrafficSweepContext(context.Background(), b, shape, means, 0)
+}
+
+// TrafficSweepContext is TrafficSweep on the parallel engine: each
+// traffic condition is measured independently (the per-mean quadrature
+// in StatsOf dominates) and results are merged in input order, so the
+// sweep is invariant to the worker count (workers <= 0 means the engine
+// default).
+func TrafficSweepContext(ctx context.Context, b float64, shape dist.Distribution, means []float64, workers int) ([]SweepPoint, error) {
 	if b <= 0 {
 		return nil, fmt.Errorf("analysis: break-even %v must be positive", b)
 	}
-	pts := make([]SweepPoint, 0, len(means))
-	for _, m := range means {
-		if m <= 0 {
-			return nil, fmt.Errorf("analysis: mean stop %v must be positive", m)
-		}
-		scaled := dist.NewScaledToMean(shape, m)
-		s := skirental.StatsOf(scaled, b)
-		if err := s.Validate(b); err != nil {
-			// Numerical clamp: tiny quadrature overshoots of the
-			// feasibility boundary are projected back.
-			if s.MuBMinus > b*(1-s.QBPlus) {
-				s.MuBMinus = b * (1 - s.QBPlus)
+	return parallel.Map(ctx, "analysis.sweep", len(means), workers,
+		func(_ context.Context, k int) (SweepPoint, error) {
+			m := means[k]
+			if m <= 0 {
+				return SweepPoint{}, fmt.Errorf("analysis: mean stop %v must be positive", m)
 			}
+			scaled := dist.NewScaledToMean(shape, m)
+			s := skirental.StatsOf(scaled, b)
 			if err := s.Validate(b); err != nil {
-				return nil, err
+				// Numerical clamp: tiny quadrature overshoots of the
+				// feasibility boundary are projected back.
+				if s.MuBMinus > b*(1-s.QBPlus) {
+					s.MuBMinus = b * (1 - s.QBPlus)
+				}
+				if err := s.Validate(b); err != nil {
+					return SweepPoint{}, err
+				}
 			}
-		}
-		cr, err := skirental.WorstCaseCRForStats(b, s)
-		if err != nil {
-			return nil, err
-		}
-		choice, _ := skirental.ComputeVertexCosts(b, s).Select()
-		pt := SweepPoint{
-			MeanStopSec: m,
-			Stats:       s,
-			Proposed:    cr,
-			Choice:      choice,
-			Baselines:   map[string]float64{},
-		}
-		for _, name := range []string{"N-Rand", "TOI", "DET", "b-DET", "MOM-Rand", "NEV"} {
-			pt.Baselines[name] = skirental.BaselineWorstCaseCR(name, b, s)
-		}
-		pts = append(pts, pt)
-	}
-	return pts, nil
+			cr, err := skirental.WorstCaseCRForStats(b, s)
+			if err != nil {
+				return SweepPoint{}, err
+			}
+			choice, _ := skirental.ComputeVertexCosts(b, s).Select()
+			pt := SweepPoint{
+				MeanStopSec: m,
+				Stats:       s,
+				Proposed:    cr,
+				Choice:      choice,
+				Baselines:   map[string]float64{},
+			}
+			for _, name := range []string{"N-Rand", "TOI", "DET", "b-DET", "MOM-Rand", "NEV"} {
+				pt.Baselines[name] = skirental.BaselineWorstCaseCR(name, b, s)
+			}
+			return pt, nil
+		})
 }
 
 // SweepMeans returns a log-spaced grid of mean stop lengths from lo to hi

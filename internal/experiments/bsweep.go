@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -20,10 +21,16 @@ type BSweepResult struct {
 // against Chicago traffic, reporting how the optimal strategy and its
 // guarantee move.
 func BSweep(o Options) (*BSweepResult, string, error) {
+	return BSweepContext(context.Background(), o)
+}
+
+// BSweepContext is BSweep under a context: cancellable, and when ctx
+// carries an obs.Recorder the sweep publishes its pool metrics.
+func BSweepContext(ctx context.Context, o Options) (*BSweepResult, string, error) {
 	o = o.withDefaults()
 	traffic := fleet.Chicago.StopLengthDistribution()
 	bs := numeric.Linspace(10, 150, 29)
-	pts, err := analysis.BreakEvenSweep(traffic, bs)
+	pts, err := analysis.BreakEvenSweepContext(ctx, traffic, bs, o.Workers)
 	if err != nil {
 		return nil, "", fmt.Errorf("experiments: bsweep: %w", err)
 	}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// withWorkers returns small-size options pinned to one worker count.
+func withWorkers(seed uint64, workers int) Options {
+	return Options{
+		Seed:          seed,
+		FleetVehicles: 6,
+		GridN:         12,
+		SweepPoints:   8,
+		Workers:       workers,
+	}
+}
+
+// TestFiguresDeterministicAcrossWorkers renders every parallelized figure
+// serially and with an 8-worker pool and requires byte-identical report
+// text — the end-to-end statement of the engine's determinism contract.
+func TestFiguresDeterministicAcrossWorkers(t *testing.T) {
+	for _, seed := range []uint64{1, 20140601, 424242} {
+		serial := withWorkers(seed, 1)
+		wide := withWorkers(seed, 8)
+
+		fleetSerial, err := serial.BuildFleet()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleetWide, err := wide.BuildFleet()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ssv, _ := BreakEvens()
+		_, f1a := Fig1(serial, ssv)
+		_, f1b := Fig1(wide, ssv)
+		if f1a != f1b {
+			t.Errorf("seed %d: Fig1 text differs between workers 1 and 8", seed)
+		}
+
+		_, f2a := Fig2(serial, ssv)
+		_, f2b := Fig2(wide, ssv)
+		if f2a != f2b {
+			t.Errorf("seed %d: Fig2 text differs between workers 1 and 8", seed)
+		}
+
+		_, f4a, err := Fig4(serial, fleetSerial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, f4b, err := Fig4(wide, fleetWide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f4a != f4b {
+			t.Errorf("seed %d: Fig4 text differs between workers 1 and 8", seed)
+		}
+
+		_, f5a, err := Fig5(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, f5b, err := Fig5(wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f5a != f5b {
+			t.Errorf("seed %d: Fig5 text differs between workers 1 and 8", seed)
+		}
+
+		_, bsa, err := BSweep(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bsb, err := BSweep(wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bsa != bsb {
+			t.Errorf("seed %d: BSweep text differs between workers 1 and 8", seed)
+		}
+	}
+}

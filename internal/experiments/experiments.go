@@ -37,6 +37,11 @@ type Options struct {
 	GridN int
 	// SweepPoints is the number of traffic conditions in Figures 5-6.
 	SweepPoints int
+	// Workers bounds the parallel engine's worker pool for every driver
+	// (fleet generation, grid fills, sweeps, per-vehicle evaluation).
+	// 0 means the engine default (GOMAXPROCS). Results are identical for
+	// every value — see docs/PARALLELISM.md.
+	Workers int
 }
 
 // Defaults returns the publication-scale options.
@@ -76,7 +81,7 @@ func (o Options) BuildFleetContext(ctx context.Context) (*fleet.Fleet, error) {
 			areas[i].Vehicles = o.FleetVehicles
 		}
 	}
-	return fleet.GenerateFleetContext(ctx, o.Seed, areas...)
+	return fleet.GenerateFleetWorkers(ctx, o.Seed, o.Workers, areas...)
 }
 
 // Timed runs one experiment driver under the context's observability

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -25,8 +26,22 @@ type Fig1Result struct {
 // Fig1 computes the strategy-region map (Fig. 1a) and CR surface
 // (Fig. 1b) for break-even interval b.
 func Fig1(o Options, b float64) (*Fig1Result, string) {
+	res, out, err := Fig1Context(context.Background(), o, b)
+	if err != nil {
+		panic(err) // unreachable with a background context
+	}
+	return res, out
+}
+
+// Fig1Context is Fig1 under a context: cancellable, and when ctx carries
+// an obs.Recorder the grid fill publishes its pool metrics. The only
+// error source is ctx cancellation.
+func Fig1Context(ctx context.Context, o Options, b float64) (*Fig1Result, string, error) {
 	o = o.withDefaults()
-	cells := analysis.StrategyRegions(b, o.GridN, o.GridN)
+	cells, err := analysis.StrategyRegionsContext(ctx, b, o.GridN, o.GridN, o.Workers)
+	if err != nil {
+		return nil, "", err
+	}
 	res := &Fig1Result{B: b, Cells: cells, Share: map[skirental.Choice]float64{}}
 	feasible := 0
 	for _, c := range cells {
@@ -118,5 +133,5 @@ func Fig1(o Options, b float64) (*Fig1Result, string) {
 		rows2 = append(rows2, []string{ch.String(), fmt.Sprintf("%5.1f%%", res.Share[ch]*100)})
 	}
 	sb.WriteString(textplot.Table(rows2))
-	return res, sb.String()
+	return res, sb.String(), nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -19,12 +20,26 @@ type Fig2Result struct {
 // versus q_B+ at the paper's fixed mu_B- slices (0.02B and 0.05B for the
 // b-DET panels, plus a mid-range slice).
 func Fig2(o Options, b float64) ([]Fig2Result, string) {
+	results, out, err := Fig2Context(context.Background(), o, b)
+	if err != nil {
+		panic(err) // unreachable with a background context
+	}
+	return results, out
+}
+
+// Fig2Context is Fig2 under a context: cancellable, and when ctx carries
+// an obs.Recorder the projection fills publish their pool metrics. The
+// only error source is ctx cancellation.
+func Fig2Context(ctx context.Context, o Options, b float64) ([]Fig2Result, string, error) {
 	o = o.withDefaults()
 	var sb strings.Builder
 	sb.WriteString(header("Figure 2: projected views of the worst-case CR"))
 	var results []Fig2Result
 	for _, muFrac := range []float64{0.02, 0.05, 0.30} {
-		pts := analysis.ProjectionCurves(b, muFrac, 1, 120)
+		pts, err := analysis.ProjectionCurvesContext(ctx, b, muFrac, 1, 120, o.Workers)
+		if err != nil {
+			return nil, "", err
+		}
 		results = append(results, Fig2Result{B: b, MuFrac: muFrac, Points: pts})
 
 		chart := &textplot.LineChart{
@@ -51,5 +66,5 @@ func Fig2(o Options, b float64) ([]Fig2Result, string) {
 		sb.WriteString(chart.Render())
 		sb.WriteString("\n")
 	}
-	return results, sb.String()
+	return results, sb.String(), nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,13 +23,20 @@ type Fig4Result struct {
 // both vehicle classes (B = 28 s SSV on the top row, B = 47 s conventional
 // on the bottom row).
 func Fig4(o Options, f *fleet.Fleet) ([]Fig4Result, string, error) {
+	return Fig4Context(context.Background(), o, f)
+}
+
+// Fig4Context is Fig4 under a context: cancellable, and when ctx carries
+// an obs.Recorder the per-vehicle evaluation publishes its pool metrics.
+func Fig4Context(ctx context.Context, o Options, f *fleet.Fleet) ([]Fig4Result, string, error) {
+	o = o.withDefaults()
 	var results []Fig4Result
 	var sb strings.Builder
 	sb.WriteString(header("Figure 4: individual vehicle test"))
 
 	ssv, conv := BreakEvens()
 	for _, b := range []float64{ssv, conv} {
-		ev, err := analysis.EvaluateFleet(b, f)
+		ev, err := analysis.EvaluateFleetContext(ctx, b, f, o.Workers)
 		if err != nil {
 			return nil, "", fmt.Errorf("experiments: fig4 B=%v: %w", b, err)
 		}

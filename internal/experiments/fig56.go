@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -19,21 +20,32 @@ type SweepResult struct {
 // lengths with B = 28 s. The stop-length shape is Chicago's (as in the
 // paper), rescaled to each target mean.
 func Fig5(o Options) (*SweepResult, string, error) {
+	return Fig5Context(context.Background(), o)
+}
+
+// Fig5Context is Fig5 under a context: cancellable, and when ctx carries
+// an obs.Recorder the sweep publishes its pool metrics.
+func Fig5Context(ctx context.Context, o Options) (*SweepResult, string, error) {
 	ssv, _ := BreakEvens()
-	return figSweep(o, ssv, 5)
+	return figSweep(ctx, o, ssv, 5)
 }
 
 // Fig6 is Figure 6: the same sweep with B = 47 s.
 func Fig6(o Options) (*SweepResult, string, error) {
-	_, conv := BreakEvens()
-	return figSweep(o, conv, 6)
+	return Fig6Context(context.Background(), o)
 }
 
-func figSweep(o Options, b float64, figNo int) (*SweepResult, string, error) {
+// Fig6Context is Fig6 under a context (see Fig5Context).
+func Fig6Context(ctx context.Context, o Options) (*SweepResult, string, error) {
+	_, conv := BreakEvens()
+	return figSweep(ctx, o, conv, 6)
+}
+
+func figSweep(ctx context.Context, o Options, b float64, figNo int) (*SweepResult, string, error) {
 	o = o.withDefaults()
 	shape := fleet.Chicago.StopLengthDistribution()
 	means := analysis.SweepMeans(2, 600, o.SweepPoints)
-	pts, err := analysis.TrafficSweep(b, shape, means)
+	pts, err := analysis.TrafficSweepContext(ctx, b, shape, means, o.Workers)
 	if err != nil {
 		return nil, "", fmt.Errorf("experiments: fig%d: %w", figNo, err)
 	}

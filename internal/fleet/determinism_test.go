@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fleetHash serializes a fleet to CSV and hashes the bytes, so two
+// fleets compare byte-for-byte, not just structurally.
+func fleetHash(t *testing.T, f *Fleet) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// TestGenerateFleetWorkersDeterministic is the headline determinism
+// guarantee: for each seed, workers = 1, 4 and 8 produce byte-identical
+// fleets, and different seeds produce different fleets.
+func TestGenerateFleetWorkersDeterministic(t *testing.T) {
+	areas := []AreaConfig{smallArea(California, 12), smallArea(Chicago, 12), smallArea(Atlanta, 12)}
+	perSeed := map[uint64]string{}
+	for _, seed := range []uint64{1, 20140601, 987654321} {
+		var base string
+		for _, workers := range []int{1, 4, 8} {
+			f, err := GenerateFleetWorkers(context.Background(), seed, workers, areas...)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			h := fleetHash(t, f)
+			if workers == 1 {
+				base = h
+				continue
+			}
+			if h != base {
+				t.Errorf("seed %d: workers %d fleet differs from workers 1 (hash %s vs %s)", seed, workers, h, base)
+			}
+		}
+		perSeed[seed] = base
+	}
+	seen := map[string]uint64{}
+	for seed, h := range perSeed {
+		if prev, dup := seen[h]; dup {
+			t.Errorf("seeds %d and %d generated identical fleets", prev, seed)
+		}
+		seen[h] = seed
+	}
+}
+
+// TestGenerateMatchesGenerateContext: the rng-based compatibility entry
+// point must produce exactly the per-stream fleet of its drawn root.
+func TestGenerateMatchesGenerateContext(t *testing.T) {
+	cfg := smallArea(Chicago, 8)
+	vs1, err := cfg.Generate(testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := testRNG().Uint64() // same first draw as Generate consumed
+	vs2, err := cfg.GenerateContext(context.Background(), root, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs1) != len(vs2) {
+		t.Fatalf("lengths %d vs %d", len(vs1), len(vs2))
+	}
+	for i := range vs1 {
+		if vs1[i].ID != vs2[i].ID || len(vs1[i].Stops) != len(vs2[i].Stops) {
+			t.Fatalf("vehicle %d differs", i)
+		}
+		for j := range vs1[i].Stops {
+			if vs1[i].Stops[j] != vs2[i].Stops[j] {
+				t.Fatalf("vehicle %d stop %d: %v vs %v", i, j, vs1[i].Stops[j], vs2[i].Stops[j])
+			}
+		}
+	}
+}
+
+// TestGenerateContextCancellation: a cancelled context must abort
+// generation promptly instead of finishing the remaining vehicles.
+func TestGenerateContextCancellation(t *testing.T) {
+	cfg := smallArea(Chicago, 200_000) // minutes of work if not cancelled
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := cfg.GenerateContext(ctx, 1, 4)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Errorf("cancellation took %v", elapsed)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("generation did not return after cancel")
+	}
+}
+
+// TestGenerateFleetContextPreCancelled: cancellation is honored before
+// any area is generated.
+func TestGenerateFleetContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := GenerateFleetContext(ctx, 1, smallArea(California, 2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestGenerateZeroStdStopsPerDay: a zero std is a legal config (every
+// day draws the same count) and must not panic.
+func TestGenerateZeroStdStopsPerDay(t *testing.T) {
+	cfg := smallArea(California, 3)
+	cfg.StopsPerDayStd = 0
+	vs, err := cfg.GenerateContext(context.Background(), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(cfg.StopsPerDayMean + 0.5)
+	for _, v := range vs {
+		for day, n := range v.StopsPerDay {
+			if n != want {
+				t.Fatalf("%s day %d: %d stops, want %d", v.ID, day, n, want)
+			}
+		}
+	}
+}

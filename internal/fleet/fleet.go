@@ -27,6 +27,7 @@ import (
 
 	"idlereduce/internal/dist"
 	"idlereduce/internal/obs"
+	"idlereduce/internal/parallel"
 )
 
 // Vehicle is one synthetic vehicle's week of driving.
@@ -81,6 +82,23 @@ type AreaConfig struct {
 
 // Validate checks the configuration.
 func (c AreaConfig) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"stops/day mean", c.StopsPerDayMean},
+		{"stops/day std", c.StopsPerDayStd},
+		{"short stop mean", c.ShortStopMeanSec},
+		{"long stop mean", c.LongStopMeanSec},
+		{"long stop fraction", c.LongStopFrac},
+		{"vehicle spread cv", c.VehicleSpreadCV},
+		{"long frac spread cv", c.LongFracSpreadCV},
+		{"max stop", c.MaxStopSec},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("fleet %s: %s = %v is not finite", c.Name, f.name, f.v)
+		}
+	}
 	switch {
 	case c.Name == "":
 		return fmt.Errorf("fleet: area name empty")
@@ -164,52 +182,102 @@ func stopMixture(shortMean, longMean, longFrac, maxSec float64) dist.Distributio
 	return dist.NewTruncated(m, maxSec)
 }
 
-// Generate produces the area's vehicles using rng.
+// safeStopMixture is stopMixture with the dist constructors' panics on
+// pathological parameters (means overflowing to +Inf, truncation
+// removing all mass) converted to errors, so a malformed-but-validating
+// config fails cleanly instead of crashing a worker.
+func safeStopMixture(shortMean, longMean, longFrac, maxSec float64) (d dist.Distribution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fleet: stop mixture (short %v, long %v, frac %v, max %v): %v",
+				shortMean, longMean, longFrac, maxSec, r)
+		}
+	}()
+	return stopMixture(shortMean, longMean, longFrac, maxSec), nil
+}
+
+// perDayDist builds the stops-per-day generator matched to the Table 1
+// moments. A zero std is a legal config and means every day draws the
+// same count.
+func (c AreaConfig) perDayDist() dist.Distribution {
+	if c.StopsPerDayStd == 0 {
+		return dist.PointMass{At: c.StopsPerDayMean}
+	}
+	return dist.NewLogNormalMeanCV(c.StopsPerDayMean, c.StopsPerDayStd/c.StopsPerDayMean)
+}
+
+// maxStopsPerVehicleDay caps one vehicle-day's stop count. Real traces
+// sit near Table 1's mu + 2 sigma ≈ 32; the cap only matters for
+// pathological configs whose per-day distribution degenerates, keeping
+// generation time and memory bounded.
+const maxStopsPerVehicleDay = 10000
+
+// generateVehicle builds vehicle i of the area from its own RNG stream.
+// The draw order (traffic factor, long-stop fraction jitter, then per-day
+// counts and stops) is fixed, so the vehicle depends only on the stream.
+func (c AreaConfig) generateVehicle(i int, perDay dist.Distribution, rng *rand.Rand) (*Vehicle, error) {
+	v := &Vehicle{
+		ID:   fmt.Sprintf("%s-%04d", lower(c.Name), i),
+		Area: c.Name,
+	}
+	// Persistent traffic factors: some vehicles live in worse traffic
+	// all week (longer stops, more of them long).
+	factor := 1.0
+	if c.VehicleSpreadCV > 0 {
+		factor = dist.NewLogNormalMeanCV(1, c.VehicleSpreadCV).Sample(rng)
+	}
+	longFrac := c.LongStopFrac
+	if c.LongFracSpreadCV > 0 {
+		longFrac *= dist.NewLogNormalMeanCV(1, c.LongFracSpreadCV).Sample(rng)
+	}
+	longFrac = math.Min(math.Max(longFrac, 0.02), 0.7)
+	stopDist, err := safeStopMixture(c.ShortStopMeanSec*factor, c.LongStopMeanSec*factor, longFrac, c.MaxStopSec)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", v.ID, err)
+	}
+	for day := 0; day < 7; day++ {
+		n := int(math.Round(perDay.Sample(rng)))
+		if n < 1 {
+			n = 1
+		}
+		if n > maxStopsPerVehicleDay {
+			n = maxStopsPerVehicleDay
+		}
+		v.StopsPerDay[day] = n
+		for s := 0; s < n; s++ {
+			y := stopDist.Sample(rng)
+			// Stop lengths below one second are not recorded by the
+			// instrumentation; clamp like the source data.
+			if y < 1 {
+				y = 1
+			}
+			v.Stops = append(v.Stops, y)
+		}
+	}
+	return v, nil
+}
+
+// Generate produces the area's vehicles using rng. It draws a root seed
+// from rng and delegates to GenerateContext, so each vehicle gets its
+// own derived stream.
 func (c AreaConfig) Generate(rng *rand.Rand) ([]*Vehicle, error) {
+	return c.GenerateContext(context.Background(), rng.Uint64(), 0)
+}
+
+// GenerateContext produces the area's vehicles on the parallel engine.
+// Vehicle i draws from its own deterministic stream
+// parallel.RNG(rootSeed, i), so the result is byte-identical for every
+// worker count (workers <= 0 means the engine default) and generation
+// honors ctx cancellation between vehicles.
+func (c AreaConfig) GenerateContext(ctx context.Context, rootSeed uint64, workers int) ([]*Vehicle, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	// Stops-per-day generator matched to Table 1 moments.
-	cv := c.StopsPerDayStd / c.StopsPerDayMean
-	perDay := dist.NewLogNormalMeanCV(c.StopsPerDayMean, cv)
-
-	vehicles := make([]*Vehicle, c.Vehicles)
-	for i := range vehicles {
-		v := &Vehicle{
-			ID:   fmt.Sprintf("%s-%04d", lower(c.Name), i),
-			Area: c.Name,
-		}
-		// Persistent traffic factors: some vehicles live in worse traffic
-		// all week (longer stops, more of them long).
-		factor := 1.0
-		if c.VehicleSpreadCV > 0 {
-			factor = dist.NewLogNormalMeanCV(1, c.VehicleSpreadCV).Sample(rng)
-		}
-		longFrac := c.LongStopFrac
-		if c.LongFracSpreadCV > 0 {
-			longFrac *= dist.NewLogNormalMeanCV(1, c.LongFracSpreadCV).Sample(rng)
-		}
-		longFrac = math.Min(math.Max(longFrac, 0.02), 0.7)
-		stopDist := stopMixture(c.ShortStopMeanSec*factor, c.LongStopMeanSec*factor, longFrac, c.MaxStopSec)
-		for day := 0; day < 7; day++ {
-			n := int(math.Round(perDay.Sample(rng)))
-			if n < 1 {
-				n = 1
-			}
-			v.StopsPerDay[day] = n
-			for s := 0; s < n; s++ {
-				y := stopDist.Sample(rng)
-				// Stop lengths below one second are not recorded by the
-				// instrumentation; clamp like the source data.
-				if y < 1 {
-					y = 1
-				}
-				v.Stops = append(v.Stops, y)
-			}
-		}
-		vehicles[i] = v
-	}
-	return vehicles, nil
+	perDay := c.perDayDist()
+	return parallel.Map(ctx, "fleet.generate", c.Vehicles, workers,
+		func(ctx context.Context, i int) (*Vehicle, error) {
+			return c.generateVehicle(i, perDay, parallel.RNG(rootSeed, uint64(i)))
+		})
 }
 
 // Fleet is a generated dataset across areas.
@@ -219,31 +287,45 @@ type Fleet struct {
 	Seed uint64
 }
 
-// GenerateFleet generates all configured areas with a deterministic
-// PCG stream derived from seed.
+// GenerateFleet generates all configured areas with deterministic
+// per-vehicle streams derived from seed.
 func GenerateFleet(seed uint64, areas ...AreaConfig) (*Fleet, error) {
 	return GenerateFleetContext(context.Background(), seed, areas...)
 }
 
-// GenerateFleetContext is GenerateFleet with an observability sink:
-// when ctx carries an obs.Recorder, per-area vehicle and stop counters
-// and the overall generation throughput (stops/s) are published, plus
-// a fleet.generate span. No-op without a recorder.
+// GenerateFleetContext is GenerateFleet with context cancellation and an
+// observability sink: when ctx carries an obs.Recorder, per-area vehicle
+// and stop counters and the overall generation throughput (stops/s) are
+// published, plus a fleet.generate span. No-op without a recorder.
+// Generation runs on the engine's default worker count.
 func GenerateFleetContext(ctx context.Context, seed uint64, areas ...AreaConfig) (*Fleet, error) {
+	return GenerateFleetWorkers(ctx, seed, 0, areas...)
+}
+
+// GenerateFleetWorkers is GenerateFleetContext with an explicit worker
+// count (workers <= 0 means the engine default). The fleet depends only
+// on (seed, areas): area i's vehicles draw from streams rooted at
+// parallel.DeriveSeed(seed, i), so any worker count yields byte-identical
+// output.
+func GenerateFleetWorkers(ctx context.Context, seed uint64, workers int, areas ...AreaConfig) (*Fleet, error) {
 	if len(areas) == 0 {
 		areas = DefaultAreas()
 	}
 	rec := obs.FromContext(ctx)
 	var t0 time.Time
 	if rec.On() {
-		defer rec.StartSpan("fleet.generate", slog.Int("areas", len(areas)))()
+		defer rec.StartSpan("fleet.generate",
+			slog.Int("areas", len(areas)),
+			slog.Int("workers", parallel.Workers(workers)))()
 		t0 = time.Now()
 	}
 	f := &Fleet{Seed: seed}
 	totalStops := 0
 	for i, a := range areas {
-		rng := rand.New(rand.NewPCG(seed, uint64(i)*0x9e3779b97f4a7c15+1))
-		vs, err := a.Generate(rng)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		vs, err := a.GenerateContext(ctx, parallel.DeriveSeed(seed, uint64(i)), workers)
 		if err != nil {
 			return nil, err
 		}

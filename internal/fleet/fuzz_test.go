@@ -2,6 +2,8 @@ package fleet
 
 import (
 	"bytes"
+	"context"
+	"math"
 	"strings"
 	"testing"
 )
@@ -37,6 +39,55 @@ func FuzzReadCSV(f *testing.F) {
 		}
 		if !fleetsEqual(got, again) {
 			t.Fatal("round trip not idempotent")
+		}
+	})
+}
+
+// FuzzAreaConfigGenerate drives the Validate/distribution-construction
+// path with arbitrary parameters: a config must either fail Validate,
+// fail generation with an error, or generate well-formed vehicles — it
+// must never panic, hang, or emit NaN stop lengths.
+func FuzzAreaConfigGenerate(f *testing.F) {
+	for _, c := range DefaultAreas() {
+		f.Add(c.StopsPerDayMean, c.StopsPerDayStd, c.ShortStopMeanSec, c.LongStopMeanSec,
+			c.LongStopFrac, c.VehicleSpreadCV, c.LongFracSpreadCV, c.MaxStopSec, uint64(1))
+	}
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, uint64(0))
+	f.Add(math.NaN(), 1.0, 1.0, 2.0, 0.1, 0.1, 0.1, 100.0, uint64(2))
+	f.Add(1.0, math.Inf(1), 1.0, 2.0, 0.1, 0.1, 0.1, 100.0, uint64(3))
+	f.Add(5.0, 0.0, 1e307, 2e307, 0.5, 100.0, 100.0, 1e308, uint64(4))
+	f.Add(12.0, 9.0, 11.0, 450.0, 0.99, 0.0, 0.0, 7200.0, uint64(5))
+	f.Fuzz(func(t *testing.T, spMean, spStd, shortMean, longMean, longFrac, vcv, lcv, maxStop float64, seed uint64) {
+		cfg := AreaConfig{
+			Name:            "fuzz",
+			Vehicles:        2,
+			StopsPerDayMean: spMean, StopsPerDayStd: spStd,
+			ShortStopMeanSec: shortMean, LongStopMeanSec: longMean,
+			LongStopFrac:    longFrac,
+			VehicleSpreadCV: vcv, LongFracSpreadCV: lcv,
+			MaxStopSec: maxStop,
+		}
+		if err := cfg.Validate(); err != nil {
+			return
+		}
+		// Keep degenerate-but-valid configs cheap: a huge stops/day mean
+		// is legal, so bound it rather than reject it.
+		if cfg.StopsPerDayMean > 1000 || cfg.StopsPerDayStd > 1000 {
+			t.Skip("per-day moments too large for a fuzz iteration")
+		}
+		vs, err := cfg.GenerateContext(context.Background(), seed, 2)
+		if err != nil {
+			return // clean failure is acceptable for pathological params
+		}
+		if len(vs) != cfg.Vehicles {
+			t.Fatalf("generated %d vehicles, want %d", len(vs), cfg.Vehicles)
+		}
+		for _, v := range vs {
+			for _, y := range v.Stops {
+				if math.IsNaN(y) || y < 1 || y > cfg.MaxStopSec {
+					t.Fatalf("%s: stop %v outside [1, %v]", v.ID, y, cfg.MaxStopSec)
+				}
+			}
 		}
 	})
 }

@@ -1,0 +1,27 @@
+package parallel
+
+import "testing"
+
+// FuzzDeriveSeed checks the two contract properties on arbitrary inputs:
+// stability (same inputs, same output, across repeated calls) and
+// injectivity per root (distinct stream IDs never collide — the mix is a
+// bijection of the stream ID for any fixed root).
+func FuzzDeriveSeed(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(1))
+	f.Add(uint64(20140601), uint64(0), uint64(1182))
+	f.Add(^uint64(0), uint64(7), uint64(8))
+	f.Add(uint64(1), ^uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, root, s1, s2 uint64) {
+		a := DeriveSeed(root, s1)
+		if again := DeriveSeed(root, s1); again != a {
+			t.Fatalf("unstable: DeriveSeed(%d, %d) = %d then %d", root, s1, a, again)
+		}
+		b := DeriveSeed(root, s2)
+		if s1 != s2 && a == b {
+			t.Fatalf("collision: root %d streams %d, %d both map to %d", root, s1, s2, a)
+		}
+		if s1 == s2 && a != b {
+			t.Fatalf("same stream, different seeds: %d vs %d", a, b)
+		}
+	})
+}

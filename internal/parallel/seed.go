@@ -1,0 +1,46 @@
+package parallel
+
+import "math/rand/v2"
+
+// SplitMix64 constants (Steele, Lea & Flood, "Fast Splittable
+// Pseudorandom Number Generators", OOPSLA 2014). The additive constant
+// is the golden-ratio increment; the two multipliers are the finalizer
+// of the reference implementation.
+const (
+	splitmixGamma = 0x9e3779b97f4a7c15
+	splitmixMul1  = 0xbf58476d1ce4e5b9
+	splitmixMul2  = 0x94d049bb133111eb
+)
+
+// DeriveSeed derives the RNG seed of one work-item stream from a root
+// seed and the item's stream ID (vehicle index, grid-cell index, sweep
+// point, ...). It applies the SplitMix64 output mix to
+// root + gamma·(streamID+1), which has two properties the determinism
+// contract relies on:
+//
+//   - Injectivity per root: for a fixed root the map streamID -> seed is
+//     a bijection on uint64 (an odd-constant multiply followed by a
+//     bijective xor-shift finalizer), so distinct streams of the same
+//     root never collide.
+//   - Stability: the value depends only on (root, streamID) — never on
+//     call order, scheduling, or worker count.
+func DeriveSeed(root, streamID uint64) uint64 {
+	z := root + splitmixGamma*(streamID+1)
+	z ^= z >> 30
+	z *= splitmixMul1
+	z ^= z >> 27
+	z *= splitmixMul2
+	z ^= z >> 31
+	return z
+}
+
+// RNG builds the deterministic PCG stream of one work item: the two PCG
+// seed words are derived from disjoint stream IDs (2·streamID and
+// 2·streamID+1), so distinct items of the same root share no seed
+// material.
+func RNG(root, streamID uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(
+		DeriveSeed(root, 2*streamID),
+		DeriveSeed(root, 2*streamID+1),
+	))
+}

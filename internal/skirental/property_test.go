@@ -1,0 +1,153 @@
+package skirental
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// Property-based checks of the Section 4.4 closed forms: instead of a few
+// hand-picked points, every identity is asserted on thousands of randomly
+// drawn feasible (mu_B-, q_B+, B) triples. The generator is seeded, so a
+// failure reproduces exactly.
+
+// drawFeasible samples a feasible statistics triple: B in [5, 200],
+// q in [0, 1), mu in [0, B(1-q)].
+func drawFeasible(rng *rand.Rand) (s Stats, b float64) {
+	b = 5 + 195*rng.Float64()
+	q := rng.Float64()
+	mu := rng.Float64() * b * (1 - q)
+	return Stats{MuBMinus: mu, QBPlus: q}, b
+}
+
+const propIters = 2000
+
+func TestPropertyVertexCostClosedForms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2014, 0x600d))
+	for it := 0; it < propIters; it++ {
+		s, b := drawFeasible(rng)
+		if err := s.Validate(b); err != nil {
+			t.Fatalf("iter %d: generator produced infeasible stats: %v", it, err)
+		}
+		mu, q := s.MuBMinus, s.QBPlus
+		vc := ComputeVertexCosts(b, s)
+
+		checkClose(t, it, "N-Rand", vc.NRand, math.E/(math.E-1)*(mu+q*b))
+		checkClose(t, it, "TOI", vc.TOI, b)
+		checkClose(t, it, "DET", vc.DET, mu+2*q*b)
+
+		applicable := q > 0 && mu/b < (1-q)*(1-q)/q
+		if applicable {
+			want := math.Pow(math.Sqrt(mu)+math.Sqrt(q*b), 2)
+			checkClose(t, it, "b-DET", vc.BDet, want)
+			if !(vc.BDetThreshold > 0) {
+				t.Fatalf("iter %d: applicable b-DET has threshold %v", it, vc.BDetThreshold)
+			}
+		} else {
+			if !math.IsInf(vc.BDet, 1) {
+				t.Fatalf("iter %d: condition 36 fails (mu=%v q=%v B=%v) but BDet = %v, want +Inf",
+					it, mu, q, b, vc.BDet)
+			}
+			if !math.IsNaN(vc.BDetThreshold) {
+				t.Fatalf("iter %d: inapplicable b-DET has threshold %v, want NaN", it, vc.BDetThreshold)
+			}
+		}
+	}
+}
+
+func TestPropertySelectAttainsMinimum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2014, 0xbe57))
+	for it := 0; it < propIters; it++ {
+		s, b := drawFeasible(rng)
+		vc := ComputeVertexCosts(b, s)
+		choice, cost := vc.Select()
+		minCost := math.Min(math.Min(vc.NRand, vc.TOI), math.Min(vc.DET, vc.BDet))
+		if cost != minCost {
+			t.Fatalf("iter %d: Select cost %v != min vertex cost %v (stats %+v, B %v)",
+				it, cost, minCost, s, b)
+		}
+		attained := map[Choice]float64{
+			ChoiceNRand: vc.NRand, ChoiceTOI: vc.TOI, ChoiceDET: vc.DET, ChoiceBDet: vc.BDet,
+		}[choice]
+		if attained != cost {
+			t.Fatalf("iter %d: Select returned choice %v with cost %v but that vertex costs %v",
+				it, choice, cost, attained)
+		}
+		if choice == ChoiceBDet {
+			// b-DET can only be chosen where condition (36) admits it.
+			if !(s.QBPlus > 0 && s.MuBMinus/b < (1-s.QBPlus)*(1-s.QBPlus)/s.QBPlus) {
+				t.Fatalf("iter %d: b-DET selected outside condition 36 (stats %+v, B %v)", it, s, b)
+			}
+		}
+	}
+}
+
+func TestPropertyBDetBaselineCR(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2014, 0xcafe))
+	for it := 0; it < propIters; it++ {
+		s, b := drawFeasible(rng)
+		off := s.OfflineCost(b)
+		if off == 0 {
+			continue
+		}
+		got := BaselineWorstCaseCR("b-DET", b, s)
+		mu, q := s.MuBMinus, s.QBPlus
+		if q > 0 && mu/b < (1-q)*(1-q)/q {
+			want := math.Pow(math.Sqrt(mu)+math.Sqrt(q*b), 2) / (mu + q*b)
+			checkClose(t, it, "b-DET CR", got, want)
+		} else if !math.IsInf(got, 1) {
+			t.Fatalf("iter %d: inapplicable b-DET CR = %v, want +Inf", it, got)
+		}
+	}
+}
+
+func TestPropertyWorstCaseCRBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2014, 0xb0bd))
+	eps := 1e-9
+	nrand := math.E / (math.E - 1)
+	for it := 0; it < propIters; it++ {
+		s, b := drawFeasible(rng)
+		cr, err := WorstCaseCRForStats(b, s)
+		if err != nil {
+			t.Fatalf("iter %d: feasible stats rejected: %v", it, err)
+		}
+		// The proposed policy can always fall back to N-Rand, so its
+		// worst-case CR sits in [1, e/(e-1)].
+		if cr < 1-eps || cr > nrand+eps {
+			t.Fatalf("iter %d: worst-case CR %v outside [1, e/(e-1)] (stats %+v, B %v)",
+				it, cr, s, b)
+		}
+	}
+}
+
+func TestPropertyConstrainedMatchesVertexCosts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2014, 0xfeed))
+	for it := 0; it < 500; it++ {
+		s, b := drawFeasible(rng)
+		c, err := NewConstrained(b, s)
+		if err != nil {
+			t.Fatalf("iter %d: %v", it, err)
+		}
+		vc := ComputeVertexCosts(b, s)
+		choice, cost := vc.Select()
+		if c.Choice() != choice {
+			t.Fatalf("iter %d: policy chose %v, Select says %v", it, c.Choice(), choice)
+		}
+		if c.WorstCaseCost() != cost {
+			t.Fatalf("iter %d: policy cost %v, Select says %v", it, c.WorstCaseCost(), cost)
+		}
+	}
+}
+
+// checkClose asserts a relative tolerance of 1e-12 (closed forms must
+// match to floating-point reassociation error, nothing looser).
+func checkClose(t *testing.T, iter int, name string, got, want float64) {
+	t.Helper()
+	if math.IsInf(want, 1) && math.IsInf(got, 1) {
+		return
+	}
+	tol := 1e-12 * math.Max(1, math.Abs(want))
+	if math.Abs(got-want) > tol {
+		t.Fatalf("iter %d: %s = %v, want %v", iter, name, got, want)
+	}
+}
