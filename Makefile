@@ -1,14 +1,20 @@
 # Development entry points. The repo is pure Go with no dependencies
 # outside the standard library, so every target is a thin go-tool
-# wrapper kept here for discoverability.
+# wrapper kept here for discoverability. `make ci` runs the exact steps
+# of .github/workflows/ci.yml, so the gate is reproducible locally.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check build vet test race bench bench-metrics bench-parallel clean
+.PHONY: check ci build vet test race fmt-check fuzz-smoke bench-smoke \
+	bench bench-metrics bench-parallel clean
 
-## check: the full pre-commit gate — vet, build, and the race-enabled
-## test suite (includes the internal/obs concurrent-writer tests).
-check: vet build race
+## check: the full pre-commit gate — identical to CI (vet, fmt, build,
+## test, race, fuzz smoke).
+check: ci
+
+## ci: mirror of the GitHub workflow jobs, step for step.
+ci: vet fmt-check build test race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -21,6 +27,33 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## fmt-check: fail when any file needs gofmt (CI's formatting gate).
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+## fuzz-smoke: run every Fuzz* target for FUZZTIME (default 10s) as a
+## quick regression sweep; the corpus findings become seed cases.
+fuzz-smoke:
+	@set -e; \
+	for pkg in $$($(GO) list ./...); do \
+		for target in $$($(GO) test -list '^Fuzz' $$pkg 2>/dev/null | grep '^Fuzz' || true); do \
+			echo "fuzz $$pkg $$target ($(FUZZTIME))"; \
+			$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg; \
+		done; \
+	done
+
+## bench-smoke: one fast iteration-bounded pass over every benchmark,
+## plus the instrumented-simulator metrics snapshot (bench-metrics.json)
+## CI uploads for the perf trajectory.
+bench-smoke:
+	$(GO) test -bench . -benchtime 100x -run '^$$' . | tee bench-smoke.txt
+	IDLEREDUCE_BENCH_METRICS=$(CURDIR)/bench-metrics.json \
+		$(GO) test -bench 'BenchmarkSimulatorObs' -benchtime 100x -run '^$$' .
+	@echo wrote bench-smoke.txt bench-metrics.json
 
 ## bench: every table/figure benchmark plus the ablations and the
 ## observability overhead pair (SimulatorObsOff vs SimulatorObsOn).
@@ -43,4 +76,4 @@ bench-parallel:
 	$(GO) test -bench 'BenchmarkParallel' -benchmem -run '^$$' .
 
 clean:
-	rm -f bench-metrics.json cpu.pprof mem.pprof trace.out
+	rm -f bench-metrics.json bench-smoke.txt cpu.pprof mem.pprof trace.out

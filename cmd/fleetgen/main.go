@@ -38,7 +38,28 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	if fs.NArg() != 0 {
+		fs.Usage()
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	// Validate flag combinations before any generation work: malformed
+	// values must fail as usage errors, not as a silent fallback
+	// (negative -vehicles used to mean "paper counts") or an error
+	// after minutes of fleet generation (-format was checked last).
+	if *vehicles < 0 {
+		fs.Usage()
+		return fmt.Errorf("-vehicles %d must be non-negative", *vehicles)
+	}
+	if *workers < 0 {
+		fs.Usage()
+		return fmt.Errorf("-workers %d must be non-negative", *workers)
+	}
+	if *format != "csv" && *format != "json" {
+		fs.Usage()
+		return fmt.Errorf("unknown format %q (want csv or json)", *format)
+	}
+	if *template && *configPath != "" {
+		fs.Usage()
+		return fmt.Errorf("-template and -config are mutually exclusive")
 	}
 	parallel.SetDefaultWorkers(*workers)
 
@@ -85,12 +106,8 @@ func run(args []string, stdout io.Writer) error {
 		defer file.Close()
 		w = file
 	}
-	switch *format {
-	case "csv":
-		return f.WriteCSV(w)
-	case "json":
+	if *format == "json" {
 		return f.WriteJSON(w)
-	default:
-		return fmt.Errorf("unknown format %q (want csv or json)", *format)
 	}
+	return f.WriteCSV(w)
 }

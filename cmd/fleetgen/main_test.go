@@ -61,12 +61,49 @@ func TestRunBadFormat(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "unknown format") {
 		t.Errorf("got %v", err)
 	}
+	if buf.Len() != 0 {
+		t.Error("-format is validated before generation; no output expected")
+	}
 }
 
 func TestRunExtraArgs(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"positional"}, &buf); err == nil {
 		t.Error("want error for positional args")
+	}
+}
+
+// TestRunMalformedFlagCombos pins the error-path contract: every
+// malformed combination is a usage error before any generation work,
+// with nothing written to stdout.
+func TestRunMalformedFlagCombos(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative vehicles", []string{"-vehicles", "-3"}, "-vehicles -3 must be non-negative"},
+		{"negative workers", []string{"-workers", "-2"}, "-workers -2 must be non-negative"},
+		{"bad format", []string{"-format", "yaml"}, "unknown format"},
+		{"template with config", []string{"-template", "-config", "x.json"}, "mutually exclusive"},
+		{"positional", []string{"-vehicles", "2", "stray"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("run(%v) panicked: %v", tc.args, r)
+				}
+			}()
+			var buf bytes.Buffer
+			err := run(tc.args, &buf)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) err = %v, want containing %q", tc.args, err, tc.want)
+			}
+			if buf.Len() != 0 {
+				t.Errorf("run(%v) wrote %d bytes to stdout on a usage error", tc.args, buf.Len())
+			}
+		})
 	}
 }
 

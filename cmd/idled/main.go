@@ -1,0 +1,204 @@
+// Command idled is the decision-serving daemon: a long-running HTTP
+// API that answers online idling decisions from the constrained
+// ski-rental policy, backed by a read-mostly per-area strategy cache
+// (see docs/SERVER.md).
+//
+// Usage:
+//
+//	idled serve    [-addr HOST:PORT] [-workers N] [-max-inflight N]
+//	               [-areas FILE] [-b SECONDS] [-seed N] [-max-batch N]
+//	               [-request-timeout D] [-drain-timeout D]
+//	idled loadtest [-target URL] [-clients N] [-requests N] [-batch N]
+//	               [-seed N] [-workers N] [-max-inflight N] [-json]
+//	idled areas-template
+//
+// serve runs until SIGINT/SIGTERM, then drains in-flight requests
+// gracefully. loadtest drives concurrent batch-decision clients at
+// -target, or at a private in-process server when -target is empty,
+// and reports achieved QPS and latency quantiles from the harness's
+// metrics registry. areas-template prints the default -areas config
+// (the three paper areas at B = 28 s) as editable JSON.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"idlereduce/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "idled:", err)
+		os.Exit(1)
+	}
+}
+
+const usage = "usage: idled <serve|loadtest|areas-template> [flags]"
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf(usage)
+	}
+	switch args[0] {
+	case "serve":
+		return serve(ctx, args[1:], stdout)
+	case "loadtest":
+		return loadtest(ctx, args[1:], stdout)
+	case "areas-template":
+		areas, err := server.DefaultAreaStates(28)
+		if err != nil {
+			return err
+		}
+		return server.WriteAreaStates(stdout, areas)
+	default:
+		return fmt.Errorf("unknown command %q (want serve, loadtest or areas-template)\n%s", args[0], usage)
+	}
+}
+
+// loadAreas resolves the serving areas: the -areas config file, or the
+// three paper areas measured at break-even interval b.
+func loadAreas(path string, b float64) ([]server.AreaState, error) {
+	if path == "" {
+		return server.DefaultAreaStates(b)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return server.ReadAreaStates(f)
+}
+
+func serve(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("idled serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	workers := fs.Int("workers", 0, "batch fan-out pool size (0 = GOMAXPROCS); replies are identical for every value")
+	maxInflight := fs.Int("max-inflight", 1024, "max concurrently served /v1 requests before shedding with 429")
+	areasPath := fs.String("areas", "", "JSON area config file (default: the three paper areas; see areas-template)")
+	b := fs.Float64("b", 28, "default break-even interval (s) for the built-in areas")
+	seed := fs.Uint64("seed", 0, "root decision seed (0 = 20140601)")
+	maxBatch := fs.Int("max-batch", 4096, "max decisions per batch request")
+	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request context deadline")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain bound")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *b <= 0 {
+		fs.Usage()
+		return fmt.Errorf("-b %v must be positive", *b)
+	}
+	areas, err := loadAreas(*areasPath, *b)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		MaxInflight:    *maxInflight,
+		MaxBatch:       *maxBatch,
+		RootSeed:       *seed,
+		RequestTimeout: *reqTimeout,
+		DrainTimeout:   *drainTimeout,
+		Areas:          areas,
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Listen()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "idled: serving %d areas on http://%s\n", len(areas), bound)
+	err = srv.Serve(ctx)
+	if err == nil {
+		fmt.Fprintln(stdout, "idled: drained, bye")
+	}
+	return err
+}
+
+func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("idled loadtest", flag.ContinueOnError)
+	target := fs.String("target", "", "base URL of a running idled (empty = spin up a private in-process server)")
+	clients := fs.Int("clients", 16, "concurrent client goroutines")
+	requests := fs.Int("requests", 50, "batch requests per client")
+	batch := fs.Int("batch", 8, "decisions per batch request")
+	seed := fs.Uint64("seed", 0, "decision root seed sent with every batch (0 = server default)")
+	workers := fs.Int("workers", 0, "in-process server pool size (ignored with -target)")
+	maxInflight := fs.Int("max-inflight", 1024, "in-process server in-flight bound (ignored with -target)")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *clients <= 0 || *requests <= 0 || *batch <= 0 {
+		fs.Usage()
+		return fmt.Errorf("-clients %d, -requests %d and -batch %d must all be positive", *clients, *requests, *batch)
+	}
+
+	base := *target
+	if base == "" {
+		// Self-contained mode: serve the default areas from this
+		// process and aim the harness at the loopback listener.
+		areas, err := server.DefaultAreaStates(28)
+		if err != nil {
+			return err
+		}
+		srv, err := server.New(server.Config{
+			Addr:        "127.0.0.1:0",
+			Workers:     *workers,
+			MaxInflight: *maxInflight,
+			Areas:       areas,
+		})
+		if err != nil {
+			return err
+		}
+		bound, err := srv.Listen()
+		if err != nil {
+			return err
+		}
+		srvCtx, stopSrv := context.WithCancel(ctx)
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(srvCtx) }()
+		defer func() {
+			stopSrv()
+			<-done
+		}()
+		base = "http://" + bound
+		fmt.Fprintf(stdout, "loadtest: in-process server on %s\n", base)
+	}
+
+	report, err := server.RunLoad(ctx, server.LoadOptions{
+		BaseURL:  base,
+		Clients:  *clients,
+		Requests: *requests,
+		Batch:    *batch,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	_, err = io.WriteString(stdout, report.String())
+	return err
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"idlereduce/internal/server"
+)
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no command", nil, "usage:"},
+		{"unknown command", []string{"bogus"}, "unknown command"},
+		{"serve positional", []string{"serve", "extra"}, "unexpected arguments"},
+		{"serve bad b", []string{"serve", "-b", "-3"}, "must be positive"},
+		{"serve missing areas file", []string{"serve", "-areas", "/does/not/exist.json"}, "no such file"},
+		{"loadtest positional", []string{"loadtest", "extra"}, "unexpected arguments"},
+		{"loadtest bad clients", []string{"loadtest", "-clients", "-1"}, "must all be positive"},
+		{"loadtest bad batch", []string{"loadtest", "-batch", "0"}, "must all be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(context.Background(), tc.args, &out)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) err = %v, want containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAreasTemplateRoundTrips(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"areas-template"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	areas, err := server.ReadAreaStates(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(areas) != 3 {
+		t.Fatalf("template areas %d", len(areas))
+	}
+}
+
+// TestServeLifecycle boots the daemon on an ephemeral port, hits its
+// API, then cancels the context like a SIGTERM and expects a clean
+// drain.
+func TestServeLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		err := run(ctx, []string{"serve", "-addr", "127.0.0.1:0", "-max-inflight", "64"}, pw)
+		pw.Close()
+		done <- err
+	}()
+	sc := bufio.NewScanner(pr)
+	if !sc.Scan() {
+		t.Fatalf("no serve banner; err=%v", <-done)
+	}
+	banner := sc.Text()
+	i := strings.Index(banner, "http://")
+	if i < 0 {
+		t.Fatalf("banner %q has no address", banner)
+	}
+	base := strings.TrimSpace(banner[i:])
+
+	resp, err := http.Post(base+"/v1/decide", "application/json",
+		strings.NewReader(`{"vehicle_id":"v","area":"chicago","seed":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("decide status %d: %s", resp.StatusCode, body)
+	}
+	var dec server.DecideResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Choice == "" || dec.Seed != 4 {
+		t.Errorf("decision %+v", dec)
+	}
+
+	cancel()
+	go io.Copy(io.Discard, pr) // drain the "bye" line
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v, want clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not exit after cancel")
+	}
+}
+
+// TestServeCustomAreasFile boots with a one-area config and checks the
+// area is served.
+func TestServeCustomAreasFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/areas.json"
+	cfg := `[{"id":"testville","b":30,"mu":6,"q":0.2}]`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		err := run(ctx, []string{"serve", "-addr", "127.0.0.1:0", "-areas", path}, pw)
+		pw.Close()
+		done <- err
+	}()
+	sc := bufio.NewScanner(pr)
+	if !sc.Scan() {
+		t.Fatalf("no banner; err=%v", <-done)
+	}
+	base := sc.Text()[strings.Index(sc.Text(), "http://"):]
+
+	resp, err := http.Get(base + "/v1/areas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list server.AreasResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Areas) != 1 || list.Areas[0].ID != "testville" || list.Areas[0].B != 30 {
+		t.Errorf("areas %+v", list.Areas)
+	}
+	cancel()
+	go io.Copy(io.Discard, pr)
+	if err := <-done; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestLoadtestInProcess runs the self-contained loadtest mode and
+// checks the JSON report adds up.
+func TestLoadtestInProcess(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"loadtest", "-clients", "4", "-requests", "3", "-batch", "2", "-json"}
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatal(err)
+	}
+	// First line is the in-process banner; the report is the JSON tail.
+	text := out.String()
+	i := strings.Index(text, "{")
+	if i < 0 {
+		t.Fatalf("no JSON in output:\n%s", text)
+	}
+	var report server.LoadReport
+	if err := json.Unmarshal([]byte(text[i:]), &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests != 12 || report.Decisions != 24 {
+		t.Errorf("report %+v, want 12 requests / 24 decisions", report)
+	}
+	if report.Errors != 0 || report.Overloaded != 0 {
+		t.Errorf("report errors %+v", report)
+	}
+}
+
+// TestLoadtestTextOutput checks the human-readable report path.
+func TestLoadtestTextOutput(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"loadtest", "-clients", "2", "-requests", "2", "-batch", "2"}
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"loadtest:", "requests", "decisions", "latency ms"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -84,8 +85,29 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("exactly one experiment required")
 	}
+	// Validate flag combinations up front: a malformed value must be a
+	// usage error, never a downstream panic (negative -grid used to
+	// reach makeslice) or a partial run.
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"-vehicles", *vehicles}, {"-grid", *grid}, {"-points", *points}, {"-workers", *workers},
+	} {
+		if f.v < 0 {
+			fs.Usage()
+			return fmt.Errorf("%s %d must be non-negative", f.name, f.v)
+		}
+	}
+	if *b <= 0 || math.IsNaN(*b) || math.IsInf(*b, 0) {
+		fs.Usage()
+		return fmt.Errorf("-b %v must be a positive break-even interval", *b)
+	}
 	if *metricsFormat != "json" && *metricsFormat != "prom" {
 		return fmt.Errorf("unknown -metrics-format %q (want json or prom)", *metricsFormat)
+	}
+	if *metrics == "" && *metricsFormat != "json" {
+		return fmt.Errorf("-metrics-format requires -metrics")
 	}
 	opts := experiments.Options{
 		Seed:          *seed,

@@ -29,6 +29,41 @@ func TestRunBadFlag(t *testing.T) {
 	}
 }
 
+// TestRunMalformedFlagCombos pins the error-path contract: malformed
+// flag combinations are usage errors with a non-zero exit, never a
+// panic from deep inside an experiment (negative -grid used to reach
+// makeslice in Fig1Context).
+func TestRunMalformedFlagCombos(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative grid", []string{"-grid", "-5", "fig1"}, "-grid -5 must be non-negative"},
+		{"negative points", []string{"-points", "-2", "fig5"}, "-points -2 must be non-negative"},
+		{"negative vehicles", []string{"-vehicles", "-3", "fig4"}, "-vehicles -3 must be non-negative"},
+		{"negative workers", []string{"-workers", "-1", "fig1"}, "-workers -1 must be non-negative"},
+		{"zero b", []string{"-b", "0", "fig2"}, "must be a positive break-even"},
+		{"negative b", []string{"-b", "-28", "verify"}, "must be a positive break-even"},
+		{"nan b", []string{"-b", "NaN", "fig2"}, "must be a positive break-even"},
+		{"bad metrics format", []string{"-metrics", "-", "-metrics-format", "xml", "fig1"}, "unknown -metrics-format"},
+		{"format without metrics", []string{"-metrics-format", "prom", "fig1"}, "-metrics-format requires -metrics"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("run(%v) panicked: %v", tc.args, r)
+				}
+			}()
+			err := run(tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) err = %v, want containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
 func TestDispatchFastExperiments(t *testing.T) {
 	// Run the cheap experiments end to end (stdout goes to the test log).
 	opts := smallCLI()

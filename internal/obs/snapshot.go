@@ -81,6 +81,49 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// CounterValue looks up a counter by exact (labelled) name.
+func (s Snapshot) CounterValue(name string) (int64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// GaugeValue looks up a gauge by exact (labelled) name.
+func (s Snapshot) GaugeValue(name string) (float64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// HistogramValue looks up a histogram summary by exact (labelled) name.
+func (s Snapshot) HistogramValue(name string) (HistogramSnapshot, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}
+
+// SumCounters totals every counter whose base name (label block
+// stripped) matches base — e.g. SumCounters("http_requests_total")
+// across all route/code label combinations.
+func (s Snapshot) SumCounters(base string) int64 {
+	var total int64
+	for _, c := range s.Counters {
+		if baseName(c.Name) == base {
+			total += c.Value
+		}
+	}
+	return total
+}
+
 // WriteJSON writes the snapshot as indented JSON.
 func (s Snapshot) WriteJSON(w io.Writer) error {
 	data, err := json.MarshalIndent(s, "", "  ")

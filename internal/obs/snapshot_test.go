@@ -1,0 +1,93 @@
+package obs
+
+import "testing"
+
+// The lookup helpers are the bridge between a Snapshot and code that
+// reports on it (the idled loadtest, CI bench artifacts): they must
+// resolve exact labelled names and aggregate across label sets.
+
+func TestSnapshotCounterValue(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(L("http_requests_total", "route", "decide", "code", "200")).Add(7)
+	r.Counter("plain_total").Add(2)
+	s := r.Snapshot()
+
+	if v, ok := s.CounterValue(`http_requests_total{route="decide",code="200"}`); !ok || v != 7 {
+		t.Errorf("labelled counter = %d, %v; want 7, true", v, ok)
+	}
+	if v, ok := s.CounterValue("plain_total"); !ok || v != 2 {
+		t.Errorf("plain counter = %d, %v; want 2, true", v, ok)
+	}
+	if v, ok := s.CounterValue("missing_total"); ok || v != 0 {
+		t.Errorf("missing counter = %d, %v; want 0, false", v, ok)
+	}
+	// Base name alone must NOT match a labelled counter.
+	if _, ok := s.CounterValue("http_requests_total"); ok {
+		t.Error("base name matched a labelled counter; lookup is exact-name only")
+	}
+}
+
+func TestSnapshotGaugeValue(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("http_inflight_requests").Set(4)
+	s := r.Snapshot()
+
+	if v, ok := s.GaugeValue("http_inflight_requests"); !ok || v != 4 {
+		t.Errorf("gauge = %g, %v; want 4, true", v, ok)
+	}
+	if _, ok := s.GaugeValue("absent"); ok {
+		t.Error("missing gauge reported present")
+	}
+}
+
+func TestSnapshotHistogramValue(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("request_ms")
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+
+	hs, ok := s.HistogramValue("request_ms")
+	if !ok {
+		t.Fatal("histogram not found")
+	}
+	if hs.Count != 4 || hs.Sum != 10 || hs.Max != 4 {
+		t.Errorf("histogram count=%d sum=%g max=%g; want 4, 10, 4", hs.Count, hs.Sum, hs.Max)
+	}
+	if _, ok := s.HistogramValue("absent"); ok {
+		t.Error("missing histogram reported present")
+	}
+}
+
+func TestSnapshotSumCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(L("http_requests_total", "route", "decide", "code", "200")).Add(5)
+	r.Counter(L("http_requests_total", "route", "batch", "code", "200")).Add(10)
+	r.Counter(L("http_requests_total", "route", "decide", "code", "404")).Add(1)
+	r.Counter("http_requests_totally_different").Add(99)
+	s := r.Snapshot()
+
+	if got := s.SumCounters("http_requests_total"); got != 16 {
+		t.Errorf("SumCounters across labels = %d; want 16", got)
+	}
+	if got := s.SumCounters("absent_total"); got != 0 {
+		t.Errorf("SumCounters on absent base = %d; want 0", got)
+	}
+}
+
+func TestSnapshotHelpersOnEmptySnapshot(t *testing.T) {
+	var s Snapshot
+	if _, ok := s.CounterValue("x"); ok {
+		t.Error("empty snapshot counter lookup succeeded")
+	}
+	if _, ok := s.GaugeValue("x"); ok {
+		t.Error("empty snapshot gauge lookup succeeded")
+	}
+	if _, ok := s.HistogramValue("x"); ok {
+		t.Error("empty snapshot histogram lookup succeeded")
+	}
+	if got := s.SumCounters("x"); got != 0 {
+		t.Errorf("empty snapshot SumCounters = %d; want 0", got)
+	}
+}

@@ -1,0 +1,135 @@
+package server
+
+// Wire types of the idled HTTP API (see docs/SERVER.md). All request
+// bodies are JSON with unknown fields rejected, so client typos surface
+// as 400s instead of silently ignored options.
+
+// DecideRequest asks for one online idling decision: which vertex
+// strategy to play for the next stop of the given vehicle, and the
+// concrete shutoff threshold to use.
+type DecideRequest struct {
+	// VehicleID identifies the requesting vehicle. It seeds the
+	// per-request randomness stream, so distinct vehicles draw
+	// independent thresholds from randomized policies.
+	VehicleID string `json:"vehicle_id"`
+	// Area is the statistics area the vehicle is stopped in.
+	Area string `json:"area"`
+	// B optionally overrides the area's break-even interval (seconds).
+	// Zero means "use the area default", which is the precomputed
+	// cache-hit path.
+	B float64 `json:"b,omitempty"`
+	// Seed optionally overrides the server's root seed. Replies are a
+	// pure function of (seed, vehicle_id, area, b) and the area's
+	// current statistics.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// DecideResponse is the decision for one stop.
+type DecideResponse struct {
+	VehicleID string  `json:"vehicle_id"`
+	Area      string  `json:"area"`
+	B         float64 `json:"b"`
+	// Choice is the selected vertex strategy (DET, TOI, b-DET, N-Rand).
+	Choice string `json:"choice"`
+	// ThresholdSec is the shutoff threshold for this stop: idle this
+	// many seconds, then turn the engine off. Deterministic strategies
+	// always return the same value; N-Rand draws from its density using
+	// the per-request derived stream.
+	ThresholdSec float64 `json:"threshold_sec"`
+	// WorstCaseCost and WorstCaseCR are the guaranteed bounds of the
+	// selected strategy over every distribution consistent with the
+	// area statistics.
+	WorstCaseCost float64 `json:"worst_case_cost"`
+	WorstCaseCR   float64 `json:"worst_case_cr"`
+	// Seed echoes the effective root seed used for the draw.
+	Seed uint64 `json:"seed"`
+	// Cached reports whether the decision came from the precomputed
+	// per-area strategy cache (true) or was derived for a custom B
+	// (false).
+	Cached bool `json:"cached"`
+}
+
+// BatchDecideRequest fans one decision per item over the server's
+// worker pool. Items are independent; the reply preserves input order.
+type BatchDecideRequest struct {
+	// Seed is the default root seed for items that do not carry their
+	// own. Zero falls back to the server root seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Requests are the individual decisions to make.
+	Requests []DecideRequest `json:"requests"`
+}
+
+// BatchItem is one slot of a batch reply: exactly one of Decision or
+// Error is set. Per-item failures never fail the whole batch.
+type BatchItem struct {
+	Decision *DecideResponse `json:"decision,omitempty"`
+	Error    *APIError       `json:"error,omitempty"`
+}
+
+// BatchDecideResponse carries the order-preserving batch results.
+type BatchDecideResponse struct {
+	Seed    uint64      `json:"seed"`
+	Results []BatchItem `json:"results"`
+}
+
+// StatsUpdateRequest replaces one area's constrained statistics
+// (PUT /v1/areas/{id}/stats). The pair must be feasible for the area's
+// break-even interval: q in [0, 1], mu in [0, B(1-q)].
+type StatsUpdateRequest struct {
+	// B optionally updates the area's default break-even interval.
+	// Zero keeps the current value.
+	B float64 `json:"b,omitempty"`
+	// Mu is mu_B-: the partial expectation of stops not longer than B.
+	Mu float64 `json:"mu"`
+	// Q is q_B+: the probability of a stop longer than B.
+	Q float64 `json:"q"`
+}
+
+// AreaInfo describes one area's current cached strategy
+// (GET /v1/areas and the reply to a stats update).
+type AreaInfo struct {
+	ID string  `json:"id"`
+	B  float64 `json:"b"`
+	Mu float64 `json:"mu"`
+	Q  float64 `json:"q"`
+	// Choice is the precomputed vertex selection for (B, mu, q).
+	Choice string `json:"choice"`
+	// ThresholdSec is the fixed threshold for deterministic choices;
+	// -1 for N-Rand (the threshold is drawn per request).
+	ThresholdSec  float64 `json:"threshold_sec"`
+	WorstCaseCost float64 `json:"worst_case_cost"`
+	WorstCaseCR   float64 `json:"worst_case_cr"`
+	// Version counts statistics swaps since boot (starts at 1).
+	Version uint64 `json:"version"`
+}
+
+// AreasResponse lists every configured area, sorted by ID.
+type AreasResponse struct {
+	Areas []AreaInfo `json:"areas"`
+}
+
+// APIError is the structured error body every non-2xx reply carries:
+//
+//	{"error": {"code": "unknown_area", "message": "...", "status": 404}}
+type APIError struct {
+	// Code is a stable machine-readable identifier: bad_request,
+	// invalid_stats, unknown_area, not_found, method_not_allowed,
+	// overloaded, too_large, internal.
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+	// Status is the HTTP status the error was sent with.
+	Status int `json:"status"`
+}
+
+// ErrorResponse wraps APIError as the JSON error envelope.
+type ErrorResponse struct {
+	Error APIError `json:"error"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	UptimeMS int64  `json:"uptime_ms"`
+	Areas    int    `json:"areas"`
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"idlereduce/internal/fleet"
+	"idlereduce/internal/skirental"
+)
+
+// DefaultAreaStates derives the serving configuration of the three
+// paper areas (California, Chicago, Atlanta) by measuring the
+// constrained statistics of each area's stop-length distribution at
+// break-even interval b. This is what idled serves when no -areas
+// config file is given.
+func DefaultAreaStates(b float64) ([]AreaState, error) {
+	areas := fleet.DefaultAreas()
+	out := make([]AreaState, 0, len(areas))
+	for _, a := range areas {
+		s := skirental.StatsOf(a.StopLengthDistribution(), b)
+		state := AreaState{ID: strings.ToLower(a.Name), B: b, Mu: s.MuBMinus, Q: s.QBPlus}
+		if err := state.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, state)
+	}
+	return out, nil
+}
+
+// ReadAreaStates parses an -areas config file: a JSON array of
+// {"id", "b", "mu", "q"} objects. Every entry is validated; unknown
+// fields are rejected so config typos fail loudly at boot.
+func ReadAreaStates(r io.Reader) ([]AreaState, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var areas []AreaState
+	if err := dec.Decode(&areas); err != nil {
+		return nil, fmt.Errorf("server: decode areas config: %w", err)
+	}
+	if len(areas) == 0 {
+		return nil, fmt.Errorf("server: areas config is empty")
+	}
+	for _, a := range areas {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return areas, nil
+}
+
+// WriteAreaStates writes the states as an editable JSON config
+// (the idled -areas-template output).
+func WriteAreaStates(w io.Writer, areas []AreaState) error {
+	data, err := json.MarshalIndent(areas, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"idlereduce/internal/skirental"
+)
+
+// AreaState is the serving configuration of one statistics area: the
+// break-even interval B and the constrained pair (mu_B-, q_B+) the
+// vertex selection is derived from. It is what the -areas config file
+// holds and what a stats update replaces.
+type AreaState struct {
+	// ID is the lookup key (case-insensitive, stored lowercase).
+	ID string `json:"id"`
+	// B is the area's default break-even interval in seconds.
+	B float64 `json:"b"`
+	// Mu is mu_B- (partial expectation of stops <= B, seconds).
+	Mu float64 `json:"mu"`
+	// Q is q_B+ (probability of a stop longer than B).
+	Q float64 `json:"q"`
+}
+
+// Stats returns the skirental view of the pair.
+func (a AreaState) Stats() skirental.Stats {
+	return skirental.Stats{MuBMinus: a.Mu, QBPlus: a.Q}
+}
+
+// Validate checks the state is servable: non-empty ID and a feasible
+// (B, mu, q) triple.
+func (a AreaState) Validate() error {
+	if strings.TrimSpace(a.ID) == "" {
+		return fmt.Errorf("server: area id empty")
+	}
+	if err := a.Stats().Validate(a.B); err != nil {
+		return fmt.Errorf("server: area %s: %w", a.ID, err)
+	}
+	return nil
+}
+
+// strategy is one immutable cache entry: the area state plus everything
+// decide needs precomputed — the selected policy, its vertex costs and
+// the guaranteed bounds. Entries are never mutated after construction;
+// updates build a fresh entry and swap the whole map.
+type strategy struct {
+	state   AreaState
+	policy  *skirental.Constrained
+	costs   skirental.VertexCosts
+	version uint64
+}
+
+// newStrategy precomputes the vertex selection for one area state.
+func newStrategy(state AreaState, version uint64) (*strategy, error) {
+	state.ID = strings.ToLower(strings.TrimSpace(state.ID))
+	if err := state.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := skirental.NewConstrained(state.B, state.Stats())
+	if err != nil {
+		return nil, fmt.Errorf("server: area %s: %w", state.ID, err)
+	}
+	return &strategy{
+		state:   state,
+		policy:  p,
+		costs:   skirental.ComputeVertexCosts(state.B, state.Stats()),
+		version: version,
+	}, nil
+}
+
+// Info renders the entry as the wire AreaInfo.
+func (s *strategy) Info() AreaInfo {
+	info := AreaInfo{
+		ID:            s.state.ID,
+		B:             s.state.B,
+		Mu:            s.state.Mu,
+		Q:             s.state.Q,
+		Choice:        s.policy.Choice().String(),
+		ThresholdSec:  -1,
+		WorstCaseCost: s.policy.WorstCaseCost(),
+		WorstCaseCR:   s.policy.WorstCaseCR(),
+		Version:       s.version,
+	}
+	if det, ok := s.policy.Inner().(*skirental.Deterministic); ok {
+		info.ThresholdSec = det.X()
+	}
+	return info
+}
+
+// Cache is the read-mostly per-area strategy cache. Reads are a single
+// atomic pointer load plus a map lookup — no locks on the decide path.
+// Writers serialize on mu and publish copy-on-write: build the new
+// entry, clone the map, swap the pointer. Readers holding the old map
+// keep a consistent snapshot.
+type Cache struct {
+	mu      sync.Mutex
+	entries atomic.Pointer[map[string]*strategy]
+}
+
+// NewCache builds the cache from the boot-time area states. Duplicate
+// IDs (after lowercasing) are rejected.
+func NewCache(areas []AreaState) (*Cache, error) {
+	if len(areas) == 0 {
+		return nil, fmt.Errorf("server: no areas configured")
+	}
+	m := make(map[string]*strategy, len(areas))
+	for _, a := range areas {
+		e, err := newStrategy(a, 1)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[e.state.ID]; dup {
+			return nil, fmt.Errorf("server: duplicate area id %q", e.state.ID)
+		}
+		m[e.state.ID] = e
+	}
+	c := &Cache{}
+	c.entries.Store(&m)
+	return c, nil
+}
+
+// Get returns the current strategy of an area (case-insensitive).
+func (c *Cache) Get(id string) (*strategy, bool) {
+	m := *c.entries.Load()
+	s, ok := m[strings.ToLower(strings.TrimSpace(id))]
+	return s, ok
+}
+
+// Update swaps in new statistics for an existing area. b <= 0 keeps the
+// area's current break-even interval. The new entry is fully validated
+// and precomputed before publication, so concurrent readers only ever
+// observe servable strategies.
+func (c *Cache) Update(id string, b float64, s skirental.Stats) (*strategy, error) {
+	key := strings.ToLower(strings.TrimSpace(id))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := *c.entries.Load()
+	prev, ok := old[key]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown area %q", id)
+	}
+	if b <= 0 || math.IsNaN(b) {
+		b = prev.state.B
+	}
+	next, err := newStrategy(AreaState{ID: key, B: b, Mu: s.MuBMinus, Q: s.QBPlus}, prev.version+1)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]*strategy, len(old))
+	for k, v := range old {
+		m[k] = v
+	}
+	m[key] = next
+	c.entries.Store(&m)
+	return next, nil
+}
+
+// List returns every entry sorted by area ID.
+func (c *Cache) List() []*strategy {
+	m := *c.entries.Load()
+	out := make([]*strategy, 0, len(m))
+	for _, s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].state.ID < out[j].state.ID })
+	return out
+}
+
+// Len returns the number of configured areas.
+func (c *Cache) Len() int { return len(*c.entries.Load()) }

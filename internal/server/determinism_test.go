@@ -1,0 +1,111 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestDecideDeterministicAcrossWorkers is the serving determinism
+// contract: identical requests with the same seed return byte-identical
+// bodies regardless of the batch worker-pool size, sibling traffic, or
+// which server instance answers. N-Rand draws are covered by updating
+// an area into the N-Rand region first.
+func TestDecideDeterministicAcrossWorkers(t *testing.T) {
+	singles := []string{
+		`{"vehicle_id":"det-1","area":"chicago","seed":11}`,
+		`{"vehicle_id":"det-1","area":"chicago","b":60,"seed":11}`,
+		`{"vehicle_id":"rnd-1","area":"nrandia","seed":11}`,
+		`{"vehicle_id":"rnd-2","area":"nrandia","seed":12}`,
+	}
+	batch := `{"seed":11,"requests":[
+		{"vehicle_id":"rnd-1","area":"nrandia"},
+		{"vehicle_id":"det-1","area":"chicago"},
+		{"vehicle_id":"rnd-9","area":"nrandia","seed":99},
+		{"vehicle_id":"det-2","area":"atlanta","b":45}]}`
+
+	var wantSingles [][]byte
+	var wantBatch []byte
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			areas := append(testAreas(),
+				// Statistics deep in the N-Rand region so the reply
+				// exercises the randomized threshold draw.
+				AreaState{ID: "nrandia", B: 28, Mu: 4, Q: 0.25})
+			s, err := New(Config{Areas: areas, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+
+			for i, body := range singles {
+				// Each request twice: replies must be stable within a
+				// server, not just across servers.
+				for rep := 0; rep < 2; rep++ {
+					status, raw := doJSON(t, "POST", ts.URL+"/v1/decide", body, nil)
+					if status != http.StatusOK {
+						t.Fatalf("single %d status %d: %s", i, status, raw)
+					}
+					if workers == 1 && rep == 0 {
+						wantSingles = append(wantSingles, raw)
+					} else if !bytes.Equal(raw, wantSingles[i]) {
+						t.Errorf("single %d diverged:\n%s\n%s", i, raw, wantSingles[i])
+					}
+				}
+			}
+			status, raw := doJSON(t, "POST", ts.URL+"/v1/decide/batch", batch, nil)
+			if status != http.StatusOK {
+				t.Fatalf("batch status %d: %s", status, raw)
+			}
+			if workers == 1 {
+				wantBatch = raw
+			} else if !bytes.Equal(raw, wantBatch) {
+				t.Errorf("batch diverged at workers=%d:\n%s\n%s", workers, raw, wantBatch)
+			}
+		})
+	}
+}
+
+// TestDecideSeedAndIdentityChangeDraws checks the opposite direction:
+// distinct seeds or vehicle IDs give independent N-Rand draws, so the
+// server is not accidentally serving one frozen threshold.
+func TestDecideSeedAndIdentityChangeDraws(t *testing.T) {
+	areas := []AreaState{{ID: "nrandia", B: 28, Mu: 4, Q: 0.25}}
+	_, ts := newTestServerAreas(t, areas)
+	draw := func(body string) float64 {
+		var resp DecideResponse
+		if status, raw := doJSON(t, "POST", ts.URL+"/v1/decide", body, &resp); status != 200 {
+			t.Fatalf("status %d: %s", status, raw)
+		}
+		if resp.Choice != "N-Rand" {
+			t.Fatalf("choice %s, want N-Rand", resp.Choice)
+		}
+		return resp.ThresholdSec
+	}
+	base := draw(`{"vehicle_id":"v","area":"nrandia","seed":5}`)
+	if other := draw(`{"vehicle_id":"v","area":"nrandia","seed":6}`); other == base {
+		t.Errorf("seed change kept threshold %v", base)
+	}
+	if other := draw(`{"vehicle_id":"w","area":"nrandia","seed":5}`); other == base {
+		t.Errorf("vehicle change kept threshold %v", base)
+	}
+	if again := draw(`{"vehicle_id":"v","area":"nrandia","seed":5}`); again != base {
+		t.Errorf("replay drew %v, want %v", again, base)
+	}
+}
+
+// newTestServerAreas is newTestServer with explicit areas.
+func newTestServerAreas(t *testing.T, areas []AreaState) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{Areas: areas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"idlereduce/internal/obs"
+	"idlereduce/internal/parallel"
+	"idlereduce/internal/skirental"
+)
+
+// requestStream derives the deterministic RNG stream ID of one decide
+// request from its identifying fields. Together with the root seed it
+// makes every reply a pure function of (seed, vehicle_id, area, b):
+// independent of scheduling, worker count, batch position and sibling
+// requests.
+func requestStream(vehicleID, area string, b float64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(vehicleID))
+	h.Write([]byte{0})
+	h.Write([]byte(area))
+	h.Write([]byte{0})
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(b))
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// decide computes one decision. It returns the structured API error to
+// send instead of an (error, status) pair so the batch path can embed
+// failures per item.
+func (s *Server) decide(req DecideRequest, defaultSeed uint64) (*DecideResponse, *APIError) {
+	if req.VehicleID == "" {
+		return nil, &APIError{Code: "bad_request", Message: "vehicle_id is required", Status: http.StatusBadRequest}
+	}
+	if req.Area == "" {
+		return nil, &APIError{Code: "bad_request", Message: "area is required", Status: http.StatusBadRequest}
+	}
+	if math.IsNaN(req.B) || math.IsInf(req.B, 0) || req.B < 0 {
+		return nil, &APIError{Code: "bad_request", Message: fmt.Sprintf("b = %v must be a finite non-negative break-even interval", req.B), Status: http.StatusBadRequest}
+	}
+	entry, ok := s.cache.Get(req.Area)
+	if !ok {
+		return nil, &APIError{Code: "unknown_area", Message: fmt.Sprintf("unknown area %q", req.Area), Status: http.StatusNotFound}
+	}
+
+	// Cache hit: the request uses the area's default break-even
+	// interval, so the vertex selection is already precomputed. A
+	// custom B derives a fresh policy from the same statistics.
+	b := req.B
+	policy := entry.policy
+	cached := b == 0 || b == entry.state.B
+	if cached {
+		b = entry.state.B
+		s.rec.Add("decide_cache_hits_total", 1)
+	} else {
+		s.rec.Add("decide_cache_misses_total", 1)
+		var err error
+		policy, err = skirental.NewConstrained(b, entry.state.Stats())
+		if err != nil {
+			return nil, &APIError{Code: "invalid_stats", Message: fmt.Sprintf("area %s statistics are infeasible for b = %v: %v", entry.state.ID, b, err), Status: http.StatusUnprocessableEntity}
+		}
+	}
+
+	seed := req.Seed
+	if seed == 0 {
+		seed = defaultSeed
+	}
+	rng := parallel.RNG(seed, requestStream(req.VehicleID, entry.state.ID, b))
+	threshold := policy.Threshold(rng)
+
+	if s.cfg.testDelay > 0 {
+		time.Sleep(s.cfg.testDelay)
+	}
+	if s.cfg.testHook != nil {
+		s.cfg.testHook()
+	}
+	s.rec.Add(obs.L("decide_total", "choice", policy.Choice().String()), 1)
+	s.rec.Observe("decide_threshold_sec", threshold)
+	return &DecideResponse{
+		VehicleID:     req.VehicleID,
+		Area:          entry.state.ID,
+		B:             b,
+		Choice:        policy.Choice().String(),
+		ThresholdSec:  threshold,
+		WorstCaseCost: policy.WorstCaseCost(),
+		WorstCaseCR:   policy.WorstCaseCR(),
+		Seed:          seed,
+		Cached:        cached,
+	}, nil
+}
+
+// handleDecide serves POST /v1/decide.
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	var req DecideRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "decode request: "+err.Error())
+		return
+	}
+	resp, apiErr := s.decide(req, s.cfg.RootSeed)
+	if apiErr != nil {
+		writeError(w, apiErr.Status, apiErr.Code, apiErr.Message)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch serves POST /v1/decide/batch: the items fan out over the
+// deterministic worker pool and merge back in input order. Item
+// failures are embedded per slot, so a batch reply is always 200 once
+// it passes structural validation.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchDecideRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "decode request: "+err.Error())
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "requests is empty")
+		return
+	}
+	if len(req.Requests) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("batch of %d exceeds max %d", len(req.Requests), s.cfg.MaxBatch))
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.cfg.RootSeed
+	}
+	ctx := obs.WithRecorder(r.Context(), s.rec)
+	results, err := parallel.Map(ctx, "server_batch", len(req.Requests), s.cfg.Workers,
+		func(_ context.Context, i int) (BatchItem, error) {
+			resp, apiErr := s.decide(req.Requests[i], seed)
+			if apiErr != nil {
+				return BatchItem{Error: apiErr}, nil
+			}
+			return BatchItem{Decision: resp}, nil
+		})
+	if err != nil {
+		// Only context cancellation/timeout reaches here: per-item
+		// errors are embedded in the slots above.
+		writeError(w, http.StatusServiceUnavailable, "internal", "batch aborted: "+err.Error())
+		return
+	}
+	s.rec.Add("batch_decisions_total", int64(len(results)))
+	writeJSON(w, http.StatusOK, BatchDecideResponse{Seed: seed, Results: results})
+}
+
+// handleStatsUpdate serves PUT /v1/areas/{id}/stats.
+func (s *Server) handleStatsUpdate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req StatsUpdateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "decode request: "+err.Error())
+		return
+	}
+	entry, err := s.cache.Update(id, req.B, skirental.Stats{MuBMinus: req.Mu, QBPlus: req.Q})
+	if err != nil {
+		if _, ok := s.cache.Get(id); !ok {
+			writeError(w, http.StatusNotFound, "unknown_area", err.Error())
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, "invalid_stats", err.Error())
+		return
+	}
+	s.rec.Add("stats_updates_total", 1)
+	writeJSON(w, http.StatusOK, entry.Info())
+}
+
+// handleAreas serves GET /v1/areas.
+func (s *Server) handleAreas(w http.ResponseWriter, r *http.Request) {
+	entries := s.cache.List()
+	resp := AreasResponse{Areas: make([]AreaInfo, 0, len(entries))}
+	for _, e := range entries {
+		resp.Areas = append(resp.Areas, e.Info())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz serves GET /healthz. It bypasses the in-flight limiter
+// so liveness probes keep passing while decision load is shed.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Areas:    s.cache.Len(),
+	})
+}
+
+// handleMetrics serves GET /metrics: the obs registry snapshot in
+// Prometheus text format, or JSON with ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.rec.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = snap.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.WriteHeader(http.StatusOK)
+	_ = snap.WritePrometheus(w)
+}
+
+// handleNotFound is the structured-JSON fallthrough for unknown routes
+// and wrong methods (the catch-all pattern shadows the mux's built-in
+// 405, so method mismatches are re-derived here).
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	if methods := allowedMethods(r.URL.Path); len(methods) > 0 {
+		w.Header().Set("Allow", strings.Join(methods, ", "))
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s %s not allowed (allow: %s)", r.Method, r.URL.Path, strings.Join(methods, ", ")))
+		return
+	}
+	writeError(w, http.StatusNotFound, "not_found",
+		fmt.Sprintf("no route %s %s", r.Method, r.URL.Path))
+}
+
+// allowedMethods returns the methods a known path serves; empty for
+// unknown paths.
+func allowedMethods(path string) []string {
+	switch path {
+	case "/v1/decide", "/v1/decide/batch":
+		return []string{http.MethodPost}
+	case "/v1/areas", "/healthz", "/metrics":
+		return []string{http.MethodGet}
+	}
+	if strings.HasPrefix(path, "/v1/areas/") && strings.HasSuffix(path, "/stats") {
+		return []string{http.MethodPut}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"idlereduce/internal/obs"
+	"idlereduce/internal/parallel"
+)
+
+// LoadOptions parameterize the load harness (`idled loadtest`).
+type LoadOptions struct {
+	// BaseURL is the target server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the number of concurrent client goroutines
+	// (default 16).
+	Clients int
+	// Requests is the number of batch requests each client issues
+	// (default 50).
+	Requests int
+	// Batch is the number of decisions per batch request (default 8).
+	Batch int
+	// Seed is the decision root seed sent with every batch.
+	Seed uint64
+	// Areas round-robins request areas; empty discovers them from
+	// GET /v1/areas.
+	Areas []string
+	// Timeout is the per-request client timeout (default 30s).
+	Timeout time.Duration
+	// Transport overrides the HTTP transport (tests drive an in-process
+	// handler through httptest with a shared transport).
+	Transport http.RoundTripper
+}
+
+// LoadReport summarizes one load run. Throughput and latency are read
+// back from the harness's obs metrics registry, the same pipeline the
+// server uses, so the numbers line up with a /metrics scrape.
+type LoadReport struct {
+	Clients   int   `json:"clients"`
+	Batch     int   `json:"batch"`
+	Requests  int64 `json:"requests"`
+	Decisions int64 `json:"decisions"`
+	// Overloaded counts 429 replies (the server shedding load);
+	// Errors counts transport failures and other non-2xx replies.
+	Overloaded int64   `json:"overloaded"`
+	Errors     int64   `json:"errors"`
+	Duration   float64 `json:"duration_sec"`
+	// RequestQPS and DecisionQPS are achieved throughput.
+	RequestQPS  float64 `json:"request_qps"`
+	DecisionQPS float64 `json:"decision_qps"`
+	// P50/P90/P99/Max are client-observed batch latencies in ms.
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// String renders the report as the loadtest's human output.
+func (r LoadReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadtest: %d clients x batch %d for %.2fs\n", r.Clients, r.Batch, r.Duration)
+	fmt.Fprintf(&b, "  requests   %8d  (%.0f req/s)\n", r.Requests, r.RequestQPS)
+	fmt.Fprintf(&b, "  decisions  %8d  (%.0f decisions/s)\n", r.Decisions, r.DecisionQPS)
+	fmt.Fprintf(&b, "  overloaded %8d  (429 load-shed replies)\n", r.Overloaded)
+	fmt.Fprintf(&b, "  errors     %8d\n", r.Errors)
+	fmt.Fprintf(&b, "  latency ms p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n", r.P50, r.P90, r.P99, r.Max)
+	return b.String()
+}
+
+// RunLoad drives concurrent batch-decision load at a server and
+// reports achieved throughput and latency quantiles from a metrics
+// registry. The request stream is deterministic: vehicle IDs and area
+// assignment depend only on (client, request, slot) indices.
+func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
+	if opts.BaseURL == "" {
+		return LoadReport{}, fmt.Errorf("server: loadtest: base URL required")
+	}
+	if opts.Clients <= 0 {
+		opts.Clients = 16
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 50
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = 8
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	client := &http.Client{Timeout: opts.Timeout, Transport: opts.Transport}
+	base := strings.TrimRight(opts.BaseURL, "/")
+
+	areas := opts.Areas
+	if len(areas) == 0 {
+		var err error
+		if areas, err = discoverAreas(ctx, client, base); err != nil {
+			return LoadReport{}, err
+		}
+	}
+
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder("loadtest", reg, nil)
+	lat := reg.Histogram("loadtest_request_ms")
+
+	t0 := time.Now()
+	err := parallel.ForEach(ctx, "loadtest_clients", opts.Clients, opts.Clients,
+		func(ctx context.Context, c int) error {
+			for r := 0; r < opts.Requests; r++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				req := BatchDecideRequest{Seed: opts.Seed, Requests: make([]DecideRequest, opts.Batch)}
+				for i := range req.Requests {
+					req.Requests[i] = DecideRequest{
+						VehicleID: fmt.Sprintf("load-%04d-%06d", c, r*opts.Batch+i),
+						Area:      areas[(c+r+i)%len(areas)],
+					}
+				}
+				sent := time.Now()
+				status, decided, err := postBatch(ctx, client, base, req)
+				lat.Observe(float64(time.Since(sent)) / float64(time.Millisecond))
+				rec.Add("loadtest_requests_total", 1)
+				switch {
+				case err != nil:
+					rec.Add("loadtest_errors_total", 1)
+				case status == http.StatusTooManyRequests:
+					rec.Add("loadtest_429_total", 1)
+				case status != http.StatusOK:
+					rec.Add("loadtest_errors_total", 1)
+				default:
+					rec.Add("loadtest_decisions_total", int64(decided))
+				}
+			}
+			return nil
+		})
+	dur := time.Since(t0).Seconds()
+	if err != nil {
+		return LoadReport{}, err
+	}
+
+	snap := rec.Snapshot()
+	report := LoadReport{
+		Clients:  opts.Clients,
+		Batch:    opts.Batch,
+		Duration: dur,
+	}
+	report.Requests, _ = snap.CounterValue("loadtest_requests_total")
+	report.Decisions, _ = snap.CounterValue("loadtest_decisions_total")
+	report.Overloaded, _ = snap.CounterValue("loadtest_429_total")
+	report.Errors, _ = snap.CounterValue("loadtest_errors_total")
+	if h, ok := snap.HistogramValue("loadtest_request_ms"); ok {
+		report.P50, report.P90, report.P99, report.Max = h.P50, h.P90, h.P99, h.Max
+	}
+	if dur > 0 {
+		report.RequestQPS = float64(report.Requests) / dur
+		report.DecisionQPS = float64(report.Decisions) / dur
+	}
+	return report, nil
+}
+
+// postBatch sends one batch request and returns (status, decisions).
+func postBatch(ctx context.Context, client *http.Client, base string, req BatchDecideRequest) (int, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/decide/batch", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, 0, nil
+	}
+	var batch BatchDecideResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		return resp.StatusCode, 0, err
+	}
+	decided := 0
+	for _, item := range batch.Results {
+		if item.Decision != nil {
+			decided++
+		}
+	}
+	return resp.StatusCode, decided, nil
+}
+
+// discoverAreas fetches the target's configured area IDs.
+func discoverAreas(ctx context.Context, client *http.Client, base string) ([]string, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/areas", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("server: loadtest: discover areas: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: loadtest: discover areas: status %d", resp.StatusCode)
+	}
+	var list AreasResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return nil, fmt.Errorf("server: loadtest: discover areas: %w", err)
+	}
+	if len(list.Areas) == 0 {
+		return nil, fmt.Errorf("server: loadtest: target has no areas")
+	}
+	ids := make([]string, len(list.Areas))
+	for i, a := range list.Areas {
+		ids[i] = a.ID
+	}
+	return ids, nil
+}

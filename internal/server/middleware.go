@@ -1,0 +1,119 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"idlereduce/internal/obs"
+)
+
+// errTrailingBody rejects request bodies with data after the JSON value.
+var errTrailingBody = errors.New("request body contains trailing data")
+
+// statusWriter captures the status code written by a handler so the
+// middleware can label its metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the serving middleware stack:
+//
+//   - bounded in-flight limiter (when limited): a full server answers
+//     429 immediately instead of queueing without bound;
+//   - in-flight gauge http_inflight_requests;
+//   - per-request context deadline (RequestTimeout);
+//   - request counter http_requests_total{route,code} and latency
+//     histogram http_request_ms{route};
+//   - panic capture: a panicking handler becomes a 500 with a
+//     structured body and an http_panics_total count, never a dropped
+//     connection for sibling requests.
+//
+// healthz and metrics pass limited=false so probes and scrapes keep
+// working while the server sheds decision load.
+func (s *Server) instrument(route string, limited bool, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if limited {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.rec.Add(obs.L("http_requests_total", "route", route, "code", "429"), 1)
+				s.rec.Add("http_overload_total", 1)
+				writeError(w, http.StatusTooManyRequests, "overloaded",
+					"server at max in-flight requests; retry with backoff")
+				return
+			}
+		}
+		s.rec.Set("http_inflight_requests", float64(len(s.inflight)))
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.rec.Add("http_panics_total", 1)
+				s.rec.Event("server_panic")
+				debug.PrintStack()
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError, "internal", "internal server error")
+				}
+			}
+			code := sw.status
+			if code == 0 {
+				code = http.StatusOK
+			}
+			s.rec.Add(obs.L("http_requests_total", "route", route, "code", strconv.Itoa(code)), 1)
+			s.rec.Observe(obs.L("http_request_ms", "route", route),
+				float64(time.Since(t0))/float64(time.Millisecond))
+		}()
+		h(sw, r.WithContext(ctx))
+	})
+}
+
+// writeJSON writes v with the given status as a JSON body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError writes the structured error envelope.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: APIError{Code: code, Message: msg, Status: status}})
+}
+
+// decodeJSON strictly decodes a request body into v: unknown fields
+// and trailing garbage are errors.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errTrailingBody
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+// Package server implements idled, the decision-serving daemon: a
+// low-latency HTTP API over the constrained ski-rental policy of the
+// paper. The serving shape follows the algorithm's structure — a
+// decision is a pure function of two per-area statistics (mu_B-, q_B+)
+// and the break-even interval B, so the vertex selection is precomputed
+// once per statistics update and swapped atomically into a read-mostly
+// cache; the per-request work is a pointer load, a threshold draw from
+// a derived deterministic RNG stream, and JSON encoding.
+//
+// Endpoints (see docs/SERVER.md for schemas and examples):
+//
+//	POST /v1/decide              one decision
+//	POST /v1/decide/batch        order-preserving parallel fan-out
+//	PUT  /v1/areas/{id}/stats    swap an area's statistics
+//	GET  /v1/areas               list cached strategies
+//	GET  /healthz                liveness (bypasses the limiter)
+//	GET  /metrics                obs registry snapshot (Prometheus/JSON)
+//
+// Robustness: read/write timeouts on the listener, a per-request
+// context deadline, a bounded in-flight limiter returning 429 on
+// overload, graceful drain on shutdown, and structured JSON errors.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"idlereduce/internal/obs"
+)
+
+// Config parameterizes a Server. The zero value of every field has a
+// sane default applied by New.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:8080").
+	Addr string
+	// Workers bounds the batch fan-out pool (0 = GOMAXPROCS).
+	Workers int
+	// MaxInflight bounds concurrently served /v1/* requests; excess
+	// requests get 429 (default 1024).
+	MaxInflight int
+	// MaxBatch bounds items per batch request; larger batches get 413
+	// (default 4096).
+	MaxBatch int
+	// RootSeed seeds decision randomness when a request carries no seed
+	// (default 20140601, the repo-wide experiment seed).
+	RootSeed uint64
+	// RequestTimeout is the per-request context deadline (default 10s).
+	RequestTimeout time.Duration
+	// ReadTimeout / WriteTimeout are the http.Server socket timeouts
+	// (defaults 10s / 15s).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown (default 10s).
+	DrainTimeout time.Duration
+	// Areas is the boot-time area configuration (required).
+	Areas []AreaState
+	// Recorder collects serving metrics; nil allocates a fresh
+	// recorder with its own registry.
+	Recorder *obs.Recorder
+
+	// testDelay artificially delays decide handlers; used by drain and
+	// overload tests only.
+	testDelay time.Duration
+	// testHook, when set, runs inside every decide; tests use it to
+	// hold a known number of requests in flight simultaneously.
+	testHook func()
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8080"
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 1024
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.RootSeed == 0 {
+		c.RootSeed = 20140601
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 15 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Recorder == nil {
+		c.Recorder = obs.NewRecorder("idled", nil, nil)
+	}
+	return c
+}
+
+// Server is one idled instance: the strategy cache, the HTTP handler
+// tree and the serving lifecycle.
+type Server struct {
+	cfg      Config
+	cache    *Cache
+	rec      *obs.Recorder
+	inflight chan struct{}
+	start    time.Time
+	handler  http.Handler
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// New builds a server. It validates and precomputes every configured
+// area strategy, so a misconfigured server never starts.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	cache, err := NewCache(cfg.Areas)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    cache,
+		rec:      cfg.Recorder,
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		start:    time.Now(),
+	}
+	s.handler = s.routes()
+	return s, nil
+}
+
+// Recorder returns the server's metrics recorder.
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// Handler returns the root HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// routes wires the endpoint tree. Decision and admin routes go through
+// the full middleware stack; healthz and metrics bypass the in-flight
+// limiter so an overloaded server still answers probes and scrapes.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/decide", s.instrument("decide", true, s.handleDecide))
+	mux.Handle("POST /v1/decide/batch", s.instrument("batch", true, s.handleBatch))
+	mux.Handle("PUT /v1/areas/{id}/stats", s.instrument("stats_update", true, s.handleStatsUpdate))
+	mux.Handle("GET /v1/areas", s.instrument("areas", true, s.handleAreas))
+	mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("metrics", false, s.handleMetrics))
+	mux.Handle("/", s.instrument("fallthrough", false, s.handleNotFound))
+	return mux
+}
+
+// Listen binds the configured address and returns the bound address
+// (useful with ":0"). Idempotent: a second call returns the existing
+// address.
+func (s *Server) Listen() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return s.ln.Addr().String(), nil
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	return ln.Addr().String(), nil
+}
+
+// Serve accepts connections until ctx is cancelled, then drains
+// gracefully: in-flight requests get up to DrainTimeout to finish. It
+// binds lazily if Listen was not called. A clean drain returns nil.
+func (s *Server) Serve(ctx context.Context) error {
+	if _, err := s.Listen(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+
+	hs := &http.Server{
+		Handler:      s.handler,
+		ReadTimeout:  s.cfg.ReadTimeout,
+		WriteTimeout: s.cfg.WriteTimeout,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("server: serve: %w", err)
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	s.rec.Event("server_drain")
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("server: serve: %w", err)
+	}
+	return nil
+}
