@@ -5,16 +5,19 @@
 
 GO ?= go
 FUZZTIME ?= 10s
+# Pinned staticcheck version, run via `go run` so nothing is installed
+# into the toolchain; bump deliberately alongside Go upgrades.
+STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: check ci build vet test race fmt-check fuzz-smoke bench-smoke \
-	bench bench-metrics bench-parallel clean
+.PHONY: check ci build vet test race fmt-check staticcheck cover \
+	fuzz-smoke bench-smoke bench bench-metrics bench-parallel clean
 
 ## check: the full pre-commit gate — identical to CI (vet, fmt, build,
-## test, race, fuzz smoke).
+## test, race, fuzz smoke, staticcheck).
 check: ci
 
 ## ci: mirror of the GitHub workflow jobs, step for step.
-ci: vet fmt-check build test race fuzz-smoke
+ci: vet fmt-check build test race fuzz-smoke staticcheck
 
 build:
 	$(GO) build ./...
@@ -34,6 +37,18 @@ fmt-check:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+## staticcheck: honnef.co/go/tools at the pinned version (downloads on
+## first run; requires network, so it is its own CI job rather than a
+## tier-1 gate).
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+## cover: the test suite with coverage, writing coverage.out (uploaded
+## by CI as an artifact) and printing the per-package summary.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 ## fuzz-smoke: run every Fuzz* target for FUZZTIME (default 10s) as a
 ## quick regression sweep; the corpus findings become seed cases.
@@ -76,4 +91,4 @@ bench-parallel:
 	$(GO) test -bench 'BenchmarkParallel' -benchmem -run '^$$' .
 
 clean:
-	rm -f bench-metrics.json bench-smoke.txt cpu.pprof mem.pprof trace.out
+	rm -f bench-metrics.json bench-smoke.txt coverage.out cpu.pprof mem.pprof trace.out

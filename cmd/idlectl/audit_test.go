@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"idlereduce/internal/obs"
+	"idlereduce/internal/server"
+)
+
+// writeAuditLog boots a real idled with the audit log on, serves a few
+// decisions, drains (which flushes the log) and returns the JSONL.
+func writeAuditLog(t *testing.T, path string, decisions int) {
+	t.Helper()
+	f, err := obs.OpenRotatingFile(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	areas, err := server.DefaultAreaStates(28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{Addr: "127.0.0.1:0", Areas: areas, AuditLog: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx) }()
+	for i := 0; i < decisions; i++ {
+		body := fmt.Sprintf(`{"vehicle_id":"v-%d","area":"chicago","seed":%d}`, i, i+1)
+		resp, err := http.Post("http://"+addr+"/v1/decide", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("decide %d: status %d", i, resp.StatusCode)
+		}
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not drain")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditVerifyCommand(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	writeAuditLog(t, path, 5)
+
+	var out bytes.Buffer
+	if err := run([]string{"audit", "verify", "-log", path}, nil, &out); err != nil {
+		t.Fatalf("verify: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "5") {
+		t.Errorf("report does not mention the record count:\n%s", out.String())
+	}
+
+	// A truncated final line is the crash shape: still a success.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut.jsonl")
+	if err := os.WriteFile(cut, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"audit", "verify", "-log", cut}, nil, &out); err != nil {
+		t.Fatalf("truncated tail should verify: %v\n%s", err, out.String())
+	}
+
+	// A tampered byte must make the command fail.
+	bad := bytes.Replace(data, []byte(`"choice"`), []byte(`"chAice"`), 1)
+	badPath := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"audit", "verify", "-log", badPath}, nil, &out); err == nil {
+		t.Fatalf("tampered log verified clean:\n%s", out.String())
+	}
+}
+
+func TestAuditVerifyUsage(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"audit"}, nil, &out); err == nil {
+		t.Fatal("bare audit command succeeded")
+	}
+	if err := run([]string{"audit", "bogus"}, nil, &out); err == nil {
+		t.Fatal("unknown audit subcommand succeeded")
+	}
+	if err := run([]string{"audit", "verify", "-log", "/does/not/exist.jsonl"}, nil, &out); err == nil {
+		t.Fatal("missing log file succeeded")
+	}
+}

@@ -11,6 +11,7 @@
 //	idlectl replay -policy policy.json [-stops trace.txt] [-seed N] [-metrics path]
 //	idlectl synth -plan urban|suburb|downtown [-days N] [-seed N]
 //	idlectl stats [-metrics snapshot.json]
+//	idlectl audit verify [-log audit.jsonl]
 //
 // The global -cpuprofile, -memprofile and -trace flags write Go
 // pprof/execution-trace profiles covering the command's run. The replay
@@ -18,7 +19,9 @@
 // ("-" = stdout): per-stop cost histograms with p50/p90/p99, engine
 // transition counters, the selected vertex strategy, and threshold-draw
 // distributions. The stats command renders such a snapshot as text
-// charts (see docs/OBSERVABILITY.md).
+// charts. The audit verify command replays an idled decision audit log
+// (serve -audit-log) through the pure policy engine and proves every
+// recorded decision reproduces bit-for-bit (see docs/OBSERVABILITY.md).
 //
 // Stop traces are plain text: one stop length in seconds per line; blank
 // lines and lines starting with '#' are ignored. With no -stops the trace
@@ -39,6 +42,7 @@ import (
 	"idlereduce/internal/drivecycle"
 	"idlereduce/internal/obs"
 	"idlereduce/internal/parallel"
+	"idlereduce/internal/server"
 	"idlereduce/internal/simulator"
 	"idlereduce/internal/skirental"
 	"idlereduce/internal/stats"
@@ -52,7 +56,7 @@ func main() {
 	}
 }
 
-const usage = "usage: idlectl [-cpuprofile f] [-memprofile f] [-trace f] [-workers N] <tune|show|replay|synth|stats> [flags]"
+const usage = "usage: idlectl [-cpuprofile f] [-memprofile f] [-trace f] [-workers N] <tune|show|replay|synth|stats|audit> [flags]"
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	gfs := flag.NewFlagSet("idlectl", flag.ContinueOnError)
@@ -87,8 +91,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		cmdErr = synth(rest[1:], stdout)
 	case "stats":
 		cmdErr = statsCmd(rest[1:], stdin, stdout)
+	case "audit":
+		cmdErr = auditCmd(rest[1:], stdin, stdout)
 	default:
-		cmdErr = fmt.Errorf("unknown command %q (want tune, show, replay, synth or stats)", rest[0])
+		cmdErr = fmt.Errorf("unknown command %q (want tune, show, replay, synth, stats or audit)", rest[0])
 	}
 	if perr := stopProf(); perr != nil && cmdErr == nil {
 		cmdErr = perr
@@ -381,6 +387,41 @@ func statsCmd(args []string, stdin io.Reader, stdout io.Writer) error {
 			})
 		}
 		fmt.Fprint(stdout, textplot.Table(rows))
+	}
+	return nil
+}
+
+// auditCmd hosts the audit-log subcommands; verify replays an idled
+// decision audit log through the pure policy engine, proving each
+// record's (choice, threshold) reproduces bit-for-bit from its inputs.
+// A truncated final line (crash shape) is skipped with a note; any
+// mismatch or mid-file corruption is a non-zero exit.
+func auditCmd(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) < 1 || args[0] != "verify" {
+		return fmt.Errorf("usage: idlectl audit verify [-log audit.jsonl]")
+	}
+	fs := flag.NewFlagSet("audit verify", flag.ContinueOnError)
+	logPath := fs.String("log", "", "decision audit log written by idled serve -audit-log (default stdin)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	var r io.Reader = stdin
+	if *logPath != "" && *logPath != "-" {
+		f, err := os.Open(*logPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := server.VerifyAudit(r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, rep.String())
+	if !rep.OK() {
+		return fmt.Errorf("audit verification failed: %d mismatched, %d corrupt of %d records",
+			rep.Mismatched, rep.Corrupt, rep.Records)
 	}
 	return nil
 }

@@ -8,16 +8,25 @@
 //	idled serve    [-addr HOST:PORT] [-workers N] [-max-inflight N]
 //	               [-areas FILE] [-b SECONDS] [-seed N] [-max-batch N]
 //	               [-request-timeout D] [-drain-timeout D]
+//	               [-trace-log FILE] [-audit-log FILE] [-audit-max-bytes N]
+//	               [-history-interval D] [-history-window N]
 //	idled loadtest [-target URL] [-clients N] [-requests N] [-batch N]
 //	               [-seed N] [-workers N] [-max-inflight N] [-json]
+//	               [-out report.json]
+//	idled top      [-target URL] [-interval D] [-frames N] [-once] [-w N]
 //	idled areas-template
 //
 // serve runs until SIGINT/SIGTERM, then drains in-flight requests
-// gracefully. loadtest drives concurrent batch-decision clients at
-// -target, or at a private in-process server when -target is empty,
-// and reports achieved QPS and latency quantiles from the harness's
-// metrics registry. areas-template prints the default -areas config
-// (the three paper areas at B = 28 s) as editable JSON.
+// gracefully; -trace-log and -audit-log enable the request-forensics
+// sinks (JSONL span records and replayable decision audit records, see
+// docs/OBSERVABILITY.md). loadtest drives concurrent batch-decision
+// clients at -target, or at a private in-process server when -target
+// is empty, and reports achieved QPS and latency quantiles from the
+// harness's metrics registry; -out additionally writes the registry
+// snapshot as JSON (the bench-metrics schema, readable by `idlectl
+// stats`). top renders a live terminal dashboard from the target's
+// /v1/history time series. areas-template prints the default -areas
+// config (the three paper areas at B = 28 s) as editable JSON.
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"idlereduce/internal/obs"
 	"idlereduce/internal/server"
 )
 
@@ -43,7 +53,7 @@ func main() {
 	}
 }
 
-const usage = "usage: idled <serve|loadtest|areas-template> [flags]"
+const usage = "usage: idled <serve|loadtest|top|areas-template> [flags]"
 
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if len(args) < 1 {
@@ -54,6 +64,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return serve(ctx, args[1:], stdout)
 	case "loadtest":
 		return loadtest(ctx, args[1:], stdout)
+	case "top":
+		return top(ctx, args[1:], stdout)
 	case "areas-template":
 		areas, err := server.DefaultAreaStates(28)
 		if err != nil {
@@ -61,7 +73,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		return server.WriteAreaStates(stdout, areas)
 	default:
-		return fmt.Errorf("unknown command %q (want serve, loadtest or areas-template)\n%s", args[0], usage)
+		return fmt.Errorf("unknown command %q (want serve, loadtest, top or areas-template)\n%s", args[0], usage)
 	}
 }
 
@@ -90,6 +102,11 @@ func serve(ctx context.Context, args []string, stdout io.Writer) error {
 	maxBatch := fs.Int("max-batch", 4096, "max decisions per batch request")
 	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request context deadline")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain bound")
+	traceLog := fs.String("trace-log", "", "write request span records (JSONL) here; empty disables tracing")
+	auditLog := fs.String("audit-log", "", "write replayable decision audit records (JSONL) here; empty disables the audit log")
+	auditMaxBytes := fs.Int64("audit-max-bytes", 64<<20, "rotate -trace-log/-audit-log after this many bytes (single .1 backup)")
+	historyInterval := fs.Duration("history-interval", time.Second, "metrics sampling period for GET /v1/history")
+	historyWindow := fs.Int("history-window", 120, "samples retained for GET /v1/history")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,16 +122,41 @@ func serve(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(server.Config{
-		Addr:           *addr,
-		Workers:        *workers,
-		MaxInflight:    *maxInflight,
-		MaxBatch:       *maxBatch,
-		RootSeed:       *seed,
-		RequestTimeout: *reqTimeout,
-		DrainTimeout:   *drainTimeout,
-		Areas:          areas,
-	})
+	cfg := server.Config{
+		Addr:            *addr,
+		Workers:         *workers,
+		MaxInflight:     *maxInflight,
+		MaxBatch:        *maxBatch,
+		RootSeed:        *seed,
+		RequestTimeout:  *reqTimeout,
+		DrainTimeout:    *drainTimeout,
+		Areas:           areas,
+		HistoryInterval: *historyInterval,
+		HistoryWindow:   *historyWindow,
+	}
+	// The forensics sinks are size-rotated files; the server flushes
+	// them during the graceful drain, the deferred Closes below sync
+	// the file handles afterwards.
+	for _, sink := range []struct {
+		path string
+		dst  *io.Writer
+		name string
+	}{
+		{*traceLog, &cfg.TraceLog, "trace"},
+		{*auditLog, &cfg.AuditLog, "audit"},
+	} {
+		if sink.path == "" {
+			continue
+		}
+		f, err := obs.OpenRotatingFile(sink.path, *auditMaxBytes)
+		if err != nil {
+			return fmt.Errorf("open %s log: %w", sink.name, err)
+		}
+		defer f.Close()
+		*sink.dst = f
+		fmt.Fprintf(stdout, "idled: %s log -> %s\n", sink.name, sink.path)
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -140,6 +182,7 @@ func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "in-process server pool size (ignored with -target)")
 	maxInflight := fs.Int("max-inflight", 1024, "in-process server in-flight bound (ignored with -target)")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	outPath := fs.String("out", "", "also write the harness metrics registry snapshot here as JSON (readable by idlectl stats)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -184,15 +227,31 @@ func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "loadtest: in-process server on %s\n", base)
 	}
 
+	rec := obs.NewRecorder("loadtest", nil, nil)
 	report, err := server.RunLoad(ctx, server.LoadOptions{
 		BaseURL:  base,
 		Clients:  *clients,
 		Requests: *requests,
 		Batch:    *batch,
 		Seed:     *seed,
+		Recorder: rec,
 	})
 	if err != nil {
 		return err
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		if err := rec.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "loadtest: metrics snapshot -> %s\n", *outPath)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"idlereduce/internal/obs"
+	"idlereduce/internal/server"
+	"idlereduce/internal/textplot"
+)
+
+// top renders a live terminal dashboard from a running idled's
+// /v1/history time series: sparklines of request/decision throughput,
+// in-flight depth and latency quantiles, plus cache hit-rate, all over
+// the server's retained sampling window.
+func top(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("idled top", flag.ContinueOnError)
+	target := fs.String("target", "http://127.0.0.1:8080", "base URL of a running idled")
+	interval := fs.Duration("interval", time.Second, "refresh period")
+	frames := fs.Int("frames", 0, "stop after this many frames (0 = until interrupted)")
+	once := fs.Bool("once", false, "render one frame without taking over the screen")
+	width := fs.Int("w", 60, "sparkline width in cells")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	base := strings.TrimRight(*target, "/")
+
+	for n := 1; ; n++ {
+		health, hist, err := fetchTop(ctx, client, base)
+		if err != nil {
+			return err
+		}
+		frame := renderTop(base, health, hist, *width)
+		if !*once {
+			// Home + clear-to-end keeps the frame flicker-free.
+			frame = "\x1b[H\x1b[2J" + frame
+		}
+		if _, err := io.WriteString(stdout, frame); err != nil {
+			return err
+		}
+		if *once || (*frames > 0 && n >= *frames) {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// fetchTop pulls one dashboard refresh: liveness plus the history
+// window.
+func fetchTop(ctx context.Context, client *http.Client, base string) (server.HealthResponse, obs.History, error) {
+	var health server.HealthResponse
+	if err := getJSON(ctx, client, base+"/healthz", &health); err != nil {
+		return health, obs.History{}, err
+	}
+	var hist obs.History
+	if err := getJSON(ctx, client, base+"/v1/history", &hist); err != nil {
+		return health, hist, err
+	}
+	return health, hist, nil
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// renderTop draws one dashboard frame. Pure: everything it shows comes
+// from its arguments, so tests can assert on the layout.
+func renderTop(base string, health server.HealthResponse, hist obs.History, width int) string {
+	var b strings.Builder
+	up := (time.Duration(health.UptimeMS) * time.Millisecond).Round(time.Second)
+	fmt.Fprintf(&b, "idled top — %s — %s %s — %d areas — up %s\n",
+		base, health.Version, health.GoVersion, health.Areas, up)
+	window := time.Duration(hist.IntervalMS*int64(hist.Window)) * time.Millisecond
+	fmt.Fprintf(&b, "window %s (%d/%d samples at %dms)\n\n",
+		window.Round(time.Second), hist.Samples, hist.Window, hist.IntervalMS)
+
+	spark := func(label, name, unit string) {
+		s, ok := hist.Lookup(name)
+		if !ok {
+			return
+		}
+		line := textplot.Sparkline(s.Points, width)
+		if s.Kind == "rate" {
+			fmt.Fprintf(&b, "%-11s %s %8.1f%s (avg %.1f%s)\n", label, line, s.Last, unit, s.RatePerSec, unit)
+		} else {
+			fmt.Fprintf(&b, "%-11s %s %8.2f%s\n", label, line, s.Last, unit)
+		}
+	}
+	spark("requests", "requests", "/s")
+	spark("decisions", "decisions", "/s")
+	spark("overloaded", "overloaded", "/s")
+	spark("inflight", "inflight", "")
+	spark("p99 ms", "decide_p99_ms", "")
+
+	if hits, ok := hist.Lookup("cache_hits"); ok {
+		if misses, ok := hist.Lookup("cache_misses"); ok {
+			total := hits.RatePerSec + misses.RatePerSec
+			if total > 0 {
+				fmt.Fprintf(&b, "%-11s %.1f%% over the window\n", "cache hit", 100*hits.RatePerSec/total)
+			}
+		}
+	}
+	p50, ok50 := hist.Lookup("decide_p50_ms")
+	p99, ok99 := hist.Lookup("decide_p99_ms")
+	if ok50 && ok99 {
+		fmt.Fprintf(&b, "%-11s p50 %.3f  p99 %.3f\n", "decide ms", p50.Last, p99.Last)
+	}
+	bp50, bok50 := hist.Lookup("batch_p50_ms")
+	bp99, bok99 := hist.Lookup("batch_p99_ms")
+	if bok50 && bok99 {
+		fmt.Fprintf(&b, "%-11s p50 %.3f  p99 %.3f\n", "batch ms", bp50.Last, bp99.Last)
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"idlereduce/internal/obs"
+	"idlereduce/internal/server"
+)
+
+func topTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	areas, err := server.DefaultAreaStates(28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{Areas: areas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestTopOnce renders a single dashboard frame against a live handler:
+// even with an empty history window the frame must carry the header
+// and every series row.
+func TestTopOnce(t *testing.T) {
+	ts := topTestServer(t)
+	var out bytes.Buffer
+	if err := run(context.Background(),
+		[]string{"top", "-once", "-target", ts.URL}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if strings.Contains(text, "\x1b[") {
+		t.Errorf("-once frame contains ANSI control codes:\n%s", text)
+	}
+	for _, want := range []string{"idled top", ts.URL, "window", "requests", "decisions", "inflight"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("frame missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestTopFramesUsesANSIClear checks live mode emits the clear sequence
+// and stops after -frames.
+func TestTopFramesUsesANSIClear(t *testing.T) {
+	ts := topTestServer(t)
+	var out bytes.Buffer
+	if err := run(context.Background(),
+		[]string{"top", "-frames", "2", "-interval", "10ms", "-target", ts.URL}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "\x1b[H\x1b[2J"); got != 2 {
+		t.Errorf("clear sequences %d, want 2", got)
+	}
+}
+
+func TestTopBadTarget(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(),
+		[]string{"top", "-once", "-target", "http://127.0.0.1:1"}, &out)
+	if err == nil {
+		t.Fatal("top against a dead target succeeded")
+	}
+}
+
+// TestRenderTop feeds a synthetic history window and checks the pure
+// renderer lays out sparklines, rates and the cache hit ratio.
+func TestRenderTop(t *testing.T) {
+	health := server.HealthResponse{
+		Status: "ok", UptimeMS: 65_000, Areas: 3,
+		Version: "(devel)", GoVersion: "go1.24.0",
+	}
+	hist := obs.History{
+		IntervalMS: 1000, Window: 8, Samples: 4,
+		TimesUnixMS: []int64{1000, 2000, 3000, 4000},
+		Series: []obs.HistorySeries{
+			{Name: "requests", Kind: "rate", Points: []float64{0, 10, 20, 40}, Last: 40, RatePerSec: 23.3},
+			{Name: "decisions", Kind: "rate", Points: []float64{0, 10, 20, 40}, Last: 40, RatePerSec: 23.3},
+			{Name: "inflight", Kind: "gauge", Points: []float64{1, 2, 3, 2}, Last: 2},
+			{Name: "cache_hits", Kind: "rate", Points: []float64{0, 9, 18, 36}, Last: 36, RatePerSec: 21},
+			{Name: "cache_misses", Kind: "rate", Points: []float64{0, 1, 2, 4}, Last: 4, RatePerSec: 7},
+			{Name: "decide_p50_ms", Kind: "gauge", Points: []float64{0.05, 0.05, 0.06, 0.05}, Last: 0.05},
+			{Name: "decide_p99_ms", Kind: "gauge", Points: []float64{0.2, 0.3, 0.2, 0.4}, Last: 0.4},
+		},
+	}
+	text := renderTop("http://x:1", health, hist, 8)
+	for _, want := range []string{
+		"up 1m5s", "3 areas", "(devel) go1.24.0",
+		"requests", "40.0/s", "avg 23.3/s",
+		"cache hit", "75.0%",
+		"p50 0.050", "p99 0.400",
+		"█", // the ramp's peak block
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+}

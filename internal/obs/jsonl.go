@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// JSONLWriter is a bounded, non-blocking JSON-lines sink: callers
+// marshal-and-enqueue, a single background goroutine does the actual
+// writing, and each record goes out as exactly one Write call, so a
+// record is never split across an underlying rotation boundary. When
+// the queue is full the record is dropped and counted instead of
+// blocking the caller — on a serving hot path, losing a trace line
+// beats adding latency. A nil *JSONLWriter is a no-op sink.
+type JSONLWriter struct {
+	ch        chan jsonlMsg
+	done      chan struct{}
+	dropped   atomic.Int64
+	written   atomic.Int64
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// jsonlMsg is one queue entry: either a record line or a flush/stop
+// barrier.
+type jsonlMsg struct {
+	line    []byte
+	barrier chan error
+	stop    bool
+}
+
+// NewJSONLWriter starts the writer goroutine over w with the given
+// queue capacity (<= 0 means 1024).
+func NewJSONLWriter(w io.Writer, queue int) *JSONLWriter {
+	if queue <= 0 {
+		queue = 1024
+	}
+	j := &JSONLWriter{
+		ch:   make(chan jsonlMsg, queue),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(j.done)
+		for msg := range j.ch {
+			if msg.barrier != nil {
+				msg.barrier <- flushWriter(w)
+				if msg.stop {
+					return
+				}
+				continue
+			}
+			if _, err := w.Write(msg.line); err != nil {
+				j.dropped.Add(1)
+			} else {
+				j.written.Add(1)
+			}
+		}
+	}()
+	return j
+}
+
+// flushWriter pushes buffered data through when the underlying writer
+// supports it (bufio.Writer's Flush, or Sync on files and
+// RotatingFile).
+func flushWriter(w io.Writer) error {
+	switch f := w.(type) {
+	case interface{ Flush() error }:
+		return f.Flush()
+	case interface{ Sync() error }:
+		return f.Sync()
+	}
+	return nil
+}
+
+// Write marshals v and enqueues it as one line. It never blocks: a
+// full queue, a marshal failure, or a closed writer counts the record
+// as dropped.
+func (j *JSONLWriter) Write(v any) {
+	if j == nil {
+		return
+	}
+	select {
+	case <-j.done:
+		j.dropped.Add(1)
+		return
+	default:
+	}
+	line, err := json.Marshal(v)
+	if err != nil {
+		j.dropped.Add(1)
+		return
+	}
+	line = append(line, '\n')
+	select {
+	case j.ch <- jsonlMsg{line: line}:
+	default:
+		j.dropped.Add(1)
+	}
+}
+
+// Flush blocks until every record enqueued before the call has been
+// written through to the underlying writer. Safe after Close.
+func (j *JSONLWriter) Flush() error {
+	if j == nil {
+		return nil
+	}
+	b := make(chan error, 1)
+	select {
+	case j.ch <- jsonlMsg{barrier: b}:
+		select {
+		case err := <-b:
+			return err
+		case <-j.done:
+			return nil
+		}
+	case <-j.done:
+		return nil
+	}
+}
+
+// Close drains the queue, flushes, and stops the background goroutine.
+// Records written after Close count as dropped. Idempotent.
+func (j *JSONLWriter) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.closeOnce.Do(func() {
+		b := make(chan error, 1)
+		select {
+		case j.ch <- jsonlMsg{barrier: b, stop: true}:
+			select {
+			case j.closeErr = <-b:
+			case <-j.done:
+			}
+		case <-j.done:
+		}
+	})
+	<-j.done
+	return j.closeErr
+}
+
+// Dropped returns how many records were lost to the bounded queue,
+// marshal failures, or write errors.
+func (j *JSONLWriter) Dropped() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.dropped.Load()
+}
+
+// Written returns how many records reached the underlying writer.
+func (j *JSONLWriter) Written() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.written.Load()
+}
+
+// RotatingFile is an io.Writer over a file that rotates by size: when
+// a write would push the file past MaxBytes, the current file is
+// renamed to <path>.1 (replacing any previous rotation) and a fresh
+// file is opened. One rotation level bounds disk use at ~2×MaxBytes
+// while keeping a full window of recent records. Callers must keep
+// each logical record inside one Write call for rotation to preserve
+// record boundaries — JSONLWriter does.
+type RotatingFile struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	f        *os.File
+	size     int64
+	rotated  int64
+}
+
+// OpenRotatingFile opens (appending) or creates path with the given
+// rotation threshold (<= 0 means 64 MiB).
+func OpenRotatingFile(path string, maxBytes int64) (*RotatingFile, error) {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open rotating file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: stat rotating file: %w", err)
+	}
+	return &RotatingFile{path: path, maxBytes: maxBytes, f: f, size: st.Size()}, nil
+}
+
+// Write appends p, rotating first when the file would exceed the
+// threshold.
+func (r *RotatingFile) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.size > 0 && r.size+int64(len(p)) > r.maxBytes {
+		if err := r.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := r.f.Write(p)
+	r.size += int64(n)
+	return n, err
+}
+
+// rotateLocked renames the live file to <path>.1 and reopens fresh.
+func (r *RotatingFile) rotateLocked() error {
+	if err := r.f.Close(); err != nil {
+		return fmt.Errorf("obs: rotate close: %w", err)
+	}
+	if err := os.Rename(r.path, r.path+".1"); err != nil {
+		return fmt.Errorf("obs: rotate rename: %w", err)
+	}
+	f, err := os.OpenFile(r.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: rotate reopen: %w", err)
+	}
+	r.f = f
+	r.size = 0
+	r.rotated++
+	return nil
+}
+
+// Rotations returns how many times the file has rotated.
+func (r *RotatingFile) Rotations() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rotated
+}
+
+// Sync flushes the live file to stable storage.
+func (r *RotatingFile) Sync() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.f.Sync()
+}
+
+// Close closes the live file.
+func (r *RotatingFile) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.f.Close()
+}

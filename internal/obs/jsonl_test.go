@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJSONLWriterWritesLines(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONLWriter(&buf, 16)
+	for i := 0; i < 5; i++ {
+		j.Write(map[string]int{"i": i})
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5: %q", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var m map[string]int
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d does not parse: %v", i, err)
+		}
+		if m["i"] != i {
+			t.Errorf("line %d = %v, want i=%d (order must be preserved)", i, m, i)
+		}
+	}
+	if j.Written() != 5 || j.Dropped() != 0 {
+		t.Errorf("written %d dropped %d, want 5/0", j.Written(), j.Dropped())
+	}
+}
+
+// blockingWriter blocks every Write until released, so the queue can
+// be filled deterministically.
+type blockingWriter struct {
+	entered chan struct{}
+	release chan struct{}
+	mu      sync.Mutex
+	buf     bytes.Buffer
+}
+
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	w.entered <- struct{}{}
+	<-w.release
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func TestJSONLWriterLossyWhenFull(t *testing.T) {
+	bw := &blockingWriter{entered: make(chan struct{}, 64), release: make(chan struct{})}
+	j := NewJSONLWriter(bw, 2)
+	j.Write("a") // picked up by the goroutine, blocks in Write
+	<-bw.entered
+	j.Write("b") // queued
+	j.Write("c") // queued (capacity 2)
+	j.Write("d") // dropped
+	j.Write("e") // dropped
+	if got := j.Dropped(); got != 2 {
+		t.Errorf("Dropped = %d, want 2", got)
+	}
+	close(bw.release)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := j.Written(); got != 3 {
+		t.Errorf("Written = %d, want 3", got)
+	}
+}
+
+func TestJSONLWriterFlushAndWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	j := NewJSONLWriter(w, 16)
+	j.Write("x")
+	if err := j.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != `"x"` {
+		t.Errorf("after Flush buffer = %q, want \"x\" flushed through bufio", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	j.Write("y")
+	if err := j.Flush(); err != nil {
+		t.Fatalf("Flush after Close: %v", err)
+	}
+	if j.Dropped() != 1 {
+		t.Errorf("write after close not counted dropped: %d", j.Dropped())
+	}
+	var nilJ *JSONLWriter
+	nilJ.Write("z")
+	if err := nilJ.Flush(); err != nil {
+		t.Errorf("nil Flush: %v", err)
+	}
+	if err := nilJ.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}
+
+func TestJSONLWriterUnmarshalableDropped(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONLWriter(&buf, 4)
+	j.Write(func() {}) // not JSON-marshalable
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Dropped() != 1 || j.Written() != 0 {
+		t.Errorf("dropped %d written %d, want 1/0", j.Dropped(), j.Written())
+	}
+}
+
+func TestRotatingFileRotatesBySize(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	rf, err := OpenRotatingFile(path, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := []byte(fmt.Sprintf("%s\n", strings.Repeat("x", 39))) // 40 bytes
+	for i := 0; i < 5; i++ {                                     // 200 bytes total
+		if _, err := rf.Write(line); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := rf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rot := rf.Rotations(); rot != 2 {
+		t.Errorf("Rotations = %d, want 2", rot)
+	}
+	live, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatalf("rotated file missing: %v", err)
+	}
+	// Every line in both files must be intact (no mid-record splits).
+	for _, data := range [][]byte{live, old} {
+		for _, l := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+			if len(l) != 39 {
+				t.Errorf("line length %d, want 39 (record split across rotation)", len(l))
+			}
+		}
+	}
+	if got := len(live) + len(old); got > 200 {
+		t.Errorf("retained %d bytes, want <= 200", got)
+	}
+}
+
+func TestJSONLWriterOverRotatingFileKeepsRecordsIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.jsonl")
+	rf, err := OpenRotatingFile(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := NewJSONLWriter(rf, 64)
+	for i := 0; i < 20; i++ {
+		j.Write(map[string]any{"seq": i, "pad": strings.Repeat("p", 20)})
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{path, path + ".1"} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("read %s: %v", p, err)
+		}
+		for _, l := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+			var m map[string]any
+			if err := json.Unmarshal([]byte(l), &m); err != nil {
+				t.Errorf("%s: corrupt line %q: %v", p, l, err)
+			}
+		}
+	}
+}

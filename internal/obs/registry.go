@@ -77,6 +77,22 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// SumCounterValues totals every live counter whose base name (label
+// block stripped) matches base. Unlike Snapshot().SumCounters it
+// walks the registry directly, so periodic samplers can read a sum
+// without materializing a full snapshot.
+func (r *Registry) SumCounterValues(base string) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for name, c := range r.counters {
+		if baseName(name) == base {
+			total += c.Value()
+		}
+	}
+	return total
+}
+
 // Counter is a monotonically increasing event count.
 type Counter struct {
 	v atomic.Int64

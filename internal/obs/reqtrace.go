@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Tracer emits one JSONL record per finished request span through a
+// bounded, non-blocking JSONLWriter. It complements Recorder.StartSpan
+// (which feeds aggregate histograms): a Tracer span is request-scoped
+// forensics — every record carries the request id, so an operator can
+// grep one request's path through middleware, handler and batch
+// fan-out. A nil *Tracer (and a nil *Span) is a no-op, so call sites
+// need no guards when tracing is disabled.
+type Tracer struct {
+	w *JSONLWriter
+}
+
+// NewTracer wraps a JSONL sink. A nil writer yields a no-op tracer.
+func NewTracer(w *JSONLWriter) *Tracer {
+	if w == nil {
+		return nil
+	}
+	return &Tracer{w: w}
+}
+
+// Dropped reports records lost to the bounded queue.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.w.Dropped()
+}
+
+// Flush blocks until every finished span has reached the sink.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	return t.w.Flush()
+}
+
+// Close flushes and stops the sink goroutine.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	return t.w.Close()
+}
+
+// SpanRecord is the JSONL wire form of one finished span.
+type SpanRecord struct {
+	// TSUnixMS is the span start time.
+	TSUnixMS  int64          `json:"ts_unix_ms"`
+	RequestID string         `json:"request_id"`
+	Span      string         `json:"span"`
+	DurMS     float64        `json:"dur_ms"`
+	Attrs     map[string]any `json:"attrs,omitempty"`
+}
+
+// Span is one traced operation within a request. Attribute writes are
+// mutex-guarded so batch fan-out workers may annotate concurrently.
+type Span struct {
+	t     *Tracer
+	name  string
+	reqID string
+	start time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+// Start opens a span and returns a derived context carrying it. On a
+// nil tracer the context is returned unchanged with a nil span.
+func (t *Tracer) Start(ctx context.Context, name, requestID string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	sp := &Span{t: t, name: name, reqID: requestID, start: time.Now()}
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// Child opens a sub-span inheriting the request id (e.g. one per batch
+// item under the request's HTTP span).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{t: s.t, name: name, reqID: s.reqID, start: time.Now()}
+}
+
+// Set records one attribute on the span.
+func (s *Span) Set(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 8)
+	}
+	s.attrs[key] = v
+}
+
+// End finishes the span and enqueues its record. Idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	rec := SpanRecord{
+		TSUnixMS:  s.start.UnixMilli(),
+		RequestID: s.reqID,
+		Span:      s.name,
+		DurMS:     float64(time.Since(s.start)) / float64(time.Millisecond),
+		Attrs:     s.attrs,
+	}
+	s.mu.Unlock()
+	s.t.w.Write(rec)
+}
+
+// spanKey and reqIDKey key the span and the request id in a context.
+// The request id travels separately so it stays available (for audit
+// records and response headers) when tracing is disabled.
+type (
+	spanKey  struct{}
+	reqIDKey struct{}
+)
+
+// ContextWithSpan returns ctx carrying sp.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFrom extracts the current span; nil when absent, and every Span
+// method is nil-safe, so callers can use the result unconditionally.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// WithRequestID returns ctx carrying the request correlation id.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestIDFrom extracts the request id ("" when absent).
+func RequestIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}

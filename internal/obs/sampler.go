@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// Probe kinds: a counter probe reads a cumulative value (History
+// derives per-second rates from consecutive samples); a gauge probe
+// reads an instantaneous value reported as-is.
+const (
+	ProbeCounter = "counter"
+	ProbeGauge   = "gauge"
+)
+
+// Probe is one sampled series: a name, a kind, and a value source.
+// Sources are plain funcs so a probe can read a registry metric, a
+// quantile, or anything else without coupling the sampler to metric
+// internals.
+type Probe struct {
+	Name string
+	Kind string
+	F    func() float64
+}
+
+// CounterSumProbe probes the sum of every registry counter whose base
+// name (label block stripped) is base — e.g. http_requests_total
+// across all route/code combinations.
+func CounterSumProbe(reg *Registry, name, base string) Probe {
+	return Probe{Name: name, Kind: ProbeCounter, F: func() float64 {
+		return float64(reg.SumCounterValues(base))
+	}}
+}
+
+// GaugeProbe probes one registry gauge by exact (labelled) name.
+func GaugeProbe(reg *Registry, name, gauge string) Probe {
+	return Probe{Name: name, Kind: ProbeGauge, F: reg.Gauge(gauge).Value}
+}
+
+// HistogramQuantileProbe probes the running q-quantile of one registry
+// histogram by exact (labelled) name. The quantile is cumulative since
+// boot; sampling it over time yields its trajectory.
+func HistogramQuantileProbe(reg *Registry, name, hist string, q float64) Probe {
+	h := reg.Histogram(hist)
+	return Probe{Name: name, Kind: ProbeGauge, F: func() float64 {
+		return h.Quantile(q)
+	}}
+}
+
+// Sampler snapshots a fixed set of probes into per-series ring
+// buffers at an interval: fixed memory (window × probes float64s)
+// regardless of uptime. Safe for concurrent Sample/History; the
+// typical deployment runs one Run goroutine and serves History from
+// HTTP handlers.
+type Sampler struct {
+	interval time.Duration
+	window   int
+	probes   []Probe
+
+	mu    sync.Mutex
+	times []int64     // unix ms, ring
+	vals  [][]float64 // [probe][ring]
+	n     int         // total samples ever taken
+}
+
+// NewSampler builds a sampler. interval <= 0 defaults to 1s; window
+// <= 0 defaults to 120 samples (two minutes at the default interval).
+func NewSampler(interval time.Duration, window int, probes ...Probe) *Sampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if window <= 0 {
+		window = 120
+	}
+	s := &Sampler{
+		interval: interval,
+		window:   window,
+		probes:   probes,
+		times:    make([]int64, window),
+		vals:     make([][]float64, len(probes)),
+	}
+	for i := range s.vals {
+		s.vals[i] = make([]float64, window)
+	}
+	return s
+}
+
+// Sample takes one sample now.
+func (s *Sampler) Sample() { s.sampleAt(time.Now()) }
+
+// sampleAt records one sample at an explicit time (tests pin the
+// clock to hand-compute rates). Non-finite probe values are stored as
+// zero so the history stays JSON-encodable.
+func (s *Sampler) sampleAt(t time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := s.n % s.window
+	s.times[idx] = t.UnixMilli()
+	for i, p := range s.probes {
+		v := p.F()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		s.vals[i][idx] = v
+	}
+	s.n++
+}
+
+// Run samples on the configured interval until ctx is cancelled.
+func (s *Sampler) Run(ctx context.Context) {
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			s.Sample()
+		}
+	}
+}
+
+// History is the wire form of a sampler's retained window (the GET
+// /v1/history payload): sample timestamps oldest→newest plus one
+// series per probe. Counter probes are exported as kind "rate" with
+// per-interval per-second deltas; gauge probes carry their raw
+// sampled values.
+type History struct {
+	IntervalMS  int64           `json:"interval_ms"`
+	Window      int             `json:"window"`
+	Samples     int             `json:"samples"`
+	TimesUnixMS []int64         `json:"times_unix_ms"`
+	Series      []HistorySeries `json:"series"`
+}
+
+// HistorySeries is one probe's retained trajectory.
+type HistorySeries struct {
+	Name string `json:"name"`
+	// Kind is "rate" (derived from a cumulative counter) or "gauge".
+	Kind   string    `json:"kind"`
+	Points []float64 `json:"points"`
+	// Last is the newest point.
+	Last float64 `json:"last"`
+	// RatePerSec is the windowed rate over the whole retained span
+	// (rate series only): (newest − oldest cumulative) / elapsed.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+}
+
+// Lookup returns the named series.
+func (h History) Lookup(name string) (HistorySeries, bool) {
+	for _, s := range h.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return HistorySeries{}, false
+}
+
+// History renders the retained window. With zero samples it returns
+// an empty (but well-formed) payload.
+func (s *Sampler) History() History {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.n
+	if n > s.window {
+		n = s.window
+	}
+	h := History{
+		IntervalMS:  s.interval.Milliseconds(),
+		Window:      s.window,
+		Samples:     n,
+		TimesUnixMS: make([]int64, n),
+		Series:      make([]HistorySeries, 0, len(s.probes)),
+	}
+	// Oldest retained sample: in a wrapped ring the write index is
+	// also the oldest slot.
+	start := 0
+	if s.n > s.window {
+		start = s.n % s.window
+	}
+	at := func(ring []float64, i int) float64 { return ring[(start+i)%s.window] }
+	for i := 0; i < n; i++ {
+		h.TimesUnixMS[i] = s.times[(start+i)%s.window]
+	}
+	for pi, p := range s.probes {
+		series := HistorySeries{Name: p.Name, Kind: ProbeGauge}
+		points := make([]float64, n)
+		switch p.Kind {
+		case ProbeCounter:
+			series.Kind = "rate"
+			// points[i] is the per-second rate over (t[i-1], t[i]];
+			// the first retained sample has no predecessor, so 0.
+			for i := 1; i < n; i++ {
+				dv := at(s.vals[pi], i) - at(s.vals[pi], i-1)
+				dt := float64(h.TimesUnixMS[i]-h.TimesUnixMS[i-1]) / 1000
+				if dv > 0 && dt > 0 {
+					points[i] = dv / dt
+				}
+			}
+			if n >= 2 {
+				dv := at(s.vals[pi], n-1) - at(s.vals[pi], 0)
+				dt := float64(h.TimesUnixMS[n-1]-h.TimesUnixMS[0]) / 1000
+				if dv > 0 && dt > 0 {
+					series.RatePerSec = dv / dt
+				}
+			}
+		default:
+			for i := 0; i < n; i++ {
+				points[i] = at(s.vals[pi], i)
+			}
+		}
+		series.Points = points
+		if n > 0 {
+			series.Last = points[n-1]
+		}
+		h.Series = append(h.Series, series)
+	}
+	return h
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tick advances a fake clock by whole seconds for hand-computed rates.
+func tick(base time.Time, sec int) time.Time { return base.Add(time.Duration(sec) * time.Second) }
+
+func TestSamplerWindowedRatesHandComputed(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("reqs_total")
+	s := NewSampler(time.Second, 8, CounterSumProbe(reg, "qps", "reqs_total"))
+	base := time.Unix(1700000000, 0)
+
+	s.sampleAt(tick(base, 0)) // cumulative 0
+	c.Add(10)
+	s.sampleAt(tick(base, 1)) // cumulative 10 -> 10/s over 1s
+	c.Add(30)
+	s.sampleAt(tick(base, 3)) // cumulative 40 -> 30 over 2s = 15/s
+
+	h := s.History()
+	if h.Samples != 3 {
+		t.Fatalf("Samples = %d, want 3", h.Samples)
+	}
+	qps, ok := h.Lookup("qps")
+	if !ok {
+		t.Fatal("qps series missing")
+	}
+	want := []float64{0, 10, 15}
+	for i, w := range want {
+		if math.Abs(qps.Points[i]-w) > 1e-9 {
+			t.Errorf("point %d = %v, want %v", i, qps.Points[i], w)
+		}
+	}
+	// Whole-window rate: 40 events over 3 seconds.
+	if want := 40.0 / 3.0; math.Abs(qps.RatePerSec-want) > 1e-9 {
+		t.Errorf("RatePerSec = %v, want %v", qps.RatePerSec, want)
+	}
+	if qps.Kind != "rate" {
+		t.Errorf("Kind = %q, want rate", qps.Kind)
+	}
+	if math.Abs(qps.Last-15) > 1e-9 {
+		t.Errorf("Last = %v, want 15", qps.Last)
+	}
+}
+
+func TestSamplerWraparound(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("depth")
+	s := NewSampler(time.Second, 4, GaugeProbe(reg, "depth", "depth"))
+	base := time.Unix(1700000000, 0)
+	for i := 0; i < 10; i++ {
+		g.Set(float64(i))
+		s.sampleAt(tick(base, i))
+	}
+	h := s.History()
+	if h.Samples != 4 {
+		t.Fatalf("Samples = %d, want window 4", h.Samples)
+	}
+	// The retained window is the last 4 samples, oldest first.
+	for i := 1; i < len(h.TimesUnixMS); i++ {
+		if h.TimesUnixMS[i] <= h.TimesUnixMS[i-1] {
+			t.Errorf("times not ascending: %v", h.TimesUnixMS)
+		}
+	}
+	depth, _ := h.Lookup("depth")
+	want := []float64{6, 7, 8, 9}
+	for i, w := range want {
+		if depth.Points[i] != w {
+			t.Errorf("point %d = %v, want %v (ring start mis-tracked)", i, depth.Points[i], w)
+		}
+	}
+}
+
+func TestSamplerZeroSamples(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSampler(time.Second, 4,
+		CounterSumProbe(reg, "qps", "reqs_total"),
+		GaugeProbe(reg, "depth", "depth"))
+	h := s.History()
+	if h.Samples != 0 || len(h.TimesUnixMS) != 0 {
+		t.Errorf("empty sampler: samples %d times %v", h.Samples, h.TimesUnixMS)
+	}
+	if len(h.Series) != 2 {
+		t.Fatalf("series count %d, want 2 even when empty", len(h.Series))
+	}
+	for _, se := range h.Series {
+		if len(se.Points) != 0 || se.Last != 0 || se.RatePerSec != 0 {
+			t.Errorf("empty series %q not zero-valued: %+v", se.Name, se)
+		}
+	}
+	// The empty payload must serialize (no NaNs).
+	if _, err := json.Marshal(h); err != nil {
+		t.Errorf("marshal empty history: %v", err)
+	}
+}
+
+func TestSamplerNonFiniteProbeSanitized(t *testing.T) {
+	s := NewSampler(time.Second, 4, Probe{Name: "bad", Kind: ProbeGauge, F: func() float64 { return math.NaN() }})
+	s.Sample()
+	h := s.History()
+	bad, _ := h.Lookup("bad")
+	if bad.Points[0] != 0 {
+		t.Errorf("NaN probe stored as %v, want 0", bad.Points[0])
+	}
+	if _, err := json.Marshal(h); err != nil {
+		t.Errorf("marshal: %v", err)
+	}
+}
+
+func TestSamplerHistogramQuantileProbe(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_ms")
+	for _, v := range []float64{1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	s := NewSampler(time.Second, 4, HistogramQuantileProbe(reg, "p99", "lat_ms", 0.99))
+	s.Sample()
+	p99, _ := s.History().Lookup("p99")
+	if p99.Last <= 4 || p99.Last > 100 {
+		t.Errorf("p99 = %v, want in (4, 100]", p99.Last)
+	}
+}
+
+// TestSamplerConcurrentSampleAndRead must be race-clean under -race.
+func TestSamplerConcurrentSampleAndRead(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("reqs_total")
+	s := NewSampler(time.Millisecond, 16,
+		CounterSumProbe(reg, "qps", "reqs_total"),
+		HistogramQuantileProbe(reg, "p50", "lat_ms", 0.5))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					s.Sample()
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h := s.History()
+					if h.Samples > h.Window {
+						t.Error("samples exceed window")
+						return
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestRegistrySumCounterValues(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(L("http_requests_total", "route", "decide", "code", "200")).Add(3)
+	reg.Counter(L("http_requests_total", "route", "batch", "code", "200")).Add(4)
+	reg.Counter("other_total").Add(9)
+	if got := reg.SumCounterValues("http_requests_total"); got != 7 {
+		t.Errorf("SumCounterValues = %d, want 7", got)
+	}
+	if got := reg.SumCounterValues("missing"); got != 0 {
+		t.Errorf("missing base = %d, want 0", got)
+	}
+}

@@ -127,9 +127,30 @@ type ErrorResponse struct {
 	Error APIError `json:"error"`
 }
 
-// HealthResponse is the GET /healthz body.
+// HealthResponse is the GET /healthz body. Version labels let
+// dashboards and load reports tag the run they measured.
 type HealthResponse struct {
 	Status   string `json:"status"`
 	UptimeMS int64  `json:"uptime_ms"`
 	Areas    int    `json:"areas"`
+	// Version is the module version from debug.ReadBuildInfo
+	// ("(devel)" for source builds, "unknown" outside a module).
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	// StartUnixMS is the process start time.
+	StartUnixMS int64 `json:"start_unix_ms"`
+}
+
+// BuildInfoResponse is the GET /v1/buildinfo body: the full build
+// provenance of the serving binary plus its lifecycle timestamps.
+type BuildInfoResponse struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	// Revision/VCSTime/VCSModified carry the vcs.* build settings when
+	// the binary was built from a checkout.
+	Revision    string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+	StartUnixMS int64  `json:"start_unix_ms"`
+	UptimeMS    int64  `json:"uptime_ms"`
 }

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"idlereduce/internal/parallel"
+	"idlereduce/internal/skirental"
+)
+
+// AuditRecord is one line of the decision audit log: everything needed
+// to re-derive the decision from scratch — the statistics the policy
+// was built from, the effective break-even interval, and the RNG
+// seed/stream pair — plus the decision itself. Because a decision is a
+// pure function of (b, mu, q, seed, stream), a recorded run can be
+// replayed through the ski-rental engine and checked bit-for-bit; see
+// VerifyAudit.
+type AuditRecord struct {
+	// TSUnixMS is the decision wall-clock time (forensics only; replay
+	// does not depend on it).
+	TSUnixMS int64 `json:"ts_unix_ms"`
+	// RequestID correlates the record with trace spans and the
+	// X-Request-Id response header.
+	RequestID string `json:"request_id,omitempty"`
+	VehicleID string `json:"vehicle_id"`
+	Area      string `json:"area"`
+	// StatsVersion is the area's statistics version the decision was
+	// served from (bumped by every PUT /v1/areas/{id}/stats).
+	StatsVersion uint64 `json:"stats_version"`
+	// B, Mu, Q are the policy inputs: the effective break-even
+	// interval and the area's constrained pair (mu_B-, q_B+).
+	B  float64 `json:"b"`
+	Mu float64 `json:"mu"`
+	Q  float64 `json:"q"`
+	// Seed and Stream pin the threshold draw: the effective root seed
+	// and the FNV-1a stream derived from (vehicle_id, area, b).
+	Seed   uint64 `json:"seed"`
+	Stream uint64 `json:"stream"`
+	// Choice and ThresholdSec are the decision under audit.
+	Choice       string  `json:"choice"`
+	ThresholdSec float64 `json:"threshold_sec"`
+}
+
+// AuditVerifyReport summarizes one replay-verification pass.
+type AuditVerifyReport struct {
+	// Records counts decodable records; Matched of them replayed to a
+	// bit-identical (choice, threshold) pair.
+	Records    int `json:"records"`
+	Matched    int `json:"matched"`
+	Mismatched int `json:"mismatched"`
+	// Corrupt counts undecodable lines with records after them (real
+	// corruption, not a crash tail).
+	Corrupt int `json:"corrupt"`
+	// TruncatedTail reports a final partial line, the expected shape
+	// of a crash or kill mid-write; it is skipped, not an error.
+	TruncatedTail bool `json:"truncated_tail"`
+	// Details carries the first few failure descriptions.
+	Details []string `json:"details,omitempty"`
+}
+
+// OK reports whether every decodable record replayed identically.
+func (r AuditVerifyReport) OK() bool { return r.Mismatched == 0 && r.Corrupt == 0 }
+
+// String renders the operator summary.
+func (r AuditVerifyReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit verify: %d records, %d matched, %d mismatched, %d corrupt\n",
+		r.Records, r.Matched, r.Mismatched, r.Corrupt)
+	if r.TruncatedTail {
+		fmt.Fprintf(&b, "  truncated final line skipped (crash-consistent tail)\n")
+	}
+	for _, d := range r.Details {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}
+
+// maxVerifyDetails bounds the per-failure detail lines in the report.
+const maxVerifyDetails = 10
+
+// VerifyAudit replays every audit record through the pure ski-rental
+// engine and compares the recorded decision bit-for-bit: the stream
+// derivation, the vertex selection, and the threshold draw must all
+// reproduce. This turns the engine's determinism from a test property
+// into an operator-checkable invariant over a recorded serving run.
+//
+// A truncated final line (crash mid-append) is skipped and flagged;
+// undecodable lines elsewhere count as corrupt. Only I/O failures
+// return an error — verification failures are reported in the report.
+func VerifyAudit(rd io.Reader) (AuditVerifyReport, error) {
+	var rep AuditVerifyReport
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	badLine := ""
+	hasBad := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if hasBad {
+			// The previous undecodable line was not the tail.
+			rep.Corrupt++
+			rep.detail("line %d: undecodable record %.60q", lineNo-1, badLine)
+			hasBad = false
+		}
+		var rec AuditRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			badLine, hasBad = line, true
+			continue
+		}
+		rep.Records++
+		if msg := replayRecord(rec); msg != "" {
+			rep.Mismatched++
+			rep.detail("line %d (%s/%s): %s", lineNo, rec.VehicleID, rec.Area, msg)
+		} else {
+			rep.Matched++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, fmt.Errorf("server: audit verify: %w", err)
+	}
+	if hasBad {
+		rep.TruncatedTail = true
+	}
+	return rep, nil
+}
+
+// detail appends one bounded failure description.
+func (r *AuditVerifyReport) detail(format string, args ...any) {
+	if len(r.Details) < maxVerifyDetails {
+		r.Details = append(r.Details, fmt.Sprintf(format, args...))
+	}
+}
+
+// replayRecord re-derives one decision; empty string means identical.
+func replayRecord(rec AuditRecord) string {
+	stream := requestStream(rec.VehicleID, rec.Area, rec.B)
+	if stream != rec.Stream {
+		return fmt.Sprintf("stream %d does not re-derive (got %d)", rec.Stream, stream)
+	}
+	policy, err := skirental.NewConstrained(rec.B, skirental.Stats{MuBMinus: rec.Mu, QBPlus: rec.Q})
+	if err != nil {
+		return fmt.Sprintf("recorded stats infeasible on replay: %v", err)
+	}
+	if got := policy.Choice().String(); got != rec.Choice {
+		return fmt.Sprintf("choice %s replayed as %s", rec.Choice, got)
+	}
+	got := policy.Threshold(parallel.RNG(rec.Seed, stream))
+	if math.Float64bits(got) != math.Float64bits(rec.ThresholdSec) {
+		return fmt.Sprintf("threshold %v replayed as %v", rec.ThresholdSec, got)
+	}
+	return ""
+}

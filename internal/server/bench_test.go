@@ -1,0 +1,51 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// benchDecide drives POST /v1/decide through the full middleware stack
+// without a network socket, so the pair below isolates the cost of the
+// forensics layer (tracing + audit) on the hot path.
+func benchDecide(b *testing.B, cfg Config) {
+	cfg.Areas = testAreas()
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	const body = `{"vehicle_id":"bench-1","area":"chicago"}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/decide", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	b.StopTimer()
+	if err := s.closeLogs(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkDecideObsOff is the baseline: no trace log, no audit log.
+// The forensics code must cost only two nil checks here.
+func BenchmarkDecideObsOff(b *testing.B) {
+	benchDecide(b, Config{})
+}
+
+// BenchmarkDecideObsOn measures the same path with tracing and audit
+// enabled, writing to io.Discard so the sink itself is free and the
+// measured delta is the instrumentation (span bookkeeping + record
+// marshal + bounded enqueue).
+func BenchmarkDecideObsOn(b *testing.B) {
+	benchDecide(b, Config{TraceLog: io.Discard, AuditLog: io.Discard})
+}

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// buildInfo is the process-constant part of GET /v1/buildinfo,
+// resolved once from the binary's embedded module metadata.
+type buildInfo struct {
+	Version   string
+	GoVersion string
+	Revision  string
+	VCSTime   string
+	Modified  bool
+}
+
+var (
+	buildInfoOnce   sync.Once
+	cachedBuildInfo buildInfo
+)
+
+// readBuildInfo resolves the binary's version labels. Binaries built
+// outside a module (rare) fall back to runtime.Version only.
+func readBuildInfo() buildInfo {
+	buildInfoOnce.Do(func() {
+		cachedBuildInfo = buildInfo{Version: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			cachedBuildInfo.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				cachedBuildInfo.Revision = s.Value
+			case "vcs.time":
+				cachedBuildInfo.VCSTime = s.Value
+			case "vcs.modified":
+				cachedBuildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return cachedBuildInfo
+}

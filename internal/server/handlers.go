@@ -34,8 +34,11 @@ func requestStream(vehicleID, area string, b float64) uint64 {
 
 // decide computes one decision. It returns the structured API error to
 // send instead of an (error, status) pair so the batch path can embed
-// failures per item.
-func (s *Server) decide(req DecideRequest, defaultSeed uint64) (*DecideResponse, *APIError) {
+// failures per item. ctx carries the request id and (when tracing is
+// on) the span the decision annotates; with an audit log configured
+// the decision is appended as a replayable AuditRecord. Both are
+// gated on a nil check so the disabled path stays free.
+func (s *Server) decide(ctx context.Context, req DecideRequest, defaultSeed uint64) (*DecideResponse, *APIError) {
 	if req.VehicleID == "" {
 		return nil, &APIError{Code: "bad_request", Message: "vehicle_id is required", Status: http.StatusBadRequest}
 	}
@@ -72,7 +75,8 @@ func (s *Server) decide(req DecideRequest, defaultSeed uint64) (*DecideResponse,
 	if seed == 0 {
 		seed = defaultSeed
 	}
-	rng := parallel.RNG(seed, requestStream(req.VehicleID, entry.state.ID, b))
+	stream := requestStream(req.VehicleID, entry.state.ID, b)
+	rng := parallel.RNG(seed, stream)
 	threshold := policy.Threshold(rng)
 
 	if s.cfg.testDelay > 0 {
@@ -83,6 +87,32 @@ func (s *Server) decide(req DecideRequest, defaultSeed uint64) (*DecideResponse,
 	}
 	s.rec.Add(obs.L("decide_total", "choice", policy.Choice().String()), 1)
 	s.rec.Observe("decide_threshold_sec", threshold)
+	if s.tracer != nil {
+		if sp := obs.SpanFrom(ctx); sp != nil {
+			sp.Set("area", entry.state.ID)
+			sp.Set("stats_version", entry.version)
+			sp.Set("b", b)
+			sp.Set("choice", policy.Choice().String())
+			sp.Set("threshold_sec", threshold)
+			sp.Set("stream", stream)
+		}
+	}
+	if s.auditW != nil {
+		s.auditW.Write(AuditRecord{
+			TSUnixMS:     time.Now().UnixMilli(),
+			RequestID:    obs.RequestIDFrom(ctx),
+			VehicleID:    req.VehicleID,
+			Area:         entry.state.ID,
+			StatsVersion: entry.version,
+			B:            b,
+			Mu:           entry.state.Mu,
+			Q:            entry.state.Q,
+			Seed:         seed,
+			Stream:       stream,
+			Choice:       policy.Choice().String(),
+			ThresholdSec: threshold,
+		})
+	}
 	return &DecideResponse{
 		VehicleID:     req.VehicleID,
 		Area:          entry.state.ID,
@@ -103,7 +133,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "decode request: "+err.Error())
 		return
 	}
-	resp, apiErr := s.decide(req, s.cfg.RootSeed)
+	resp, apiErr := s.decide(r.Context(), req, s.cfg.RootSeed)
 	if apiErr != nil {
 		writeError(w, apiErr.Status, apiErr.Code, apiErr.Message)
 		return
@@ -135,9 +165,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		seed = s.cfg.RootSeed
 	}
 	ctx := obs.WithRecorder(r.Context(), s.rec)
+	parent := obs.SpanFrom(ctx)
 	results, err := parallel.Map(ctx, "server_batch", len(req.Requests), s.cfg.Workers,
-		func(_ context.Context, i int) (BatchItem, error) {
-			resp, apiErr := s.decide(req.Requests[i], seed)
+		func(ictx context.Context, i int) (BatchItem, error) {
+			// Each batch item gets its own child span (same request
+			// id) so the fan-out stays attributable per decision.
+			if parent != nil {
+				child := parent.Child("decide_item")
+				child.Set("index", i)
+				defer child.End()
+				ictx = obs.ContextWithSpan(ictx, child)
+			}
+			resp, apiErr := s.decide(ictx, req.Requests[i], seed)
 			if apiErr != nil {
 				return BatchItem{Error: apiErr}, nil
 			}
@@ -187,16 +226,50 @@ func (s *Server) handleAreas(w http.ResponseWriter, r *http.Request) {
 // handleHealthz serves GET /healthz. It bypasses the in-flight limiter
 // so liveness probes keep passing while decision load is shed.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	bi := readBuildInfo()
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:   "ok",
-		UptimeMS: time.Since(s.start).Milliseconds(),
-		Areas:    s.cache.Len(),
+		Status:      "ok",
+		UptimeMS:    time.Since(s.start).Milliseconds(),
+		Areas:       s.cache.Len(),
+		Version:     bi.Version,
+		GoVersion:   bi.GoVersion,
+		StartUnixMS: s.start.UnixMilli(),
 	})
 }
 
+// handleBuildInfo serves GET /v1/buildinfo: the serving binary's build
+// provenance so dashboards and load reports can label runs.
+func (s *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	bi := readBuildInfo()
+	writeJSON(w, http.StatusOK, BuildInfoResponse{
+		Version:     bi.Version,
+		GoVersion:   bi.GoVersion,
+		Revision:    bi.Revision,
+		VCSTime:     bi.VCSTime,
+		VCSModified: bi.Modified,
+		StartUnixMS: s.start.UnixMilli(),
+		UptimeMS:    time.Since(s.start).Milliseconds(),
+	})
+}
+
+// handleHistory serves GET /v1/history: the ring-buffer sampler's
+// retained metrics window (windowed rates plus rolling quantiles). It
+// bypasses the limiter so dashboards keep rendering under overload.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sampler.History())
+}
+
 // handleMetrics serves GET /metrics: the obs registry snapshot in
-// Prometheus text format, or JSON with ?format=json.
+// Prometheus text format, or JSON with ?format=json. The bounded
+// trace/audit writers are lossy by design; their drop counts are
+// refreshed into gauges here so a scrape always sees them.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.tracer != nil {
+		s.rec.Set("trace_dropped_records", float64(s.tracer.Dropped()))
+	}
+	if s.auditW != nil {
+		s.rec.Set("audit_dropped_records", float64(s.auditW.Dropped()))
+	}
 	snap := s.rec.Snapshot()
 	if r.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
@@ -229,7 +302,7 @@ func allowedMethods(path string) []string {
 	switch path {
 	case "/v1/decide", "/v1/decide/batch":
 		return []string{http.MethodPost}
-	case "/v1/areas", "/healthz", "/metrics":
+	case "/v1/areas", "/v1/history", "/v1/buildinfo", "/healthz", "/metrics":
 		return []string{http.MethodGet}
 	}
 	if strings.HasPrefix(path, "/v1/areas/") && strings.HasSuffix(path, "/stats") {

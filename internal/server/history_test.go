@@ -1,0 +1,139 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"idlereduce/internal/obs"
+)
+
+// TestHistoryEndpointZeroSamples: before the sampler has ticked, the
+// endpoint must still answer a well-formed, empty window — dashboards
+// poll immediately after boot.
+func TestHistoryEndpointZeroSamples(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	var h obs.History
+	status, _ := doJSON(t, "GET", ts.URL+"/v1/history", "", &h)
+	if status != http.StatusOK {
+		t.Fatalf("history: status %d", status)
+	}
+	if h.Samples != 0 || len(h.TimesUnixMS) != 0 {
+		t.Errorf("fresh server history has %d samples, want 0", h.Samples)
+	}
+	if h.Window <= 0 || h.IntervalMS <= 0 {
+		t.Errorf("history window/interval not reported: %+v", h)
+	}
+	if len(h.Series) == 0 {
+		t.Fatal("history has no series")
+	}
+	for _, name := range []string{"requests", "decisions", "inflight", "decide_p99_ms"} {
+		if _, ok := h.Lookup(name); !ok {
+			t.Errorf("history missing series %q", name)
+		}
+	}
+}
+
+// TestHistoryEndpointLive runs the full Serve lifecycle with a fast
+// sampler, drives traffic, and expects the window to fill with nonzero
+// request and decision rates.
+func TestHistoryEndpointLive(t *testing.T) {
+	s, err := New(Config{
+		Addr:            "127.0.0.1:0",
+		Areas:           testAreas(),
+		HistoryInterval: 20 * time.Millisecond,
+		HistoryWindow:   16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx) }()
+	waitHealthy(t, "http://"+addr)
+
+	// Decide while polling: counter rates are derived from deltas
+	// between samples, so the traffic must land inside the retained
+	// window (a pre-window burst correctly shows a zero rate).
+	var h obs.History
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; ; i++ {
+		status, _ := doJSON(t, "POST", "http://"+addr+"/v1/decide",
+			fmt.Sprintf(`{"vehicle_id":"v-%d","area":"chicago"}`, i), nil)
+		if status != http.StatusOK {
+			t.Fatalf("decide %d: status %d", i, status)
+		}
+		status, _ = doJSON(t, "GET", "http://"+addr+"/v1/history", "", &h)
+		if status != http.StatusOK {
+			t.Fatalf("history: status %d", status)
+		}
+		dec, ok := h.Lookup("decisions")
+		if h.Samples >= 2 && ok && dec.RatePerSec > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("history never saw the decisions: %+v", h)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(h.TimesUnixMS) != h.Samples {
+		t.Errorf("times length %d != samples %d", len(h.TimesUnixMS), h.Samples)
+	}
+	reqs, ok := h.Lookup("requests")
+	if !ok || reqs.Kind != "rate" || reqs.RatePerSec <= 0 {
+		t.Errorf("requests series not a live rate: %+v", reqs)
+	}
+	if h.Samples > h.Window {
+		t.Errorf("samples %d exceed window %d", h.Samples, h.Window)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not drain")
+	}
+}
+
+// TestBuildInfoEndpoint checks /v1/buildinfo and the extended /healthz
+// report the binary's identity and lifecycle.
+func TestBuildInfoEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+
+	var bi BuildInfoResponse
+	status, _ := doJSON(t, "GET", ts.URL+"/v1/buildinfo", "", &bi)
+	if status != http.StatusOK {
+		t.Fatalf("buildinfo: status %d", status)
+	}
+	if bi.Version == "" {
+		t.Error("buildinfo version empty")
+	}
+	if bi.GoVersion != runtime.Version() {
+		t.Errorf("go_version %q, want %q", bi.GoVersion, runtime.Version())
+	}
+	if bi.StartUnixMS <= 0 || bi.UptimeMS < 0 {
+		t.Errorf("bad lifecycle fields: %+v", bi)
+	}
+
+	var hr HealthResponse
+	if status, _ := doJSON(t, "GET", ts.URL+"/healthz", "", &hr); status != http.StatusOK {
+		t.Fatalf("healthz: status %d", status)
+	}
+	if hr.Version != bi.Version || hr.GoVersion != bi.GoVersion {
+		t.Errorf("healthz version %q/%q disagrees with buildinfo %q/%q",
+			hr.Version, hr.GoVersion, bi.Version, bi.GoVersion)
+	}
+	if hr.StartUnixMS != bi.StartUnixMS {
+		t.Errorf("healthz start %d != buildinfo start %d", hr.StartUnixMS, bi.StartUnixMS)
+	}
+}

@@ -36,6 +36,11 @@ type LoadOptions struct {
 	// Transport overrides the HTTP transport (tests drive an in-process
 	// handler through httptest with a shared transport).
 	Transport http.RoundTripper
+	// Recorder collects the harness metrics; nil allocates a private
+	// one. Passing a recorder lets callers snapshot the full registry
+	// after the run (`idled loadtest -out`), in the same schema the
+	// bench and replay tooling writes.
+	Recorder *obs.Recorder
 }
 
 // LoadReport summarizes one load run. Throughput and latency are read
@@ -104,9 +109,11 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 		}
 	}
 
-	reg := obs.NewRegistry()
-	rec := obs.NewRecorder("loadtest", reg, nil)
-	lat := reg.Histogram("loadtest_request_ms")
+	rec := opts.Recorder
+	if rec == nil {
+		rec = obs.NewRecorder("loadtest", obs.NewRegistry(), nil)
+	}
+	lat := rec.Registry().Histogram("loadtest_request_ms")
 
 	t0 := time.Now()
 	err := parallel.ForEach(ctx, "loadtest_clients", opts.Clients, opts.Clients,

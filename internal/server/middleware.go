@@ -36,11 +36,19 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// requestIDHeader is the correlation header: propagated when the
+// client sends one, minted otherwise, and always echoed on the reply.
+const requestIDHeader = "X-Request-Id"
+
 // instrument wraps a handler with the serving middleware stack:
 //
 //   - bounded in-flight limiter (when limited): a full server answers
 //     429 immediately instead of queueing without bound;
 //   - in-flight gauge http_inflight_requests;
+//   - request-id assignment/propagation (X-Request-Id, echoed on the
+//     reply and carried through the context for audit records);
+//   - a trace span per request when Config.TraceLog is set, recording
+//     route, status and latency plus whatever the handler annotates;
 //   - per-request context deadline (RequestTimeout);
 //   - request counter http_requests_total{route,code} and latency
 //     histogram http_request_ms{route};
@@ -52,6 +60,11 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // working while the server sheds decision load.
 func (s *Server) instrument(route string, limited bool, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get(requestIDHeader)
+		if reqID == "" {
+			reqID = s.newRequestID()
+		}
+		w.Header().Set(requestIDHeader, reqID)
 		if limited {
 			select {
 			case s.inflight <- struct{}{}:
@@ -68,6 +81,10 @@ func (s *Server) instrument(route string, limited bool, h http.HandlerFunc) http
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		ctx = obs.WithRequestID(ctx, reqID)
+		var span *obs.Span
+		ctx, span = s.tracer.Start(ctx, "http_request", reqID)
+		span.Set("route", route)
 		sw := &statusWriter{ResponseWriter: w}
 		t0 := time.Now()
 		defer func() {
@@ -86,6 +103,8 @@ func (s *Server) instrument(route string, limited bool, h http.HandlerFunc) http
 			s.rec.Add(obs.L("http_requests_total", "route", route, "code", strconv.Itoa(code)), 1)
 			s.rec.Observe(obs.L("http_request_ms", "route", route),
 				float64(time.Since(t0))/float64(time.Millisecond))
+			span.Set("code", code)
+			span.End()
 		}()
 		h(sw, r.WithContext(ctx))
 	})

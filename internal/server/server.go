@@ -13,21 +13,31 @@
 //	POST /v1/decide/batch        order-preserving parallel fan-out
 //	PUT  /v1/areas/{id}/stats    swap an area's statistics
 //	GET  /v1/areas               list cached strategies
+//	GET  /v1/history             metrics time series (ring-buffer sampler)
+//	GET  /v1/buildinfo           version, Go version, start time, uptime
 //	GET  /healthz                liveness (bypasses the limiter)
 //	GET  /metrics                obs registry snapshot (Prometheus/JSON)
 //
 // Robustness: read/write timeouts on the listener, a per-request
 // context deadline, a bounded in-flight limiter returning 429 on
 // overload, graceful drain on shutdown, and structured JSON errors.
+//
+// Forensics: every request gets an X-Request-Id (assigned or
+// propagated); with a TraceLog configured each request emits a span
+// JSONL record carrying the id, route, and decision attributes, and
+// with an AuditLog configured every decision appends an AuditRecord
+// that VerifyAudit can replay bit-for-bit (see docs/OBSERVABILITY.md).
 package server
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"idlereduce/internal/obs"
@@ -62,6 +72,18 @@ type Config struct {
 	// Recorder collects serving metrics; nil allocates a fresh
 	// recorder with its own registry.
 	Recorder *obs.Recorder
+	// TraceLog receives request span records as JSONL (bounded,
+	// non-blocking, lossy-counted). Nil disables request tracing.
+	TraceLog io.Writer
+	// AuditLog receives one AuditRecord per decision as JSONL (same
+	// bounded writer discipline). Nil disables the audit log. Size
+	// rotation belongs to the writer (see obs.RotatingFile).
+	AuditLog io.Writer
+	// HistoryInterval is the metrics sampling period backing
+	// GET /v1/history (default 1s); HistoryWindow is the ring size in
+	// samples (default 120, i.e. two minutes at the default interval).
+	HistoryInterval time.Duration
+	HistoryWindow   int
 
 	// testDelay artificially delays decide handlers; used by drain and
 	// overload tests only.
@@ -100,6 +122,12 @@ func (c Config) withDefaults() Config {
 	if c.Recorder == nil {
 		c.Recorder = obs.NewRecorder("idled", nil, nil)
 	}
+	if c.HistoryInterval <= 0 {
+		c.HistoryInterval = time.Second
+	}
+	if c.HistoryWindow <= 0 {
+		c.HistoryWindow = 120
+	}
 	return c
 }
 
@@ -112,6 +140,16 @@ type Server struct {
 	inflight chan struct{}
 	start    time.Time
 	handler  http.Handler
+
+	// tracer/auditW are the request-forensics sinks (nil when the
+	// corresponding Config writer is nil); sampler backs /v1/history.
+	tracer  *obs.Tracer
+	auditW  *obs.JSONLWriter
+	sampler *obs.Sampler
+
+	// bootID prefixes generated request ids; reqSeq numbers them.
+	bootID string
+	reqSeq atomic.Uint64
 
 	mu sync.Mutex
 	ln net.Listener
@@ -132,8 +170,59 @@ func New(cfg Config) (*Server, error) {
 		inflight: make(chan struct{}, cfg.MaxInflight),
 		start:    time.Now(),
 	}
+	s.bootID = fmt.Sprintf("%08x", uint32(s.start.UnixNano()))
+	if cfg.TraceLog != nil {
+		s.tracer = obs.NewTracer(obs.NewJSONLWriter(cfg.TraceLog, 4096))
+	}
+	if cfg.AuditLog != nil {
+		s.auditW = obs.NewJSONLWriter(cfg.AuditLog, 8192)
+	}
+	s.sampler = obs.NewSampler(cfg.HistoryInterval, cfg.HistoryWindow, s.probes()...)
 	s.handler = s.routes()
 	return s, nil
+}
+
+// probes selects the registry series /v1/history retains: request and
+// decision throughput, load shedding, in-flight depth, cache
+// hit/miss, and the decide/batch latency quantiles.
+func (s *Server) probes() []obs.Probe {
+	reg := s.rec.Registry()
+	return []obs.Probe{
+		obs.CounterSumProbe(reg, "requests", "http_requests_total"),
+		obs.CounterSumProbe(reg, "decisions", "decide_total"),
+		obs.CounterSumProbe(reg, "overloaded", "http_overload_total"),
+		obs.CounterSumProbe(reg, "cache_hits", "decide_cache_hits_total"),
+		obs.CounterSumProbe(reg, "cache_misses", "decide_cache_misses_total"),
+		obs.GaugeProbe(reg, "inflight", "http_inflight_requests"),
+		obs.HistogramQuantileProbe(reg, "decide_p50_ms", obs.L("http_request_ms", "route", "decide"), 0.50),
+		obs.HistogramQuantileProbe(reg, "decide_p99_ms", obs.L("http_request_ms", "route", "decide"), 0.99),
+		obs.HistogramQuantileProbe(reg, "batch_p50_ms", obs.L("http_request_ms", "route", "batch"), 0.50),
+		obs.HistogramQuantileProbe(reg, "batch_p99_ms", obs.L("http_request_ms", "route", "batch"), 0.99),
+	}
+}
+
+// newRequestID mints a process-unique request id: a boot prefix plus
+// a sequence number — cheap, collision-free within a run, and easy to
+// grep across trace spans and audit records.
+func (s *Server) newRequestID() string {
+	return fmt.Sprintf("%s-%07d", s.bootID, s.reqSeq.Add(1))
+}
+
+// History returns the sampler's retained metrics window (the
+// /v1/history payload; exported for embedding and tests).
+func (s *Server) History() obs.History { return s.sampler.History() }
+
+// closeLogs flushes and stops the trace and audit sinks; the graceful
+// drain calls it so no record accepted before shutdown is lost.
+func (s *Server) closeLogs() error {
+	var first error
+	if err := s.tracer.Close(); err != nil {
+		first = err
+	}
+	if err := s.auditW.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // Recorder returns the server's metrics recorder.
@@ -151,6 +240,8 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("POST /v1/decide/batch", s.instrument("batch", true, s.handleBatch))
 	mux.Handle("PUT /v1/areas/{id}/stats", s.instrument("stats_update", true, s.handleStatsUpdate))
 	mux.Handle("GET /v1/areas", s.instrument("areas", true, s.handleAreas))
+	mux.Handle("GET /v1/history", s.instrument("history", false, s.handleHistory))
+	mux.Handle("GET /v1/buildinfo", s.instrument("buildinfo", false, s.handleBuildInfo))
 	mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
 	mux.Handle("GET /metrics", s.instrument("metrics", false, s.handleMetrics))
 	mux.Handle("/", s.instrument("fallthrough", false, s.handleNotFound))
@@ -175,8 +266,10 @@ func (s *Server) Listen() (string, error) {
 }
 
 // Serve accepts connections until ctx is cancelled, then drains
-// gracefully: in-flight requests get up to DrainTimeout to finish. It
-// binds lazily if Listen was not called. A clean drain returns nil.
+// gracefully: in-flight requests get up to DrainTimeout to finish and
+// the trace/audit sinks are flushed before returning, so a SIGTERM
+// loses no accepted record. It binds lazily if Listen was not called.
+// A clean drain returns nil.
 func (s *Server) Serve(ctx context.Context) error {
 	if _, err := s.Listen(); err != nil {
 		return err
@@ -184,6 +277,10 @@ func (s *Server) Serve(ctx context.Context) error {
 	s.mu.Lock()
 	ln := s.ln
 	s.mu.Unlock()
+
+	samplerCtx, stopSampler := context.WithCancel(context.Background())
+	defer stopSampler()
+	go s.sampler.Run(samplerCtx)
 
 	hs := &http.Server{
 		Handler:      s.handler,
@@ -195,13 +292,21 @@ func (s *Server) Serve(ctx context.Context) error {
 
 	select {
 	case err := <-serveErr:
+		s.closeLogs()
 		return fmt.Errorf("server: serve: %w", err)
 	case <-ctx.Done():
 	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	s.rec.Event("server_drain")
-	if err := hs.Shutdown(drainCtx); err != nil {
+	err := hs.Shutdown(drainCtx)
+	// Flush after Shutdown in every case: in-flight handlers have
+	// finished (or the drain timed out); what they enqueued must reach
+	// the logs either way.
+	if cerr := s.closeLogs(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
 		return fmt.Errorf("server: drain: %w", err)
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {

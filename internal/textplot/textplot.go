@@ -130,6 +130,51 @@ func (c *LineChart) Render() string {
 	return b.String()
 }
 
+// sparkRunes are the eight block glyphs of a sparkline, lowest to
+// highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the last width values as a one-line block graph,
+// scaled to the finite min/max of the rendered window. Non-finite
+// values render as spaces; fewer values than width left-pads with
+// spaces so consecutive renders of a growing series stay right-aligned
+// (the live-dashboard shape). A flat series renders at the low block.
+func Sparkline(values []float64, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if len(values) > width {
+		values = values[len(values)-width:]
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	out := make([]rune, width)
+	for i := range out {
+		out[i] = ' '
+	}
+	if math.IsInf(lo, 0) {
+		return string(out)
+	}
+	span := hi - lo
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkRunes)-1))
+		}
+		out[width-len(values)+i] = sparkRunes[idx]
+	}
+	return string(out)
+}
+
 // Heatmap renders a labelled character grid (used for the Figure 1a
 // strategy-region map). Cell (i, j) maps to column i, row j with row 0 at
 // the bottom.

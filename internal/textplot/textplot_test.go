@@ -150,3 +150,46 @@ func TestBarChartAllZero(t *testing.T) {
 		t.Errorf("zero-only chart drew bars:\n%s", out)
 	}
 }
+
+func TestSparklineScalesToWindow(t *testing.T) {
+	out := []rune(Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8))
+	if string(out) != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp sparkline = %q", string(out))
+	}
+}
+
+func TestSparklineRightAlignsShortSeries(t *testing.T) {
+	out := []rune(Sparkline([]float64{0, 10}, 6))
+	if len(out) != 6 {
+		t.Fatalf("width %d, want 6", len(out))
+	}
+	for _, r := range out[:4] {
+		if r != ' ' {
+			t.Fatalf("left pad not blank: %q", string(out))
+		}
+	}
+	if out[4] != '▁' || out[5] != '█' {
+		t.Errorf("short series = %q", string(out))
+	}
+}
+
+func TestSparklineTruncatesToLastWidth(t *testing.T) {
+	// Only the last 4 values set the scale: 100 is outside the window.
+	out := []rune(Sparkline([]float64{100, 1, 1, 1, 2}, 4))
+	if string(out) != "▁▁▁█" {
+		t.Errorf("windowed sparkline = %q", string(out))
+	}
+}
+
+func TestSparklineFlatAndNaN(t *testing.T) {
+	if out := Sparkline([]float64{5, 5, 5}, 3); out != "▁▁▁" {
+		t.Errorf("flat series = %q", out)
+	}
+	out := []rune(Sparkline([]float64{0, math.NaN(), 4}, 3))
+	if out[0] != '▁' || out[1] != ' ' || out[2] != '█' {
+		t.Errorf("NaN handling = %q", string(out))
+	}
+	if got := Sparkline(nil, 5); got != "     " {
+		t.Errorf("empty series = %q", got)
+	}
+}
