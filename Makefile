@@ -10,14 +10,15 @@ FUZZTIME ?= 10s
 STATICCHECK_VERSION ?= 2025.1.1
 
 .PHONY: check ci build vet test race fmt-check staticcheck cover \
-	fuzz-smoke bench-smoke bench bench-metrics bench-parallel clean
+	fuzz-smoke bench-smoke bench bench-metrics bench-parallel \
+	bench-capture bench-compare bench-gate clean
 
 ## check: the full pre-commit gate — identical to CI (vet, fmt, build,
 ## test, race, fuzz smoke, staticcheck).
 check: ci
 
 ## ci: mirror of the GitHub workflow jobs, step for step.
-ci: vet fmt-check build test race fuzz-smoke staticcheck
+ci: vet fmt-check build test race fuzz-smoke staticcheck bench-gate
 
 build:
 	$(GO) build ./...
@@ -90,5 +91,40 @@ bench-metrics:
 bench-parallel:
 	$(GO) test -bench 'BenchmarkParallel' -benchmem -run '^$$' .
 
+# The perf trajectory (docs/BENCHMARKS.md): BENCH_BASELINE is the
+# newest committed BENCH_NNNN.json; the head capture is written to
+# BENCH_head.json (named so the wildcard never picks it up as a
+# baseline). BENCH_SCALE trades capture time for noise; BENCH_RUNS is
+# the min-of-N noise filter depth (5 here — deeper than the CLI's
+# default 3 — because gate captures run on busy CI machines).
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_[0-9]*.json)))
+BENCH_HEAD ?= BENCH_head.json
+BENCH_SCALE ?= 1
+BENCH_RUNS ?= 5
+BENCH_MAX_REGRESS ?= 10%
+
+## bench-capture: capture the structured benchmark suites into
+## $(BENCH_HEAD) via `idlectl bench run`.
+bench-capture:
+	$(GO) run ./cmd/idlectl bench run -runs $(BENCH_RUNS) -scale $(BENCH_SCALE) -out $(BENCH_HEAD)
+
+## bench-compare: diff the head capture against the committed baseline
+## and fail on any regression beyond tolerance.
+bench-compare:
+	$(GO) run ./cmd/idlectl bench compare -base $(BENCH_BASELINE) -head $(BENCH_HEAD) -max-regress $(BENCH_MAX_REGRESS)
+
+## bench-gate: the CI regression gate — capture, then compare against
+## the newest committed BENCH_NNNN.json. Skips gracefully (with a
+## visible note) when no baseline is committed, so forks and fresh
+## branches are not blocked.
+bench-gate:
+ifeq ($(BENCH_BASELINE),)
+	@echo "bench-gate: no committed BENCH_NNNN.json baseline; skipping"
+else
+	$(MAKE) bench-capture
+	$(MAKE) bench-compare
+endif
+
 clean:
-	rm -f bench-metrics.json bench-smoke.txt coverage.out cpu.pprof mem.pprof trace.out
+	rm -f bench-metrics.json bench-smoke.txt coverage.out cpu.pprof mem.pprof trace.out \
+		$(BENCH_HEAD)

@@ -19,6 +19,7 @@ import (
 	"idlereduce/internal/fleet"
 	"idlereduce/internal/multislope"
 	"idlereduce/internal/obs"
+	"idlereduce/internal/perf"
 	"idlereduce/internal/simulator"
 	"idlereduce/internal/skirental"
 	"idlereduce/internal/stats"
@@ -471,6 +472,31 @@ func benchSimulatorObs(b *testing.B, instrumented bool) {
 			b.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", path)
+	}
+}
+
+// BenchmarkPerfCapture exercises the structured benchmark plane
+// end-to-end at a tiny scale (one run, 2% iterations), so the capture
+// pipeline itself — suites, runner, schema round trip — is covered by
+// the ordinary bench sweep. Set IDLEREDUCE_BENCH_PERF=<path> to also
+// write the final capture file (the full-scale equivalent is `idlectl
+// bench run` / `make bench-capture`).
+func BenchmarkPerfCapture(b *testing.B) {
+	var file perf.File
+	for i := 0; i < b.N; i++ {
+		var err error
+		file, err = perf.Capture(perf.Options{Runs: 1, Scale: 0.02})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(file.Results)), "suites/op")
+	if path := os.Getenv("IDLEREDUCE_BENCH_PERF"); path != "" {
+		if err := file.WriteFile(path); err != nil {
 			b.Fatal(err)
 		}
 		b.Logf("wrote %s", path)

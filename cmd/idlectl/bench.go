@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+
+	"idlereduce/internal/perf"
+	"idlereduce/internal/textplot"
+)
+
+const benchUsage = `usage: idlectl bench <run|compare> [flags]
+
+  bench run     [-out BENCH_NNNN.json] [-runs N] [-scale F] [-seq N] [-filter s]
+  bench compare -base BENCH_A.json -head BENCH_B.json
+                [-max-regress 10%] [-max-alloc-regress 5%] [-json]`
+
+// benchCmd hosts the perf-trajectory subcommands: run captures the
+// committed benchmark suites into a versioned BENCH_*.json, compare
+// diffs two captures with noise-aware tolerances and exits non-zero on
+// any regression (the CI gate; see docs/BENCHMARKS.md).
+func benchCmd(args []string, stdout io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("%s", benchUsage)
+	}
+	switch args[0] {
+	case "run":
+		return benchRun(args[1:], stdout)
+	case "compare":
+		return benchCompare(args[1:], stdout)
+	default:
+		return fmt.Errorf("unknown bench subcommand %q\n%s", args[0], benchUsage)
+	}
+}
+
+// seqPattern extracts the trajectory position from a capture filename
+// (BENCH_0006.json -> 6).
+var seqPattern = regexp.MustCompile(`^BENCH_0*([0-9]+)\.json$`)
+
+func seqFromPath(path string) int {
+	m := seqPattern.FindStringSubmatch(filepath.Base(path))
+	if m == nil {
+		return 0
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func benchRun(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bench run", flag.ContinueOnError)
+	outPath := fs.String("out", "", "write the capture here (BENCH_NNNN.json; default stdout)")
+	runs := fs.Int("runs", 3, "measured runs per benchmark (reported numbers are the min across runs)")
+	scale := fs.Float64("scale", 1, "iteration multiplier (<1 = faster, noisier capture)")
+	seq := fs.Int("seq", 0, "trajectory sequence number (0 = derive from the -out filename)")
+	filter := fs.String("filter", "", "run only benchmarks whose name contains this substring")
+	quiet := fs.Bool("q", false, "suppress per-benchmark progress lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v\n%s", fs.Args(), benchUsage)
+	}
+	opts := perf.Options{Runs: *runs, Scale: *scale, Seq: *seq, Filter: *filter}
+	if opts.Seq == 0 && *outPath != "" {
+		opts.Seq = seqFromPath(*outPath)
+	}
+	if !*quiet {
+		opts.Logf = func(format string, a ...any) { fmt.Fprintf(stdout, format+"\n", a...) }
+	}
+	f, err := perf.Capture(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, benchTable(f))
+	if *outPath == "" {
+		return f.Write(stdout)
+	}
+	if err := f.WriteFile(*outPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (seq %d, %d benchmarks)\n", *outPath, f.Seq, len(f.Results))
+	return nil
+}
+
+func benchCompare(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bench compare", flag.ContinueOnError)
+	basePath := fs.String("base", "", "baseline capture (the committed BENCH_NNNN.json)")
+	headPath := fs.String("head", "", "candidate capture to gate")
+	maxRegress := fs.String("max-regress", "10%", "max allowed time regression (ns/op, p99)")
+	maxAlloc := fs.String("max-alloc-regress", "5%", "max allowed allocation regression (allocs/op, B/op)")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable comparison instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v\n%s", fs.Args(), benchUsage)
+	}
+	if *basePath == "" || *headPath == "" {
+		return fmt.Errorf("bench compare: -base and -head are both required\n%s", benchUsage)
+	}
+	var opts perf.CompareOptions
+	var err error
+	if opts.MaxRegress, err = perf.ParseTolerance(*maxRegress); err != nil {
+		return fmt.Errorf("-max-regress: %w", err)
+	}
+	if opts.MaxAllocRegress, err = perf.ParseTolerance(*maxAlloc); err != nil {
+		return fmt.Errorf("-max-alloc-regress: %w", err)
+	}
+	base, err := perf.ReadFile(*basePath)
+	if err != nil {
+		return err
+	}
+	head, err := perf.ReadFile(*headPath)
+	if err != nil {
+		return err
+	}
+	cmp, err := perf.Compare(base, head, opts)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cmp); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprint(stdout, cmp.String())
+	}
+	if !cmp.OK() {
+		return fmt.Errorf("bench compare: %d regression(s) against %s", cmp.Regressions, *basePath)
+	}
+	return nil
+}
+
+// benchTable renders a capture as the stats-style text table.
+func benchTable(f perf.File) string {
+	rows := [][]string{{"benchmark", "class", "ops", "ns/op", "p50", "p95", "p99", "allocs/op", "B/op"}}
+	for _, r := range f.Results {
+		rows = append(rows, []string{
+			r.Name, r.Class,
+			fmt.Sprintf("%d", r.Ops),
+			fmt.Sprintf("%.0f", r.NsPerOp),
+			fmt.Sprintf("%.0f", r.P50Ns),
+			fmt.Sprintf("%.0f", r.P95Ns),
+			fmt.Sprintf("%.0f", r.P99Ns),
+			fmt.Sprintf("%.1f", r.AllocsPerOp),
+			fmt.Sprintf("%.0f", r.BytesPerOp),
+		})
+	}
+	out := fmt.Sprintf("capture seq %d: %s %s/%s, %d cpu\n",
+		f.Seq, f.Machine.GoVersion, f.Machine.GOOS, f.Machine.GOARCH, f.Machine.NumCPU)
+	return out + textplot.Table(rows)
+}
+
+// renderBenchFile is the stats-command view of a BENCH capture: the
+// same table plus the machine stamp, so `idlectl stats -metrics
+// BENCH_0006.json` works on trajectory files as well as obs snapshots.
+func renderBenchFile(data []byte, stdout io.Writer) error {
+	f, err := perf.ReadBytes(data)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(stdout, benchTable(f))
+	return err
+}
+
+// fileOrStdin reads a whole -metrics style argument: a path, "-" or
+// empty for stdin.
+func fileOrStdin(path string, stdin io.Reader) ([]byte, error) {
+	if path != "" && path != "-" {
+		return os.ReadFile(path)
+	}
+	if stdin == nil {
+		return nil, fmt.Errorf("no input: pass a file or pipe to stdin")
+	}
+	return io.ReadAll(stdin)
+}

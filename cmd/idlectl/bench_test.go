@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"idlereduce/internal/perf"
+)
+
+func TestSeqFromPath(t *testing.T) {
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"BENCH_0006.json", 6},
+		{"some/dir/BENCH_0042.json", 42},
+		{"BENCH_123.json", 123},
+		{"BENCH_head.json", 0},
+		{"snapshot.json", 0},
+		{"BENCH_0006.json.bak", 0},
+	}
+	for _, tc := range cases {
+		if got := seqFromPath(tc.path); got != tc.want {
+			t.Errorf("seqFromPath(%q) = %d, want %d", tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestBenchUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no subcommand", []string{"bench"}, "usage: idlectl bench"},
+		{"unknown subcommand", []string{"bench", "bogus"}, "unknown bench subcommand"},
+		{"compare missing files", []string{"bench", "compare"}, "both required"},
+		{"compare bad tolerance", []string{"bench", "compare", "-base", "a", "-head", "b", "-max-regress", "nope"}, "-max-regress"},
+		{"run positional", []string{"bench", "run", "extra"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(tc.args, nil, &out)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) err = %v, want containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestBenchRunCompareStats drives the full trajectory loop at a tiny
+// scale: capture -> self-compare (clean) -> doctored baseline compare
+// (regression, non-zero exit) -> stats rendering of the capture file.
+func TestBenchRunCompareStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("captures benchmarks")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_0042.json")
+	var buf bytes.Buffer
+	args := []string{"bench", "run", "-runs", "1", "-scale", "0.02",
+		"-filter", "cache", "-q", "-out", out}
+	if err := run(args, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote "+out) {
+		t.Errorf("run output missing write confirmation:\n%s", buf.String())
+	}
+	f, err := perf.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Seq != 42 {
+		t.Errorf("seq %d, want 42 (derived from the filename)", f.Seq)
+	}
+	if len(f.Results) == 0 {
+		t.Fatal("no results captured")
+	}
+
+	// A capture compared against itself must gate clean.
+	buf.Reset()
+	if err := run([]string{"bench", "compare", "-base", out, "-head", out}, nil, &buf); err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "ok") {
+		t.Errorf("self-compare output:\n%s", buf.String())
+	}
+
+	// Doctor a faster baseline: the head is now a >10% regression and
+	// compare must exit non-zero (the CI gate contract).
+	slow := f
+	slow.Results = append([]perf.Result(nil), f.Results...)
+	for i := range slow.Results {
+		r := slow.Results[i]
+		r.NsPerOp /= 2
+		r.P50Ns /= 2
+		r.P95Ns /= 2
+		r.P99Ns /= 2
+		r.MaxNs /= 2
+		slow.Results[i] = r
+	}
+	base := filepath.Join(dir, "BENCH_0041.json")
+	if err := slow.WriteFile(base); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	err = run([]string{"bench", "compare", "-base", base, "-head", out}, nil, &buf)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("doctored compare err = %v, want regression failure\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "FAIL") {
+		t.Errorf("regression table missing FAIL:\n%s", buf.String())
+	}
+
+	// The stats command recognizes a BENCH capture and renders the
+	// benchmark table instead of the obs snapshot view.
+	buf.Reset()
+	if err := run([]string{"stats", "-metrics", out}, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"benchmark", "ns/op", "capture seq 42"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("stats rendering missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -12,6 +12,8 @@
 //	idlectl synth -plan urban|suburb|downtown [-days N] [-seed N]
 //	idlectl stats [-metrics snapshot.json]
 //	idlectl audit verify [-log audit.jsonl]
+//	idlectl bench run [-out BENCH_NNNN.json] [-runs N] [-scale F] [-seq N] [-filter s]
+//	idlectl bench compare -base BENCH_A.json -head BENCH_B.json [-max-regress 10%]
 //
 // The global -cpuprofile, -memprofile and -trace flags write Go
 // pprof/execution-trace profiles covering the command's run. The replay
@@ -19,9 +21,12 @@
 // ("-" = stdout): per-stop cost histograms with p50/p90/p99, engine
 // transition counters, the selected vertex strategy, and threshold-draw
 // distributions. The stats command renders such a snapshot as text
-// charts. The audit verify command replays an idled decision audit log
-// (serve -audit-log) through the pure policy engine and proves every
-// recorded decision reproduces bit-for-bit (see docs/OBSERVABILITY.md).
+// charts (it also recognizes BENCH_*.json perf captures and renders
+// them as a benchmark table). The audit verify command replays an idled
+// decision audit log (serve -audit-log) through the pure policy engine
+// and proves every recorded decision reproduces bit-for-bit (see
+// docs/OBSERVABILITY.md). The bench commands capture and regression-gate
+// the perf trajectory (see docs/BENCHMARKS.md).
 //
 // Stop traces are plain text: one stop length in seconds per line; blank
 // lines and lines starting with '#' are ignored. With no -stops the trace
@@ -30,6 +35,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -42,6 +48,7 @@ import (
 	"idlereduce/internal/drivecycle"
 	"idlereduce/internal/obs"
 	"idlereduce/internal/parallel"
+	"idlereduce/internal/perf"
 	"idlereduce/internal/server"
 	"idlereduce/internal/simulator"
 	"idlereduce/internal/skirental"
@@ -56,7 +63,7 @@ func main() {
 	}
 }
 
-const usage = "usage: idlectl [-cpuprofile f] [-memprofile f] [-trace f] [-workers N] <tune|show|replay|synth|stats|audit> [flags]"
+const usage = "usage: idlectl [-cpuprofile f] [-memprofile f] [-trace f] [-workers N] <tune|show|replay|synth|stats|audit|bench> [flags]"
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	gfs := flag.NewFlagSet("idlectl", flag.ContinueOnError)
@@ -93,8 +100,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		cmdErr = statsCmd(rest[1:], stdin, stdout)
 	case "audit":
 		cmdErr = auditCmd(rest[1:], stdin, stdout)
+	case "bench":
+		cmdErr = benchCmd(rest[1:], stdout)
 	default:
-		cmdErr = fmt.Errorf("unknown command %q (want tune, show, replay, synth, stats or audit)", rest[0])
+		cmdErr = fmt.Errorf("unknown command %q (want tune, show, replay, synth, stats, audit or bench)", rest[0])
 	}
 	if perr := stopProf(); perr != nil && cmdErr == nil {
 		cmdErr = perr
@@ -331,27 +340,24 @@ func writeSnapshot(snap obs.Snapshot, path string, stdout io.Writer) error {
 }
 
 // statsCmd renders a metrics snapshot (as written by replay -metrics or
-// idlereduce -metrics) as text tables and bar charts.
+// idlereduce -metrics) as text tables and bar charts. BENCH_*.json perf
+// captures share the command: they are detected by their schema stamp
+// and rendered as a benchmark table instead.
 func statsCmd(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
-	path := fs.String("metrics", "", "metrics snapshot JSON (default stdin)")
+	path := fs.String("metrics", "", "metrics snapshot or BENCH capture JSON (default stdin)")
 	width := fs.Int("w", 40, "bar width for counter charts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var r io.Reader = stdin
-	if *path != "" && *path != "-" {
-		f, err := os.Open(*path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		r = f
+	data, err := fileOrStdin(*path, stdin)
+	if err != nil {
+		return err
 	}
-	if r == nil {
-		return fmt.Errorf("no snapshot: pass -metrics or pipe JSON to stdin")
+	if perf.IsCapture(data) {
+		return renderBenchFile(data, stdout)
 	}
-	snap, err := obs.ReadSnapshot(r)
+	snap, err := obs.ReadSnapshot(bytes.NewReader(data))
 	if err != nil {
 		return err
 	}

@@ -10,21 +10,26 @@
 //	               [-request-timeout D] [-drain-timeout D]
 //	               [-trace-log FILE] [-audit-log FILE] [-audit-max-bytes N]
 //	               [-history-interval D] [-history-window N]
+//	               [-pprof-addr HOST:PORT]
 //	idled loadtest [-target URL] [-clients N] [-requests N] [-batch N]
 //	               [-seed N] [-workers N] [-max-inflight N] [-json]
-//	               [-out report.json]
+//	               [-out report.json] [-profile cpu|heap] [-profile-out FILE]
 //	idled top      [-target URL] [-interval D] [-frames N] [-once] [-w N]
 //	idled areas-template
 //
 // serve runs until SIGINT/SIGTERM, then drains in-flight requests
 // gracefully; -trace-log and -audit-log enable the request-forensics
 // sinks (JSONL span records and replayable decision audit records, see
-// docs/OBSERVABILITY.md). loadtest drives concurrent batch-decision
-// clients at -target, or at a private in-process server when -target
-// is empty, and reports achieved QPS and latency quantiles from the
-// harness's metrics registry; -out additionally writes the registry
-// snapshot as JSON (the bench-metrics schema, readable by `idlectl
-// stats`). top renders a live terminal dashboard from the target's
+// docs/OBSERVABILITY.md); -pprof-addr mounts net/http/pprof on a
+// dedicated listener (never the serving port) for live CPU/heap
+// profiling of the running daemon (see docs/BENCHMARKS.md). loadtest
+// drives concurrent batch-decision clients at -target, or at a private
+// in-process server when -target is empty, and reports achieved QPS,
+// latency quantiles, allocations per decision and GC pause totals from
+// the harness's metrics registry; -out additionally writes the
+// registry snapshot as JSON (the bench-metrics schema, readable by
+// `idlectl stats`), and -profile captures a cpu or heap profile of the
+// run to -profile-out. top renders a live terminal dashboard from the target's
 // /v1/history time series. areas-template prints the default -areas
 // config (the three paper areas at B = 28 s) as editable JSON.
 package main
@@ -37,6 +42,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -107,6 +114,7 @@ func serve(ctx context.Context, args []string, stdout io.Writer) error {
 	auditMaxBytes := fs.Int64("audit-max-bytes", 64<<20, "rotate -trace-log/-audit-log after this many bytes (single .1 backup)")
 	historyInterval := fs.Duration("history-interval", time.Second, "metrics sampling period for GET /v1/history")
 	historyWindow := fs.Int("history-window", 120, "samples retained for GET /v1/history")
+	pprofAddr := fs.String("pprof-addr", "", "mount net/http/pprof on a dedicated listener at this address (never the serving port); empty disables live profiling")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -133,6 +141,7 @@ func serve(ctx context.Context, args []string, stdout io.Writer) error {
 		Areas:           areas,
 		HistoryInterval: *historyInterval,
 		HistoryWindow:   *historyWindow,
+		PprofAddr:       *pprofAddr,
 	}
 	// The forensics sinks are size-rotated files; the server flushes
 	// them during the graceful drain, the deferred Closes below sync
@@ -165,6 +174,9 @@ func serve(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "idled: serving %d areas on http://%s\n", len(areas), bound)
+	if pa := srv.PprofAddr(); pa != "" {
+		fmt.Fprintf(stdout, "idled: pprof on http://%s/debug/pprof/ (separate from the serving port)\n", pa)
+	}
 	err = srv.Serve(ctx)
 	if err == nil {
 		fmt.Fprintln(stdout, "idled: drained, bye")
@@ -183,6 +195,8 @@ func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
 	maxInflight := fs.Int("max-inflight", 1024, "in-process server in-flight bound (ignored with -target)")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
 	outPath := fs.String("out", "", "also write the harness metrics registry snapshot here as JSON (readable by idlectl stats)")
+	profileKind := fs.String("profile", "", "capture a runtime profile of the load run: cpu or heap")
+	profileOut := fs.String("profile-out", "", "profile output file (default <kind>.pprof; requires -profile)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -194,6 +208,24 @@ func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-clients %d, -requests %d and -batch %d must all be positive", *clients, *requests, *batch)
 	}
+	switch *profileKind {
+	case "", "cpu", "heap":
+	default:
+		fs.Usage()
+		return fmt.Errorf("-profile %q: want cpu or heap", *profileKind)
+	}
+	if *profileOut != "" && *profileKind == "" {
+		fs.Usage()
+		return fmt.Errorf("-profile-out requires -profile cpu|heap")
+	}
+	if *profileKind != "" && *profileOut == "" {
+		*profileOut = *profileKind + ".pprof"
+	}
+
+	// One recorder spans the harness and (in self-contained mode) the
+	// in-process server, so the -out snapshot carries both the client
+	// latency series and the server-side decide_area_ms attribution.
+	rec := obs.NewRecorder("loadtest", nil, nil)
 
 	base := *target
 	if base == "" {
@@ -208,6 +240,7 @@ func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
 			Workers:     *workers,
 			MaxInflight: *maxInflight,
 			Areas:       areas,
+			Recorder:    rec,
 		})
 		if err != nil {
 			return err
@@ -227,7 +260,21 @@ func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "loadtest: in-process server on %s\n", base)
 	}
 
-	rec := obs.NewRecorder("loadtest", nil, nil)
+	if *profileKind == "cpu" {
+		f, err := os.Create(*profileOut)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(stdout, "loadtest: cpu profile -> %s\n", *profileOut)
+		}()
+	}
 	report, err := server.RunLoad(ctx, server.LoadOptions{
 		BaseURL:  base,
 		Clients:  *clients,
@@ -238,6 +285,23 @@ func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *profileKind == "heap" {
+		// Settle the heap so the profile reflects live objects, not
+		// garbage from the run.
+		runtime.GC()
+		f, err := os.Create(*profileOut)
+		if err != nil {
+			return err
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write heap profile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "loadtest: heap profile -> %s\n", *profileOut)
 	}
 	if *outPath != "" {
 		f, err := os.Create(*outPath)

@@ -29,6 +29,8 @@ func TestRunUsageErrors(t *testing.T) {
 		{"loadtest positional", []string{"loadtest", "extra"}, "unexpected arguments"},
 		{"loadtest bad clients", []string{"loadtest", "-clients", "-1"}, "must all be positive"},
 		{"loadtest bad batch", []string{"loadtest", "-batch", "0"}, "must all be positive"},
+		{"loadtest bad profile kind", []string{"loadtest", "-profile", "goroutine"}, "want cpu or heap"},
+		{"loadtest orphan profile-out", []string{"loadtest", "-profile-out", "x.pprof"}, "requires -profile"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -175,6 +177,118 @@ func TestLoadtestInProcess(t *testing.T) {
 	}
 	if report.Errors != 0 || report.Overloaded != 0 {
 		t.Errorf("report errors %+v", report)
+	}
+}
+
+// TestServePprofAddr boots the daemon with the profiling plane enabled
+// and checks the dedicated listener serves a heap profile while the
+// serving port refuses the pprof tree.
+func TestServePprofAddr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		err := run(ctx, []string{"serve", "-addr", "127.0.0.1:0", "-pprof-addr", "127.0.0.1:0"}, pw)
+		pw.Close()
+		done <- err
+	}()
+	sc := bufio.NewScanner(pr)
+	var base, pbase string
+	for pbase == "" && sc.Scan() {
+		line := sc.Text()
+		i := strings.Index(line, "http://")
+		if i < 0 {
+			continue
+		}
+		if strings.Contains(line, "pprof") {
+			pbase = line[i:]
+			pbase = pbase[:strings.Index(pbase, "/debug/")]
+		} else {
+			base = strings.TrimSpace(line[i:])
+		}
+	}
+	if base == "" || pbase == "" {
+		t.Fatalf("missing banners (serving=%q pprof=%q); err=%v", base, pbase, <-done)
+	}
+
+	resp, err := http.Get(pbase + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("heap profile from %s: status %d, %d bytes", pbase, resp.StatusCode, len(body))
+	}
+	resp, err = http.Get(base + "/debug/pprof/heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("serving port served a profile: status %d", resp.StatusCode)
+	}
+
+	cancel()
+	go io.Copy(io.Discard, pr)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not exit after cancel")
+	}
+}
+
+// TestLoadtestHeapProfileAndSnapshot runs the self-contained loadtest
+// with -profile heap and -out, and checks: the profile file is
+// written, the report carries the alloc/GC fields, and the snapshot
+// includes the server-side per-area series (the shared-recorder path).
+func TestLoadtestHeapProfileAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	prof := dir + "/heap.pprof"
+	snap := dir + "/load.json"
+	var out bytes.Buffer
+	args := []string{"loadtest", "-clients", "2", "-requests", "3", "-batch", "4",
+		"-profile", "heap", "-profile-out", prof, "-out", snap, "-json"}
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(prof); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap profile %s: err=%v size=%v", prof, err, fi)
+	}
+	text := out.String()
+	i := strings.Index(text, "{")
+	if i < 0 {
+		t.Fatalf("no JSON report:\n%s", text)
+	}
+	var report server.LoadReport
+	if err := json.Unmarshal([]byte(text[i:]), &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Decisions != 24 {
+		t.Fatalf("report %+v, want 24 decisions", report)
+	}
+	if report.AllocsPerOp <= 0 {
+		t.Errorf("decide_allocs_per_op = %v, want > 0", report.AllocsPerOp)
+	}
+	if report.GCCycles < 0 || report.GCPauseMs < 0 {
+		t.Errorf("negative GC accounting: %d cycles, %v ms", report.GCCycles, report.GCPauseMs)
+	}
+	if len(report.TopAreas) == 0 {
+		t.Error("no per-area attribution; the in-process server should share the recorder")
+	}
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"loadtest_request_ms", "decide_area_ms", "decide_allocs_per_op"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("snapshot missing %q", want)
+		}
 	}
 }
 

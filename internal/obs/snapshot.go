@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -109,6 +110,51 @@ func (s Snapshot) HistogramValue(name string) (HistogramSnapshot, bool) {
 		}
 	}
 	return HistogramSnapshot{}, false
+}
+
+// TopHistograms returns the k histograms whose base name (label block
+// stripped) matches base, ordered by total observed time (Sum)
+// descending — the attribution view: "which label owns the most
+// latency". Ties break by name so the order is deterministic.
+func (s Snapshot) TopHistograms(base string, k int) []HistogramSnapshot {
+	var out []HistogramSnapshot
+	for _, h := range s.Histograms {
+		if baseName(h.Name) == base {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sum != out[j].Sum {
+			return out[i].Sum > out[j].Sum
+		}
+		return out[i].Name < out[j].Name
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// LabelValue extracts one label's value from a formatted metric name:
+// LabelValue(`decide_area_ms{area="chicago"}`, "area") == "chicago".
+// The second return is false when the label is absent.
+func LabelValue(name, key string) (string, bool) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return "", false
+	}
+	block := strings.TrimSuffix(name[i+1:], "}")
+	for _, pair := range strings.Split(block, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k != key {
+			continue
+		}
+		if uq, err := strconv.Unquote(v); err == nil {
+			return uq, true
+		}
+		return v, true
+	}
+	return "", false
 }
 
 // SumCounters totals every counter whose base name (label block

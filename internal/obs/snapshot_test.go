@@ -76,6 +76,55 @@ func TestSnapshotSumCounters(t *testing.T) {
 	}
 }
 
+func TestSnapshotTopHistograms(t *testing.T) {
+	r := NewRegistry()
+	observe := func(area string, vals ...float64) {
+		h := r.Histogram(L("decide_area_ms", "area", area))
+		for _, v := range vals {
+			h.Observe(v)
+		}
+	}
+	observe("chicago", 5, 5, 5)          // sum 15
+	observe("atlanta", 1, 2)             // sum 3
+	observe("california", 4, 4)          // sum 8
+	r.Histogram("other_ms").Observe(100) // different base, excluded
+	s := r.Snapshot()
+
+	top := s.TopHistograms("decide_area_ms", 2)
+	if len(top) != 2 {
+		t.Fatalf("top-2 returned %d entries", len(top))
+	}
+	if a, _ := LabelValue(top[0].Name, "area"); a != "chicago" {
+		t.Errorf("top[0] = %s; want chicago", top[0].Name)
+	}
+	if a, _ := LabelValue(top[1].Name, "area"); a != "california" {
+		t.Errorf("top[1] = %s; want california", top[1].Name)
+	}
+	// k <= 0 returns every match, still ordered.
+	if all := s.TopHistograms("decide_area_ms", 0); len(all) != 3 {
+		t.Errorf("k=0 returned %d entries; want 3", len(all))
+	}
+	if none := s.TopHistograms("absent_ms", 5); len(none) != 0 {
+		t.Errorf("absent base returned %d entries", len(none))
+	}
+}
+
+func TestLabelValue(t *testing.T) {
+	name := L("decide_area_ms", "area", "chicago", "shard", "3")
+	if v, ok := LabelValue(name, "area"); !ok || v != "chicago" {
+		t.Errorf("area = %q, %v", v, ok)
+	}
+	if v, ok := LabelValue(name, "shard"); !ok || v != "3" {
+		t.Errorf("shard = %q, %v", v, ok)
+	}
+	if _, ok := LabelValue(name, "route"); ok {
+		t.Error("absent label reported present")
+	}
+	if _, ok := LabelValue("plain_total", "area"); ok {
+		t.Error("unlabelled name reported a label")
+	}
+}
+
 func TestSnapshotHelpersOnEmptySnapshot(t *testing.T) {
 	var s Snapshot
 	if _, ok := s.CounterValue("x"); ok {

@@ -1,0 +1,319 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"idlereduce/internal/textplot"
+)
+
+// CompareOptions set the regression tolerances. Tolerances are
+// fractional (0.10 = 10%); on top of the relative bound every metric
+// kind gets a small absolute slack so sub-microsecond benchmarks and
+// near-zero allocation counts don't flap on measurement granularity.
+type CompareOptions struct {
+	// MaxRegress bounds time metrics (ns/op directly; p99 at 3x this
+	// bound, see comparedMetrics). Default 0.10.
+	MaxRegress float64
+	// MaxAllocRegress bounds allocation metrics (allocs/op and B/op).
+	// Default 0.05.
+	MaxAllocRegress float64
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.MaxRegress <= 0 {
+		o.MaxRegress = 0.10
+	}
+	if o.MaxAllocRegress <= 0 {
+		o.MaxAllocRegress = 0.05
+	}
+	return o
+}
+
+// Verdict classifies one metric delta.
+type Verdict string
+
+const (
+	VerdictPass      Verdict = "pass"
+	VerdictImproved  Verdict = "improved"
+	VerdictRegressed Verdict = "regressed"
+	// VerdictMissing marks a baseline benchmark absent from the head
+	// capture — treated as a regression, since silently dropping a
+	// suite is how perf coverage rots.
+	VerdictMissing Verdict = "missing"
+)
+
+// metricSpec describes one compared metric column.
+type metricSpec struct {
+	key       string  // JSON-ish metric key
+	absSlack  float64 // absolute slack added on top of the relative bound
+	limitMult float64 // multiplier on the relative tolerance (0 = 1)
+	alloc     bool    // uses MaxAllocRegress instead of MaxRegress
+}
+
+// comparedMetrics are the per-benchmark metrics the gate inspects. The
+// time slack (50 ns) is roughly the cost of one clock read — deltas
+// below it are not measurable with this runner. The tail quantile is
+// inherently the noisiest statistic (it is set by a handful of ops per
+// run even after best-run selection, and for sub-microsecond ops a
+// single descheduling blip lands in it), so p99 is gated at 3x the
+// relative time tolerance plus a 5 us slack — one scheduler quantum of
+// noise: it still catches a real tail blow-up on the serving paths
+// while not flapping on jitter.
+var comparedMetrics = []metricSpec{
+	{key: "ns_per_op", absSlack: 50},
+	{key: "p99_ns", absSlack: 5000, limitMult: 3},
+	{key: "allocs_per_op", absSlack: 1, alloc: true},
+	{key: "b_per_op", absSlack: 64, alloc: true},
+}
+
+// metricValue extracts a compared metric from a result.
+func metricValue(r Result, key string) float64 {
+	switch key {
+	case "ns_per_op":
+		return r.NsPerOp
+	case "p99_ns":
+		return r.P99Ns
+	case "allocs_per_op":
+		return r.AllocsPerOp
+	case "b_per_op":
+		return r.BytesPerOp
+	}
+	return math.NaN()
+}
+
+// MetricDelta is one compared metric of one benchmark. For time
+// metrics Head is the speed-normalized value (divided by the
+// comparison's SpeedRatio) when both captures carry a canary, so the
+// delta column and the verdict always agree.
+type MetricDelta struct {
+	Bench  string  `json:"bench"`
+	Metric string  `json:"metric"`
+	Base   float64 `json:"base"`
+	Head   float64 `json:"head"`
+	// DeltaFrac is (head-base)/base; +Inf when base is zero and head
+	// is not.
+	DeltaFrac float64 `json:"delta_frac"`
+	// LimitFrac is the tolerance applied (relative part only).
+	LimitFrac float64 `json:"limit_frac"`
+	Verdict   Verdict `json:"verdict"`
+}
+
+// Comparison is the machine-readable verdict of one base/head diff.
+type Comparison struct {
+	BaseSeq int `json:"base_seq"`
+	HeadSeq int `json:"head_seq"`
+	// SameMachine reports whether both captures carry an identical
+	// machine stamp; cross-machine diffs are rendered with a warning.
+	SameMachine bool `json:"same_machine"`
+	// SpeedRatio is head canary / base canary when both captures carry
+	// the speed canary (0 otherwise): how much slower the head machine
+	// state is per CPU cycle of fixed work. Time metrics are divided
+	// by it before tolerance checks, clamped to [1/canaryClamp,
+	// canaryClamp] so a corrupted canary cannot mask an arbitrary
+	// regression.
+	SpeedRatio float64       `json:"speed_ratio,omitempty"`
+	Deltas     []MetricDelta `json:"deltas"`
+	// NewBenches lists head benchmarks with no baseline (informational).
+	NewBenches []string `json:"new_benches,omitempty"`
+	// Regressions counts deltas with verdict "regressed" or "missing".
+	Regressions int `json:"regressions"`
+}
+
+// OK reports whether the gate passes.
+func (c Comparison) OK() bool { return c.Regressions == 0 }
+
+// Compare diffs two validated captures. Every baseline benchmark must
+// exist in head; every compared metric must be inside its tolerance.
+func Compare(base, head File, opts CompareOptions) (Comparison, error) {
+	if err := base.Validate(); err != nil {
+		return Comparison{}, fmt.Errorf("base: %w", err)
+	}
+	if err := head.Validate(); err != nil {
+		return Comparison{}, fmt.Errorf("head: %w", err)
+	}
+	opts = opts.withDefaults()
+	c := Comparison{
+		BaseSeq:     base.Seq,
+		HeadSeq:     head.Seq,
+		SameMachine: base.Machine == head.Machine,
+		SpeedRatio:  speedRatio(base, head),
+	}
+	for _, br := range base.Results {
+		hr, ok := head.Result(br.Name)
+		if !ok {
+			c.Deltas = append(c.Deltas, MetricDelta{
+				Bench: br.Name, Metric: "ns_per_op",
+				Base: br.NsPerOp, Head: math.NaN(),
+				DeltaFrac: math.NaN(), Verdict: VerdictMissing,
+			})
+			c.Regressions++
+			continue
+		}
+		for _, spec := range comparedMetrics {
+			d := compareMetric(br, hr, spec, c.SpeedRatio, opts)
+			if d.Verdict == VerdictRegressed {
+				c.Regressions++
+			}
+			c.Deltas = append(c.Deltas, d)
+		}
+	}
+	for _, hr := range head.Results {
+		if _, ok := base.Result(hr.Name); !ok {
+			c.NewBenches = append(c.NewBenches, hr.Name)
+		}
+	}
+	return c, nil
+}
+
+// canaryClamp bounds the speed-ratio correction: a canary more than 4x
+// off is itself suspect, so normalization never scales time metrics
+// beyond this factor in either direction.
+const canaryClamp = 4.0
+
+// speedRatio derives the head/base effective-CPU-speed ratio from the
+// captures' canaries; 0 when either capture predates the canary.
+func speedRatio(base, head File) float64 {
+	if base.CanaryNsPerOp <= 0 || head.CanaryNsPerOp <= 0 {
+		return 0
+	}
+	r := head.CanaryNsPerOp / base.CanaryNsPerOp
+	return math.Min(math.Max(r, 1/canaryClamp), canaryClamp)
+}
+
+// compareMetric classifies one metric pair against its tolerance. Time
+// metrics are normalized by the speed ratio (when available) before
+// the tolerance check: the gate asks "did the code get slower relative
+// to this machine state", not "is this machine state slower".
+func compareMetric(base, head Result, spec metricSpec, ratio float64, opts CompareOptions) MetricDelta {
+	limit := opts.MaxRegress
+	if spec.alloc {
+		limit = opts.MaxAllocRegress
+	}
+	if spec.limitMult > 0 {
+		limit *= spec.limitMult
+	}
+	b := metricValue(base, spec.key)
+	h := metricValue(head, spec.key)
+	if !spec.alloc && ratio > 0 {
+		h /= ratio
+	}
+	d := MetricDelta{
+		Bench: base.Name, Metric: spec.key,
+		Base: b, Head: h, LimitFrac: limit, Verdict: VerdictPass,
+	}
+	switch {
+	case b == 0 && h == 0:
+		d.DeltaFrac = 0
+	case b == 0:
+		d.DeltaFrac = math.Inf(1)
+	default:
+		d.DeltaFrac = (h - b) / b
+	}
+	switch {
+	case h > b*(1+limit)+spec.absSlack:
+		d.Verdict = VerdictRegressed
+	case h < b*(1-limit)-spec.absSlack:
+		d.Verdict = VerdictImproved
+	}
+	return d
+}
+
+// String renders the comparison as the human gate output: one row per
+// benchmark metric with the delta and verdict, then the summary line.
+func (c Comparison) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bench compare: base seq %d vs head seq %d\n", c.BaseSeq, c.HeadSeq)
+	if !c.SameMachine {
+		sb.WriteString("warning: captures come from different machines/toolchains; deltas include hardware noise\n")
+	}
+	switch {
+	case c.SpeedRatio == 0:
+		sb.WriteString("note: no speed canary on one side; time metrics are unnormalized\n")
+	case c.SpeedRatio != 1:
+		fmt.Fprintf(&sb, "speed canary: head machine state %.2fx base; time metrics normalized\n", c.SpeedRatio)
+	}
+	rows := [][]string{{"benchmark", "metric", "base", "head", "delta", "verdict"}}
+	for _, d := range c.Deltas {
+		// Keep the table focused: always show regressions, misses and
+		// improvements; show passes only for the headline metric.
+		if d.Verdict == VerdictPass && d.Metric != "ns_per_op" {
+			continue
+		}
+		rows = append(rows, []string{
+			d.Bench, d.Metric,
+			formatMetric(d.Metric, d.Base),
+			formatMetric(d.Metric, d.Head),
+			formatDelta(d.DeltaFrac),
+			string(d.Verdict),
+		})
+	}
+	sb.WriteString(textplot.Table(rows))
+	if c.Regressions > 0 {
+		fmt.Fprintf(&sb, "FAIL: %d metric(s) regressed beyond tolerance\n", c.Regressions)
+	} else {
+		fmt.Fprintf(&sb, "ok: no regressions beyond tolerance (%d metrics compared)\n", len(c.Deltas))
+	}
+	if len(c.NewBenches) > 0 {
+		fmt.Fprintf(&sb, "new benchmarks (no baseline yet): %s\n", strings.Join(c.NewBenches, ", "))
+	}
+	return sb.String()
+}
+
+// formatMetric renders a metric value with its natural unit.
+func formatMetric(key string, v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	switch key {
+	case "ns_per_op", "p99_ns":
+		switch {
+		case v >= 1e6:
+			return fmt.Sprintf("%.2fms", v/1e6)
+		case v >= 1e3:
+			return fmt.Sprintf("%.1fus", v/1e3)
+		default:
+			return fmt.Sprintf("%.0fns", v)
+		}
+	case "allocs_per_op":
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	case "b_per_op":
+		return fmt.Sprintf("%.0fB", v)
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}
+
+// formatDelta renders a fractional delta as a signed percentage.
+func formatDelta(frac float64) string {
+	switch {
+	case math.IsNaN(frac):
+		return "-"
+	case math.IsInf(frac, 1):
+		return "+inf"
+	default:
+		return fmt.Sprintf("%+.1f%%", 100*frac)
+	}
+}
+
+// ParseTolerance parses a human tolerance flag: "10%" and "10" mean
+// ten percent, "0.1" means the fraction 0.1 (also ten percent). Values
+// above 1 without a '%' are read as percentages, so both spellings of
+// the CI flag work.
+func ParseTolerance(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	percent := strings.HasSuffix(s, "%")
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("perf: tolerance %q: %w", s, err)
+	}
+	if percent || v > 1 {
+		v /= 100
+	}
+	if v <= 0 || math.IsNaN(v) || v > 10 {
+		return 0, fmt.Errorf("perf: tolerance %v out of range (0, 1000%%]", v)
+	}
+	return v, nil
+}

@@ -1,0 +1,281 @@
+package perf
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// baseCapture is the baseline the compare table tests perturb.
+func baseCapture() File {
+	return File{
+		SchemaVersion: SchemaVersion,
+		Seq:           5,
+		Machine:       CurrentMachine(),
+		Results: []Result{
+			{Name: "decide_single", Class: "latency", Iters: 100, Runs: 3, Ops: 300,
+				NsPerOp: 20000, AllocsPerOp: 40, BytesPerOp: 4096,
+				P50Ns: 18000, P95Ns: 30000, P99Ns: 45000, MaxNs: 90000},
+			{Name: "simulator_run", Class: "throughput", Iters: 50, Runs: 3, Ops: 150,
+				NsPerOp: 150000, AllocsPerOp: 900, BytesPerOp: 65536,
+				P50Ns: 140000, P95Ns: 180000, P99Ns: 220000, MaxNs: 400000},
+		},
+	}
+}
+
+// delta finds one metric row in a comparison.
+func delta(t *testing.T, c Comparison, bench, metric string) MetricDelta {
+	t.Helper()
+	for _, d := range c.Deltas {
+		if d.Bench == bench && d.Metric == metric {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %s/%s in %+v", bench, metric, c.Deltas)
+	return MetricDelta{}
+}
+
+func TestCompareSelfIsCleanPass(t *testing.T) {
+	base := baseCapture()
+	c, err := Compare(base, base, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OK() || c.Regressions != 0 {
+		t.Fatalf("self-compare regressed: %+v", c)
+	}
+	for _, d := range c.Deltas {
+		if d.Verdict != VerdictPass || d.DeltaFrac != 0 {
+			t.Errorf("self-compare delta %s/%s: %+v", d.Bench, d.Metric, d)
+		}
+	}
+	if !c.SameMachine {
+		t.Error("self-compare flagged as cross-machine")
+	}
+	if !strings.Contains(c.String(), "ok: no regressions") {
+		t.Errorf("human output missing pass line:\n%s", c.String())
+	}
+}
+
+// TestCompareDetectsSyntheticSlowdown is the CI gate's proof: a 15%
+// ns/op slowdown (above the default 10% tolerance) must fail the
+// comparison.
+func TestCompareDetectsSyntheticSlowdown(t *testing.T) {
+	base := baseCapture()
+	head := baseCapture()
+	head.Results[0].NsPerOp *= 1.15
+	c, err := Compare(base, head, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OK() {
+		t.Fatalf("15%% slowdown passed the gate: %+v", c)
+	}
+	d := delta(t, c, "decide_single", "ns_per_op")
+	if d.Verdict != VerdictRegressed {
+		t.Fatalf("verdict = %s, want regressed", d.Verdict)
+	}
+	if math.Abs(d.DeltaFrac-0.15) > 1e-9 {
+		t.Fatalf("delta = %v, want 0.15", d.DeltaFrac)
+	}
+	if !strings.Contains(c.String(), "FAIL") {
+		t.Errorf("human output missing FAIL line:\n%s", c.String())
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := baseCapture()
+	head := baseCapture()
+	head.Results[0].NsPerOp *= 1.05 // inside the default 10%
+	head.Results[1].P99Ns *= 1.08
+	c, err := Compare(base, head, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OK() {
+		t.Fatalf("within-tolerance head failed: %+v", c)
+	}
+}
+
+// TestCompareP99WiderBand pins the tail-quantile tolerance: p99 is
+// gated at 3x the relative time tolerance (plus 5 us slack), since the
+// tail is set by a handful of ops per run and flaps far more than the
+// mean even after best-run selection.
+func TestCompareP99WiderBand(t *testing.T) {
+	base := baseCapture()
+	head := baseCapture()
+	head.Results[1].P99Ns *= 1.25 // +25%: beyond 10%, inside the 3x band
+	c, err := Compare(base, head, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OK() {
+		t.Fatalf("+25%% p99 failed the 3x band: %+v", c)
+	}
+
+	head = baseCapture()
+	head.Results[1].P99Ns *= 1.5 // +50%: a real tail blow-up
+	c, err = Compare(base, head, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OK() || c.Regressions != 1 {
+		t.Fatalf("+50%% p99 verdict: %+v", c)
+	}
+	for _, d := range c.Deltas {
+		if d.Verdict == VerdictRegressed && d.Metric != "p99_ns" {
+			t.Errorf("unexpected regression on %s/%s", d.Bench, d.Metric)
+		}
+	}
+}
+
+func TestCompareCustomTolerance(t *testing.T) {
+	base := baseCapture()
+	head := baseCapture()
+	head.Results[0].NsPerOp *= 1.05
+	c, err := Compare(base, head, CompareOptions{MaxRegress: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OK() {
+		t.Fatal("5% slowdown passed a 2% gate")
+	}
+}
+
+func TestCompareFlagsImprovement(t *testing.T) {
+	base := baseCapture()
+	head := baseCapture()
+	head.Results[1].NsPerOp *= 0.7
+	c, err := Compare(base, head, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OK() {
+		t.Fatalf("improvement failed the gate: %+v", c)
+	}
+	if d := delta(t, c, "simulator_run", "ns_per_op"); d.Verdict != VerdictImproved {
+		t.Fatalf("verdict = %s, want improved", d.Verdict)
+	}
+}
+
+func TestCompareMissingBenchmarkIsRegression(t *testing.T) {
+	base := baseCapture()
+	head := baseCapture()
+	head.Results = head.Results[:1] // drop simulator_run
+	c, err := Compare(base, head, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OK() {
+		t.Fatal("dropping a baseline benchmark passed the gate")
+	}
+	if d := delta(t, c, "simulator_run", "ns_per_op"); d.Verdict != VerdictMissing {
+		t.Fatalf("verdict = %s, want missing", d.Verdict)
+	}
+}
+
+func TestCompareNewBenchmarkIsInformational(t *testing.T) {
+	base := baseCapture()
+	head := baseCapture()
+	head.Results = append(head.Results, Result{
+		Name: "decide_batch_64", Class: "latency", Iters: 10, Runs: 3, Ops: 30,
+		NsPerOp: 1e6, P99Ns: 2e6})
+	c, err := Compare(base, head, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OK() {
+		t.Fatalf("new benchmark failed the gate: %+v", c)
+	}
+	if len(c.NewBenches) != 1 || c.NewBenches[0] != "decide_batch_64" {
+		t.Fatalf("new benches = %v", c.NewBenches)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := baseCapture()
+	head := baseCapture()
+	head.Results[0].AllocsPerOp = 60 // +50% over 40, beyond 5% + 1 slack
+	c, err := Compare(base, head, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OK() {
+		t.Fatal("alloc regression passed the gate")
+	}
+	if d := delta(t, c, "decide_single", "allocs_per_op"); d.Verdict != VerdictRegressed {
+		t.Fatalf("verdict = %s, want regressed", d.Verdict)
+	}
+}
+
+// TestCompareAbsoluteSlack: at nanosecond scale a large relative delta
+// below the absolute slack is measurement granularity, not a
+// regression.
+func TestCompareAbsoluteSlack(t *testing.T) {
+	mk := func(ns float64) File {
+		return File{SchemaVersion: SchemaVersion, Machine: CurrentMachine(), Results: []Result{
+			{Name: "cache_hit", Class: "cpu", Iters: 10, Runs: 1, Ops: 10,
+				NsPerOp: ns, P50Ns: ns, P95Ns: ns, P99Ns: ns, MaxNs: ns},
+		}}
+	}
+	c, err := Compare(mk(100), mk(140), CompareOptions{}) // +40% but only 40ns
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OK() {
+		t.Fatalf("40ns jitter failed the gate: %+v", c)
+	}
+	// Zero-alloc benchmarks must also tolerate a fraction of an alloc.
+	z := mk(100)
+	z.Results[0].AllocsPerOp = 0.5
+	c, err = Compare(mk(100), z, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OK() {
+		t.Fatalf("0 -> 0.5 allocs/op failed the gate: %+v", c)
+	}
+}
+
+func TestCompareRejectsInvalidCaptures(t *testing.T) {
+	bad := baseCapture()
+	bad.SchemaVersion = SchemaVersion + 3
+	if _, err := Compare(bad, baseCapture(), CompareOptions{}); err == nil {
+		t.Error("schema-mismatched base accepted")
+	}
+	if _, err := Compare(baseCapture(), bad, CompareOptions{}); err == nil {
+		t.Error("schema-mismatched head accepted")
+	}
+	empty := File{SchemaVersion: SchemaVersion}
+	if _, err := Compare(empty, baseCapture(), CompareOptions{}); err == nil {
+		t.Error("empty base accepted")
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"10%", 0.10, true},
+		{"10", 0.10, true},
+		{"0.1", 0.1, true},
+		{"2.5%", 0.025, true},
+		{" 15% ", 0.15, true},
+		{"1", 1, true}, // exactly 1 is the fraction 100%
+		{"0", 0, false},
+		{"-5%", 0, false},
+		{"nope", 0, false},
+		{"", 0, false},
+	} {
+		got, err := ParseTolerance(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseTolerance(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("ParseTolerance(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

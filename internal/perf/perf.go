@@ -1,0 +1,245 @@
+// Package perf is the repo's performance-observability plane: it
+// captures structured benchmark results into a versioned BENCH_*.json
+// trajectory file and compares two captures with noise-aware
+// regression gating, so the cost-efficiency claims of the serving
+// stack are measured, committed per PR, and defended in CI rather than
+// asserted.
+//
+// The pieces:
+//
+//   - Benchmark / Run (runner.go): a deterministic fixed-seed,
+//     fixed-iteration benchmark executor with warmup and min-of-N run
+//     aggregation, recording ns/op, B/op, allocs/op and the per-op
+//     latency quantiles (p50/p95/p99) from an obs streaming histogram.
+//   - DefaultSuites (suites.go): the committed suites over the serving
+//     hot path — strategy derivation, cache hit and update, single and
+//     batch HTTP decide, fleet generation, simulator throughput.
+//   - Compare (compare.go): per-metric deltas between a base and head
+//     capture with per-metric-class tolerances, a human table and a
+//     machine verdict; CI fails the build when any metric regresses.
+//
+// The file schema is versioned (SchemaVersion); readers reject unknown
+// versions so a trajectory never silently mixes incompatible captures.
+// See docs/BENCHMARKS.md for the capture/compare workflow and how to
+// bless a new baseline.
+package perf
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+)
+
+// SchemaVersion is the BENCH_*.json schema generation. Bump it when a
+// field changes meaning; Read rejects files from other generations so
+// compare never diffs incompatible captures.
+const SchemaVersion = 1
+
+// ErrSchemaVersion reports a capture written by a different schema
+// generation.
+var ErrSchemaVersion = errors.New("perf: schema version mismatch")
+
+// Machine records where a capture was taken. Comparisons across
+// different machines are legitimate but noisier; the compare output
+// surfaces both sides so a cross-machine diff is never mistaken for a
+// same-machine one.
+type Machine struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Revision/VCSTime/VCSModified are the build's VCS stamp when the
+	// binary was built inside a checkout (best effort).
+	Revision    string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// CurrentMachine stamps the running process's environment.
+func CurrentMachine() Machine {
+	m := Machine{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.Revision = s.Value
+			case "vcs.time":
+				m.VCSTime = s.Value
+			case "vcs.modified":
+				m.VCSModified = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// Result is one benchmark's aggregated capture: min-of-N wall-clock
+// and allocation rates plus the pooled per-op latency distribution.
+type Result struct {
+	// Name identifies the benchmark across captures (the compare key).
+	Name string `json:"name"`
+	// Class groups metrics for tolerance selection: "latency" (full
+	// request paths), "cpu" (pure computation), "throughput" (bulk
+	// work per op).
+	Class string `json:"class"`
+	// Iters is ops per measured run; Runs is the number of measured
+	// runs aggregated (min-of-N); Ops is the total measured op count.
+	Iters int    `json:"iters_per_run"`
+	Runs  int    `json:"runs"`
+	Ops   uint64 `json:"ops"`
+	// NsPerOp is the best (minimum) run's mean wall time per op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp / BytesPerOp are the best run's heap allocation
+	// rates from runtime.MemStats deltas.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	// P50Ns/P95Ns/P99Ns/MaxNs summarize the per-op latency
+	// distribution of the best (fastest-mean) measured run, so the
+	// tail metrics get the same min-of-N noise filter as NsPerOp.
+	P50Ns float64 `json:"p50_ns"`
+	P95Ns float64 `json:"p95_ns"`
+	P99Ns float64 `json:"p99_ns"`
+	MaxNs float64 `json:"max_ns"`
+}
+
+// File is one committed trajectory point (a BENCH_<seq>.json).
+type File struct {
+	SchemaVersion int `json:"schema_version"`
+	// Seq orders captures in the trajectory (the NNNN in the filename;
+	// 0 when the capture is not committed).
+	Seq int `json:"seq"`
+	// CreatedUnixMs is the capture wall-clock time.
+	CreatedUnixMs int64   `json:"created_unix_ms"`
+	Machine       Machine `json:"machine"`
+	// CanaryNsPerOp is the speed canary: the measured cost of a fixed
+	// pure-CPU spin loop on this machine at capture time. Compare uses
+	// the base/head canary ratio to normalize time metrics, so a
+	// slower (or throttled, or noisier-neighbored) machine state does
+	// not read as a code regression — a real regression changes the
+	// metric relative to the canary. Zero in captures predating the
+	// canary; such comparisons are unnormalized.
+	CanaryNsPerOp float64  `json:"canary_ns_per_op,omitempty"`
+	Results       []Result `json:"results"`
+}
+
+// Result looks up a benchmark by name.
+func (f File) Result(name string) (Result, bool) {
+	for _, r := range f.Results {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// Validate checks structural integrity: the schema generation, a
+// non-empty result set and usable metric values.
+func (f File) Validate() error {
+	if f.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("%w: file has schema_version %d, this tool reads %d",
+			ErrSchemaVersion, f.SchemaVersion, SchemaVersion)
+	}
+	if len(f.Results) == 0 {
+		return fmt.Errorf("perf: capture has no results")
+	}
+	seen := make(map[string]bool, len(f.Results))
+	for _, r := range f.Results {
+		if r.Name == "" {
+			return fmt.Errorf("perf: capture has a result with an empty name")
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("perf: duplicate result %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.NsPerOp <= 0 || r.Ops == 0 {
+			return fmt.Errorf("perf: result %q has no measurements (ns_per_op %v, ops %d)",
+				r.Name, r.NsPerOp, r.Ops)
+		}
+	}
+	return nil
+}
+
+// Write renders the capture as indented JSON.
+func (f File) Write(w io.Writer) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile writes the capture to path.
+func (f File) WriteFile(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Write(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// Read parses and validates one capture. Truncated or corrupt JSON and
+// schema-generation mismatches are errors, so a damaged trajectory
+// file can never silently pass a gate.
+func Read(r io.Reader) (File, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return File{}, fmt.Errorf("perf: read capture: %w", err)
+	}
+	return ReadBytes(data)
+}
+
+// ReadBytes parses and validates one capture from memory.
+func ReadBytes(data []byte) (File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, fmt.Errorf("perf: decode capture (corrupt or truncated): %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return File{}, err
+	}
+	return f, nil
+}
+
+// ReadFile reads and validates the capture at path.
+func ReadFile(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	f, err := ReadBytes(data)
+	if err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// IsCapture reports whether data looks like a perf capture (as opposed
+// to an obs metrics snapshot): a JSON object carrying a positive
+// schema_version. It never errors — a false return just means "treat
+// it as something else".
+func IsCapture(data []byte) bool {
+	var probe struct {
+		SchemaVersion int `json:"schema_version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	return probe.SchemaVersion > 0
+}

@@ -1,0 +1,144 @@
+package perf
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+)
+
+// writeRaw drops raw bytes at path (for corrupt-file fixtures).
+func writeRaw(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// sampleFile builds a minimal valid capture for IO tests.
+func sampleFile() File {
+	return File{
+		SchemaVersion: SchemaVersion,
+		Seq:           6,
+		CreatedUnixMs: 1754600000000,
+		Machine:       CurrentMachine(),
+		Results: []Result{
+			{Name: "decide_single", Class: "latency", Iters: 100, Runs: 3, Ops: 300,
+				NsPerOp: 20000, AllocsPerOp: 40, BytesPerOp: 4096,
+				P50Ns: 18000, P95Ns: 30000, P99Ns: 45000, MaxNs: 90000},
+			{Name: "cache_hit", Class: "cpu", Iters: 1000, Runs: 3, Ops: 3000,
+				NsPerOp: 150, AllocsPerOp: 0, BytesPerOp: 0,
+				P50Ns: 140, P95Ns: 200, P99Ns: 300, MaxNs: 1000},
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != f.Seq || len(got.Results) != len(f.Results) {
+		t.Fatalf("round trip mangled the capture: %+v", got)
+	}
+	r, ok := got.Result("cache_hit")
+	if !ok || r.NsPerOp != 150 {
+		t.Fatalf("lookup after round trip: %+v ok=%v", r, ok)
+	}
+}
+
+func TestReadRejectsSchemaMismatch(t *testing.T) {
+	f := sampleFile()
+	f.SchemaVersion = SchemaVersion + 1
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Read(&buf)
+	if !errors.Is(err, ErrSchemaVersion) {
+		t.Fatalf("want ErrSchemaVersion, got %v", err)
+	}
+}
+
+func TestReadRejectsCorruptAndTruncated(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for name, data := range map[string][]byte{
+		"truncated":   whole[:len(whole)/2],
+		"empty":       nil,
+		"not json":    []byte("ns/op went up, sorry"),
+		"wrong shape": []byte(`{"schema_version":1,"results":"nope"}`),
+	} {
+		if _, err := ReadBytes(data); err == nil {
+			t.Errorf("%s: corrupt capture was accepted", name)
+		}
+	}
+}
+
+func TestValidateRejectsBadResults(t *testing.T) {
+	for name, mutate := range map[string]func(*File){
+		"no results":     func(f *File) { f.Results = nil },
+		"empty name":     func(f *File) { f.Results[0].Name = "" },
+		"duplicate name": func(f *File) { f.Results[1].Name = f.Results[0].Name },
+		"zero ns/op":     func(f *File) { f.Results[0].NsPerOp = 0 },
+		"zero ops":       func(f *File) { f.Results[0].Ops = 0 },
+	} {
+		f := sampleFile()
+		mutate(&f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: invalid capture validated", name)
+		}
+	}
+}
+
+func TestIsCapture(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !IsCapture(buf.Bytes()) {
+		t.Error("capture not recognized")
+	}
+	// An obs metrics snapshot has no schema_version.
+	snap := `{"taken_at_unix_ms": 1, "counters": [], "gauges": [], "histograms": []}`
+	if IsCapture([]byte(snap)) {
+		t.Error("obs snapshot misrecognized as a capture")
+	}
+	if IsCapture([]byte("garbage")) {
+		t.Error("garbage misrecognized as a capture")
+	}
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	path := t.TempDir() + "/BENCH_0006.json"
+	f := sampleFile()
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 6 {
+		t.Fatalf("seq = %d", got.Seq)
+	}
+	if _, err := ReadFile(path + ".missing"); err == nil {
+		t.Error("missing file read succeeded")
+	}
+	// A path error must name the file so CI logs point at the artifact.
+	bad := t.TempDir() + "/BENCH_bad.json"
+	if err := writeRaw(bad, `{"schema_version":`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil || !strings.Contains(err.Error(), "BENCH_bad.json") {
+		t.Errorf("corrupt file error should carry the path, got %v", err)
+	}
+}

@@ -1,0 +1,261 @@
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"idlereduce/internal/obs"
+)
+
+// Op executes one benchmark operation. i is a globally increasing op
+// index (monotone across warmup and runs) so an op can vary its input
+// deterministically — e.g. derive a fresh RNG stream per op — without
+// any wall-clock or global randomness.
+type Op func(i int) error
+
+// Benchmark is one registered suite entry: a named, classed, setup-op
+// pair the runner measures with fixed iteration counts.
+type Benchmark struct {
+	// Name is the stable compare key (lower_snake by convention).
+	Name string
+	// Class selects the compare tolerance family ("latency", "cpu",
+	// "throughput").
+	Class string
+	// Iters is the number of ops per measured run (scaled by
+	// Options.Scale). Warmup ops before measurement default to
+	// Iters/4 (min 1).
+	Iters int
+	// Setup builds the op and an optional cleanup. Setup cost is not
+	// measured.
+	Setup func() (op Op, cleanup func(), err error)
+}
+
+// Options parameterize a capture.
+type Options struct {
+	// Runs is the number of measured runs per benchmark; the reported
+	// ns/op, allocs/op and B/op are the minimum across runs, and the
+	// latency quantiles come from the fastest run (the standard noise
+	// filter: external interference only ever slows a run down).
+	// Default 3.
+	Runs int
+	// Scale multiplies every benchmark's Iters (and warmup), so CI can
+	// run a cheaper capture and local blessing a thorough one.
+	// Default 1.0.
+	Scale float64
+	// Seq stamps File.Seq (the trajectory position; 0 for ad-hoc
+	// captures).
+	Seq int
+	// Filter keeps only benchmarks whose name contains the substring
+	// (empty keeps all).
+	Filter string
+	// Logf, when set, receives one progress line per benchmark.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Runs <= 0 {
+		o.Runs = 3
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// Run executes the benchmarks and assembles the capture. Every
+// benchmark is set up and warmed first; then the measured runs proceed
+// in interleaved rounds — round 0 of every benchmark, round 1 of every
+// benchmark, and so on — so one benchmark's Runs samples are spread
+// across the whole capture's wall-clock rather than packed into one
+// short window. With min-of-N aggregation that matters: external
+// interference (CPU steal, noisy neighbors) arrives in bursts lasting
+// longer than a single benchmark's back-to-back runs, and interleaving
+// gives every benchmark a chance to land at least one run in a quiet
+// phase. Each run is bracketed by runtime.MemStats reads for the
+// allocation rates; every op's wall time feeds a per-run obs streaming
+// histogram and the reported latency quantiles come from the best run
+// (min-of-N, same as ns/op).
+func Run(benchmarks []Benchmark, opts Options) (File, error) {
+	opts = opts.withDefaults()
+	f := File{
+		SchemaVersion: SchemaVersion,
+		Seq:           opts.Seq,
+		CreatedUnixMs: time.Now().UnixMilli(),
+		Machine:       CurrentMachine(),
+		CanaryNsPerOp: MeasureCanary(),
+	}
+	var states []*benchState
+	defer func() {
+		for _, st := range states {
+			if st.cleanup != nil {
+				st.cleanup()
+			}
+		}
+	}()
+	for _, b := range benchmarks {
+		if opts.Filter != "" && !strings.Contains(b.Name, opts.Filter) {
+			continue
+		}
+		st, err := newBenchState(b, opts)
+		if err != nil {
+			return File{}, fmt.Errorf("perf: %s: %w", b.Name, err)
+		}
+		states = append(states, st)
+	}
+	if len(states) == 0 {
+		return File{}, fmt.Errorf("perf: no benchmarks matched filter %q", opts.Filter)
+	}
+	for run := 0; run < opts.Runs; run++ {
+		for _, st := range states {
+			if err := st.measure(run); err != nil {
+				return File{}, fmt.Errorf("perf: %s: %w", st.b.Name, err)
+			}
+		}
+	}
+	for _, st := range states {
+		res := st.finalize()
+		f.Results = append(f.Results, res)
+		if opts.Logf != nil {
+			opts.Logf("%-24s %10.0f ns/op %8.1f allocs/op %10.0f B/op  p99 %.0f ns",
+				res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.P99Ns)
+		}
+	}
+	return f, nil
+}
+
+// benchState is one benchmark's live measurement state across the
+// interleaved rounds.
+type benchState struct {
+	b       Benchmark
+	op      Op
+	cleanup func()
+	iters   int
+	next    int // monotone op index across warmup and all runs
+	res     Result
+	best    *obs.Histogram // latency histogram of the fastest run
+}
+
+// newBenchState validates the definition, runs setup and the warmup.
+func newBenchState(b Benchmark, opts Options) (*benchState, error) {
+	if b.Name == "" || b.Setup == nil || b.Iters <= 0 {
+		return nil, fmt.Errorf("invalid benchmark definition (name %q, iters %d)", b.Name, b.Iters)
+	}
+	iters := int(float64(b.Iters) * opts.Scale)
+	if iters < 1 {
+		iters = 1
+	}
+	warmup := iters / 4
+	if warmup < 1 {
+		warmup = 1
+	}
+	op, cleanup, err := b.Setup()
+	if err != nil {
+		return nil, fmt.Errorf("setup: %w", err)
+	}
+	st := &benchState{
+		b: b, op: op, cleanup: cleanup, iters: iters,
+		res: Result{Name: b.Name, Class: b.Class, Iters: iters, Runs: opts.Runs},
+	}
+	for ; st.next < warmup; st.next++ {
+		if err := op(st.next); err != nil {
+			if cleanup != nil {
+				cleanup()
+			}
+			return nil, fmt.Errorf("warmup op %d: %w", st.next, err)
+		}
+	}
+	return st, nil
+}
+
+// measure executes one measured run and folds it into the min-of-N
+// aggregates.
+func (st *benchState) measure(run int) error {
+	hist := obs.NewRegistry().Histogram("op_ns")
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < st.iters; i++ {
+		t0 := time.Now()
+		if err := st.op(st.next); err != nil {
+			return fmt.Errorf("run %d op %d: %w", run, st.next, err)
+		}
+		st.next++
+		hist.Observe(float64(time.Since(t0).Nanoseconds()))
+	}
+	total := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	nsPerOp := float64(total.Nanoseconds()) / float64(st.iters)
+	allocsPerOp := float64(ms1.Mallocs-ms0.Mallocs) / float64(st.iters)
+	bytesPerOp := float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(st.iters)
+	if run == 0 || nsPerOp < st.res.NsPerOp {
+		st.res.NsPerOp = nsPerOp
+		st.best = hist
+	}
+	if run == 0 || allocsPerOp < st.res.AllocsPerOp {
+		st.res.AllocsPerOp = allocsPerOp
+	}
+	if run == 0 || bytesPerOp < st.res.BytesPerOp {
+		st.res.BytesPerOp = bytesPerOp
+	}
+	st.res.Ops += uint64(st.iters)
+	return nil
+}
+
+// finalize stamps the best run's latency quantiles into the result.
+func (st *benchState) finalize() Result {
+	st.res.P50Ns = st.best.Quantile(0.50)
+	st.res.P95Ns = st.best.Quantile(0.95)
+	st.res.P99Ns = st.best.Quantile(0.99)
+	st.res.MaxNs = st.best.Quantile(1)
+	return st.res
+}
+
+// canaryIters is the spin-loop length of one canary op: long enough
+// to amortize timer reads, short enough that min-of-many reps lands
+// between scheduler interruptions.
+const canaryIters = 1 << 15
+
+// canarySpin is the fixed pure-CPU workload (an xorshift64 chain; the
+// returned value prevents the loop from being optimized away). It
+// allocates nothing and touches no memory beyond registers, so its
+// wall time tracks effective CPU speed — frequency scaling, CPU steal,
+// noisy neighbors — and nothing else.
+func canarySpin() uint64 {
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < canaryIters; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+var canarySink uint64
+
+// MeasureCanary measures the speed canary: the MEAN wall time per spin
+// step over a ~100 ms spinning window (not the minimum — the canary
+// must absorb the same CPU steal, descheduling and frequency effects
+// the benchmarks absorb, and a minimum would dodge exactly the
+// interference it exists to measure). The window is long relative to
+// scheduler quanta, so the mean tracks the machine's current effective
+// throughput.
+func MeasureCanary() float64 {
+	const window = 100 * time.Millisecond
+	var steps uint64
+	start := time.Now()
+	for time.Since(start) < window {
+		canarySink += canarySpin()
+		steps += canaryIters
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(steps)
+}
+
+// Capture runs the default suites — the one-call entry point the CLI
+// and the committed-baseline workflow use.
+func Capture(opts Options) (File, error) {
+	return Run(DefaultSuites(), opts)
+}

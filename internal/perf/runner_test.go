@@ -1,0 +1,140 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// countingBench counts op invocations and records the indices it saw.
+func countingBench(name string, iters int, calls *[]int) Benchmark {
+	return Benchmark{
+		Name: name, Class: "cpu", Iters: iters,
+		Setup: func() (Op, func(), error) {
+			return func(i int) error {
+				*calls = append(*calls, i)
+				return nil
+			}, nil, nil
+		},
+	}
+}
+
+func TestRunMeasuresAndAggregates(t *testing.T) {
+	var calls []int
+	f, err := Run([]Benchmark{countingBench("count", 8, &calls)}, Options{Runs: 2, Seq: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("capture invalid: %v", err)
+	}
+	if f.Seq != 7 || f.SchemaVersion != SchemaVersion {
+		t.Fatalf("header: %+v", f)
+	}
+	if f.Machine.GoVersion == "" || f.Machine.NumCPU <= 0 {
+		t.Fatalf("machine stamp missing: %+v", f.Machine)
+	}
+	r, ok := f.Result("count")
+	if !ok {
+		t.Fatal("result missing")
+	}
+	// 8 iters, warmup 2, 2 measured runs: 2 + 16 calls total.
+	if len(calls) != 18 {
+		t.Fatalf("op called %d times, want 18", len(calls))
+	}
+	for i, c := range calls {
+		if c != i {
+			t.Fatalf("op index %d = %d; indices must increase monotonically", i, c)
+		}
+	}
+	if r.Ops != 16 || r.Iters != 8 || r.Runs != 2 {
+		t.Fatalf("counts: %+v", r)
+	}
+	if r.NsPerOp <= 0 {
+		t.Fatalf("ns/op = %v", r.NsPerOp)
+	}
+	if !(r.P50Ns <= r.P95Ns && r.P95Ns <= r.P99Ns && r.P99Ns <= r.MaxNs) {
+		t.Fatalf("quantiles out of order: %+v", r)
+	}
+}
+
+func TestRunPropagatesOpErrors(t *testing.T) {
+	boom := Benchmark{
+		Name: "boom", Class: "cpu", Iters: 4,
+		Setup: func() (Op, func(), error) {
+			return func(i int) error {
+				if i >= 2 {
+					return fmt.Errorf("op exploded")
+				}
+				return nil
+			}, nil, nil
+		},
+	}
+	if _, err := Run([]Benchmark{boom}, Options{Runs: 1}); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want wrapped op error, got %v", err)
+	}
+}
+
+func TestRunPropagatesSetupErrors(t *testing.T) {
+	bad := Benchmark{
+		Name: "bad_setup", Class: "cpu", Iters: 4,
+		Setup: func() (Op, func(), error) {
+			return nil, nil, fmt.Errorf("no fixtures")
+		},
+	}
+	if _, err := Run([]Benchmark{bad}, Options{Runs: 1}); err == nil || !strings.Contains(err.Error(), "no fixtures") {
+		t.Fatalf("want setup error, got %v", err)
+	}
+}
+
+func TestRunCleanupRuns(t *testing.T) {
+	cleaned := false
+	b := Benchmark{
+		Name: "clean", Class: "cpu", Iters: 2,
+		Setup: func() (Op, func(), error) {
+			return func(int) error { return nil }, func() { cleaned = true }, nil
+		},
+	}
+	if _, err := Run([]Benchmark{b}, Options{Runs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !cleaned {
+		t.Error("cleanup not called")
+	}
+}
+
+func TestRunFilterAndScale(t *testing.T) {
+	var a, b []int
+	benches := []Benchmark{
+		countingBench("decide_single", 100, &a),
+		countingBench("fleet_generate", 100, &b),
+	}
+	f, err := Run(benches, Options{Runs: 1, Scale: 0.1, Filter: "decide"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Results) != 1 || f.Results[0].Name != "decide_single" {
+		t.Fatalf("filter kept %+v", f.Results)
+	}
+	if f.Results[0].Iters != 10 {
+		t.Fatalf("scale 0.1 gave %d iters, want 10", f.Results[0].Iters)
+	}
+	if len(b) != 0 {
+		t.Error("filtered-out benchmark still ran")
+	}
+	if _, err := Run(benches, Options{Runs: 1, Filter: "no_such"}); err == nil {
+		t.Error("empty filter result should error")
+	}
+}
+
+func TestRunRejectsInvalidDefinitions(t *testing.T) {
+	for _, bad := range []Benchmark{
+		{Name: "", Iters: 1, Setup: func() (Op, func(), error) { return func(int) error { return nil }, nil, nil }},
+		{Name: "no_setup", Iters: 1},
+		{Name: "no_iters", Iters: 0, Setup: func() (Op, func(), error) { return func(int) error { return nil }, nil, nil }},
+	} {
+		if _, err := Run([]Benchmark{bad}, Options{Runs: 1}); err == nil {
+			t.Errorf("invalid benchmark %q accepted", bad.Name)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package perf
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"idlereduce/internal/fleet"
+	"idlereduce/internal/server"
+	"idlereduce/internal/simulator"
+	"idlereduce/internal/skirental"
+	"idlereduce/internal/stats"
+
+	"idlereduce/internal/costmodel"
+)
+
+// suiteSeed fixes every suite's randomness to the repo-wide experiment
+// seed; per-op variation derives from the op index, never the clock.
+const suiteSeed = 20140601
+
+// suiteB is the break-even interval every suite measures at (the
+// paper's B = 28 s operating point).
+const suiteB = 28.0
+
+// DefaultSuites returns the committed benchmark set — the serving hot
+// path from pure strategy derivation up through the full HTTP decide
+// stack, plus the two bulk producers (fleet generation and the
+// event-driven simulator). Names are stable compare keys: renaming one
+// breaks the trajectory, so add new suites instead of repurposing old
+// names.
+func DefaultSuites() []Benchmark {
+	return []Benchmark{
+		{
+			// Pure vertex selection from the constrained statistics —
+			// the work a cache miss or stats update pays.
+			Name: "strategy_derive", Class: "cpu", Iters: 2000,
+			Setup: func() (Op, func(), error) {
+				st, err := chicagoStats()
+				if err != nil {
+					return nil, nil, err
+				}
+				return func(i int) error {
+					_, err := skirental.NewConstrained(suiteB, st)
+					return err
+				}, nil, nil
+			},
+		},
+		{
+			// The decide path's cache read: one atomic pointer load
+			// plus a map lookup.
+			Name: "cache_hit", Class: "cpu", Iters: 20000,
+			Setup: func() (Op, func(), error) {
+				cache, err := defaultCache()
+				if err != nil {
+					return nil, nil, err
+				}
+				return func(i int) error {
+					if _, ok := cache.Get("chicago"); !ok {
+						return fmt.Errorf("chicago missing from cache")
+					}
+					return nil
+				}, nil, nil
+			},
+		},
+		{
+			// The copy-on-write stats swap: validate, re-derive the
+			// vertex selection, clone and publish the map.
+			Name: "cache_update", Class: "cpu", Iters: 2000,
+			Setup: func() (Op, func(), error) {
+				cache, err := defaultCache()
+				if err != nil {
+					return nil, nil, err
+				}
+				st, err := chicagoStats()
+				if err != nil {
+					return nil, nil, err
+				}
+				return func(i int) error {
+					// Alternate between two feasible pairs so every
+					// update really swaps state.
+					s := st
+					if i%2 == 1 {
+						s.QBPlus *= 0.99
+					}
+					_, err := cache.Update("chicago", suiteB, s)
+					return err
+				}, nil, nil
+			},
+		},
+		{
+			// One decision through the full middleware + handler stack
+			// (request decode, cache hit, threshold draw, JSON reply).
+			Name: "decide_single", Class: "latency", Iters: 1500,
+			Setup: func() (Op, func(), error) {
+				h, err := defaultHandler()
+				if err != nil {
+					return nil, nil, err
+				}
+				return func(i int) error {
+					body := fmt.Sprintf(`{"vehicle_id":"bench-%d","area":"chicago"}`, i)
+					return doRequest(h, "/v1/decide", body)
+				}, nil, nil
+			},
+		},
+		{
+			// Same path with a non-default break-even interval: the
+			// cache-miss branch deriving a fresh policy per request.
+			Name: "decide_custom_b", Class: "latency", Iters: 1000,
+			Setup: func() (Op, func(), error) {
+				h, err := defaultHandler()
+				if err != nil {
+					return nil, nil, err
+				}
+				return func(i int) error {
+					body := fmt.Sprintf(`{"vehicle_id":"bench-%d","area":"chicago","b":35}`, i)
+					return doRequest(h, "/v1/decide", body)
+				}, nil, nil
+			},
+		},
+		{
+			// A 64-item batch through the parallel fan-out (fixed body,
+			// so the measured work is decode + 64 decisions + merge).
+			Name: "decide_batch_64", Class: "latency", Iters: 150,
+			Setup: func() (Op, func(), error) {
+				h, err := defaultHandler()
+				if err != nil {
+					return nil, nil, err
+				}
+				var b strings.Builder
+				b.WriteString(`{"seed":1,"requests":[`)
+				for i := 0; i < 64; i++ {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, `{"vehicle_id":"batch-%d","area":"chicago"}`, i)
+				}
+				b.WriteString(`]}`)
+				body := b.String()
+				return func(i int) error {
+					return doRequest(h, "/v1/decide/batch", body)
+				}, nil, nil
+			},
+		},
+		{
+			// Synthetic fleet generation for one small area (the
+			// deterministic per-vehicle stream derivation included).
+			Name: "fleet_generate", Class: "throughput", Iters: 20,
+			Setup: func() (Op, func(), error) {
+				cfg := fleet.Chicago
+				cfg.Vehicles = 4
+				if err := cfg.Validate(); err != nil {
+					return nil, nil, err
+				}
+				return func(i int) error {
+					_, err := cfg.Generate(stats.NewRNG(suiteSeed + uint64(i)))
+					return err
+				}, nil, nil
+			},
+		},
+		{
+			// The event-driven simulator over a fixed 500-stop trace
+			// with the constrained policy.
+			Name: "simulator_run", Class: "throughput", Iters: 300,
+			Setup: func() (Op, func(), error) {
+				st, err := chicagoStats()
+				if err != nil {
+					return nil, nil, err
+				}
+				pol, err := skirental.NewConstrained(suiteB, st)
+				if err != nil {
+					return nil, nil, err
+				}
+				// A deterministic trace cycling through short stops,
+				// near-break-even stops and long stops.
+				lengths := []float64{3, 9, 17, 26, 31, 48, 95, 310, 700}
+				stops := make([]float64, 500)
+				for i := range stops {
+					stops[i] = lengths[i%len(lengths)]
+				}
+				cfg := simulator.Config{
+					Costs:  costmodel.CostRatio{IdlingCentsPerSec: 1, RestartCents: suiteB},
+					Policy: pol,
+				}
+				return func(i int) error {
+					_, err := simulator.Run(cfg, stops, stats.NewRNG(suiteSeed+uint64(i)))
+					return err
+				}, nil, nil
+			},
+		},
+	}
+}
+
+// chicagoStats measures the Chicago area's constrained pair at the
+// suite operating point — the same derivation idled's default config
+// serves.
+func chicagoStats() (skirental.Stats, error) {
+	areas, err := server.DefaultAreaStates(suiteB)
+	if err != nil {
+		return skirental.Stats{}, err
+	}
+	for _, a := range areas {
+		if a.ID == "chicago" {
+			return a.Stats(), nil
+		}
+	}
+	return skirental.Stats{}, fmt.Errorf("no chicago in default areas")
+}
+
+// defaultCache builds the serving strategy cache over the default
+// areas.
+func defaultCache() (*server.Cache, error) {
+	areas, err := server.DefaultAreaStates(suiteB)
+	if err != nil {
+		return nil, err
+	}
+	return server.NewCache(areas)
+}
+
+// defaultHandler builds a full idled handler tree (no listener) over
+// the default areas.
+func defaultHandler() (http.Handler, error) {
+	areas, err := server.DefaultAreaStates(suiteB)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{Areas: areas})
+	if err != nil {
+		return nil, err
+	}
+	return srv.Handler(), nil
+}
+
+// doRequest drives one request through the handler tree in-process and
+// checks for a 200.
+func doRequest(h http.Handler, path, body string) error {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		return fmt.Errorf("%s: status %d: %s", path, w.Code, w.Body.String())
+	}
+	return nil
+}

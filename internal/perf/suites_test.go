@@ -1,0 +1,93 @@
+package perf
+
+import (
+	"testing"
+)
+
+// TestDefaultSuitesCaptureAndSelfCompare runs the committed suites at
+// a tiny scale and proves the full pipeline: every suite produces a
+// valid result, the capture round-trips, and comparing a capture
+// against itself is a clean pass (the acceptance property of the
+// trajectory workflow).
+func TestDefaultSuitesCaptureAndSelfCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capture smoke is not -short")
+	}
+	f, err := Capture(Options{Runs: 1, Scale: 0.02, Seq: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("capture invalid: %v", err)
+	}
+	want := []string{
+		"strategy_derive", "cache_hit", "cache_update",
+		"decide_single", "decide_custom_b", "decide_batch_64",
+		"fleet_generate", "simulator_run",
+	}
+	if len(f.Results) != len(want) {
+		t.Fatalf("got %d results, want %d: %+v", len(f.Results), len(want), f.Results)
+	}
+	for _, name := range want {
+		r, ok := f.Result(name)
+		if !ok {
+			t.Errorf("suite %s missing from capture", name)
+			continue
+		}
+		if r.NsPerOp <= 0 || r.Ops == 0 || r.Class == "" {
+			t.Errorf("suite %s not measured: %+v", name, r)
+		}
+	}
+
+	// Round trip through the committed-file path.
+	path := t.TempDir() + "/BENCH_0006.json"
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Self-compare must gate clean: zero regressions, all passes.
+	c, err := Compare(back, back, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OK() {
+		t.Fatalf("self-compare of a real capture regressed:\n%s", c.String())
+	}
+}
+
+// TestSuiteNamesAreStable pins the compare keys: renaming a suite
+// breaks every committed baseline, so a rename must be a conscious
+// schema decision, not a refactor side effect.
+func TestSuiteNamesAreStable(t *testing.T) {
+	want := map[string]string{
+		"strategy_derive": "cpu",
+		"cache_hit":       "cpu",
+		"cache_update":    "cpu",
+		"decide_single":   "latency",
+		"decide_custom_b": "latency",
+		"decide_batch_64": "latency",
+		"fleet_generate":  "throughput",
+		"simulator_run":   "throughput",
+	}
+	suites := DefaultSuites()
+	if len(suites) != len(want) {
+		t.Fatalf("%d suites, want %d", len(suites), len(want))
+	}
+	for _, s := range suites {
+		class, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected suite %q (new suites are fine — add them to this pin)", s.Name)
+			continue
+		}
+		if s.Class != class {
+			t.Errorf("suite %s class = %q, want %q", s.Name, s.Class, class)
+		}
+		if s.Iters <= 0 || s.Setup == nil {
+			t.Errorf("suite %s underspecified", s.Name)
+		}
+	}
+}

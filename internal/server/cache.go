@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"idlereduce/internal/obs"
 	"idlereduce/internal/skirental"
 )
 
@@ -52,6 +53,11 @@ type strategy struct {
 	policy  *skirental.Constrained
 	costs   skirental.VertexCosts
 	version uint64
+	// latMetric/cntMetric are the area's pre-formatted attribution
+	// metric names (decide_area_ms{area=...} / decide_area_total{...}),
+	// built once here so the decide hot path never formats labels.
+	latMetric string
+	cntMetric string
 }
 
 // newStrategy precomputes the vertex selection for one area state.
@@ -65,10 +71,12 @@ func newStrategy(state AreaState, version uint64) (*strategy, error) {
 		return nil, fmt.Errorf("server: area %s: %w", state.ID, err)
 	}
 	return &strategy{
-		state:   state,
-		policy:  p,
-		costs:   skirental.ComputeVertexCosts(state.B, state.Stats()),
-		version: version,
+		state:     state,
+		policy:    p,
+		costs:     skirental.ComputeVertexCosts(state.B, state.Stats()),
+		version:   version,
+		latMetric: obs.L("decide_area_ms", "area", state.ID),
+		cntMetric: obs.L("decide_area_total", "area", state.ID),
 	}, nil
 }
 

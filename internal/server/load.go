@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"time"
 
@@ -64,6 +65,28 @@ type LoadReport struct {
 	P90 float64 `json:"p90_ms"`
 	P99 float64 `json:"p99_ms"`
 	Max float64 `json:"max_ms"`
+	// AllocsPerOp is the harness process's heap allocations per served
+	// decision (runtime.MemStats deltas across the run). With an
+	// in-process target sharing the recorder this includes the server
+	// side; against a remote -target it is client cost only.
+	AllocsPerOp float64 `json:"decide_allocs_per_op"`
+	// GCPauseMs / GCCycles are the Go GC stop-the-world pause total
+	// (ms) and collection count over the run, from the same deltas.
+	GCPauseMs float64 `json:"gc_pause_total_ms"`
+	GCCycles  int64   `json:"gc_cycles"`
+	// TopAreas attributes decide latency per area (present when the
+	// recorder carries the server-side decide_area_ms histograms, i.e.
+	// in-process runs with a shared recorder).
+	TopAreas []AreaLatency `json:"top_areas,omitempty"`
+}
+
+// AreaLatency is one area's latency attribution in a load report.
+type AreaLatency struct {
+	Area  string  `json:"area"`
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
 }
 
 // String renders the report as the loadtest's human output.
@@ -75,6 +98,15 @@ func (r LoadReport) String() string {
 	fmt.Fprintf(&b, "  overloaded %8d  (429 load-shed replies)\n", r.Overloaded)
 	fmt.Fprintf(&b, "  errors     %8d\n", r.Errors)
 	fmt.Fprintf(&b, "  latency ms p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n", r.P50, r.P90, r.P99, r.Max)
+	fmt.Fprintf(&b, "  alloc      %8.1f allocs/decision  gc pauses %.2f ms in %d cycles\n",
+		r.AllocsPerOp, r.GCPauseMs, r.GCCycles)
+	for i, a := range r.TopAreas {
+		if i == 0 {
+			fmt.Fprintf(&b, "  per-area decide latency (top %d by total time):\n", len(r.TopAreas))
+		}
+		fmt.Fprintf(&b, "    %-12s %8d decisions  p50 %.3f  p99 %.3f  max %.3f ms\n",
+			a.Area, a.Count, a.P50, a.P99, a.Max)
+	}
 	return b.String()
 }
 
@@ -115,6 +147,14 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 	}
 	lat := rec.Registry().Histogram("loadtest_request_ms")
 
+	// Bracket the run with MemStats reads: allocation rate per served
+	// decision and GC pause totals land in the registry (and hence the
+	// -out snapshot) alongside the latency series, the same metric
+	// vocabulary the bench captures use.
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+
 	t0 := time.Now()
 	err := parallel.ForEach(ctx, "loadtest_clients", opts.Clients, opts.Clients,
 		func(ctx context.Context, c int) error {
@@ -150,6 +190,15 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 	if err != nil {
 		return LoadReport{}, err
 	}
+	runtime.ReadMemStats(&ms1)
+	decided := rec.Registry().SumCounterValues("loadtest_decisions_total")
+	rec.Set("loadtest_mallocs_total", float64(ms1.Mallocs-ms0.Mallocs))
+	rec.Set("loadtest_alloc_bytes_total", float64(ms1.TotalAlloc-ms0.TotalAlloc))
+	rec.Set("loadtest_gc_pause_total_ms", float64(ms1.PauseTotalNs-ms0.PauseTotalNs)/1e6)
+	rec.Set("loadtest_gc_cycles", float64(ms1.NumGC-ms0.NumGC))
+	if decided > 0 {
+		rec.Set("decide_allocs_per_op", float64(ms1.Mallocs-ms0.Mallocs)/float64(decided))
+	}
 
 	snap := rec.Snapshot()
 	report := LoadReport{
@@ -163,6 +212,19 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 	report.Errors, _ = snap.CounterValue("loadtest_errors_total")
 	if h, ok := snap.HistogramValue("loadtest_request_ms"); ok {
 		report.P50, report.P90, report.P99, report.Max = h.P50, h.P90, h.P99, h.Max
+	}
+	report.AllocsPerOp, _ = snap.GaugeValue("decide_allocs_per_op")
+	report.GCPauseMs, _ = snap.GaugeValue("loadtest_gc_pause_total_ms")
+	if c, ok := snap.GaugeValue("loadtest_gc_cycles"); ok {
+		report.GCCycles = int64(c)
+	}
+	// Per-area attribution: present when the recorder is shared with
+	// an in-process server (the self-contained loadtest mode).
+	for _, h := range snap.TopHistograms("decide_area_ms", 5) {
+		area, _ := obs.LabelValue(h.Name, "area")
+		report.TopAreas = append(report.TopAreas, AreaLatency{
+			Area: area, Count: h.Count, P50: h.P50, P99: h.P99, Max: h.Max,
+		})
 	}
 	if dur > 0 {
 		report.RequestQPS = float64(report.Requests) / dur

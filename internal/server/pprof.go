@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// The live-profiling plane: when Config.PprofAddr is set, idled mounts
+// net/http/pprof on a dedicated listener so CPU/heap/goroutine
+// profiles can be captured from a serving process under load. The
+// profiling mux is NEVER part of the serving handler tree — the
+// serving port stays profile-free (no debug surface reachable by
+// decision clients, no profiler contention on the request mux), which
+// pprof_test.go pins down.
+
+// pprofHandler builds the standard net/http/pprof handler tree on a
+// private mux (nothing is registered on http.DefaultServeMux paths we
+// serve; the pprof package's init-time registrations there are
+// irrelevant because idled never serves DefaultServeMux).
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// listenPprof binds the profiling listener when configured. Called
+// under s.mu from Listen; a nil return with no error means profiling
+// is disabled.
+func (s *Server) listenPprof() error {
+	if s.cfg.PprofAddr == "" || s.pprofLn != nil {
+		return nil
+	}
+	ln, err := net.Listen("tcp", s.cfg.PprofAddr)
+	if err != nil {
+		return fmt.Errorf("server: pprof listen %s: %w", s.cfg.PprofAddr, err)
+	}
+	s.pprofLn = ln
+	return nil
+}
+
+// PprofAddr returns the bound profiling address, or "" when the
+// profiling plane is disabled (Config.PprofAddr unset). Useful with
+// ":0" and for the never-binds guard test.
+func (s *Server) PprofAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pprofLn == nil {
+		return ""
+	}
+	return s.pprofLn.Addr().String()
+}
+
+// servePprof runs the profiling listener until ctx is cancelled. CPU
+// profile captures hold the response open for the requested duration,
+// so the server deliberately has no read/write timeouts; shutdown
+// gives in-flight captures a short grace period and then closes.
+func (s *Server) servePprof(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: pprofHandler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = hs.Shutdown(shutCtx)
+	<-serveErr
+	return nil
+}

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServing boots a full Server (real listeners, real Serve loop)
+// and returns the bound serving address plus a stop function that
+// drains it.
+func startServing(t *testing.T, mutate func(*Config)) (*Server, string) {
+	t.Helper()
+	cfg := Config{Addr: "127.0.0.1:0", Areas: testAreas()}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("serve: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("serve did not drain")
+		}
+	})
+	return s, addr
+}
+
+// TestPprofDisabledByDefault is the safety half of the profiling
+// plane: with -pprof-addr unset no profiling listener is ever bound,
+// and the serving mux exposes no /debug/pprof surface.
+func TestPprofDisabledByDefault(t *testing.T) {
+	s, addr := startServing(t, nil)
+	if got := s.PprofAddr(); got != "" {
+		t.Fatalf("pprof listener bound at %q with PprofAddr unset", got)
+	}
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/profile",
+		"/debug/pprof/heap",
+		"/debug/pprof/cmdline",
+	} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s on the serving port: status %d, want 404", path, resp.StatusCode)
+		}
+		// The reply must be the structured not_found envelope, not a
+		// pprof page.
+		if !strings.Contains(string(body), "not_found") {
+			t.Errorf("GET %s reply is not the structured 404: %s", path, body)
+		}
+	}
+}
+
+// TestPprofServesProfilesOnSeparateListener is the live half: with
+// -pprof-addr set, CPU and heap profiles are served from the dedicated
+// listener while the serving port still refuses them.
+func TestPprofServesProfilesOnSeparateListener(t *testing.T) {
+	s, addr := startServing(t, func(c *Config) { c.PprofAddr = "127.0.0.1:0" })
+	paddr := s.PprofAddr()
+	if paddr == "" {
+		t.Fatal("pprof listener not bound")
+	}
+	if paddr == addr {
+		t.Fatalf("pprof listener %s is the serving listener", paddr)
+	}
+
+	// Heap profile (live capture) and the index page.
+	for _, path := range []string{"/debug/pprof/heap?debug=1", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + paddr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s: empty profile", path)
+		}
+	}
+	// A short CPU profile proves the profile endpoint streams.
+	resp, err := http.Get("http://" + paddr + "/debug/pprof/profile?seconds=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(prof) == 0 {
+		t.Fatalf("CPU profile: status %d, %d bytes", resp.StatusCode, len(prof))
+	}
+
+	// The serving port must still 404 the profiling tree.
+	resp, err = http.Get("http://" + addr + "/debug/pprof/heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("serving port served a profile: status %d", resp.StatusCode)
+	}
+
+	// Decisions keep working alongside profiling.
+	dresp, err := http.Post("http://"+addr+"/v1/decide", "application/json",
+		strings.NewReader(`{"vehicle_id":"p-1","area":"chicago"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("decide while profiling: status %d", dresp.StatusCode)
+	}
+}
+
+// TestPprofBadAddrFailsBoot: a malformed profiling address must fail
+// Listen loudly (and release the serving listener), never boot a
+// server with a silently missing profiling plane.
+func TestPprofBadAddrFailsBoot(t *testing.T) {
+	s, err := New(Config{Addr: "127.0.0.1:0", Areas: testAreas(), PprofAddr: "256.0.0.1:notaport"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Listen(); err == nil {
+		t.Fatal("Listen succeeded with a bad pprof address")
+	} else if !strings.Contains(err.Error(), "pprof") {
+		t.Fatalf("error does not name the pprof listener: %v", err)
+	}
+}
+
+// TestPerAreaLatencyAttribution pins the decide path's per-area
+// metrics: every served decision lands in decide_area_total and
+// decide_area_ms for its area, with pre-formatted names.
+func TestPerAreaLatencyAttribution(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`{"vehicle_id":"a-%d","area":"chicago"}`, i)
+		if code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/decide", body, nil); code != http.StatusOK {
+			t.Fatalf("decide: %d %s", code, raw)
+		}
+	}
+	if code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/decide", `{"vehicle_id":"a-x","area":"atlanta"}`, nil); code != http.StatusOK {
+		t.Fatalf("decide: %d %s", code, raw)
+	}
+	snap := s.Recorder().Snapshot()
+	if n, ok := snap.CounterValue(`decide_area_total{area="chicago"}`); !ok || n != 4 {
+		t.Errorf("chicago decide_area_total = %d, %v; want 4", n, ok)
+	}
+	h, ok := snap.HistogramValue(`decide_area_ms{area="chicago"}`)
+	if !ok || h.Count != 4 {
+		t.Fatalf("chicago decide_area_ms: %+v ok=%v", h, ok)
+	}
+	top := snap.TopHistograms("decide_area_ms", 1)
+	if len(top) != 1 {
+		t.Fatalf("top-1 attribution returned %d entries", len(top))
+	}
+}

@@ -84,6 +84,11 @@ type Config struct {
 	// samples (default 120, i.e. two minutes at the default interval).
 	HistoryInterval time.Duration
 	HistoryWindow   int
+	// PprofAddr mounts net/http/pprof on a dedicated listener at this
+	// address (e.g. "127.0.0.1:6060"). Empty disables the profiling
+	// plane entirely: no listener is bound and no profiling route
+	// exists anywhere, including on the serving mux.
+	PprofAddr string
 
 	// testDelay artificially delays decide handlers; used by drain and
 	// overload tests only.
@@ -151,8 +156,9 @@ type Server struct {
 	bootID string
 	reqSeq atomic.Uint64
 
-	mu sync.Mutex
-	ln net.Listener
+	mu      sync.Mutex
+	ln      net.Listener
+	pprofLn net.Listener
 }
 
 // New builds a server. It validates and precomputes every configured
@@ -248,9 +254,10 @@ func (s *Server) routes() http.Handler {
 	return mux
 }
 
-// Listen binds the configured address and returns the bound address
-// (useful with ":0"). Idempotent: a second call returns the existing
-// address.
+// Listen binds the configured addresses — the serving listener and,
+// when Config.PprofAddr is set, the separate profiling listener — and
+// returns the bound serving address (useful with ":0"). Idempotent: a
+// second call returns the existing address.
 func (s *Server) Listen() (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -260,6 +267,10 @@ func (s *Server) Listen() (string, error) {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return "", fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	if err := s.listenPprof(); err != nil {
+		ln.Close()
+		return "", err
 	}
 	s.ln = ln
 	return ln.Addr().String(), nil
@@ -281,6 +292,23 @@ func (s *Server) Serve(ctx context.Context) error {
 	samplerCtx, stopSampler := context.WithCancel(context.Background())
 	defer stopSampler()
 	go s.sampler.Run(samplerCtx)
+
+	// The profiling plane lives on its own listener and lifecycle:
+	// it is stopped with the sampler, after the serving drain, so a
+	// profile capture can observe the drain itself.
+	s.mu.Lock()
+	pprofLn := s.pprofLn
+	s.mu.Unlock()
+	pprofDone := make(chan struct{})
+	if pprofLn != nil {
+		go func() {
+			defer close(pprofDone)
+			_ = s.servePprof(samplerCtx, pprofLn)
+		}()
+	} else {
+		close(pprofDone)
+	}
+	defer func() { stopSampler(); <-pprofDone }()
 
 	hs := &http.Server{
 		Handler:      s.handler,
