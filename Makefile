@@ -46,10 +46,16 @@ staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 ## cover: the test suite with coverage, writing coverage.out (uploaded
-## by CI as an artifact) and printing the per-package summary.
+## by CI as an artifact) and printing the per-package summary. Asserts
+## the policy engine registry is actually exercised — a conformance
+## suite that silently stops importing internal/policy would otherwise
+## pass while covering nothing.
 cover:
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
 	$(GO) tool cover -func=coverage.out | tail -1
+	@grep '^idlereduce/internal/policy/' coverage.out | grep -qv ' 0$$' \
+		|| { echo "cover: internal/policy has no covered statements"; exit 1; }
+	@echo "cover: internal/policy exercised"
 
 ## fuzz-smoke: run every Fuzz* target for FUZZTIME (default 10s) as a
 ## quick regression sweep; the corpus findings become seed cases.

@@ -11,6 +11,7 @@
 //	idlectl replay -policy policy.json [-stops trace.txt] [-seed N] [-metrics path]
 //	idlectl synth -plan urban|suburb|downtown [-days N] [-seed N]
 //	idlectl stats [-metrics snapshot.json]
+//	idlectl engines
 //	idlectl audit verify [-log audit.jsonl]
 //	idlectl bench run [-out BENCH_NNNN.json] [-runs N] [-scale F] [-seq N] [-filter s]
 //	idlectl bench compare -base BENCH_A.json -head BENCH_B.json [-max-regress 10%]
@@ -22,11 +23,14 @@
 // transition counters, the selected vertex strategy, and threshold-draw
 // distributions. The stats command renders such a snapshot as text
 // charts (it also recognizes BENCH_*.json perf captures and renders
-// them as a benchmark table). The audit verify command replays an idled
-// decision audit log (serve -audit-log) through the pure policy engine
-// and proves every recorded decision reproduces bit-for-bit (see
-// docs/OBSERVABILITY.md). The bench commands capture and regression-gate
-// the perf trajectory (see docs/BENCHMARKS.md).
+// them as a benchmark table). The engines command lists the registered
+// policy engines idled can serve (the specs accepted by
+// `idled serve -policy` and the wire "policy" field). The audit verify
+// command replays an idled decision audit log (serve -audit-log)
+// through its recorded policy engine and proves every decision —
+// choice, threshold, and any multi-state schedule — reproduces
+// bit-for-bit (see docs/OBSERVABILITY.md). The bench commands capture
+// and regression-gate the perf trajectory (see docs/BENCHMARKS.md).
 //
 // Stop traces are plain text: one stop length in seconds per line; blank
 // lines and lines starting with '#' are ignored. With no -stops the trace
@@ -49,6 +53,7 @@ import (
 	"idlereduce/internal/obs"
 	"idlereduce/internal/parallel"
 	"idlereduce/internal/perf"
+	"idlereduce/internal/policy"
 	"idlereduce/internal/server"
 	"idlereduce/internal/simulator"
 	"idlereduce/internal/skirental"
@@ -63,7 +68,7 @@ func main() {
 	}
 }
 
-const usage = "usage: idlectl [-cpuprofile f] [-memprofile f] [-trace f] [-workers N] <tune|show|replay|synth|stats|audit|bench> [flags]"
+const usage = "usage: idlectl [-cpuprofile f] [-memprofile f] [-trace f] [-workers N] <tune|show|replay|synth|stats|engines|audit|bench> [flags]"
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	gfs := flag.NewFlagSet("idlectl", flag.ContinueOnError)
@@ -98,12 +103,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		cmdErr = synth(rest[1:], stdout)
 	case "stats":
 		cmdErr = statsCmd(rest[1:], stdin, stdout)
+	case "engines":
+		cmdErr = enginesCmd(rest[1:], stdout)
 	case "audit":
 		cmdErr = auditCmd(rest[1:], stdin, stdout)
 	case "bench":
 		cmdErr = benchCmd(rest[1:], stdout)
 	default:
-		cmdErr = fmt.Errorf("unknown command %q (want tune, show, replay, synth, stats, audit or bench)", rest[0])
+		cmdErr = fmt.Errorf("unknown command %q (want tune, show, replay, synth, stats, engines, audit or bench)", rest[0])
 	}
 	if perr := stopProf(); perr != nil && cmdErr == nil {
 		cmdErr = perr
@@ -394,6 +401,33 @@ func statsCmd(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		fmt.Fprint(stdout, textplot.Table(rows))
 	}
+	return nil
+}
+
+// enginesCmd lists the registered policy engines: the specs accepted
+// by `idled serve -policy`, `idled loadtest -policy`, and the wire
+// "policy" request field.
+func enginesCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("engines", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: idlectl engines")
+	}
+	rows := [][]string{{"engine", "spec", "default", "description"}}
+	for _, name := range policy.Names() {
+		e, ok := policy.Get(name)
+		if !ok {
+			continue
+		}
+		def := ""
+		if name == policy.DefaultEngine {
+			def = "yes"
+		}
+		rows = append(rows, []string{name, policy.Spec(e), def, e.Doc()})
+	}
+	fmt.Fprint(stdout, textplot.Table(rows))
 	return nil
 }
 

@@ -7,19 +7,24 @@
 //
 //	idled serve    [-addr HOST:PORT] [-workers N] [-max-inflight N]
 //	               [-areas FILE] [-b SECONDS] [-seed N] [-max-batch N]
-//	               [-request-timeout D] [-drain-timeout D]
+//	               [-policy ENGINE] [-request-timeout D] [-drain-timeout D]
 //	               [-trace-log FILE] [-audit-log FILE] [-audit-max-bytes N]
 //	               [-history-interval D] [-history-window N]
 //	               [-pprof-addr HOST:PORT]
 //	idled loadtest [-target URL] [-clients N] [-requests N] [-batch N]
-//	               [-seed N] [-workers N] [-max-inflight N] [-json]
-//	               [-out report.json] [-profile cpu|heap] [-profile-out FILE]
+//	               [-seed N] [-policy ENGINE] [-workers N] [-max-inflight N]
+//	               [-json] [-out report.json] [-profile cpu|heap]
+//	               [-profile-out FILE]
 //	idled top      [-target URL] [-interval D] [-frames N] [-once] [-w N]
 //	idled areas-template
 //
 // serve runs until SIGINT/SIGTERM, then drains in-flight requests
-// gracefully; -trace-log and -audit-log enable the request-forensics
-// sinks (JSONL span records and replayable decision audit records, see
+// gracefully; -policy makes a registered engine (see `idlectl engines`)
+// the daemon's default — it is prepared for every area at boot, so a
+// daemon whose engine cannot serve its areas fails fast instead of
+// 4xx-ing at runtime; -trace-log and -audit-log enable the
+// request-forensics sinks (JSONL span records and replayable decision
+// audit records, see
 // docs/OBSERVABILITY.md); -pprof-addr mounts net/http/pprof on a
 // dedicated listener (never the serving port) for live CPU/heap
 // profiling of the running daemon (see docs/BENCHMARKS.md). loadtest
@@ -106,6 +111,7 @@ func serve(ctx context.Context, args []string, stdout io.Writer) error {
 	areasPath := fs.String("areas", "", "JSON area config file (default: the three paper areas; see areas-template)")
 	b := fs.Float64("b", 28, "default break-even interval (s) for the built-in areas")
 	seed := fs.Uint64("seed", 0, "root decision seed (0 = 20140601)")
+	defaultPolicy := fs.String("policy", "", "default policy engine served when requests name none (e.g. multislope3; empty = constrained; see idlectl engines)")
 	maxBatch := fs.Int("max-batch", 4096, "max decisions per batch request")
 	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request context deadline")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain bound")
@@ -136,6 +142,7 @@ func serve(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxInflight:     *maxInflight,
 		MaxBatch:        *maxBatch,
 		RootSeed:        *seed,
+		DefaultPolicy:   *defaultPolicy,
 		RequestTimeout:  *reqTimeout,
 		DrainTimeout:    *drainTimeout,
 		Areas:           areas,
@@ -191,6 +198,7 @@ func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
 	requests := fs.Int("requests", 50, "batch requests per client")
 	batch := fs.Int("batch", 8, "decisions per batch request")
 	seed := fs.Uint64("seed", 0, "decision root seed sent with every batch (0 = server default)")
+	policySpec := fs.String("policy", "", "policy engine stamped on every decision (e.g. multislope3; empty = target default)")
 	workers := fs.Int("workers", 0, "in-process server pool size (ignored with -target)")
 	maxInflight := fs.Int("max-inflight", 1024, "in-process server in-flight bound (ignored with -target)")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
@@ -281,6 +289,7 @@ func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
 		Requests: *requests,
 		Batch:    *batch,
 		Seed:     *seed,
+		Policy:   *policySpec,
 		Recorder: rec,
 	})
 	if err != nil {

@@ -98,7 +98,14 @@ func (t *Truncated) Quantile(p float64) float64 {
 	if p <= 0 {
 		return 0
 	}
-	return t.Base.Quantile(p * t.mass)
+	// Clamp to the truncation bound: the base quantile can land
+	// (barely) above Hi from round-off near CDF(Hi), or at +Inf when
+	// an extreme-parameter base overflows, and the truncated support
+	// is [0, Hi] by contract either way.
+	if x := t.Base.Quantile(p * t.mass); x < t.Hi {
+		return x
+	}
+	return t.Hi
 }
 
 // Mean implements Distribution.

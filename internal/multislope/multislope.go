@@ -209,6 +209,28 @@ func NewConstrained(p *Problem, stops []float64) (*Policy, error) {
 	return &Policy{name: "MS-Proposed", prob: p, segments: segs}, nil
 }
 
+// NewConstrainedFromStats bundles the paper's constrained selector per
+// segment from explicitly provided per-segment statistics: segStats[i]
+// is the pair (mu_beta_i-, q_beta_i+) measured at segment i's
+// break-even beta_i. This is the serving-side constructor: a daemon
+// that only carries constrained pairs (never raw stop samples) can
+// still build the bundle, with each segment independently playing its
+// optimal vertex.
+func NewConstrainedFromStats(p *Problem, segStats []skirental.Stats) (*Policy, error) {
+	if len(segStats) != len(p.betas) {
+		return nil, fmt.Errorf("multislope: %d segment stats for %d segments", len(segStats), len(p.betas))
+	}
+	segs := make([]skirental.Policy, len(p.betas))
+	for i, s := range segStats {
+		pol, err := skirental.NewConstrained(p.betas[i], s)
+		if err != nil {
+			return nil, fmt.Errorf("multislope: segment %d: %w", i, err)
+		}
+		segs[i] = pol
+	}
+	return &Policy{name: "MS-Proposed", prob: p, segments: segs}, nil
+}
+
 // Name returns the policy label.
 func (pl *Policy) Name() string { return pl.name }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"idlereduce/internal/fleet"
+	"idlereduce/internal/policy"
 	"idlereduce/internal/server"
 	"idlereduce/internal/simulator"
 	"idlereduce/internal/skirental"
@@ -159,6 +160,44 @@ func DefaultSuites() []Benchmark {
 			},
 		},
 		{
+			// Multislope strategy preparation: envelope construction,
+			// per-segment stats projection, and the constrained vertex
+			// selection for every segment — what the multislope3 engine
+			// pays on a cache miss or stats update.
+			Name: "multislope_prepare", Class: "cpu", Iters: 2000,
+			Setup: func() (Op, func(), error) {
+				st, err := chicagoStats()
+				if err != nil {
+					return nil, nil, err
+				}
+				eng, err := policy.Lookup(policy.MultislopeEngine)
+				if err != nil {
+					return nil, nil, err
+				}
+				s := policy.Stats{B: suiteB, Mu: st.MuBMinus, Q: st.QBPlus}
+				return func(i int) error {
+					_, err := eng.Prepare(s)
+					return err
+				}, nil, nil
+			},
+		},
+		{
+			// One multislope3 decision through the full HTTP stack: the
+			// engine dispatch, the cached (area, engine) strategy, and
+			// the two-rung schedule encoding.
+			Name: "decide_multislope", Class: "latency", Iters: 1500,
+			Setup: func() (Op, func(), error) {
+				h, err := defaultHandler()
+				if err != nil {
+					return nil, nil, err
+				}
+				return func(i int) error {
+					body := fmt.Sprintf(`{"vehicle_id":"bench-%d","area":"chicago","policy":"multislope3"}`, i)
+					return doRequest(h, "/v1/decide", body)
+				}, nil, nil
+			},
+		},
+		{
 			// The event-driven simulator over a fixed 500-stop trace
 			// with the constrained policy.
 			Name: "simulator_run", Class: "throughput", Iters: 300,
@@ -214,7 +253,7 @@ func defaultCache() (*server.Cache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return server.NewCache(areas)
+	return server.NewCache(areas, nil)
 }
 
 // defaultHandler builds a full idled handler tree (no listener) over

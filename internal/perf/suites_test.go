@@ -23,6 +23,7 @@ func TestDefaultSuitesCaptureAndSelfCompare(t *testing.T) {
 	want := []string{
 		"strategy_derive", "cache_hit", "cache_update",
 		"decide_single", "decide_custom_b", "decide_batch_64",
+		"multislope_prepare", "decide_multislope",
 		"fleet_generate", "simulator_run",
 	}
 	if len(f.Results) != len(want) {
@@ -64,14 +65,16 @@ func TestDefaultSuitesCaptureAndSelfCompare(t *testing.T) {
 // schema decision, not a refactor side effect.
 func TestSuiteNamesAreStable(t *testing.T) {
 	want := map[string]string{
-		"strategy_derive": "cpu",
-		"cache_hit":       "cpu",
-		"cache_update":    "cpu",
-		"decide_single":   "latency",
-		"decide_custom_b": "latency",
-		"decide_batch_64": "latency",
-		"fleet_generate":  "throughput",
-		"simulator_run":   "throughput",
+		"strategy_derive":    "cpu",
+		"cache_hit":          "cpu",
+		"cache_update":       "cpu",
+		"decide_single":      "latency",
+		"decide_custom_b":    "latency",
+		"decide_batch_64":    "latency",
+		"multislope_prepare": "cpu",
+		"decide_multislope":  "latency",
+		"fleet_generate":     "throughput",
+		"simulator_run":      "throughput",
 	}
 	suites := DefaultSuites()
 	if len(suites) != len(want) {

@@ -1,0 +1,80 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"idlereduce/internal/skirental"
+)
+
+// constrainedEngine is the default engine: the paper's constrained
+// single-slope policy (DAC 2014), selecting the cheapest of the four
+// vertex strategies for (B, mu_B-, q_B+). It delegates every
+// computation to the skirental package, so serving through the engine
+// abstraction is bit-identical to serving skirental directly.
+type constrainedEngine struct{}
+
+func init() { Register(constrainedEngine{}) }
+
+// Name implements Engine.
+func (constrainedEngine) Name() string { return DefaultEngine }
+
+// Version implements Engine.
+func (constrainedEngine) Version() int { return 1 }
+
+// Doc implements Engine.
+func (constrainedEngine) Doc() string {
+	return "single-slope constrained vertex selection (DET/TOI/b-DET/N-Rand) of the paper"
+}
+
+// Prepare implements Engine.
+func (constrainedEngine) Prepare(s Stats) (Strategy, error) {
+	p, err := skirental.NewConstrained(s.B, skirental.Stats{MuBMinus: s.Mu, QBPlus: s.Q})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+	}
+	return &constrainedStrategy{p: p, stats: s, choice: p.Choice().String()}, nil
+}
+
+// constrainedStrategy wraps the prepared vertex selection. The choice
+// label is rendered once at Prepare time so Decide — the per-request
+// hot path — only draws the threshold.
+type constrainedStrategy struct {
+	p      *skirental.Constrained
+	stats  Stats
+	choice string
+}
+
+// Decide implements Strategy. The RNG is consumed exactly as the
+// pre-engine server did: one Threshold call on the selected vertex.
+func (c *constrainedStrategy) Decide(rng *rand.Rand) Decision {
+	return Decision{
+		Choice:        c.choice,
+		ThresholdSec:  c.p.Threshold(rng),
+		WorstCaseCost: c.p.WorstCaseCost(),
+		WorstCaseCR:   c.p.WorstCaseCR(),
+	}
+}
+
+// Explain implements Strategy, rendered on demand: the default wire
+// format never carries it, so no serving path pays for the string.
+func (c *constrainedStrategy) Explain() string {
+	return fmt.Sprintf("constrained@v1: B=%g mu=%g q=%g -> vertex %s (worst-case cost %g)",
+		c.stats.B, c.stats.Mu, c.stats.Q, c.p.Choice(), c.p.WorstCaseCost())
+}
+
+// Describe implements Strategy. ThresholdSec is -1 for N-Rand, whose
+// threshold is drawn per request — the same convention AreaInfo used
+// before the engine extraction.
+func (c *constrainedStrategy) Describe() Description {
+	d := Description{
+		Choice:        c.p.Choice().String(),
+		ThresholdSec:  -1,
+		WorstCaseCost: c.p.WorstCaseCost(),
+		WorstCaseCR:   c.p.WorstCaseCR(),
+	}
+	if det, ok := c.p.Inner().(*skirental.Deterministic); ok {
+		d.ThresholdSec = det.X()
+	}
+	return d
+}

@@ -1,0 +1,188 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"idlereduce/internal/multislope"
+	"idlereduce/internal/skirental"
+)
+
+// multislopeEngine serves the three-state automotive powertrain
+// (engine idling / fuel-cut accessory idle / engine off) as a
+// multislope ski-rental bundle: one constrained vertex selection per
+// adjacent state pair (Lotker/Patt-Shamir/Rawitz decomposition, see
+// internal/multislope). The instance is multislope.AutomotiveThreeState
+// at the area's break-even interval.
+//
+// Segment statistics are projected from the area pair (B, mu_B-, q_B+)
+// via the canonical two-point representation: short mass 1-q at the
+// mean short stop s = mu/(1-q), long mass q beyond every break-even.
+// At a segment break-even beta this yields (mu, q) when s <= beta and
+// (0, 1) when the mean short stop itself outlives the segment — the
+// only projection that is always feasible and uses exactly the
+// information the serving plane carries.
+type multislopeEngine struct{}
+
+func init() { Register(multislopeEngine{}) }
+
+// MultislopeEngine is the registry name of the three-state multislope
+// engine.
+const MultislopeEngine = "multislope3"
+
+// Name implements Engine.
+func (multislopeEngine) Name() string { return MultislopeEngine }
+
+// Version implements Engine.
+func (multislopeEngine) Version() int { return 1 }
+
+// Doc implements Engine.
+func (multislopeEngine) Doc() string {
+	return "three-state powertrain multislope ski rental: per-segment constrained vertex bundle"
+}
+
+// threeStateNames label the rungs of the automotive instance's state
+// ladder on the wire.
+var threeStateNames = []string{"idle", "fuel_cut", "engine_off"}
+
+// Prepare implements Engine.
+func (multislopeEngine) Prepare(s Stats) (Strategy, error) {
+	if err := (skirental.Stats{MuBMinus: s.Mu, QBPlus: s.Q}).Validate(s.B); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+	}
+	prob, err := multislope.AutomotiveThreeState(s.B)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+	}
+	betas := prob.Breakpoints()
+	segStats := make([]skirental.Stats, len(betas))
+	for i, beta := range betas {
+		segStats[i] = projectStats(s, beta)
+	}
+	pl, err := multislope.NewConstrainedFromStats(prob, segStats)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+	}
+	st := &multislopeStrategy{prob: prob, bundle: pl, stats: s, segStats: segStats}
+	if err := st.precompute(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// projectStats maps the area pair to segment break-even beta under the
+// two-point representation (see the engine comment).
+func projectStats(s Stats, beta float64) skirental.Stats {
+	if s.Q >= 1 {
+		return skirental.Stats{MuBMinus: 0, QBPlus: 1}
+	}
+	if short := s.Mu / (1 - s.Q); short > beta {
+		return skirental.Stats{MuBMinus: 0, QBPlus: 1}
+	}
+	return skirental.Stats{MuBMinus: s.Mu, QBPlus: s.Q}
+}
+
+// multislopeStrategy is the prepared three-state bundle plus its
+// precomputed bounds and explain record.
+type multislopeStrategy struct {
+	prob     *multislope.Problem
+	bundle   *multislope.Policy
+	stats    Stats
+	segStats []skirental.Stats
+
+	// segments are the per-segment constrained selections; names label
+	// the state ladder the schedule walks down.
+	segments []*skirental.Constrained
+	names    []string
+
+	choice        string
+	worstCost     float64
+	worstCR       float64
+	explain       string
+	deterministic bool
+}
+
+// precompute derives the bundle's selection labels, worst-case bounds
+// (the sum of the segment bounds, an upper bound per the decomposition)
+// and the explain record.
+func (m *multislopeStrategy) precompute() error {
+	dr, _ := m.prob.Segments()
+	m.names = threeStateNames
+	if n := len(m.prob.Slopes()); n != len(m.names) {
+		// The envelope dropped a dominated state; fall back to indexed
+		// names so the schedule stays well-formed.
+		m.names = make([]string, n)
+		for i := range m.names {
+			m.names[i] = fmt.Sprintf("state_%d", i)
+		}
+	}
+	betas := m.prob.Breakpoints()
+	var choices []string
+	var exp strings.Builder
+	fmt.Fprintf(&exp, "%s@v1: B=%g two-point projection", MultislopeEngine, m.stats.B)
+	m.deterministic = true
+	var cost, offline float64
+	for i, seg := range m.bundle.SegmentPolicies() {
+		c, ok := seg.(*skirental.Constrained)
+		if !ok {
+			return fmt.Errorf("%w: segment %d is %T, want constrained", ErrInfeasible, i, seg)
+		}
+		m.segments = append(m.segments, c)
+		choices = append(choices, c.Choice().String())
+		if c.Choice() == skirental.ChoiceNRand {
+			m.deterministic = false
+		}
+		cost += dr[i] * c.WorstCaseCost()
+		offline += dr[i] * m.segStats[i].OfflineCost(betas[i])
+		fmt.Fprintf(&exp, "; seg%d beta=%.4g (mu=%.4g, q=%.4g) -> %s",
+			i, betas[i], m.segStats[i].MuBMinus, m.segStats[i].QBPlus, c.Choice())
+	}
+	m.choice = "MS:" + strings.Join(choices, "+")
+	m.worstCost = cost
+	m.worstCR = 1
+	if offline > 0 {
+		m.worstCR = cost / offline
+	}
+	fmt.Fprintf(&exp, "; worst-case cost %.6g", cost)
+	m.explain = exp.String()
+	return nil
+}
+
+// Decide implements Strategy: one threshold draw per segment, in
+// ladder order, so RNG consumption is fixed and replayable.
+func (m *multislopeStrategy) Decide(rng *rand.Rand) Decision {
+	schedule := make([]Action, len(m.segments))
+	for i, seg := range m.segments {
+		schedule[i] = Action{State: m.names[i+1], AtSec: seg.Threshold(rng)}
+	}
+	return Decision{
+		Choice:        m.choice,
+		ThresholdSec:  schedule[len(schedule)-1].AtSec,
+		Schedule:      schedule,
+		WorstCaseCost: m.worstCost,
+		WorstCaseCR:   m.worstCR,
+	}
+}
+
+// Explain implements Strategy. The record is rendered once at Prepare
+// time: it documents the segment decomposition, not a single draw.
+func (m *multislopeStrategy) Explain() string { return m.explain }
+
+// Describe implements Strategy.
+func (m *multislopeStrategy) Describe() Description {
+	d := Description{
+		Choice:        m.choice,
+		ThresholdSec:  -1,
+		WorstCaseCost: m.worstCost,
+		WorstCaseCR:   m.worstCR,
+	}
+	if m.deterministic {
+		// Every rung is fixed: the engine-off threshold is the last
+		// segment's deterministic switch time.
+		if det, ok := m.segments[len(m.segments)-1].Inner().(*skirental.Deterministic); ok {
+			d.ThresholdSec = det.X()
+		}
+	}
+	return d
+}

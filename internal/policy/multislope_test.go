@@ -1,0 +1,152 @@
+package policy
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"idlereduce/internal/skirental"
+)
+
+func mustConstrained(t *testing.T, s Stats) *skirental.Constrained {
+	t.Helper()
+	p, err := skirental.NewConstrained(s.B, skirental.Stats{MuBMinus: s.Mu, QBPlus: s.Q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func prepareMS(t *testing.T, s Stats) Strategy {
+	t.Helper()
+	e, err := Lookup(MultislopeEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := e.Prepare(s)
+	if err != nil {
+		t.Fatalf("Prepare(%+v): %v", s, err)
+	}
+	return strat
+}
+
+// TestMultislopeScheduleShape: a three-state decision is a two-rung
+// ladder (fuel_cut, engine_off) with finite non-negative switch times,
+// and the top-level threshold is the engine-off rung.
+func TestMultislopeScheduleShape(t *testing.T) {
+	for _, s := range []Stats{
+		{B: 28, Mu: 8, Q: 0.13},
+		{B: 28, Mu: 4, Q: 0.25},
+		{B: 60, Mu: 20, Q: 0.4},
+		{B: 11, Mu: 0, Q: 1},
+	} {
+		strat := prepareMS(t, s)
+		dec := strat.Decide(rand.New(rand.NewPCG(1, 2)))
+		if len(dec.Schedule) != 2 {
+			t.Fatalf("stats %+v: %d schedule rungs, want 2", s, len(dec.Schedule))
+		}
+		if dec.Schedule[0].State != "fuel_cut" || dec.Schedule[1].State != "engine_off" {
+			t.Fatalf("stats %+v: schedule states %q, %q", s, dec.Schedule[0].State, dec.Schedule[1].State)
+		}
+		for _, a := range dec.Schedule {
+			if math.IsNaN(a.AtSec) || math.IsInf(a.AtSec, 0) || a.AtSec < 0 {
+				t.Fatalf("stats %+v: rung %s at %v", s, a.State, a.AtSec)
+			}
+		}
+		if dec.ThresholdSec != dec.Schedule[1].AtSec {
+			t.Fatalf("threshold %v is not the engine_off rung %v", dec.ThresholdSec, dec.Schedule[1].AtSec)
+		}
+		if !strings.HasPrefix(dec.Choice, "MS:") {
+			t.Fatalf("choice %q lacks the MS: bundle prefix", dec.Choice)
+		}
+		if dec.WorstCaseCost <= 0 || dec.WorstCaseCR < 1 {
+			t.Fatalf("bounds (%v, %v) out of range", dec.WorstCaseCost, dec.WorstCaseCR)
+		}
+		if exp := strat.Explain(); !strings.Contains(exp, "seg1") {
+			t.Fatalf("explain %q does not document the segments", exp)
+		}
+	}
+}
+
+// TestMultislopeDeterministicReplay: identical stats and RNG streams
+// must reproduce the decision bit-for-bit — the property audit
+// verification relies on.
+func TestMultislopeDeterministicReplay(t *testing.T) {
+	s := Stats{B: 28, Mu: 4, Q: 0.25}
+	a := prepareMS(t, s).Decide(rand.New(rand.NewPCG(9, 3)))
+	b := prepareMS(t, s).Decide(rand.New(rand.NewPCG(9, 3)))
+	if a.Choice != b.Choice || len(a.Schedule) != len(b.Schedule) {
+		t.Fatalf("replay diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.Schedule {
+		if math.Float64bits(a.Schedule[i].AtSec) != math.Float64bits(b.Schedule[i].AtSec) {
+			t.Fatalf("rung %d: %v vs %v", i, a.Schedule[i].AtSec, b.Schedule[i].AtSec)
+		}
+	}
+	if math.Float64bits(a.ThresholdSec) != math.Float64bits(b.ThresholdSec) {
+		t.Fatalf("threshold: %v vs %v", a.ThresholdSec, b.ThresholdSec)
+	}
+}
+
+// TestMultislopeInfeasible: break-evens too small for the three-state
+// instance and infeasible area pairs surface as ErrInfeasible, the
+// class the server maps to a 4xx.
+func TestMultislopeInfeasible(t *testing.T) {
+	e, _ := Lookup(MultislopeEngine)
+	for _, s := range []Stats{
+		{B: 8, Mu: 2, Q: 0.1},   // AutomotiveThreeState needs B > 10
+		{B: 10, Mu: 1, Q: 0.1},  // boundary
+		{B: 28, Mu: 30, Q: 0.5}, // pair infeasible at B
+		{B: math.NaN(), Mu: 1, Q: 0.1},
+	} {
+		if _, err := e.Prepare(s); !errors.Is(err, ErrInfeasible) {
+			t.Errorf("Prepare(%+v) = %v, want ErrInfeasible", s, err)
+		}
+	}
+}
+
+// TestProjectStats pins the two-point projection: segments whose
+// break-even the mean short stop outlives see (0, 1); later segments
+// keep the area pair, which stays feasible at any larger break-even.
+func TestProjectStats(t *testing.T) {
+	s := Stats{B: 28, Mu: 8, Q: 0.13} // mean short stop 8/0.87 = 9.195s
+	if got := projectStats(s, 7.27); got.QBPlus != 1 || got.MuBMinus != 0 {
+		t.Errorf("beta 7.27: %+v, want (0, 1)", got)
+	}
+	if got := projectStats(s, 53.3); got.QBPlus != 0.13 || got.MuBMinus != 8 {
+		t.Errorf("beta 53.3: %+v, want area pair", got)
+	}
+	if got := projectStats(Stats{B: 28, Mu: 0, Q: 1}, 12); got.QBPlus != 1 || got.MuBMinus != 0 {
+		t.Errorf("all-long area: %+v, want (0, 1)", got)
+	}
+	// Every projection must validate at its segment break-even.
+	for _, beta := range []float64{0.5, 7.27, 28, 53.3, 500} {
+		for _, st := range []Stats{s, {B: 28, Mu: 0, Q: 1}, {B: 28, Mu: 24, Q: 0}} {
+			p := projectStats(st, beta)
+			if err := p.Validate(beta); err != nil {
+				t.Errorf("projection of %+v at beta %v infeasible: %v", st, beta, err)
+			}
+		}
+	}
+}
+
+// TestMultislopeDescribe: the listing description is deterministic
+// only when every segment selected a fixed-threshold vertex.
+func TestMultislopeDescribe(t *testing.T) {
+	// All-long area: every segment plays TOI (threshold 0) — fully
+	// deterministic ladder.
+	d := prepareMS(t, Stats{B: 11, Mu: 0, Q: 1}).Describe()
+	if d.ThresholdSec < 0 {
+		t.Errorf("deterministic bundle described with drawn threshold: %+v", d)
+	}
+	if d.Choice != "MS:TOI+TOI" {
+		t.Errorf("all-long choice %q, want MS:TOI+TOI", d.Choice)
+	}
+	// N-Rand-region area: at least one randomized segment.
+	d = prepareMS(t, Stats{B: 28, Mu: 4, Q: 0.25}).Describe()
+	if strings.Contains(d.Choice, "N-Rand") && d.ThresholdSec != -1 {
+		t.Errorf("randomized bundle %q described with fixed threshold %v", d.Choice, d.ThresholdSec)
+	}
+}

@@ -22,6 +22,13 @@ type DecideRequest struct {
 	// pure function of (seed, vehicle_id, area, b) and the area's
 	// current statistics.
 	Seed uint64 `json:"seed,omitempty"`
+	// Policy optionally selects the policy engine serving this request:
+	// a registered engine name ("constrained", "multislope3"), with an
+	// optional version pin ("multislope3@v1"). Empty uses the daemon's
+	// default engine. Unknown engines are a 400 with code
+	// unknown_policy; engines that cannot serve the area's statistics
+	// are a 400 with code invalid_policy_params.
+	Policy string `json:"policy,omitempty"`
 }
 
 // DecideResponse is the decision for one stop.
@@ -47,6 +54,26 @@ type DecideResponse struct {
 	// per-area strategy cache (true) or was derived for a custom B
 	// (false).
 	Cached bool `json:"cached"`
+	// Policy is the canonical engine spec ("name@vN") that produced the
+	// decision. Omitted on the default constrained path, so replies
+	// that do not opt into an engine are byte-identical to the
+	// pre-engine wire format.
+	Policy string `json:"policy,omitempty"`
+	// Schedule is the multi-state action ladder for engines with more
+	// than one controlled transition (e.g. multislope3 emits fuel_cut
+	// then engine_off rungs). Single-threshold engines omit it;
+	// ThresholdSec then carries the whole decision.
+	Schedule []ScheduleAction `json:"schedule,omitempty"`
+	// Explain is the engine's human-readable derivation record.
+	// Omitted on the default path.
+	Explain string `json:"explain,omitempty"`
+}
+
+// ScheduleAction is one rung of a multi-state decision ladder: enter
+// State once the stop has lasted AtSec seconds.
+type ScheduleAction struct {
+	State string  `json:"state"`
+	AtSec float64 `json:"at_sec"`
 }
 
 // BatchDecideRequest fans one decision per item over the server's
@@ -101,6 +128,14 @@ type AreaInfo struct {
 	WorstCaseCR   float64 `json:"worst_case_cr"`
 	// Version counts statistics swaps since boot (starts at 1).
 	Version uint64 `json:"version"`
+	// Policy names the engine the listing was rendered for. Omitted
+	// for the default constrained engine, so the default listing is
+	// byte-identical to the pre-engine wire format.
+	Policy string `json:"policy,omitempty"`
+	// Error is set instead of the strategy fields when the selected
+	// engine cannot serve this area's statistics (GET /v1/areas with a
+	// ?policy= override only; the default listing never errors).
+	Error string `json:"error,omitempty"`
 }
 
 // AreasResponse lists every configured area, sorted by ID.
@@ -108,12 +143,33 @@ type AreasResponse struct {
 	Areas []AreaInfo `json:"areas"`
 }
 
+// PolicyInfo describes one registered policy engine
+// (GET /v1/policies).
+type PolicyInfo struct {
+	// Name is the registry name; Spec is the canonical "name@vN" form
+	// requests may pin.
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	Spec    string `json:"spec"`
+	Doc     string `json:"doc"`
+	// Default marks the engine this daemon serves when a request does
+	// not carry a policy field.
+	Default bool `json:"default,omitempty"`
+}
+
+// PoliciesResponse lists the registered policy engines, sorted by
+// name.
+type PoliciesResponse struct {
+	Policies []PolicyInfo `json:"policies"`
+}
+
 // APIError is the structured error body every non-2xx reply carries:
 //
 //	{"error": {"code": "unknown_area", "message": "...", "status": 404}}
 type APIError struct {
 	// Code is a stable machine-readable identifier: bad_request,
-	// invalid_stats, unknown_area, not_found, method_not_allowed,
+	// invalid_stats, unknown_area, unknown_policy,
+	// invalid_policy_params, not_found, method_not_allowed,
 	// overloaded, too_large, internal.
 	Code string `json:"code"`
 	// Message is the human-readable detail.

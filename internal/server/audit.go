@@ -9,16 +9,16 @@ import (
 	"strings"
 
 	"idlereduce/internal/parallel"
-	"idlereduce/internal/skirental"
+	"idlereduce/internal/policy"
 )
 
 // AuditRecord is one line of the decision audit log: everything needed
-// to re-derive the decision from scratch — the statistics the policy
-// was built from, the effective break-even interval, and the RNG
-// seed/stream pair — plus the decision itself. Because a decision is a
-// pure function of (b, mu, q, seed, stream), a recorded run can be
-// replayed through the ski-rental engine and checked bit-for-bit; see
-// VerifyAudit.
+// to re-derive the decision from scratch — the statistics the strategy
+// was built from, the effective break-even interval, the policy engine
+// and its version, and the RNG seed/stream pair — plus the decision
+// itself. Because a decision is a pure function of (engine, b, mu, q,
+// seed, stream), a recorded run can be replayed through the registered
+// engine and checked bit-for-bit; see VerifyAudit.
 type AuditRecord struct {
 	// TSUnixMS is the decision wall-clock time (forensics only; replay
 	// does not depend on it).
@@ -43,6 +43,14 @@ type AuditRecord struct {
 	// Choice and ThresholdSec are the decision under audit.
 	Choice       string  `json:"choice"`
 	ThresholdSec float64 `json:"threshold_sec"`
+	// Policy and PolicyVersion identify the engine that served the
+	// decision. Empty/zero in records written before the engine
+	// extraction; such records replay as the constrained default.
+	Policy        string `json:"policy,omitempty"`
+	PolicyVersion int    `json:"policy_version,omitempty"`
+	// Schedule is the full action ladder of multi-state engines;
+	// single-threshold decisions omit it.
+	Schedule []ScheduleAction `json:"schedule,omitempty"`
 }
 
 // AuditVerifyReport summarizes one replay-verification pass.
@@ -82,11 +90,15 @@ func (r AuditVerifyReport) String() string {
 // maxVerifyDetails bounds the per-failure detail lines in the report.
 const maxVerifyDetails = 10
 
-// VerifyAudit replays every audit record through the pure ski-rental
-// engine and compares the recorded decision bit-for-bit: the stream
-// derivation, the vertex selection, and the threshold draw must all
-// reproduce. This turns the engine's determinism from a test property
-// into an operator-checkable invariant over a recorded serving run.
+// VerifyAudit replays every audit record through its recorded policy
+// engine and compares the decision bit-for-bit: the stream derivation,
+// the strategy selection, the threshold draw, and (for multi-state
+// engines) every schedule rung must all reproduce. This turns engine
+// determinism from a test property into an operator-checkable
+// invariant over a recorded serving run, uniformly across engines.
+// Records written by a different engine version than the registered
+// one are reported as mismatches (version drift), not silently
+// re-attested.
 //
 // A truncated final line (crash mid-append) is skipped and flagged;
 // undecodable lines elsewhere count as corrupt. Only I/O failures
@@ -145,16 +157,34 @@ func replayRecord(rec AuditRecord) string {
 	if stream != rec.Stream {
 		return fmt.Sprintf("stream %d does not re-derive (got %d)", rec.Stream, stream)
 	}
-	policy, err := skirental.NewConstrained(rec.B, skirental.Stats{MuBMinus: rec.Mu, QBPlus: rec.Q})
+	eng, err := policy.Lookup(rec.Policy)
+	if err != nil {
+		return fmt.Sprintf("engine %q is not replayable: %v", rec.Policy, err)
+	}
+	if rec.PolicyVersion != 0 && rec.PolicyVersion != eng.Version() {
+		return fmt.Sprintf("engine %s recorded at v%d, registered is v%d (version drift)",
+			eng.Name(), rec.PolicyVersion, eng.Version())
+	}
+	prep, err := eng.Prepare(policy.Stats{B: rec.B, Mu: rec.Mu, Q: rec.Q})
 	if err != nil {
 		return fmt.Sprintf("recorded stats infeasible on replay: %v", err)
 	}
-	if got := policy.Choice().String(); got != rec.Choice {
-		return fmt.Sprintf("choice %s replayed as %s", rec.Choice, got)
+	dec := prep.Decide(parallel.RNG(rec.Seed, stream))
+	if dec.Choice != rec.Choice {
+		return fmt.Sprintf("choice %s replayed as %s", rec.Choice, dec.Choice)
 	}
-	got := policy.Threshold(parallel.RNG(rec.Seed, stream))
-	if math.Float64bits(got) != math.Float64bits(rec.ThresholdSec) {
-		return fmt.Sprintf("threshold %v replayed as %v", rec.ThresholdSec, got)
+	if math.Float64bits(dec.ThresholdSec) != math.Float64bits(rec.ThresholdSec) {
+		return fmt.Sprintf("threshold %v replayed as %v", rec.ThresholdSec, dec.ThresholdSec)
+	}
+	if len(dec.Schedule) != len(rec.Schedule) {
+		return fmt.Sprintf("schedule of %d rungs replayed with %d", len(rec.Schedule), len(dec.Schedule))
+	}
+	for i, got := range dec.Schedule {
+		want := rec.Schedule[i]
+		if got.State != want.State || math.Float64bits(got.AtSec) != math.Float64bits(want.AtSec) {
+			return fmt.Sprintf("schedule rung %d (%s at %v) replayed as %s at %v",
+				i, want.State, want.AtSec, got.State, got.AtSec)
+		}
 	}
 	return ""
 }

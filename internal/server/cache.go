@@ -1,7 +1,9 @@
 package server
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 	"strings"
@@ -9,13 +11,14 @@ import (
 	"sync/atomic"
 
 	"idlereduce/internal/obs"
+	"idlereduce/internal/policy"
 	"idlereduce/internal/skirental"
 )
 
 // AreaState is the serving configuration of one statistics area: the
-// break-even interval B and the constrained pair (mu_B-, q_B+) the
-// vertex selection is derived from. It is what the -areas config file
-// holds and what a stats update replaces.
+// break-even interval B and the constrained pair (mu_B-, q_B+) every
+// policy engine derives its strategy from. It is what the -areas
+// config file holds and what a stats update replaces.
 type AreaState struct {
 	// ID is the lookup key (case-insensitive, stored lowercase).
 	ID string `json:"id"`
@@ -32,6 +35,15 @@ func (a AreaState) Stats() skirental.Stats {
 	return skirental.Stats{MuBMinus: a.Mu, QBPlus: a.Q}
 }
 
+// PolicyStats returns the engine view of the area at break-even b
+// (b <= 0 means the area default).
+func (a AreaState) PolicyStats(b float64) policy.Stats {
+	if b <= 0 {
+		b = a.B
+	}
+	return policy.Stats{B: b, Mu: a.Mu, Q: a.Q}
+}
+
 // Validate checks the state is servable: non-empty ID and a feasible
 // (B, mu, q) triple.
 func (a AreaState) Validate() error {
@@ -44,139 +56,307 @@ func (a AreaState) Validate() error {
 	return nil
 }
 
-// strategy is one immutable cache entry: the area state plus everything
-// decide needs precomputed — the selected policy, its vertex costs and
-// the guaranteed bounds. Entries are never mutated after construction;
-// updates build a fresh entry and swap the whole map.
-type strategy struct {
-	state   AreaState
-	policy  *skirental.Constrained
-	costs   skirental.VertexCosts
-	version uint64
-	// latMetric/cntMetric are the area's pre-formatted attribution
-	// metric names (decide_area_ms{area=...} / decide_area_total{...}),
-	// built once here so the decide hot path never formats labels.
+// areaRec is the per-area serving record shared by every engine's
+// cache entries: the current state, its statistics version, and the
+// pre-formatted attribution metric names (decide_area_ms{area=...} /
+// decide_area_total{...}) built once so the decide hot path never
+// formats labels. Records are immutable; a stats update builds a fresh
+// one.
+type areaRec struct {
+	state     AreaState
+	version   uint64
 	latMetric string
 	cntMetric string
 }
 
-// newStrategy precomputes the vertex selection for one area state.
-func newStrategy(state AreaState, version uint64) (*strategy, error) {
+// newAreaRec validates and normalizes one area state.
+func newAreaRec(state AreaState, version uint64) (*areaRec, error) {
 	state.ID = strings.ToLower(strings.TrimSpace(state.ID))
 	if err := state.Validate(); err != nil {
 		return nil, err
 	}
-	p, err := skirental.NewConstrained(state.B, state.Stats())
-	if err != nil {
-		return nil, fmt.Errorf("server: area %s: %w", state.ID, err)
-	}
-	return &strategy{
+	return &areaRec{
 		state:     state,
-		policy:    p,
-		costs:     skirental.ComputeVertexCosts(state.B, state.Stats()),
 		version:   version,
 		latMetric: obs.L("decide_area_ms", "area", state.ID),
 		cntMetric: obs.L("decide_area_total", "area", state.ID),
 	}, nil
 }
 
-// Info renders the entry as the wire AreaInfo.
+// Key identifies one cache entry: the area, the policy engine, and the
+// fingerprint of the engine parameters the strategy was prepared with
+// (today the effective break-even interval). Distinct engines — and
+// distinct parameterizations of one engine — never collide.
+type Key struct {
+	Area   string
+	Engine string
+	Params uint64
+}
+
+// paramsHash fingerprints the engine parameters of a prepared
+// strategy. The break-even interval is hashed by bit pattern, so
+// semantically different floats (including negative zero vs zero)
+// never alias.
+func paramsHash(b float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(b))
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// strategy is one immutable cache entry: the area record plus the
+// engine-prepared policy. Entries are never mutated after
+// construction; updates build fresh entries and swap the whole map.
+type strategy struct {
+	rec  *areaRec
+	eng  policy.Engine
+	prep policy.Strategy
+}
+
+// key returns the entry's cache key.
+func (s *strategy) key() Key {
+	return Key{Area: s.rec.state.ID, Engine: s.eng.Name(), Params: paramsHash(s.rec.state.B)}
+}
+
+// Info renders the entry as the wire AreaInfo. The Policy field is set
+// only for non-default engines, so the default listing's bytes are
+// unchanged from the pre-engine server.
 func (s *strategy) Info() AreaInfo {
+	d := s.prep.Describe()
 	info := AreaInfo{
-		ID:            s.state.ID,
-		B:             s.state.B,
-		Mu:            s.state.Mu,
-		Q:             s.state.Q,
-		Choice:        s.policy.Choice().String(),
-		ThresholdSec:  -1,
-		WorstCaseCost: s.policy.WorstCaseCost(),
-		WorstCaseCR:   s.policy.WorstCaseCR(),
-		Version:       s.version,
+		ID:            s.rec.state.ID,
+		B:             s.rec.state.B,
+		Mu:            s.rec.state.Mu,
+		Q:             s.rec.state.Q,
+		Choice:        d.Choice,
+		ThresholdSec:  d.ThresholdSec,
+		WorstCaseCost: d.WorstCaseCost,
+		WorstCaseCR:   d.WorstCaseCR,
+		Version:       s.rec.version,
 	}
-	if det, ok := s.policy.Inner().(*skirental.Deterministic); ok {
-		info.ThresholdSec = det.X()
+	if s.eng.Name() != policy.DefaultEngine {
+		info.Policy = s.eng.Name()
 	}
 	return info
 }
 
-// Cache is the read-mostly per-area strategy cache. Reads are a single
-// atomic pointer load plus a map lookup — no locks on the decide path.
-// Writers serialize on mu and publish copy-on-write: build the new
-// entry, clone the map, swap the pointer. Readers holding the old map
-// keep a consistent snapshot.
-type Cache struct {
-	mu      sync.Mutex
-	entries atomic.Pointer[map[string]*strategy]
+// snapshot is one immutable cache generation: the area records plus
+// the prepared per-engine strategies.
+type snapshot struct {
+	areas   map[string]*areaRec
+	entries map[Key]*strategy
 }
 
-// NewCache builds the cache from the boot-time area states. Duplicate
-// IDs (after lowercasing) are rejected.
-func NewCache(areas []AreaState) (*Cache, error) {
+// Cache is the read-mostly strategy cache, keyed {area, engine,
+// params-hash}. Reads are a single atomic pointer load plus map
+// lookups — no locks on the decide path. Writers serialize on mu and
+// publish copy-on-write: build the new entries, clone the maps, swap
+// the pointer. Readers holding the old snapshot keep a consistent
+// view.
+//
+// Entries for the eager engines (the registry default plus the
+// daemon's serving default) are prepared at boot and on every stats
+// update, so a misconfigured server never starts and default-path
+// requests never pay a prepare. Other engines fill in lazily on first
+// use and are invalidated by stats updates.
+type Cache struct {
+	mu    sync.Mutex
+	snap  atomic.Pointer[snapshot]
+	eager []policy.Engine
+}
+
+// NewCache builds the cache from the boot-time area states, preparing
+// every eager engine for every area. Duplicate IDs (after
+// lowercasing) are rejected. The registry default engine is always
+// eager.
+func NewCache(areas []AreaState, eager []policy.Engine) (*Cache, error) {
 	if len(areas) == 0 {
 		return nil, fmt.Errorf("server: no areas configured")
 	}
-	m := make(map[string]*strategy, len(areas))
+	def, _ := policy.Get(policy.DefaultEngine)
+	engines := []policy.Engine{def}
+	for _, e := range eager {
+		if e != nil && e.Name() != policy.DefaultEngine {
+			engines = append(engines, e)
+		}
+	}
+	sn := &snapshot{
+		areas:   make(map[string]*areaRec, len(areas)),
+		entries: make(map[Key]*strategy, len(areas)*len(engines)),
+	}
 	for _, a := range areas {
-		e, err := newStrategy(a, 1)
+		rec, err := newAreaRec(a, 1)
 		if err != nil {
 			return nil, err
 		}
-		if _, dup := m[e.state.ID]; dup {
-			return nil, fmt.Errorf("server: duplicate area id %q", e.state.ID)
+		if _, dup := sn.areas[rec.state.ID]; dup {
+			return nil, fmt.Errorf("server: duplicate area id %q", rec.state.ID)
 		}
-		m[e.state.ID] = e
+		sn.areas[rec.state.ID] = rec
+		for _, eng := range engines {
+			st, err := prepare(rec, eng)
+			if err != nil {
+				return nil, err
+			}
+			sn.entries[st.key()] = st
+		}
 	}
-	c := &Cache{}
-	c.entries.Store(&m)
+	c := &Cache{eager: engines}
+	c.snap.Store(sn)
 	return c, nil
 }
 
-// Get returns the current strategy of an area (case-insensitive).
-func (c *Cache) Get(id string) (*strategy, bool) {
-	m := *c.entries.Load()
-	s, ok := m[strings.ToLower(strings.TrimSpace(id))]
-	return s, ok
+// prepare builds one cache entry.
+func prepare(rec *areaRec, eng policy.Engine) (*strategy, error) {
+	prep, err := eng.Prepare(rec.state.PolicyStats(0))
+	if err != nil {
+		return nil, fmt.Errorf("server: area %s: engine %s: %w", rec.state.ID, eng.Name(), err)
+	}
+	return &strategy{rec: rec, eng: eng, prep: prep}, nil
 }
 
-// Update swaps in new statistics for an existing area. b <= 0 keeps the
-// area's current break-even interval. The new entry is fully validated
-// and precomputed before publication, so concurrent readers only ever
-// observe servable strategies.
+// Area returns the current record of an area (case-insensitive).
+func (c *Cache) Area(id string) (*areaRec, bool) {
+	sn := c.snap.Load()
+	rec, ok := sn.areas[strings.ToLower(strings.TrimSpace(id))]
+	return rec, ok
+}
+
+// Get returns an area's default-engine strategy (the legacy lookup
+// surface; always present for configured areas).
+func (c *Cache) Get(id string) (*strategy, bool) {
+	rec, ok := c.Area(id)
+	if !ok {
+		return nil, false
+	}
+	sn := c.snap.Load()
+	st, ok := sn.entries[Key{Area: rec.state.ID, Engine: policy.DefaultEngine, Params: paramsHash(rec.state.B)}]
+	return st, ok
+}
+
+// Strategy returns the prepared strategy of (area, engine) at the
+// area's default break-even. Eager engines always hit; other engines
+// prepare lazily on first use, publish copy-on-write, and hit from
+// then on. An engine that cannot serve the area's statistics returns
+// the prepare error (wrapping policy.ErrInfeasible) without caching
+// the failure.
+func (c *Cache) Strategy(rec *areaRec, eng policy.Engine) (*strategy, error) {
+	key := Key{Area: rec.state.ID, Engine: eng.Name(), Params: paramsHash(rec.state.B)}
+	if st, ok := c.snap.Load().entries[key]; ok && st.rec == rec {
+		return st, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sn := c.snap.Load()
+	// Re-check under the lock; another request may have prepared it,
+	// and the area may have been re-stated since the caller's lookup.
+	cur, ok := sn.areas[rec.state.ID]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown area %q", rec.state.ID)
+	}
+	key.Params = paramsHash(cur.state.B)
+	if st, ok := sn.entries[key]; ok && st.rec == cur {
+		return st, nil
+	}
+	st, err := prepare(cur, eng)
+	if err != nil {
+		return nil, err
+	}
+	next := &snapshot{areas: sn.areas, entries: make(map[Key]*strategy, len(sn.entries)+1)}
+	for k, v := range sn.entries {
+		next.entries[k] = v
+	}
+	next.entries[st.key()] = st
+	c.snap.Store(next)
+	return st, nil
+}
+
+// Update swaps in new statistics for an existing area. b <= 0 keeps
+// the area's current break-even interval. Every eager engine is
+// re-prepared and validated before publication — a stats update that
+// any serving-default engine cannot serve is rejected whole — and
+// lazily-cached entries of other engines are dropped so they rebuild
+// against the new statistics on next use. Returns the area's new
+// default-engine strategy.
 func (c *Cache) Update(id string, b float64, s skirental.Stats) (*strategy, error) {
 	key := strings.ToLower(strings.TrimSpace(id))
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	old := *c.entries.Load()
-	prev, ok := old[key]
+	sn := c.snap.Load()
+	prev, ok := sn.areas[key]
 	if !ok {
 		return nil, fmt.Errorf("server: unknown area %q", id)
 	}
 	if b <= 0 || math.IsNaN(b) {
 		b = prev.state.B
 	}
-	next, err := newStrategy(AreaState{ID: key, B: b, Mu: s.MuBMinus, Q: s.QBPlus}, prev.version+1)
-	if err != nil {
+	state := AreaState{ID: key, B: b, Mu: s.MuBMinus, Q: s.QBPlus}
+	if err := state.Validate(); err != nil {
 		return nil, err
 	}
-	m := make(map[string]*strategy, len(old))
-	for k, v := range old {
-		m[k] = v
+	// The ID is unchanged, so the previous record's pre-formatted
+	// metric labels carry over instead of being re-rendered.
+	rec := &areaRec{
+		state:     state,
+		version:   prev.version + 1,
+		latMetric: prev.latMetric,
+		cntMetric: prev.cntMetric,
 	}
-	m[key] = next
-	c.entries.Store(&m)
-	return next, nil
+	fresh := make([]*strategy, 0, len(c.eager))
+	var def *strategy
+	for _, eng := range c.eager {
+		st, err := prepare(rec, eng)
+		if err != nil {
+			return nil, err
+		}
+		if eng.Name() == policy.DefaultEngine {
+			def = st
+		}
+		fresh = append(fresh, st)
+	}
+	next := &snapshot{
+		areas:   make(map[string]*areaRec, len(sn.areas)),
+		entries: make(map[Key]*strategy, len(sn.entries)),
+	}
+	for k, v := range sn.areas {
+		next.areas[k] = v
+	}
+	next.areas[key] = rec
+	for k, v := range sn.entries {
+		if k.Area != key {
+			next.entries[k] = v
+		}
+	}
+	for _, st := range fresh {
+		next.entries[st.key()] = st
+	}
+	c.snap.Store(next)
+	return def, nil
 }
 
-// List returns every entry sorted by area ID.
-func (c *Cache) List() []*strategy {
-	m := *c.entries.Load()
-	out := make([]*strategy, 0, len(m))
-	for _, s := range m {
-		out = append(out, s)
+// Areas returns every area record sorted by ID.
+func (c *Cache) Areas() []*areaRec {
+	sn := c.snap.Load()
+	out := make([]*areaRec, 0, len(sn.areas))
+	for _, rec := range sn.areas {
+		out = append(out, rec)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].state.ID < out[j].state.ID })
 	return out
 }
 
+// List returns every area's default-engine strategy sorted by ID.
+func (c *Cache) List() []*strategy {
+	recs := c.Areas()
+	out := make([]*strategy, 0, len(recs))
+	for _, rec := range recs {
+		if st, ok := c.Get(rec.state.ID); ok {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
 // Len returns the number of configured areas.
-func (c *Cache) Len() int { return len(*c.entries.Load()) }
+func (c *Cache) Len() int { return len(c.snap.Load().areas) }

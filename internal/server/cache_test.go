@@ -32,7 +32,7 @@ func TestNewCacheValidates(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := NewCache(tc.areas)
+			_, err := NewCache(tc.areas, nil)
 			if err == nil || !strings.Contains(err.Error(), tc.want) {
 				t.Errorf("NewCache(%v) err = %v, want containing %q", tc.areas, err, tc.want)
 			}
@@ -41,7 +41,7 @@ func TestNewCacheValidates(t *testing.T) {
 }
 
 func TestCacheGetCaseInsensitive(t *testing.T) {
-	c, err := NewCache(testAreas())
+	c, err := NewCache(testAreas(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestCacheGetCaseInsensitive(t *testing.T) {
 }
 
 func TestCacheUpdateSwapsStrategy(t *testing.T) {
-	c, err := NewCache(testAreas())
+	c, err := NewCache(testAreas(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,24 +73,24 @@ func TestCacheUpdateSwapsStrategy(t *testing.T) {
 	if next.Info().Choice != "TOI" {
 		t.Errorf("updated choice %s, want TOI", next.Info().Choice)
 	}
-	if next.state.B != 28 {
-		t.Errorf("b = 0 should keep the old break-even, got %v", next.state.B)
+	if next.rec.state.B != 28 {
+		t.Errorf("b = 0 should keep the old break-even, got %v", next.rec.state.B)
 	}
-	if next.version != before.version+1 {
-		t.Errorf("version %d, want %d", next.version, before.version+1)
+	if next.rec.version != before.rec.version+1 {
+		t.Errorf("version %d, want %d", next.rec.version, before.rec.version+1)
 	}
 	// The old entry is immutable; readers holding it keep a snapshot.
 	if before.Info().Choice != "DET" {
 		t.Error("old entry mutated by update")
 	}
 	// Untouched areas keep their entries.
-	if a, _ := c.Get("atlanta"); a.version != 1 {
-		t.Errorf("atlanta version %d after chicago update", a.version)
+	if a, _ := c.Get("atlanta"); a.rec.version != 1 {
+		t.Errorf("atlanta version %d after chicago update", a.rec.version)
 	}
 }
 
 func TestCacheUpdateRejectsAndKeepsOld(t *testing.T) {
-	c, err := NewCache(testAreas())
+	c, err := NewCache(testAreas(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,21 +101,21 @@ func TestCacheUpdateRejectsAndKeepsOld(t *testing.T) {
 		t.Error("infeasible update succeeded")
 	}
 	got, _ := c.Get("chicago")
-	if got.version != 1 || got.state.Mu != 8 {
-		t.Errorf("failed update changed the entry: %+v", got.state)
+	if got.rec.version != 1 || got.rec.state.Mu != 8 {
+		t.Errorf("failed update changed the entry: %+v", got.rec.state)
 	}
 }
 
 func TestCacheListSorted(t *testing.T) {
-	c, err := NewCache(testAreas())
+	c, err := NewCache(testAreas(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	list := c.List()
-	if len(list) != 2 || list[0].state.ID != "atlanta" || list[1].state.ID != "chicago" {
+	if len(list) != 2 || list[0].rec.state.ID != "atlanta" || list[1].rec.state.ID != "chicago" {
 		ids := make([]string, len(list))
 		for i, s := range list {
-			ids[i] = s.state.ID
+			ids[i] = s.rec.state.ID
 		}
 		t.Errorf("List order %v", ids)
 	}

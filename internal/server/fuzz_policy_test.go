@@ -1,0 +1,148 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// Fuzz targets for the policy-generic serving path. Both run in CI's
+// fuzz-smoke job (make fuzz-smoke auto-discovers Fuzz* targets): the
+// first throws arbitrary wire requests at the shared handler, the
+// second throws arbitrary area statistics at the multislope engine.
+
+// fuzzDecide posts one DecideRequest at the handler and returns the
+// status and body bytes.
+func fuzzDecide(t *testing.T, h http.Handler, req DecideRequest) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest("POST", "/v1/decide", bytes.NewReader(body))
+	r.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w.Code, w.Body.Bytes()
+}
+
+// FuzzDecideRequestPolicy: no combination of vehicle id, area, custom
+// break-even, seed, and policy spec may crash the handler or produce a
+// 5xx; every accepted request must be reproducible byte-for-byte.
+func FuzzDecideRequestPolicy(f *testing.F) {
+	s, err := New(Config{Areas: conformanceAreas()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := s.Handler()
+
+	f.Add("truck-1", "chicago", 0.0, uint64(0), "")
+	f.Add("truck-1", "chicago", 28.0, uint64(7), "constrained")
+	f.Add("truck-2", "nrandia", 0.0, uint64(42), "multislope3")
+	f.Add("truck-2", "atlanta", 60.0, uint64(1), "multislope3@v1")
+	f.Add("", "mars", -1.0, uint64(0), "bad spec")
+	f.Add("v", "chicago", 9.0, uint64(3), "multislope3")
+	f.Add("v", "chicago", math.MaxFloat64, uint64(3), "constrained@v9")
+
+	f.Fuzz(func(t *testing.T, vehicleID, area string, b float64, seed uint64, spec string) {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return // not representable in a JSON request body
+		}
+		req := DecideRequest{VehicleID: vehicleID, Area: area, B: b, Seed: seed, Policy: spec}
+		status, body := fuzzDecide(t, h, req)
+		if status >= 500 {
+			t.Fatalf("5xx for %+v: %d %s", req, status, body)
+		}
+		if status != http.StatusOK {
+			// Rejections must still be the structured error envelope.
+			var er ErrorResponse
+			if err := json.Unmarshal(body, &er); err != nil || er.Error.Code == "" {
+				t.Fatalf("unstructured error for %+v: %d %s", req, status, body)
+			}
+			return
+		}
+		again, body2 := fuzzDecide(t, h, req)
+		if again != http.StatusOK || !bytes.Equal(body, body2) {
+			t.Fatalf("accepted request not reproducible: %+v\n%s\n%s", req, body, body2)
+		}
+		var dec DecideResponse
+		if err := json.Unmarshal(body, &dec); err != nil {
+			t.Fatalf("200 body not a decision: %s", body)
+		}
+		if dec.Choice == "" || math.IsNaN(dec.ThresholdSec) || math.IsInf(dec.ThresholdSec, 0) {
+			t.Fatalf("degenerate decision for %+v: %s", req, body)
+		}
+	})
+}
+
+// FuzzMultislopeServe: any statistics triple a daemon would accept at
+// boot must either serve multislope3 decisions (B > 10) or reject them
+// with a clean 400 — never a 5xx, never a non-finite schedule.
+func FuzzMultislopeServe(f *testing.F) {
+	f.Add(28.0, 8.0, 0.13, uint64(7))
+	f.Add(28.0, 4.0, 0.25, uint64(42))
+	f.Add(10.0, 1.0, 0.1, uint64(1))
+	f.Add(10.5, 9.0, 0.0, uint64(3))
+	f.Add(1000.0, 0.0, 1.0, uint64(9))
+	f.Add(11.0, 0.0, 0.0, uint64(0))
+
+	f.Fuzz(func(t *testing.T, b, mu, q float64, seed uint64) {
+		area := AreaState{ID: "fuzzarea", B: b, Mu: mu, Q: q}
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return
+		}
+		if area.Validate() != nil {
+			return // not bootable for any engine; out of scope
+		}
+		s, err := New(Config{Areas: []AreaState{area}})
+		if err != nil {
+			t.Fatalf("constrained-feasible area failed boot: %v", err)
+		}
+		h := s.Handler()
+		req := DecideRequest{VehicleID: "f-1", Area: "fuzzarea", Seed: seed, Policy: "multislope3"}
+		status, body := fuzzDecide(t, h, req)
+		switch {
+		case status == http.StatusOK:
+			if b <= 10 {
+				t.Fatalf("multislope served B=%v <= 10: %s", b, body)
+			}
+		case status == http.StatusBadRequest:
+			if b > 10 {
+				t.Fatalf("multislope rejected feasible stats (b=%v mu=%v q=%v): %s", b, mu, q, body)
+			}
+			if errCode(t, body) != "invalid_policy_params" {
+				t.Fatalf("wrong rejection class: %s", body)
+			}
+			return
+		default:
+			t.Fatalf("status %d for b=%v mu=%v q=%v: %s", status, b, mu, q, body)
+		}
+
+		_, body2 := fuzzDecide(t, h, req)
+		if !bytes.Equal(body, body2) {
+			t.Fatalf("multislope decision not reproducible:\n%s\n%s", body, body2)
+		}
+		var dec DecideResponse
+		if err := json.Unmarshal(body, &dec); err != nil {
+			t.Fatal(err)
+		}
+		if dec.Policy != "multislope3@v1" {
+			t.Fatalf("decision missing engine spec: %s", body)
+		}
+		if len(dec.Schedule) != 2 {
+			t.Fatalf("three-state decision with %d rungs: %s", len(dec.Schedule), body)
+		}
+		last := dec.Schedule[len(dec.Schedule)-1]
+		if dec.ThresholdSec != last.AtSec {
+			t.Fatalf("threshold %v != final rung %v: %s", dec.ThresholdSec, last.AtSec, body)
+		}
+		for _, a := range dec.Schedule {
+			if a.State == "" || math.IsNaN(a.AtSec) || math.IsInf(a.AtSec, 0) || a.AtSec < 0 {
+				t.Fatalf("degenerate rung %+v: %s", a, body)
+			}
+		}
+	})
+}

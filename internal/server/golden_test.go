@@ -1,0 +1,142 @@
+package server
+
+import (
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden re-records the wire fixtures from the current server.
+// Run `go test ./internal/server -run TestGoldenWireCompat -update-golden`
+// ONLY to bless a deliberate wire change; the committed fixtures were
+// recorded from the pre-policy-engine server and guard the refactor's
+// byte-identity promise.
+var updateGolden = flag.Bool("update-golden", false, "re-record the golden wire fixtures")
+
+// goldenCase is one recorded request/response pair.
+type goldenCase struct {
+	Name string `json:"name"`
+	Path string `json:"path"`
+	// Request is the raw JSON body sent.
+	Request json.RawMessage `json:"request"`
+	// Status and Response are the recorded reply; Response is the exact
+	// byte sequence of the body (writeJSON appends a trailing newline,
+	// which is part of the contract).
+	Status   int    `json:"status"`
+	Response string `json:"response"`
+}
+
+// goldenAreas is the fixed area configuration the fixtures were
+// recorded against: the two standard test areas plus one deep in the
+// N-Rand region so randomized threshold draws are pinned too.
+func goldenAreas() []AreaState {
+	return append(testAreas(), AreaState{ID: "nrandia", B: 28, Mu: 4, Q: 0.25})
+}
+
+// goldenRequests enumerates the guarded wire surface: default-B cache
+// hits on every vertex family, custom-B derivation, explicit seeds,
+// error replies, and a mixed batch (including an embedded per-item
+// error).
+func goldenRequests() []goldenCase {
+	return []goldenCase{
+		{Name: "decide_default_b", Path: "/v1/decide",
+			Request: json.RawMessage(`{"vehicle_id":"gold-1","area":"chicago"}`)},
+		{Name: "decide_atlanta", Path: "/v1/decide",
+			Request: json.RawMessage(`{"vehicle_id":"gold-2","area":"atlanta"}`)},
+		{Name: "decide_nrand_draw", Path: "/v1/decide",
+			Request: json.RawMessage(`{"vehicle_id":"gold-3","area":"nrandia"}`)},
+		{Name: "decide_nrand_seeded", Path: "/v1/decide",
+			Request: json.RawMessage(`{"vehicle_id":"gold-3","area":"nrandia","seed":777}`)},
+		{Name: "decide_custom_b", Path: "/v1/decide",
+			Request: json.RawMessage(`{"vehicle_id":"gold-4","area":"chicago","b":45}`)},
+		{Name: "decide_case_insensitive_area", Path: "/v1/decide",
+			Request: json.RawMessage(`{"vehicle_id":"gold-5","area":"Chicago"}`)},
+		{Name: "decide_unknown_area", Path: "/v1/decide",
+			Request: json.RawMessage(`{"vehicle_id":"gold-6","area":"nowhere"}`)},
+		{Name: "decide_missing_vehicle", Path: "/v1/decide",
+			Request: json.RawMessage(`{"area":"chicago"}`)},
+		{Name: "decide_bad_b", Path: "/v1/decide",
+			Request: json.RawMessage(`{"vehicle_id":"gold-7","area":"chicago","b":-3}`)},
+		{Name: "decide_unknown_field", Path: "/v1/decide",
+			Request: json.RawMessage(`{"vehicle_id":"gold-8","area":"chicago","bogus":1}`)},
+		{Name: "batch_mixed", Path: "/v1/decide/batch",
+			Request: json.RawMessage(`{"seed":11,"requests":[` +
+				`{"vehicle_id":"gb-1","area":"nrandia"},` +
+				`{"vehicle_id":"gb-2","area":"chicago"},` +
+				`{"vehicle_id":"gb-3","area":"nowhere"},` +
+				`{"vehicle_id":"gb-4","area":"atlanta","b":45},` +
+				`{"vehicle_id":"gb-5","area":"nrandia","seed":99}]}`)},
+		{Name: "batch_empty", Path: "/v1/decide/batch",
+			Request: json.RawMessage(`{"requests":[]}`)},
+	}
+}
+
+const goldenPath = "testdata/golden_wire.json"
+
+// TestGoldenWireCompat replays the recorded /v1/decide and
+// /v1/decide/batch fixtures against the current server and requires
+// byte-identical replies. This pins the wire format, the cache-hit
+// semantics and every threshold draw: a refactor that changes field
+// order, derives RNG streams differently, or alters cache keys in a
+// way that shifts draws fails here first.
+func TestGoldenWireCompat(t *testing.T) {
+	s, err := New(Config{Areas: goldenAreas()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := goldenRequests()
+	if *updateGolden {
+		for i := range cases {
+			status, raw := doJSON(t, http.MethodPost, ts.URL+cases[i].Path, string(cases[i].Request), nil)
+			cases[i].Status = status
+			cases[i].Response = string(raw)
+		}
+		data, err := json.MarshalIndent(cases, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded %d fixtures to %s", len(cases), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read fixtures (re-record with -update-golden): %v", err)
+	}
+	var want []goldenCase
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	wantByName := make(map[string]goldenCase, len(want))
+	for _, c := range want {
+		wantByName[c.Name] = c
+	}
+	for _, c := range cases {
+		t.Run(c.Name, func(t *testing.T) {
+			rec, ok := wantByName[c.Name]
+			if !ok {
+				t.Fatalf("fixture %q missing from %s (re-record with -update-golden)", c.Name, goldenPath)
+			}
+			status, raw := doJSON(t, http.MethodPost, ts.URL+c.Path, string(c.Request), nil)
+			if status != rec.Status {
+				t.Fatalf("status %d, recorded %d: %s", status, rec.Status, raw)
+			}
+			if string(raw) != rec.Response {
+				t.Errorf("response drifted from the recorded wire bytes:\n got: %s\nwant: %s", raw, rec.Response)
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -12,6 +13,7 @@ import (
 
 	"idlereduce/internal/obs"
 	"idlereduce/internal/parallel"
+	"idlereduce/internal/policy"
 	"idlereduce/internal/skirental"
 )
 
@@ -32,12 +34,52 @@ func requestStream(vehicleID, area string, b float64) uint64 {
 	return h.Sum64()
 }
 
+// policyLookupError maps a policy.Lookup failure onto the wire error
+// contract: malformed specs are plain bad_request; well-formed specs
+// naming no servable engine (unknown name, version pin mismatch) are
+// unknown_policy. Both are client errors, never 5xx.
+func policyLookupError(err error) *APIError {
+	code := "unknown_policy"
+	if errors.Is(err, policy.ErrBadSpec) {
+		code = "bad_request"
+	}
+	return &APIError{Code: code, Message: err.Error(), Status: http.StatusBadRequest}
+}
+
+// enginePrepareError maps an Engine.Prepare failure. The default
+// constrained engine keeps the pre-engine wire shape (422
+// invalid_stats); a request that opted into another engine gets 400
+// invalid_policy_params — the area is servable, the requested engine's
+// parameterization is not.
+func enginePrepareError(eng policy.Engine, area string, b float64, err error) *APIError {
+	if eng.Name() == policy.DefaultEngine {
+		return &APIError{Code: "invalid_stats", Message: fmt.Sprintf("area %s statistics are infeasible for b = %v: %v", area, b, err), Status: http.StatusUnprocessableEntity}
+	}
+	return &APIError{Code: "invalid_policy_params", Message: fmt.Sprintf("engine %s cannot serve area %s at b = %v: %v", policy.Spec(eng), area, b, err), Status: http.StatusBadRequest}
+}
+
+// wireSchedule converts an engine action ladder to the wire shape.
+func wireSchedule(actions []policy.Action) []ScheduleAction {
+	if len(actions) == 0 {
+		return nil
+	}
+	out := make([]ScheduleAction, len(actions))
+	for i, a := range actions {
+		out[i] = ScheduleAction{State: a.State, AtSec: a.AtSec}
+	}
+	return out
+}
+
 // decide computes one decision. It returns the structured API error to
 // send instead of an (error, status) pair so the batch path can embed
 // failures per item. ctx carries the request id and (when tracing is
 // on) the span the decision annotates; with an audit log configured
 // the decision is appended as a replayable AuditRecord. Both are
 // gated on a nil check so the disabled path stays free.
+//
+// The serving engine is the daemon default unless the request names
+// one; decisions from the default constrained engine keep the exact
+// pre-engine wire bytes (no policy/schedule/explain fields).
 func (s *Server) decide(ctx context.Context, req DecideRequest, defaultSeed uint64) (*DecideResponse, *APIError) {
 	if req.VehicleID == "" {
 		return nil, &APIError{Code: "bad_request", Message: "vehicle_id is required", Status: http.StatusBadRequest}
@@ -48,40 +90,53 @@ func (s *Server) decide(ctx context.Context, req DecideRequest, defaultSeed uint
 	if math.IsNaN(req.B) || math.IsInf(req.B, 0) || req.B < 0 {
 		return nil, &APIError{Code: "bad_request", Message: fmt.Sprintf("b = %v must be a finite non-negative break-even interval", req.B), Status: http.StatusBadRequest}
 	}
-	entry, ok := s.cache.Get(req.Area)
+	eng := s.engine
+	if req.Policy != "" {
+		var err error
+		if eng, err = policy.Lookup(req.Policy); err != nil {
+			return nil, policyLookupError(err)
+		}
+	}
+	rec, ok := s.cache.Area(req.Area)
 	if !ok {
 		return nil, &APIError{Code: "unknown_area", Message: fmt.Sprintf("unknown area %q", req.Area), Status: http.StatusNotFound}
 	}
-	// Per-area latency attribution: the cache entry carries its
+	// Per-area latency attribution: the area record carries its
 	// pre-formatted metric names, so the hot path pays two map lookups
 	// and a clock read, never a label format.
 	t0 := time.Now()
 
 	// Cache hit: the request uses the area's default break-even
-	// interval, so the vertex selection is already precomputed. A
-	// custom B derives a fresh policy from the same statistics.
+	// interval, so the (area, engine) strategy comes from the
+	// precomputed cache keyspace. A custom B prepares a fresh strategy
+	// from the same statistics.
 	b := req.B
-	policy := entry.policy
-	cached := b == 0 || b == entry.state.B
+	cached := b == 0 || b == rec.state.B
+	var prep policy.Strategy
 	if cached {
-		b = entry.state.B
+		b = rec.state.B
+		entry, err := s.cache.Strategy(rec, eng)
+		if err != nil {
+			return nil, enginePrepareError(eng, rec.state.ID, b, err)
+		}
+		prep = entry.prep
 		s.rec.Add("decide_cache_hits_total", 1)
 	} else {
 		s.rec.Add("decide_cache_misses_total", 1)
-		var err error
-		policy, err = skirental.NewConstrained(b, entry.state.Stats())
+		p, err := eng.Prepare(rec.state.PolicyStats(b))
 		if err != nil {
-			return nil, &APIError{Code: "invalid_stats", Message: fmt.Sprintf("area %s statistics are infeasible for b = %v: %v", entry.state.ID, b, err), Status: http.StatusUnprocessableEntity}
+			return nil, enginePrepareError(eng, rec.state.ID, b, err)
 		}
+		prep = p
 	}
 
 	seed := req.Seed
 	if seed == 0 {
 		seed = defaultSeed
 	}
-	stream := requestStream(req.VehicleID, entry.state.ID, b)
+	stream := requestStream(req.VehicleID, rec.state.ID, b)
 	rng := parallel.RNG(seed, stream)
-	threshold := policy.Threshold(rng)
+	dec := prep.Decide(rng)
 
 	if s.cfg.testDelay > 0 {
 		time.Sleep(s.cfg.testDelay)
@@ -89,47 +144,59 @@ func (s *Server) decide(ctx context.Context, req DecideRequest, defaultSeed uint
 	if s.cfg.testHook != nil {
 		s.cfg.testHook()
 	}
-	s.rec.Add(obs.L("decide_total", "choice", policy.Choice().String()), 1)
-	s.rec.Observe("decide_threshold_sec", threshold)
-	s.rec.Add(entry.cntMetric, 1)
-	s.rec.Observe(entry.latMetric, float64(time.Since(t0))/float64(time.Millisecond))
+	s.rec.Add(obs.L("decide_total", "choice", dec.Choice), 1)
+	s.rec.Observe("decide_threshold_sec", dec.ThresholdSec)
+	s.rec.Add(rec.cntMetric, 1)
+	s.rec.Observe(rec.latMetric, float64(time.Since(t0))/float64(time.Millisecond))
 	if s.tracer != nil {
 		if sp := obs.SpanFrom(ctx); sp != nil {
-			sp.Set("area", entry.state.ID)
-			sp.Set("stats_version", entry.version)
+			sp.Set("area", rec.state.ID)
+			sp.Set("stats_version", rec.version)
 			sp.Set("b", b)
-			sp.Set("choice", policy.Choice().String())
-			sp.Set("threshold_sec", threshold)
+			sp.Set("choice", dec.Choice)
+			sp.Set("threshold_sec", dec.ThresholdSec)
 			sp.Set("stream", stream)
+			if eng.Name() != policy.DefaultEngine {
+				sp.Set("policy", policy.Spec(eng))
+			}
 		}
 	}
 	if s.auditW != nil {
 		s.auditW.Write(AuditRecord{
-			TSUnixMS:     time.Now().UnixMilli(),
-			RequestID:    obs.RequestIDFrom(ctx),
-			VehicleID:    req.VehicleID,
-			Area:         entry.state.ID,
-			StatsVersion: entry.version,
-			B:            b,
-			Mu:           entry.state.Mu,
-			Q:            entry.state.Q,
-			Seed:         seed,
-			Stream:       stream,
-			Choice:       policy.Choice().String(),
-			ThresholdSec: threshold,
+			TSUnixMS:      time.Now().UnixMilli(),
+			RequestID:     obs.RequestIDFrom(ctx),
+			VehicleID:     req.VehicleID,
+			Area:          rec.state.ID,
+			StatsVersion:  rec.version,
+			B:             b,
+			Mu:            rec.state.Mu,
+			Q:             rec.state.Q,
+			Seed:          seed,
+			Stream:        stream,
+			Choice:        dec.Choice,
+			ThresholdSec:  dec.ThresholdSec,
+			Policy:        eng.Name(),
+			PolicyVersion: eng.Version(),
+			Schedule:      wireSchedule(dec.Schedule),
 		})
 	}
-	return &DecideResponse{
+	resp := &DecideResponse{
 		VehicleID:     req.VehicleID,
-		Area:          entry.state.ID,
+		Area:          rec.state.ID,
 		B:             b,
-		Choice:        policy.Choice().String(),
-		ThresholdSec:  threshold,
-		WorstCaseCost: policy.WorstCaseCost(),
-		WorstCaseCR:   policy.WorstCaseCR(),
+		Choice:        dec.Choice,
+		ThresholdSec:  dec.ThresholdSec,
+		WorstCaseCost: dec.WorstCaseCost,
+		WorstCaseCR:   dec.WorstCaseCR,
 		Seed:          seed,
 		Cached:        cached,
-	}, nil
+	}
+	if eng.Name() != policy.DefaultEngine {
+		resp.Policy = policy.Spec(eng)
+		resp.Schedule = wireSchedule(dec.Schedule)
+		resp.Explain = prep.Explain()
+	}
+	return resp, nil
 }
 
 // handleDecide serves POST /v1/decide.
@@ -219,12 +286,59 @@ func (s *Server) handleStatsUpdate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, entry.Info())
 }
 
-// handleAreas serves GET /v1/areas.
+// handleAreas serves GET /v1/areas. An optional ?policy= query renders
+// the listing through another engine; areas that engine cannot serve
+// carry an error field instead of strategy fields, so one infeasible
+// area never hides the rest.
 func (s *Server) handleAreas(w http.ResponseWriter, r *http.Request) {
-	entries := s.cache.List()
-	resp := AreasResponse{Areas: make([]AreaInfo, 0, len(entries))}
-	for _, e := range entries {
-		resp.Areas = append(resp.Areas, e.Info())
+	eng := s.engine
+	if spec := r.URL.Query().Get("policy"); spec != "" {
+		var err error
+		if eng, err = policy.Lookup(spec); err != nil {
+			apiErr := policyLookupError(err)
+			writeError(w, apiErr.Status, apiErr.Code, apiErr.Message)
+			return
+		}
+	}
+	recs := s.cache.Areas()
+	resp := AreasResponse{Areas: make([]AreaInfo, 0, len(recs))}
+	for _, rec := range recs {
+		st, err := s.cache.Strategy(rec, eng)
+		if err != nil {
+			resp.Areas = append(resp.Areas, AreaInfo{
+				ID:      rec.state.ID,
+				B:       rec.state.B,
+				Mu:      rec.state.Mu,
+				Q:       rec.state.Q,
+				Version: rec.version,
+				Policy:  eng.Name(),
+				Error:   err.Error(),
+			})
+			continue
+		}
+		resp.Areas = append(resp.Areas, st.Info())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePolicies serves GET /v1/policies: the registered policy
+// engines, their pinned specs, and which one this daemon serves by
+// default.
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	names := policy.Names()
+	resp := PoliciesResponse{Policies: make([]PolicyInfo, 0, len(names))}
+	for _, n := range names {
+		e, ok := policy.Get(n)
+		if !ok {
+			continue
+		}
+		resp.Policies = append(resp.Policies, PolicyInfo{
+			Name:    n,
+			Version: e.Version(),
+			Spec:    policy.Spec(e),
+			Doc:     e.Doc(),
+			Default: n == s.engine.Name(),
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -308,7 +422,7 @@ func allowedMethods(path string) []string {
 	switch path {
 	case "/v1/decide", "/v1/decide/batch":
 		return []string{http.MethodPost}
-	case "/v1/areas", "/v1/history", "/v1/buildinfo", "/healthz", "/metrics":
+	case "/v1/areas", "/v1/policies", "/v1/history", "/v1/buildinfo", "/healthz", "/metrics":
 		return []string{http.MethodGet}
 	}
 	if strings.HasPrefix(path, "/v1/areas/") && strings.HasSuffix(path, "/stats") {

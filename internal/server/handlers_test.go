@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -182,7 +183,7 @@ func TestBatchMatchesSingles(t *testing.T) {
 	}
 	var single DecideResponse
 	doJSON(t, "POST", ts.URL+"/v1/decide", `{"vehicle_id":"x","area":"chicago","seed":77}`, &single)
-	if *batch.Results[0].Decision != single {
+	if !reflect.DeepEqual(*batch.Results[0].Decision, single) {
 		t.Errorf("batch slot != single decide:\n%+v\n%+v", *batch.Results[0].Decision, single)
 	}
 }

@@ -29,6 +29,10 @@ type LoadOptions struct {
 	Batch int
 	// Seed is the decision root seed sent with every batch.
 	Seed uint64
+	// Policy is the engine spec stamped on every decision request
+	// (e.g. "multislope3"); empty exercises the target's default
+	// engine.
+	Policy string
 	// Areas round-robins request areas; empty discovers them from
 	// GET /v1/areas.
 	Areas []string
@@ -167,6 +171,7 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 					req.Requests[i] = DecideRequest{
 						VehicleID: fmt.Sprintf("load-%04d-%06d", c, r*opts.Batch+i),
 						Area:      areas[(c+r+i)%len(areas)],
+						Policy:    opts.Policy,
 					}
 				}
 				sent := time.Now()

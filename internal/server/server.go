@@ -12,7 +12,8 @@
 //	POST /v1/decide              one decision
 //	POST /v1/decide/batch        order-preserving parallel fan-out
 //	PUT  /v1/areas/{id}/stats    swap an area's statistics
-//	GET  /v1/areas               list cached strategies
+//	GET  /v1/areas               list cached strategies (?policy= view)
+//	GET  /v1/policies            list registered policy engines
 //	GET  /v1/history             metrics time series (ring-buffer sampler)
 //	GET  /v1/buildinfo           version, Go version, start time, uptime
 //	GET  /healthz                liveness (bypasses the limiter)
@@ -41,6 +42,7 @@ import (
 	"time"
 
 	"idlereduce/internal/obs"
+	"idlereduce/internal/policy"
 )
 
 // Config parameterizes a Server. The zero value of every field has a
@@ -69,6 +71,13 @@ type Config struct {
 	DrainTimeout time.Duration
 	// Areas is the boot-time area configuration (required).
 	Areas []AreaState
+	// DefaultPolicy selects the engine served when a request carries no
+	// policy field: a registered engine spec ("constrained",
+	// "multislope3@v1", ...). Empty means the registry default
+	// (constrained). The engine is prepared for every area at boot and
+	// on every stats update, so a daemon whose default engine cannot
+	// serve its areas never starts.
+	DefaultPolicy string
 	// Recorder collects serving metrics; nil allocates a fresh
 	// recorder with its own registry.
 	Recorder *obs.Recorder
@@ -141,6 +150,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	cache    *Cache
+	engine   policy.Engine
 	rec      *obs.Recorder
 	inflight chan struct{}
 	start    time.Time
@@ -162,16 +172,22 @@ type Server struct {
 }
 
 // New builds a server. It validates and precomputes every configured
-// area strategy, so a misconfigured server never starts.
+// area strategy — for the registry default engine and the daemon's
+// DefaultPolicy engine — so a misconfigured server never starts.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	cache, err := NewCache(cfg.Areas)
+	eng, err := policy.Lookup(cfg.DefaultPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("server: default policy: %w", err)
+	}
+	cache, err := NewCache(cfg.Areas, []policy.Engine{eng})
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		cfg:      cfg,
 		cache:    cache,
+		engine:   eng,
 		rec:      cfg.Recorder,
 		inflight: make(chan struct{}, cfg.MaxInflight),
 		start:    time.Now(),
@@ -246,6 +262,7 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("POST /v1/decide/batch", s.instrument("batch", true, s.handleBatch))
 	mux.Handle("PUT /v1/areas/{id}/stats", s.instrument("stats_update", true, s.handleStatsUpdate))
 	mux.Handle("GET /v1/areas", s.instrument("areas", true, s.handleAreas))
+	mux.Handle("GET /v1/policies", s.instrument("policies", true, s.handlePolicies))
 	mux.Handle("GET /v1/history", s.instrument("history", false, s.handleHistory))
 	mux.Handle("GET /v1/buildinfo", s.instrument("buildinfo", false, s.handleBuildInfo))
 	mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
