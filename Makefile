@@ -11,14 +11,15 @@ STATICCHECK_VERSION ?= 2025.1.1
 
 .PHONY: check ci build vet test race fmt-check staticcheck cover \
 	fuzz-smoke bench-smoke bench bench-metrics bench-parallel \
-	bench-capture bench-compare bench-gate clean
+	bench-capture bench-compare bench-gate loadtest-gate loadtest-bless \
+	clean
 
 ## check: the full pre-commit gate — identical to CI (vet, fmt, build,
 ## test, race, fuzz smoke, staticcheck).
 check: ci
 
 ## ci: mirror of the GitHub workflow jobs, step for step.
-ci: vet fmt-check build test race fuzz-smoke staticcheck bench-gate
+ci: vet fmt-check build test race fuzz-smoke staticcheck bench-gate loadtest-gate
 
 build:
 	$(GO) build ./...
@@ -26,11 +27,13 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test order every run so inter-test state
+# dependencies surface in CI instead of in production.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 ## fmt-check: fail when any file needs gofmt (CI's formatting gate).
 fmt-check:
@@ -47,15 +50,23 @@ staticcheck:
 
 ## cover: the test suite with coverage, writing coverage.out (uploaded
 ## by CI as an artifact) and printing the per-package summary. Asserts
-## the policy engine registry is actually exercised — a conformance
-## suite that silently stops importing internal/policy would otherwise
-## pass while covering nothing.
+## the load-bearing subsystems are actually exercised — a suite that
+## silently stopped importing internal/policy, the adaptive estimators,
+## or the sharded cache/state plane would otherwise pass while covering
+## nothing.
 cover:
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
 	$(GO) tool cover -func=coverage.out | tail -1
-	@grep '^idlereduce/internal/policy/' coverage.out | grep -qv ' 0$$' \
-		|| { echo "cover: internal/policy has no covered statements"; exit 1; }
-	@echo "cover: internal/policy exercised"
+	@for probe in \
+		'^idlereduce/internal/policy/' \
+		'^idlereduce/internal/adaptive/' \
+		'^idlereduce/internal/server/cache\.go' \
+		'^idlereduce/internal/server/observe\.go' \
+		'^idlereduce/internal/server/snapshot\.go'; do \
+		grep "$$probe" coverage.out | grep -qv ' 0$$' \
+			|| { echo "cover: $$probe has no covered statements"; exit 1; }; \
+		echo "cover: $$probe exercised"; \
+	done
 
 ## fuzz-smoke: run every Fuzz* target for FUZZTIME (default 10s) as a
 ## quick regression sweep; the corpus findings become seed cases.
@@ -130,6 +141,27 @@ else
 	$(MAKE) bench-capture
 	$(MAKE) bench-compare
 endif
+
+# The macro loadtest gate (docs/SERVER.md): a fixed 100k-area mixed
+# decide/observe scenario measured in-process and compared against the
+# committed LOADTEST_BASELINE.json — p99 (speed-canary normalized),
+# cache hit-rate, and the CUSUM retune loop actually firing.
+LOADTEST_BASELINE ?= LOADTEST_BASELINE.json
+
+## loadtest-gate: run the committed load scenario and gate against
+## $(LOADTEST_BASELINE). Skips gracefully (with a visible note) when no
+## baseline is committed, so forks and fresh branches are not blocked.
+loadtest-gate:
+ifeq ($(wildcard $(LOADTEST_BASELINE)),)
+	@echo "loadtest-gate: no committed $(LOADTEST_BASELINE); skipping"
+else
+	$(GO) run ./cmd/idled loadgate -baseline $(LOADTEST_BASELINE)
+endif
+
+## loadtest-bless: re-measure the committed scenario on this machine and
+## overwrite $(LOADTEST_BASELINE) (commit the result deliberately).
+loadtest-bless:
+	$(GO) run ./cmd/idled loadgate -baseline $(LOADTEST_BASELINE) -bless
 
 clean:
 	rm -f bench-metrics.json bench-smoke.txt coverage.out cpu.pprof mem.pprof trace.out \

@@ -13,6 +13,8 @@
 //	idlectl stats [-metrics snapshot.json]
 //	idlectl engines
 //	idlectl audit verify [-log audit.jsonl]
+//	idlectl snapshot save [-target URL] [-o state.json]
+//	idlectl snapshot load [-target URL] [-i state.json]
 //	idlectl bench run [-out BENCH_NNNN.json] [-runs N] [-scale F] [-seq N] [-filter s]
 //	idlectl bench compare -base BENCH_A.json -head BENCH_B.json [-max-regress 10%]
 //
@@ -29,7 +31,11 @@
 // command replays an idled decision audit log (serve -audit-log)
 // through its recorded policy engine and proves every decision —
 // choice, threshold, and any multi-state schedule — reproduces
-// bit-for-bit (see docs/OBSERVABILITY.md). The bench commands capture
+// bit-for-bit; observe-stream records are re-derived through the pure
+// moment transition the same way (see docs/OBSERVABILITY.md). The
+// snapshot commands move the checksummed state plane between daemons:
+// save a warm donor, load a cold replica (or boot it with
+// `idled serve -restore`). The bench commands capture
 // and regression-gate the perf trajectory (see docs/BENCHMARKS.md).
 //
 // Stop traces are plain text: one stop length in seconds per line; blank
@@ -68,7 +74,7 @@ func main() {
 	}
 }
 
-const usage = "usage: idlectl [-cpuprofile f] [-memprofile f] [-trace f] [-workers N] <tune|show|replay|synth|stats|engines|audit|bench> [flags]"
+const usage = "usage: idlectl [-cpuprofile f] [-memprofile f] [-trace f] [-workers N] <tune|show|replay|synth|stats|engines|audit|snapshot|bench> [flags]"
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	gfs := flag.NewFlagSet("idlectl", flag.ContinueOnError)
@@ -107,10 +113,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		cmdErr = enginesCmd(rest[1:], stdout)
 	case "audit":
 		cmdErr = auditCmd(rest[1:], stdin, stdout)
+	case "snapshot":
+		cmdErr = snapshotCmd(rest[1:], stdout)
 	case "bench":
 		cmdErr = benchCmd(rest[1:], stdout)
 	default:
-		cmdErr = fmt.Errorf("unknown command %q (want tune, show, replay, synth, stats, engines, audit or bench)", rest[0])
+		cmdErr = fmt.Errorf("unknown command %q (want tune, show, replay, synth, stats, engines, audit, snapshot or bench)", rest[0])
 	}
 	if perr := stopProf(); perr != nil && cmdErr == nil {
 		cmdErr = perr

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"idlereduce/internal/server"
+)
+
+// snapshotCmd hosts the state-plane subcommands: save captures a
+// running daemon's checksummed snapshot (GET /v1/snapshot) to a file,
+// load restores one into a running daemon (POST /v1/snapshot). Both
+// sides validate the envelope locally — a corrupt file is rejected
+// before any bytes reach the daemon, and a corrupt download is
+// rejected before it is written.
+func snapshotCmd(args []string, stdout io.Writer) error {
+	if len(args) < 1 || (args[0] != "save" && args[0] != "load") {
+		return fmt.Errorf("usage: idlectl snapshot <save|load> [-target URL] [flags]")
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("snapshot "+sub, flag.ContinueOnError)
+	target := fs.String("target", "http://127.0.0.1:8080", "base URL of a running idled")
+	var path *string
+	if sub == "save" {
+		path = fs.String("o", "state.json", `snapshot output file ("-" = stdout)`)
+	} else {
+		path = fs.String("i", "state.json", "snapshot file to restore (idlectl snapshot save output)")
+	}
+	timeout := fs.Duration("timeout", time.Minute, "HTTP request timeout")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	client := &http.Client{Timeout: *timeout}
+	if sub == "save" {
+		return snapshotSave(client, *target, *path, stdout)
+	}
+	return snapshotLoad(client, *target, *path, stdout)
+}
+
+// snapshotSave downloads, validates, and writes one snapshot.
+func snapshotSave(client *http.Client, target, path string, stdout io.Writer) error {
+	resp, err := client.Get(target + "/v1/snapshot")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("snapshot save: %s returned %d: %.200s", target, resp.StatusCode, data)
+	}
+	plane, err := server.DecodeSnapshot(data)
+	if err != nil {
+		return fmt.Errorf("snapshot save: downloaded snapshot does not verify: %w", err)
+	}
+	if path == "-" {
+		if _, err := stdout.Write(data); err != nil {
+			return err
+		}
+		return nil
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "snapshot: %d areas -> %s\n", len(plane.Areas), path)
+	return nil
+}
+
+// snapshotLoad validates a snapshot file and restores it into the
+// target daemon.
+func snapshotLoad(client *http.Client, target, path string, stdout io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	plane, err := server.DecodeSnapshot(data)
+	if err != nil {
+		return fmt.Errorf("snapshot load: %s does not verify: %w", path, err)
+	}
+	resp, err := client.Post(target+"/v1/snapshot", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("snapshot load: %s returned %d: %.200s", target, resp.StatusCode, body)
+	}
+	var out server.SnapshotRestoreResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		return fmt.Errorf("snapshot load: decode reply: %w", err)
+	}
+	fmt.Fprintf(stdout, "snapshot: restored %d of %d areas into %s\n", out.Restored, len(plane.Areas), target)
+	return nil
+}

@@ -7,14 +7,20 @@
 //
 //	idled serve    [-addr HOST:PORT] [-workers N] [-max-inflight N]
 //	               [-areas FILE] [-b SECONDS] [-seed N] [-max-batch N]
-//	               [-policy ENGINE] [-request-timeout D] [-drain-timeout D]
+//	               [-policy ENGINE] [-shards N] [-restore FILE]
+//	               [-forgetting F] [-min-observations N]
+//	               [-drift-threshold H] [-retune-off]
+//	               [-request-timeout D] [-drain-timeout D]
 //	               [-trace-log FILE] [-audit-log FILE] [-audit-max-bytes N]
 //	               [-history-interval D] [-history-window N]
 //	               [-pprof-addr HOST:PORT]
 //	idled loadtest [-target URL] [-clients N] [-requests N] [-batch N]
 //	               [-seed N] [-policy ENGINE] [-workers N] [-max-inflight N]
-//	               [-json] [-out report.json] [-profile cpu|heap]
+//	               [-synthetic-areas N] [-shards N] [-observe F] [-miss F]
+//	               [-hot N] [-json] [-out report.json] [-profile cpu|heap]
 //	               [-profile-out FILE]
+//	idled loadgate [-baseline FILE] [-bless] [-areas N] [-clients N]
+//	               [-requests N] [-batch N] [-json]
 //	idled top      [-target URL] [-interval D] [-frames N] [-once] [-w N]
 //	idled areas-template
 //
@@ -27,14 +33,26 @@
 // audit records, see
 // docs/OBSERVABILITY.md); -pprof-addr mounts net/http/pprof on a
 // dedicated listener (never the serving port) for live CPU/heap
-// profiling of the running daemon (see docs/BENCHMARKS.md). loadtest
+// profiling of the running daemon (see docs/BENCHMARKS.md); -restore
+// boots from a state-plane snapshot (`idlectl snapshot save`) so a
+// replica starts warm; -shards sets the strategy-cache shard count and
+// the -forgetting/-min-observations/-drift-threshold/-retune-off knobs
+// tune the POST /v1/observe re-tune loop. loadtest
 // drives concurrent batch-decision clients at -target, or at a private
 // in-process server when -target is empty, and reports achieved QPS,
 // latency quantiles, allocations per decision and GC pause totals from
-// the harness's metrics registry; -out additionally writes the
+// the harness's metrics registry; -observe mixes in streamed
+// stop observations (with a mid-run drift so CUSUM re-tunes fire),
+// -miss forces a controlled cache-miss rate, -synthetic-areas scales
+// the in-process server to N fabricated areas; -out additionally
+// writes the
 // registry snapshot as JSON (the bench-metrics schema, readable by
 // `idlectl stats`), and -profile captures a cpu or heap profile of the
-// run to -profile-out. top renders a live terminal dashboard from the target's
+// run to -profile-out. loadgate runs the committed 100k-area mixed
+// decide/observe scenario and gates its p99 latency, cache hit-rate
+// and re-tune loop against LOADTEST_BASELINE.json (noise-aware via the
+// speed canary; -bless re-blesses the baseline on this machine).
+// top renders a live terminal dashboard from the target's
 // /v1/history time series. areas-template prints the default -areas
 // config (the three paper areas at B = 28 s) as editable JSON.
 package main
@@ -53,6 +71,7 @@ import (
 	"time"
 
 	"idlereduce/internal/obs"
+	"idlereduce/internal/perf"
 	"idlereduce/internal/server"
 )
 
@@ -65,7 +84,7 @@ func main() {
 	}
 }
 
-const usage = "usage: idled <serve|loadtest|top|areas-template> [flags]"
+const usage = "usage: idled <serve|loadtest|loadgate|top|areas-template> [flags]"
 
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if len(args) < 1 {
@@ -76,6 +95,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return serve(ctx, args[1:], stdout)
 	case "loadtest":
 		return loadtest(ctx, args[1:], stdout)
+	case "loadgate":
+		return loadgate(ctx, args[1:], stdout)
 	case "top":
 		return top(ctx, args[1:], stdout)
 	case "areas-template":
@@ -85,7 +106,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		return server.WriteAreaStates(stdout, areas)
 	default:
-		return fmt.Errorf("unknown command %q (want serve, loadtest, top or areas-template)\n%s", args[0], usage)
+		return fmt.Errorf("unknown command %q (want serve, loadtest, loadgate, top or areas-template)\n%s", args[0], usage)
 	}
 }
 
@@ -112,6 +133,12 @@ func serve(ctx context.Context, args []string, stdout io.Writer) error {
 	b := fs.Float64("b", 28, "default break-even interval (s) for the built-in areas")
 	seed := fs.Uint64("seed", 0, "root decision seed (0 = 20140601)")
 	defaultPolicy := fs.String("policy", "", "default policy engine served when requests name none (e.g. multislope3; empty = constrained; see idlectl engines)")
+	shards := fs.Int("shards", 0, "strategy-cache shard count, rounded up to a power of two (0 = default); wire behavior is identical for every value")
+	restorePath := fs.String("restore", "", "boot from this state-plane snapshot (idlectl snapshot save) instead of -areas")
+	forgetting := fs.Float64("forgetting", 0, "observation-stream exponential decay in (0,1] (0 = default 0.98)")
+	minObs := fs.Int("min-observations", 0, "observations before streamed estimates may re-tune an area (0 = default 50)")
+	driftThreshold := fs.Float64("drift-threshold", 0, "CUSUM alarm threshold in baseline standard deviations (0 = default)")
+	retuneOff := fs.Bool("retune-off", false, "accept observations but never re-derive strategies (shadow mode)")
 	maxBatch := fs.Int("max-batch", 4096, "max decisions per batch request")
 	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request context deadline")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain bound")
@@ -132,20 +159,43 @@ func serve(ctx context.Context, args []string, stdout io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-b %v must be positive", *b)
 	}
-	areas, err := loadAreas(*areasPath, *b)
-	if err != nil {
-		return err
+	var areas []server.AreaState
+	var restore *server.StatePlane
+	if *restorePath != "" {
+		data, err := os.ReadFile(*restorePath)
+		if err != nil {
+			return err
+		}
+		plane, err := server.DecodeSnapshot(data)
+		if err != nil {
+			return err
+		}
+		restore = &plane
+		fmt.Fprintf(stdout, "idled: restoring %d areas from %s\n", len(plane.Areas), *restorePath)
+	} else {
+		var err error
+		if areas, err = loadAreas(*areasPath, *b); err != nil {
+			return err
+		}
 	}
 	cfg := server.Config{
-		Addr:            *addr,
-		Workers:         *workers,
-		MaxInflight:     *maxInflight,
-		MaxBatch:        *maxBatch,
-		RootSeed:        *seed,
-		DefaultPolicy:   *defaultPolicy,
-		RequestTimeout:  *reqTimeout,
-		DrainTimeout:    *drainTimeout,
-		Areas:           areas,
+		Addr:           *addr,
+		Workers:        *workers,
+		MaxInflight:    *maxInflight,
+		MaxBatch:       *maxBatch,
+		RootSeed:       *seed,
+		DefaultPolicy:  *defaultPolicy,
+		Shards:         *shards,
+		RequestTimeout: *reqTimeout,
+		DrainTimeout:   *drainTimeout,
+		Areas:          areas,
+		Restore:        restore,
+		Retune: server.RetuneConfig{
+			Forgetting:      *forgetting,
+			MinObservations: *minObs,
+			DriftThreshold:  *driftThreshold,
+			Disabled:        *retuneOff,
+		},
 		HistoryInterval: *historyInterval,
 		HistoryWindow:   *historyWindow,
 		PprofAddr:       *pprofAddr,
@@ -180,7 +230,11 @@ func serve(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "idled: serving %d areas on http://%s\n", len(areas), bound)
+	count := len(areas)
+	if restore != nil {
+		count = len(restore.Areas)
+	}
+	fmt.Fprintf(stdout, "idled: serving %d areas on http://%s\n", count, bound)
 	if pa := srv.PprofAddr(); pa != "" {
 		fmt.Fprintf(stdout, "idled: pprof on http://%s/debug/pprof/ (separate from the serving port)\n", pa)
 	}
@@ -201,6 +255,11 @@ func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
 	policySpec := fs.String("policy", "", "policy engine stamped on every decision (e.g. multislope3; empty = target default)")
 	workers := fs.Int("workers", 0, "in-process server pool size (ignored with -target)")
 	maxInflight := fs.Int("max-inflight", 1024, "in-process server in-flight bound (ignored with -target)")
+	synthAreas := fs.Int("synthetic-areas", 0, "serve N fabricated areas from the in-process server instead of the paper defaults (ignored with -target)")
+	shards := fs.Int("shards", 0, "in-process server cache shard count (ignored with -target)")
+	observeFrac := fs.Float64("observe", 0, "fraction of requests sent as observe batches (streamed stop observations with a mid-run drift)")
+	missFrac := fs.Float64("miss", 0, "fraction of decide slots carrying a custom break-even interval (controlled cache misses)")
+	hotAreas := fs.Int("hot", 0, "areas observe traffic concentrates on (0 = default 64)")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
 	outPath := fs.String("out", "", "also write the harness metrics registry snapshot here as JSON (readable by idlectl stats)")
 	profileKind := fs.String("profile", "", "capture a runtime profile of the load run: cpu or heap")
@@ -215,6 +274,14 @@ func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
 	if *clients <= 0 || *requests <= 0 || *batch <= 0 {
 		fs.Usage()
 		return fmt.Errorf("-clients %d, -requests %d and -batch %d must all be positive", *clients, *requests, *batch)
+	}
+	if *observeFrac < 0 || *observeFrac >= 1 || *missFrac < 0 || *missFrac >= 1 {
+		fs.Usage()
+		return fmt.Errorf("-observe %v and -miss %v must be in [0, 1)", *observeFrac, *missFrac)
+	}
+	if *synthAreas > 0 && *target != "" {
+		fs.Usage()
+		return fmt.Errorf("-synthetic-areas only applies to the in-process server (drop -target)")
 	}
 	switch *profileKind {
 	case "", "cpu", "heap":
@@ -237,16 +304,23 @@ func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
 
 	base := *target
 	if base == "" {
-		// Self-contained mode: serve the default areas from this
-		// process and aim the harness at the loopback listener.
-		areas, err := server.DefaultAreaStates(28)
-		if err != nil {
-			return err
+		// Self-contained mode: serve the default areas (or a fabricated
+		// set at -synthetic-areas scale) from this process and aim the
+		// harness at the loopback listener.
+		var areas []server.AreaState
+		if *synthAreas > 0 {
+			areas = server.SyntheticAreaStates(*synthAreas, 28)
+		} else {
+			var err error
+			if areas, err = server.DefaultAreaStates(28); err != nil {
+				return err
+			}
 		}
 		srv, err := server.New(server.Config{
 			Addr:        "127.0.0.1:0",
 			Workers:     *workers,
 			MaxInflight: *maxInflight,
+			Shards:      *shards,
 			Areas:       areas,
 			Recorder:    rec,
 		})
@@ -284,13 +358,16 @@ func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
 		}()
 	}
 	report, err := server.RunLoad(ctx, server.LoadOptions{
-		BaseURL:  base,
-		Clients:  *clients,
-		Requests: *requests,
-		Batch:    *batch,
-		Seed:     *seed,
-		Policy:   *policySpec,
-		Recorder: rec,
+		BaseURL:         base,
+		Clients:         *clients,
+		Requests:        *requests,
+		Batch:           *batch,
+		Seed:            *seed,
+		Policy:          *policySpec,
+		ObserveFraction: *observeFrac,
+		MissFraction:    *missFrac,
+		HotAreas:        *hotAreas,
+		Recorder:        rec,
 	})
 	if err != nil {
 		return err
@@ -333,4 +410,81 @@ func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	_, err = io.WriteString(stdout, report.String())
 	return err
+}
+
+// loadgate runs the committed mixed decide/observe scenario and gates
+// it against LOADTEST_BASELINE.json (or re-blesses the baseline).
+func loadgate(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("idled loadgate", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "LOADTEST_BASELINE.json", "committed baseline to gate against (or write with -bless)")
+	bless := fs.Bool("bless", false, "measure and write a fresh baseline instead of gating")
+	areaCount := fs.Int("areas", 0, "override the scenario's synthetic area count (gating requires it to match the baseline)")
+	clients := fs.Int("clients", 0, "override the scenario's client count")
+	requests := fs.Int("requests", 0, "override the scenario's requests per client")
+	batch := fs.Int("batch", 0, "override the scenario's batch size")
+	jsonOut := fs.Bool("json", false, "emit the gate result as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	scn := perf.DefaultLoadScenario()
+	if *areaCount > 0 {
+		scn.Areas = *areaCount
+	}
+	if *clients > 0 {
+		scn.Clients = *clients
+	}
+	if *requests > 0 {
+		scn.Requests = *requests
+	}
+	if *batch > 0 {
+		scn.Batch = *batch
+	}
+	var base perf.LoadBaseline
+	if !*bless {
+		var err error
+		if base, err = perf.ReadLoadBaseline(*baselinePath); err != nil {
+			return err
+		}
+		// The scenario overrides exist for local iteration; a gate run
+		// must measure exactly what the baseline blessed.
+		if base.Scenario != scn {
+			return fmt.Errorf("baseline %s was blessed for scenario %+v, this run is %+v", *baselinePath, base.Scenario, scn)
+		}
+	}
+	fmt.Fprintf(stdout, "loadgate: running %d-area mixed scenario (%d clients x %d requests x batch %d, %.0f%% observe)\n",
+		scn.Areas, scn.Clients, scn.Requests, scn.Batch, scn.ObserveFraction*100)
+	report, err := perf.RunLoadScenario(ctx, scn)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(stdout, report.String())
+	if err != nil {
+		return err
+	}
+	if *bless {
+		b := perf.NewLoadBaseline(scn, report)
+		if err := b.WriteFile(*baselinePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "loadgate: blessed baseline -> %s\n", *baselinePath)
+		return nil
+	}
+	res := perf.GateLoad(base, report, perf.MeasureCanary())
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	} else if _, err := io.WriteString(stdout, res.String()); err != nil {
+		return err
+	}
+	if !res.OK {
+		return fmt.Errorf("loadtest gate failed against %s", *baselinePath)
+	}
+	return nil
 }

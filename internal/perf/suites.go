@@ -198,6 +198,47 @@ func DefaultSuites() []Benchmark {
 			},
 		},
 		{
+			// One streamed observation through the full HTTP stack:
+			// request decode, the per-area tracker update (EWMA moments
+			// plus the CUSUM step), and the JSON reply. Stop lengths
+			// stay in one regime so no re-tune amortizes into the mean.
+			Name: "observe_stream", Class: "latency", Iters: 2000,
+			Setup: func() (Op, func(), error) {
+				h, err := defaultHandler()
+				if err != nil {
+					return nil, nil, err
+				}
+				return func(i int) error {
+					body := fmt.Sprintf(`{"area":"chicago","stop_sec":%d}`, 5+i%20)
+					return doRequest(h, "/v1/observe", body)
+				}, nil, nil
+			},
+		},
+		{
+			// Cache reads spread across many areas and every shard —
+			// the decide lookup cost at scale, where shard placement
+			// and per-shard snapshot loads dominate instead of one hot
+			// map entry.
+			Name: "shard_decide", Class: "cpu", Iters: 10000,
+			Setup: func() (Op, func(), error) {
+				areas := server.SyntheticAreaStates(1024, suiteB)
+				cache, err := server.NewShardedCache(areas, nil, 0)
+				if err != nil {
+					return nil, nil, err
+				}
+				ids := make([]string, len(areas))
+				for j, a := range areas {
+					ids[j] = a.ID
+				}
+				return func(i int) error {
+					if _, ok := cache.Get(ids[(i*31)%len(ids)]); !ok {
+						return fmt.Errorf("synthetic area missing from cache")
+					}
+					return nil
+				}, nil, nil
+			},
+		},
+		{
 			// The event-driven simulator over a fixed 500-stop trace
 			// with the constrained policy.
 			Name: "simulator_run", Class: "throughput", Iters: 300,

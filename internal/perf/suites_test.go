@@ -24,6 +24,7 @@ func TestDefaultSuitesCaptureAndSelfCompare(t *testing.T) {
 		"strategy_derive", "cache_hit", "cache_update",
 		"decide_single", "decide_custom_b", "decide_batch_64",
 		"multislope_prepare", "decide_multislope",
+		"observe_stream", "shard_decide",
 		"fleet_generate", "simulator_run",
 	}
 	if len(f.Results) != len(want) {
@@ -73,6 +74,8 @@ func TestSuiteNamesAreStable(t *testing.T) {
 		"decide_batch_64":    "latency",
 		"multislope_prepare": "cpu",
 		"decide_multislope":  "latency",
+		"observe_stream":     "latency",
+		"shard_decide":       "cpu",
 		"fleet_generate":     "throughput",
 		"simulator_run":      "throughput",
 	}

@@ -163,6 +163,68 @@ type PoliciesResponse struct {
 	Policies []PolicyInfo `json:"policies"`
 }
 
+// ObserveRequest streams one completed stop into an area's running
+// statistics (POST /v1/observe). Unlike PUT /v1/areas/{id}/stats,
+// which replaces the pair wholesale, observations accumulate into
+// exponentially-weighted moments and feed the CUSUM drift detector; a
+// drift alarm re-derives the area's strategies server-side.
+type ObserveRequest struct {
+	// Area is the statistics area the stop happened in.
+	Area string `json:"area"`
+	// StopSec is the completed stop's length in seconds.
+	StopSec float64 `json:"stop_sec"`
+	// VehicleID optionally attributes the observation (forensics only;
+	// the stream is keyed by area).
+	VehicleID string `json:"vehicle_id,omitempty"`
+}
+
+// ObserveResponse reports the outcome of one streamed observation.
+type ObserveResponse struct {
+	Area string `json:"area"`
+	// Seq is the observation's 1-based position in the area's stream
+	// since boot (or since the area's break-even interval changed).
+	Seq int64 `json:"seq"`
+	// Warm reports whether the estimates have absorbed the configured
+	// minimum observations; re-tunes are suppressed until then.
+	Warm bool `json:"warm"`
+	// Mu and Q are the area's running estimates after this observation.
+	Mu float64 `json:"mu"`
+	Q  float64 `json:"q"`
+	// Alarm reports a CUSUM drift alarm on this observation; Retuned
+	// reports that the alarm re-derived the area's cached strategies
+	// from the running estimates.
+	Alarm   bool `json:"alarm,omitempty"`
+	Retuned bool `json:"retuned,omitempty"`
+	// StatsVersion is the area's statistics version after this
+	// observation (bumped when Retuned).
+	StatsVersion uint64 `json:"stats_version"`
+}
+
+// BatchObserveRequest streams several observations in one request.
+// Items are applied strictly in input order (observations on one area
+// form a sequential stream), so the reply is deterministic.
+type BatchObserveRequest struct {
+	Observations []ObserveRequest `json:"observations"`
+}
+
+// BatchObserveItem is one slot of a batch observe reply: exactly one
+// of Result or Error is set.
+type BatchObserveItem struct {
+	Result *ObserveResponse `json:"result,omitempty"`
+	Error  *APIError        `json:"error,omitempty"`
+}
+
+// BatchObserveResponse carries the order-preserving batch results plus
+// roll-up counts so load generators don't re-scan items.
+type BatchObserveResponse struct {
+	Results []BatchObserveItem `json:"results"`
+	// Accepted counts successful observations; Alarms and Retunes count
+	// CUSUM alarms and strategy re-derivations inside the batch.
+	Accepted int `json:"accepted"`
+	Alarms   int `json:"alarms"`
+	Retunes  int `json:"retunes"`
+}
+
 // APIError is the structured error body every non-2xx reply carries:
 //
 //	{"error": {"code": "unknown_area", "message": "...", "status": 404}}

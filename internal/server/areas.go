@@ -29,6 +29,22 @@ func DefaultAreaStates(b float64) ([]AreaState, error) {
 	return out, nil
 }
 
+// SyntheticAreaStates fabricates n deterministic areas at break-even
+// interval b for scale testing (the 100k-area loadtest). IDs are
+// "syn-000000"... and the (mu, q) pairs cycle through feasible
+// combinations, so strategy derivation exercises every vertex choice
+// without any randomness. The same (n, b) always yields the same set.
+func SyntheticAreaStates(n int, b float64) []AreaState {
+	out := make([]AreaState, n)
+	for i := range out {
+		// q in [0.02, 0.42), mu in a band safely inside [0, B(1-q)].
+		q := 0.02 + 0.05*float64(i%8)
+		mu := b * (1 - q) * (0.15 + 0.07*float64(i%11))
+		out[i] = AreaState{ID: fmt.Sprintf("syn-%06d", i), B: b, Mu: mu, Q: q}
+	}
+	return out
+}
+
 // ReadAreaStates parses an -areas config file: a JSON array of
 // {"id", "b", "mu", "q"} objects. Every entry is validated; unknown
 // fields are rejected so config typos fail loudly at boot.

@@ -8,6 +8,7 @@ import (
 	"math"
 	"strings"
 
+	"idlereduce/internal/adaptive"
 	"idlereduce/internal/parallel"
 	"idlereduce/internal/policy"
 )
@@ -51,6 +52,58 @@ type AuditRecord struct {
 	// Schedule is the full action ladder of multi-state engines;
 	// single-threshold decisions omit it.
 	Schedule []ScheduleAction `json:"schedule,omitempty"`
+}
+
+// observeKind tags observe-stream audit records. Decide records carry
+// no kind field (they predate the tag), so old logs keep verifying.
+const observeKind = "observe"
+
+// ObserveRecord is one line of the observation audit stream: the
+// sufficient statistics BEFORE the observation, the observation, and
+// the statistics AFTER it. The transition is the pure function
+// adaptive.StepMoments, so every record is independently re-derivable
+// bit-for-bit — and consecutive records of one area must chain (each
+// record's prev sums equal the previous record's post sums), which
+// VerifyAudit also checks. The CUSUM alarm flag is recorded evidence,
+// not replayed (it depends on detector state across the whole stream).
+type ObserveRecord struct {
+	// Kind is always "observe"; its absence marks a decide record.
+	Kind     string `json:"kind"`
+	TSUnixMS int64  `json:"ts_unix_ms"`
+	// RequestID correlates with trace spans; VehicleID is the optional
+	// attribution from the request.
+	RequestID string `json:"request_id,omitempty"`
+	VehicleID string `json:"vehicle_id,omitempty"`
+	Area      string `json:"area"`
+	// Seq is the observation's 1-based position in the area's stream.
+	// Seq 1 starts a fresh chain (boot, or the area's break-even
+	// interval changed).
+	Seq int64 `json:"seq"`
+	// B and Forgetting are the transition parameters; StopSec the
+	// observed stop length.
+	B          float64 `json:"b"`
+	Forgetting float64 `json:"forgetting"`
+	StopSec    float64 `json:"stop_sec"`
+	// PrevW/PrevMuSum/PrevQSum are the sufficient statistics before the
+	// observation; W/MuSum/QSum after.
+	PrevW     float64 `json:"prev_w"`
+	PrevMuSum float64 `json:"prev_mu_sum"`
+	PrevQSum  float64 `json:"prev_q_sum"`
+	W         float64 `json:"w"`
+	MuSum     float64 `json:"mu_sum"`
+	QSum      float64 `json:"q_sum"`
+	// Warm/Alarm/Retuned report the stream outcome; StatsVersion is the
+	// area's statistics version after the observation (bumped when the
+	// alarm re-derived the area's strategies).
+	Warm         bool   `json:"warm"`
+	Alarm        bool   `json:"alarm,omitempty"`
+	Retuned      bool   `json:"retuned,omitempty"`
+	StatsVersion uint64 `json:"stats_version"`
+	// Mu and Q are the running estimates after the observation
+	// (MuSum/W and QSum/W; denormalized for grep-ability and checked on
+	// replay).
+	Mu float64 `json:"mu"`
+	Q  float64 `json:"q"`
 }
 
 // AuditVerifyReport summarizes one replay-verification pass.
@@ -110,6 +163,10 @@ func VerifyAudit(rd io.Reader) (AuditVerifyReport, error) {
 	badLine := ""
 	hasBad := false
 	lineNo := 0
+	// lastObserve chains each area's observe records: a record whose seq
+	// follows its predecessor must start from exactly the sums the
+	// predecessor ended with.
+	lastObserve := make(map[string]ObserveRecord)
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -122,17 +179,47 @@ func VerifyAudit(rd io.Reader) (AuditVerifyReport, error) {
 			rep.detail("line %d: undecodable record %.60q", lineNo-1, badLine)
 			hasBad = false
 		}
-		var rec AuditRecord
-		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		// The log interleaves record kinds; peek the tag to dispatch.
+		// Decide records predate the tag and carry none.
+		var tag struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &tag); err != nil {
 			badLine, hasBad = line, true
 			continue
 		}
-		rep.Records++
-		if msg := replayRecord(rec); msg != "" {
+		switch tag.Kind {
+		case "":
+			var rec AuditRecord
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				badLine, hasBad = line, true
+				continue
+			}
+			rep.Records++
+			if msg := replayRecord(rec); msg != "" {
+				rep.Mismatched++
+				rep.detail("line %d (%s/%s): %s", lineNo, rec.VehicleID, rec.Area, msg)
+			} else {
+				rep.Matched++
+			}
+		case observeKind:
+			var rec ObserveRecord
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				badLine, hasBad = line, true
+				continue
+			}
+			rep.Records++
+			if msg := replayObserveRecord(rec, lastObserve); msg != "" {
+				rep.Mismatched++
+				rep.detail("line %d (observe %s#%d): %s", lineNo, rec.Area, rec.Seq, msg)
+			} else {
+				rep.Matched++
+			}
+			lastObserve[rec.Area] = rec
+		default:
+			rep.Records++
 			rep.Mismatched++
-			rep.detail("line %d (%s/%s): %s", lineNo, rec.VehicleID, rec.Area, msg)
-		} else {
-			rep.Matched++
+			rep.detail("line %d: unknown record kind %q", lineNo, tag.Kind)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -149,6 +236,71 @@ func (r *AuditVerifyReport) detail(format string, args ...any) {
 	if len(r.Details) < maxVerifyDetails {
 		r.Details = append(r.Details, fmt.Sprintf(format, args...))
 	}
+}
+
+// replayObserveRecord re-derives one observe transition; empty string
+// means identical. last carries each area's previous observe record
+// for the chain-continuity check.
+func replayObserveRecord(rec ObserveRecord, last map[string]ObserveRecord) string {
+	if rec.Area == "" {
+		return "missing area"
+	}
+	if rec.Seq < 1 {
+		return fmt.Sprintf("sequence %d is not positive", rec.Seq)
+	}
+	if rec.B <= 0 || math.IsNaN(rec.B) || math.IsInf(rec.B, 0) {
+		return fmt.Sprintf("break-even interval %v is not positive finite", rec.B)
+	}
+	if rec.Forgetting <= 0 || rec.Forgetting > 1 || math.IsNaN(rec.Forgetting) {
+		return fmt.Sprintf("forgetting %v outside (0, 1]", rec.Forgetting)
+	}
+	if rec.StopSec < 0 || math.IsNaN(rec.StopSec) || math.IsInf(rec.StopSec, 0) {
+		return fmt.Sprintf("stop length %v is not finite non-negative", rec.StopSec)
+	}
+	for _, v := range []float64{rec.PrevW, rec.PrevMuSum, rec.PrevQSum} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Sprintf("prior sums (%v, %v, %v) are not finite non-negative", rec.PrevW, rec.PrevMuSum, rec.PrevQSum)
+		}
+	}
+	// The transition itself: the recorded successors must be exactly
+	// what the pure step produces from the recorded priors.
+	w2, mu2, q2 := adaptive.StepMoments(rec.PrevW, rec.PrevMuSum, rec.PrevQSum, rec.Forgetting, rec.B, rec.StopSec)
+	if math.Float64bits(w2) != math.Float64bits(rec.W) ||
+		math.Float64bits(mu2) != math.Float64bits(rec.MuSum) ||
+		math.Float64bits(q2) != math.Float64bits(rec.QSum) {
+		return fmt.Sprintf("sums (%v, %v, %v) replayed as (%v, %v, %v)",
+			rec.W, rec.MuSum, rec.QSum, w2, mu2, q2)
+	}
+	// The denormalized estimates must be the recorded sums' quotients.
+	if math.Float64bits(rec.Mu) != math.Float64bits(rec.MuSum/rec.W) ||
+		math.Float64bits(rec.Q) != math.Float64bits(rec.QSum/rec.W) {
+		return fmt.Sprintf("estimates (%v, %v) do not re-derive from sums (got %v, %v)",
+			rec.Mu, rec.Q, rec.MuSum/rec.W, rec.QSum/rec.W)
+	}
+	if rec.Retuned && !rec.Alarm {
+		return "retuned without an alarm"
+	}
+	if rec.Retuned && !rec.Warm {
+		return "retuned before warmup"
+	}
+	// Chain continuity: when this record directly follows its area's
+	// previous one (contiguous seq, same parameters), its priors must be
+	// the predecessor's posteriors bit-for-bit. Seq 1 starts a fresh
+	// chain; gaps (the bounded audit writer is lossy under pressure)
+	// skip the check rather than fabricate one.
+	prev, ok := last[rec.Area]
+	if ok && rec.Seq == prev.Seq+1 && rec.B == prev.B && rec.Forgetting == prev.Forgetting {
+		if math.Float64bits(rec.PrevW) != math.Float64bits(prev.W) ||
+			math.Float64bits(rec.PrevMuSum) != math.Float64bits(prev.MuSum) ||
+			math.Float64bits(rec.PrevQSum) != math.Float64bits(prev.QSum) {
+			return fmt.Sprintf("chain break: priors (%v, %v, %v) but predecessor #%d ended at (%v, %v, %v)",
+				rec.PrevW, rec.PrevMuSum, rec.PrevQSum, prev.Seq, prev.W, prev.MuSum, prev.QSum)
+		}
+		if rec.StatsVersion < prev.StatsVersion {
+			return fmt.Sprintf("stats version %d regressed from %d", rec.StatsVersion, prev.StatsVersion)
+		}
+	}
+	return ""
 }
 
 // replayRecord re-derives one decision; empty string means identical.

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -105,9 +106,19 @@ func paramsHash(b float64) uint64 {
 	return h.Sum64()
 }
 
+// areaHash places an area on its shard: FNV-1a over the normalized ID.
+// The placement is a pure function of the ID, so a snapshot taken with
+// one shard count restores correctly under any other.
+func areaHash(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
+}
+
 // strategy is one immutable cache entry: the area record plus the
 // engine-prepared policy. Entries are never mutated after
-// construction; updates build fresh entries and swap the whole map.
+// construction; updates build fresh entries and swap their shard's
+// snapshot.
 type strategy struct {
 	rec  *areaRec
 	eng  policy.Engine
@@ -141,19 +152,42 @@ func (s *strategy) Info() AreaInfo {
 	return info
 }
 
-// snapshot is one immutable cache generation: the area records plus
-// the prepared per-engine strategies.
+// snapshot is one immutable generation of ONE shard: the shard's area
+// records plus the prepared per-engine strategies of those areas.
 type snapshot struct {
 	areas   map[string]*areaRec
 	entries map[Key]*strategy
 }
 
+// shard is one independently-published slice of the cache keyspace.
+// Readers load the shard's snapshot with a single atomic pointer load;
+// writers serialize on the shard mutex and publish copy-on-write, so a
+// stats update or lazy engine fill on one shard never blocks decides —
+// or concurrent updates — on any other shard.
+type shard struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[snapshot]
+	// hitMetric / missMetric are the pre-formatted per-shard cache
+	// counters (decide_shard_hits_total{shard=N} and the miss twin), so
+	// per-shard hit-rate attribution costs the hot path no formatting.
+	hitMetric  string
+	missMetric string
+}
+
+// DefaultShards is the shard count used when Config.Shards is unset:
+// enough to keep stats updates and lazy fills from contending at
+// million-vehicle area counts, small enough that a full listing stays
+// cheap.
+const DefaultShards = 16
+
 // Cache is the read-mostly strategy cache, keyed {area, engine,
-// params-hash}. Reads are a single atomic pointer load plus map
-// lookups — no locks on the decide path. Writers serialize on mu and
-// publish copy-on-write: build the new entries, clone the maps, swap
-// the pointer. Readers holding the old snapshot keep a consistent
-// view.
+// params-hash} and sharded by area hash. Reads are a single atomic
+// pointer load on the owning shard plus map lookups — no locks on the
+// decide path, and no cross-shard coordination anywhere: each shard
+// has its own writer mutex and its own copy-on-write snapshot chain,
+// so there is no global swap and a re-tune storm on one shard leaves
+// the other shards' decide latency untouched. Readers holding an old
+// shard snapshot keep a consistent view of that shard.
 //
 // Entries for the eager engines (the registry default plus the
 // daemon's serving default) are prepared at boot and on every stats
@@ -161,19 +195,48 @@ type snapshot struct {
 // requests never pay a prepare. Other engines fill in lazily on first
 // use and are invalidated by stats updates.
 type Cache struct {
-	mu    sync.Mutex
-	snap  atomic.Pointer[snapshot]
-	eager []policy.Engine
+	shards []*shard
+	mask   uint64
+	eager  []policy.Engine
 }
 
-// NewCache builds the cache from the boot-time area states, preparing
-// every eager engine for every area. Duplicate IDs (after
-// lowercasing) are rejected. The registry default engine is always
-// eager.
+// NewCache builds the cache from the boot-time area states with the
+// default shard count; see NewShardedCache.
 func NewCache(areas []AreaState, eager []policy.Engine) (*Cache, error) {
-	if len(areas) == 0 {
+	return NewShardedCache(areas, eager, 0)
+}
+
+// NewShardedCache builds the cache from the boot-time area states,
+// preparing every eager engine for every area. Duplicate IDs (after
+// lowercasing) are rejected. The registry default engine is always
+// eager. shards is rounded up to a power of two (0 = DefaultShards);
+// the shard count is invisible on the wire — decisions are
+// byte-identical for every value.
+func NewShardedCache(areas []AreaState, eager []policy.Engine, shards int) (*Cache, error) {
+	recs := make([]*areaRec, 0, len(areas))
+	seen := make(map[string]bool, len(areas))
+	for _, a := range areas {
+		rec, err := newAreaRec(a, 1)
+		if err != nil {
+			return nil, err
+		}
+		if seen[rec.state.ID] {
+			return nil, fmt.Errorf("server: duplicate area id %q", rec.state.ID)
+		}
+		seen[rec.state.ID] = true
+		recs = append(recs, rec)
+	}
+	return newCacheFromRecs(recs, eager, shards)
+}
+
+// newCacheFromRecs builds and publishes the shard snapshots from
+// validated, deduplicated area records (the shared tail of boot and
+// snapshot restore; recs carry their own versions).
+func newCacheFromRecs(recs []*areaRec, eager []policy.Engine, shards int) (*Cache, error) {
+	if len(recs) == 0 {
 		return nil, fmt.Errorf("server: no areas configured")
 	}
+	n := shardCount(shards)
 	def, _ := policy.Get(policy.DefaultEngine)
 	engines := []policy.Engine{def}
 	for _, e := range eager {
@@ -181,18 +244,17 @@ func NewCache(areas []AreaState, eager []policy.Engine) (*Cache, error) {
 			engines = append(engines, e)
 		}
 	}
-	sn := &snapshot{
-		areas:   make(map[string]*areaRec, len(areas)),
-		entries: make(map[Key]*strategy, len(areas)*len(engines)),
+	c := &Cache{shards: make([]*shard, n), mask: uint64(n - 1), eager: engines}
+	snaps := make([]*snapshot, n)
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			hitMetric:  obs.L("decide_shard_hits_total", "shard", strconv.Itoa(i)),
+			missMetric: obs.L("decide_shard_misses_total", "shard", strconv.Itoa(i)),
+		}
+		snaps[i] = &snapshot{areas: make(map[string]*areaRec), entries: make(map[Key]*strategy)}
 	}
-	for _, a := range areas {
-		rec, err := newAreaRec(a, 1)
-		if err != nil {
-			return nil, err
-		}
-		if _, dup := sn.areas[rec.state.ID]; dup {
-			return nil, fmt.Errorf("server: duplicate area id %q", rec.state.ID)
-		}
+	for _, rec := range recs {
+		sn := snaps[areaHash(rec.state.ID)&c.mask]
 		sn.areas[rec.state.ID] = rec
 		for _, eng := range engines {
 			st, err := prepare(rec, eng)
@@ -202,9 +264,30 @@ func NewCache(areas []AreaState, eager []policy.Engine) (*Cache, error) {
 			sn.entries[st.key()] = st
 		}
 	}
-	c := &Cache{eager: engines}
-	c.snap.Store(sn)
+	for i, sh := range c.shards {
+		sh.snap.Store(snaps[i])
+	}
 	return c, nil
+}
+
+// shardCount normalizes a requested shard count to a power of two.
+func shardCount(n int) int {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Shards returns the shard count.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// shardFor returns the shard owning a normalized area ID.
+func (c *Cache) shardFor(id string) *shard {
+	return c.shards[areaHash(id)&c.mask]
 }
 
 // prepare builds one cache entry.
@@ -218,37 +301,39 @@ func prepare(rec *areaRec, eng policy.Engine) (*strategy, error) {
 
 // Area returns the current record of an area (case-insensitive).
 func (c *Cache) Area(id string) (*areaRec, bool) {
-	sn := c.snap.Load()
-	rec, ok := sn.areas[strings.ToLower(strings.TrimSpace(id))]
+	key := strings.ToLower(strings.TrimSpace(id))
+	rec, ok := c.shardFor(key).snap.Load().areas[key]
 	return rec, ok
 }
 
 // Get returns an area's default-engine strategy (the legacy lookup
 // surface; always present for configured areas).
 func (c *Cache) Get(id string) (*strategy, bool) {
-	rec, ok := c.Area(id)
+	key := strings.ToLower(strings.TrimSpace(id))
+	sn := c.shardFor(key).snap.Load()
+	rec, ok := sn.areas[key]
 	if !ok {
 		return nil, false
 	}
-	sn := c.snap.Load()
 	st, ok := sn.entries[Key{Area: rec.state.ID, Engine: policy.DefaultEngine, Params: paramsHash(rec.state.B)}]
 	return st, ok
 }
 
 // Strategy returns the prepared strategy of (area, engine) at the
 // area's default break-even. Eager engines always hit; other engines
-// prepare lazily on first use, publish copy-on-write, and hit from
-// then on. An engine that cannot serve the area's statistics returns
-// the prepare error (wrapping policy.ErrInfeasible) without caching
-// the failure.
+// prepare lazily on first use, publish copy-on-write on their shard,
+// and hit from then on. An engine that cannot serve the area's
+// statistics returns the prepare error (wrapping policy.ErrInfeasible)
+// without caching the failure.
 func (c *Cache) Strategy(rec *areaRec, eng policy.Engine) (*strategy, error) {
+	sh := c.shardFor(rec.state.ID)
 	key := Key{Area: rec.state.ID, Engine: eng.Name(), Params: paramsHash(rec.state.B)}
-	if st, ok := c.snap.Load().entries[key]; ok && st.rec == rec {
+	if st, ok := sh.snap.Load().entries[key]; ok && st.rec == rec {
 		return st, nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	sn := c.snap.Load()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sn := sh.snap.Load()
 	// Re-check under the lock; another request may have prepared it,
 	// and the area may have been re-stated since the caller's lookup.
 	cur, ok := sn.areas[rec.state.ID]
@@ -268,7 +353,7 @@ func (c *Cache) Strategy(rec *areaRec, eng policy.Engine) (*strategy, error) {
 		next.entries[k] = v
 	}
 	next.entries[st.key()] = st
-	c.snap.Store(next)
+	sh.snap.Store(next)
 	return st, nil
 }
 
@@ -277,13 +362,16 @@ func (c *Cache) Strategy(rec *areaRec, eng policy.Engine) (*strategy, error) {
 // re-prepared and validated before publication — a stats update that
 // any serving-default engine cannot serve is rejected whole — and
 // lazily-cached entries of other engines are dropped so they rebuild
-// against the new statistics on next use. Returns the area's new
-// default-engine strategy.
+// against the new statistics on next use. Only the area's own shard
+// is locked and re-published; every other shard keeps serving its
+// current snapshot untouched. Returns the area's new default-engine
+// strategy.
 func (c *Cache) Update(id string, b float64, s skirental.Stats) (*strategy, error) {
 	key := strings.ToLower(strings.TrimSpace(id))
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	sn := c.snap.Load()
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sn := sh.snap.Load()
 	prev, ok := sn.areas[key]
 	if !ok {
 		return nil, fmt.Errorf("server: unknown area %q", id)
@@ -303,18 +391,35 @@ func (c *Cache) Update(id string, b float64, s skirental.Stats) (*strategy, erro
 		latMetric: prev.latMetric,
 		cntMetric: prev.cntMetric,
 	}
+	def, fresh, err := c.prepareEager(rec)
+	if err != nil {
+		return nil, err
+	}
+	sh.snap.Store(replaceArea(sn, rec, fresh))
+	return def, nil
+}
+
+// prepareEager prepares every eager engine against a fresh record,
+// returning the default-engine entry and the full set.
+func (c *Cache) prepareEager(rec *areaRec) (*strategy, []*strategy, error) {
 	fresh := make([]*strategy, 0, len(c.eager))
 	var def *strategy
 	for _, eng := range c.eager {
 		st, err := prepare(rec, eng)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if eng.Name() == policy.DefaultEngine {
 			def = st
 		}
 		fresh = append(fresh, st)
 	}
+	return def, fresh, nil
+}
+
+// replaceArea builds a shard snapshot with one area's record and eager
+// entries replaced and its lazy entries dropped.
+func replaceArea(sn *snapshot, rec *areaRec, fresh []*strategy) *snapshot {
 	next := &snapshot{
 		areas:   make(map[string]*areaRec, len(sn.areas)),
 		entries: make(map[Key]*strategy, len(sn.entries)),
@@ -322,25 +427,74 @@ func (c *Cache) Update(id string, b float64, s skirental.Stats) (*strategy, erro
 	for k, v := range sn.areas {
 		next.areas[k] = v
 	}
-	next.areas[key] = rec
+	next.areas[rec.state.ID] = rec
 	for k, v := range sn.entries {
-		if k.Area != key {
+		if k.Area != rec.state.ID {
 			next.entries[k] = v
 		}
 	}
 	for _, st := range fresh {
 		next.entries[st.key()] = st
 	}
-	c.snap.Store(next)
-	return def, nil
+	return next
+}
+
+// Restore atomically replaces the state of existing areas from a
+// snapshot: for each entry the record (state AND statistics version)
+// is rebuilt, eager engines are re-prepared, and the owning shard is
+// re-published copy-on-write. All entries are validated and prepared
+// before any shard is touched, so a bad snapshot changes nothing.
+// Entries naming unknown areas are rejected: the serving area set is
+// fixed at boot. Each shard swaps atomically; concurrent decides on
+// other shards are never blocked.
+func (c *Cache) Restore(entries []AreaSnapshot) error {
+	type staged struct {
+		rec   *areaRec
+		fresh []*strategy
+	}
+	byShard := make(map[*shard][]staged)
+	seen := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		rec, err := newAreaRec(e.AreaState, e.Version)
+		if err != nil {
+			return err
+		}
+		if rec.version == 0 {
+			return fmt.Errorf("server: restore: area %s has version 0", rec.state.ID)
+		}
+		if seen[rec.state.ID] {
+			return fmt.Errorf("server: restore: duplicate area %q", rec.state.ID)
+		}
+		seen[rec.state.ID] = true
+		if _, ok := c.Area(rec.state.ID); !ok {
+			return fmt.Errorf("server: restore: unknown area %q (the serving set is fixed at boot)", rec.state.ID)
+		}
+		_, fresh, err := c.prepareEager(rec)
+		if err != nil {
+			return err
+		}
+		sh := c.shardFor(rec.state.ID)
+		byShard[sh] = append(byShard[sh], staged{rec: rec, fresh: fresh})
+	}
+	for sh, batch := range byShard {
+		sh.mu.Lock()
+		sn := sh.snap.Load()
+		for _, st := range batch {
+			sn = replaceArea(sn, st.rec, st.fresh)
+		}
+		sh.snap.Store(sn)
+		sh.mu.Unlock()
+	}
+	return nil
 }
 
 // Areas returns every area record sorted by ID.
 func (c *Cache) Areas() []*areaRec {
-	sn := c.snap.Load()
-	out := make([]*areaRec, 0, len(sn.areas))
-	for _, rec := range sn.areas {
-		out = append(out, rec)
+	var out []*areaRec
+	for _, sh := range c.shards {
+		for _, rec := range sh.snap.Load().areas {
+			out = append(out, rec)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].state.ID < out[j].state.ID })
 	return out
@@ -359,4 +513,10 @@ func (c *Cache) List() []*strategy {
 }
 
 // Len returns the number of configured areas.
-func (c *Cache) Len() int { return len(c.snap.Load().areas) }
+func (c *Cache) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += len(sh.snap.Load().areas)
+	}
+	return n
+}

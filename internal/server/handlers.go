@@ -112,6 +112,7 @@ func (s *Server) decide(ctx context.Context, req DecideRequest, defaultSeed uint
 	// from the same statistics.
 	b := req.B
 	cached := b == 0 || b == rec.state.B
+	sh := s.cache.shardFor(rec.state.ID)
 	var prep policy.Strategy
 	if cached {
 		b = rec.state.B
@@ -121,8 +122,10 @@ func (s *Server) decide(ctx context.Context, req DecideRequest, defaultSeed uint
 		}
 		prep = entry.prep
 		s.rec.Add("decide_cache_hits_total", 1)
+		s.rec.Add(sh.hitMetric, 1)
 	} else {
 		s.rec.Add("decide_cache_misses_total", 1)
+		s.rec.Add(sh.missMetric, 1)
 		p, err := eng.Prepare(rec.state.PolicyStats(b))
 		if err != nil {
 			return nil, enginePrepareError(eng, rec.state.ID, b, err)
@@ -420,10 +423,12 @@ func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
 // unknown paths.
 func allowedMethods(path string) []string {
 	switch path {
-	case "/v1/decide", "/v1/decide/batch":
+	case "/v1/decide", "/v1/decide/batch", "/v1/observe", "/v1/observe/batch":
 		return []string{http.MethodPost}
 	case "/v1/areas", "/v1/policies", "/v1/history", "/v1/buildinfo", "/healthz", "/metrics":
 		return []string{http.MethodGet}
+	case "/v1/snapshot":
+		return []string{http.MethodGet, http.MethodPost}
 	}
 	if strings.HasPrefix(path, "/v1/areas/") && strings.HasSuffix(path, "/stats") {
 		return []string{http.MethodPut}

@@ -36,6 +36,26 @@ type LoadOptions struct {
 	// Areas round-robins request areas; empty discovers them from
 	// GET /v1/areas.
 	Areas []string
+	// ObserveFraction is the share of requests sent as observe batches
+	// instead of decide batches, in [0, 1). Zero keeps the legacy pure
+	// decide run. The interleave is deterministic per (client, request)
+	// index, never sampled.
+	ObserveFraction float64
+	// HotAreas concentrates observe traffic on the first min(HotAreas,
+	// len(areas)) areas (default 64): streaming estimators need tens of
+	// stops per area to warm, so spreading observations over 100k areas
+	// would never re-tune anything.
+	HotAreas int
+	// DriftAfter injects a regime change into the observed stop
+	// lengths after this fraction of each client's request sequence
+	// (default 0.5): post-drift stops are systematically longer, so
+	// the CUSUM detectors on hot areas provably alarm mid-run.
+	DriftAfter float64
+	// MissFraction is the share of decide slots carrying a custom
+	// break-even interval, in [0, 1). Custom-B decisions bypass the
+	// strategy cache, so the measured hit-rate has a controlled
+	// expectation instead of pinning at 1.0.
+	MissFraction float64
 	// Timeout is the per-request client timeout (default 30s).
 	Timeout time.Duration
 	// Transport overrides the HTTP transport (tests drive an in-process
@@ -64,11 +84,26 @@ type LoadReport struct {
 	// RequestQPS and DecisionQPS are achieved throughput.
 	RequestQPS  float64 `json:"request_qps"`
 	DecisionQPS float64 `json:"decision_qps"`
-	// P50/P90/P99/Max are client-observed batch latencies in ms.
+	// Observations/Alarms/Retunes summarize the observe stream: stops
+	// accepted, CUSUM drift alarms raised, and strategy re-derivations
+	// those alarms triggered (from the batch roll-up counts).
+	Observations int64 `json:"observations"`
+	Alarms       int64 `json:"alarms"`
+	Retunes      int64 `json:"retunes"`
+	// CacheHitRate is the fraction of decisions served from the
+	// precomputed strategy cache, counted client-side from the Cached
+	// response field (so it works against remote targets too).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// P50/P90/P99/Max are client-observed batch latencies in ms, over
+	// every request kind.
 	P50 float64 `json:"p50_ms"`
 	P90 float64 `json:"p90_ms"`
 	P99 float64 `json:"p99_ms"`
 	Max float64 `json:"max_ms"`
+	// DecideP99/ObserveP99 split the tail by request kind (observe is
+	// zero on pure decide runs).
+	DecideP99  float64 `json:"decide_p99_ms"`
+	ObserveP99 float64 `json:"observe_p99_ms"`
 	// AllocsPerOp is the harness process's heap allocations per served
 	// decision (runtime.MemStats deltas across the run). With an
 	// in-process target sharing the recorder this includes the server
@@ -98,10 +133,16 @@ func (r LoadReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "loadtest: %d clients x batch %d for %.2fs\n", r.Clients, r.Batch, r.Duration)
 	fmt.Fprintf(&b, "  requests   %8d  (%.0f req/s)\n", r.Requests, r.RequestQPS)
-	fmt.Fprintf(&b, "  decisions  %8d  (%.0f decisions/s)\n", r.Decisions, r.DecisionQPS)
+	fmt.Fprintf(&b, "  decisions  %8d  (%.0f decisions/s, cache hit-rate %.3f)\n", r.Decisions, r.DecisionQPS, r.CacheHitRate)
+	if r.Observations > 0 {
+		fmt.Fprintf(&b, "  observed   %8d  stops  (%d alarms, %d retunes)\n", r.Observations, r.Alarms, r.Retunes)
+	}
 	fmt.Fprintf(&b, "  overloaded %8d  (429 load-shed replies)\n", r.Overloaded)
 	fmt.Fprintf(&b, "  errors     %8d\n", r.Errors)
 	fmt.Fprintf(&b, "  latency ms p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n", r.P50, r.P90, r.P99, r.Max)
+	if r.Observations > 0 {
+		fmt.Fprintf(&b, "  tail split p99 decide %.2f  observe %.2f ms\n", r.DecideP99, r.ObserveP99)
+	}
 	fmt.Fprintf(&b, "  alloc      %8.1f allocs/decision  gc pauses %.2f ms in %d cycles\n",
 		r.AllocsPerOp, r.GCPauseMs, r.GCCycles)
 	for i, a := range r.TopAreas {
@@ -134,6 +175,12 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 30 * time.Second
 	}
+	if opts.HotAreas <= 0 {
+		opts.HotAreas = 64
+	}
+	if opts.DriftAfter <= 0 || opts.DriftAfter >= 1 {
+		opts.DriftAfter = 0.5
+	}
 	client := &http.Client{Timeout: opts.Timeout, Transport: opts.Transport}
 	base := strings.TrimRight(opts.BaseURL, "/")
 
@@ -144,12 +191,19 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 			return LoadReport{}, err
 		}
 	}
+	hot := opts.HotAreas
+	if hot > len(areas) {
+		hot = len(areas)
+	}
+	driftAt := int(opts.DriftAfter * float64(opts.Requests))
 
 	rec := opts.Recorder
 	if rec == nil {
 		rec = obs.NewRecorder("loadtest", obs.NewRegistry(), nil)
 	}
 	lat := rec.Registry().Histogram("loadtest_request_ms")
+	decideLat := rec.Registry().Histogram("loadtest_decide_ms")
+	observeLat := rec.Registry().Histogram("loadtest_observe_ms")
 
 	// Bracket the run with MemStats reads: allocation rate per served
 	// decision and GC pause totals land in the registry (and hence the
@@ -166,6 +220,38 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
+				// The decide/observe interleave is a pure function of
+				// the (client, request) index — no sampling, so a run
+				// is exactly reproducible.
+				if opts.ObserveFraction > 0 && float64((c*131+r*17)%100) < opts.ObserveFraction*100 {
+					req := BatchObserveRequest{Observations: make([]ObserveRequest, opts.Batch)}
+					for i := range req.Observations {
+						req.Observations[i] = ObserveRequest{
+							Area:      areas[(c*7+r*3+i)%hot],
+							StopSec:   syntheticStop(c, r, i, r >= driftAt),
+							VehicleID: fmt.Sprintf("load-%04d-%06d", c, r*opts.Batch+i),
+						}
+					}
+					sent := time.Now()
+					status, accepted, alarms, retunes, err := postObserveBatch(ctx, client, base, req)
+					ms := float64(time.Since(sent)) / float64(time.Millisecond)
+					lat.Observe(ms)
+					observeLat.Observe(ms)
+					rec.Add("loadtest_requests_total", 1)
+					switch {
+					case err != nil:
+						rec.Add("loadtest_errors_total", 1)
+					case status == http.StatusTooManyRequests:
+						rec.Add("loadtest_429_total", 1)
+					case status != http.StatusOK:
+						rec.Add("loadtest_errors_total", 1)
+					default:
+						rec.Add("loadtest_observations_total", int64(accepted))
+						rec.Add("loadtest_alarms_total", int64(alarms))
+						rec.Add("loadtest_retunes_total", int64(retunes))
+					}
+					continue
+				}
 				req := BatchDecideRequest{Seed: opts.Seed, Requests: make([]DecideRequest, opts.Batch)}
 				for i := range req.Requests {
 					req.Requests[i] = DecideRequest{
@@ -173,10 +259,17 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 						Area:      areas[(c+r+i)%len(areas)],
 						Policy:    opts.Policy,
 					}
+					// A controlled share of slots carries a custom
+					// break-even interval, forcing a cache-miss prepare.
+					if opts.MissFraction > 0 && float64((c*37+r*13+i*7)%100) < opts.MissFraction*100 {
+						req.Requests[i].B = 29 + float64(i%3)
+					}
 				}
 				sent := time.Now()
-				status, decided, err := postBatch(ctx, client, base, req)
-				lat.Observe(float64(time.Since(sent)) / float64(time.Millisecond))
+				status, decided, cached, err := postBatch(ctx, client, base, req)
+				ms := float64(time.Since(sent)) / float64(time.Millisecond)
+				lat.Observe(ms)
+				decideLat.Observe(ms)
 				rec.Add("loadtest_requests_total", 1)
 				switch {
 				case err != nil:
@@ -187,6 +280,7 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 					rec.Add("loadtest_errors_total", 1)
 				default:
 					rec.Add("loadtest_decisions_total", int64(decided))
+					rec.Add("loadtest_cached_total", int64(cached))
 				}
 			}
 			return nil
@@ -215,8 +309,20 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 	report.Decisions, _ = snap.CounterValue("loadtest_decisions_total")
 	report.Overloaded, _ = snap.CounterValue("loadtest_429_total")
 	report.Errors, _ = snap.CounterValue("loadtest_errors_total")
+	report.Observations, _ = snap.CounterValue("loadtest_observations_total")
+	report.Alarms, _ = snap.CounterValue("loadtest_alarms_total")
+	report.Retunes, _ = snap.CounterValue("loadtest_retunes_total")
+	if hits, ok := snap.CounterValue("loadtest_cached_total"); ok && report.Decisions > 0 {
+		report.CacheHitRate = float64(hits) / float64(report.Decisions)
+	}
 	if h, ok := snap.HistogramValue("loadtest_request_ms"); ok {
 		report.P50, report.P90, report.P99, report.Max = h.P50, h.P90, h.P99, h.Max
+	}
+	if h, ok := snap.HistogramValue("loadtest_decide_ms"); ok {
+		report.DecideP99 = h.P99
+	}
+	if h, ok := snap.HistogramValue("loadtest_observe_ms"); ok {
+		report.ObserveP99 = h.P99
 	}
 	report.AllocsPerOp, _ = snap.GaugeValue("decide_allocs_per_op")
 	report.GCPauseMs, _ = snap.GaugeValue("loadtest_gc_pause_total_ms")
@@ -238,37 +344,81 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 	return report, nil
 }
 
-// postBatch sends one batch request and returns (status, decisions).
-func postBatch(ctx context.Context, client *http.Client, base string, req BatchDecideRequest) (int, int, error) {
+// syntheticStop fabricates a deterministic stop length (seconds) for
+// one observe slot. Pre-drift stops cluster short (5–24s); post-drift
+// stops are systematically longer (22–60s), so the CUSUM mean on the
+// capped length shifts enough to alarm on every hot area.
+func syntheticStop(c, r, i int, drifted bool) float64 {
+	k := c*101 + r*19 + i*7
+	if drifted {
+		return 22 + float64(k%39)
+	}
+	return 5 + float64(k%20)
+}
+
+// postBatch sends one batch request and returns (status, decisions,
+// cache hits).
+func postBatch(ctx context.Context, client *http.Client, base string, req BatchDecideRequest) (int, int, int, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/decide/batch", bytes.NewReader(body))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(hreq)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode, 0, nil
+		return resp.StatusCode, 0, 0, nil
 	}
 	var batch BatchDecideResponse
 	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
-		return resp.StatusCode, 0, err
+		return resp.StatusCode, 0, 0, err
 	}
-	decided := 0
+	decided, cached := 0, 0
 	for _, item := range batch.Results {
 		if item.Decision != nil {
 			decided++
+			if item.Decision.Cached {
+				cached++
+			}
 		}
 	}
-	return resp.StatusCode, decided, nil
+	return resp.StatusCode, decided, cached, nil
+}
+
+// postObserveBatch sends one observe batch and returns (status,
+// accepted, alarms, retunes) from the roll-up counts.
+func postObserveBatch(ctx context.Context, client *http.Client, base string, req BatchObserveRequest) (int, int, int, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/observe/batch", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, 0, 0, 0, nil
+	}
+	var batch BatchObserveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		return resp.StatusCode, 0, 0, 0, err
+	}
+	return resp.StatusCode, batch.Accepted, batch.Alarms, batch.Retunes, nil
 }
 
 // discoverAreas fetches the target's configured area IDs.

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"idlereduce/internal/adaptive"
+	"idlereduce/internal/obs"
+)
+
+// RetuneConfig parameterizes the server-side observation stream: how
+// fast the per-area running statistics forget, how many observations
+// they need before being trusted, and how sensitive the CUSUM drift
+// detector is. The zero value takes every default.
+type RetuneConfig struct {
+	// Forgetting is the exponential decay per observation in (0, 1].
+	// The serving default is 0.98 (a ~50-stop memory), so the
+	// estimates keep tracking a drifted regime between alarms instead
+	// of averaging it into unbounded history.
+	Forgetting float64
+	// MinObservations gates re-tunes: an alarm before this many stops
+	// in an area's stream is counted but does not re-derive strategies.
+	// Default 50.
+	MinObservations int
+	// DriftThreshold/DriftSlack/DriftWarmup forward to
+	// adaptive.DriftConfig (CUSUM h, allowance k, baseline length).
+	// Zero takes that config's defaults.
+	DriftThreshold float64
+	DriftSlack     float64
+	DriftWarmup    int
+	// Disabled suppresses strategy re-derivation: observations still
+	// accumulate and alarms are still counted, but the cache is never
+	// touched (a shadow-mode deployment switch).
+	Disabled bool
+}
+
+func (c RetuneConfig) withDefaults() RetuneConfig {
+	if c.Forgetting == 0 {
+		c.Forgetting = 0.98
+	}
+	if c.MinObservations == 0 {
+		c.MinObservations = 50
+	}
+	return c
+}
+
+// streamConfig renders the tracker config for one area.
+func (c RetuneConfig) streamConfig(b float64) adaptive.StreamConfig {
+	return adaptive.StreamConfig{
+		B:               b,
+		Forgetting:      c.Forgetting,
+		MinObservations: c.MinObservations,
+		Drift: adaptive.DriftConfig{
+			Threshold: c.DriftThreshold,
+			Slack:     c.DriftSlack,
+			Warmup:    c.DriftWarmup,
+		},
+	}
+}
+
+// observer is one area's streaming estimator. Observations on the
+// same area serialize on mu so the stream is a deterministic function
+// of the observation order; observations on different areas never
+// contend.
+type observer struct {
+	mu sync.Mutex
+	tr *adaptive.Tracker
+}
+
+// observerSet holds the per-area observers. The area set is fixed at
+// boot, so the map itself is read-only after construction; all
+// mutation happens inside each observer under its own lock.
+type observerSet struct {
+	cfg RetuneConfig
+	m   map[string]*observer
+}
+
+// newObserverSet builds one tracker per boot-time area.
+func newObserverSet(cfg RetuneConfig, areas []*areaRec) (*observerSet, error) {
+	cfg = cfg.withDefaults()
+	set := &observerSet{cfg: cfg, m: make(map[string]*observer, len(areas))}
+	for _, rec := range areas {
+		tr, err := adaptive.NewTracker(cfg.streamConfig(rec.state.B))
+		if err != nil {
+			return nil, fmt.Errorf("server: observer for area %s: %w", rec.state.ID, err)
+		}
+		set.m[rec.state.ID] = &observer{tr: tr}
+	}
+	return set, nil
+}
+
+// get returns an area's observer (IDs are normalized by the caller).
+func (s *observerSet) get(id string) (*observer, bool) {
+	o, ok := s.m[id]
+	return o, ok
+}
+
+// observe applies one validated observation to an area's stream and
+// performs the re-tune when a warm CUSUM alarm fires. It returns the
+// wire response plus the tracker update for audit stamping.
+func (s *Server) observe(ctx context.Context, req ObserveRequest) (*ObserveResponse, *APIError) {
+	if req.Area == "" {
+		return nil, &APIError{Code: "bad_request", Message: "area is required", Status: http.StatusBadRequest}
+	}
+	if math.IsNaN(req.StopSec) || math.IsInf(req.StopSec, 0) || req.StopSec < 0 {
+		return nil, &APIError{Code: "bad_request", Message: fmt.Sprintf("stop_sec = %v must be a finite non-negative stop length", req.StopSec), Status: http.StatusBadRequest}
+	}
+	rec, ok := s.cache.Area(req.Area)
+	if !ok {
+		return nil, &APIError{Code: "unknown_area", Message: fmt.Sprintf("unknown area %q", req.Area), Status: http.StatusNotFound}
+	}
+	o, ok := s.observers.get(rec.state.ID)
+	if !ok {
+		// Unreachable with the boot-fixed area set; fail loudly if the
+		// invariant ever breaks.
+		return nil, &APIError{Code: "internal", Message: fmt.Sprintf("no observer for area %q", rec.state.ID), Status: http.StatusInternalServerError}
+	}
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	// A stats update may have moved the area's break-even interval;
+	// the moments are only meaningful at one B, so the stream restarts
+	// against the new interval.
+	if o.tr.B() != rec.state.B {
+		tr, err := adaptive.NewTracker(s.observers.cfg.streamConfig(rec.state.B))
+		if err != nil {
+			return nil, &APIError{Code: "internal", Message: err.Error(), Status: http.StatusInternalServerError}
+		}
+		o.tr = tr
+	}
+	up, err := o.tr.Observe(req.StopSec)
+	if err != nil {
+		return nil, &APIError{Code: "bad_request", Message: err.Error(), Status: http.StatusBadRequest}
+	}
+
+	resp := &ObserveResponse{
+		Area: rec.state.ID,
+		Seq:  up.Seen,
+		Warm: up.Warm,
+		Mu:   up.Stats.MuBMinus,
+		Q:    up.Stats.QBPlus,
+		// The pre-observation version; overwritten on re-tune below.
+		StatsVersion: rec.version,
+	}
+	s.rec.Add("observe_total", 1)
+	if up.Alarm {
+		resp.Alarm = true
+		s.rec.Add("retune_alarms_total", 1)
+		if up.Warm && !s.observers.cfg.Disabled {
+			def, uerr := s.cache.Update(rec.state.ID, 0, up.Stats)
+			if uerr != nil {
+				// The estimates are feasible by construction, so a
+				// rejection here is validation drift worth counting,
+				// not a client error.
+				s.rec.Add("retune_failed_total", 1)
+			} else {
+				resp.Retuned = true
+				resp.StatsVersion = def.rec.version
+				s.rec.Add("retune_total", 1)
+			}
+		}
+	}
+
+	if s.tracer != nil {
+		if sp := obs.SpanFrom(ctx); sp != nil {
+			sp.Set("area", rec.state.ID)
+			sp.Set("seq", up.Seen)
+			sp.Set("stop_sec", req.StopSec)
+			sp.Set("alarm", resp.Alarm)
+			sp.Set("retuned", resp.Retuned)
+			sp.Set("stats_version", resp.StatsVersion)
+		}
+	}
+	if s.auditW != nil {
+		s.auditW.Write(ObserveRecord{
+			Kind:         observeKind,
+			TSUnixMS:     time.Now().UnixMilli(),
+			RequestID:    obs.RequestIDFrom(ctx),
+			VehicleID:    req.VehicleID,
+			Area:         rec.state.ID,
+			Seq:          up.Seen,
+			B:            rec.state.B,
+			Forgetting:   s.observers.cfg.Forgetting,
+			StopSec:      req.StopSec,
+			PrevW:        up.PrevWSum,
+			PrevMuSum:    up.PrevMuSum,
+			PrevQSum:     up.PrevQSum,
+			W:            up.WSum,
+			MuSum:        up.MuSum,
+			QSum:         up.QSum,
+			Warm:         up.Warm,
+			Alarm:        resp.Alarm,
+			Retuned:      resp.Retuned,
+			StatsVersion: resp.StatsVersion,
+			Mu:           up.Stats.MuBMinus,
+			Q:            up.Stats.QBPlus,
+		})
+	}
+	return resp, nil
+}
+
+// handleObserve serves POST /v1/observe.
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req ObserveRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "decode request: "+err.Error())
+		return
+	}
+	resp, apiErr := s.observe(r.Context(), req)
+	if apiErr != nil {
+		writeError(w, apiErr.Status, apiErr.Code, apiErr.Message)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleObserveBatch serves POST /v1/observe/batch. Items apply
+// strictly in input order — observations on one area form a sequential
+// stream, so a parallel fan-out would make alarms depend on
+// scheduling. Item failures are embedded per slot; a batch reply is
+// always 200 once it passes structural validation.
+func (s *Server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchObserveRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "decode request: "+err.Error())
+		return
+	}
+	if len(req.Observations) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "observations is empty")
+		return
+	}
+	if len(req.Observations) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("batch of %d exceeds max %d", len(req.Observations), s.cfg.MaxBatch))
+		return
+	}
+	ctx := r.Context()
+	resp := BatchObserveResponse{Results: make([]BatchObserveItem, len(req.Observations))}
+	for i, o := range req.Observations {
+		res, apiErr := s.observe(ctx, o)
+		if apiErr != nil {
+			resp.Results[i] = BatchObserveItem{Error: apiErr}
+			continue
+		}
+		resp.Results[i] = BatchObserveItem{Result: res}
+		resp.Accepted++
+		if res.Alarm {
+			resp.Alarms++
+		}
+		if res.Retuned {
+			resp.Retunes++
+		}
+	}
+	s.rec.Add("observe_batch_total", 1)
+	writeJSON(w, http.StatusOK, resp)
+}

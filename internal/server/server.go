@@ -11,7 +11,11 @@
 //
 //	POST /v1/decide              one decision
 //	POST /v1/decide/batch        order-preserving parallel fan-out
+//	POST /v1/observe             stream one completed stop observation
+//	POST /v1/observe/batch       stream observations in input order
 //	PUT  /v1/areas/{id}/stats    swap an area's statistics
+//	GET  /v1/snapshot            checksummed state-plane snapshot
+//	POST /v1/snapshot            live restore of a snapshot
 //	GET  /v1/areas               list cached strategies (?policy= view)
 //	GET  /v1/policies            list registered policy engines
 //	GET  /v1/history             metrics time series (ring-buffer sampler)
@@ -69,8 +73,22 @@ type Config struct {
 	WriteTimeout time.Duration
 	// DrainTimeout bounds graceful shutdown (default 10s).
 	DrainTimeout time.Duration
-	// Areas is the boot-time area configuration (required).
+	// Areas is the boot-time area configuration (required unless
+	// Restore is set).
 	Areas []AreaState
+	// Shards is the strategy-cache shard count, rounded up to a power
+	// of two (0 = DefaultShards). Purely a contention knob: the wire
+	// behavior is byte-identical for every value.
+	Shards int
+	// Retune parameterizes the observation streams behind
+	// POST /v1/observe (forgetting, warmup, CUSUM sensitivity). The
+	// zero value takes every default.
+	Retune RetuneConfig
+	// Restore boots the daemon from a previously captured state plane
+	// instead of Areas: statistics, version counters, and observation
+	// streams all resume where the donor left off. When both are set,
+	// Restore wins.
+	Restore *StatePlane
 	// DefaultPolicy selects the engine served when a request carries no
 	// policy field: a registered engine spec ("constrained",
 	// "multislope3@v1", ...). Empty means the registry default
@@ -148,13 +166,14 @@ func (c Config) withDefaults() Config {
 // Server is one idled instance: the strategy cache, the HTTP handler
 // tree and the serving lifecycle.
 type Server struct {
-	cfg      Config
-	cache    *Cache
-	engine   policy.Engine
-	rec      *obs.Recorder
-	inflight chan struct{}
-	start    time.Time
-	handler  http.Handler
+	cfg       Config
+	cache     *Cache
+	observers *observerSet
+	engine    policy.Engine
+	rec       *obs.Recorder
+	inflight  chan struct{}
+	start     time.Time
+	handler   http.Handler
 
 	// tracer/auditW are the request-forensics sinks (nil when the
 	// corresponding Config writer is nil); sampler backs /v1/history.
@@ -180,17 +199,41 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: default policy: %w", err)
 	}
-	cache, err := NewCache(cfg.Areas, []policy.Engine{eng})
+	areas := cfg.Areas
+	if cfg.Restore != nil {
+		// A restore boot takes the donor's area set wholesale; the
+		// version counters carry over below.
+		if err := cfg.Restore.Validate(); err != nil {
+			return nil, err
+		}
+		areas = make([]AreaState, len(cfg.Restore.Areas))
+		for i, a := range cfg.Restore.Areas {
+			areas[i] = a.AreaState
+		}
+	}
+	cache, err := NewShardedCache(areas, []policy.Engine{eng}, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	observers, err := newObserverSet(cfg.Retune, cache.Areas())
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		cache:    cache,
-		engine:   eng,
-		rec:      cfg.Recorder,
-		inflight: make(chan struct{}, cfg.MaxInflight),
-		start:    time.Now(),
+		cfg:       cfg,
+		cache:     cache,
+		observers: observers,
+		engine:    eng,
+		rec:       cfg.Recorder,
+		inflight:  make(chan struct{}, cfg.MaxInflight),
+		start:     time.Now(),
+	}
+	if cfg.Restore != nil {
+		// Re-apply the full plane so versions and trackers resume; the
+		// cache boot above only established the area set.
+		if err := s.restoreState(*cfg.Restore); err != nil {
+			return nil, err
+		}
 	}
 	s.bootID = fmt.Sprintf("%08x", uint32(s.start.UnixNano()))
 	if cfg.TraceLog != nil {
@@ -215,6 +258,9 @@ func (s *Server) probes() []obs.Probe {
 		obs.CounterSumProbe(reg, "overloaded", "http_overload_total"),
 		obs.CounterSumProbe(reg, "cache_hits", "decide_cache_hits_total"),
 		obs.CounterSumProbe(reg, "cache_misses", "decide_cache_misses_total"),
+		obs.CounterSumProbe(reg, "observations", "observe_total"),
+		obs.CounterSumProbe(reg, "retune_alarms", "retune_alarms_total"),
+		obs.CounterSumProbe(reg, "retunes", "retune_total"),
 		obs.GaugeProbe(reg, "inflight", "http_inflight_requests"),
 		obs.HistogramQuantileProbe(reg, "decide_p50_ms", obs.L("http_request_ms", "route", "decide"), 0.50),
 		obs.HistogramQuantileProbe(reg, "decide_p99_ms", obs.L("http_request_ms", "route", "decide"), 0.99),
@@ -260,7 +306,11 @@ func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/decide", s.instrument("decide", true, s.handleDecide))
 	mux.Handle("POST /v1/decide/batch", s.instrument("batch", true, s.handleBatch))
+	mux.Handle("POST /v1/observe", s.instrument("observe", true, s.handleObserve))
+	mux.Handle("POST /v1/observe/batch", s.instrument("observe_batch", true, s.handleObserveBatch))
 	mux.Handle("PUT /v1/areas/{id}/stats", s.instrument("stats_update", true, s.handleStatsUpdate))
+	mux.Handle("GET /v1/snapshot", s.instrument("snapshot", true, s.handleSnapshotGet))
+	mux.Handle("POST /v1/snapshot", s.instrument("snapshot_restore", true, s.handleSnapshotRestore))
 	mux.Handle("GET /v1/areas", s.instrument("areas", true, s.handleAreas))
 	mux.Handle("GET /v1/policies", s.instrument("policies", true, s.handlePolicies))
 	mux.Handle("GET /v1/history", s.instrument("history", false, s.handleHistory))

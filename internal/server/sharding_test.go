@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"idlereduce/internal/skirental"
+)
+
+func TestShardCountRounding(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{-3, DefaultShards}, {0, DefaultShards},
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {16, 16}, {17, 32}, {1000, 1024},
+	}
+	for _, tc := range cases {
+		if got := shardCount(tc.in); got != tc.want {
+			t.Errorf("shardCount(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestShardedCachePlacement(t *testing.T) {
+	areas := SyntheticAreaStates(512, 28)
+	c, err := NewShardedCache(areas, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 16 {
+		t.Fatalf("Shards() = %d, want 16", c.Shards())
+	}
+	// Every area is reachable, lands on a stable shard, and the FNV
+	// placement actually spreads areas rather than piling on one shard.
+	used := make(map[*shard]int)
+	for _, a := range areas {
+		rec, ok := c.Area(a.ID)
+		if !ok || rec.state.ID != a.ID {
+			t.Fatalf("area %s not served", a.ID)
+		}
+		sh := c.shardFor(a.ID)
+		if sh != c.shardFor(a.ID) {
+			t.Fatalf("area %s moved shards between lookups", a.ID)
+		}
+		used[sh]++
+	}
+	if len(used) < 8 {
+		t.Errorf("512 areas landed on only %d of 16 shards", len(used))
+	}
+}
+
+// TestShardUpdateIsolated: a stats update swaps exactly one area's
+// snapshot. Other shards keep serving their old pointers untouched, so
+// a retune cannot stall or perturb unrelated traffic.
+func TestShardUpdateIsolated(t *testing.T) {
+	areas := SyntheticAreaStates(64, 28)
+	c, err := NewShardedCache(areas, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := areas[0].ID
+	own := c.shardFor(target)
+	before := make(map[*shard]*snapshot, len(c.shards))
+	for _, sh := range c.shards {
+		before[sh] = sh.snap.Load()
+	}
+	rec, _ := c.Area(target)
+	if _, err := c.Update(target, 0,
+		skirental.Stats{MuBMinus: rec.state.Mu + 0.5, QBPlus: rec.state.Q}); err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range c.shards {
+		swapped := sh.snap.Load() != before[sh]
+		if sh == own && !swapped {
+			t.Error("owning shard's snapshot was not swapped")
+		}
+		if sh != own && swapped {
+			t.Errorf("update of %s swapped an unrelated shard's snapshot", target)
+		}
+	}
+	if got, _ := c.Area(target); got.version != rec.version+1 {
+		t.Fatalf("target version %d, want %d", got.version, rec.version+1)
+	}
+}
+
+// TestDecideDeterministicAcrossShards is satellite determinism for the
+// sharded cache: the shard count is a pure capacity knob, invisible on
+// the wire. Every (workers, shards) combination must serve byte-equal
+// replies, including under concurrent clients.
+func TestDecideDeterministicAcrossShards(t *testing.T) {
+	areas := append(testAreas(),
+		AreaState{ID: "nrandia", B: 28, Mu: 4, Q: 0.25})
+	areas = append(areas, SyntheticAreaStates(61, 28)...)
+
+	singles := []string{
+		`{"vehicle_id":"s-1","area":"chicago","seed":11}`,
+		`{"vehicle_id":"s-2","area":"syn-000037","seed":12}`,
+		`{"vehicle_id":"s-3","area":"nrandia","seed":13}`,
+		`{"vehicle_id":"s-4","area":"chicago","b":55,"seed":14}`,
+	}
+	batch := `{"seed":11,"requests":[
+		{"vehicle_id":"b-1","area":"nrandia"},
+		{"vehicle_id":"b-2","area":"syn-000007"},
+		{"vehicle_id":"b-3","area":"syn-000042","b":33},
+		{"vehicle_id":"b-4","area":"atlanta"}]}`
+
+	var wantSingles [][]byte
+	var wantBatch []byte
+	first := true
+	for _, workers := range []int{1, 4, 8} {
+		for _, shards := range []int{1, 4, 16} {
+			name := fmt.Sprintf("workers=%d/shards=%d", workers, shards)
+			t.Run(name, func(t *testing.T) {
+				s, err := New(Config{Areas: areas, Workers: workers, Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := s.cache.Shards(); got != shards {
+					t.Fatalf("cache built %d shards, want %d", got, shards)
+				}
+				ts := httptest.NewServer(s.Handler())
+				defer ts.Close()
+
+				// Concurrent clients first, so the byte-compare below runs
+				// against a cache whose shards have already served
+				// interleaved traffic.
+				var wg sync.WaitGroup
+				for cl := 0; cl < 4; cl++ {
+					wg.Add(1)
+					go func(cl int) {
+						defer wg.Done()
+						for r := 0; r < 8; r++ {
+							body := fmt.Sprintf(`{"vehicle_id":"cc-%d","area":"syn-%06d","seed":9}`, cl, (cl*13+r)%61)
+							doJSON(t, "POST", ts.URL+"/v1/decide", body, nil)
+						}
+					}(cl)
+				}
+				wg.Wait()
+
+				for i, body := range singles {
+					status, raw := doJSON(t, "POST", ts.URL+"/v1/decide", body, nil)
+					if status != http.StatusOK {
+						t.Fatalf("single %d status %d: %s", i, status, raw)
+					}
+					if first {
+						wantSingles = append(wantSingles, raw)
+					} else if !bytes.Equal(raw, wantSingles[i]) {
+						t.Errorf("single %d diverged at %s:\n%s\n%s", i, name, raw, wantSingles[i])
+					}
+				}
+				status, raw := doJSON(t, "POST", ts.URL+"/v1/decide/batch", batch, nil)
+				if status != http.StatusOK {
+					t.Fatalf("batch status %d: %s", status, raw)
+				}
+				if first {
+					wantBatch = raw
+					first = false
+				} else if !bytes.Equal(raw, wantBatch) {
+					t.Errorf("batch diverged at %s:\n%s\n%s", name, raw, wantBatch)
+				}
+			})
+		}
+	}
+}
+
+// TestPerShardHitMetrics: decide traffic increments the owning shard's
+// hit counter, so operators can see skewed shards.
+func TestPerShardHitMetrics(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) { c.Shards = 4 })
+	for i := 0; i < 6; i++ {
+		if status, _ := doJSON(t, "POST", ts.URL+"/v1/decide",
+			`{"vehicle_id":"m","area":"chicago"}`, nil); status != http.StatusOK {
+			t.Fatal("decide failed")
+		}
+	}
+	sh := s.cache.shardFor("chicago")
+	snap := s.rec.Snapshot()
+	if got, _ := snap.CounterValue(sh.hitMetric); got != 6 {
+		t.Errorf("%s = %v, want 6", sh.hitMetric, got)
+	}
+	if got, _ := snap.CounterValue("decide_cache_hits_total"); got != 6 {
+		t.Errorf("global hit counter = %v, want 6", got)
+	}
+}
