@@ -59,6 +59,7 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -1
 	@for probe in \
 		'^idlereduce/internal/policy/' \
+		'^idlereduce/internal/predict/' \
 		'^idlereduce/internal/adaptive/' \
 		'^idlereduce/internal/server/cache\.go' \
 		'^idlereduce/internal/server/observe\.go' \

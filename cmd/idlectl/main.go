@@ -12,6 +12,7 @@
 //	idlectl synth -plan urban|suburb|downtown [-days N] [-seed N]
 //	idlectl stats [-metrics snapshot.json]
 //	idlectl engines
+//	idlectl frontier [-b 28] [-mu 4] [-q 0.25] [-engine softml|distadvice] [-lambdas 0,0.5,1] [-json]
 //	idlectl audit verify [-log audit.jsonl]
 //	idlectl snapshot save [-target URL] [-o state.json]
 //	idlectl snapshot load [-target URL] [-i state.json]
@@ -27,7 +28,11 @@
 // charts (it also recognizes BENCH_*.json perf captures and renders
 // them as a benchmark table). The engines command lists the registered
 // policy engines idled can serve (the specs accepted by
-// `idled serve -policy` and the wire "policy" field). The audit verify
+// `idled serve -policy` and the wire "policy" field), including each
+// engine's accepted params and their ranges. The frontier command
+// sweeps the learning-augmented engines' trust parameter over a panel
+// of predictor models and tabulates the consistency-robustness
+// frontier (see docs/FRONTIER.md). The audit verify
 // command replays an idled decision audit log (serve -audit-log)
 // through its recorded policy engine and proves every decision —
 // choice, threshold, and any multi-state schedule — reproduces
@@ -74,7 +79,7 @@ func main() {
 	}
 }
 
-const usage = "usage: idlectl [-cpuprofile f] [-memprofile f] [-trace f] [-workers N] <tune|show|replay|synth|stats|engines|audit|snapshot|bench> [flags]"
+const usage = "usage: idlectl [-cpuprofile f] [-memprofile f] [-trace f] [-workers N] <tune|show|replay|synth|stats|engines|frontier|audit|snapshot|bench> [flags]"
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	gfs := flag.NewFlagSet("idlectl", flag.ContinueOnError)
@@ -111,6 +116,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		cmdErr = statsCmd(rest[1:], stdin, stdout)
 	case "engines":
 		cmdErr = enginesCmd(rest[1:], stdout)
+	case "frontier":
+		cmdErr = frontierCmd(rest[1:], stdin, stdout)
 	case "audit":
 		cmdErr = auditCmd(rest[1:], stdin, stdout)
 	case "snapshot":
@@ -118,7 +125,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	case "bench":
 		cmdErr = benchCmd(rest[1:], stdout)
 	default:
-		cmdErr = fmt.Errorf("unknown command %q (want tune, show, replay, synth, stats, engines, audit, snapshot or bench)", rest[0])
+		cmdErr = fmt.Errorf("unknown command %q (want tune, show, replay, synth, stats, engines, frontier, audit, snapshot or bench)", rest[0])
 	}
 	if perr := stopProf(); perr != nil && cmdErr == nil {
 		cmdErr = perr
@@ -423,7 +430,7 @@ func enginesCmd(args []string, stdout io.Writer) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("usage: idlectl engines")
 	}
-	rows := [][]string{{"engine", "spec", "default", "description"}}
+	rows := [][]string{{"engine", "spec", "default", "params", "description"}}
 	for _, name := range policy.Names() {
 		e, ok := policy.Get(name)
 		if !ok {
@@ -433,7 +440,17 @@ func enginesCmd(args []string, stdout io.Writer) error {
 		if name == policy.DefaultEngine {
 			def = "yes"
 		}
-		rows = append(rows, []string{name, policy.Spec(e), def, e.Doc()})
+		params := "-"
+		if pe, ok := e.(policy.Parametric); ok {
+			var specs []string
+			for _, p := range pe.Params() {
+				specs = append(specs, fmt.Sprintf("%s=%g in [%g,%g]", p.Name, p.Default, p.Min, p.Max))
+			}
+			if len(specs) > 0 {
+				params = strings.Join(specs, " ")
+			}
+		}
+		rows = append(rows, []string{name, policy.Spec(e), def, params, e.Doc()})
 	}
 	fmt.Fprint(stdout, textplot.Table(rows))
 	return nil

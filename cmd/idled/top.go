@@ -116,6 +116,10 @@ func renderTop(base string, health server.HealthResponse, hist obs.History, widt
 	}
 	spark("requests", "requests", "/s")
 	spark("decisions", "decisions", "/s")
+	spark("advised", "predicted_decisions", "/s")
+	spark("observes", "observations", "/s")
+	spark("alarms", "retune_alarms", "/s")
+	spark("retunes", "retunes", "/s")
 	spark("overloaded", "overloaded", "/s")
 	spark("inflight", "inflight", "")
 	spark("p99 ms", "decide_p99_ms", "")
@@ -127,6 +131,21 @@ func renderTop(base string, health server.HealthResponse, hist obs.History, widt
 				fmt.Fprintf(&b, "%-11s %.1f%% over the window\n", "cache hit", 100*hits.RatePerSec/total)
 			}
 		}
+	}
+	// Prediction quality: share of forecasts on the correct side of
+	// the break-even interval, plus the running error moments, fed by
+	// observations that carry a predicted_stop_s.
+	cons, okc := hist.Lookup("predict_consistency")
+	reg, okr := hist.Lookup("predict_regret")
+	if okc && okr {
+		if total := cons.RatePerSec + reg.RatePerSec; total > 0 {
+			fmt.Fprintf(&b, "%-11s %.1f%% consistent over the window\n", "predict", 100*cons.RatePerSec/total)
+		}
+	}
+	errMean, oke := hist.Lookup("predict_err_mean_s")
+	bias, okb := hist.Lookup("predict_bias_s")
+	if oke && okb && (errMean.Last != 0 || bias.Last != 0) {
+		fmt.Fprintf(&b, "%-11s mean |err| %.1fs  bias %+.1fs\n", "predict err", errMean.Last, bias.Last)
 	}
 	p50, ok50 := hist.Lookup("decide_p50_ms")
 	p99, ok99 := hist.Lookup("decide_p99_ms")

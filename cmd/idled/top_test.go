@@ -88,6 +88,14 @@ func TestRenderTop(t *testing.T) {
 			{Name: "cache_misses", Kind: "rate", Points: []float64{0, 1, 2, 4}, Last: 4, RatePerSec: 7},
 			{Name: "decide_p50_ms", Kind: "gauge", Points: []float64{0.05, 0.05, 0.06, 0.05}, Last: 0.05},
 			{Name: "decide_p99_ms", Kind: "gauge", Points: []float64{0.2, 0.3, 0.2, 0.4}, Last: 0.4},
+			{Name: "observations", Kind: "rate", Points: []float64{0, 5, 10, 20}, Last: 20, RatePerSec: 6.7},
+			{Name: "retune_alarms", Kind: "rate", Points: []float64{0, 0, 1, 1}, Last: 1, RatePerSec: 0.3},
+			{Name: "retunes", Kind: "rate", Points: []float64{0, 0, 1, 1}, Last: 1, RatePerSec: 0.3},
+			{Name: "predicted_decisions", Kind: "rate", Points: []float64{0, 2, 4, 8}, Last: 8, RatePerSec: 2.7},
+			{Name: "predict_consistency", Kind: "rate", Points: []float64{0, 3, 6, 9}, Last: 9, RatePerSec: 3},
+			{Name: "predict_regret", Kind: "rate", Points: []float64{0, 1, 2, 3}, Last: 3, RatePerSec: 1},
+			{Name: "predict_err_mean_s", Kind: "gauge", Points: []float64{0, 4, 5, 6}, Last: 6},
+			{Name: "predict_bias_s", Kind: "gauge", Points: []float64{0, -2, -3, -4}, Last: -4},
 		},
 	}
 	text := renderTop("http://x:1", health, hist, 8)
@@ -96,6 +104,9 @@ func TestRenderTop(t *testing.T) {
 		"requests", "40.0/s", "avg 23.3/s",
 		"cache hit", "75.0%",
 		"p50 0.050", "p99 0.400",
+		"observes", "alarms", "retunes", "advised",
+		"predict", "75.0% consistent",
+		"mean |err| 6.0s", "bias -4.0s",
 		"█", // the ramp's peak block
 	} {
 		if !strings.Contains(text, want) {

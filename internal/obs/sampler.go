@@ -49,6 +49,21 @@ func HistogramQuantileProbe(reg *Registry, name, hist string, q float64) Probe {
 	}}
 }
 
+// HistogramMeanProbe probes the running mean of one registry histogram
+// by exact (labelled) name (0 before the first observation). Like the
+// quantile probe it is cumulative since boot; its trajectory shows the
+// mean drifting.
+func HistogramMeanProbe(reg *Registry, name, hist string) Probe {
+	h := reg.Histogram(hist)
+	return Probe{Name: name, Kind: ProbeGauge, F: func() float64 {
+		n := h.Count()
+		if n == 0 {
+			return 0
+		}
+		return h.Sum() / float64(n)
+	}}
+}
+
 // Sampler snapshots a fixed set of probes into per-series ring
 // buffers at an interval: fixed memory (window × probes float64s)
 // regardless of uptime. Safe for concurrent Sample/History; the

@@ -2,6 +2,7 @@ package perf
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -235,6 +236,50 @@ func DefaultSuites() []Benchmark {
 						return fmt.Errorf("synthetic area missing from cache")
 					}
 					return nil
+				}, nil, nil
+			},
+		},
+		{
+			// One prediction-aware decision through the full HTTP stack:
+			// params resolution, the prediction block validation, and the
+			// softml blend on top of the cached constrained fallback.
+			Name: "decide_softml", Class: "latency", Iters: 1500,
+			Setup: func() (Op, func(), error) {
+				h, err := defaultHandler()
+				if err != nil {
+					return nil, nil, err
+				}
+				return func(i int) error {
+					body := fmt.Sprintf(`{"vehicle_id":"bench-%d","area":"chicago","policy":"softml","params":{"lambda":0.5},"prediction":{"predicted_stop_s":%d,"confidence":0.8}}`, i, 5+i%90)
+					return doRequest(h, "/v1/decide", body)
+				}, nil, nil
+			},
+		},
+		{
+			// A small consistency-robustness sweep: the 5x5
+			// lambda-by-predictor grid over a 100-stop trace, including
+			// the per-cell WorstCaseMixedCost robustness bound — what
+			// `idlectl frontier` pays per table, scaled down.
+			Name: "frontier_sweep", Class: "throughput", Iters: 30,
+			Setup: func() (Op, func(), error) {
+				st, err := chicagoStats()
+				if err != nil {
+					return nil, nil, err
+				}
+				rng := rand.New(rand.NewPCG(suiteSeed, 0x46524e54))
+				stops := make([]float64, 100)
+				for j := range stops {
+					stops[j] = 1 + rng.Float64()*(4*suiteB-1)
+				}
+				cfg := simulator.FrontierConfig{
+					Costs: costmodel.CostRatio{IdlingCentsPerSec: 1, RestartCents: suiteB},
+					Stats: st,
+					Stops: stops,
+				}
+				return func(i int) error {
+					cfg.Seed = suiteSeed + uint64(i)
+					_, err := simulator.SweepFrontier(cfg)
+					return err
 				}, nil, nil
 			},
 		},

@@ -25,6 +25,7 @@ func TestDefaultSuitesCaptureAndSelfCompare(t *testing.T) {
 		"decide_single", "decide_custom_b", "decide_batch_64",
 		"multislope_prepare", "decide_multislope",
 		"observe_stream", "shard_decide",
+		"decide_softml", "frontier_sweep",
 		"fleet_generate", "simulator_run",
 	}
 	if len(f.Results) != len(want) {
@@ -76,6 +77,8 @@ func TestSuiteNamesAreStable(t *testing.T) {
 		"decide_multislope":  "latency",
 		"observe_stream":     "latency",
 		"shard_decide":       "cpu",
+		"decide_softml":      "latency",
+		"frontier_sweep":     "throughput",
 		"fleet_generate":     "throughput",
 		"simulator_run":      "throughput",
 	}

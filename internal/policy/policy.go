@@ -23,12 +23,15 @@ package policy
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+
+	"idlereduce/internal/predict"
 )
 
 // Stats is one area's constrained serving statistics: the break-even
@@ -129,7 +132,85 @@ var (
 	ErrBadSpec = errors.New("policy: malformed engine spec")
 	// ErrInfeasible reports statistics an engine cannot serve.
 	ErrInfeasible = errors.New("policy: infeasible statistics for engine")
+	// ErrBadParams reports engine parameters that fail validation:
+	// an unknown name, a non-finite value, or a value outside the
+	// parameter's declared range.
+	ErrBadParams = errors.New("policy: invalid engine params")
 )
+
+// ParamSpec declares one tunable engine parameter: its registry name,
+// a one-line doc, the default used when a request omits it, and the
+// closed accepted range.
+type ParamSpec struct {
+	Name    string  `json:"name"`
+	Doc     string  `json:"doc"`
+	Default float64 `json:"default"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+}
+
+// Parametric is an Engine with tunable per-request parameters. Its
+// plain Prepare is the all-defaults preparation; PrepareParams prepares
+// with caller overrides, already validated through ResolveParams.
+// Parameters are part of the strategy cache key, so two requests with
+// different params never share a prepared strategy.
+type Parametric interface {
+	Engine
+	// Params declares the accepted parameters in listing order.
+	Params() []ParamSpec
+	// PrepareParams prepares a strategy with the given overrides; nil
+	// means all defaults (and must behave exactly like Prepare).
+	PrepareParams(s Stats, params map[string]float64) (Strategy, error)
+}
+
+// Advised is a Strategy that can consume a stop-length prediction.
+// DecideAdvised with the zero-trust extreme (engine lambda 0, or
+// prediction confidence 0) MUST be bit-identical to Decide from the
+// same RNG position, including RNG consumption — that invariant is
+// what keeps audit replay a pure function of the recorded inputs.
+type Advised interface {
+	Strategy
+	// DecideAdvised draws the action schedule for one stop under the
+	// given prediction.
+	DecideAdvised(rng *rand.Rand, p predict.Prediction) Decision
+}
+
+// ResolveParams validates caller overrides against the engine's
+// declared parameters and merges them over the defaults. Unknown
+// names, NaN values, and out-of-range values wrap ErrBadParams.
+func ResolveParams(e Parametric, params map[string]float64) (map[string]float64, error) {
+	specs := e.Params()
+	out := make(map[string]float64, len(specs))
+	accepted := make([]string, 0, len(specs))
+	for _, ps := range specs {
+		out[ps.Name] = ps.Default
+		accepted = append(accepted, ps.Name)
+	}
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := params[name]
+		var ps *ParamSpec
+		for i := range specs {
+			if specs[i].Name == name {
+				ps = &specs[i]
+				break
+			}
+		}
+		if ps == nil {
+			return nil, fmt.Errorf("%w: engine %s has no param %q (accepted: %s)",
+				ErrBadParams, e.Name(), name, strings.Join(accepted, ", "))
+		}
+		if math.IsNaN(v) || v < ps.Min || v > ps.Max {
+			return nil, fmt.Errorf("%w: %s=%v outside [%g, %g]", ErrBadParams, name, v, ps.Min, ps.Max)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
 
 var (
 	regMu    sync.RWMutex

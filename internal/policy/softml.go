@@ -1,0 +1,195 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"idlereduce/internal/predict"
+	"idlereduce/internal/skirental"
+)
+
+// Engine names of the learning-augmented families.
+const (
+	// SoftMLEngine is the lambda-robust point-forecast blend.
+	SoftMLEngine = "softml"
+	// DistAdviceEngine is the distributional-advice variant.
+	DistAdviceEngine = "distadvice"
+)
+
+// lambdaParam is the shared trust-parameter declaration of both
+// learning-augmented engines.
+var lambdaParam = ParamSpec{
+	Name:    "lambda",
+	Doc:     "trust in the prediction: 0 = pure constrained fallback, 1 = follow the advice",
+	Default: 0.5,
+	Min:     0,
+	Max:     1,
+}
+
+func init() {
+	Register(softmlEngine{})
+	Register(distadviceEngine{})
+}
+
+// softmlEngine is the Kodialam-style lambda-robust engine: a convex
+// blend of the constrained-vertex fallback threshold with the
+// pure-consistency advice threshold of a point stop-length forecast.
+type softmlEngine struct{}
+
+// Name implements Engine.
+func (softmlEngine) Name() string { return SoftMLEngine }
+
+// Version implements Engine.
+func (softmlEngine) Version() int { return 1 }
+
+// Doc implements Engine.
+func (softmlEngine) Doc() string {
+	return "lambda-robust blend of a point stop-length prediction with the constrained-vertex fallback"
+}
+
+// Params implements Parametric.
+func (softmlEngine) Params() []ParamSpec { return []ParamSpec{lambdaParam} }
+
+// Prepare implements Engine: the all-defaults preparation.
+func (e softmlEngine) Prepare(s Stats) (Strategy, error) { return e.PrepareParams(s, nil) }
+
+// PrepareParams implements Parametric.
+func (e softmlEngine) PrepareParams(s Stats, params map[string]float64) (Strategy, error) {
+	resolved, fallback, err := prepareAdvised(e, s, params)
+	if err != nil {
+		return nil, err
+	}
+	sm, err := predict.NewSoftML(fallback.p, resolved["lambda"])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadParams, err)
+	}
+	return &advisedStrategy{
+		fallback: fallback,
+		advise:   sm.Advise,
+		kind:     "SoftML",
+		spec:     Spec(e),
+		lambda:   sm.Lambda(),
+		// SoftML labels its blend by the fallback vertex it moved off.
+		choiceFor: func(predict.Advice) string { return fallback.choice },
+	}, nil
+}
+
+// distadviceEngine is the distributional-advice engine: a predicted
+// moment pair projects onto the paper's statistics plane, the vertex
+// selection runs on the projection, and the resulting advice threshold
+// is clamped into the lambda trust region around the fallback draw.
+type distadviceEngine struct{}
+
+// Name implements Engine.
+func (distadviceEngine) Name() string { return DistAdviceEngine }
+
+// Version implements Engine.
+func (distadviceEngine) Version() int { return 1 }
+
+// Doc implements Engine.
+func (distadviceEngine) Doc() string {
+	return "vertex selection on predicted distribution moments, clamped to the lambda trust region"
+}
+
+// Params implements Parametric.
+func (distadviceEngine) Params() []ParamSpec { return []ParamSpec{lambdaParam} }
+
+// Prepare implements Engine: the all-defaults preparation.
+func (e distadviceEngine) Prepare(s Stats) (Strategy, error) { return e.PrepareParams(s, nil) }
+
+// PrepareParams implements Parametric.
+func (e distadviceEngine) PrepareParams(s Stats, params map[string]float64) (Strategy, error) {
+	resolved, fallback, err := prepareAdvised(e, s, params)
+	if err != nil {
+		return nil, err
+	}
+	da, err := predict.NewDistAdvice(fallback.p, resolved["lambda"])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadParams, err)
+	}
+	return &advisedStrategy{
+		fallback: fallback,
+		advise:   da.Advise,
+		kind:     "DistAdvice",
+		spec:     Spec(e),
+		lambda:   da.Lambda(),
+		// DistAdvice labels its blend by the advice-selected vertex.
+		choiceFor: func(a predict.Advice) string { return a.Label },
+	}, nil
+}
+
+// prepareAdvised is the shared front half of both learning-augmented
+// preparations: resolve the lambda parameter and prepare the
+// constrained fallback the advice blends against.
+func prepareAdvised(e Parametric, s Stats, params map[string]float64) (map[string]float64, *constrainedStrategy, error) {
+	resolved, err := ResolveParams(e, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	fb, err := constrainedEngine{}.Prepare(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resolved, fb.(*constrainedStrategy), nil
+}
+
+// advisedStrategy is the prepared form of both learning-augmented
+// engines. Without a prediction it IS the constrained fallback —
+// Decide delegates verbatim, same RNG consumption, same decision
+// bytes. With a prediction, DecideAdvised draws the fallback threshold
+// from the same stream position and blends it per the engine's advice
+// rule; the blended threshold's guarantee is re-derived through the
+// paper's worst-case threshold cost, so every decision still carries
+// an honest robustness bound.
+type advisedStrategy struct {
+	fallback  *constrainedStrategy
+	advise    func(*rand.Rand, predict.Prediction) predict.Advice
+	choiceFor func(predict.Advice) string
+	kind      string
+	spec      string
+	lambda    float64
+}
+
+// Lambda returns the prepared trust parameter.
+func (a *advisedStrategy) Lambda() float64 { return a.lambda }
+
+// Decide implements Strategy: the prediction-free path is the
+// constrained fallback, bit for bit.
+func (a *advisedStrategy) Decide(rng *rand.Rand) Decision { return a.fallback.Decide(rng) }
+
+// DecideAdvised implements Advised.
+func (a *advisedStrategy) DecideAdvised(rng *rand.Rand, p predict.Prediction) Decision {
+	adv := a.advise(rng, p)
+	if !adv.Blended {
+		// Zero effective trust: the advice threshold is exactly the
+		// fallback draw, so the decision is the fallback decision.
+		return Decision{
+			Choice:        a.fallback.choice,
+			ThresholdSec:  adv.Threshold,
+			WorstCaseCost: a.fallback.p.WorstCaseCost(),
+			WorstCaseCR:   a.fallback.p.WorstCaseCR(),
+		}
+	}
+	st := a.fallback.stats
+	cost := skirental.WorstCaseDetCost(st.B, st.Mu, st.Q, adv.Threshold)
+	cr := 1.0
+	if off := st.Mu + st.Q*st.B; off > 0 {
+		cr = cost / off
+	}
+	return Decision{
+		Choice:        fmt.Sprintf("%s[%s]", a.kind, a.choiceFor(adv)),
+		ThresholdSec:  adv.Threshold,
+		WorstCaseCost: cost,
+		WorstCaseCR:   cr,
+	}
+}
+
+// Describe implements Strategy: the prediction-free serving summary is
+// the fallback's.
+func (a *advisedStrategy) Describe() Description { return a.fallback.Describe() }
+
+// Explain implements Strategy.
+func (a *advisedStrategy) Explain() string {
+	return fmt.Sprintf("%s: lambda=%g blend of prediction advice against fallback [%s]",
+		a.spec, a.lambda, a.fallback.Explain())
+}

@@ -1,0 +1,91 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Predictor is one forecast source for the simulator's advised runs:
+// given the true upcoming stop length (which only the simulator knows)
+// and the previous stop's length, it emits the prediction the policy
+// will see. Adversarial models corrupt the truth in the ways real
+// forecast pipelines fail — noise, staleness, systematic bias — so the
+// consistency-robustness frontier can be charted against prediction
+// error instead of assumed away.
+type Predictor interface {
+	// Name labels the model in frontier tables.
+	Name() string
+	// Predict emits the forecast for a stop of true length actual;
+	// prev is the previous stop's true length (0 before the first).
+	Predict(rng *rand.Rand, actual, prev float64) Prediction
+}
+
+// Oracle predicts the true stop length exactly — the consistency
+// anchor of the frontier.
+type Oracle struct{}
+
+// Name implements Predictor.
+func (Oracle) Name() string { return "oracle" }
+
+// Predict implements Predictor.
+func (Oracle) Predict(_ *rand.Rand, actual, _ float64) Prediction { return New(actual) }
+
+// Miscalibrated multiplies the truth by lognormal noise: unbiased in
+// the median but heavy-tailed, the shape of an over-confident learned
+// forecaster. Sigma is the log-scale noise (0.5 is a sloppy model,
+// 1.5 a badly miscalibrated one).
+type Miscalibrated struct {
+	Sigma float64
+}
+
+// Name implements Predictor.
+func (m Miscalibrated) Name() string { return fmt.Sprintf("noisy(%.2g)", m.Sigma) }
+
+// Predict implements Predictor.
+func (m Miscalibrated) Predict(rng *rand.Rand, actual, _ float64) Prediction {
+	return New(actual * math.Exp(m.Sigma*rng.NormFloat64()))
+}
+
+// Stale predicts the PREVIOUS stop's length — a forecaster whose
+// feature pipeline lags one stop behind, exactly wrong whenever the
+// regime alternates.
+type Stale struct{}
+
+// Name implements Predictor.
+func (Stale) Name() string { return "stale" }
+
+// Predict implements Predictor.
+func (Stale) Predict(_ *rand.Rand, _, prev float64) Prediction { return New(prev) }
+
+// Biased scales the truth by a fixed factor: Factor < 1 systematically
+// under-predicts (keeps the engine idling through long stops),
+// Factor > 1 over-predicts (shuts off during short ones).
+type Biased struct {
+	Factor float64
+}
+
+// Name implements Predictor.
+func (b Biased) Name() string { return fmt.Sprintf("biased(%.2gx)", b.Factor) }
+
+// Predict implements Predictor.
+func (b Biased) Predict(_ *rand.Rand, actual, _ float64) Prediction { return New(actual * b.Factor) }
+
+// Adversarial predicts the exact opposite side of the break-even
+// interval from the truth — the worst case a point-forecast policy can
+// face, which is what the robustness column of the frontier measures.
+type Adversarial struct {
+	// B is the break-even interval the adversary targets.
+	B float64
+}
+
+// Name implements Predictor.
+func (Adversarial) Name() string { return "adversarial" }
+
+// Predict implements Predictor.
+func (a Adversarial) Predict(_ *rand.Rand, actual, _ float64) Prediction {
+	if actual >= a.B {
+		return New(0)
+	}
+	return New(2 * a.B)
+}

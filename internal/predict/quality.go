@@ -1,0 +1,50 @@
+package predict
+
+import "idlereduce/internal/obs"
+
+// Quality metric names. The serving stack and the simulator publish
+// through the same names so docs/OBSERVABILITY.md describes both.
+const (
+	// MetricErrAbs is the absolute prediction error histogram
+	// (|predicted - actual| seconds); a per-area labelled twin is
+	// published alongside it.
+	MetricErrAbs = "predict_err_abs_sec"
+	// MetricErrSigned is the signed error histogram
+	// (predicted - actual): its mean exposes systematic bias.
+	MetricErrSigned = "predict_err_signed_sec"
+	// MetricConsistency counts predictions on the correct side of the
+	// break-even interval — stops where trusting the advice pays.
+	MetricConsistency = "predict_consistency_total"
+	// MetricRegret counts predictions on the wrong side — stops where
+	// trusting the advice costs and only the robustness clamp bounds
+	// the damage.
+	MetricRegret = "predict_regret_total"
+)
+
+// RecordQuality publishes one prediction-vs-outcome pair to the
+// metrics recorder: error histograms (global plus per-area) and the
+// consistency/regret side counters. area may be empty for unattributed
+// sources (the simulator); rec nil-checks like every obs sink.
+func RecordQuality(rec *obs.Recorder, area string, b, predicted, actual float64) {
+	if !rec.On() {
+		return
+	}
+	err := predicted - actual
+	abs := err
+	if abs < 0 {
+		abs = -abs
+	}
+	rec.Observe(MetricErrAbs, abs)
+	rec.Observe(MetricErrSigned, err)
+	if area != "" {
+		rec.Observe(obs.L(MetricErrAbs, "area", area), abs)
+	}
+	// Side agreement is what decides whether advice helps: the blend
+	// only needs the forecast on the correct side of B, not its exact
+	// value.
+	if (predicted >= b) == (actual >= b) {
+		rec.Add(MetricConsistency, 1)
+	} else {
+		rec.Add(MetricRegret, 1)
+	}
+}

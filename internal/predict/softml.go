@@ -1,0 +1,157 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"idlereduce/internal/skirental"
+)
+
+// Advice is the outcome of consuming one prediction: the final
+// threshold, whether the prediction actually moved it off the fallback
+// draw, and the advice-side label (the direction of a point forecast,
+// or the vertex a distributional forecast selected).
+type Advice struct {
+	// Threshold is the threshold to play for this stop, in [0, B].
+	Threshold float64
+	// Blended reports that the prediction was trusted (effective
+	// lambda > 0); false means Threshold is exactly the fallback draw.
+	Blended bool
+	// Label names the advice side: "long"/"short" for a point
+	// forecast, the selected vertex ("DET", "TOI", "b-DET", "N-Rand")
+	// for a distributional one.
+	Label string
+}
+
+// SoftML is the Kodialam-style lambda-robust threshold policy: a
+// convex blend of the constrained-vertex fallback draw with the
+// pure-consistency advice threshold. lambda = 0 is bit-identical to
+// the fallback (including RNG consumption — the fallback threshold is
+// always drawn, whether or not it is blended); lambda = 1 with a
+// full-confidence prediction follows the advice outright.
+//
+// Every blended threshold stays in [0, B], so the policy always
+// carries the closed-form robustness bound WorstCaseDetCost gives for
+// its realized threshold: trusting the prediction can cost at most the
+// bound of the threshold it moved to, never an unbounded ratio.
+type SoftML struct {
+	c      *skirental.Constrained
+	lambda float64
+}
+
+// NewSoftML wraps a prepared constrained fallback with trust lambda in
+// [0, 1].
+func NewSoftML(c *skirental.Constrained, lambda float64) (*SoftML, error) {
+	if c == nil {
+		return nil, fmt.Errorf("predict: nil fallback policy")
+	}
+	if math.IsNaN(lambda) || lambda < 0 || lambda > 1 {
+		return nil, fmt.Errorf("predict: lambda %v outside [0, 1]", lambda)
+	}
+	return &SoftML{c: c, lambda: lambda}, nil
+}
+
+// Name implements skirental.Policy.
+func (s *SoftML) Name() string { return "SoftML" }
+
+// B implements skirental.Policy.
+func (s *SoftML) B() float64 { return s.c.B() }
+
+// Lambda returns the trust parameter.
+func (s *SoftML) Lambda() float64 { return s.lambda }
+
+// Fallback returns the wrapped constrained policy.
+func (s *SoftML) Fallback() *skirental.Constrained { return s.c }
+
+// Threshold implements skirental.Policy: without advice the policy IS
+// the constrained fallback.
+func (s *SoftML) Threshold(rng *rand.Rand) float64 { return s.c.Threshold(rng) }
+
+// MeanCostForStop implements skirental.Policy for the advice-free
+// path.
+func (s *SoftML) MeanCostForStop(y float64) float64 { return s.c.MeanCostForStop(y) }
+
+// Advise draws the fallback threshold and blends it toward the advice
+// threshold with weight lambda * p.Confidence. The fallback draw
+// happens unconditionally so the RNG stream position is independent of
+// whether a prediction arrived — the invariant the audit replay and
+// the lambda = 0 byte-identity guarantee rest on.
+func (s *SoftML) Advise(rng *rand.Rand, p Prediction) Advice {
+	b := s.c.B()
+	xc := s.c.Threshold(rng)
+	le := s.lambda * p.Confidence
+	label := "short"
+	if p.StopSec >= b {
+		label = "long"
+	}
+	if le <= 0 {
+		return Advice{Threshold: xc, Label: label}
+	}
+	x := (1-le)*xc + le*AdviceThreshold(b, p.StopSec)
+	return Advice{Threshold: clamp(x, 0, b), Blended: true, Label: label}
+}
+
+// DistAdvice is the Kim & Fan-style distributional-advice policy: the
+// predicted moment pair projects onto the constrained statistics plane
+// (ProjectMoments), the paper's vertex selection picks the advice
+// threshold for that projected distribution, and the result is clamped
+// into the robustness trust region [xc - lambda*B, xc + lambda*B]
+// around the fallback draw xc. lambda = 0 collapses the region to the
+// fallback draw itself — bit-identical to the constrained policy.
+type DistAdvice struct {
+	c      *skirental.Constrained
+	lambda float64
+}
+
+// NewDistAdvice wraps a prepared constrained fallback with trust
+// lambda in [0, 1].
+func NewDistAdvice(c *skirental.Constrained, lambda float64) (*DistAdvice, error) {
+	if c == nil {
+		return nil, fmt.Errorf("predict: nil fallback policy")
+	}
+	if math.IsNaN(lambda) || lambda < 0 || lambda > 1 {
+		return nil, fmt.Errorf("predict: lambda %v outside [0, 1]", lambda)
+	}
+	return &DistAdvice{c: c, lambda: lambda}, nil
+}
+
+// Name implements skirental.Policy.
+func (d *DistAdvice) Name() string { return "DistAdvice" }
+
+// B implements skirental.Policy.
+func (d *DistAdvice) B() float64 { return d.c.B() }
+
+// Lambda returns the trust parameter.
+func (d *DistAdvice) Lambda() float64 { return d.lambda }
+
+// Fallback returns the wrapped constrained policy.
+func (d *DistAdvice) Fallback() *skirental.Constrained { return d.c }
+
+// Threshold implements skirental.Policy (the advice-free path).
+func (d *DistAdvice) Threshold(rng *rand.Rand) float64 { return d.c.Threshold(rng) }
+
+// MeanCostForStop implements skirental.Policy for the advice-free
+// path.
+func (d *DistAdvice) MeanCostForStop(y float64) float64 { return d.c.MeanCostForStop(y) }
+
+// Advise projects the predicted moments, selects the advice vertex,
+// and clamps its representative threshold into the trust region around
+// the fallback draw. A prediction without moments is treated as the
+// degenerate distribution at its point forecast.
+func (d *DistAdvice) Advise(rng *rand.Rand, p Prediction) Advice {
+	b := d.c.B()
+	xc := d.c.Threshold(rng)
+	le := d.lambda * p.Confidence
+	m1, m2 := p.M1, p.M2
+	if !p.HasMoments {
+		m1, m2 = p.StopSec, p.StopSec*p.StopSec
+	}
+	mu, q := ProjectMoments(b, m1, m2)
+	xadv, choice := RepresentativeThreshold(b, mu, q)
+	if le <= 0 {
+		return Advice{Threshold: xc, Label: choice.String()}
+	}
+	x := clamp(xadv, xc-le*b, xc+le*b)
+	return Advice{Threshold: clamp(x, 0, b), Blended: true, Label: choice.String()}
+}

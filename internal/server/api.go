@@ -4,6 +4,13 @@ package server
 // bodies are JSON with unknown fields rejected, so client typos surface
 // as 400s instead of silently ignored options.
 
+import (
+	"fmt"
+
+	"idlereduce/internal/policy"
+	"idlereduce/internal/predict"
+)
+
 // DecideRequest asks for one online idling decision: which vertex
 // strategy to play for the next stop of the given vehicle, and the
 // concrete shutoff threshold to use.
@@ -29,6 +36,49 @@ type DecideRequest struct {
 	// unknown_policy; engines that cannot serve the area's statistics
 	// are a 400 with code invalid_policy_params.
 	Policy string `json:"policy,omitempty"`
+	// Params optionally tunes the selected engine's declared parameters
+	// (e.g. {"lambda": 0.25} for softml/distadvice). Unknown names and
+	// out-of-range values are a 400 with code invalid_policy_params, as
+	// are params sent to an engine that declares none. Parameters are
+	// part of the strategy cache key, so differently-tuned requests
+	// never share a prepared strategy.
+	Params map[string]float64 `json:"params,omitempty"`
+	// Prediction optionally attaches a stop-length forecast for
+	// prediction-aware engines (softml, distadvice). Engines whose
+	// strategies cannot consume predictions reject it with a 400
+	// invalid_prediction, as do malformed blocks.
+	Prediction *PredictionBlock `json:"prediction,omitempty"`
+}
+
+// PredictionBlock is the wire form of one stop-length forecast.
+type PredictionBlock struct {
+	// PredictedStopSec is the forecast stop length in seconds (finite,
+	// non-negative).
+	PredictedStopSec float64 `json:"predicted_stop_s"`
+	// Confidence optionally scales the engine's trust parameter for
+	// this request in [0, 1]; omitted means full confidence.
+	Confidence *float64 `json:"confidence,omitempty"`
+	// M1/M2 are the optional predicted first and second moments of the
+	// stop length (for the distadvice engine). Both or neither must be
+	// present, finite, non-negative, with m2 >= m1^2.
+	M1 *float64 `json:"m1,omitempty"`
+	M2 *float64 `json:"m2,omitempty"`
+}
+
+// toPrediction normalizes and validates the wire block. Errors wrap
+// predict.ErrBadPrediction and map to the wire code invalid_prediction.
+func (p *PredictionBlock) toPrediction() (predict.Prediction, error) {
+	pr := predict.Prediction{StopSec: p.PredictedStopSec, Confidence: 1}
+	if p.Confidence != nil {
+		pr.Confidence = *p.Confidence
+	}
+	if (p.M1 == nil) != (p.M2 == nil) {
+		return pr, fmt.Errorf("%w: moments m1 and m2 must be sent together", predict.ErrBadPrediction)
+	}
+	if p.M1 != nil {
+		pr.M1, pr.M2, pr.HasMoments = *p.M1, *p.M2, true
+	}
+	return pr, pr.Validate()
 }
 
 // DecideResponse is the decision for one stop.
@@ -155,6 +205,9 @@ type PolicyInfo struct {
 	// Default marks the engine this daemon serves when a request does
 	// not carry a policy field.
 	Default bool `json:"default,omitempty"`
+	// Params lists the engine's accepted tunable parameters (name, doc,
+	// default, range). Omitted for engines that declare none.
+	Params []policy.ParamSpec `json:"params,omitempty"`
 }
 
 // PoliciesResponse lists the registered policy engines, sorted by
@@ -176,6 +229,11 @@ type ObserveRequest struct {
 	// VehicleID optionally attributes the observation (forensics only;
 	// the stream is keyed by area).
 	VehicleID string `json:"vehicle_id,omitempty"`
+	// PredictedStopSec optionally carries the forecast that was made for
+	// this stop; the completed length closes the loop, feeding the
+	// prediction-quality metrics (error histograms, consistency/regret
+	// counters). Malformed values are a 400 invalid_prediction.
+	PredictedStopSec *float64 `json:"predicted_stop_s,omitempty"`
 }
 
 // ObserveResponse reports the outcome of one streamed observation.
@@ -231,8 +289,8 @@ type BatchObserveResponse struct {
 type APIError struct {
 	// Code is a stable machine-readable identifier: bad_request,
 	// invalid_stats, unknown_area, unknown_policy,
-	// invalid_policy_params, not_found, method_not_allowed,
-	// overloaded, too_large, internal.
+	// invalid_policy_params, invalid_prediction, not_found,
+	// method_not_allowed, overloaded, too_large, internal.
 	Code string `json:"code"`
 	// Message is the human-readable detail.
 	Message string `json:"message"`

@@ -52,6 +52,13 @@ type AuditRecord struct {
 	// Schedule is the full action ladder of multi-state engines;
 	// single-threshold decisions omit it.
 	Schedule []ScheduleAction `json:"schedule,omitempty"`
+	// Params are the resolved engine parameters the strategy was
+	// prepared with; omitted for the default parameterization.
+	Params map[string]float64 `json:"params,omitempty"`
+	// Prediction is the request's forecast block, recorded verbatim so
+	// an advised decision replays bit-identically through
+	// DecideAdvised; omitted for prediction-free decisions.
+	Prediction *PredictionBlock `json:"prediction,omitempty"`
 }
 
 // observeKind tags observe-stream audit records. Decide records carry
@@ -317,11 +324,38 @@ func replayRecord(rec AuditRecord) string {
 		return fmt.Sprintf("engine %s recorded at v%d, registered is v%d (version drift)",
 			eng.Name(), rec.PolicyVersion, eng.Version())
 	}
-	prep, err := eng.Prepare(policy.Stats{B: rec.B, Mu: rec.Mu, Q: rec.Q})
+	stats := policy.Stats{B: rec.B, Mu: rec.Mu, Q: rec.Q}
+	var prep policy.Strategy
+	if len(rec.Params) > 0 {
+		pe, ok := eng.(policy.Parametric)
+		if !ok {
+			return fmt.Sprintf("engine %s accepts no params but record carries %v", eng.Name(), rec.Params)
+		}
+		resolved, rerr := policy.ResolveParams(pe, rec.Params)
+		if rerr != nil {
+			return fmt.Sprintf("recorded params invalid on replay: %v", rerr)
+		}
+		prep, err = pe.PrepareParams(stats, resolved)
+	} else {
+		prep, err = eng.Prepare(stats)
+	}
 	if err != nil {
 		return fmt.Sprintf("recorded stats infeasible on replay: %v", err)
 	}
-	dec := prep.Decide(parallel.RNG(rec.Seed, stream))
+	var dec policy.Decision
+	if rec.Prediction != nil {
+		p, perr := rec.Prediction.toPrediction()
+		if perr != nil {
+			return fmt.Sprintf("recorded prediction invalid on replay: %v", perr)
+		}
+		adv, ok := prep.(policy.Advised)
+		if !ok {
+			return fmt.Sprintf("engine %s does not accept predictions but record carries one", eng.Name())
+		}
+		dec = adv.DecideAdvised(parallel.RNG(rec.Seed, stream), p)
+	} else {
+		dec = prep.Decide(parallel.RNG(rec.Seed, stream))
+	}
 	if dec.Choice != rec.Choice {
 		return fmt.Sprintf("choice %s replayed as %s", rec.Choice, dec.Choice)
 	}

@@ -95,14 +95,30 @@ type Key struct {
 }
 
 // paramsHash fingerprints the engine parameters of a prepared
-// strategy. The break-even interval is hashed by bit pattern, so
-// semantically different floats (including negative zero vs zero)
-// never alias.
-func paramsHash(b float64) uint64 {
+// strategy: the effective break-even interval plus the resolved tuning
+// map, hashed in sorted key order. Floats are hashed by bit pattern,
+// so semantically different values (including negative zero vs zero)
+// never alias; a nil map (the default parameterization) hashes
+// differently from any explicit map, which at worst caches a default
+// strategy twice, never serves the wrong one.
+func paramsHash(b float64, params map[string]float64) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(b))
 	h.Write(buf[:])
+	if len(params) > 0 {
+		names := make([]string, 0, len(params))
+		for n := range params {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			h.Write([]byte(n))
+			h.Write([]byte{0})
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(params[n]))
+			h.Write(buf[:])
+		}
+	}
 	return h.Sum64()
 }
 
@@ -123,11 +139,14 @@ type strategy struct {
 	rec  *areaRec
 	eng  policy.Engine
 	prep policy.Strategy
+	// params are the resolved engine parameters this entry was prepared
+	// with; nil for the default parameterization.
+	params map[string]float64
 }
 
 // key returns the entry's cache key.
 func (s *strategy) key() Key {
-	return Key{Area: s.rec.state.ID, Engine: s.eng.Name(), Params: paramsHash(s.rec.state.B)}
+	return Key{Area: s.rec.state.ID, Engine: s.eng.Name(), Params: paramsHash(s.rec.state.B, s.params)}
 }
 
 // Info renders the entry as the wire AreaInfo. The Policy field is set
@@ -290,13 +309,31 @@ func (c *Cache) shardFor(id string) *shard {
 	return c.shards[areaHash(id)&c.mask]
 }
 
-// prepare builds one cache entry.
+// prepare builds one cache entry with the default parameterization.
 func prepare(rec *areaRec, eng policy.Engine) (*strategy, error) {
-	prep, err := eng.Prepare(rec.state.PolicyStats(0))
+	return prepareWith(rec, eng, nil)
+}
+
+// prepareWith builds one cache entry with resolved engine parameters
+// (nil = defaults). Params against an engine that declares none wrap
+// policy.ErrBadParams.
+func prepareWith(rec *areaRec, eng policy.Engine, params map[string]float64) (*strategy, error) {
+	var prep policy.Strategy
+	var err error
+	if len(params) > 0 {
+		pe, ok := eng.(policy.Parametric)
+		if !ok {
+			return nil, fmt.Errorf("server: area %s: engine %s: %w: engine accepts no params",
+				rec.state.ID, eng.Name(), policy.ErrBadParams)
+		}
+		prep, err = pe.PrepareParams(rec.state.PolicyStats(0), params)
+	} else {
+		prep, err = eng.Prepare(rec.state.PolicyStats(0))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("server: area %s: engine %s: %w", rec.state.ID, eng.Name(), err)
 	}
-	return &strategy{rec: rec, eng: eng, prep: prep}, nil
+	return &strategy{rec: rec, eng: eng, prep: prep, params: params}, nil
 }
 
 // Area returns the current record of an area (case-insensitive).
@@ -315,19 +352,27 @@ func (c *Cache) Get(id string) (*strategy, bool) {
 	if !ok {
 		return nil, false
 	}
-	st, ok := sn.entries[Key{Area: rec.state.ID, Engine: policy.DefaultEngine, Params: paramsHash(rec.state.B)}]
+	st, ok := sn.entries[Key{Area: rec.state.ID, Engine: policy.DefaultEngine, Params: paramsHash(rec.state.B, nil)}]
 	return st, ok
 }
 
 // Strategy returns the prepared strategy of (area, engine) at the
-// area's default break-even. Eager engines always hit; other engines
-// prepare lazily on first use, publish copy-on-write on their shard,
-// and hit from then on. An engine that cannot serve the area's
-// statistics returns the prepare error (wrapping policy.ErrInfeasible)
-// without caching the failure.
+// area's default break-even and default parameterization. Eager
+// engines always hit; other engines prepare lazily on first use,
+// publish copy-on-write on their shard, and hit from then on. An
+// engine that cannot serve the area's statistics returns the prepare
+// error (wrapping policy.ErrInfeasible) without caching the failure.
 func (c *Cache) Strategy(rec *areaRec, eng policy.Engine) (*strategy, error) {
+	return c.StrategyParams(rec, eng, nil)
+}
+
+// StrategyParams is Strategy with resolved engine parameters in the
+// cache key: each distinct parameterization of an engine is its own
+// lazily-filled entry, invalidated like any other lazy entry when the
+// area's statistics change.
+func (c *Cache) StrategyParams(rec *areaRec, eng policy.Engine, params map[string]float64) (*strategy, error) {
 	sh := c.shardFor(rec.state.ID)
-	key := Key{Area: rec.state.ID, Engine: eng.Name(), Params: paramsHash(rec.state.B)}
+	key := Key{Area: rec.state.ID, Engine: eng.Name(), Params: paramsHash(rec.state.B, params)}
 	if st, ok := sh.snap.Load().entries[key]; ok && st.rec == rec {
 		return st, nil
 	}
@@ -340,11 +385,11 @@ func (c *Cache) Strategy(rec *areaRec, eng policy.Engine) (*strategy, error) {
 	if !ok {
 		return nil, fmt.Errorf("server: unknown area %q", rec.state.ID)
 	}
-	key.Params = paramsHash(cur.state.B)
+	key.Params = paramsHash(cur.state.B, params)
 	if st, ok := sn.entries[key]; ok && st.rec == cur {
 		return st, nil
 	}
-	st, err := prepare(cur, eng)
+	st, err := prepareWith(cur, eng, params)
 	if err != nil {
 		return nil, err
 	}

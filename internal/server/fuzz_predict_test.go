@@ -1,0 +1,79 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+)
+
+// FuzzPredictionRequest: no combination of prediction block (stop
+// forecast, confidence, moment pair), lambda, and engine spec may
+// crash the handler or produce a 5xx. Rejections carry a structured
+// error code; accepted requests reproduce byte-for-byte, so a
+// prediction can never leak nondeterminism into the decision path.
+func FuzzPredictionRequest(f *testing.F) {
+	s, err := New(Config{Areas: conformanceAreas()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := s.Handler()
+
+	// hasX flags make every optional wire field reachable: the fuzzer
+	// must explore confidence-absent, moment-absent, and params-absent
+	// shapes, not just fully-populated blocks.
+	f.Add("v-1", "chicago", "softml", 120.0, 0.9, true, 120.0, 15000.0, true, 0.5, true, uint64(7))
+	f.Add("v-1", "nrandia", "softml@v1", 3.0, 1.0, false, 0.0, 0.0, false, 0.0, true, uint64(1))
+	f.Add("v-2", "atlanta", "distadvice", 30.0, 0.5, true, 30.0, 1100.0, true, 1.0, true, uint64(9))
+	f.Add("v-2", "chicago", "distadvice@v1", 9.0, 0.0, true, 0.0, 0.0, false, 0.25, false, uint64(0))
+	f.Add("v-3", "chicago", "constrained", 9.0, 0.5, true, 9.0, 100.0, true, 0.5, true, uint64(3))
+	f.Add("v-3", "mars", "multislope3", -4.0, 2.0, true, 10.0, 50.0, true, -1.0, true, uint64(5))
+	f.Add("", "chicago", "softml", 1e308, -0.5, true, -1.0, -2.0, true, 99.0, true, uint64(11))
+
+	f.Fuzz(func(t *testing.T, vehicleID, area, spec string,
+		stop, conf float64, hasConf bool, m1, m2 float64, hasMoments bool,
+		lambda float64, hasLambda bool, seed uint64) {
+		// NaN/Inf are not representable in a JSON body; the wire layer
+		// can only ever see finite numbers (json.Marshal would fail).
+		for _, v := range []float64{stop, conf, m1, m2, lambda} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		pred := &PredictionBlock{PredictedStopSec: stop}
+		if hasConf {
+			pred.Confidence = &conf
+		}
+		if hasMoments {
+			pred.M1, pred.M2 = &m1, &m2
+		}
+		req := DecideRequest{VehicleID: vehicleID, Area: area, Seed: seed, Policy: spec, Prediction: pred}
+		if hasLambda {
+			req.Params = map[string]float64{"lambda": lambda}
+		}
+		status, body := fuzzDecide(t, h, req)
+		if status >= 500 {
+			t.Fatalf("5xx for %+v: %d %s", req, status, body)
+		}
+		if status != http.StatusOK {
+			var er ErrorResponse
+			if err := json.Unmarshal(body, &er); err != nil || er.Error.Code == "" {
+				t.Fatalf("unstructured error for %+v: %d %s", req, status, body)
+			}
+			return
+		}
+		again, body2 := fuzzDecide(t, h, req)
+		if again != http.StatusOK || !bytes.Equal(body, body2) {
+			t.Fatalf("accepted advised request not reproducible: %+v\n%s\n%s", req, body, body2)
+		}
+		var dec DecideResponse
+		if err := json.Unmarshal(body, &dec); err != nil {
+			t.Fatalf("200 body not a decision: %s", body)
+		}
+		if dec.Choice == "" || math.IsNaN(dec.ThresholdSec) || math.IsInf(dec.ThresholdSec, 0) ||
+			dec.ThresholdSec < 0 || math.IsNaN(dec.WorstCaseCost) || math.IsInf(dec.WorstCaseCost, 0) {
+			t.Fatalf("degenerate advised decision for %+v: %s", req, body)
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"idlereduce/internal/obs"
 	"idlereduce/internal/parallel"
 	"idlereduce/internal/policy"
+	"idlereduce/internal/predict"
 	"idlereduce/internal/skirental"
 )
 
@@ -46,12 +47,29 @@ func policyLookupError(err error) *APIError {
 	return &APIError{Code: code, Message: err.Error(), Status: http.StatusBadRequest}
 }
 
+// prepareStandalone prepares a strategy outside the cache (the custom-B
+// path), honoring resolved engine parameters when present.
+func prepareStandalone(eng policy.Engine, s policy.Stats, params map[string]float64) (policy.Strategy, error) {
+	if len(params) > 0 {
+		pe, ok := eng.(policy.Parametric)
+		if !ok {
+			return nil, fmt.Errorf("%w: engine %s accepts no params", policy.ErrBadParams, eng.Name())
+		}
+		return pe.PrepareParams(s, params)
+	}
+	return eng.Prepare(s)
+}
+
 // enginePrepareError maps an Engine.Prepare failure. The default
 // constrained engine keeps the pre-engine wire shape (422
 // invalid_stats); a request that opted into another engine gets 400
 // invalid_policy_params — the area is servable, the requested engine's
-// parameterization is not.
+// parameterization is not. Parameter-validation failures are
+// invalid_policy_params regardless of engine.
 func enginePrepareError(eng policy.Engine, area string, b float64, err error) *APIError {
+	if errors.Is(err, policy.ErrBadParams) {
+		return &APIError{Code: "invalid_policy_params", Message: err.Error(), Status: http.StatusBadRequest}
+	}
 	if eng.Name() == policy.DefaultEngine {
 		return &APIError{Code: "invalid_stats", Message: fmt.Sprintf("area %s statistics are infeasible for b = %v: %v", area, b, err), Status: http.StatusUnprocessableEntity}
 	}
@@ -97,6 +115,30 @@ func (s *Server) decide(ctx context.Context, req DecideRequest, defaultSeed uint
 			return nil, policyLookupError(err)
 		}
 	}
+	// Resolve engine params before touching the cache so every cache
+	// key carries validated, default-filled parameters — one canonical
+	// map per semantic parameterization.
+	var params map[string]float64
+	if len(req.Params) > 0 {
+		pe, ok := eng.(policy.Parametric)
+		if !ok {
+			return nil, &APIError{Code: "invalid_policy_params",
+				Message: fmt.Sprintf("engine %s accepts no params", policy.Spec(eng)), Status: http.StatusBadRequest}
+		}
+		resolved, err := policy.ResolveParams(pe, req.Params)
+		if err != nil {
+			return nil, &APIError{Code: "invalid_policy_params", Message: err.Error(), Status: http.StatusBadRequest}
+		}
+		params = resolved
+	}
+	var pred *predict.Prediction
+	if req.Prediction != nil {
+		p, err := req.Prediction.toPrediction()
+		if err != nil {
+			return nil, &APIError{Code: "invalid_prediction", Message: err.Error(), Status: http.StatusBadRequest}
+		}
+		pred = &p
+	}
 	rec, ok := s.cache.Area(req.Area)
 	if !ok {
 		return nil, &APIError{Code: "unknown_area", Message: fmt.Sprintf("unknown area %q", req.Area), Status: http.StatusNotFound}
@@ -116,7 +158,7 @@ func (s *Server) decide(ctx context.Context, req DecideRequest, defaultSeed uint
 	var prep policy.Strategy
 	if cached {
 		b = rec.state.B
-		entry, err := s.cache.Strategy(rec, eng)
+		entry, err := s.cache.StrategyParams(rec, eng, params)
 		if err != nil {
 			return nil, enginePrepareError(eng, rec.state.ID, b, err)
 		}
@@ -126,7 +168,7 @@ func (s *Server) decide(ctx context.Context, req DecideRequest, defaultSeed uint
 	} else {
 		s.rec.Add("decide_cache_misses_total", 1)
 		s.rec.Add(sh.missMetric, 1)
-		p, err := eng.Prepare(rec.state.PolicyStats(b))
+		p, err := prepareStandalone(eng, rec.state.PolicyStats(b), params)
 		if err != nil {
 			return nil, enginePrepareError(eng, rec.state.ID, b, err)
 		}
@@ -139,7 +181,18 @@ func (s *Server) decide(ctx context.Context, req DecideRequest, defaultSeed uint
 	}
 	stream := requestStream(req.VehicleID, rec.state.ID, b)
 	rng := parallel.RNG(seed, stream)
-	dec := prep.Decide(rng)
+	var dec policy.Decision
+	if pred != nil {
+		adv, ok := prep.(policy.Advised)
+		if !ok {
+			return nil, &APIError{Code: "invalid_prediction",
+				Message: fmt.Sprintf("engine %s does not accept predictions", policy.Spec(eng)), Status: http.StatusBadRequest}
+		}
+		dec = adv.DecideAdvised(rng, *pred)
+		s.rec.Add("decide_prediction_total", 1)
+	} else {
+		dec = prep.Decide(rng)
+	}
 
 	if s.cfg.testDelay > 0 {
 		time.Sleep(s.cfg.testDelay)
@@ -181,6 +234,8 @@ func (s *Server) decide(ctx context.Context, req DecideRequest, defaultSeed uint
 			Policy:        eng.Name(),
 			PolicyVersion: eng.Version(),
 			Schedule:      wireSchedule(dec.Schedule),
+			Params:        params,
+			Prediction:    req.Prediction,
 		})
 	}
 	resp := &DecideResponse{
@@ -335,13 +390,17 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			continue
 		}
-		resp.Policies = append(resp.Policies, PolicyInfo{
+		info := PolicyInfo{
 			Name:    n,
 			Version: e.Version(),
 			Spec:    policy.Spec(e),
 			Doc:     e.Doc(),
 			Default: n == s.engine.Name(),
-		})
+		}
+		if pe, ok := e.(policy.Parametric); ok {
+			info.Params = pe.Params()
+		}
+		resp.Policies = append(resp.Policies, info)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -10,6 +10,7 @@ import (
 
 	"idlereduce/internal/adaptive"
 	"idlereduce/internal/obs"
+	"idlereduce/internal/predict"
 )
 
 // RetuneConfig parameterizes the server-side observation stream: how
@@ -109,6 +110,11 @@ func (s *Server) observe(ctx context.Context, req ObserveRequest) (*ObserveRespo
 	if math.IsNaN(req.StopSec) || math.IsInf(req.StopSec, 0) || req.StopSec < 0 {
 		return nil, &APIError{Code: "bad_request", Message: fmt.Sprintf("stop_sec = %v must be a finite non-negative stop length", req.StopSec), Status: http.StatusBadRequest}
 	}
+	if req.PredictedStopSec != nil {
+		if err := predict.New(*req.PredictedStopSec).Validate(); err != nil {
+			return nil, &APIError{Code: "invalid_prediction", Message: err.Error(), Status: http.StatusBadRequest}
+		}
+	}
 	rec, ok := s.cache.Area(req.Area)
 	if !ok {
 		return nil, &APIError{Code: "unknown_area", Message: fmt.Sprintf("unknown area %q", req.Area), Status: http.StatusNotFound}
@@ -147,6 +153,11 @@ func (s *Server) observe(ctx context.Context, req ObserveRequest) (*ObserveRespo
 		StatsVersion: rec.version,
 	}
 	s.rec.Add("observe_total", 1)
+	// A forecast riding along closes the prediction loop: the completed
+	// stop grades it into the quality histograms and side counters.
+	if req.PredictedStopSec != nil {
+		predict.RecordQuality(s.rec, rec.state.ID, rec.state.B, *req.PredictedStopSec, req.StopSec)
+	}
 	if up.Alarm {
 		resp.Alarm = true
 		s.rec.Add("retune_alarms_total", 1)

@@ -36,6 +36,8 @@ func TestCrossEngineDeterminism(t *testing.T) {
 	specGroups := [][]string{
 		{"", "constrained", "constrained@v1"},
 		{"multislope3", "multislope3@v1"},
+		{"softml", "softml@v1"},
+		{"distadvice", "distadvice@v1"},
 	}
 	requests := func(spec string) (singles []string, batch string) {
 		p := ""

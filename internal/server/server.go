@@ -47,6 +47,7 @@ import (
 
 	"idlereduce/internal/obs"
 	"idlereduce/internal/policy"
+	"idlereduce/internal/predict"
 )
 
 // Config parameterizes a Server. The zero value of every field has a
@@ -261,6 +262,11 @@ func (s *Server) probes() []obs.Probe {
 		obs.CounterSumProbe(reg, "observations", "observe_total"),
 		obs.CounterSumProbe(reg, "retune_alarms", "retune_alarms_total"),
 		obs.CounterSumProbe(reg, "retunes", "retune_total"),
+		obs.CounterSumProbe(reg, "predicted_decisions", "decide_prediction_total"),
+		obs.CounterSumProbe(reg, "predict_consistency", predict.MetricConsistency),
+		obs.CounterSumProbe(reg, "predict_regret", predict.MetricRegret),
+		obs.HistogramMeanProbe(reg, "predict_err_mean_s", predict.MetricErrAbs),
+		obs.HistogramMeanProbe(reg, "predict_bias_s", predict.MetricErrSigned),
 		obs.GaugeProbe(reg, "inflight", "http_inflight_requests"),
 		obs.HistogramQuantileProbe(reg, "decide_p50_ms", obs.L("http_request_ms", "route", "decide"), 0.50),
 		obs.HistogramQuantileProbe(reg, "decide_p99_ms", obs.L("http_request_ms", "route", "decide"), 0.99),

@@ -1,0 +1,102 @@
+package skirental
+
+import "math"
+
+// WorstCaseDetCost returns the worst-case expected online cost of the
+// deterministic threshold policy x over the constrained distribution
+// family Q(mu_B-, q_B+) at break-even interval b. It generalizes the
+// paper's vertex costs to every threshold in [0, b], which is what the
+// learning-augmented engines need: a blended threshold between the
+// vertices still carries a closed-form robustness guarantee.
+//
+// Derivation: a stop of length t <= x costs t (the vehicle drives off
+// while idling); a stop of length t > x costs x + b (idle to the
+// threshold, shut off, restart). The adversary distributes the short
+// mass mu and the long-stop probability q to maximize the expectation:
+//
+//   - every stop longer than b pays x + b, contributing q(x + b);
+//   - the short mass mu is split between stops just above x (each
+//     paying x + b per unit probability, i.e. (x+b)/x per unit mass)
+//     and stops at exactly b paying b <= x + b each. Pushing mass just
+//     above x is optimal while the per-mass rate (x+b)/x exceeds the
+//     at-b rate, but the probability it can soak is capped at 1 - q.
+//
+// The cap binds when mu >= (1-q)x: the adversary saturates every short
+// stop just above x and the cost is x + b regardless of mu. Otherwise
+// the cost is mu(1 + b/x) + q(x + b). The boundary conventions
+// reproduce the paper's vertices exactly: x = 0 is TOI (cost b), x = b
+// is DET (cost mu + 2qb), and x = sqrt(mu*b/q) is b-DET (cost
+// (sqrt(mu) + sqrt(qb))^2) whenever condition (36) holds.
+func WorstCaseDetCost(b, mu, q, x float64) float64 {
+	switch {
+	case x <= 0:
+		// TOI: every stop pays the restart b, nothing idles.
+		return b
+	case x >= b:
+		// DET at the break-even point (thresholds beyond b are
+		// dominated by b itself: no distribution in Q has mass strictly
+		// between b and x to exploit, so cost is the x = b value).
+		return mu + 2*q*b
+	case mu >= (1-q)*x:
+		// Short mass saturates the just-above-x spike.
+		return x + b
+	default:
+		return mu*(1+b/x) + q*(x+b)
+	}
+}
+
+// WorstCaseMixedCost returns the worst-case expected online cost of a
+// policy that plays one of two thresholds x0 <= xb per stop, where the
+// adversary controls both the stop distribution (within Q(mu_B-,
+// q_B+)) and which threshold each stop gets. This is the robustness
+// bound of the learning-augmented blend at a given trust level: the
+// advice pulls the fallback threshold toward 0 (predicted long) or b
+// (predicted short), so the reachable pair is x0 = (1-lambda)x* and
+// xb = (1-lambda)x* + lambda*b, and adversarial predictions route each
+// stop to whichever end hurts most.
+//
+// Derivation (same conventions as WorstCaseDetCost): a stop routed to
+// threshold x pays t if t <= x, else x + b. Long stops (mass q) route
+// to xb and pay xb + b. The short mass mu spikes just above x0 at rate
+// (x0+b)/x0 per unit mass while the 1-q probability cap allows;
+// saturated stops then upgrade toward xb at marginal rate 1 (each unit
+// of extra length converts into a unit of extra cost until the stop
+// crosses xb). x0 = xb reduces exactly to WorstCaseDetCost, and the
+// bound is nondecreasing as the pair spreads — the closed form behind
+// the monotone robustness column of the frontier sweep.
+func WorstCaseMixedCost(b, mu, q, x0, xb float64) float64 {
+	if x0 > xb {
+		x0, xb = xb, x0
+	}
+	// Clamp both thresholds into [0, b]: beyond-b thresholds are
+	// dominated by b itself and negative ones behave as immediate
+	// shut-off, same conventions as WorstCaseDetCost.
+	x0 = math.Min(math.Max(x0, 0), b)
+	xb = math.Min(math.Max(xb, 0), b)
+	long := q * (xb + b)
+	switch {
+	case x0 >= b:
+		// Both thresholds clamp to DET.
+		return mu + 2*q*b
+	case x0 <= 0:
+		// TOI end: every short stop pays the restart immediately; the
+		// budget upgrades stops past xb at rate 1.
+		gain := (1 - q) * xb
+		if mu < gain {
+			gain = mu
+		}
+		return (1-q)*b + gain + long
+	case mu < (1-q)*x0:
+		// Unsaturated: the whole budget spikes just above x0 (the
+		// cheapest per-mass attack, since (x+b)/x is decreasing).
+		return mu*(1+b/x0) + long
+	default:
+		// Saturated: all short probability sits just above x0; the
+		// leftover budget lengthens stops toward xb at rate 1.
+		gain := (1 - q) * (xb - x0)
+		if m := mu - (1-q)*x0; m < gain {
+			gain = m
+		}
+		return (1-q)*(x0+b) + gain + long
+	}
+}

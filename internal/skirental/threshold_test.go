@@ -1,0 +1,168 @@
+package skirental
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestWorstCaseDetCostMatchesVertices: the generalized threshold cost
+// must reproduce the paper's closed forms at the vertex thresholds.
+func TestWorstCaseDetCostMatchesVertices(t *testing.T) {
+	cases := []struct{ b, mu, q float64 }{
+		{28, 8, 0.13},
+		{28, 4, 0.25},
+		{28, 0, 0.5},
+		{28, 10, 0.5},
+		{28, 20, 0},
+		{60, 12, 0.05},
+		{10, 2, 0.3},
+	}
+	for _, c := range cases {
+		vc := ComputeVertexCosts(c.b, Stats{MuBMinus: c.mu, QBPlus: c.q})
+		if got := WorstCaseDetCost(c.b, c.mu, c.q, 0); math.Abs(got-vc.TOI) > 1e-12 {
+			t.Errorf("(%v,%v,%v) x=0: got %v, TOI %v", c.b, c.mu, c.q, got, vc.TOI)
+		}
+		if got := WorstCaseDetCost(c.b, c.mu, c.q, c.b); math.Abs(got-vc.DET) > 1e-12 {
+			t.Errorf("(%v,%v,%v) x=B: got %v, DET %v", c.b, c.mu, c.q, got, vc.DET)
+		}
+		// The b-DET closed form is only comparable when its optimal
+		// threshold lands inside [0, B]: condition (36) does not bound
+		// sqrt(mu*B/q) by B, and whenever it exceeds B the vertex costs
+		// strictly more than DET, is never selected, and sits outside
+		// the clamped domain WorstCaseDetCost models.
+		if !math.IsInf(vc.BDet, 1) && vc.BDetThreshold <= c.b {
+			got := WorstCaseDetCost(c.b, c.mu, c.q, vc.BDetThreshold)
+			if math.Abs(got-vc.BDet) > 1e-9*vc.BDet {
+				t.Errorf("(%v,%v,%v) x=b*: got %v, b-DET %v", c.b, c.mu, c.q, got, vc.BDet)
+			}
+		}
+	}
+}
+
+// TestWorstCaseDetCostDominatesRealizations: for random feasible
+// statistics and random thresholds, the bound must dominate the
+// expected cost of every two-point distribution consistent with the
+// statistics (short mass at s <= B plus long mass just above B).
+func TestWorstCaseDetCostDominatesRealizations(t *testing.T) {
+	rng := rand.New(rand.NewPCG(20140601, 9))
+	const b = 28.0
+	for trial := 0; trial < 2000; trial++ {
+		q := rng.Float64()
+		mu := rng.Float64() * b * (1 - q)
+		x := rng.Float64() * b
+		bound := WorstCaseDetCost(b, mu, q, x)
+		if math.IsNaN(bound) || bound < b*q {
+			t.Fatalf("degenerate bound %v for mu=%v q=%v x=%v", bound, mu, q, x)
+		}
+		// Two-point construction: short mass p at length s (p*s = mu,
+		// p <= 1-q), long mass q just above B (cost x + b under the
+		// threshold policy; the offline adversary realization).
+		for i := 0; i < 8; i++ {
+			s := rng.Float64() * b
+			if s <= 0 {
+				continue
+			}
+			p := mu / s
+			if p > 1-q {
+				continue // infeasible split
+			}
+			costShort := s
+			if s > x {
+				costShort = x + b
+			}
+			realized := p*costShort + q*(x+b)
+			if realized > bound+1e-9 {
+				t.Fatalf("realization %v exceeds bound %v (mu=%v q=%v x=%v s=%v)",
+					realized, bound, mu, q, x, s)
+			}
+		}
+	}
+}
+
+// TestWorstCaseDetCostMonotoneBeyondB: thresholds beyond B clamp to
+// the DET cost (no distribution in Q exploits the gap).
+func TestWorstCaseDetCostMonotoneBeyondB(t *testing.T) {
+	want := WorstCaseDetCost(28, 8, 0.13, 28)
+	for _, x := range []float64{28.0001, 40, 1000, math.Inf(1)} {
+		if got := WorstCaseDetCost(28, 8, 0.13, x); got != want {
+			t.Errorf("x=%v: got %v, want clamp to DET %v", x, got, want)
+		}
+	}
+	if got := WorstCaseDetCost(28, 8, 0.13, -5); got != 28 {
+		t.Errorf("negative threshold: got %v, want TOI cost 28", got)
+	}
+}
+
+// TestWorstCaseMixedCostCollapsesToDet: with both thresholds equal the
+// mixed adversary has no routing freedom, so the bound must reproduce
+// WorstCaseDetCost at every interior threshold and at the clamps.
+func TestWorstCaseMixedCostCollapsesToDet(t *testing.T) {
+	rng := rand.New(rand.NewPCG(20140601, 17))
+	const b = 28.0
+	for trial := 0; trial < 2000; trial++ {
+		q := rng.Float64()
+		mu := rng.Float64() * b * (1 - q)
+		x := rng.Float64() * b
+		got := WorstCaseMixedCost(b, mu, q, x, x)
+		want := WorstCaseDetCost(b, mu, q, x)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("mu=%v q=%v x=%v: mixed %v != det %v", mu, q, x, got, want)
+		}
+	}
+	for _, x := range []float64{0, b, -3, b + 10} {
+		got := WorstCaseMixedCost(b, 8, 0.13, x, x)
+		want := WorstCaseDetCost(b, 8, 0.13, x)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("clamp x=%v: mixed %v != det %v", x, got, want)
+		}
+	}
+}
+
+// TestWorstCaseMixedCostDominatesAndMonotone: the mixed bound must
+// dominate both single-threshold bounds (the adversary can always
+// ignore one end), dominate routed two-point realizations, and grow
+// monotonically as the pair spreads outward — the property the
+// frontier's robustness column rests on.
+func TestWorstCaseMixedCostDominatesAndMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(20140601, 23))
+	const b = 28.0
+	for trial := 0; trial < 2000; trial++ {
+		q := rng.Float64()
+		mu := rng.Float64() * b * (1 - q)
+		x0 := rng.Float64() * b
+		xb := x0 + rng.Float64()*(b-x0)
+		bound := WorstCaseMixedCost(b, mu, q, x0, xb)
+		if d := WorstCaseDetCost(b, mu, q, x0); bound < d-1e-9 {
+			t.Fatalf("mu=%v q=%v (%v,%v): mixed %v below det(x0) %v", mu, q, x0, xb, bound, d)
+		}
+		// Routed realization: short mass p at s routed to its costlier
+		// threshold, long mass q routed to xb.
+		for i := 0; i < 8; i++ {
+			s := rng.Float64() * b
+			if s <= 0 {
+				continue
+			}
+			p := mu / s
+			if p > 1-q {
+				continue
+			}
+			costAt := func(x float64) float64 {
+				if s <= x {
+					return s
+				}
+				return x + b
+			}
+			realized := p*math.Max(costAt(x0), costAt(xb)) + q*(xb+b)
+			if realized > bound+1e-9 {
+				t.Fatalf("realization %v exceeds mixed bound %v (mu=%v q=%v x0=%v xb=%v s=%v)",
+					realized, bound, mu, q, x0, xb, s)
+			}
+		}
+		// Spreading the pair never shrinks the bound.
+		wider := WorstCaseMixedCost(b, mu, q, x0*0.5, xb+(b-xb)*0.5)
+		if wider < bound-1e-9 {
+			t.Fatalf("mu=%v q=%v: wider pair bound %v below %v", mu, q, wider, bound)
+		}
+	}
+}
