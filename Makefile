@@ -61,6 +61,7 @@ cover:
 		'^idlereduce/internal/policy/' \
 		'^idlereduce/internal/predict/' \
 		'^idlereduce/internal/adaptive/' \
+		'^idlereduce/internal/ledger/' \
 		'^idlereduce/internal/server/cache\.go' \
 		'^idlereduce/internal/server/observe\.go' \
 		'^idlereduce/internal/server/snapshot\.go'; do \

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"idlereduce/internal/ledger"
+	"idlereduce/internal/server"
+	"idlereduce/internal/textplot"
+)
+
+// crCmd rebuilds the competitive-ratio table forensically from a
+// decision audit log alone: ledger-opted decide records re-issue their
+// pending entries and settle records re-join them through a fresh
+// ledger, reproducing the per-{area, engine} empirical CR the live
+// daemon reported at GET /v1/cr — no daemon required.
+func crCmd(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cr", flag.ContinueOnError)
+	logPath := fs.String("log", "", "decision audit log written by idled serve -audit-log (default stdin)")
+	jsonOut := fs.Bool("json", false, "emit the table as JSON rows instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = stdin
+	if *logPath != "" && *logPath != "-" {
+		f, err := os.Open(*logPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	// Replay ledger: a settle record in the log is proof the live daemon
+	// joined it, so the forensic pass must never expire or evict what
+	// the daemon kept — TTL effectively infinite, capacity generous.
+	led := ledger.New(ledger.Config{TTLMS: math.MaxInt64 / 2, Capacity: 1 << 20})
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo, unjoined := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var tag struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &tag); err != nil {
+			// Crash tails and corrupt lines are audit verify's concern;
+			// the forensic join just skips what it cannot read.
+			continue
+		}
+		switch tag.Kind {
+		case "":
+			var rec server.AuditRecord
+			if err := json.Unmarshal([]byte(line), &rec); err != nil || rec.DecisionID == "" {
+				continue
+			}
+			// The live ledger keys accumulators by the engine spec
+			// ("name@vN"); the audit record carries name and version
+			// separately, so rebuild the same key.
+			engine := rec.Policy
+			if engine == "" {
+				engine = "constrained"
+			}
+			if rec.PolicyVersion > 0 {
+				engine = fmt.Sprintf("%s@v%d", engine, rec.PolicyVersion)
+			} else {
+				engine += "@v1"
+			}
+			if _, err := led.Issue(ledger.Pending{
+				ID: rec.DecisionID, Area: rec.Area, Engine: engine,
+				Params: rec.Params, B: rec.B, ThresholdSec: rec.ThresholdSec,
+				Bound: rec.CRBound, IssuedUnixMS: rec.TSUnixMS,
+			}); err != nil {
+				return fmt.Errorf("line %d: issue %s: %w", lineNo, rec.DecisionID, err)
+			}
+		case "settle":
+			var rec server.SettleRecord
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				continue
+			}
+			if _, err := led.Settle(rec.DecisionID, rec.StopSec, rec.TSUnixMS); err != nil {
+				// A settle whose decide fell outside this log slice (file
+				// rotation, bounded writer drop) still counts; note it
+				// rather than failing the whole rebuild.
+				unjoined++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	rows := led.Rows()
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(server.CRResponse{Rows: rows, Pending: led.PendingCount(), Counters: led.Counters()})
+	}
+	c := led.Counters()
+	fmt.Fprintf(stdout, "cr rebuild: %d issued, %d settled, %d still pending", c.Issued, c.Settled, led.PendingCount())
+	if unjoined > 0 {
+		fmt.Fprintf(stdout, ", %d settles without a decide in this log", unjoined)
+	}
+	fmt.Fprintln(stdout)
+	if len(rows) == 0 {
+		fmt.Fprintln(stdout, "no settled decisions in the log (decide with \"ledger\": true and settle via decision_id)")
+		return nil
+	}
+	table := [][]string{{"area", "engine", "settles", "CR", "±band", "bound", "breaches", "mean online", "mean opt"}}
+	for _, row := range rows {
+		band := "--"
+		if row.Band >= 0 {
+			band = fmt.Sprintf("%.3f", row.Band)
+		}
+		bound := "--"
+		if row.Bound > 0 {
+			bound = fmt.Sprintf("%.3f", row.Bound)
+		}
+		table = append(table, []string{
+			row.Area, row.Engine,
+			fmt.Sprintf("%d", row.Settled),
+			fmt.Sprintf("%.3f", row.CR),
+			band, bound,
+			fmt.Sprintf("%d", row.Breaches),
+			fmt.Sprintf("%.2f", row.MeanOnline),
+			fmt.Sprintf("%.2f", row.MeanOpt),
+		})
+	}
+	fmt.Fprint(stdout, textplot.Table(table))
+	return nil
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"idlereduce/internal/obs"
+	"idlereduce/internal/server"
+)
+
+// writeLedgerAuditLog boots a real idled with the audit log on, serves
+// ledger-opted decisions, settles most of them through observes, and
+// returns the served CR table for comparison against the forensic
+// rebuild.
+func writeLedgerAuditLog(t *testing.T, path string, decisions, settles int) server.CRResponse {
+	t.Helper()
+	f, err := obs.OpenRotatingFile(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	areas, err := server.DefaultAreaStates(28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{Addr: "127.0.0.1:0", Areas: areas, AuditLog: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx) }()
+
+	post := func(path, body string) []byte {
+		resp, err := http.Post("http://"+addr+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d: %s", path, resp.StatusCode, data)
+		}
+		return data
+	}
+	for i := 0; i < decisions; i++ {
+		body := fmt.Sprintf(`{"vehicle_id":"v-%d","area":"chicago","seed":%d,"ledger":true}`, i, i+1)
+		var dec server.DecideResponse
+		if err := json.Unmarshal(post("/v1/decide", body), &dec); err != nil {
+			t.Fatal(err)
+		}
+		if dec.DecisionID == "" {
+			t.Fatal("ledger-opted decide returned no decision id")
+		}
+		if i < settles {
+			stop := 5.0
+			if i%3 == 0 {
+				stop = 45.0
+			}
+			post("/v1/observe", fmt.Sprintf(`{"area":"chicago","stop_sec":%g,"decision_id":%q}`, stop, dec.DecisionID))
+		}
+	}
+	resp, err := http.Get("http://" + addr + "/v1/cr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var served server.CRResponse
+	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not drain")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return served
+}
+
+// TestCRCommand rebuilds the CR table from a ledger-bearing audit log
+// and checks it reproduces what the live daemon served at /v1/cr.
+func TestCRCommand(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	served := writeLedgerAuditLog(t, path, 8, 6)
+
+	// The same log must also pass full verification: ledger records are
+	// part of the bit-identical replay contract.
+	var out bytes.Buffer
+	if err := run([]string{"audit", "verify", "-log", path}, nil, &out); err != nil {
+		t.Fatalf("verify: %v\n%s", err, out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"cr", "-log", path, "-json"}, nil, &out); err != nil {
+		t.Fatalf("cr: %v\n%s", err, out.String())
+	}
+	var rebuilt server.CRResponse
+	if err := json.Unmarshal(out.Bytes(), &rebuilt); err != nil {
+		t.Fatalf("cr -json output undecodable: %v\n%s", err, out.String())
+	}
+	if len(rebuilt.Rows) != len(served.Rows) {
+		t.Fatalf("rebuilt %d rows, served %d:\n%s", len(rebuilt.Rows), len(served.Rows), out.String())
+	}
+	for i, got := range rebuilt.Rows {
+		want := served.Rows[i]
+		if got.Area != want.Area || got.Engine != want.Engine || got.Settled != want.Settled ||
+			got.CR != want.CR || got.Band != want.Band || got.Bound != want.Bound ||
+			got.MeanOnline != want.MeanOnline || got.MeanOpt != want.MeanOpt {
+			t.Errorf("row %d rebuilt as %+v, served %+v", i, got, want)
+		}
+	}
+	if rebuilt.Pending != served.Pending {
+		t.Errorf("rebuilt pending %d, served %d", rebuilt.Pending, served.Pending)
+	}
+	if rebuilt.Counters.Settled != served.Counters.Settled {
+		t.Errorf("rebuilt settled %d, served %d", rebuilt.Counters.Settled, served.Counters.Settled)
+	}
+
+	// The text rendering carries the summary and the table.
+	out.Reset()
+	if err := run([]string{"cr", "-log", path}, nil, &out); err != nil {
+		t.Fatalf("cr text: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"cr rebuild:", "chicago", "settles", "bound"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("cr output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestCRCommandEmptyLog: a log with no ledger records rebuilds to an
+// empty table, not an error.
+func TestCRCommandEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	writeAuditLog(t, path, 3) // ledger-free decides
+
+	var out bytes.Buffer
+	if err := run([]string{"cr", "-log", path}, nil, &out); err != nil {
+		t.Fatalf("cr: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no settled decisions") {
+		t.Errorf("empty rebuild missing the hint:\n%s", out.String())
+	}
+	if err := run([]string{"cr", "-log", "/does/not/exist.jsonl"}, nil, &out); err == nil {
+		t.Fatal("missing log file succeeded")
+	}
+}

@@ -14,6 +14,7 @@
 //	idlectl engines
 //	idlectl frontier [-b 28] [-mu 4] [-q 0.25] [-engine softml|distadvice] [-lambdas 0,0.5,1] [-json]
 //	idlectl audit verify [-log audit.jsonl]
+//	idlectl cr [-log audit.jsonl] [-json]
 //	idlectl snapshot save [-target URL] [-o state.json]
 //	idlectl snapshot load [-target URL] [-i state.json]
 //	idlectl bench run [-out BENCH_NNNN.json] [-runs N] [-scale F] [-seq N] [-filter s]
@@ -37,7 +38,10 @@
 // through its recorded policy engine and proves every decision —
 // choice, threshold, and any multi-state schedule — reproduces
 // bit-for-bit; observe-stream records are re-derived through the pure
-// moment transition the same way (see docs/OBSERVABILITY.md). The
+// moment transition the same way (see docs/OBSERVABILITY.md). The cr
+// command rebuilds the competitive-ratio ledger table from an audit
+// log alone — ledger-opted decide records re-issue, settle records
+// re-join — reproducing what the daemon served at GET /v1/cr. The
 // snapshot commands move the checksummed state plane between daemons:
 // save a warm donor, load a cold replica (or boot it with
 // `idled serve -restore`). The bench commands capture
@@ -79,7 +83,7 @@ func main() {
 	}
 }
 
-const usage = "usage: idlectl [-cpuprofile f] [-memprofile f] [-trace f] [-workers N] <tune|show|replay|synth|stats|engines|frontier|audit|snapshot|bench> [flags]"
+const usage = "usage: idlectl [-cpuprofile f] [-memprofile f] [-trace f] [-workers N] <tune|show|replay|synth|stats|engines|frontier|audit|cr|snapshot|bench> [flags]"
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	gfs := flag.NewFlagSet("idlectl", flag.ContinueOnError)
@@ -120,12 +124,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		cmdErr = frontierCmd(rest[1:], stdin, stdout)
 	case "audit":
 		cmdErr = auditCmd(rest[1:], stdin, stdout)
+	case "cr":
+		cmdErr = crCmd(rest[1:], stdin, stdout)
 	case "snapshot":
 		cmdErr = snapshotCmd(rest[1:], stdout)
 	case "bench":
 		cmdErr = benchCmd(rest[1:], stdout)
 	default:
-		cmdErr = fmt.Errorf("unknown command %q (want tune, show, replay, synth, stats, engines, frontier, audit, snapshot or bench)", rest[0])
+		cmdErr = fmt.Errorf("unknown command %q (want tune, show, replay, synth, stats, engines, frontier, audit, cr, snapshot or bench)", rest[0])
 	}
 	if perr := stopProf(); perr != nil && cmdErr == nil {
 		cmdErr = perr

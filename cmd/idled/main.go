@@ -17,8 +17,8 @@
 //	idled loadtest [-target URL] [-clients N] [-requests N] [-batch N]
 //	               [-seed N] [-policy ENGINE] [-workers N] [-max-inflight N]
 //	               [-synthetic-areas N] [-shards N] [-observe F] [-miss F]
-//	               [-hot N] [-json] [-out report.json] [-profile cpu|heap]
-//	               [-profile-out FILE]
+//	               [-hot N] [-settle F] [-json] [-out report.json]
+//	               [-profile cpu|heap] [-profile-out FILE]
 //	idled loadgate [-baseline FILE] [-bless] [-areas N] [-clients N]
 //	               [-requests N] [-batch N] [-json]
 //	idled top      [-target URL] [-interval D] [-frames N] [-once] [-w N]
@@ -44,7 +44,10 @@
 // the harness's metrics registry; -observe mixes in streamed
 // stop observations (with a mid-run drift so CUSUM re-tunes fire),
 // -miss forces a controlled cache-miss rate, -synthetic-areas scales
-// the in-process server to N fabricated areas; -out additionally
+// the in-process server to N fabricated areas, -settle runs the
+// competitive-ratio join on a fraction of slots (ledger-opted decides
+// settled back via decision_id observes, with a deterministic sprinkle
+// of corrupted ids proving the fail-closed path); -out additionally
 // writes the
 // registry snapshot as JSON (the bench-metrics schema, readable by
 // `idlectl stats`), and -profile captures a cpu or heap profile of the
@@ -259,6 +262,7 @@ func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
 	shards := fs.Int("shards", 0, "in-process server cache shard count (ignored with -target)")
 	observeFrac := fs.Float64("observe", 0, "fraction of requests sent as observe batches (streamed stop observations with a mid-run drift)")
 	missFrac := fs.Float64("miss", 0, "fraction of decide slots carrying a custom break-even interval (controlled cache misses)")
+	settleFrac := fs.Float64("settle", 0, "fraction of slots running the competitive-ratio join (ledger-opted decides settled by decision_id observes)")
 	hotAreas := fs.Int("hot", 0, "areas observe traffic concentrates on (0 = default 64)")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
 	outPath := fs.String("out", "", "also write the harness metrics registry snapshot here as JSON (readable by idlectl stats)")
@@ -275,9 +279,10 @@ func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-clients %d, -requests %d and -batch %d must all be positive", *clients, *requests, *batch)
 	}
-	if *observeFrac < 0 || *observeFrac >= 1 || *missFrac < 0 || *missFrac >= 1 {
+	if *observeFrac < 0 || *observeFrac >= 1 || *missFrac < 0 || *missFrac >= 1 ||
+		*settleFrac < 0 || *settleFrac >= 1 {
 		fs.Usage()
-		return fmt.Errorf("-observe %v and -miss %v must be in [0, 1)", *observeFrac, *missFrac)
+		return fmt.Errorf("-observe %v, -miss %v and -settle %v must be in [0, 1)", *observeFrac, *missFrac, *settleFrac)
 	}
 	if *synthAreas > 0 && *target != "" {
 		fs.Usage()
@@ -366,6 +371,7 @@ func loadtest(ctx context.Context, args []string, stdout io.Writer) error {
 		Policy:          *policySpec,
 		ObserveFraction: *observeFrac,
 		MissFraction:    *missFrac,
+		SettleFraction:  *settleFrac,
 		HotAreas:        *hotAreas,
 		Recorder:        rec,
 	})

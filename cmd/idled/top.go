@@ -37,11 +37,11 @@ func top(ctx context.Context, args []string, stdout io.Writer) error {
 	base := strings.TrimRight(*target, "/")
 
 	for n := 1; ; n++ {
-		health, hist, err := fetchTop(ctx, client, base)
+		health, hist, cr, err := fetchTop(ctx, client, base)
 		if err != nil {
 			return err
 		}
-		frame := renderTop(base, health, hist, *width)
+		frame := renderTop(base, health, hist, cr, *width)
 		if !*once {
 			// Home + clear-to-end keeps the frame flicker-free.
 			frame = "\x1b[H\x1b[2J" + frame
@@ -60,18 +60,22 @@ func top(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 }
 
-// fetchTop pulls one dashboard refresh: liveness plus the history
-// window.
-func fetchTop(ctx context.Context, client *http.Client, base string) (server.HealthResponse, obs.History, error) {
+// fetchTop pulls one dashboard refresh: liveness, the history window,
+// and the competitive-ratio ledger table.
+func fetchTop(ctx context.Context, client *http.Client, base string) (server.HealthResponse, obs.History, server.CRResponse, error) {
 	var health server.HealthResponse
+	var cr server.CRResponse
 	if err := getJSON(ctx, client, base+"/healthz", &health); err != nil {
-		return health, obs.History{}, err
+		return health, obs.History{}, cr, err
 	}
 	var hist obs.History
 	if err := getJSON(ctx, client, base+"/v1/history", &hist); err != nil {
-		return health, hist, err
+		return health, hist, cr, err
 	}
-	return health, hist, nil
+	// The CR table is best-effort: a daemon predating the ledger (or one
+	// with it idle) still gets the rest of the dashboard.
+	_ = getJSON(ctx, client, base+"/v1/cr", &cr)
+	return health, hist, cr, nil
 }
 
 func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
@@ -93,7 +97,7 @@ func getJSON(ctx context.Context, client *http.Client, url string, out any) erro
 
 // renderTop draws one dashboard frame. Pure: everything it shows comes
 // from its arguments, so tests can assert on the layout.
-func renderTop(base string, health server.HealthResponse, hist obs.History, width int) string {
+func renderTop(base string, health server.HealthResponse, hist obs.History, cr server.CRResponse, width int) string {
 	var b strings.Builder
 	up := (time.Duration(health.UptimeMS) * time.Millisecond).Round(time.Second)
 	fmt.Fprintf(&b, "idled top — %s — %s %s — %d areas — up %s\n",
@@ -157,5 +161,52 @@ func renderTop(base string, health server.HealthResponse, hist obs.History, widt
 	if bok50 && bok99 {
 		fmt.Fprintf(&b, "%-11s p50 %.3f  p99 %.3f\n", "batch ms", bp50.Last, bp99.Last)
 	}
+	if panel := renderCRPanel(cr); panel != "" {
+		b.WriteString("\n")
+		b.WriteString(panel)
+	}
+	return b.String()
+}
+
+// renderCRPanel lays out the competitive-ratio ledger: one row per
+// {area, engine} accumulator with its empirical CR, variance band,
+// published worst-case bound and breach count. Empty when the ledger
+// has never settled anything (no panel beats a table of zeros).
+func renderCRPanel(cr server.CRResponse) string {
+	if len(cr.Rows) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "competitive ratio — %d pending, %d settled, %d orphaned, %d expired\n",
+		cr.Pending, cr.Counters.Settled, cr.Counters.Orphaned, cr.Counters.Expired)
+	rows := [][]string{{"area", "engine", "settles", "CR", "±band", "bound", "breaches", "status"}}
+	for _, r := range cr.Rows {
+		band := "--"
+		if r.Band >= 0 {
+			band = fmt.Sprintf("%.3f", r.Band)
+		}
+		bound := "--"
+		status := ""
+		if r.Bound > 0 {
+			bound = fmt.Sprintf("%.3f", r.Bound)
+			switch {
+			case r.Breaches > 0:
+				status = "BREACH"
+			case r.Band >= 0 && r.CR-r.Band > r.Bound:
+				status = "over"
+			default:
+				status = "ok"
+			}
+		}
+		rows = append(rows, []string{
+			r.Area, r.Engine,
+			fmt.Sprintf("%d", r.Settled),
+			fmt.Sprintf("%.3f", r.CR),
+			band, bound,
+			fmt.Sprintf("%d", r.Breaches),
+			status,
+		})
+	}
+	b.WriteString(textplot.Table(rows))
 	return b.String()
 }

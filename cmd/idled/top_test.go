@@ -3,13 +3,21 @@ package main
 import (
 	"bytes"
 	"context"
+	"flag"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"idlereduce/internal/ledger"
 	"idlereduce/internal/obs"
 	"idlereduce/internal/server"
 )
+
+// updateTopGolden re-blesses testdata/top_golden.txt from the current
+// renderer output.
+var updateTopGolden = flag.Bool("update-top-golden", false, "rewrite the idled top golden frame")
 
 func topTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
@@ -98,7 +106,19 @@ func TestRenderTop(t *testing.T) {
 			{Name: "predict_bias_s", Kind: "gauge", Points: []float64{0, -2, -3, -4}, Last: -4},
 		},
 	}
-	text := renderTop("http://x:1", health, hist, 8)
+	cr := server.CRResponse{
+		Rows: []ledger.Row{
+			{Area: "atlanta", Engine: "det", Settled: 1, CR: 1.0, Band: -1, Bound: 2.0,
+				MeanOnline: 5, MeanOpt: 5},
+			{Area: "chicago", Engine: "det", Settled: 40, CR: 1.31, Band: 0.12, Bound: 2.0,
+				MeanOnline: 14.6, MeanOpt: 11.1},
+			{Area: "chicago", Engine: "nrand", Settled: 12, CR: 2.41, Band: 0.2, Bound: 1.8,
+				Breaches: 2, MeanOnline: 26.2, MeanOpt: 10.9},
+		},
+		Pending:  3,
+		Counters: ledger.Counters{Issued: 56, Settled: 53, Orphaned: 1, Expired: 0, Breaches: 2},
+	}
+	text := renderTop("http://x:1", health, hist, cr, 8)
 	for _, want := range []string{
 		"up 1m5s", "3 areas", "(devel) go1.24.0",
 		"requests", "40.0/s", "avg 23.3/s",
@@ -108,9 +128,69 @@ func TestRenderTop(t *testing.T) {
 		"predict", "75.0% consistent",
 		"mean |err| 6.0s", "bias -4.0s",
 		"█", // the ramp's peak block
+		"competitive ratio — 3 pending, 53 settled, 1 orphaned, 0 expired",
+		"1.310", "0.120", // chicago/det CR and band
+		"--",     // atlanta's not-yet-estimable band renders as --
+		"BREACH", // chicago/nrand tripped the detector
+		"ok",     // chicago/det within its bound
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("render missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestRenderTopGolden pins the full frame layout — header, sparkline
+// rows, derived panels and the competitive-ratio table — against a
+// committed golden file. Re-bless deliberate layout changes with
+//
+//	go test ./cmd/idled -run TestRenderTopGolden -update-top-golden
+func TestRenderTopGolden(t *testing.T) {
+	health := server.HealthResponse{
+		Status: "ok", UptimeMS: 65_000, Areas: 2,
+		Version: "v-test", GoVersion: "go-test",
+	}
+	hist := obs.History{
+		IntervalMS: 1000, Window: 8, Samples: 4,
+		TimesUnixMS: []int64{1000, 2000, 3000, 4000},
+		Series: []obs.HistorySeries{
+			{Name: "requests", Kind: "rate", Points: []float64{0, 10, 20, 40}, Last: 40, RatePerSec: 23.3},
+			{Name: "decisions", Kind: "rate", Points: []float64{0, 10, 20, 40}, Last: 40, RatePerSec: 23.3},
+			{Name: "observations", Kind: "rate", Points: []float64{0, 5, 10, 20}, Last: 20, RatePerSec: 6.7},
+			{Name: "inflight", Kind: "gauge", Points: []float64{1, 2, 3, 2}, Last: 2},
+			{Name: "cache_hits", Kind: "rate", Points: []float64{0, 9, 18, 36}, Last: 36, RatePerSec: 21},
+			{Name: "cache_misses", Kind: "rate", Points: []float64{0, 1, 2, 4}, Last: 4, RatePerSec: 7},
+			{Name: "decide_p50_ms", Kind: "gauge", Points: []float64{0.05, 0.05, 0.06, 0.05}, Last: 0.05},
+			{Name: "decide_p99_ms", Kind: "gauge", Points: []float64{0.2, 0.3, 0.2, 0.4}, Last: 0.4},
+		},
+	}
+	cr := server.CRResponse{
+		Rows: []ledger.Row{
+			{Area: "atlanta", Engine: "det", Settled: 1, CR: 1.0, Band: -1, Bound: 2.0,
+				MeanOnline: 5, MeanOpt: 5},
+			{Area: "chicago", Engine: "det", Settled: 40, CR: 1.31, Band: 0.12, Bound: 2.0,
+				MeanOnline: 14.6, MeanOpt: 11.1},
+			{Area: "chicago", Engine: "nrand", Settled: 12, CR: 2.41, Band: 0.2, Bound: 1.8,
+				Breaches: 2, MeanOnline: 26.2, MeanOpt: 10.9},
+		},
+		Pending:  3,
+		Counters: ledger.Counters{Issued: 56, Settled: 53, Orphaned: 1, Breaches: 2},
+	}
+	got := renderTop("http://x:1", health, hist, cr, 8)
+
+	goldenPath := filepath.Join("testdata", "top_golden.txt")
+	if *updateTopGolden {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("blessed %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (re-bless with -update-top-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("frame differs from golden (re-bless with -update-top-golden if deliberate)\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }

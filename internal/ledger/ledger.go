@@ -1,0 +1,712 @@
+// Package ledger joins online decisions to their realized outcomes —
+// the measurement plane for the paper's central quantity, the
+// competitive ratio CR = E[cost_online] / E[cost_offline].
+//
+// A decision enters as a Pending entry (decision id, area, engine,
+// break-even interval B, the threshold actually drawn). When the
+// completed stop length y arrives with the same decision id, the entry
+// settles into a realized-cost record:
+//
+//	online = min(y, T) + B·1[y > T]   (idle until T, restart if exceeded)
+//	opt    = min(y, B)                (the offline clairvoyant's cost)
+//
+// and streams into a per-{area, engine} accumulator of the empirical
+// CR. The accumulator keeps exponentially-forgotten first and second
+// moments of (online, opt) pairs, so the ratio-of-means estimate
+// carries a delta-method variance band; a breach detector compares the
+// band against the engine's published worst-case bound and trips after
+// a configurable run of confidently-violating windows.
+//
+// The package is deliberately clock-free: callers pass wall times in,
+// every transition is a pure function of its inputs, and the full
+// state round-trips through State — which is what lets a snapshot
+// restore resume the ledger byte-identically and lets `idlectl cr`
+// rebuild the same table forensically from an audit log alone.
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Stable error classes; the server maps them to the wire codes
+// unknown_decision and duplicate_settle.
+var (
+	// ErrUnknownDecision reports a settle for an id that is not pending:
+	// never issued, already expired, or evicted under capacity pressure.
+	ErrUnknownDecision = errors.New("ledger: unknown decision")
+	// ErrDuplicateSettle reports a second settle of an id that already
+	// settled (within the retained duplicate-detection window).
+	ErrDuplicateSettle = errors.New("ledger: duplicate settle")
+)
+
+// Config parameterizes a Ledger. The zero value takes every default.
+type Config struct {
+	// Shards is the pending-table shard count, rounded up to a power of
+	// two (default 8). Purely a contention knob.
+	Shards int
+	// Capacity bounds pending entries per shard; the oldest entry is
+	// evicted (counted as expired) when a shard fills (default 4096).
+	Capacity int
+	// TTLMS expires pending entries older than this many milliseconds
+	// at settle/issue time (default 600_000, ten minutes).
+	TTLMS int64
+	// Forgetting is the accumulator decay per settle in (0, 1]
+	// (default 1: plain cumulative Welford moments).
+	Forgetting float64
+	// Window is the number of settles per breach-detector evaluation
+	// window (default 20).
+	Window int
+	// Patience is the number of consecutive violating windows before a
+	// breach trips (default 3).
+	Patience int
+	// Band is the variance-band half-width multiplier z (default 2).
+	Band float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	n := 1
+	for n < c.Shards {
+		n <<= 1
+	}
+	c.Shards = n
+	if c.Capacity <= 0 {
+		c.Capacity = 4096
+	}
+	if c.TTLMS <= 0 {
+		c.TTLMS = 600_000
+	}
+	if c.Forgetting <= 0 || c.Forgetting > 1 || math.IsNaN(c.Forgetting) {
+		c.Forgetting = 1
+	}
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.Patience <= 0 {
+		c.Patience = 3
+	}
+	if c.Band <= 0 || math.IsNaN(c.Band) {
+		c.Band = 2
+	}
+	return c
+}
+
+// Pending is one decision awaiting its outcome.
+type Pending struct {
+	// ID is the decision id the outcome must quote.
+	ID string `json:"id"`
+	// Area/Engine key the accumulator the outcome streams into. Engine
+	// is the canonical pinned spec ("constrained@v1").
+	Area   string `json:"area"`
+	Engine string `json:"engine"`
+	// Params are the resolved engine parameters (forensics only).
+	Params map[string]float64 `json:"params,omitempty"`
+	// B is the effective break-even interval; ThresholdSec the threshold
+	// the engine actually drew for this stop.
+	B            float64 `json:"b"`
+	ThresholdSec float64 `json:"threshold_sec"`
+	// Bound is the engine's published worst-case CR for the strategy
+	// that made the decision (0 = no bound published).
+	Bound float64 `json:"bound,omitempty"`
+	// IssuedUnixMS is the issue wall time (drives TTL expiry and the
+	// join-latency measurement).
+	IssuedUnixMS int64 `json:"issued_unix_ms"`
+}
+
+func (p Pending) validate() error {
+	if p.ID == "" {
+		return fmt.Errorf("ledger: pending entry has empty id")
+	}
+	if p.Area == "" || p.Engine == "" {
+		return fmt.Errorf("ledger: pending %s has empty area or engine", p.ID)
+	}
+	if !(p.B > 0) || math.IsInf(p.B, 0) {
+		return fmt.Errorf("ledger: pending %s has break-even %v", p.ID, p.B)
+	}
+	if p.ThresholdSec < 0 || math.IsNaN(p.ThresholdSec) || math.IsInf(p.ThresholdSec, 0) {
+		return fmt.Errorf("ledger: pending %s has threshold %v", p.ID, p.ThresholdSec)
+	}
+	if p.Bound < 0 || math.IsNaN(p.Bound) || math.IsInf(p.Bound, 0) {
+		return fmt.Errorf("ledger: pending %s has bound %v", p.ID, p.Bound)
+	}
+	if p.IssuedUnixMS < 0 {
+		return fmt.Errorf("ledger: pending %s has negative issue time", p.ID)
+	}
+	return nil
+}
+
+// Key identifies one accumulator.
+type Key struct {
+	Area   string
+	Engine string
+}
+
+// Outcome reports one successful settle.
+type Outcome struct {
+	// Pending is the entry that settled.
+	Pending Pending
+	// Online and Opt are the realized costs (see RealizedCost).
+	Online float64
+	Opt    float64
+	// JoinMS is the decide-to-observe join latency in milliseconds.
+	JoinMS int64
+	// CR and Band are the accumulator's empirical CR and variance-band
+	// half-width after this settle.
+	CR   float64
+	Band float64
+	// Breach reports that this settle completed a Patience-long run of
+	// violating windows and tripped the breach detector.
+	Breach bool
+}
+
+// Counters are the ledger's monotone event counts.
+type Counters struct {
+	// Issued counts decisions entered into the pending table; Settled
+	// those joined to an outcome.
+	Issued  uint64 `json:"issued"`
+	Settled uint64 `json:"settled"`
+	// Orphaned counts settles quoting an unknown decision id; Expired
+	// counts pending entries dropped by TTL or capacity eviction.
+	Orphaned uint64 `json:"orphaned"`
+	Expired  uint64 `json:"expired"`
+	// Breaches counts breach-detector trips across all accumulators.
+	Breaches uint64 `json:"breaches"`
+}
+
+// RealizedCost computes the paper's realized cost pair for one settled
+// stop: the online policy idles until its threshold and pays the
+// restart B if the stop outlasts it; the offline optimum pays
+// min(y, B). Pure — the audit verifier replays settle records through
+// it bit-for-bit.
+func RealizedCost(b, threshold, stop float64) (online, opt float64) {
+	online = math.Min(stop, threshold)
+	if stop > threshold {
+		online += b
+	}
+	opt = math.Min(stop, b)
+	return online, opt
+}
+
+// accum is one {area, engine} empirical-CR accumulator: forgetting-
+// weighted first and second moments of the (online, opt) pairs plus
+// the breach-detector state.
+type accum struct {
+	w, w2                float64 // weight sum and squared-weight sum
+	sumOn, sumOp         float64
+	sumOn2, sumOp2, sumX float64
+	count                uint64
+	bound                float64
+	windowCount          int
+	streak               int
+	breaches             uint64
+}
+
+// add folds one settled pair in under forgetting factor g.
+func (a *accum) add(g, online, opt float64) {
+	a.w = g*a.w + 1
+	a.w2 = g*g*a.w2 + 1
+	a.sumOn = g*a.sumOn + online
+	a.sumOp = g*a.sumOp + opt
+	a.sumOn2 = g*a.sumOn2 + online*online
+	a.sumOp2 = g*a.sumOp2 + opt*opt
+	a.sumX = g*a.sumX + online*opt
+	a.count++
+}
+
+// ratio returns the empirical CR (ratio of weighted means) and the
+// delta-method variance-band half-width z·sqrt(Var[CR]).
+func (a *accum) ratio(z float64) (cr, band float64) {
+	if a.w <= 0 || a.sumOp <= 0 {
+		return 0, 0
+	}
+	meanOn := a.sumOn / a.w
+	meanOp := a.sumOp / a.w
+	if meanOp <= 0 || meanOn <= 0 {
+		return 0, 0
+	}
+	cr = meanOn / meanOp
+	neff := a.w * a.w / a.w2
+	if neff <= 1 {
+		return cr, math.Inf(1)
+	}
+	varOn := math.Max(0, a.sumOn2/a.w-meanOn*meanOn)
+	varOp := math.Max(0, a.sumOp2/a.w-meanOp*meanOp)
+	cov := a.sumX/a.w - meanOn*meanOp
+	rel := varOn/(meanOn*meanOn) + varOp/(meanOp*meanOp) - 2*cov/(meanOn*meanOp)
+	v := cr * cr * math.Max(0, rel) / neff
+	return cr, z * math.Sqrt(v)
+}
+
+// shard is one pending-table partition: an id-keyed map plus an
+// insertion-ordered id list (the FIFO eviction and expiry order).
+// Settled ids move into a bounded ring so a duplicate settle is
+// distinguishable from an unknown one.
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]Pending
+	order   []string // issue order; may contain ids no longer in entries
+	head    int
+	settled map[string]bool
+	ring    []string // settled-id ring, oldest first
+}
+
+// Ledger is the decision-outcome join plane.
+type Ledger struct {
+	cfg    Config
+	shards []*shard
+	mask   uint64
+
+	accMu  sync.Mutex
+	accums map[Key]*accum
+
+	issued, settled, orphaned, expired, breaches atomic.Uint64
+}
+
+// New builds a ledger.
+func New(cfg Config) *Ledger {
+	cfg = cfg.withDefaults()
+	l := &Ledger{
+		cfg:    cfg,
+		shards: make([]*shard, cfg.Shards),
+		mask:   uint64(cfg.Shards - 1),
+		accums: make(map[Key]*accum),
+	}
+	for i := range l.shards {
+		l.shards[i] = &shard{
+			entries: make(map[string]Pending),
+			settled: make(map[string]bool),
+		}
+	}
+	return l
+}
+
+// idHash is FNV-1a over the decision id (the same family the strategy
+// cache shards by).
+func idHash(id string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (l *Ledger) shardFor(id string) *shard { return l.shards[idHash(id)&l.mask] }
+
+// Issue enters one decision into the pending table. It returns the
+// number of entries the insert evicted (TTL-expired heads plus any
+// capacity eviction), already counted into Counters.Expired.
+func (l *Ledger) Issue(p Pending) (int, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	sh := l.shardFor(p.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.entries[p.ID]; dup {
+		return 0, fmt.Errorf("ledger: duplicate issue of decision %s", p.ID)
+	}
+	sh.entries[p.ID] = p
+	sh.order = append(sh.order, p.ID)
+	l.issued.Add(1)
+	evicted := sh.expireLocked(p.IssuedUnixMS-l.cfg.TTLMS, l.cfg.Capacity)
+	if evicted > 0 {
+		l.expired.Add(uint64(evicted))
+	}
+	return evicted, nil
+}
+
+// expireLocked drops pending entries issued at or before cutoffMS and,
+// when capacity > 0, evicts oldest entries until the shard fits. It
+// also compacts the consumed head of the order list.
+func (sh *shard) expireLocked(cutoffMS int64, capacity int) int {
+	evicted := 0
+	for sh.head < len(sh.order) {
+		id := sh.order[sh.head]
+		p, live := sh.entries[id]
+		if !live {
+			sh.head++ // settled or already evicted; skip the stale slot
+			continue
+		}
+		if p.IssuedUnixMS <= cutoffMS || (capacity > 0 && len(sh.entries) > capacity) {
+			delete(sh.entries, id)
+			sh.head++
+			evicted++
+			continue
+		}
+		break
+	}
+	if sh.head > 0 && sh.head*2 >= len(sh.order) {
+		sh.order = append(sh.order[:0], sh.order[sh.head:]...)
+		sh.head = 0
+	}
+	return evicted
+}
+
+// rememberSettledLocked records a settled id in the bounded
+// duplicate-detection ring.
+func (sh *shard) rememberSettledLocked(id string, capacity int) {
+	sh.settled[id] = true
+	sh.ring = append(sh.ring, id)
+	for capacity > 0 && len(sh.ring) > capacity {
+		delete(sh.settled, sh.ring[0])
+		sh.ring = sh.ring[1:]
+	}
+}
+
+// Settle joins one outcome to its pending decision: the entry is
+// removed, the realized costs computed, and the {area, engine}
+// accumulator advanced. An id that was never issued (or was expired or
+// evicted) is ErrUnknownDecision; an id that already settled is
+// ErrDuplicateSettle. Both failure modes leave all state untouched
+// beyond the orphan counter.
+func (l *Ledger) Settle(id string, stopSec float64, nowMS int64) (Outcome, error) {
+	if id == "" {
+		l.orphaned.Add(1)
+		return Outcome{}, fmt.Errorf("%w: empty decision id", ErrUnknownDecision)
+	}
+	if stopSec < 0 || math.IsNaN(stopSec) || math.IsInf(stopSec, 0) {
+		return Outcome{}, fmt.Errorf("ledger: stop %v is not finite non-negative", stopSec)
+	}
+	sh := l.shardFor(id)
+	sh.mu.Lock()
+	p, ok := sh.entries[id]
+	if !ok {
+		dup := sh.settled[id]
+		sh.mu.Unlock()
+		if dup {
+			return Outcome{}, fmt.Errorf("%w: decision %s already settled", ErrDuplicateSettle, id)
+		}
+		l.orphaned.Add(1)
+		return Outcome{}, fmt.Errorf("%w: decision %s is not pending", ErrUnknownDecision, id)
+	}
+	if nowMS-p.IssuedUnixMS > l.cfg.TTLMS {
+		// Settle-after-expiry: the entry outlived its join window; drop
+		// it now and report the settle as unknown.
+		delete(sh.entries, id)
+		sh.mu.Unlock()
+		l.expired.Add(1)
+		l.orphaned.Add(1)
+		return Outcome{}, fmt.Errorf("%w: decision %s expired before settling", ErrUnknownDecision, id)
+	}
+	delete(sh.entries, id)
+	sh.rememberSettledLocked(id, l.cfg.Capacity)
+	sh.mu.Unlock()
+
+	online, opt := RealizedCost(p.B, p.ThresholdSec, stopSec)
+	out := Outcome{Pending: p, Online: online, Opt: opt, JoinMS: nowMS - p.IssuedUnixMS}
+
+	l.accMu.Lock()
+	key := Key{Area: p.Area, Engine: p.Engine}
+	a := l.accums[key]
+	if a == nil {
+		a = &accum{}
+		l.accums[key] = a
+	}
+	a.add(l.cfg.Forgetting, online, opt)
+	if p.Bound > 0 {
+		a.bound = p.Bound // latest published bound wins
+	}
+	out.CR, out.Band = a.ratio(l.cfg.Band)
+	a.windowCount++
+	if a.windowCount >= l.cfg.Window {
+		a.windowCount = 0
+		// A window violates when the bound sits below the entire
+		// variance band — the empirical CR is confidently above the
+		// guarantee, not merely straddling it.
+		if a.bound > 0 && !math.IsInf(out.Band, 1) && out.CR-out.Band > a.bound {
+			a.streak++
+			if a.streak >= l.cfg.Patience {
+				a.streak = 0
+				a.breaches++
+				l.breaches.Add(1)
+				out.Breach = true
+			}
+		} else {
+			a.streak = 0
+		}
+	}
+	l.accMu.Unlock()
+	l.settled.Add(1)
+	return out, nil
+}
+
+// ExpireBefore sweeps every shard, dropping pending entries whose join
+// window ended before nowMS. It returns the number dropped.
+func (l *Ledger) ExpireBefore(nowMS int64) int {
+	total := 0
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		total += sh.expireLocked(nowMS-l.cfg.TTLMS, 0)
+		sh.mu.Unlock()
+	}
+	if total > 0 {
+		l.expired.Add(uint64(total))
+	}
+	return total
+}
+
+// PendingCount returns the live pending-entry count.
+func (l *Ledger) PendingCount() int {
+	n := 0
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Counters returns the monotone event counts.
+func (l *Ledger) Counters() Counters {
+	return Counters{
+		Issued:   l.issued.Load(),
+		Settled:  l.settled.Load(),
+		Orphaned: l.orphaned.Load(),
+		Expired:  l.expired.Load(),
+		Breaches: l.breaches.Load(),
+	}
+}
+
+// Row is one {area, engine} line of the CR table.
+type Row struct {
+	Area   string `json:"area"`
+	Engine string `json:"engine"`
+	// Settled counts outcomes folded into this accumulator.
+	Settled uint64 `json:"settled"`
+	// CR is the empirical competitive ratio (ratio of forgetting-
+	// weighted means); Band the variance-band half-width around it.
+	// Band is -1 while the band is not yet estimable (fewer than two
+	// effective samples; the in-memory half-width is +Inf, which JSON
+	// cannot carry).
+	CR   float64 `json:"cr"`
+	Band float64 `json:"band"`
+	// Bound is the engine's published worst-case CR (0 = none);
+	// Breaches counts detector trips on this key.
+	Bound    float64 `json:"bound,omitempty"`
+	Breaches uint64  `json:"breaches,omitempty"`
+	// MeanOnline and MeanOpt are the weighted mean realized costs.
+	MeanOnline float64 `json:"mean_online"`
+	MeanOpt    float64 `json:"mean_opt"`
+}
+
+// Rows renders the CR table, sorted by (area, engine).
+func (l *Ledger) Rows() []Row {
+	l.accMu.Lock()
+	rows := make([]Row, 0, len(l.accums))
+	for key, a := range l.accums {
+		cr, band := a.ratio(l.cfg.Band)
+		if math.IsInf(band, 1) {
+			band = -1
+		}
+		r := Row{
+			Area: key.Area, Engine: key.Engine,
+			Settled: a.count, CR: cr, Band: band,
+			Bound: a.bound, Breaches: a.breaches,
+		}
+		if a.w > 0 {
+			r.MeanOnline = a.sumOn / a.w
+			r.MeanOpt = a.sumOp / a.w
+		}
+		rows = append(rows, r)
+	}
+	l.accMu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Area != rows[j].Area {
+			return rows[i].Area < rows[j].Area
+		}
+		return rows[i].Engine < rows[j].Engine
+	})
+	return rows
+}
+
+// Worst returns the row with the highest empirical CR (false when no
+// outcome has settled yet).
+func (l *Ledger) Worst() (Row, bool) {
+	var worst Row
+	found := false
+	for _, r := range l.Rows() {
+		if !found || r.CR > worst.CR {
+			worst, found = r, true
+		}
+	}
+	return worst, found
+}
+
+// AccumState is the serialized form of one accumulator.
+type AccumState struct {
+	Area    string  `json:"area"`
+	Engine  string  `json:"engine"`
+	W       float64 `json:"w"`
+	W2      float64 `json:"w2"`
+	SumOn   float64 `json:"sum_online"`
+	SumOp   float64 `json:"sum_opt"`
+	SumOn2  float64 `json:"sum_online2"`
+	SumOp2  float64 `json:"sum_opt2"`
+	SumX    float64 `json:"sum_cross"`
+	Count   uint64  `json:"count"`
+	Bound   float64 `json:"bound,omitempty"`
+	Windows int     `json:"window_count,omitempty"`
+	Streak  int     `json:"streak,omitempty"`
+	// Breaches counts detector trips on this key.
+	Breaches uint64 `json:"breaches,omitempty"`
+}
+
+func (a AccumState) validate() error {
+	if a.Area == "" || a.Engine == "" {
+		return fmt.Errorf("ledger: accumulator with empty area or engine")
+	}
+	for _, v := range []float64{a.W, a.W2, a.SumOn, a.SumOp, a.SumOn2, a.SumOp2, a.Bound} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("ledger: accumulator %s/%s has non-finite or negative moment", a.Area, a.Engine)
+		}
+	}
+	if math.IsNaN(a.SumX) || math.IsInf(a.SumX, 0) {
+		return fmt.Errorf("ledger: accumulator %s/%s has non-finite cross moment", a.Area, a.Engine)
+	}
+	if a.Windows < 0 || a.Streak < 0 {
+		return fmt.Errorf("ledger: accumulator %s/%s has negative detector state", a.Area, a.Engine)
+	}
+	return nil
+}
+
+// State is the ledger's complete serializable state: pending entries
+// in shard-scan issue order, the settled-id ring in the same order,
+// the accumulators sorted by key, and the counters. Capturing,
+// restoring, and capturing again yields byte-identical JSON.
+type State struct {
+	Pending []Pending    `json:"pending,omitempty"`
+	Settled []string     `json:"settled_ids,omitempty"`
+	Accums  []AccumState `json:"accums,omitempty"`
+	Counters
+}
+
+// Empty reports a state with nothing worth persisting (all-zero
+// counters included), so snapshots of a ledger-idle daemon can omit
+// the ledger section entirely.
+func (s State) Empty() bool {
+	return len(s.Pending) == 0 && len(s.Settled) == 0 && len(s.Accums) == 0 && s.Counters == Counters{}
+}
+
+// Validate checks a state is restorable.
+func (s State) Validate() error {
+	seen := make(map[string]bool, len(s.Pending))
+	for _, p := range s.Pending {
+		if err := p.validate(); err != nil {
+			return err
+		}
+		if seen[p.ID] {
+			return fmt.Errorf("ledger: duplicate pending id %s", p.ID)
+		}
+		seen[p.ID] = true
+	}
+	for _, id := range s.Settled {
+		if id == "" {
+			return fmt.Errorf("ledger: empty settled id")
+		}
+	}
+	keys := make(map[Key]bool, len(s.Accums))
+	for _, a := range s.Accums {
+		if err := a.validate(); err != nil {
+			return err
+		}
+		k := Key{Area: a.Area, Engine: a.Engine}
+		if keys[k] {
+			return fmt.Errorf("ledger: duplicate accumulator %s/%s", a.Area, a.Engine)
+		}
+		keys[k] = true
+	}
+	return nil
+}
+
+// State captures the full ledger state.
+func (l *Ledger) State() State {
+	var st State
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		for i := sh.head; i < len(sh.order); i++ {
+			if p, live := sh.entries[sh.order[i]]; live {
+				st.Pending = append(st.Pending, p)
+			}
+		}
+		st.Settled = append(st.Settled, sh.ring...)
+		sh.mu.Unlock()
+	}
+	l.accMu.Lock()
+	keys := make([]Key, 0, len(l.accums))
+	for k := range l.accums {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Area != keys[j].Area {
+			return keys[i].Area < keys[j].Area
+		}
+		return keys[i].Engine < keys[j].Engine
+	})
+	for _, k := range keys {
+		a := l.accums[k]
+		st.Accums = append(st.Accums, AccumState{
+			Area: k.Area, Engine: k.Engine,
+			W: a.w, W2: a.w2,
+			SumOn: a.sumOn, SumOp: a.sumOp,
+			SumOn2: a.sumOn2, SumOp2: a.sumOp2, SumX: a.sumX,
+			Count: a.count, Bound: a.bound,
+			Windows: a.windowCount, Streak: a.streak, Breaches: a.breaches,
+		})
+	}
+	l.accMu.Unlock()
+	st.Counters = l.Counters()
+	return st
+}
+
+// Restore replaces the ledger's state wholesale with a validated
+// capture (all-or-nothing: a validation failure leaves the current
+// state untouched).
+func (l *Ledger) Restore(st State) error {
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	fresh := New(l.cfg)
+	for _, p := range st.Pending {
+		sh := fresh.shardFor(p.ID)
+		sh.entries[p.ID] = p
+		sh.order = append(sh.order, p.ID)
+	}
+	for _, id := range st.Settled {
+		fresh.shardFor(id).rememberSettledLocked(id, l.cfg.Capacity)
+	}
+	for _, a := range st.Accums {
+		fresh.accums[Key{Area: a.Area, Engine: a.Engine}] = &accum{
+			w: a.W, w2: a.W2,
+			sumOn: a.SumOn, sumOp: a.SumOp,
+			sumOn2: a.SumOn2, sumOp2: a.SumOp2, sumX: a.SumX,
+			count: a.Count, bound: a.Bound,
+			windowCount: a.Windows, streak: a.Streak, breaches: a.Breaches,
+		}
+	}
+	// Swap the rebuilt internals in under the locks so concurrent
+	// readers never observe a half-restored ledger.
+	l.accMu.Lock()
+	l.accums = fresh.accums
+	l.accMu.Unlock()
+	for i, sh := range l.shards {
+		nsh := fresh.shards[i]
+		sh.mu.Lock()
+		sh.entries, sh.order, sh.head = nsh.entries, nsh.order, nsh.head
+		sh.settled, sh.ring = nsh.settled, nsh.ring
+		sh.mu.Unlock()
+	}
+	l.issued.Store(st.Counters.Issued)
+	l.settled.Store(st.Counters.Settled)
+	l.orphaned.Store(st.Counters.Orphaned)
+	l.expired.Store(st.Counters.Expired)
+	l.breaches.Store(st.Counters.Breaches)
+	return nil
+}

@@ -38,14 +38,20 @@ type LoadScenario struct {
 	// share of custom-B decide slots (controlled cache misses).
 	ObserveFraction float64 `json:"observe_fraction"`
 	MissFraction    float64 `json:"miss_fraction"`
+	// SettleFraction is the share of slots running the ledger join
+	// (ledger-opted decide batch + settling observe batch, with a
+	// deterministic sprinkle of orphaned ids).
+	SettleFraction float64 `json:"settle_fraction"`
 	// Seed is the decide root seed.
 	Seed uint64 `json:"seed"`
 }
 
 // DefaultLoadScenario is the committed gate scenario: 100k areas,
 // 40% observe traffic concentrated on 64 hot areas with a mid-run
-// drift (so CUSUM re-tunes provably fire), and a 5% controlled
-// cache-miss rate.
+// drift (so CUSUM re-tunes provably fire), a 5% controlled cache-miss
+// rate, and a 25% share of slots running the competitive-ratio join
+// (so the ledger's settle path is load-tested alongside everything
+// else).
 func DefaultLoadScenario() LoadScenario {
 	return LoadScenario{
 		Areas:           100_000,
@@ -54,6 +60,7 @@ func DefaultLoadScenario() LoadScenario {
 		Batch:           16,
 		ObserveFraction: 0.4,
 		MissFraction:    0.05,
+		SettleFraction:  0.25,
 		Seed:            suiteSeed,
 	}
 }
@@ -63,7 +70,8 @@ func (s LoadScenario) Validate() error {
 	if s.Areas < 1 || s.Clients < 1 || s.Requests < 1 || s.Batch < 1 {
 		return fmt.Errorf("perf: load scenario has non-positive dimensions: %+v", s)
 	}
-	if s.ObserveFraction < 0 || s.ObserveFraction >= 1 || s.MissFraction < 0 || s.MissFraction >= 1 {
+	if s.ObserveFraction < 0 || s.ObserveFraction >= 1 || s.MissFraction < 0 || s.MissFraction >= 1 ||
+		s.SettleFraction < 0 || s.SettleFraction >= 1 {
 		return fmt.Errorf("perf: load scenario fractions outside [0, 1): %+v", s)
 	}
 	return nil
@@ -103,6 +111,7 @@ func RunLoadScenario(ctx context.Context, scn LoadScenario) (server.LoadReport, 
 		Areas:           ids,
 		ObserveFraction: scn.ObserveFraction,
 		MissFraction:    scn.MissFraction,
+		SettleFraction:  scn.SettleFraction,
 		Timeout:         2 * time.Minute,
 		Transport:       &http.Transport{MaxIdleConnsPerHost: scn.Clients},
 	})
@@ -132,6 +141,12 @@ type LoadBaseline struct {
 	Alarms      int64   `json:"alarms"`
 	Retunes     int64   `json:"retunes"`
 	DecisionQPS float64 `json:"decision_qps"`
+	// Settled/Orphans document the ledger-join leg of the blessed run;
+	// both must stay nonzero while the scenario carries a settle
+	// fraction (a run where settles stopped landing — or orphans
+	// stopped being rejected — is a functional regression).
+	Settled int64 `json:"settled"`
+	Orphans int64 `json:"orphans"`
 }
 
 // NewLoadBaseline blesses a report as the committed baseline.
@@ -149,6 +164,8 @@ func NewLoadBaseline(scn LoadScenario, rep server.LoadReport) LoadBaseline {
 		Alarms:        rep.Alarms,
 		Retunes:       rep.Retunes,
 		DecisionQPS:   rep.DecisionQPS,
+		Settled:       rep.Settled,
+		Orphans:       rep.Orphans,
 	}
 }
 
@@ -294,6 +311,14 @@ func GateLoad(base LoadBaseline, rep server.LoadReport, headCanary float64) Load
 	}
 	if base.Retunes > 0 && rep.Retunes == 0 {
 		fail("no re-tunes performed (baseline run had %d)", base.Retunes)
+	}
+	// Same logic for the competitive-ratio join: settles must land and
+	// the deliberately corrupted ids must keep being rejected.
+	if base.Settled > 0 && rep.Settled == 0 {
+		fail("no ledger settles joined (baseline run had %d)", base.Settled)
+	}
+	if base.Orphans > 0 && rep.Orphans == 0 {
+		fail("no orphaned decision ids rejected (baseline run had %d)", base.Orphans)
 	}
 	return res
 }

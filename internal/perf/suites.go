@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand/v2"
 	"net/http"
@@ -8,6 +9,7 @@ import (
 	"strings"
 
 	"idlereduce/internal/fleet"
+	"idlereduce/internal/ledger"
 	"idlereduce/internal/policy"
 	"idlereduce/internal/server"
 	"idlereduce/internal/simulator"
@@ -284,6 +286,66 @@ func DefaultSuites() []Benchmark {
 			},
 		},
 		{
+			// One competitive-ratio ledger join: issue a pending decision
+			// and settle it — the pure library cost every opted-in
+			// decide/observe pair adds on top of the serving path
+			// (sharded table insert/remove, realized-cost computation,
+			// accumulator and breach-detector advance).
+			Name: "ledger_settle", Class: "cpu", Iters: 20000,
+			Setup: func() (Op, func(), error) {
+				led := ledger.New(ledger.Config{})
+				return func(i int) error {
+					id := fmt.Sprintf("bench-%d", i)
+					if _, err := led.Issue(ledger.Pending{
+						ID: id, Area: "chicago", Engine: "constrained@v1",
+						B: suiteB, ThresholdSec: suiteB, Bound: 2,
+						IssuedUnixMS: int64(i),
+					}); err != nil {
+						return err
+					}
+					_, err := led.Settle(id, float64(5+i%50), int64(i)+3)
+					return err
+				}, nil, nil
+			},
+		},
+		{
+			// GET /v1/cr with a populated ledger: the accumulator sweep,
+			// the variance-band computation per row, and the JSON
+			// rendering — what every dashboard refresh pays.
+			Name: "cr_snapshot", Class: "latency", Iters: 2000,
+			Setup: func() (Op, func(), error) {
+				h, err := defaultHandler()
+				if err != nil {
+					return nil, nil, err
+				}
+				// Populate the table through the real wire path: 64
+				// ledger-opted decides settled by observes.
+				for j := 0; j < 64; j++ {
+					w := httptest.NewRecorder()
+					body := fmt.Sprintf(`{"vehicle_id":"bench-%d","area":"chicago","seed":7,"ledger":true}`, j)
+					req := httptest.NewRequest(http.MethodPost, "/v1/decide", strings.NewReader(body))
+					req.Header.Set("Content-Type", "application/json")
+					h.ServeHTTP(w, req)
+					if w.Code != http.StatusOK {
+						return nil, nil, fmt.Errorf("seed decide %d: status %d", j, w.Code)
+					}
+					var dec struct {
+						DecisionID string `json:"decision_id"`
+					}
+					if err := json.Unmarshal(w.Body.Bytes(), &dec); err != nil || dec.DecisionID == "" {
+						return nil, nil, fmt.Errorf("seed decide %d: no decision id", j)
+					}
+					if err := doRequest(h, "/v1/observe",
+						fmt.Sprintf(`{"area":"chicago","stop_sec":%d,"decision_id":%q}`, 5+j%40, dec.DecisionID)); err != nil {
+						return nil, nil, err
+					}
+				}
+				return func(i int) error {
+					return doGet(h, "/v1/cr")
+				}, nil, nil
+			},
+		},
+		{
 			// The event-driven simulator over a fixed 500-stop trace
 			// with the constrained policy.
 			Name: "simulator_run", Class: "throughput", Iters: 300,
@@ -354,6 +416,18 @@ func defaultHandler() (http.Handler, error) {
 		return nil, err
 	}
 	return srv.Handler(), nil
+}
+
+// doGet drives one GET through the handler tree in-process and checks
+// for a 200.
+func doGet(h http.Handler, path string) error {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		return fmt.Errorf("%s: status %d: %s", path, w.Code, w.Body.String())
+	}
+	return nil
 }
 
 // doRequest drives one request through the handler tree in-process and

@@ -26,6 +26,7 @@ func TestDefaultSuitesCaptureAndSelfCompare(t *testing.T) {
 		"multislope_prepare", "decide_multislope",
 		"observe_stream", "shard_decide",
 		"decide_softml", "frontier_sweep",
+		"ledger_settle", "cr_snapshot",
 		"fleet_generate", "simulator_run",
 	}
 	if len(f.Results) != len(want) {
@@ -79,6 +80,8 @@ func TestSuiteNamesAreStable(t *testing.T) {
 		"shard_decide":       "cpu",
 		"decide_softml":      "latency",
 		"frontier_sweep":     "throughput",
+		"ledger_settle":      "cpu",
+		"cr_snapshot":        "latency",
 		"fleet_generate":     "throughput",
 		"simulator_run":      "throughput",
 	}

@@ -70,7 +70,8 @@ func (e softmlEngine) PrepareParams(s Stats, params map[string]float64) (Strateg
 		spec:     Spec(e),
 		lambda:   sm.Lambda(),
 		// SoftML labels its blend by the fallback vertex it moved off.
-		choiceFor: func(predict.Advice) string { return fallback.choice },
+		choiceFor:   func(predict.Advice) string { return fallback.choice },
+		robustBound: robustCRBound(fallback, sm.Lambda(), softmlInterval(sm.Lambda())),
 	}, nil
 }
 
@@ -114,7 +115,8 @@ func (e distadviceEngine) PrepareParams(s Stats, params map[string]float64) (Str
 		spec:     Spec(e),
 		lambda:   da.Lambda(),
 		// DistAdvice labels its blend by the advice-selected vertex.
-		choiceFor: func(a predict.Advice) string { return a.Label },
+		choiceFor:   func(a predict.Advice) string { return a.Label },
+		robustBound: robustCRBound(fallback, da.Lambda(), distadviceInterval(da.Lambda())),
 	}, nil
 }
 
@@ -148,6 +150,9 @@ type advisedStrategy struct {
 	kind      string
 	spec      string
 	lambda    float64
+	// robustBound is the published lambda-robustness envelope (see
+	// robustCRBound in bounded.go), precomputed at Prepare time.
+	robustBound float64
 }
 
 // Lambda returns the prepared trust parameter.

@@ -48,6 +48,14 @@ type DecideRequest struct {
 	// strategies cannot consume predictions reject it with a 400
 	// invalid_prediction, as do malformed blocks.
 	Prediction *PredictionBlock `json:"prediction,omitempty"`
+	// Ledger opts this decision into the competitive-ratio ledger: the
+	// reply carries a decision_id, the decision enters the pending
+	// table, and a later observe quoting the id settles it into the
+	// empirical-CR accumulators (see docs/OBSERVABILITY.md). The
+	// X-Ledger request header is an equivalent opt-in for clients that
+	// cannot touch the body. Requests that do not opt in stay
+	// byte-identical to the pre-ledger wire format.
+	Ledger bool `json:"ledger,omitempty"`
 }
 
 // PredictionBlock is the wire form of one stop-length forecast.
@@ -117,6 +125,11 @@ type DecideResponse struct {
 	// Explain is the engine's human-readable derivation record.
 	// Omitted on the default path.
 	Explain string `json:"explain,omitempty"`
+	// DecisionID is the competitive-ratio ledger handle, minted only
+	// when the request opted in (Ledger field or X-Ledger header).
+	// Quote it in a later observe to settle the decision against its
+	// realized stop length.
+	DecisionID string `json:"decision_id,omitempty"`
 }
 
 // ScheduleAction is one rung of a multi-state decision ladder: enter
@@ -234,6 +247,13 @@ type ObserveRequest struct {
 	// prediction-quality metrics (error histograms, consistency/regret
 	// counters). Malformed values are a 400 invalid_prediction.
 	PredictedStopSec *float64 `json:"predicted_stop_s,omitempty"`
+	// DecisionID optionally settles a ledger-tracked decision: StopSec
+	// becomes the decision's realized stop length and the outcome
+	// streams into the {area, engine} empirical-CR accumulator. An id
+	// the ledger does not know is a 404 unknown_decision; an id that
+	// already settled is a 409 duplicate_settle. Both reject the whole
+	// observation (fail-closed: the stream absorbs nothing).
+	DecisionID string `json:"decision_id,omitempty"`
 }
 
 // ObserveResponse reports the outcome of one streamed observation.
@@ -256,6 +276,12 @@ type ObserveResponse struct {
 	// StatsVersion is the area's statistics version after this
 	// observation (bumped when Retuned).
 	StatsVersion uint64 `json:"stats_version"`
+	// Settled reports the observation settled a ledger decision;
+	// OnlineCost and OptCost are then the realized cost pair the
+	// empirical CR accumulated (min(y,T)+B·1[y>T] and min(y,B)).
+	Settled    bool    `json:"settled,omitempty"`
+	OnlineCost float64 `json:"online_cost,omitempty"`
+	OptCost    float64 `json:"opt_cost,omitempty"`
 }
 
 // BatchObserveRequest streams several observations in one request.
@@ -281,6 +307,8 @@ type BatchObserveResponse struct {
 	Accepted int `json:"accepted"`
 	Alarms   int `json:"alarms"`
 	Retunes  int `json:"retunes"`
+	// Settled counts ledger decisions the batch settled.
+	Settled int `json:"settled,omitempty"`
 }
 
 // APIError is the structured error body every non-2xx reply carries:
@@ -289,8 +317,9 @@ type BatchObserveResponse struct {
 type APIError struct {
 	// Code is a stable machine-readable identifier: bad_request,
 	// invalid_stats, unknown_area, unknown_policy,
-	// invalid_policy_params, invalid_prediction, not_found,
-	// method_not_allowed, overloaded, too_large, internal.
+	// invalid_policy_params, invalid_prediction, unknown_decision,
+	// duplicate_settle, not_found, method_not_allowed, overloaded,
+	// too_large, internal.
 	Code string `json:"code"`
 	// Message is the human-readable detail.
 	Message string `json:"message"`

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"idlereduce/internal/adaptive"
+	"idlereduce/internal/ledger"
 	"idlereduce/internal/parallel"
 	"idlereduce/internal/policy"
 )
@@ -59,11 +60,52 @@ type AuditRecord struct {
 	// an advised decision replays bit-identically through
 	// DecideAdvised; omitted for prediction-free decisions.
 	Prediction *PredictionBlock `json:"prediction,omitempty"`
+	// DecisionID is the competitive-ratio ledger handle, recorded only
+	// when the request opted into the ledger; `idlectl cr` joins it
+	// against the settle records to rebuild the CR table forensically.
+	DecisionID string `json:"decision_id,omitempty"`
+	// CRBound is the serving strategy's published worst-case CR at
+	// decision time (recorded with DecisionID; 0 = none published).
+	CRBound float64 `json:"cr_bound,omitempty"`
 }
 
 // observeKind tags observe-stream audit records. Decide records carry
 // no kind field (they predate the tag), so old logs keep verifying.
 const observeKind = "observe"
+
+// settleKind tags competitive-ratio ledger settle records.
+const settleKind = "settle"
+
+// SettleRecord is one line of the ledger audit stream: a decision
+// joined to its realized stop. The realized cost pair is the pure
+// function ledger.RealizedCost of the recorded (b, threshold, stop),
+// so every record is independently re-derivable bit-for-bit — and the
+// whole CR table can be rebuilt from the log alone (`idlectl cr`).
+type SettleRecord struct {
+	// Kind is always "settle".
+	Kind     string `json:"kind"`
+	TSUnixMS int64  `json:"ts_unix_ms"`
+	// RequestID correlates with the observe that settled the decision;
+	// DecisionID with the decide that issued it.
+	RequestID  string `json:"request_id,omitempty"`
+	DecisionID string `json:"decision_id"`
+	// Area and Engine key the accumulator the outcome streamed into.
+	Area   string `json:"area"`
+	Engine string `json:"engine"`
+	// B and ThresholdSec are the pending decision's inputs; StopSec the
+	// realized stop length that settled it.
+	B            float64 `json:"b"`
+	ThresholdSec float64 `json:"threshold_sec"`
+	StopSec      float64 `json:"stop_sec"`
+	// OnlineCost and OptCost are the realized cost pair (replayed
+	// through ledger.RealizedCost on verification).
+	OnlineCost float64 `json:"online_cost"`
+	OptCost    float64 `json:"opt_cost"`
+	// Bound is the engine's published worst-case CR the outcome was
+	// held against (0 = none); JoinMS the decide-to-observe latency.
+	Bound  float64 `json:"bound,omitempty"`
+	JoinMS int64   `json:"join_ms"`
+}
 
 // ObserveRecord is one line of the observation audit stream: the
 // sufficient statistics BEFORE the observation, the observation, and
@@ -223,6 +265,19 @@ func VerifyAudit(rd io.Reader) (AuditVerifyReport, error) {
 				rep.Matched++
 			}
 			lastObserve[rec.Area] = rec
+		case settleKind:
+			var rec SettleRecord
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				badLine, hasBad = line, true
+				continue
+			}
+			rep.Records++
+			if msg := replaySettleRecord(rec); msg != "" {
+				rep.Mismatched++
+				rep.detail("line %d (settle %s): %s", lineNo, rec.DecisionID, msg)
+			} else {
+				rep.Matched++
+			}
 		default:
 			rep.Records++
 			rep.Mismatched++
@@ -306,6 +361,40 @@ func replayObserveRecord(rec ObserveRecord, last map[string]ObserveRecord) strin
 		if rec.StatsVersion < prev.StatsVersion {
 			return fmt.Sprintf("stats version %d regressed from %d", rec.StatsVersion, prev.StatsVersion)
 		}
+	}
+	return ""
+}
+
+// replaySettleRecord re-derives one ledger settle; empty string means
+// identical. The realized cost pair is a pure function of the recorded
+// inputs, so replay needs no engine and no state.
+func replaySettleRecord(rec SettleRecord) string {
+	if rec.DecisionID == "" {
+		return "missing decision id"
+	}
+	if rec.Area == "" || rec.Engine == "" {
+		return "missing area or engine"
+	}
+	if rec.B <= 0 || math.IsNaN(rec.B) || math.IsInf(rec.B, 0) {
+		return fmt.Sprintf("break-even interval %v is not positive finite", rec.B)
+	}
+	if rec.ThresholdSec < 0 || math.IsNaN(rec.ThresholdSec) || math.IsInf(rec.ThresholdSec, 0) {
+		return fmt.Sprintf("threshold %v is not finite non-negative", rec.ThresholdSec)
+	}
+	if rec.StopSec < 0 || math.IsNaN(rec.StopSec) || math.IsInf(rec.StopSec, 0) {
+		return fmt.Sprintf("stop length %v is not finite non-negative", rec.StopSec)
+	}
+	if rec.Bound < 0 || math.IsNaN(rec.Bound) || math.IsInf(rec.Bound, 0) {
+		return fmt.Sprintf("bound %v is not finite non-negative", rec.Bound)
+	}
+	if rec.JoinMS < 0 {
+		return fmt.Sprintf("join latency %d is negative", rec.JoinMS)
+	}
+	online, opt := ledger.RealizedCost(rec.B, rec.ThresholdSec, rec.StopSec)
+	if math.Float64bits(online) != math.Float64bits(rec.OnlineCost) ||
+		math.Float64bits(opt) != math.Float64bits(rec.OptCost) {
+		return fmt.Sprintf("costs (%v, %v) replayed as (%v, %v)",
+			rec.OnlineCost, rec.OptCost, online, opt)
 	}
 	return ""
 }

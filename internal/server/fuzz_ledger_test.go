@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"idlereduce/internal/ledger"
+)
+
+// FuzzLedgerObserve throws decision-settling observations at the
+// observe handler: arbitrary decision ids, real ids minted by a
+// ledger-opted decide, duplicate settles of the same id, ids whose
+// pending entry expired before the settle arrived, and raw bytes
+// spliced into the decision_id position. Runs in CI's fuzz-smoke job.
+//
+// Invariants: never a 5xx; every rejection carries a structured error
+// code; a second settle of a settled id is exactly 409
+// duplicate_settle; a settle of an expired or never-issued id (with a
+// valid stop) is exactly 404 unknown_decision, fail-closed — the
+// observation stream is not advanced.
+func FuzzLedgerObserve(f *testing.F) {
+	f.Add("", 5.0, uint8(0))
+	f.Add("no-such-decision", 5.0, uint8(0))
+	f.Add("x", -1.0, uint8(1))
+	f.Add("x", 1e308, uint8(2))
+	f.Add("\x00\xff", 0.0, uint8(3))
+	f.Add(`"},"extra":{"a":`, 12.5, uint8(4))
+	f.Add("dup", 28.1, uint8(2))
+	f.Add("expired", 3.0, uint8(3))
+
+	f.Fuzz(func(t *testing.T, rawID string, stop float64, mode uint8) {
+		s, err := New(Config{
+			Areas:  testAreas(),
+			Retune: RetuneConfig{Disabled: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := s.Handler()
+		post := func(path string, body []byte) (int, []byte) {
+			r := httptest.NewRequest("POST", path, bytes.NewReader(body))
+			r.Header.Set("Content-Type", "application/json")
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, r)
+			return w.Code, w.Body.Bytes()
+		}
+
+		// Mint one real pending decision over the wire.
+		status, reply := post("/v1/decide", []byte(`{"vehicle_id":"fz","area":"chicago","seed":42,"ledger":true}`))
+		if status != http.StatusOK {
+			t.Fatalf("ledger decide failed: %d %s", status, reply)
+		}
+		var dec DecideResponse
+		if err := json.Unmarshal(reply, &dec); err != nil || dec.DecisionID == "" {
+			t.Fatalf("ledger decide returned no decision id: %s", reply)
+		}
+
+		// Plant a pending entry whose join window ended long ago, so the
+		// settle-after-expiry path is reachable without sleeping.
+		const expiredID = "fuzz-expired-000001"
+		if _, err := s.ledger.Issue(ledger.Pending{
+			ID: expiredID, Area: "chicago", Engine: "det",
+			B: 28, ThresholdSec: 28, IssuedUnixMS: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		id := rawID
+		switch mode % 4 {
+		case 1:
+			id = dec.DecisionID // real pending id
+		case 2:
+			id = dec.DecisionID // settled below, then settled again
+		case 3:
+			id = expiredID // expired before the settle arrives
+		}
+		// Matches the handler's stop validation: finite, non-negative.
+		validStop := stop >= 0 && !math.IsNaN(stop) && !math.IsInf(stop, 0)
+
+		var streamSeq int64
+		if mode%4 == 2 {
+			// First settle with a known-good stop so the second is a
+			// guaranteed duplicate regardless of the fuzzed stop.
+			status, reply := post("/v1/observe",
+				[]byte(fmt.Sprintf(`{"area":"chicago","stop_sec":7,"decision_id":%s}`, strconv.Quote(id))))
+			if status != http.StatusOK {
+				t.Fatalf("priming settle failed: %d %s", status, reply)
+			}
+			streamSeq++
+		}
+
+		body := []byte(fmt.Sprintf(`{"area":"chicago","stop_sec":%g,"decision_id":%s}`, stop, strconv.Quote(id)))
+		status, reply = post("/v1/observe", body)
+		switch {
+		case status >= 500:
+			t.Fatalf("observe 5xx for %q: %d %s", body, status, reply)
+		case status != http.StatusOK:
+			code := errCode(t, reply)
+			if code == "" {
+				t.Fatalf("rejection without structured error for %q: %s", body, reply)
+			}
+			if validStop && mode%4 == 2 && code != "duplicate_settle" {
+				t.Fatalf("duplicate settle got code %q (want duplicate_settle): %s", code, reply)
+			}
+			if validStop && mode%4 == 3 && code != "unknown_decision" {
+				t.Fatalf("expired settle got code %q (want unknown_decision): %s", code, reply)
+			}
+		default:
+			if mode%4 == 2 || mode%4 == 3 {
+				t.Fatalf("settle of %s id unexpectedly succeeded: %s", map[uint8]string{2: "settled", 3: "expired"}[mode%4], reply)
+			}
+			streamSeq++
+		}
+		if validStop && mode%4 == 2 && status != http.StatusConflict {
+			t.Fatalf("duplicate settle got status %d (want 409): %s", status, reply)
+		}
+		if validStop && mode%4 == 3 && status != http.StatusNotFound {
+			t.Fatalf("expired settle got status %d (want 404): %s", status, reply)
+		}
+
+		// A failed join must not have advanced the observation stream:
+		// a plain observe lands at exactly seq = accepted-so-far + 1.
+		probeStatus, probeReply := post("/v1/observe", []byte(`{"area":"chicago","stop_sec":2}`))
+		if probeStatus != http.StatusOK {
+			t.Fatalf("probe observe failed: %d %s", probeStatus, probeReply)
+		}
+		var probe ObserveResponse
+		if err := json.Unmarshal(probeReply, &probe); err != nil {
+			t.Fatal(err)
+		}
+		if probe.Seq != streamSeq+1 {
+			t.Fatalf("observation stream at seq %d, want %d (rejected settles must not advance it)", probe.Seq, streamSeq+1)
+		}
+
+		// Raw bytes spliced unquoted into the decision_id position:
+		// malformed JSON and mutated envelopes must reject cleanly.
+		raw := append([]byte(`{"area":"chicago","stop_sec":1,"decision_id":`), rawID...)
+		raw = append(raw, '}')
+		if status, reply := post("/v1/observe", raw); status >= 500 {
+			t.Fatalf("observe 5xx for raw %q: %d %s", raw, status, reply)
+		} else if status != http.StatusOK && errCode(t, reply) == "" {
+			t.Fatalf("rejection without structured error for raw %q: %s", raw, reply)
+		}
+
+		// The same body as a batch element must never 5xx either.
+		batch := append([]byte(`{"observations":[`), body...)
+		batch = append(batch, []byte(`]}`)...)
+		if status, reply := post("/v1/observe/batch", batch); status >= 500 {
+			t.Fatalf("batch 5xx for %q: %d %s", batch, status, reply)
+		}
+	})
+}

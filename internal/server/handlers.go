@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"idlereduce/internal/ledger"
 	"idlereduce/internal/obs"
 	"idlereduce/internal/parallel"
 	"idlereduce/internal/policy"
@@ -217,6 +218,40 @@ func (s *Server) decide(ctx context.Context, req DecideRequest, defaultSeed uint
 			}
 		}
 	}
+	// Ledger opt-in: mint a decision id and enter the decision into the
+	// pending table so a later observe can settle it against the
+	// realized stop. The bound travels with the entry (the ledger stays
+	// policy-free); strategies that publish none enter with bound 0.
+	var decisionID string
+	var crBound float64
+	if req.Ledger {
+		if bd, ok := prep.(policy.Bounded); ok {
+			crBound = bd.WorstCaseCRBound()
+		}
+		decisionID = s.newDecisionID()
+		if _, err := s.ledger.Issue(ledger.Pending{
+			ID:           decisionID,
+			Area:         rec.state.ID,
+			Engine:       policy.Spec(eng),
+			Params:       params,
+			B:            b,
+			ThresholdSec: dec.ThresholdSec,
+			Bound:        crBound,
+			IssuedUnixMS: time.Now().UnixMilli(),
+		}); err != nil {
+			// Unreachable with minted ids and validated decisions; count
+			// loudly rather than fail the decision if it ever happens.
+			s.rec.Add("ledger_issue_failed_total", 1)
+			decisionID = ""
+		} else {
+			s.rec.Add("ledger_issued_total", 1)
+		}
+	}
+	if s.tracer != nil && decisionID != "" {
+		if sp := obs.SpanFrom(ctx); sp != nil {
+			sp.Set("decision_id", decisionID)
+		}
+	}
 	if s.auditW != nil {
 		s.auditW.Write(AuditRecord{
 			TSUnixMS:      time.Now().UnixMilli(),
@@ -236,6 +271,8 @@ func (s *Server) decide(ctx context.Context, req DecideRequest, defaultSeed uint
 			Schedule:      wireSchedule(dec.Schedule),
 			Params:        params,
 			Prediction:    req.Prediction,
+			DecisionID:    decisionID,
+			CRBound:       crBound,
 		})
 	}
 	resp := &DecideResponse{
@@ -254,6 +291,7 @@ func (s *Server) decide(ctx context.Context, req DecideRequest, defaultSeed uint
 		resp.Schedule = wireSchedule(dec.Schedule)
 		resp.Explain = prep.Explain()
 	}
+	resp.DecisionID = decisionID
 	return resp, nil
 }
 
@@ -263,6 +301,9 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "decode request: "+err.Error())
 		return
+	}
+	if r.Header.Get(ledgerHeader) != "" {
+		req.Ledger = true
 	}
 	resp, apiErr := s.decide(r.Context(), req, s.cfg.RootSeed)
 	if apiErr != nil {
@@ -294,6 +335,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	seed := req.Seed
 	if seed == 0 {
 		seed = s.cfg.RootSeed
+	}
+	if r.Header.Get(ledgerHeader) != "" {
+		for i := range req.Requests {
+			req.Requests[i].Ledger = true
+		}
 	}
 	ctx := obs.WithRecorder(r.Context(), s.rec)
 	parent := obs.SpanFrom(ctx)
@@ -452,6 +498,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.auditW != nil {
 		s.rec.Set("audit_dropped_records", float64(s.auditW.Dropped()))
 	}
+	// Ledger pending depth and TTL/capacity expiries happen off the
+	// request paths; refresh them into gauges so a scrape always sees
+	// the current join plane.
+	s.rec.Set("ledger_pending", float64(s.ledger.PendingCount()))
+	s.rec.Set("ledger_expired_total", float64(s.ledger.Counters().Expired))
 	snap := s.rec.Snapshot()
 	if r.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
@@ -484,7 +535,7 @@ func allowedMethods(path string) []string {
 	switch path {
 	case "/v1/decide", "/v1/decide/batch", "/v1/observe", "/v1/observe/batch":
 		return []string{http.MethodPost}
-	case "/v1/areas", "/v1/policies", "/v1/history", "/v1/buildinfo", "/healthz", "/metrics":
+	case "/v1/areas", "/v1/policies", "/v1/cr", "/v1/history", "/v1/buildinfo", "/healthz", "/metrics":
 		return []string{http.MethodGet}
 	case "/v1/snapshot":
 		return []string{http.MethodGet, http.MethodPost}

@@ -56,6 +56,13 @@ type LoadOptions struct {
 	// strategy cache, so the measured hit-rate has a controlled
 	// expectation instead of pinning at 1.0.
 	MissFraction float64
+	// SettleFraction is the share of request slots exercising the
+	// competitive-ratio join, in [0, 1): a ledger-opted decide batch
+	// followed immediately by an observe batch settling each returned
+	// decision_id. Every 16th settle slot corrupts one id, so the
+	// orphan path (fail-closed 404 inside a 200 batch) is exercised
+	// too. The interleave is deterministic per (client, request) index.
+	SettleFraction float64
 	// Timeout is the per-request client timeout (default 30s).
 	Timeout time.Duration
 	// Transport overrides the HTTP transport (tests drive an in-process
@@ -90,6 +97,12 @@ type LoadReport struct {
 	Observations int64 `json:"observations"`
 	Alarms       int64 `json:"alarms"`
 	Retunes      int64 `json:"retunes"`
+	// Settled counts decisions joined to their realized stop through
+	// the ledger; Orphans counts deliberately corrupted decision ids
+	// whose settle was rejected fail-closed (both zero unless
+	// SettleFraction > 0).
+	Settled int64 `json:"settled"`
+	Orphans int64 `json:"orphans"`
 	// CacheHitRate is the fraction of decisions served from the
 	// precomputed strategy cache, counted client-side from the Cached
 	// response field (so it works against remote targets too).
@@ -136,6 +149,9 @@ func (r LoadReport) String() string {
 	fmt.Fprintf(&b, "  decisions  %8d  (%.0f decisions/s, cache hit-rate %.3f)\n", r.Decisions, r.DecisionQPS, r.CacheHitRate)
 	if r.Observations > 0 {
 		fmt.Fprintf(&b, "  observed   %8d  stops  (%d alarms, %d retunes)\n", r.Observations, r.Alarms, r.Retunes)
+	}
+	if r.Settled > 0 || r.Orphans > 0 {
+		fmt.Fprintf(&b, "  settled    %8d  ledger joins  (%d orphaned ids rejected)\n", r.Settled, r.Orphans)
 	}
 	fmt.Fprintf(&b, "  overloaded %8d  (429 load-shed replies)\n", r.Overloaded)
 	fmt.Fprintf(&b, "  errors     %8d\n", r.Errors)
@@ -233,7 +249,7 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 						}
 					}
 					sent := time.Now()
-					status, accepted, alarms, retunes, err := postObserveBatch(ctx, client, base, req)
+					status, accepted, alarms, retunes, _, err := postObserveBatch(ctx, client, base, req)
 					ms := float64(time.Since(sent)) / float64(time.Millisecond)
 					lat.Observe(ms)
 					observeLat.Observe(ms)
@@ -252,12 +268,17 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 					}
 					continue
 				}
+				// Settle slots exercise the full competitive-ratio join:
+				// a ledger-opted decide batch, then an observe batch that
+				// settles every returned decision id.
+				settleSlot := opts.SettleFraction > 0 && float64((c*53+r*29)%100) < opts.SettleFraction*100
 				req := BatchDecideRequest{Seed: opts.Seed, Requests: make([]DecideRequest, opts.Batch)}
 				for i := range req.Requests {
 					req.Requests[i] = DecideRequest{
 						VehicleID: fmt.Sprintf("load-%04d-%06d", c, r*opts.Batch+i),
 						Area:      areas[(c+r+i)%len(areas)],
 						Policy:    opts.Policy,
+						Ledger:    settleSlot,
 					}
 					// A controlled share of slots carries a custom
 					// break-even interval, forcing a cache-miss prepare.
@@ -266,7 +287,7 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 					}
 				}
 				sent := time.Now()
-				status, decided, cached, err := postBatch(ctx, client, base, req)
+				status, decided, cached, ids, err := postBatch(ctx, client, base, req)
 				ms := float64(time.Since(sent)) / float64(time.Millisecond)
 				lat.Observe(ms)
 				decideLat.Observe(ms)
@@ -281,6 +302,53 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 				default:
 					rec.Add("loadtest_decisions_total", int64(decided))
 					rec.Add("loadtest_cached_total", int64(cached))
+				}
+				if !settleSlot || err != nil || status != http.StatusOK {
+					continue
+				}
+				// Every 16th settle slot corrupts one decision id: the
+				// settle is rejected fail-closed as a per-item 404 inside
+				// a 200 batch, so the orphan path stays exercised without
+				// tripping the gate's error-free requirement.
+				orphans := 0
+				if (c*31+r)%16 == 0 && len(ids) > 0 && ids[0] != "" {
+					ids[0] = fmt.Sprintf("load-orphan-%04d-%06d", c, r)
+					orphans = 1
+				}
+				var oreq BatchObserveRequest
+				for i, id := range ids {
+					if id == "" {
+						continue
+					}
+					oreq.Observations = append(oreq.Observations, ObserveRequest{
+						Area:       areas[(c+r+i)%len(areas)],
+						StopSec:    syntheticStop(c, r, i, r >= driftAt),
+						VehicleID:  fmt.Sprintf("load-%04d-%06d", c, r*opts.Batch+i),
+						DecisionID: id,
+					})
+				}
+				if len(oreq.Observations) == 0 {
+					continue
+				}
+				sent = time.Now()
+				status, accepted, alarms, retunes, settled, err := postObserveBatch(ctx, client, base, oreq)
+				ms = float64(time.Since(sent)) / float64(time.Millisecond)
+				lat.Observe(ms)
+				observeLat.Observe(ms)
+				rec.Add("loadtest_requests_total", 1)
+				switch {
+				case err != nil:
+					rec.Add("loadtest_errors_total", 1)
+				case status == http.StatusTooManyRequests:
+					rec.Add("loadtest_429_total", 1)
+				case status != http.StatusOK:
+					rec.Add("loadtest_errors_total", 1)
+				default:
+					rec.Add("loadtest_observations_total", int64(accepted))
+					rec.Add("loadtest_alarms_total", int64(alarms))
+					rec.Add("loadtest_retunes_total", int64(retunes))
+					rec.Add("loadtest_settled_total", int64(settled))
+					rec.Add("loadtest_orphans_total", int64(orphans))
 				}
 			}
 			return nil
@@ -312,6 +380,8 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 	report.Observations, _ = snap.CounterValue("loadtest_observations_total")
 	report.Alarms, _ = snap.CounterValue("loadtest_alarms_total")
 	report.Retunes, _ = snap.CounterValue("loadtest_retunes_total")
+	report.Settled, _ = snap.CounterValue("loadtest_settled_total")
+	report.Orphans, _ = snap.CounterValue("loadtest_orphans_total")
 	if hits, ok := snap.CounterValue("loadtest_cached_total"); ok && report.Decisions > 0 {
 		report.CacheHitRate = float64(hits) / float64(report.Decisions)
 	}
@@ -357,68 +427,72 @@ func syntheticStop(c, r, i int, drifted bool) float64 {
 }
 
 // postBatch sends one batch request and returns (status, decisions,
-// cache hits).
-func postBatch(ctx context.Context, client *http.Client, base string, req BatchDecideRequest) (int, int, int, error) {
+// cache hits, per-slot decision ids). The id slice is index-aligned
+// with the request slots; slots whose decision failed or carried no
+// ledger opt-in hold "".
+func postBatch(ctx context.Context, client *http.Client, base string, req BatchDecideRequest) (int, int, int, []string, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, nil, err
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/decide/batch", bytes.NewReader(body))
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(hreq)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode, 0, 0, nil
+		return resp.StatusCode, 0, 0, nil, nil
 	}
 	var batch BatchDecideResponse
 	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
-		return resp.StatusCode, 0, 0, err
+		return resp.StatusCode, 0, 0, nil, err
 	}
 	decided, cached := 0, 0
-	for _, item := range batch.Results {
+	ids := make([]string, len(batch.Results))
+	for i, item := range batch.Results {
 		if item.Decision != nil {
 			decided++
 			if item.Decision.Cached {
 				cached++
 			}
+			ids[i] = item.Decision.DecisionID
 		}
 	}
-	return resp.StatusCode, decided, cached, nil
+	return resp.StatusCode, decided, cached, ids, nil
 }
 
 // postObserveBatch sends one observe batch and returns (status,
-// accepted, alarms, retunes) from the roll-up counts.
-func postObserveBatch(ctx context.Context, client *http.Client, base string, req BatchObserveRequest) (int, int, int, int, error) {
+// accepted, alarms, retunes, settled) from the roll-up counts.
+func postObserveBatch(ctx context.Context, client *http.Client, base string, req BatchObserveRequest) (int, int, int, int, int, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return 0, 0, 0, 0, 0, err
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/observe/batch", bytes.NewReader(body))
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return 0, 0, 0, 0, 0, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(hreq)
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return 0, 0, 0, 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode, 0, 0, 0, nil
+		return resp.StatusCode, 0, 0, 0, 0, nil
 	}
 	var batch BatchObserveResponse
 	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
-		return resp.StatusCode, 0, 0, 0, err
+		return resp.StatusCode, 0, 0, 0, 0, err
 	}
-	return resp.StatusCode, batch.Accepted, batch.Alarms, batch.Retunes, nil
+	return resp.StatusCode, batch.Accepted, batch.Alarms, batch.Retunes, batch.Settled, nil
 }
 
 // discoverAreas fetches the target's configured area IDs.

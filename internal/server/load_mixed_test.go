@@ -91,3 +91,62 @@ func TestLoadMixedObserveDecide(t *testing.T) {
 		t.Errorf("second run did not close the loop: alarms=%d retunes=%d", report2.Alarms, report2.Retunes)
 	}
 }
+
+// TestLoadSettleFraction drives the competitive-ratio join leg: settle
+// slots must land real settles, the deliberately corrupted ids must be
+// rejected fail-closed without counting as request errors, and the
+// server's ledger must agree with the client-side report.
+func TestLoadSettleFraction(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) { c.Retune = retuneTestConfig() })
+	report, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL:        ts.URL,
+		Clients:        4,
+		Requests:       60,
+		Batch:          8,
+		Seed:           3,
+		SettleFraction: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 || report.Overloaded != 0 {
+		t.Fatalf("settle load errors=%d overloaded=%d", report.Errors, report.Overloaded)
+	}
+	if report.Settled == 0 {
+		t.Fatal("settle fraction joined no decisions")
+	}
+	if report.Orphans == 0 {
+		t.Fatal("no orphaned ids exercised the fail-closed path")
+	}
+	// Every settle the client counted landed in the server's ledger,
+	// and every corrupted id was rejected there.
+	c := s.ledger.Counters()
+	if int64(c.Settled) != report.Settled {
+		t.Errorf("server ledger settled %d, report %d", c.Settled, report.Settled)
+	}
+	if int64(c.Orphaned) < report.Orphans {
+		t.Errorf("server ledger orphaned %d, report sent %d corrupted ids", c.Orphaned, report.Orphans)
+	}
+	// The join feeds the CR table.
+	if rows := s.ledger.Rows(); len(rows) == 0 {
+		t.Error("settle load left the CR table empty")
+	}
+
+	// Same options, fresh server: the settle leg is deterministic too.
+	_, ts2 := newTestServer(t, func(c *Config) { c.Retune = retuneTestConfig() })
+	report2, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL:        ts2.URL,
+		Clients:        4,
+		Requests:       60,
+		Batch:          8,
+		Seed:           3,
+		SettleFraction: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report2.Settled != report.Settled || report2.Orphans != report.Orphans {
+		t.Errorf("settle load not reproducible: settled %d/%d orphans %d/%d",
+			report.Settled, report2.Settled, report.Orphans, report2.Orphans)
+	}
+}

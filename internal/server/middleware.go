@@ -40,6 +40,11 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // client sends one, minted otherwise, and always echoed on the reply.
 const requestIDHeader = "X-Request-Id"
 
+// ledgerHeader opts a decide request into the competitive-ratio ledger
+// without touching the body (any non-empty value). Equivalent to the
+// request's ledger field; on a batch it opts in every item.
+const ledgerHeader = "X-Ledger"
+
 // instrument wraps a handler with the serving middleware stack:
 //
 //   - bounded in-flight limiter (when limited): a full server answers

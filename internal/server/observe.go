@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"idlereduce/internal/adaptive"
+	"idlereduce/internal/ledger"
 	"idlereduce/internal/obs"
 	"idlereduce/internal/predict"
 )
@@ -126,6 +128,35 @@ func (s *Server) observe(ctx context.Context, req ObserveRequest) (*ObserveRespo
 		return nil, &APIError{Code: "internal", Message: fmt.Sprintf("no observer for area %q", rec.state.ID), Status: http.StatusInternalServerError}
 	}
 
+	// A decision id settles its ledger entry before the tracker absorbs
+	// anything, so a failed join rejects the whole observation with the
+	// statistics stream untouched (fail-closed).
+	var settled *ledger.Outcome
+	if req.DecisionID != "" {
+		out, err := s.ledger.Settle(req.DecisionID, req.StopSec, time.Now().UnixMilli())
+		switch {
+		case errors.Is(err, ledger.ErrDuplicateSettle):
+			return nil, &APIError{Code: "duplicate_settle", Message: err.Error(), Status: http.StatusConflict}
+		case errors.Is(err, ledger.ErrUnknownDecision):
+			s.rec.Add("ledger_orphaned_total", 1)
+			return nil, &APIError{Code: "unknown_decision", Message: err.Error(), Status: http.StatusNotFound}
+		case err != nil:
+			// Stop validation already passed above; any residual failure
+			// is a client-shaped bad request.
+			return nil, &APIError{Code: "bad_request", Message: err.Error(), Status: http.StatusBadRequest}
+		}
+		settled = &out
+		s.rec.Add("ledger_settled_total", 1)
+		s.rec.Observe("ledger_join_ms", float64(out.JoinMS))
+		s.rec.Set(obs.L("cr_empirical", "area", out.Pending.Area, "engine", out.Pending.Engine), out.CR)
+		if out.Pending.Bound > 0 {
+			s.rec.Set(obs.L("cr_bound", "area", out.Pending.Area, "engine", out.Pending.Engine), out.Pending.Bound)
+		}
+		if out.Breach {
+			s.rec.Add("cr_breach_total", 1)
+		}
+	}
+
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	// A stats update may have moved the area's break-even interval;
@@ -151,6 +182,11 @@ func (s *Server) observe(ctx context.Context, req ObserveRequest) (*ObserveRespo
 		Q:    up.Stats.QBPlus,
 		// The pre-observation version; overwritten on re-tune below.
 		StatsVersion: rec.version,
+	}
+	if settled != nil {
+		resp.Settled = true
+		resp.OnlineCost = settled.Online
+		resp.OptCost = settled.Opt
 	}
 	s.rec.Add("observe_total", 1)
 	// A forecast riding along closes the prediction loop: the completed
@@ -184,7 +220,31 @@ func (s *Server) observe(ctx context.Context, req ObserveRequest) (*ObserveRespo
 			sp.Set("alarm", resp.Alarm)
 			sp.Set("retuned", resp.Retuned)
 			sp.Set("stats_version", resp.StatsVersion)
+			if settled != nil {
+				sp.Set("decision_id", settled.Pending.ID)
+				sp.Set("join_ms", settled.JoinMS)
+			}
 		}
+	}
+	if s.auditW != nil && settled != nil {
+		// The settle record precedes the observe record, mirroring the
+		// in-handler order: the join happened before the stream absorbed
+		// the stop.
+		s.auditW.Write(SettleRecord{
+			Kind:         settleKind,
+			TSUnixMS:     time.Now().UnixMilli(),
+			RequestID:    obs.RequestIDFrom(ctx),
+			DecisionID:   settled.Pending.ID,
+			Area:         settled.Pending.Area,
+			Engine:       settled.Pending.Engine,
+			B:            settled.Pending.B,
+			ThresholdSec: settled.Pending.ThresholdSec,
+			StopSec:      req.StopSec,
+			OnlineCost:   settled.Online,
+			OptCost:      settled.Opt,
+			Bound:        settled.Pending.Bound,
+			JoinMS:       settled.JoinMS,
+		})
 	}
 	if s.auditW != nil {
 		s.auditW.Write(ObserveRecord{
@@ -264,6 +324,9 @@ func (s *Server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if res.Retuned {
 			resp.Retunes++
+		}
+		if res.Settled {
+			resp.Settled++
 		}
 	}
 	s.rec.Add("observe_batch_total", 1)

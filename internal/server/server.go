@@ -18,6 +18,7 @@
 //	POST /v1/snapshot            live restore of a snapshot
 //	GET  /v1/areas               list cached strategies (?policy= view)
 //	GET  /v1/policies            list registered policy engines
+//	GET  /v1/cr                  competitive-ratio ledger table
 //	GET  /v1/history             metrics time series (ring-buffer sampler)
 //	GET  /v1/buildinfo           version, Go version, start time, uptime
 //	GET  /healthz                liveness (bypasses the limiter)
@@ -45,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"idlereduce/internal/ledger"
 	"idlereduce/internal/obs"
 	"idlereduce/internal/policy"
 	"idlereduce/internal/predict"
@@ -85,6 +87,12 @@ type Config struct {
 	// POST /v1/observe (forgetting, warmup, CUSUM sensitivity). The
 	// zero value takes every default.
 	Retune RetuneConfig
+	// Ledger parameterizes the competitive-ratio ledger joining ledger-
+	// opted decides to their observes (pending capacity, join TTL,
+	// breach-detector windows). The zero value takes every default; the
+	// ledger itself is always on — a decide that does not opt in costs
+	// one branch.
+	Ledger ledger.Config
 	// Restore boots the daemon from a previously captured state plane
 	// instead of Areas: statistics, version counters, and observation
 	// streams all resume where the donor left off. When both are set,
@@ -171,6 +179,7 @@ type Server struct {
 	cache     *Cache
 	observers *observerSet
 	engine    policy.Engine
+	ledger    *ledger.Ledger
 	rec       *obs.Recorder
 	inflight  chan struct{}
 	start     time.Time
@@ -182,9 +191,11 @@ type Server struct {
 	auditW  *obs.JSONLWriter
 	sampler *obs.Sampler
 
-	// bootID prefixes generated request ids; reqSeq numbers them.
+	// bootID prefixes generated request and decision ids; reqSeq and
+	// decSeq number them.
 	bootID string
 	reqSeq atomic.Uint64
+	decSeq atomic.Uint64
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -225,6 +236,7 @@ func New(cfg Config) (*Server, error) {
 		cache:     cache,
 		observers: observers,
 		engine:    eng,
+		ledger:    ledger.New(cfg.Ledger),
 		rec:       cfg.Recorder,
 		inflight:  make(chan struct{}, cfg.MaxInflight),
 		start:     time.Now(),
@@ -267,6 +279,18 @@ func (s *Server) probes() []obs.Probe {
 		obs.CounterSumProbe(reg, "predict_regret", predict.MetricRegret),
 		obs.HistogramMeanProbe(reg, "predict_err_mean_s", predict.MetricErrAbs),
 		obs.HistogramMeanProbe(reg, "predict_bias_s", predict.MetricErrSigned),
+		obs.CounterSumProbe(reg, "settles", "ledger_settled_total"),
+		obs.CounterSumProbe(reg, "cr_breaches", "cr_breach_total"),
+		{Name: "ledger_pending", Kind: obs.ProbeGauge, F: func() float64 {
+			return float64(s.ledger.PendingCount())
+		}},
+		{Name: "cr_worst", Kind: obs.ProbeGauge, F: func() float64 {
+			w, ok := s.ledger.Worst()
+			if !ok {
+				return 0
+			}
+			return w.CR
+		}},
 		obs.GaugeProbe(reg, "inflight", "http_inflight_requests"),
 		obs.HistogramQuantileProbe(reg, "decide_p50_ms", obs.L("http_request_ms", "route", "decide"), 0.50),
 		obs.HistogramQuantileProbe(reg, "decide_p99_ms", obs.L("http_request_ms", "route", "decide"), 0.99),
@@ -280,6 +304,13 @@ func (s *Server) probes() []obs.Probe {
 // grep across trace spans and audit records.
 func (s *Server) newRequestID() string {
 	return fmt.Sprintf("%s-%07d", s.bootID, s.reqSeq.Add(1))
+}
+
+// newDecisionID mints a process-unique decision id for the
+// competitive-ratio ledger (the "d" keeps it visually distinct from
+// request ids in interleaved logs).
+func (s *Server) newDecisionID() string {
+	return fmt.Sprintf("%s-d%06d", s.bootID, s.decSeq.Add(1))
 }
 
 // History returns the sampler's retained metrics window (the
@@ -319,6 +350,7 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("POST /v1/snapshot", s.instrument("snapshot_restore", true, s.handleSnapshotRestore))
 	mux.Handle("GET /v1/areas", s.instrument("areas", true, s.handleAreas))
 	mux.Handle("GET /v1/policies", s.instrument("policies", true, s.handlePolicies))
+	mux.Handle("GET /v1/cr", s.instrument("cr", false, s.handleCR))
 	mux.Handle("GET /v1/history", s.instrument("history", false, s.handleHistory))
 	mux.Handle("GET /v1/buildinfo", s.instrument("buildinfo", false, s.handleBuildInfo))
 	mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"idlereduce/internal/adaptive"
+	"idlereduce/internal/ledger"
 )
 
 // Snapshot encoding of the idled state plane. The wire form is a
@@ -62,6 +63,12 @@ type StatePlane struct {
 	TakenUnixMS int64 `json:"taken_unix_ms"`
 	// Areas holds one entry per configured area, sorted by ID.
 	Areas []AreaSnapshot `json:"areas"`
+	// Ledger is the competitive-ratio ledger's state: pending entries,
+	// the settled-id ring, and the empirical-CR accumulators. Omitted
+	// when the ledger has nothing worth persisting, so ledger-idle
+	// snapshots keep their pre-ledger bytes (an additive field at
+	// schema version 1, not a version bump).
+	Ledger *ledger.State `json:"ledger,omitempty"`
 }
 
 // Validate checks every entry is restorable on its own terms (the
@@ -81,6 +88,11 @@ func (p StatePlane) Validate() error {
 		seen[a.ID] = true
 		if err := a.Tracker.Validate(); err != nil {
 			return fmt.Errorf("server: snapshot: area %s: %w", a.ID, err)
+		}
+	}
+	if p.Ledger != nil {
+		if err := p.Ledger.Validate(); err != nil {
+			return fmt.Errorf("server: snapshot: %w", err)
 		}
 	}
 	return nil
@@ -194,6 +206,9 @@ func (s *Server) StatePlane() StatePlane {
 		}
 		p.Areas = append(p.Areas, entry)
 	}
+	if st := s.ledger.State(); !st.Empty() {
+		p.Ledger = &st
+	}
 	return p
 }
 
@@ -205,7 +220,20 @@ func (s *Server) restoreState(p StatePlane) error {
 	if err := s.cache.Restore(p.Areas); err != nil {
 		return err
 	}
-	return s.restoreTrackers(p)
+	if err := s.restoreTrackers(p); err != nil {
+		return err
+	}
+	// The ledger resumes where the donor left off; a snapshot without a
+	// ledger section resets it (the donor had nothing pending and
+	// nothing accumulated).
+	var lst ledger.State
+	if p.Ledger != nil {
+		lst = *p.Ledger
+	}
+	if err := s.ledger.Restore(lst); err != nil {
+		return fmt.Errorf("server: restore: %w", err)
+	}
+	return nil
 }
 
 // restoreTrackers rebuilds the observation streams from a snapshot.
